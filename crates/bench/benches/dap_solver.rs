@@ -1,0 +1,72 @@
+//! Microbenchmarks for the DAP window solvers — the arithmetic that the
+//! paper argues fits in trivial hardware must also be nanoseconds in
+//! software.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dap_core::{
+    AlloyDapSolver, DapConfig, DapController, EdramDapSolver, SectoredDapSolver, Technique,
+    WindowBudget, WindowStats,
+};
+
+fn pressured() -> WindowStats {
+    WindowStats {
+        cache_accesses: 48,
+        cache_read_accesses: 30,
+        cache_write_accesses: 18,
+        mm_accesses: 3,
+        read_misses: 9,
+        writes: 11,
+        clean_read_hits: 17,
+    }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let sectored =
+        SectoredDapSolver::new(WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75));
+    let alloy = AlloyDapSolver::new(WindowBudget::from_gbps(
+        102.4 * 2.0 / 3.0,
+        None,
+        38.4,
+        4.0,
+        64,
+        0.75,
+    ));
+    let edram = EdramDapSolver::new(WindowBudget::from_gbps(
+        51.2,
+        Some(51.2),
+        38.4,
+        4.0,
+        64,
+        0.75,
+    ));
+    let stats = pressured();
+
+    c.bench_function("solver/sectored", |b| {
+        b.iter(|| sectored.solve(black_box(&stats)))
+    });
+    c.bench_function("solver/alloy", |b| {
+        b.iter(|| alloy.solve(black_box(&stats)))
+    });
+    c.bench_function("solver/edram", |b| {
+        b.iter(|| edram.solve(black_box(&stats)))
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("controller/window_cycle", |b| {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        let stats = pressured();
+        b.iter(|| {
+            dap.end_window_with(black_box(&stats));
+            while dap.try_apply(Technique::FillWriteBypass) {}
+            while dap.try_apply(Technique::WriteBypass) {}
+        });
+    });
+    c.bench_function("controller/try_apply_empty", |b| {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        b.iter(|| dap.try_apply(black_box(Technique::InformedForcedReadMiss)));
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation study: see `experiments::ablations::ablation_prefetch_degree`.
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!(
+        "{}",
+        experiments::ablations::ablation_prefetch_degree(instructions)
+    );
+}

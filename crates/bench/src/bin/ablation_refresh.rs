@@ -1,0 +1,5 @@
+//! Ablation study: see `experiments::ablations::ablation_refresh`.
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!("{}", experiments::ablations::ablation_refresh(instructions));
+}

@@ -1,0 +1,8 @@
+//! Ablation study: see `experiments::ablations::ablation_write_batch`.
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!(
+        "{}",
+        experiments::ablations::ablation_write_batch(instructions)
+    );
+}

@@ -1,0 +1,211 @@
+//! `dapctl` — command-line driver for ad-hoc simulations.
+//!
+//! ```text
+//! dapctl list
+//!     List the benchmark clones and their parameters.
+//! dapctl run <benchmark> [--policy <baseline|dap|ta-dap|sbd|sbd-wt|batman>]
+//!            [--cores N] [--arch <sectored|alloy|edram>] [--instructions N]
+//!     Run one rate-N workload and print the full statistics.
+//! dapctl record <benchmark> <file> [--ops N]
+//!     Record a clone's access trace to a DAPTRACE file.
+//! dapctl replay <file> [--cores N] [--policy ...] [--instructions N]
+//!     Drive every core with a recorded trace.
+//! ```
+
+use experiments::runner::{build_policy, PolicyKind};
+use mem_sim::trace::TraceSource;
+use mem_sim::{System, SystemConfig};
+use workloads::{rate_mode, spec, TraceFile};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dapctl <list | run <bench> | record <bench> <file> | replay <file>> \
+         [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    policy: PolicyKind,
+    cores: usize,
+    arch: String,
+    instructions: u64,
+    ops: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        positional: Vec::new(),
+        policy: PolicyKind::Baseline,
+        cores: 8,
+        arch: "sectored".to_string(),
+        instructions: 400_000,
+        ops: 100_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--policy" => {
+                args.policy = match value("--policy").as_str() {
+                    "baseline" => PolicyKind::Baseline,
+                    "dap" => PolicyKind::Dap,
+                    "ta-dap" => PolicyKind::ThreadAwareDap,
+                    "sbd" => PolicyKind::Sbd,
+                    "sbd-wt" => PolicyKind::SbdWt,
+                    "batman" => PolicyKind::Batman,
+                    other => {
+                        eprintln!("unknown policy {other}");
+                        usage()
+                    }
+                }
+            }
+            "--cores" => args.cores = value("--cores").parse().unwrap_or_else(|_| usage()),
+            "--arch" => args.arch = value("--arch"),
+            "--instructions" => {
+                args.instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
+            }
+            "--ops" => args.ops = value("--ops").parse().unwrap_or_else(|_| usage()),
+            _ => args.positional.push(a),
+        }
+    }
+    args
+}
+
+fn config_for(arch: &str, cores: usize) -> SystemConfig {
+    match arch {
+        "sectored" => SystemConfig::sectored_dram_cache(cores),
+        "alloy" => SystemConfig::alloy_cache(cores),
+        "edram" => SystemConfig::edram_cache(cores, 256),
+        other => {
+            eprintln!("unknown architecture {other}");
+            usage()
+        }
+    }
+}
+
+fn print_result(r: &mem_sim::RunResult) {
+    let s = &r.stats;
+    println!("total IPC            {:.4}", r.total_ipc());
+    println!("L3 MPKI              {:.1}", r.l3_mpki());
+    println!("MS$ hit ratio        {:.4}", s.ms_hit_ratio());
+    println!(
+        "MM CAS fraction      {:.4}  (sectored/eDRAM optimum 0.27, Alloy 0.36)",
+        s.mm_cas_fraction()
+    );
+    println!("avg read latency     {:.0} cycles", s.avg_read_latency());
+    println!("tag-cache miss ratio {:.4}", s.tag_cache_miss_ratio());
+    println!(
+        "fills {} (bypassed {})  WB {}  IFRM {}  SFRM {} (wasted {})  WT {}",
+        s.fills,
+        s.fills_bypassed,
+        s.writes_bypassed,
+        s.forced_read_misses,
+        s.speculative_forced,
+        s.speculative_wasted,
+        s.write_throughs
+    );
+    if let Some(d) = r.dap_decisions {
+        let [fwb, wb, ifrm, sfrm] = d.mix();
+        println!(
+            "DAP: {} decisions (FWB {:.0}% WB {:.0}% IFRM {:.0}% SFRM {:.0}%), partitioned {}/{} windows",
+            d.total_decisions(),
+            fwb * 100.0,
+            wb * 100.0,
+            ifrm * 100.0,
+            sfrm * 100.0,
+            d.windows_partitioned,
+            d.windows_total
+        );
+    }
+    for (i, core) in r.per_core.iter().enumerate() {
+        println!(
+            "core {i:2}: {} instructions, {} cycles, IPC {:.3}",
+            core.instructions,
+            core.cycles,
+            core.ipc()
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.positional.first().map(String::as_str) {
+        Some("list") => {
+            println!(
+                "{:<16} {:>9} {:>5} {:>7} {:>7} {:>8} {:>5} sensitivity",
+                "benchmark", "paper-MB", "gap", "writes", "chase", "streams", "hot"
+            );
+            for s in workloads::all_specs() {
+                println!(
+                    "{:<16} {:>9} {:>5} {:>6.0}% {:>6.0}% {:>8} {:>4.0}% {:?}",
+                    s.name,
+                    s.footprint_mb,
+                    s.gap_mean,
+                    s.write_fraction * 100.0,
+                    s.chase_fraction * 100.0,
+                    s.streams,
+                    s.hot_fraction * 100.0,
+                    s.sensitivity
+                );
+            }
+        }
+        Some("run") => {
+            let bench = args
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage());
+            let spec = spec(bench).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {bench} (try `dapctl list`)");
+                std::process::exit(2);
+            });
+            let config = config_for(&args.arch, args.cores);
+            let policy = build_policy(args.policy, &config);
+            let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
+            let r = sys.run(args.instructions);
+            println!(
+                "{bench} rate-{} on {} with {:?}:",
+                args.cores, args.arch, args.policy
+            );
+            print_result(&r);
+        }
+        Some("record") => {
+            let bench = args
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage());
+            let file = args.positional.get(2).unwrap_or_else(|| usage());
+            let spec = spec(bench).unwrap_or_else(|| usage());
+            let mut src = workloads::CloneTrace::new(spec, 0x1000_0000, 0);
+            workloads::record(&mut src, args.ops, file).expect("trace recording failed");
+            println!("recorded {} operations of {bench} to {file}", args.ops);
+        }
+        Some("replay") => {
+            let file = args.positional.get(1).unwrap_or_else(|| usage());
+            let config = config_for(&args.arch, args.cores);
+            let policy = build_policy(args.policy, &config);
+            let traces: Vec<Box<dyn TraceSource>> = (0..args.cores)
+                .map(|_| {
+                    Box::new(TraceFile::open(file).expect("trace load failed"))
+                        as Box<dyn TraceSource>
+                })
+                .collect();
+            let mut sys = System::with_policy(config, traces, policy);
+            let r = sys.run(args.instructions);
+            println!(
+                "replay of {file} on {} cores with {:?}:",
+                args.cores, args.policy
+            );
+            print_result(&r);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,9 @@
+//! Extension: OS-visible flat-tier placement (see
+//! `experiments::extensions::os_visible_tiering`).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!(
+        "{}",
+        experiments::extensions::os_visible_tiering(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 1 (delivered bandwidth vs hit rate).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!(
+        "{}",
+        experiments::figures::fig01_bw_vs_hitrate(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 2 (eDRAM capacity doubling).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!(
+        "{}",
+        experiments::figures::fig02_edram_capacity(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 4 (bandwidth-sensitivity classification).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!(
+        "{}",
+        experiments::figures::fig04_bw_sensitivity(instructions)
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 5 (SRAM tag cache).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!("{}", experiments::figures::fig05_tag_cache(instructions));
+}

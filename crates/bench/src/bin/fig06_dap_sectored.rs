@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 6 (DAP speedup and latency).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!("{}", experiments::figures::fig06_dap_sectored(instructions));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 7 (technique decision mix).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!("{}", experiments::figures::fig07_decision_mix(instructions));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 8 (main-memory CAS fraction).
+fn main() {
+    let instructions = dap_bench::instructions(400_000);
+    println!("{}", experiments::figures::fig08_cas_fraction(instructions));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 9 (main-memory technology sweep).
+fn main() {
+    let instructions = dap_bench::instructions(250_000);
+    println!(
+        "{}",
+        experiments::figures::fig09_mm_technology(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 10 (capacity and bandwidth sweep).
+fn main() {
+    let instructions = dap_bench::instructions(250_000);
+    println!(
+        "{}",
+        experiments::figures::fig10_capacity_bandwidth(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 11 (SBD, BATMAN vs DAP).
+fn main() {
+    let instructions = dap_bench::instructions(300_000);
+    println!(
+        "{}",
+        experiments::figures::fig11_related_proposals(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 12 (all 44 workloads).
+fn main() {
+    let instructions = dap_bench::instructions(200_000);
+    println!(
+        "{}",
+        experiments::figures::fig12_all_workloads(instructions)
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 13 (16-core scaling).
+fn main() {
+    let instructions = dap_bench::instructions(250_000);
+    println!(
+        "{}",
+        experiments::figures::fig13_sixteen_cores(instructions)
+    );
+}

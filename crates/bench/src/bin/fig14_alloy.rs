@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 14 (Alloy cache with BEAR and DAP).
+fn main() {
+    let instructions = dap_bench::instructions(300_000);
+    println!("{}", experiments::figures::fig14_alloy(instructions));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 15 (eDRAM cache with DAP).
+fn main() {
+    let instructions = dap_bench::instructions(300_000);
+    println!("{}", experiments::figures::fig15_edram(instructions));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table I (window size and efficiency sweep).
+fn main() {
+    let instructions = dap_bench::instructions(250_000);
+    println!(
+        "{}",
+        experiments::figures::table1_w_e_sensitivity(instructions)
+    );
+}

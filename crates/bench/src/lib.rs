@@ -1,0 +1,35 @@
+//! # dap-bench — the benchmark harness
+//!
+//! One binary per paper figure/table (`cargo run --release -p dap-bench
+//! --bin fig06_dap_sectored`), plus Criterion microbenchmarks for the hot
+//! structures (`cargo bench`).
+//!
+//! Every binary accepts the `DAP_INSTRUCTIONS` environment variable to
+//! override the per-core instruction budget; larger budgets reduce warmup
+//! bias at proportional runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Per-core instruction budget: `DAP_INSTRUCTIONS` env var or `default`.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not a positive integer.
+pub fn instructions(default: u64) -> u64 {
+    match std::env::var("DAP_INSTRUCTIONS") {
+        Ok(s) => s
+            .parse()
+            .expect("DAP_INSTRUCTIONS must be a positive integer"),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_when_unset() {
+        std::env::remove_var("DAP_INSTRUCTIONS");
+        assert_eq!(super::instructions(123), 123);
+    }
+}

@@ -1,0 +1,206 @@
+//! DAP solver for Alloy caches (Section IV-B).
+//!
+//! The Alloy cache stores tag-and-data (TAD) fused in the DRAM array, which
+//! constrains the techniques:
+//!
+//! * **No write bypass on hits** — invalidating the line would itself cost
+//!   Alloy bandwidth.
+//! * **No explicit fill bypass** — determining whether a fill is needed
+//!   requires fetching the TAD anyway. (When a forced read miss targets a
+//!   block that was *not* resident, the corresponding fill also does not
+//!   happen — an implicit fill bypass.)
+//! * **IFRM is the workhorse**, gated by the Dirty-Bit Cache (DBC): a read
+//!   may be forced to main memory only if the DBC shows its direct-mapped
+//!   set is not dirty.
+//! * **Opportunistic write-through** keeps enough clean blocks around for
+//!   IFRM, using 80% of the residual main-memory headroom.
+
+use crate::window::{WindowBudget, WindowStats};
+
+/// The partition plan for one window of an Alloy-cache system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlloyPlan {
+    /// Informed forced read misses to perform (`N_IFRM`).
+    pub n_ifrm: u32,
+    /// Writes to mirror to main memory (write-through) this window.
+    pub n_write_through: u32,
+}
+
+impl AlloyPlan {
+    /// True if the plan performs no partitioning at all.
+    pub fn is_idle(&self) -> bool {
+        self.n_ifrm == 0 && self.n_write_through == 0
+    }
+}
+
+/// Stateless solver for the Alloy-cache DAP variant.
+///
+/// `WindowStats::clean_read_hits` must be fed the number of reads whose DBC
+/// lookup found a *non-dirty* set — those are the only IFRM candidates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlloyDapSolver {
+    budget: WindowBudget,
+}
+
+impl AlloyDapSolver {
+    /// Creates a solver for the given per-window budgets. The cache budget
+    /// should already account for the TAD bandwidth bloat (only 2 of every
+    /// 3 channel cycles move useful data, so `B_MS$ = (2/3) x peak`).
+    pub fn new(budget: WindowBudget) -> Self {
+        Self { budget }
+    }
+
+    /// The budgets this solver was built with.
+    pub fn budget(&self) -> &WindowBudget {
+        &self.budget
+    }
+
+    /// Computes the partition plan for the next window.
+    pub fn solve(&self, stats: &WindowStats) -> AlloyPlan {
+        let b = &self.budget;
+        let num = i64::from(b.k.numerator());
+        let den = i64::from(b.k.denominator());
+
+        let a_cache = i64::from(stats.cache_accesses);
+        let a_mm = i64::from(stats.mm_accesses);
+
+        let mut plan = AlloyPlan::default();
+
+        // IFRM only when the cache is over budget (Eq. 8).
+        if a_cache > i64::from(b.cache_budget) {
+            let ifrm_scaled = den * a_cache - num * a_mm;
+            if ifrm_scaled > 0 {
+                let n = (ifrm_scaled / (num + den)) as u32;
+                plan.n_ifrm = n.min(stats.clean_read_hits);
+            }
+        }
+
+        // Opportunistic write-through from residual MM headroom, after the
+        // IFRM traffic this plan will add; runs even in calm windows so that
+        // future IFRM finds clean sets.
+        let headroom = i64::from(b.mm_budget) - a_mm - i64::from(plan.n_ifrm);
+        if headroom > 0 {
+            plan.n_write_through = (headroom * 4 / 5).min(i64::from(stats.writes)) as u32;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Alloy effective bandwidth = 2/3 of 102.4 GB/s = 68.27 GB/s;
+    /// K = 68.27/38.4 ~ 1.78 -> 7/4. Budgets: cache 12, mm 7.
+    fn alloy_budget() -> WindowBudget {
+        WindowBudget::from_gbps(102.4 * 2.0 / 3.0, None, 38.4, 4.0, 64, 0.75)
+    }
+
+    fn solver() -> AlloyDapSolver {
+        AlloyDapSolver::new(alloy_budget())
+    }
+
+    #[test]
+    fn budget_reflects_tad_bloat() {
+        let b = alloy_budget();
+        assert_eq!(b.cache_budget, 12); // floor(0.7111 * 0.2667 * 64)
+        assert!((b.k.as_f64() - 68.266 / 38.4).abs() < 0.09);
+    }
+
+    #[test]
+    fn idle_when_cache_under_budget_and_no_writes() {
+        let stats = WindowStats {
+            cache_accesses: 5,
+            mm_accesses: 7,
+            ..Default::default()
+        };
+        assert!(solver().solve(&stats).is_idle());
+    }
+
+    #[test]
+    fn ifrm_engages_under_pressure() {
+        let stats = WindowStats {
+            cache_accesses: 30,
+            mm_accesses: 2,
+            clean_read_hits: 20,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert!(plan.n_ifrm > 0);
+        assert!(plan.n_ifrm <= 20);
+    }
+
+    #[test]
+    fn ifrm_capped_by_dbc_clean_reads() {
+        let stats = WindowStats {
+            cache_accesses: 30,
+            mm_accesses: 2,
+            clean_read_hits: 1,
+            ..Default::default()
+        };
+        assert_eq!(solver().solve(&stats).n_ifrm, 1);
+    }
+
+    #[test]
+    fn no_ifrm_when_mm_is_bottleneck() {
+        let stats = WindowStats {
+            cache_accesses: 14,
+            mm_accesses: 20,
+            clean_read_hits: 10,
+            ..Default::default()
+        };
+        assert_eq!(solver().solve(&stats).n_ifrm, 0);
+    }
+
+    #[test]
+    fn write_through_uses_residual_headroom() {
+        // Calm window with idle MM: write-through still engages so future
+        // windows have clean blocks for IFRM.
+        let stats = WindowStats {
+            cache_accesses: 5,
+            mm_accesses: 1,
+            writes: 10,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        // headroom = 7 - 1 = 6 -> 0.8*6 = 4 (floor), min(writes=10).
+        assert_eq!(plan.n_write_through, 4);
+    }
+
+    #[test]
+    fn write_through_capped_by_writes_available() {
+        let stats = WindowStats {
+            cache_accesses: 5,
+            mm_accesses: 0,
+            writes: 2,
+            ..Default::default()
+        };
+        assert_eq!(solver().solve(&stats).n_write_through, 2);
+    }
+
+    #[test]
+    fn write_through_suppressed_when_mm_busy() {
+        let stats = WindowStats {
+            cache_accesses: 5,
+            mm_accesses: 9,
+            writes: 10,
+            ..Default::default()
+        };
+        assert_eq!(solver().solve(&stats).n_write_through, 0);
+    }
+
+    #[test]
+    fn ifrm_traffic_reduces_write_through() {
+        let stats = WindowStats {
+            cache_accesses: 30,
+            mm_accesses: 0,
+            writes: 10,
+            clean_read_hits: 50,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        let headroom = 7i64 - i64::from(plan.n_ifrm);
+        let expect = (headroom.max(0) * 4 / 5) as u32;
+        assert_eq!(plan.n_write_through, expect.min(10));
+    }
+}

@@ -1,0 +1,494 @@
+//! The runtime DAP controller.
+//!
+//! [`DapController`] is the piece a memory controller instantiates: it
+//! accumulates per-window access counts, re-solves the partition at every
+//! window boundary, loads the credit counters, and answers "may I apply
+//! technique X right now?" queries on the datapath.
+
+use crate::alloy::AlloyDapSolver;
+use crate::credits::{CreditBank, CreditCounter};
+use crate::edram::EdramDapSolver;
+use crate::sectored::SectoredDapSolver;
+use crate::window::{WindowBudget, WindowStats};
+
+/// Which memory-side cache architecture the controller manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheArchitecture {
+    /// Sectored DRAM cache with a single bidirectional channel set (HBM).
+    SingleBus,
+    /// Alloy cache: direct-mapped TADs, DBC-gated IFRM, write-through.
+    Alloy,
+    /// Sectored eDRAM cache with independent read and write channels.
+    SplitChannel,
+}
+
+/// One of DAP's partitioning techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Drop an incoming read-miss fill.
+    FillWriteBypass,
+    /// Steer an L3 dirty eviction to main memory.
+    WriteBypass,
+    /// Serve a known-clean read hit from main memory.
+    InformedForcedReadMiss,
+    /// Send a read to main memory before its tag lookup resolves.
+    SpeculativeForcedReadMiss,
+    /// Mirror a write to main memory (Alloy cache only).
+    WriteThrough,
+}
+
+impl Technique {
+    /// All techniques, in the order DAP prefers them.
+    pub const ALL: [Technique; 5] = [
+        Technique::FillWriteBypass,
+        Technique::WriteBypass,
+        Technique::InformedForcedReadMiss,
+        Technique::SpeculativeForcedReadMiss,
+        Technique::WriteThrough,
+    ];
+}
+
+/// Static configuration of a DAP controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DapConfig {
+    /// The cache architecture being managed.
+    pub architecture: CacheArchitecture,
+    /// Window length `W` in CPU cycles (paper default: 64).
+    pub window_cycles: u32,
+    /// Bandwidth efficiency `E` in `(0, 1]` (paper default: 0.75).
+    pub efficiency: f64,
+    /// Memory-side cache effective peak bandwidth in GB/s (for Alloy this is
+    /// already the TAD-adjusted 2/3 figure).
+    pub cache_gbps: f64,
+    /// Per-direction channel bandwidth for split-channel caches.
+    pub split_channel_gbps: Option<f64>,
+    /// Main memory peak bandwidth in GB/s.
+    pub mm_gbps: f64,
+    /// CPU clock in GHz (everything is accounted in CPU cycles).
+    pub cpu_ghz: f64,
+}
+
+impl DapConfig {
+    /// The paper's default system: 102.4 GB/s HBM DRAM cache + 38.4 GB/s
+    /// dual-channel DDR4-2400, 4 GHz cores, `W = 64`, `E = 0.75`.
+    pub fn hbm_ddr4() -> Self {
+        Self {
+            architecture: CacheArchitecture::SingleBus,
+            window_cycles: 64,
+            efficiency: 0.75,
+            cache_gbps: 102.4,
+            split_channel_gbps: None,
+            mm_gbps: 38.4,
+            cpu_ghz: 4.0,
+        }
+    }
+
+    /// Alloy cache on the same system: the TAD transfer spends 3 channel
+    /// cycles of which 2 move data, so effective bandwidth is 2/3 of peak.
+    pub fn alloy_hbm_ddr4() -> Self {
+        Self {
+            architecture: CacheArchitecture::Alloy,
+            cache_gbps: 102.4 * 2.0 / 3.0,
+            ..Self::hbm_ddr4()
+        }
+    }
+
+    /// Sectored eDRAM cache: 51.2 GB/s independent read and write channels.
+    pub fn edram_ddr4() -> Self {
+        Self {
+            architecture: CacheArchitecture::SplitChannel,
+            cache_gbps: 51.2,
+            split_channel_gbps: Some(51.2),
+            ..Self::hbm_ddr4()
+        }
+    }
+
+    /// Replaces the window length (Table I sweeps 32/64/128).
+    pub fn with_window(mut self, window_cycles: u32) -> Self {
+        self.window_cycles = window_cycles;
+        self
+    }
+
+    /// Replaces the bandwidth efficiency (Table I sweeps 0.5/0.75/1.0).
+    pub fn with_efficiency(mut self, efficiency: f64) -> Self {
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Replaces the cache and main-memory bandwidths (Fig. 9/10 sweeps).
+    pub fn with_bandwidths(mut self, cache_gbps: f64, mm_gbps: f64) -> Self {
+        self.cache_gbps = cache_gbps;
+        self.mm_gbps = mm_gbps;
+        if self.split_channel_gbps.is_some() {
+            self.split_channel_gbps = Some(cache_gbps);
+        }
+        self
+    }
+
+    /// Derives the per-window budgets.
+    pub fn budget(&self) -> WindowBudget {
+        WindowBudget::from_gbps(
+            self.cache_gbps,
+            self.split_channel_gbps,
+            self.mm_gbps,
+            self.cpu_ghz,
+            self.window_cycles,
+            self.efficiency,
+        )
+    }
+}
+
+/// Lifetime counts of DAP activity, for the paper's Fig. 7 decision-mix plot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Fill write bypasses applied.
+    pub fwb: u64,
+    /// Write bypasses applied.
+    pub wb: u64,
+    /// Informed forced read misses applied.
+    pub ifrm: u64,
+    /// Speculative forced read misses applied.
+    pub sfrm: u64,
+    /// Write-throughs applied (Alloy only).
+    pub write_through: u64,
+    /// Windows in which partitioning was active.
+    pub windows_partitioned: u64,
+    /// Total windows observed.
+    pub windows_total: u64,
+}
+
+impl DecisionStats {
+    /// Total partitioning decisions (FWB + WB + IFRM + SFRM; write-through
+    /// is bookkept separately because the paper's Fig. 7 does not count it).
+    pub fn total_decisions(&self) -> u64 {
+        self.fwb + self.wb + self.ifrm + self.sfrm
+    }
+
+    /// Fraction of decisions contributed by each technique, in
+    /// (FWB, WB, IFRM, SFRM) order; all zeros if no decisions were made.
+    pub fn mix(&self) -> [f64; 4] {
+        let total = self.total_decisions();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let t = total as f64;
+        [
+            self.fwb as f64 / t,
+            self.wb as f64 / t,
+            self.ifrm as f64 / t,
+            self.sfrm as f64 / t,
+        ]
+    }
+}
+
+/// The runtime DAP mechanism: observation counters + solver + credit bank.
+#[derive(Debug, Clone)]
+pub struct DapController {
+    config: DapConfig,
+    budget: WindowBudget,
+    current: WindowStats,
+    credits: CreditBank,
+    write_through: CreditCounter,
+    next_boundary: u64,
+    decisions: DecisionStats,
+    last_plan_idle: bool,
+}
+
+impl DapController {
+    /// Creates a controller; the first window starts at cycle zero.
+    pub fn new(config: DapConfig) -> Self {
+        let budget = config.budget();
+        Self {
+            config,
+            budget,
+            current: WindowStats::default(),
+            credits: CreditBank::new(budget.k),
+            write_through: CreditCounter::new(),
+            next_boundary: u64::from(config.window_cycles),
+            decisions: DecisionStats::default(),
+            last_plan_idle: true,
+        }
+    }
+
+    /// The configuration this controller runs with.
+    pub fn config(&self) -> &DapConfig {
+        &self.config
+    }
+
+    /// The derived per-window budgets.
+    pub fn budget(&self) -> &WindowBudget {
+        &self.budget
+    }
+
+    /// Lifetime decision statistics.
+    pub fn decisions(&self) -> &DecisionStats {
+        &self.decisions
+    }
+
+    /// Whether the most recent solve produced no partitioning.
+    pub fn is_partitioning(&self) -> bool {
+        !self.last_plan_idle
+    }
+
+    /// Records an access demanded from the memory-side cache (`A_MS$`).
+    /// For split-channel caches pass the direction; single-bus caches may
+    /// pass either.
+    pub fn note_cache_access(&mut self, is_write: bool) {
+        self.current.cache_accesses += 1;
+        if is_write {
+            self.current.cache_write_accesses += 1;
+        } else {
+            self.current.cache_read_accesses += 1;
+        }
+    }
+
+    /// Records an access demanded from main memory (`A_MM`).
+    pub fn note_mm_access(&mut self) {
+        self.current.mm_accesses += 1;
+    }
+
+    /// Records a read miss in the memory-side cache (`Rm`).
+    pub fn note_read_miss(&mut self) {
+        self.current.read_misses += 1;
+    }
+
+    /// Records a write arriving at the memory-side cache (`Wm`).
+    pub fn note_write(&mut self) {
+        self.current.writes += 1;
+    }
+
+    /// Records a read hit to a clean line (or, for Alloy, a read whose DBC
+    /// lookup found a non-dirty set) — an IFRM candidate.
+    pub fn note_clean_read_hit(&mut self) {
+        self.current.clean_read_hits += 1;
+    }
+
+    /// Advances time; at window boundaries, solves and reloads credits.
+    /// Call with a monotonically non-decreasing cycle count.
+    pub fn tick(&mut self, now_cycle: u64) {
+        while now_cycle >= self.next_boundary {
+            self.end_window();
+            self.next_boundary += u64::from(self.config.window_cycles);
+        }
+    }
+
+    /// Ends the current window immediately: solve, reload credits, reset
+    /// the observation counters.
+    pub fn end_window(&mut self) {
+        let stats = std::mem::take(&mut self.current);
+        self.end_window_with(&stats);
+    }
+
+    /// Ends a window using externally collected statistics (useful in tests
+    /// and in simulators that keep their own counters).
+    pub fn end_window_with(&mut self, stats: &WindowStats) {
+        self.decisions.windows_total += 1;
+        match self.config.architecture {
+            CacheArchitecture::SingleBus => {
+                let plan = SectoredDapSolver::new(self.budget).solve(stats);
+                self.last_plan_idle = plan.is_idle();
+                if plan.is_idle() {
+                    self.credits.clear();
+                } else {
+                    self.decisions.windows_partitioned += 1;
+                    self.credits.fwb.refill(plan.n_fwb);
+                    self.credits.wb.refill_scaled(plan.wb_scaled);
+                    self.credits.ifrm.refill_scaled(plan.ifrm_scaled);
+                    self.credits.sfrm.refill(plan.n_sfrm);
+                }
+            }
+            CacheArchitecture::Alloy => {
+                let plan = AlloyDapSolver::new(self.budget).solve(stats);
+                self.last_plan_idle = plan.is_idle();
+                if plan.n_ifrm == 0 {
+                    self.credits.ifrm.clear();
+                } else {
+                    self.decisions.windows_partitioned += 1;
+                    self.credits.ifrm.refill_applications(plan.n_ifrm);
+                }
+                if plan.n_write_through == 0 {
+                    self.write_through.clear();
+                } else {
+                    self.write_through.refill(plan.n_write_through);
+                }
+            }
+            CacheArchitecture::SplitChannel => {
+                let plan = EdramDapSolver::new(self.budget).solve(stats);
+                self.last_plan_idle = plan.is_idle();
+                if plan.is_idle() {
+                    self.credits.clear();
+                } else {
+                    self.decisions.windows_partitioned += 1;
+                    self.credits.fwb.refill(plan.n_fwb);
+                    self.credits.wb.refill_applications(plan.n_wb);
+                    self.credits.ifrm.refill_applications(plan.n_ifrm);
+                }
+            }
+        }
+    }
+
+    /// Attempts to apply a technique; consumes one credit and bumps the
+    /// decision statistics on success.
+    pub fn try_apply(&mut self, technique: Technique) -> bool {
+        let ok = match technique {
+            Technique::FillWriteBypass => self.credits.fwb.try_consume(),
+            Technique::WriteBypass => self.credits.wb.try_consume(),
+            Technique::InformedForcedReadMiss => self.credits.ifrm.try_consume(),
+            Technique::SpeculativeForcedReadMiss => self.credits.sfrm.try_consume(),
+            Technique::WriteThrough => self.write_through.try_consume(),
+        };
+        if ok {
+            match technique {
+                Technique::FillWriteBypass => self.decisions.fwb += 1,
+                Technique::WriteBypass => self.decisions.wb += 1,
+                Technique::InformedForcedReadMiss => self.decisions.ifrm += 1,
+                Technique::SpeculativeForcedReadMiss => self.decisions.sfrm += 1,
+                Technique::WriteThrough => self.decisions.write_through += 1,
+            }
+        }
+        ok
+    }
+
+    /// Remaining credits for a technique (diagnostics).
+    pub fn credits_remaining(&self, technique: Technique) -> u32 {
+        match technique {
+            Technique::FillWriteBypass => self.credits.fwb.remaining(),
+            Technique::WriteBypass => self.credits.wb.remaining_applications(),
+            Technique::InformedForcedReadMiss => self.credits.ifrm.remaining_applications(),
+            Technique::SpeculativeForcedReadMiss => self.credits.sfrm.remaining(),
+            Technique::WriteThrough => self.write_through.remaining(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pressured_stats() -> WindowStats {
+        WindowStats {
+            cache_accesses: 40,
+            mm_accesses: 2,
+            read_misses: 6,
+            writes: 10,
+            clean_read_hits: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn window_boundary_triggers_solve() {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        for _ in 0..40 {
+            dap.note_cache_access(false);
+        }
+        for _ in 0..6 {
+            dap.note_read_miss();
+        }
+        dap.note_mm_access();
+        dap.note_mm_access();
+        assert!(
+            !dap.try_apply(Technique::FillWriteBypass),
+            "no credits before boundary"
+        );
+        dap.tick(64);
+        assert!(dap.try_apply(Technique::FillWriteBypass));
+    }
+
+    #[test]
+    fn tick_catches_up_over_multiple_windows() {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        dap.tick(64 * 10);
+        assert_eq!(dap.decisions().windows_total, 10);
+    }
+
+    #[test]
+    fn idle_plan_clears_stale_credits() {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        dap.end_window_with(&pressured_stats());
+        assert!(dap.credits_remaining(Technique::FillWriteBypass) > 0);
+        // A calm window follows: everything is cleared.
+        dap.end_window_with(&WindowStats::default());
+        for t in Technique::ALL {
+            assert_eq!(dap.credits_remaining(t), 0, "{t:?} should be cleared");
+        }
+    }
+
+    #[test]
+    fn decisions_accumulate() {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        dap.end_window_with(&pressured_stats());
+        while dap.try_apply(Technique::FillWriteBypass) {}
+        while dap.try_apply(Technique::WriteBypass) {}
+        let d = *dap.decisions();
+        assert!(d.fwb > 0);
+        assert!(d.wb > 0);
+        assert_eq!(d.total_decisions(), d.fwb + d.wb);
+        let mix = d.mix();
+        assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloy_controller_uses_ifrm_and_write_through() {
+        let mut dap = DapController::new(DapConfig::alloy_hbm_ddr4());
+        let stats = WindowStats {
+            cache_accesses: 30,
+            mm_accesses: 1,
+            writes: 10,
+            clean_read_hits: 3,
+            ..Default::default()
+        };
+        dap.end_window_with(&stats);
+        assert!(dap.try_apply(Technique::InformedForcedReadMiss));
+        assert!(dap.try_apply(Technique::WriteThrough));
+        assert!(
+            !dap.try_apply(Technique::FillWriteBypass),
+            "alloy never does FWB credits"
+        );
+    }
+
+    #[test]
+    fn edram_controller_routes_split_channels() {
+        let mut dap = DapController::new(DapConfig::edram_ddr4());
+        let stats = WindowStats {
+            cache_read_accesses: 20,
+            cache_write_accesses: 3,
+            cache_accesses: 23,
+            mm_accesses: 2,
+            read_misses: 5,
+            writes: 5,
+            clean_read_hits: 15,
+            ..Default::default()
+        };
+        dap.end_window_with(&stats);
+        assert!(dap.try_apply(Technique::InformedForcedReadMiss));
+        assert!(
+            !dap.try_apply(Technique::SpeculativeForcedReadMiss),
+            "eDRAM has on-die tags"
+        );
+    }
+
+    #[test]
+    fn note_methods_feed_window_stats() {
+        let mut dap = DapController::new(DapConfig::edram_ddr4());
+        for _ in 0..20 {
+            dap.note_cache_access(false);
+            dap.note_clean_read_hit();
+        }
+        dap.note_cache_access(true);
+        dap.note_mm_access();
+        dap.end_window();
+        // Read channel pressure (20 > 9) should produce IFRM credits.
+        assert!(dap.credits_remaining(Technique::InformedForcedReadMiss) > 0);
+    }
+
+    #[test]
+    fn partitioning_flag_tracks_last_plan() {
+        let mut dap = DapController::new(DapConfig::hbm_ddr4());
+        assert!(!dap.is_partitioning());
+        dap.end_window_with(&pressured_stats());
+        assert!(dap.is_partitioning());
+        dap.end_window_with(&WindowStats::default());
+        assert!(!dap.is_partitioning());
+    }
+}

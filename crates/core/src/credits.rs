@@ -1,0 +1,224 @@
+//! Saturating credit counters.
+//!
+//! At the start of each window DAP loads the computed partition plan into
+//! four credit counters (one per technique). During the window, every
+//! application of a technique consumes one credit; a technique may be applied
+//! only while its counter is non-zero. Counters saturate rather than wrap.
+//!
+//! To avoid a hardware divider, the write-bypass and IFRM solutions are kept
+//! in `(K + 1)`-scaled form (Eq. 7/8): the counter is loaded with
+//! `(K + 1) * N` and each application subtracts `(K + 1)`, both held as
+//! integers scaled by `K`'s power-of-two denominator.
+
+use crate::ratio::Ratio;
+
+/// The paper caps each per-window technique count at 63 so the scaled value
+/// fits an eight-bit counter.
+pub const MAX_APPLICATIONS_PER_WINDOW: u32 = 63;
+
+/// A plain saturating credit counter (used for FWB and SFRM, whose solutions
+/// are unscaled access counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CreditCounter {
+    value: u32,
+}
+
+impl CreditCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads `n` credits, saturating at [`MAX_APPLICATIONS_PER_WINDOW`].
+    pub fn refill(&mut self, n: u32) {
+        self.value = (self.value + n).min(MAX_APPLICATIONS_PER_WINDOW);
+    }
+
+    /// Clears all credits (used when the solver decides to exit partitioning).
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+
+    /// Consumes one credit; returns `false` (without consuming) if empty.
+    pub fn try_consume(&mut self) -> bool {
+        if self.value > 0 {
+            self.value -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remaining credits.
+    pub fn remaining(&self) -> u32 {
+        self.value
+    }
+}
+
+/// A saturating credit counter holding a `(K + 1)`-scaled solution.
+///
+/// The stored value is `den * (K + 1) * N = (num + den) * N`; each
+/// application subtracts `num + den`. This is exactly the counter the paper
+/// sizes at eight bits for `N <= 63`, `K = 11/4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledCreditCounter {
+    scaled_value: u32,
+    per_application: u32,
+    max_scaled: u32,
+}
+
+impl ScaledCreditCounter {
+    /// Creates a counter for the given bandwidth ratio.
+    pub fn new(k: Ratio) -> Self {
+        let per_application = k.plus_one_num();
+        Self {
+            scaled_value: 0,
+            per_application,
+            max_scaled: per_application * MAX_APPLICATIONS_PER_WINDOW,
+        }
+    }
+
+    /// Loads a scaled solution value `den*(K+1)*N` directly (this is what
+    /// Eq. 7/8 compute), saturating.
+    pub fn refill_scaled(&mut self, scaled: u32) {
+        self.scaled_value = (self.scaled_value + scaled).min(self.max_scaled);
+    }
+
+    /// Loads `n` applications worth of credits, saturating.
+    pub fn refill_applications(&mut self, n: u32) {
+        self.refill_scaled(n.saturating_mul(self.per_application));
+    }
+
+    /// Clears all credits.
+    pub fn clear(&mut self) {
+        self.scaled_value = 0;
+    }
+
+    /// Consumes one application's worth of credits; a partial remainder
+    /// smaller than one application does not permit another application.
+    pub fn try_consume(&mut self) -> bool {
+        if self.scaled_value >= self.per_application {
+            self.scaled_value -= self.per_application;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole applications remaining.
+    pub fn remaining_applications(&self) -> u32 {
+        self.scaled_value / self.per_application
+    }
+}
+
+/// The four credit counters of a DAP controller plus lifetime decision
+/// statistics, with a storage-budget accounting mirroring the paper's
+/// sixteen-byte claim.
+#[derive(Debug, Clone)]
+pub struct CreditBank {
+    /// Fill write bypass credits.
+    pub fwb: CreditCounter,
+    /// Write bypass credits, `(K+1)`-scaled.
+    pub wb: ScaledCreditCounter,
+    /// Informed forced read miss credits, `(K+1)`-scaled.
+    pub ifrm: ScaledCreditCounter,
+    /// Speculative forced read miss credits.
+    pub sfrm: CreditCounter,
+}
+
+impl CreditBank {
+    /// Creates an empty bank for the given bandwidth ratio.
+    pub fn new(k: Ratio) -> Self {
+        Self {
+            fwb: CreditCounter::new(),
+            wb: ScaledCreditCounter::new(k),
+            ifrm: ScaledCreditCounter::new(k),
+            sfrm: CreditCounter::new(),
+        }
+    }
+
+    /// Clears every counter.
+    pub fn clear(&mut self) {
+        self.fwb.clear();
+        self.wb.clear();
+        self.ifrm.clear();
+        self.sfrm.clear();
+    }
+
+    /// Total hardware storage of the DAP mechanism in bits: five 12-bit
+    /// window observation counters (`A_MS$`, `A_MM`, `Rm`, `Wm`, clean hits),
+    /// four 8-bit solution registers, and four 8-bit credit counters —
+    /// the paper's "only about sixteen bytes".
+    pub fn storage_bits() -> u32 {
+        const OBSERVATION_COUNTERS: u32 = 5 * 12;
+        const SOLUTION_REGISTERS: u32 = 4 * 8;
+        const CREDIT_COUNTERS: u32 = 4 * 8;
+        OBSERVATION_COUNTERS + SOLUTION_REGISTERS + CREDIT_COUNTERS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_counter_consumes_down_to_zero() {
+        let mut c = CreditCounter::new();
+        c.refill(3);
+        assert!(c.try_consume());
+        assert!(c.try_consume());
+        assert!(c.try_consume());
+        assert!(!c.try_consume());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn plain_counter_saturates() {
+        let mut c = CreditCounter::new();
+        c.refill(1000);
+        assert_eq!(c.remaining(), MAX_APPLICATIONS_PER_WINDOW);
+        c.refill(5);
+        assert_eq!(c.remaining(), MAX_APPLICATIONS_PER_WINDOW);
+    }
+
+    #[test]
+    fn scaled_counter_consumes_k_plus_one_per_application() {
+        let k = Ratio::new(11, 4); // per application = 15
+        let mut c = ScaledCreditCounter::new(k);
+        c.refill_scaled(31); // two applications (30) + remainder 1
+        assert_eq!(c.remaining_applications(), 2);
+        assert!(c.try_consume());
+        assert!(c.try_consume());
+        assert!(
+            !c.try_consume(),
+            "remainder below one application must not fire"
+        );
+    }
+
+    #[test]
+    fn scaled_counter_saturates_at_63_applications() {
+        let k = Ratio::new(11, 4);
+        let mut c = ScaledCreditCounter::new(k);
+        c.refill_applications(1000);
+        assert_eq!(c.remaining_applications(), MAX_APPLICATIONS_PER_WINDOW);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut bank = CreditBank::new(Ratio::new(11, 4));
+        bank.fwb.refill(5);
+        bank.wb.refill_applications(5);
+        bank.ifrm.refill_applications(5);
+        bank.sfrm.refill(5);
+        bank.clear();
+        assert!(!bank.fwb.try_consume());
+        assert!(!bank.wb.try_consume());
+        assert!(!bank.ifrm.try_consume());
+        assert!(!bank.sfrm.try_consume());
+    }
+
+    #[test]
+    fn storage_fits_sixteen_bytes() {
+        assert!(CreditBank::storage_bits() <= 16 * 8);
+    }
+}

@@ -1,0 +1,283 @@
+//! DAP solver for sectored eDRAM caches (Section IV-C).
+//!
+//! eDRAM caches expose *three* bandwidth sources beyond the SRAM hierarchy:
+//! independent read channels (`B_MS$-R`), independent write channels
+//! (`B_MS$-W`), and the DDR main memory (`B_MM`). Metadata lives on die, so
+//! SFRM is unnecessary; the solver picks among FWB, WB, and IFRM depending
+//! on which channel set is short (the paper's cases i–iii):
+//!
+//! * **(i) read shortage only** — IFRM via Eq. 9;
+//! * **(ii) write shortage only** — FWB then WB via Eq. 10/11;
+//! * **(iii) both short** — FWB via Eq. 10, then the simultaneous solution
+//!   of Eq. 12 for WB and IFRM.
+//!
+//! The paper assumes `B_MS$-R = B_MS$-W = B_MS$` and `K = B_MS$ / B_MM`.
+
+use crate::window::{WindowBudget, WindowStats};
+
+/// The partition plan for one window of an eDRAM-cache system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdramPlan {
+    /// Fill write bypasses to perform (`N_FWB`).
+    pub n_fwb: u32,
+    /// Write bypasses to perform (`N_WB`).
+    pub n_wb: u32,
+    /// Informed forced read misses to perform (`N_IFRM`).
+    pub n_ifrm: u32,
+}
+
+impl EdramPlan {
+    /// True if the plan performs no partitioning at all.
+    pub fn is_idle(&self) -> bool {
+        self.n_fwb == 0 && self.n_wb == 0 && self.n_ifrm == 0
+    }
+}
+
+/// Stateless solver for the three-source eDRAM DAP variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdramDapSolver {
+    budget: WindowBudget,
+}
+
+impl EdramDapSolver {
+    /// Creates a solver for the given budgets. `budget.cache_channel_budget`
+    /// must hold the per-direction (read = write) channel budget.
+    pub fn new(budget: WindowBudget) -> Self {
+        Self { budget }
+    }
+
+    /// The budgets this solver was built with.
+    pub fn budget(&self) -> &WindowBudget {
+        &self.budget
+    }
+
+    /// Computes the partition plan from the previous window's observations.
+    /// Uses `stats.cache_read_accesses` (`A_MS$-R`) and
+    /// `stats.cache_write_accesses` (`A_MS$-W`).
+    pub fn solve(&self, stats: &WindowStats) -> EdramPlan {
+        let b = &self.budget;
+        let num = i64::from(b.k.numerator());
+        let den = i64::from(b.k.denominator());
+        let channel_budget = i64::from(b.cache_channel_budget);
+
+        let a_r = i64::from(stats.cache_read_accesses);
+        let a_w = i64::from(stats.cache_write_accesses);
+        let a_mm = i64::from(stats.mm_accesses);
+        let rm = i64::from(stats.read_misses);
+        let wm = i64::from(stats.writes);
+        let clean = i64::from(stats.clean_read_hits);
+
+        let read_short = a_r > channel_budget;
+        let write_short = a_w > channel_budget;
+        let mut plan = EdramPlan::default();
+
+        // Main memory already at or beyond its own budget: partitioning
+        // would push traffic onto the bottleneck — exit immediately (the
+        // paper's "main memory is a bottleneck" exit, applied before the
+        // per-technique equations so bursty windows cannot defeat it).
+        let mm_headroom = i64::from(b.mm_budget) - a_mm;
+        if mm_headroom <= 0 {
+            return plan;
+        }
+
+        let plan = match (read_short, write_short) {
+            (false, false) => plan,
+            // Case (i): read shortage only. Eq. 9 rearranges to
+            // (den+num).N_IFRM = den.A_R - num.A_MM.
+            (true, false) => {
+                let scaled = den * a_r - num * a_mm;
+                if scaled > 0 {
+                    plan.n_ifrm = ((scaled / (num + den)).min(clean)) as u32;
+                }
+                plan
+            }
+            // Case (ii): write shortage only. Eq. 10: N_FWB = A_W - K.A_MM,
+            // capped at the fills available; then Eq. 11:
+            // (den+num).N_WB = den.(A_W - N_FWB) - num.A_MM.
+            (false, true) => {
+                let fwb_scaled = den * a_w - num * a_mm;
+                if fwb_scaled <= 0 {
+                    return plan;
+                }
+                plan.n_fwb = (fwb_scaled / den).min(rm).max(0) as u32;
+                let wb_scaled = den * (a_w - i64::from(plan.n_fwb)) - num * a_mm;
+                if wb_scaled > 0 {
+                    plan.n_wb = ((wb_scaled / (num + den)).min(wm)) as u32;
+                }
+                plan
+            }
+            // Case (iii): both short. FWB via Eq. 10, then Eq. 12 jointly:
+            // (2num+den).N_WB  = (num+den).(A_W - N_FWB) - num.A_R - num.A_MM
+            // (2num+den).N_IFRM = (num+den).A_R - num.(A_W - N_FWB) - num.A_MM
+            (true, true) => {
+                let fwb_scaled = den * a_w - num * a_mm;
+                if fwb_scaled > 0 {
+                    plan.n_fwb = (fwb_scaled / den).min(rm).max(0) as u32;
+                }
+                let w_eff = a_w - i64::from(plan.n_fwb);
+                let denom = 2 * num + den;
+                let wb_scaled = (num + den) * w_eff - num * a_r - num * a_mm;
+                if wb_scaled > 0 {
+                    plan.n_wb = ((wb_scaled / denom).min(wm)) as u32;
+                }
+                let ifrm_scaled = (num + den) * a_r - num * w_eff - num * a_mm;
+                if ifrm_scaled > 0 {
+                    plan.n_ifrm = ((ifrm_scaled / denom).min(clean)) as u32;
+                }
+                plan
+            }
+        };
+
+        // The techniques that add main-memory traffic (WB, IFRM) must fit
+        // in the remaining main-memory headroom.
+        let mut plan = plan;
+        let mut headroom = mm_headroom as u32;
+        plan.n_wb = plan.n_wb.min(headroom);
+        headroom -= plan.n_wb;
+        plan.n_ifrm = plan.n_ifrm.min(headroom);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// eDRAM: 51.2 GB/s per direction, DDR4 38.4 GB/s, W=64, E=0.75, 4 GHz.
+    /// channel budget = 9, mm budget = 7, K ~ 4/3 (approximated 11/8).
+    fn edram_budget() -> WindowBudget {
+        WindowBudget::from_gbps(51.2, Some(51.2), 38.4, 4.0, 64, 0.75)
+    }
+
+    fn solver() -> EdramDapSolver {
+        EdramDapSolver::new(edram_budget())
+    }
+
+    #[test]
+    fn idle_when_both_channels_have_headroom() {
+        let stats = WindowStats {
+            cache_read_accesses: 5,
+            cache_write_accesses: 5,
+            mm_accesses: 1,
+            ..Default::default()
+        };
+        assert!(solver().solve(&stats).is_idle());
+    }
+
+    #[test]
+    fn read_shortage_uses_ifrm_only() {
+        let stats = WindowStats {
+            cache_read_accesses: 20,
+            cache_write_accesses: 3,
+            mm_accesses: 2,
+            read_misses: 5,
+            writes: 5,
+            clean_read_hits: 15,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert!(plan.n_ifrm > 0);
+        assert_eq!(plan.n_fwb, 0);
+        assert_eq!(plan.n_wb, 0);
+    }
+
+    #[test]
+    fn write_shortage_uses_fwb_then_wb() {
+        // A_W = 20 over budget 9; A_MM = 2; Rm = 4 fills.
+        // FWB eq = 20 - 1.375*2 = 17 -> capped at Rm = 4.
+        // WB: scaled = 8*(20-4) - 11*2 = 106; /19 = 5 writes.
+        let stats = WindowStats {
+            cache_read_accesses: 5,
+            cache_write_accesses: 20,
+            mm_accesses: 2,
+            read_misses: 4,
+            writes: 12,
+            clean_read_hits: 10,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert_eq!(plan.n_fwb, 4);
+        assert_eq!(plan.n_wb, 5);
+        assert_eq!(plan.n_ifrm, 0, "read channels are fine; no IFRM");
+    }
+
+    #[test]
+    fn both_short_solves_simultaneously() {
+        let stats = WindowStats {
+            cache_read_accesses: 20,
+            cache_write_accesses: 20,
+            mm_accesses: 1,
+            read_misses: 4,
+            writes: 12,
+            clean_read_hits: 15,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert!(plan.n_fwb > 0);
+        assert!(plan.n_wb > 0 || plan.n_ifrm > 0);
+        // The joint solution must not bypass more writes than exist or more
+        // reads than there are clean hits.
+        assert!(plan.n_wb <= 12);
+        assert!(plan.n_ifrm <= 15);
+    }
+
+    #[test]
+    fn joint_solution_balances_three_sources_within_mm_headroom() {
+        // The joint solution moves the read and write ratios toward K, but
+        // never adds more main-memory traffic than the MM budget allows.
+        let stats = WindowStats {
+            cache_read_accesses: 30,
+            cache_write_accesses: 30,
+            mm_accesses: 2,
+            read_misses: 10,
+            writes: 20,
+            clean_read_hits: 25,
+            ..Default::default()
+        };
+        let budget = edram_budget();
+        let plan = solver().solve(&stats);
+        let headroom = budget.mm_budget - stats.mm_accesses;
+        assert!(
+            plan.n_wb + plan.n_ifrm <= headroom,
+            "WB+IFRM must fit MM headroom"
+        );
+        let k = budget.k.as_f64();
+        let ratio = |cache: u32, moved: u32, mm_extra: u32| {
+            f64::from(cache - moved) / f64::from(stats.mm_accesses + mm_extra)
+        };
+        let r_before = f64::from(stats.cache_read_accesses) / f64::from(stats.mm_accesses);
+        let r_after = ratio(
+            stats.cache_read_accesses,
+            plan.n_ifrm,
+            plan.n_wb + plan.n_ifrm,
+        );
+        assert!(
+            (r_after - k).abs() < (r_before - k).abs(),
+            "read ratio must move toward K"
+        );
+        let w_before = f64::from(stats.cache_write_accesses) / f64::from(stats.mm_accesses);
+        let w_after = ratio(
+            stats.cache_write_accesses,
+            plan.n_fwb + plan.n_wb,
+            plan.n_wb + plan.n_ifrm,
+        );
+        assert!(
+            (w_after - k).abs() < (w_before - k).abs(),
+            "write ratio must move toward K"
+        );
+    }
+
+    #[test]
+    fn mm_bottleneck_produces_idle_plan() {
+        let stats = WindowStats {
+            cache_read_accesses: 10,
+            cache_write_accesses: 10,
+            mm_accesses: 30,
+            read_misses: 5,
+            writes: 5,
+            clean_read_hits: 5,
+            ..Default::default()
+        };
+        assert!(solver().solve(&stats).is_idle());
+    }
+}

@@ -1,0 +1,171 @@
+//! Hardware-friendly rational arithmetic for the bandwidth ratio `K`.
+//!
+//! DAP's window solver multiplies access counts by `K = B_MS$ / B_MM`, which
+//! may be fractional (102.4 / 38.4 = 8/3). Hardware cannot afford a divider
+//! on this path, so the paper approximates `K` by a small rational with a
+//! power-of-two denominator (8/3 ≈ 11/4) so that multiplication reduces to a
+//! shift-and-add. [`Ratio`] reproduces that arithmetic exactly.
+
+use std::fmt;
+
+/// A non-negative rational `num / den` with a power-of-two denominator.
+///
+/// ```
+/// use dap_core::Ratio;
+/// let k = Ratio::approximate(102.4 / 38.4); // 8/3 -> 11/4
+/// assert_eq!((k.numerator(), k.denominator()), (11, 4));
+/// assert_eq!(k.mul_int(8), 22); // floor(8 * 11/4)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u32,
+    den: u32,
+}
+
+impl Ratio {
+    /// Maximum denominator used by [`Ratio::approximate`]. A 4-bit shift is
+    /// the paper's example (den = 4); we allow up to 16 for finer ratios.
+    pub const MAX_DEN: u32 = 16;
+
+    /// Creates a ratio from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or not a power of two.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(
+            den != 0 && den.is_power_of_two(),
+            "denominator must be a power of two"
+        );
+        Self { num, den }
+    }
+
+    /// Approximates a positive real ratio by `round(k * den) / den`, picking
+    /// the smallest power-of-two `den <= MAX_DEN` that gets within 5% of the
+    /// target (matching the paper's 8/3 -> 11/4 example).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not finite and positive.
+    pub fn approximate(k: f64) -> Self {
+        assert!(
+            k.is_finite() && k > 0.0,
+            "ratio must be finite and positive"
+        );
+        let mut den = 1u32;
+        loop {
+            let num = (k * f64::from(den)).round() as u32;
+            let approx = f64::from(num) / f64::from(den);
+            if num > 0 && (approx - k).abs() / k <= 0.05 {
+                return Self { num, den };
+            }
+            if den >= Self::MAX_DEN {
+                return Self {
+                    num: (k * f64::from(den)).round().max(1.0) as u32,
+                    den,
+                };
+            }
+            den *= 2;
+        }
+    }
+
+    /// The numerator.
+    pub fn numerator(&self) -> u32 {
+        self.num
+    }
+
+    /// The denominator (a power of two).
+    pub fn denominator(&self) -> u32 {
+        self.den
+    }
+
+    /// `floor(x * self)` — the shift-and-add a hardware multiplier performs.
+    pub fn mul_int(&self, x: u64) -> u64 {
+        x * u64::from(self.num) / u64::from(self.den)
+    }
+
+    /// `floor(x * self)` for signed inputs (rounds toward negative infinity,
+    /// as an arithmetic right shift does).
+    pub fn mul_i64(&self, x: i64) -> i64 {
+        let scaled = x * i64::from(self.num);
+        scaled.div_euclid(i64::from(self.den))
+    }
+
+    /// The ratio as a float (for reporting only).
+    pub fn as_f64(&self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+
+    /// `self + 1` as a scaled integer pair: returns `num + den` over `den`,
+    /// i.e. the `(K + 1)` factor the credit counters store.
+    pub fn plus_one_num(&self) -> u32 {
+        self.num + self.den
+    }
+
+    /// `2*self + 1` scaled by `den` — the `(2K + 1)` factor of Eq. 12.
+    pub fn twice_plus_one_num(&self) -> u32 {
+        2 * self.num + self.den
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_k_eight_thirds_becomes_eleven_fourths() {
+        let k = Ratio::approximate(102.4 / 38.4);
+        assert_eq!((k.numerator(), k.denominator()), (11, 4));
+        assert!((k.as_f64() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_ratios_stay_exact() {
+        let k = Ratio::approximate(2.0);
+        assert_eq!((k.numerator(), k.denominator()), (2, 1));
+        let k = Ratio::approximate(4.0);
+        assert_eq!(k.mul_int(10), 40);
+    }
+
+    #[test]
+    fn edram_k_is_four_thirds() {
+        // 51.2 / 38.4 = 4/3 ~ 1.333; den=4 gives 5/4=1.25 (6.25% off), so
+        // approximate() should go to den=8: 11/8 = 1.375 (3.1% off).
+        let k = Ratio::approximate(51.2 / 38.4);
+        let err = (k.as_f64() - 4.0 / 3.0).abs() / (4.0 / 3.0);
+        assert!(err <= 0.05, "approximation error {err} too large for {k}");
+    }
+
+    #[test]
+    fn mul_int_floors() {
+        let k = Ratio::new(11, 4);
+        assert_eq!(k.mul_int(3), 8); // 33/4 = 8.25
+        assert_eq!(k.mul_int(0), 0);
+    }
+
+    #[test]
+    fn mul_i64_handles_negatives() {
+        let k = Ratio::new(11, 4);
+        assert_eq!(k.mul_i64(-3), -9); // -33/4 = -8.25 -> floor -9
+        assert_eq!(k.mul_i64(4), 11);
+    }
+
+    #[test]
+    fn plus_one_factors() {
+        let k = Ratio::new(11, 4);
+        assert_eq!(k.plus_one_num(), 15); // (K+1) scaled by 4
+        assert_eq!(k.twice_plus_one_num(), 26); // (2K+1) scaled by 4
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_denominator_rejected() {
+        let _ = Ratio::new(8, 3);
+    }
+}

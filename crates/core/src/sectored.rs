@@ -1,0 +1,338 @@
+//! DAP solver for sectored DRAM caches (Section IV-A, Figure 3).
+//!
+//! Systems with a die-stacked HBM DRAM cache have two bandwidth sources
+//! beyond the SRAM hierarchy: the cache's single bidirectional channel set
+//! and the DDR main memory. When the previous window's cache demand
+//! `A_MS$` exceeds what the cache can serve (`B_MS$ . W`), the solver
+//! escalates through the four techniques in cost order:
+//!
+//! 1. **FWB** — drop read-miss fills (needs no immediate MM bandwidth),
+//! 2. **WB** — steer L3 dirty evictions to main memory,
+//! 3. **IFRM** — serve clean read *hits* from main memory,
+//! 4. **SFRM** — speculatively send reads to MM before the tag lookup
+//!    resolves, using at most 80% of the remaining MM headroom.
+//!
+//! All arithmetic is integer, scaled by the power-of-two denominator of
+//! `K = B_MS$ / B_MM`, exactly as shift-and-add hardware would compute it.
+
+use crate::window::{WindowBudget, WindowStats};
+
+/// The partition plan for one window of a sectored-DRAM-cache system.
+///
+/// `wb_scaled` and `ifrm_scaled` hold `den.(K+1).N` — the exact register
+/// contents of Eq. 7/8 — so they can be loaded into
+/// [`ScaledCreditCounter`](crate::credits::ScaledCreditCounter)s verbatim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectoredPlan {
+    /// Fill write bypasses to perform (`N_FWB`).
+    pub n_fwb: u32,
+    /// Write bypass solution in `den.(K+1)` scaled units.
+    pub wb_scaled: u32,
+    /// Informed forced read miss solution in `den.(K+1)` scaled units.
+    pub ifrm_scaled: u32,
+    /// Speculative forced read misses to perform (`N_SFRM`).
+    pub n_sfrm: u32,
+    /// Scale factor `num + den` to convert scaled units to applications.
+    pub k_plus_one_num: u32,
+}
+
+impl SectoredPlan {
+    /// Write bypasses implied by the scaled solution.
+    pub fn n_wb(&self) -> u32 {
+        if self.k_plus_one_num == 0 {
+            0
+        } else {
+            self.wb_scaled / self.k_plus_one_num
+        }
+    }
+
+    /// Informed forced read misses implied by the scaled solution.
+    pub fn n_ifrm(&self) -> u32 {
+        if self.k_plus_one_num == 0 {
+            0
+        } else {
+            self.ifrm_scaled / self.k_plus_one_num
+        }
+    }
+
+    /// True if the plan performs no partitioning at all.
+    pub fn is_idle(&self) -> bool {
+        self.n_fwb == 0 && self.wb_scaled == 0 && self.ifrm_scaled == 0 && self.n_sfrm == 0
+    }
+}
+
+/// Stateless solver implementing the Figure 3 flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectoredDapSolver {
+    budget: WindowBudget,
+}
+
+impl SectoredDapSolver {
+    /// Creates a solver for the given per-window budgets.
+    pub fn new(budget: WindowBudget) -> Self {
+        Self { budget }
+    }
+
+    /// The budgets this solver was built with.
+    pub fn budget(&self) -> &WindowBudget {
+        &self.budget
+    }
+
+    /// Computes the partition plan for the next window from the previous
+    /// window's observations.
+    pub fn solve(&self, stats: &WindowStats) -> SectoredPlan {
+        let b = &self.budget;
+        let num = i64::from(b.k.numerator());
+        let den = i64::from(b.k.denominator());
+        let k_plus_one = (num + den) as u32;
+
+        let a_cache = i64::from(stats.cache_accesses);
+        let a_mm = i64::from(stats.mm_accesses);
+        let rm = i64::from(stats.read_misses);
+        let wm = i64::from(stats.writes);
+
+        let mut plan = SectoredPlan {
+            k_plus_one_num: k_plus_one,
+            ..Default::default()
+        };
+
+        // Partitioning is invoked only when the cache demand exceeded what
+        // the cache could serve.
+        if a_cache <= i64::from(b.cache_budget) {
+            return plan;
+        }
+        // Main-memory headroom this window. Fill write bypass is always
+        // safe (it costs no immediate MM bandwidth), but WB/IFRM/SFRM add
+        // MM traffic and must fit in this headroom — a bursty window with
+        // transiently low A_MM must not defeat the "main memory is a
+        // bottleneck" exit.
+        let mm_headroom = (i64::from(b.mm_budget) - a_mm).max(0);
+
+        // --- Fill Write Bypass (Eq. 6): den.N_FWB = den.A_MS$ - num.A_MM.
+        let fwb_scaled = den * a_cache - num * a_mm;
+        if fwb_scaled <= 0 {
+            // Main memory is the bottleneck: exit partitioning entirely.
+            return plan;
+        }
+        // Cap at the partitioning actually needed and at the fills available.
+        let needed = (a_cache - i64::from(b.cache_budget)).max(0);
+        let fwb_target = (fwb_scaled / den).min(needed);
+        if fwb_target <= rm {
+            plan.n_fwb = fwb_target.max(0) as u32;
+            plan.n_sfrm = self.sfrm_count(a_mm, 0, 0);
+            return plan;
+        }
+        plan.n_fwb = rm as u32;
+
+        // --- Write Bypass (Eq. 7): (den+num).N_WB = den.A_MS$ - num.A_MM - den.Rm.
+        let wb_scaled = den * a_cache - num * a_mm - den * rm;
+        if wb_scaled <= 0 {
+            plan.n_sfrm = self.sfrm_count(a_mm, 0, 0);
+            return plan;
+        }
+        let wb_cap_scaled = ((num + den) * wm).min((num + den) * mm_headroom);
+        if wb_scaled <= wb_cap_scaled {
+            plan.wb_scaled = wb_scaled as u32;
+            plan.n_sfrm = self.sfrm_count(a_mm, i64::from(plan.n_wb()), 0);
+            return plan;
+        }
+        plan.wb_scaled = wb_cap_scaled.max(0) as u32;
+
+        // --- Informed Forced Read Miss (Eq. 8, after folding in the write
+        // bypasses): (den+num).N_IFRM = den.A_MS$ - num.(A_MM + Wm)
+        //                               - den.(Rm + Wm).
+        let ifrm_scaled = den * a_cache - num * (a_mm + wm) - den * (rm + wm);
+        if ifrm_scaled > 0 {
+            let ifrm_headroom = mm_headroom - i64::from(plan.n_wb());
+            let cap_scaled = ((num + den) * i64::from(stats.clean_read_hits))
+                .min((num + den) * ifrm_headroom.max(0));
+            plan.ifrm_scaled = ifrm_scaled.min(cap_scaled).max(0) as u32;
+        }
+
+        plan.n_sfrm = self.sfrm_count(a_mm, wm, i64::from(plan.n_ifrm()));
+        plan
+    }
+
+    /// `N_SFRM = 0.8 (B_MM.W - A_MM - N_WB - N_IFRM)`, clamped at zero.
+    fn sfrm_count(&self, a_mm: i64, n_wb: i64, n_ifrm: i64) -> u32 {
+        let headroom = i64::from(self.budget.mm_budget) - a_mm - n_wb - n_ifrm;
+        if headroom <= 0 {
+            0
+        } else {
+            (headroom * 4 / 5) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Default HBM (102.4 GB/s) + DDR4 (38.4 GB/s), W=64, E=0.75, 4 GHz.
+    /// cache_budget = 19, mm_budget = 7, K = 11/4.
+    fn hbm_budget() -> WindowBudget {
+        WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75)
+    }
+
+    fn solver() -> SectoredDapSolver {
+        SectoredDapSolver::new(hbm_budget())
+    }
+
+    #[test]
+    fn no_partitioning_when_cache_has_headroom() {
+        let stats = WindowStats {
+            cache_accesses: 10,
+            mm_accesses: 3,
+            ..Default::default()
+        };
+        assert!(solver().solve(&stats).is_idle());
+    }
+
+    #[test]
+    fn no_partitioning_when_mm_is_bottleneck() {
+        // A_MS$ > budget but K.A_MM already exceeds A_MS$: N_FWB < 0 => exit.
+        let stats = WindowStats {
+            cache_accesses: 25,
+            mm_accesses: 20,
+            ..Default::default()
+        };
+        assert!(solver().solve(&stats).is_idle());
+    }
+
+    #[test]
+    fn fwb_alone_when_fills_suffice() {
+        // A_MS$ = 30, A_MM = 2: eq gives N_FWB = 30 - 2.75*2 = 24 (floored);
+        // needed = 30 - 19 = 11; Rm = 12 fills available => FWB only.
+        let stats = WindowStats {
+            cache_accesses: 30,
+            mm_accesses: 2,
+            read_misses: 12,
+            writes: 4,
+            clean_read_hits: 5,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert_eq!(plan.n_fwb, 11, "capped at the needed partitioning");
+        assert_eq!(plan.n_wb(), 0);
+        assert_eq!(plan.n_ifrm(), 0);
+        // MM headroom 7 - 2 = 5 -> 0.8 * 5 = 4 speculative forced misses.
+        assert_eq!(plan.n_sfrm, 4);
+    }
+
+    #[test]
+    fn escalates_to_write_bypass_when_fills_run_out() {
+        // A_MS$ = 40, A_MM = 2, Rm = 3 fills, Wm = 10 writes.
+        // FWB eq = 40 - 5 = 35, needed = 21, > Rm => FWB = 3.
+        // WB scaled: 4*40 - 11*2 - 4*3 = 126, but capped by the main-memory
+        // headroom (7 - 2 = 5 writes): 15*5 = 75 => N_WB = 5.
+        let stats = WindowStats {
+            cache_accesses: 40,
+            mm_accesses: 2,
+            read_misses: 3,
+            writes: 10,
+            clean_read_hits: 20,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert_eq!(plan.n_fwb, 3);
+        assert_eq!(plan.wb_scaled, 75);
+        assert_eq!(plan.n_wb(), 5);
+        assert_eq!(plan.n_ifrm(), 0, "headroom exhausted by WB, so no IFRM");
+    }
+
+    #[test]
+    fn escalates_to_ifrm_when_writes_run_out() {
+        // A_MS$ = 60, A_MM = 2, Rm = 3, Wm = 4 (cap), plenty of clean hits.
+        // WB scaled = 4*60 - 22 - 12 = 206 > 15*4 = 60 => N_WB = 4.
+        // IFRM eq gives 146 scaled, but only 7-2-4 = 1 main-memory access
+        // of headroom remains => N_IFRM = 1.
+        let stats = WindowStats {
+            cache_accesses: 60,
+            mm_accesses: 2,
+            read_misses: 3,
+            writes: 4,
+            clean_read_hits: 30,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert_eq!(plan.n_fwb, 3);
+        assert_eq!(plan.n_wb(), 4);
+        assert_eq!(plan.ifrm_scaled, 15);
+        assert_eq!(plan.n_ifrm(), 1);
+    }
+
+    #[test]
+    fn ifrm_capped_by_clean_hits() {
+        // Only one clean hit available: even with headroom, IFRM <= clean.
+        let stats = WindowStats {
+            cache_accesses: 60,
+            mm_accesses: 0,
+            read_misses: 3,
+            writes: 4,
+            clean_read_hits: 1,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        assert_eq!(plan.n_ifrm(), 1);
+    }
+
+    #[test]
+    fn sfrm_reserves_twenty_percent_headroom() {
+        // With WB+IFRM traffic eating MM budget, SFRM shrinks accordingly.
+        let stats = WindowStats {
+            cache_accesses: 60,
+            mm_accesses: 2,
+            read_misses: 3,
+            writes: 4,
+            clean_read_hits: 30,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        // headroom = 7 - 2 - 4 (WB) - 9 (IFRM) = -8 => no SFRM.
+        assert_eq!(plan.n_sfrm, 0);
+    }
+
+    #[test]
+    fn sfrm_positive_when_mm_idle() {
+        let stats = WindowStats {
+            cache_accesses: 25,
+            mm_accesses: 0,
+            read_misses: 10,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        // needed = 6, all from FWB; headroom = 7 -> 0.8*7 = 5 (floor).
+        assert_eq!(plan.n_fwb, 6);
+        assert_eq!(plan.n_sfrm, 5);
+    }
+
+    #[test]
+    fn balance_improves_toward_optimal_ratio() {
+        // After applying the plan, the access split should move toward
+        // B_MS$/B_MM = 11/4: cache' / mm' ~ K.
+        let stats = WindowStats {
+            cache_accesses: 100,
+            mm_accesses: 4,
+            read_misses: 20,
+            writes: 30,
+            clean_read_hits: 40,
+            ..Default::default()
+        };
+        let plan = solver().solve(&stats);
+        let moved = plan.n_fwb + plan.n_wb() + plan.n_ifrm();
+        let cache_after = f64::from(stats.cache_accesses - moved);
+        let mm_after = f64::from(stats.mm_accesses + plan.n_wb() + plan.n_ifrm());
+        let ratio_before = f64::from(stats.cache_accesses) / f64::from(stats.mm_accesses);
+        let ratio_after = cache_after / mm_after;
+        let k = 2.75;
+        assert!(
+            (ratio_after - k).abs() < (ratio_before - k).abs(),
+            "ratio should move toward K: before {ratio_before}, after {ratio_after}"
+        );
+    }
+
+    #[test]
+    fn zero_traffic_window_is_idle() {
+        assert!(solver().solve(&WindowStats::default()).is_idle());
+    }
+}

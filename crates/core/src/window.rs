@@ -1,0 +1,190 @@
+//! Per-window observation state.
+//!
+//! DAP divides execution into windows of `W` CPU cycles. During window `N`
+//! the hardware counts the accesses demanded from each bandwidth source;
+//! at the window boundary those counts are fed to a solver which computes
+//! the partitioning credits for window `N + 1`.
+
+use crate::ratio::Ratio;
+
+/// Access counts observed during one window.
+///
+/// All counts are in 64-byte accesses. `cache_accesses` is the paper's
+/// `A_MS$` — *everything* demanded from the memory-side cache: read hits,
+/// writes (L3 dirty evictions), fill writes, reads for dirty evictions, and
+/// metadata traffic. `mm_accesses` is `A_MM`: read misses plus dirty
+/// evictions written to main memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// `A_MS$`: total accesses demanded from the memory-side cache.
+    pub cache_accesses: u32,
+    /// `A_MS$-R`: accesses demanded from the cache's *read* channels (only
+    /// meaningful for split-channel eDRAM caches; zero otherwise).
+    pub cache_read_accesses: u32,
+    /// `A_MS$-W`: accesses demanded from the cache's *write* channels (only
+    /// meaningful for split-channel eDRAM caches; zero otherwise).
+    pub cache_write_accesses: u32,
+    /// `A_MM`: accesses demanded from main memory.
+    pub mm_accesses: u32,
+    /// `Rm`: read misses in the memory-side cache (each implies a fill).
+    pub read_misses: u32,
+    /// `Wm`: writes arriving at the memory-side cache (L3 dirty evictions).
+    pub writes: u32,
+    /// Read hits to *clean* lines (IFRM candidates).
+    pub clean_read_hits: u32,
+}
+
+impl WindowStats {
+    /// A window with no traffic.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another window's counts into this one (used when aggregating
+    /// statistics across windows for reporting).
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.cache_accesses += other.cache_accesses;
+        self.cache_read_accesses += other.cache_read_accesses;
+        self.cache_write_accesses += other.cache_write_accesses;
+        self.mm_accesses += other.mm_accesses;
+        self.read_misses += other.read_misses;
+        self.writes += other.writes;
+        self.clean_read_hits += other.clean_read_hits;
+    }
+}
+
+/// Per-window access budgets derived from source bandwidths.
+///
+/// `B_MS$ . W` and `B_MM . W` from the paper, discounted by the bandwidth
+/// efficiency `E` (the paper's default is 0.75: row-buffer misses, scheduler
+/// slack, and write-induced turnarounds keep effective bandwidth below peak).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBudget {
+    /// Window length in CPU cycles (`W`).
+    pub window_cycles: u32,
+    /// Accesses the memory-side cache can serve per window (`E.B_MS$.W`).
+    pub cache_budget: u32,
+    /// Accesses each split channel set can serve per window, when the cache
+    /// has independent read and write channels; equals `cache_budget` for
+    /// single-bus caches.
+    pub cache_channel_budget: u32,
+    /// Accesses main memory can serve per window (`E.B_MM.W`).
+    pub mm_budget: u32,
+    /// `K = B_MS$ / B_MM` as hardware-friendly rational.
+    pub k: Ratio,
+}
+
+impl WindowBudget {
+    /// Derives budgets from GB/s bandwidths and a CPU frequency.
+    ///
+    /// `split_channel_gbps` is `Some(per-direction GB/s)` for eDRAM-style
+    /// caches with independent read/write channels; `cache_gbps` should then
+    /// be the per-direction bandwidth as well (the paper's `B_MS$-R =
+    /// B_MS$-W = B_MS$` assumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or the window length is non-positive, or if
+    /// `efficiency` is outside `(0, 1]`.
+    pub fn from_gbps(
+        cache_gbps: f64,
+        split_channel_gbps: Option<f64>,
+        mm_gbps: f64,
+        cpu_ghz: f64,
+        window_cycles: u32,
+        efficiency: f64,
+    ) -> Self {
+        assert!(
+            cache_gbps > 0.0 && mm_gbps > 0.0 && cpu_ghz > 0.0,
+            "rates must be positive"
+        );
+        assert!(window_cycles > 0, "window must be non-empty");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        let accesses_per_window = |gbps: f64| -> u32 {
+            let per_cycle = gbps * 1e9 / 64.0 / (cpu_ghz * 1e9);
+            (efficiency * per_cycle * f64::from(window_cycles)).floor() as u32
+        };
+        let cache_budget = accesses_per_window(cache_gbps).max(1);
+        let cache_channel_budget = split_channel_gbps
+            .map(|g| accesses_per_window(g).max(1))
+            .unwrap_or(cache_budget);
+        let mm_budget = accesses_per_window(mm_gbps).max(1);
+        Self {
+            window_cycles,
+            cache_budget,
+            cache_channel_budget,
+            mm_budget,
+            k: Ratio::approximate(cache_gbps / mm_gbps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hbm_budget_matches_hand_calculation() {
+        // 102.4 GB/s @ 4 GHz = 0.4 accesses/cycle; W=64, E=0.75 -> 19.
+        // 38.4 GB/s -> 0.15/cycle -> 7 (floor of 7.2).
+        let b = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75);
+        assert_eq!(b.cache_budget, 19);
+        assert_eq!(b.mm_budget, 7);
+        assert_eq!(b.cache_channel_budget, 19);
+        assert_eq!((b.k.numerator(), b.k.denominator()), (11, 4));
+    }
+
+    #[test]
+    fn split_channel_budget_tracks_per_direction_rate() {
+        let b = WindowBudget::from_gbps(51.2, Some(51.2), 38.4, 4.0, 64, 0.75);
+        // 51.2 GB/s @4GHz = 0.2/cycle; *64*0.75 = 9.6 -> 9.
+        assert_eq!(b.cache_channel_budget, 9);
+        assert_eq!(b.cache_budget, 9);
+    }
+
+    #[test]
+    fn full_efficiency_raises_budgets() {
+        let b = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 1.0);
+        assert_eq!(b.cache_budget, 25); // floor(0.4 * 64)
+        assert_eq!(b.mm_budget, 9); // floor(0.15 * 64)
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = WindowStats {
+            cache_accesses: 1,
+            mm_accesses: 2,
+            ..Default::default()
+        };
+        let b = WindowStats {
+            cache_accesses: 10,
+            cache_read_accesses: 3,
+            cache_write_accesses: 4,
+            mm_accesses: 20,
+            read_misses: 5,
+            writes: 6,
+            clean_read_hits: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_accesses, 11);
+        assert_eq!(a.mm_accesses, 22);
+        assert_eq!(a.clean_read_hits, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in (0, 1]")]
+    fn zero_efficiency_rejected() {
+        let _ = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.0);
+    }
+
+    #[test]
+    fn tiny_budgets_clamped_to_one() {
+        // Pathologically slow source still yields a budget of at least one
+        // access so partitioning arithmetic never divides by zero.
+        let b = WindowBudget::from_gbps(0.1, None, 0.1, 4.0, 4, 0.5);
+        assert!(b.cache_budget >= 1 && b.mm_budget >= 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-workload probe: baseline vs DAP stats for selected clones.
+use experiments::runner::{run_mix, PolicyKind};
+use mem_sim::SystemConfig;
+use workloads::{rate_mix, spec};
+
+fn probe_modules(config: &mem_sim::SystemConfig, mix: &workloads::Mix, instr: u64) {
+    use experiments::runner::build_policy;
+    let mut sys = mem_sim::System::with_policy(
+        config.clone(),
+        mix.traces(),
+        build_policy(PolicyKind::Baseline, config),
+    );
+    let r = sys.run(instr);
+    let cycles = r.per_core.iter().map(|c| c.cycles).max().unwrap() as f64;
+    let ms = sys.memory().ms_dram_stats().unwrap();
+    let mm = sys.memory().main_memory().stats();
+    let gbps = |cas: u64| cas as f64 * 64.0 / (cycles / 4e9) / 1e9;
+    println!(
+        "    modules: ms {:.1} GB/s (rowhit {:.2}) mm {:.1} GB/s (rowhit {:.2}) over {:.1}M cyc",
+        gbps(ms.cas_total()),
+        ms.row_hit_rate(),
+        gbps(mm.cas_total()),
+        mm.row_hit_rate(),
+        cycles / 1e6,
+    );
+}
+
+fn main() {
+    let instr: u64 = std::env::var("DAP_INSTRUCTIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_500_000);
+    let config = SystemConfig::sectored_dram_cache(8);
+    for name in [
+        "mcf",
+        "omnetpp",
+        "libquantum",
+        "hpcg",
+        "gcc.expr",
+        "parboil-lbm",
+    ] {
+        let mix = rate_mix(spec(name).unwrap(), 8);
+        probe_modules(&config, &mix, instr);
+        for kind in [PolicyKind::Baseline, PolicyKind::Dap] {
+            let r = run_mix(&config, kind, &mix, instr);
+            let s = &r.stats;
+            println!(
+                "{name:14} {kind:?}: IPC {:.3} hit {:.3} mmfrac {:.3} tagmiss {:.3} lat {:.0} mpki {:.1} meta {} dr {}",
+                r.total_ipc(), s.ms_hit_ratio(), s.mm_cas_fraction(),
+                s.tag_cache_miss_ratio(), s.avg_read_latency(), r.l3_mpki(),
+                s.metadata_cas, s.demand_reads,
+            );
+            if let Some(d) = r.dap_decisions {
+                println!(
+                    "                mix {:?} windows {}/{}",
+                    d.mix(),
+                    d.windows_partitioned,
+                    d.windows_total
+                );
+            }
+        }
+    }
+}

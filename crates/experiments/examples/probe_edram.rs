@@ -1,0 +1,23 @@
+//! eDRAM-specific probe.
+use experiments::runner::{run_mix, PolicyKind};
+use mem_sim::SystemConfig;
+use workloads::{rate_mix, spec};
+
+fn main() {
+    let instr: u64 = 600_000;
+    for cap in [256u64, 512] {
+        let config = SystemConfig::edram_cache(8, cap);
+        for name in ["libquantum", "sjeng", "parboil-lbm"] {
+            let mix = rate_mix(spec(name).unwrap(), 8);
+            for kind in [PolicyKind::Baseline, PolicyKind::Dap] {
+                let r = run_mix(&config, kind, &mix, instr);
+                let s = &r.stats;
+                println!(
+                    "{cap}MB {name:12} {kind:?}: IPC {:.3} hit {:.3} mmfrac {:.3} lat {:.0} fwb {} wb {} ifrm {}",
+                    r.total_ipc(), s.ms_hit_ratio(), s.mm_cas_fraction(), s.avg_read_latency(),
+                    s.fills_bypassed, s.writes_bypassed, s.forced_read_misses,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 1 eDRAM anomaly probe.
+use mem_sim::trace::TraceSource;
+use mem_sim::{System, SystemConfig};
+use workloads::ReadKernel;
+
+fn main() {
+    for hit in [0.5, 1.0] {
+        let mut config = SystemConfig::edram_cache(8, 2048);
+        config.prefetch_degree = std::env::var("PF").map(|v| v.parse().unwrap()).unwrap_or(2);
+        let cores = config.cores;
+        let traces: Vec<Box<dyn TraceSource>> = (0..cores)
+            .map(|i| {
+                Box::new(ReadKernel::new(
+                    0x1000_0000 + (i as u64) * ((1 << 36) + 0x31_1000),
+                    1 << 20,
+                    hit,
+                    i as u64 + 1,
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        let mut system = System::new(config, traces);
+        let r = system.run(1_200_000);
+        let s = &r.stats;
+        let cycles = r.per_core.iter().map(|c| c.cycles).max().unwrap();
+        println!(
+            "h={hit}: cycles {} l3acc {} l3miss {} dr {} ms_cas {} mm_cas {} hit {:.3}",
+            cycles,
+            s.l3_accesses,
+            s.l3_misses,
+            s.demand_reads,
+            s.ms_cas,
+            s.mm_cas,
+            s.ms_hit_ratio()
+        );
+        let ipcs: Vec<String> = r
+            .per_core
+            .iter()
+            .map(|c| format!("{:.3}", c.ipc()))
+            .collect();
+        println!("  per-core IPC: {}", ipcs.join(" "));
+    }
+}

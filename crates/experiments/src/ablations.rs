@@ -1,0 +1,231 @@
+//! Ablation studies for the design choices DESIGN.md calls out, beyond
+//! the paper's own Table I (window size / efficiency):
+//!
+//! * [`ablation_thread_aware`] — the thread-aware IFRM extension the paper
+//!   sketches in Section IV-A, on mixes of latency-sensitive and
+//!   bandwidth-hungry threads;
+//! * [`ablation_write_batch`] — the DRAM write-batching depth (channel
+//!   turnaround amortization vs read-blocking bursts);
+//! * [`ablation_prefetch_degree`] — the cores' stride-prefetch degree
+//!   (bandwidth demand shaping upstream of DAP).
+
+use mem_sim::dram::{DramConfig, RefreshTiming};
+use mem_sim::{CacheKind, SystemConfig};
+use workloads::heterogeneous_mixes;
+
+use crate::metrics::{FigureResult, Row};
+use crate::runner::{run_workload, AloneIpcCache, PolicyKind};
+
+use crate::figures::sensitive_mixes;
+
+/// Thread-aware IFRM vs plain DAP on the heterogeneous (dissimilar) mixes,
+/// where latency-sensitive and bandwidth-hungry threads share the system.
+/// Columns: normalized weighted speedup of each variant, and the *minimum*
+/// per-core speedup (a fairness floor: thread-aware IFRM protects the
+/// latency-sensitive threads' hits).
+pub fn ablation_thread_aware(instructions: u64) -> FigureResult {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mut alone = AloneIpcCache::new();
+    let mut rows = Vec::new();
+    // The dissimilar mixes are the second half of the heterogeneous set.
+    for mix in heterogeneous_mixes().into_iter().skip(13).take(7) {
+        let base = run_workload(
+            &config,
+            PolicyKind::Baseline,
+            &mix,
+            instructions,
+            &mut alone,
+        );
+        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
+        let ta = run_workload(
+            &config,
+            PolicyKind::ThreadAwareDap,
+            &mix,
+            instructions,
+            &mut alone,
+        );
+        let floor = |r: &crate::runner::WorkloadRun| {
+            r.result
+                .per_core
+                .iter()
+                .zip(&base.result.per_core)
+                .map(|(a, b)| a.ipc() / b.ipc())
+                .fold(f64::INFINITY, f64::min)
+        };
+        rows.push(Row::new(
+            mix.name.clone(),
+            vec![
+                dap.weighted_speedup / base.weighted_speedup,
+                ta.weighted_speedup / base.weighted_speedup,
+                floor(&dap),
+                floor(&ta),
+            ],
+        ));
+    }
+    FigureResult {
+        id: "Ablation A",
+        title: "Thread-aware IFRM vs plain DAP on dissimilar mixes".into(),
+        columns: vec![
+            "DAP WS".into(),
+            "TA-DAP WS".into(),
+            "DAP floor".into(),
+            "TA floor".into(),
+        ],
+        rows,
+        summary: vec![],
+    }
+    .with_geomean()
+}
+
+/// DRAM write-batch depth sweep: 4 / 16 (default) / 64 buffered writes per
+/// drain, baseline and DAP geomean speedups over the depth-16 baseline.
+pub fn ablation_write_batch(instructions: u64) -> FigureResult {
+    let mut alone = AloneIpcCache::new();
+    let reference = SystemConfig::sectored_dram_cache(8);
+    let mut rows = Vec::new();
+    for batch in [4usize, 16, 64] {
+        let mut config = reference.clone();
+        config.mm.write_batch = batch;
+        if let CacheKind::Sectored { dram, .. } = &mut config.cache {
+            let mut d: DramConfig = dram.clone();
+            d.write_batch = batch;
+            *dram = d;
+        }
+        let mut base_ws = Vec::new();
+        let mut dap_ws = Vec::new();
+        for mix in sensitive_mixes(8).into_iter().take(4) {
+            let refr = run_workload(
+                &reference,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let base = run_workload(
+                &config,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
+            base_ws.push(base.weighted_speedup / refr.weighted_speedup);
+            dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
+        }
+        rows.push(Row::new(
+            format!("batch={batch}"),
+            vec![
+                crate::metrics::geomean(base_ws),
+                crate::metrics::geomean(dap_ws),
+            ],
+        ));
+    }
+    FigureResult {
+        id: "Ablation B",
+        title: "Write-batch depth: baseline and DAP vs the depth-16 baseline".into(),
+        columns: vec!["baseline WS".into(), "DAP WS".into()],
+        rows,
+        summary: vec![],
+    }
+}
+
+/// DRAM refresh on/off: the presets fold refresh into the bandwidth
+/// efficiency `E` (as the paper does); this ablation models it explicitly
+/// (JEDEC tREFI/tRFC) on both the cache array and main memory and checks
+/// that DAP's benefit survives the extra pressure.
+pub fn ablation_refresh(instructions: u64) -> FigureResult {
+    let mut alone = AloneIpcCache::new();
+    let reference = SystemConfig::sectored_dram_cache(8);
+    let mut rows = Vec::new();
+    for enabled in [false, true] {
+        let mut config = reference.clone();
+        if enabled {
+            config.mm = config.mm.with_refresh(RefreshTiming::ddr4());
+            if let CacheKind::Sectored { dram, .. } = &mut config.cache {
+                *dram = dram.clone().with_refresh(RefreshTiming::ddr4());
+            }
+        }
+        let mut base_ws = Vec::new();
+        let mut dap_ws = Vec::new();
+        for mix in sensitive_mixes(8).into_iter().take(4) {
+            let refr = run_workload(
+                &reference,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let base = run_workload(
+                &config,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
+            base_ws.push(base.weighted_speedup / refr.weighted_speedup);
+            dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
+        }
+        rows.push(Row::new(
+            if enabled { "refresh on" } else { "refresh off" },
+            vec![
+                crate::metrics::geomean(base_ws),
+                crate::metrics::geomean(dap_ws),
+            ],
+        ));
+    }
+    FigureResult {
+        id: "Ablation E",
+        title: "Explicit DRAM refresh: baseline and DAP vs the no-refresh baseline".into(),
+        columns: vec!["baseline WS".into(), "DAP WS".into()],
+        rows,
+        summary: vec![],
+    }
+}
+
+/// Stride-prefetch degree sweep {0, 2, 4}: how upstream bandwidth demand
+/// shaping changes what DAP has to work with.
+pub fn ablation_prefetch_degree(instructions: u64) -> FigureResult {
+    let mut alone = AloneIpcCache::new();
+    let reference = SystemConfig::sectored_dram_cache(8);
+    let mut rows = Vec::new();
+    for degree in [0u32, 2, 4] {
+        let mut config = reference.clone();
+        config.prefetch_degree = degree;
+        let mut base_ws = Vec::new();
+        let mut dap_ws = Vec::new();
+        for mix in sensitive_mixes(8).into_iter().take(4) {
+            let refr = run_workload(
+                &reference,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let base = run_workload(
+                &config,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
+            base_ws.push(base.weighted_speedup / refr.weighted_speedup);
+            dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
+        }
+        rows.push(Row::new(
+            format!("degree={degree}"),
+            vec![
+                crate::metrics::geomean(base_ws),
+                crate::metrics::geomean(dap_ws),
+            ],
+        ));
+    }
+    FigureResult {
+        id: "Ablation C",
+        title: "Stride-prefetch degree: baseline and DAP vs the degree-2 baseline".into(),
+        columns: vec!["baseline WS".into(), "DAP WS".into()],
+        rows,
+        summary: vec![],
+    }
+}

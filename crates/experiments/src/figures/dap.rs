@@ -1,0 +1,167 @@
+//! Section VI-A DAP-on-sectored-cache experiments: Fig. 6, 7, 8, Table I.
+
+use mem_sim::SystemConfig;
+
+use crate::metrics::{geomean, FigureResult, Row};
+use crate::runner::{build_policy_with, run_workload, AloneIpcCache, PolicyKind};
+
+use super::sensitive_mixes;
+
+/// Fig. 6: DAP's weighted speedup over the optimized baseline (top panel)
+/// and its normalized average L3 read-miss latency (bottom panel).
+pub fn fig06_dap_sectored(instructions: u64) -> FigureResult {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mut alone = AloneIpcCache::new();
+    let mut rows = Vec::new();
+    for mix in sensitive_mixes(8) {
+        let base = run_workload(
+            &config,
+            PolicyKind::Baseline,
+            &mix,
+            instructions,
+            &mut alone,
+        );
+        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
+        rows.push(Row::new(
+            mix.name.clone(),
+            vec![
+                dap.weighted_speedup / base.weighted_speedup,
+                dap.result.stats.avg_read_latency() / base.result.stats.avg_read_latency(),
+            ],
+        ));
+    }
+    FigureResult {
+        id: "Fig. 6",
+        title: "DAP on the sectored DRAM cache: speedup and normalized L3 read-miss latency".into(),
+        columns: vec!["norm. WS".into(), "norm. latency".into()],
+        rows,
+        summary: vec![],
+    }
+    .with_geomean()
+}
+
+/// Fig. 7: the share of DAP decisions contributed by each technique.
+pub fn fig07_decision_mix(instructions: u64) -> FigureResult {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mut rows = Vec::new();
+    let mut totals = [0.0f64; 4];
+    let mut counted = 0usize;
+    for mix in sensitive_mixes(8) {
+        let r = crate::runner::run_mix(&config, PolicyKind::Dap, &mix, instructions);
+        let d = r.dap_decisions.expect("DAP ran");
+        let mix_shares = d.mix();
+        if d.total_decisions() > 0 {
+            for (t, m) in totals.iter_mut().zip(mix_shares) {
+                *t += m;
+            }
+            counted += 1;
+        }
+        rows.push(Row::new(mix.name.clone(), mix_shares.to_vec()));
+    }
+    let mean: Vec<f64> = totals.iter().map(|t| t / counted.max(1) as f64).collect();
+    FigureResult {
+        id: "Fig. 7",
+        title: "Contribution of FWB / WB / IFRM / SFRM to DAP decisions".into(),
+        columns: vec!["FWB".into(), "WB".into(), "IFRM".into(), "SFRM".into()],
+        rows,
+        summary: vec![("MEAN".into(), mean)],
+    }
+}
+
+/// Fig. 8: the fraction of CAS operations served by main memory (top:
+/// baseline vs DAP; optimal is `B_MM/(B_MM+B_MS$)` = 0.27) and the
+/// memory-side cache hit ratio (bottom: baseline, FWB+WB only, full DAP).
+pub fn fig08_cas_fraction(instructions: u64) -> FigureResult {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mut alone = AloneIpcCache::new();
+    let mut rows = Vec::new();
+    for mix in sensitive_mixes(8) {
+        let base = run_workload(
+            &config,
+            PolicyKind::Baseline,
+            &mix,
+            instructions,
+            &mut alone,
+        );
+        let fwb_wb = run_workload(
+            &config,
+            PolicyKind::DapFwbWbOnly,
+            &mix,
+            instructions,
+            &mut alone,
+        );
+        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
+        rows.push(Row::new(
+            mix.name.clone(),
+            vec![
+                base.result.stats.mm_cas_fraction(),
+                dap.result.stats.mm_cas_fraction(),
+                base.result.stats.ms_hit_ratio(),
+                fwb_wb.result.stats.ms_hit_ratio(),
+                dap.result.stats.ms_hit_ratio(),
+            ],
+        ));
+    }
+    FigureResult {
+        id: "Fig. 8",
+        title: "Main-memory CAS fraction (optimal 0.27) and memory-side cache hit ratio".into(),
+        columns: vec![
+            "MM CAS base".into(),
+            "MM CAS DAP".into(),
+            "hit base".into(),
+            "hit FWB+WB".into(),
+            "hit DAP".into(),
+        ],
+        rows,
+        summary: vec![],
+    }
+    .with_mean()
+}
+
+/// Table I: geometric-mean DAP speedup while sweeping the window size
+/// `W in {32, 64, 128}` (at `E = 0.75`) and the bandwidth efficiency
+/// `E in {0.5, 0.75, 1.0}` (at `W = 64`).
+pub fn table1_w_e_sensitivity(instructions: u64) -> FigureResult {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mut alone = AloneIpcCache::new();
+
+    let mut sweep = |window: u32, efficiency: f64| -> f64 {
+        let mut ratios = Vec::new();
+        for mix in sensitive_mixes(8) {
+            let base = run_workload(
+                &config,
+                PolicyKind::Baseline,
+                &mix,
+                instructions,
+                &mut alone,
+            );
+            let policy = build_policy_with(PolicyKind::Dap, &config, window, efficiency);
+            let mut system = mem_sim::System::with_policy(config.clone(), mix.traces(), policy);
+            let result = system.run(instructions);
+            let alone_ipcs: Vec<f64> = mix
+                .specs
+                .iter()
+                .map(|_| 1.0) // homogeneous rate mixes: alone IPC cancels
+                .collect();
+            let ws = result.weighted_speedup(&alone_ipcs);
+            let ws_base = base.result.weighted_speedup(&vec![1.0; mix.specs.len()]);
+            ratios.push(ws / ws_base);
+        }
+        geomean(ratios)
+    };
+
+    let rows = vec![
+        Row::new("W=32 E=0.75", vec![sweep(32, 0.75)]),
+        Row::new("W=64 E=0.75", vec![sweep(64, 0.75)]),
+        Row::new("W=128 E=0.75", vec![sweep(128, 0.75)]),
+        Row::new("W=64 E=0.50", vec![sweep(64, 0.50)]),
+        Row::new("W=64 E=1.00", vec![sweep(64, 1.00)]),
+    ];
+    FigureResult {
+        id: "Table I",
+        title: "DAP speedup sensitivity to window size W and bandwidth efficiency E".into(),
+        columns: vec!["geomean norm. WS".into()],
+        rows,
+        summary: vec![],
+    }
+}

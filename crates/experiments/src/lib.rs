@@ -1,0 +1,30 @@
+//! # experiments — the paper's evaluation, experiment by experiment
+//!
+//! One function per figure/table of the paper's evaluation (Sections II,
+//! V, VI). Each returns a [`FigureResult`]: named rows of named columns
+//! plus summary statistics, with a `Display` implementation that prints
+//! the same series the paper plots. The `dap-bench` crate exposes one
+//! binary per experiment.
+//!
+//! All experiments take an `instructions` budget per core; larger budgets
+//! reduce warmup bias. The deterministic workloads make every run
+//! reproducible.
+//!
+//! ```no_run
+//! use experiments::figures;
+//! // Regenerate Fig. 6 (DAP on the sectored DRAM cache) at a small budget:
+//! let fig = figures::fig06_dap_sectored(100_000);
+//! println!("{fig}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod metrics;
+pub mod runner;
+
+pub use metrics::{geomean, FigureResult, Row};
+pub use runner::{run_mix, run_workload, PolicyKind, WorkloadRun};

@@ -1,0 +1,184 @@
+//! Result containers and summary statistics.
+
+use std::fmt;
+
+/// One row of an experiment result (usually one benchmark or mix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (benchmark name, mix name, parameter value).
+    pub name: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// A reproduced figure or table: columns, per-benchmark rows, and summary
+/// lines (means), printable as an aligned text table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Paper identifier, e.g. "Fig. 6".
+    pub id: &'static str,
+    /// Human-readable description.
+    pub title: String,
+    /// Column headers (not counting the row-name column).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Summary lines, e.g. ("GMEAN", 1.15).
+    pub summary: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureResult {
+    /// Appends the geometric-mean summary over all rows (per column).
+    pub fn with_geomean(mut self) -> Self {
+        let cols = self.columns.len();
+        let gm: Vec<f64> = (0..cols)
+            .map(|c| geomean(self.rows.iter().map(|r| r.values[c])))
+            .collect();
+        self.summary.push(("GMEAN".to_string(), gm));
+        self
+    }
+
+    /// Appends the arithmetic-mean summary over all rows (per column).
+    pub fn with_mean(mut self) -> Self {
+        let cols = self.columns.len();
+        let n = self.rows.len().max(1) as f64;
+        let mean: Vec<f64> = (0..cols)
+            .map(|c| self.rows.iter().map(|r| r.values[c]).sum::<f64>() / n)
+            .collect();
+        self.summary.push(("MEAN".to_string(), mean));
+        self
+    }
+
+    /// Looks up a row by name.
+    pub fn row(&self, name: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// A summary value by label and column.
+    pub fn summary_value(&self, label: &str, column: usize) -> Option<f64> {
+        self.summary
+            .iter()
+            .find(|(l, _)| l == label)
+            .and_then(|(_, v)| v.get(column))
+            .copied()
+    }
+}
+
+impl fmt::Display for FigureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — {}", self.id, self.title)?;
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(self.summary.iter().map(|(l, _)| l.len()))
+            .chain(std::iter::once(9))
+            .max()
+            .unwrap_or(9);
+        write!(f, "{:name_w$}", "workload")?;
+        for c in &self.columns {
+            write!(f, "  {c:>14}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:name_w$}", r.name)?;
+            for v in &r.values {
+                write!(f, "  {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        for (label, values) in &self.summary {
+            write!(f, "{label:name_w$}")?;
+            for v in values {
+                write!(f, "  {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Geometric mean of an iterator of positive values (0.0 if empty).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean needs positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        let g = geomean([2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean([]), 0.0);
+    }
+
+    #[test]
+    fn figure_result_summaries() {
+        let fig = FigureResult {
+            id: "Fig. X",
+            title: "test".into(),
+            columns: vec!["a".into()],
+            rows: vec![Row::new("w1", vec![2.0]), Row::new("w2", vec![8.0])],
+            summary: vec![],
+        }
+        .with_geomean()
+        .with_mean();
+        assert!((fig.summary_value("GMEAN", 0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((fig.summary_value("MEAN", 0).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let fig = FigureResult {
+            id: "Fig. Y",
+            title: "render".into(),
+            columns: vec!["speedup".into()],
+            rows: vec![Row::new("mcf", vec![1.25])],
+            summary: vec![("GMEAN".into(), vec![1.25])],
+        };
+        let s = fig.to_string();
+        assert!(s.contains("mcf"));
+        assert!(s.contains("1.2500"));
+        assert!(s.contains("GMEAN"));
+    }
+
+    #[test]
+    fn row_lookup() {
+        let fig = FigureResult {
+            id: "Fig. Z",
+            title: "lookup".into(),
+            columns: vec![],
+            rows: vec![Row::new("hpcg", vec![])],
+            summary: vec![],
+        };
+        assert!(fig.row("hpcg").is_some());
+        assert!(fig.row("absent").is_none());
+    }
+}

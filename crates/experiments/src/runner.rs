@@ -1,0 +1,297 @@
+//! Shared experiment machinery: policy construction, mix execution, and
+//! weighted-speedup bookkeeping (with cached alone-run IPCs).
+
+use std::collections::HashMap;
+
+use dap_core::DapConfig;
+use mem_sim::clock::Cycle;
+use mem_sim::{
+    CacheKind, DapPolicy, NoPartitioning, Observation, Partitioner, ReadContext, ReadRoute,
+    RunResult, System, SystemConfig, ThreadAwareDap, WriteRoute,
+};
+use policies::{Batman, Sbd, SbdVariant};
+use workloads::{rate_mode, Mix};
+
+/// Which access-partitioning policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// No partitioning (the optimized baseline).
+    Baseline,
+    /// Full DAP (FWB + WB + IFRM + SFRM / write-through).
+    Dap,
+    /// DAP restricted to FWB and WB (the Fig. 8 ablation).
+    DapFwbWbOnly,
+    /// Thread-aware DAP: IFRM prefers latency-insensitive threads
+    /// (the extension Section IV-A sketches).
+    ThreadAwareDap,
+    /// Self-balancing dispatch.
+    Sbd,
+    /// SBD without forced write-outs.
+    SbdWt,
+    /// BATMAN hit-rate modulation.
+    Batman,
+}
+
+/// Derives the DAP controller configuration implied by a system
+/// configuration (architecture, bandwidths, CPU clock).
+///
+/// # Panics
+///
+/// Panics if the system has no memory-side cache.
+pub fn dap_config_for(config: &SystemConfig, window: u32, efficiency: f64) -> DapConfig {
+    let mm_gbps = config.mm.peak_gbps();
+    let base = DapConfig {
+        window_cycles: window,
+        efficiency,
+        mm_gbps,
+        cpu_ghz: config.cpu_ghz(),
+        ..DapConfig::hbm_ddr4()
+    };
+    match &config.cache {
+        CacheKind::None | CacheKind::FlatTier { .. } => {
+            panic!("DAP request steering needs a memory-side cache")
+        }
+        CacheKind::Sectored { dram, .. } => DapConfig {
+            architecture: dap_core::CacheArchitecture::SingleBus,
+            cache_gbps: dram.peak_gbps(),
+            split_channel_gbps: None,
+            ..base
+        },
+        CacheKind::Alloy { dram, .. } => DapConfig {
+            architecture: dap_core::CacheArchitecture::Alloy,
+            cache_gbps: dram.peak_gbps() * 2.0 / 3.0,
+            split_channel_gbps: None,
+            ..base
+        },
+        CacheKind::Edram { direction, .. } => DapConfig {
+            architecture: dap_core::CacheArchitecture::SplitChannel,
+            cache_gbps: direction.peak_gbps(),
+            split_channel_gbps: Some(direction.peak_gbps()),
+            ..base
+        },
+    }
+}
+
+/// DAP with IFRM/SFRM disabled (the paper's "FWB+WB" ablation bars).
+#[derive(Debug, Clone)]
+struct FwbWbOnly(DapPolicy);
+
+impl Partitioner for FwbWbOnly {
+    fn tick(&mut self, now: Cycle) {
+        self.0.tick(now);
+    }
+    fn observe(&mut self, event: Observation, now: Cycle) {
+        self.0.observe(event, now);
+    }
+    fn route_read(&mut self, _ctx: &ReadContext) -> ReadRoute {
+        ReadRoute::Lookup
+    }
+    fn force_clean_hit(&mut self, _ctx: &ReadContext) -> bool {
+        false
+    }
+    fn route_write(&mut self, block: u64, now: Cycle, hit: bool) -> WriteRoute {
+        self.0.route_write(block, now, hit)
+    }
+    fn allow_fill(&mut self, block: u64, now: Cycle) -> bool {
+        self.0.allow_fill(block, now)
+    }
+    fn dap_decisions(&self) -> Option<dap_core::DecisionStats> {
+        self.0.dap_decisions()
+    }
+}
+
+/// Builds a policy instance for a system (default window 64, E = 0.75).
+pub fn build_policy(kind: PolicyKind, config: &SystemConfig) -> Box<dyn Partitioner> {
+    build_policy_with(kind, config, 64, 0.75)
+}
+
+/// Builds a policy with explicit DAP window/efficiency parameters.
+pub fn build_policy_with(
+    kind: PolicyKind,
+    config: &SystemConfig,
+    window: u32,
+    efficiency: f64,
+) -> Box<dyn Partitioner> {
+    match kind {
+        PolicyKind::Baseline => Box::new(NoPartitioning),
+        PolicyKind::Dap => Box::new(DapPolicy::new(dap_config_for(config, window, efficiency))),
+        PolicyKind::DapFwbWbOnly => Box::new(FwbWbOnly(DapPolicy::new(dap_config_for(
+            config, window, efficiency,
+        )))),
+        PolicyKind::ThreadAwareDap => Box::new(ThreadAwareDap::new(
+            dap_config_for(config, window, efficiency),
+            config.cores,
+        )),
+        PolicyKind::Sbd => Box::new(Sbd::new(SbdVariant::Original)),
+        PolicyKind::SbdWt => Box::new(Sbd::new(SbdVariant::WriteThroughOnly)),
+        PolicyKind::Batman => {
+            let (sets, cache_gbps) = match &config.cache {
+                CacheKind::Sectored {
+                    capacity_bytes,
+                    sector_bytes,
+                    ways,
+                    dram,
+                    ..
+                } => (
+                    capacity_bytes / sector_bytes / *ways as u64,
+                    dram.peak_gbps(),
+                ),
+                CacheKind::Alloy {
+                    capacity_bytes,
+                    dram,
+                    ..
+                } => (capacity_bytes / 64, dram.peak_gbps()),
+                CacheKind::Edram {
+                    capacity_bytes,
+                    sector_bytes,
+                    ways,
+                    direction,
+                } => (
+                    capacity_bytes / sector_bytes / *ways as u64,
+                    direction.peak_gbps(),
+                ),
+                CacheKind::None | CacheKind::FlatTier { .. } => {
+                    panic!("BATMAN needs a set-organized memory-side cache")
+                }
+            };
+            Box::new(Batman::new(sets, cache_gbps, config.mm.peak_gbps()))
+        }
+    }
+}
+
+/// Runs one mix under one policy.
+pub fn run_mix(config: &SystemConfig, kind: PolicyKind, mix: &Mix, instructions: u64) -> RunResult {
+    let policy = build_policy(kind, config);
+    let mut system = System::with_policy(config.clone(), mix.traces(), policy);
+    system.run(instructions)
+}
+
+/// A mix run together with its weighted speedup.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// The raw simulation outcome.
+    pub result: RunResult,
+    /// `sum_i(IPC_i / IPC_alone_i)` with alone runs on the same system
+    /// configuration (baseline policy, one core).
+    pub weighted_speedup: f64,
+}
+
+/// Cache of alone-run IPCs keyed by (configuration fingerprint, benchmark).
+#[derive(Debug, Default)]
+pub struct AloneIpcCache {
+    map: HashMap<(String, &'static str), f64>,
+}
+
+impl AloneIpcCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&mut self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {
+        let key = (format!("{config:?}"), bench);
+        if let Some(&v) = self.map.get(&key) {
+            return v;
+        }
+        let mut alone_config = config.clone();
+        alone_config.cores = 1;
+        let spec = workloads::spec(bench).expect("known benchmark");
+        let mut system = System::new(alone_config, rate_mode(spec, 1));
+        let ipc = system.run(instructions).per_core[0].ipc();
+        self.map.insert(key, ipc);
+        ipc
+    }
+}
+
+/// Runs a mix and computes its weighted speedup, caching alone IPCs.
+pub fn run_workload(
+    config: &SystemConfig,
+    kind: PolicyKind,
+    mix: &Mix,
+    instructions: u64,
+    alone: &mut AloneIpcCache,
+) -> WorkloadRun {
+    let result = run_mix(config, kind, mix, instructions);
+    let alone_ipcs: Vec<f64> = mix
+        .specs
+        .iter()
+        .map(|s| alone.get(config, s.name, instructions))
+        .collect();
+    let weighted_speedup = result.weighted_speedup(&alone_ipcs);
+    WorkloadRun {
+        result,
+        weighted_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{rate_mix, spec};
+
+    const INSTR: u64 = 30_000;
+
+    #[test]
+    fn dap_config_matches_architecture() {
+        let c = SystemConfig::sectored_dram_cache(8);
+        let d = dap_config_for(&c, 64, 0.75);
+        assert_eq!(d.architecture, dap_core::CacheArchitecture::SingleBus);
+        assert!((d.cache_gbps - 102.4).abs() < 1e-9);
+        assert!((d.mm_gbps - 38.4).abs() < 1e-9);
+
+        let e = dap_config_for(&SystemConfig::edram_cache(8, 256), 64, 0.75);
+        assert_eq!(e.architecture, dap_core::CacheArchitecture::SplitChannel);
+        assert_eq!(e.split_channel_gbps, Some(51.2));
+
+        let a = dap_config_for(&SystemConfig::alloy_cache(8), 64, 0.75);
+        assert_eq!(a.architecture, dap_core::CacheArchitecture::Alloy);
+        assert!((a.cache_gbps - 102.4 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_policy_kind_builds_and_runs() {
+        let config = SystemConfig::sectored_dram_cache(2);
+        let mix = rate_mix(spec("libquantum").unwrap(), 2);
+        for kind in [
+            PolicyKind::Baseline,
+            PolicyKind::Dap,
+            PolicyKind::DapFwbWbOnly,
+            PolicyKind::Sbd,
+            PolicyKind::SbdWt,
+            PolicyKind::Batman,
+        ] {
+            let r = run_mix(&config, kind, &mix, INSTR);
+            assert_eq!(r.per_core.len(), 2, "{kind:?}");
+            assert!(
+                r.per_core.iter().all(|c| c.instructions == INSTR),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alone_cache_reuses_runs() {
+        let config = SystemConfig::sectored_dram_cache(2);
+        let mix = rate_mix(spec("libquantum").unwrap(), 2);
+        let mut cache = AloneIpcCache::new();
+        let a = run_workload(&config, PolicyKind::Baseline, &mix, INSTR, &mut cache);
+        assert_eq!(cache.map.len(), 1, "one benchmark, one alone run");
+        let b = run_workload(&config, PolicyKind::Baseline, &mix, INSTR, &mut cache);
+        assert_eq!(cache.map.len(), 1);
+        assert!(
+            (a.weighted_speedup - b.weighted_speedup).abs() < 1e-12,
+            "deterministic"
+        );
+        assert!(a.weighted_speedup > 0.0);
+    }
+
+    #[test]
+    fn fwb_wb_only_never_forces_misses() {
+        let config = SystemConfig::sectored_dram_cache(8);
+        let mix = rate_mix(spec("libquantum").unwrap(), 8);
+        let r = run_mix(&config, PolicyKind::DapFwbWbOnly, &mix, 60_000);
+        let d = r.dap_decisions.expect("dap stats available");
+        assert_eq!(d.ifrm, 0);
+        assert_eq!(d.sfrm, 0);
+    }
+}

@@ -1,0 +1,9 @@
+//! SRAM cache structures: a generic set-associative array used for the
+//! L1/L2/L3 hierarchy, the DRAM-cache tag cache, the dirty-bit cache, and
+//! the sector directories of the memory-side caches.
+
+mod replacement;
+mod set_assoc;
+
+pub use replacement::ReplacementKind;
+pub use set_assoc::{Eviction, SetAssocCache};

@@ -1,0 +1,394 @@
+//! A generic set-associative cache directory.
+//!
+//! Keys are abstract line indices (block addresses, sector indices, DBC
+//! stretch ids, ...). Each line can carry a payload `P` — footprint bit
+//! vectors, dirty-bit vectors, tag-cache metadata — which is returned to the
+//! caller on eviction so writeback side effects can be modeled.
+
+use super::replacement::ReplacementKind;
+
+#[derive(Debug, Clone)]
+struct Line<P> {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    nru_ref: bool,
+    last_use: u64,
+    payload: P,
+}
+
+/// A line evicted by [`SetAssocCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction<P> {
+    /// The key the evicted line was inserted under.
+    pub key: u64,
+    /// Whether the line was dirty.
+    pub dirty: bool,
+    /// The line's payload.
+    pub payload: P,
+}
+
+/// A set-associative cache directory with LRU or NRU replacement.
+///
+/// ```
+/// use mem_sim::cache::{ReplacementKind, SetAssocCache};
+/// let mut c: SetAssocCache<()> = SetAssocCache::new(4, 2, ReplacementKind::Lru);
+/// assert!(c.insert(42, (), false).is_none());
+/// assert!(c.lookup(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<P> {
+    sets: u64,
+    ways: usize,
+    lines: Vec<Line<P>>,
+    policy: ReplacementKind,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<P: Default + Clone> SetAssocCache<P> {
+    /// Creates an empty cache with `sets x ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: u64, ways: usize, policy: ReplacementKind) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        let lines = vec![
+            Line {
+                tag: 0,
+                valid: false,
+                dirty: false,
+                nru_ref: false,
+                last_use: 0,
+                payload: P::default()
+            };
+            (sets as usize) * ways
+        ];
+        Self {
+            sets,
+            ways,
+            lines,
+            policy,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Lifetime (hits, misses) counts from `lookup`/`lookup_payload`.
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn set_range(&self, key: u64) -> (usize, u64) {
+        let set = (key % self.sets) as usize;
+        let tag = key / self.sets;
+        (set * self.ways, tag)
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        let set_base = idx - idx % self.ways;
+        self.lines[idx].last_use = self.tick;
+        self.lines[idx].nru_ref = true;
+        if self.policy == ReplacementKind::Nru {
+            let all_set = (set_base..set_base + self.ways)
+                .all(|i| !self.lines[i].valid || self.lines[i].nru_ref);
+            if all_set {
+                for i in set_base..set_base + self.ways {
+                    if i != idx {
+                        self.lines[i].nru_ref = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn find(&self, key: u64) -> Option<usize> {
+        let (base, tag) = self.set_range(key);
+        (base..base + self.ways).find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Probes for `key`, updating replacement state and hit/miss counters.
+    pub fn lookup(&mut self, key: u64) -> bool {
+        match self.find(key) {
+            Some(i) => {
+                self.hits += 1;
+                self.touch(i);
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Probes for `key` and returns mutable access to its payload on a hit.
+    pub fn lookup_payload(&mut self, key: u64) -> Option<&mut P> {
+        match self.find(key) {
+            Some(i) => {
+                self.hits += 1;
+                self.touch(i);
+                Some(&mut self.lines[i].payload)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without perturbing replacement state or counters.
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Returns the payload without perturbing replacement state.
+    pub fn peek(&self, key: u64) -> Option<&P> {
+        self.find(key).map(|i| &self.lines[i].payload)
+    }
+
+    /// Returns the payload mutably without perturbing replacement state.
+    pub fn peek_mut(&mut self, key: u64) -> Option<&mut P> {
+        self.find(key).map(|i| &mut self.lines[i].payload)
+    }
+
+    /// Whether the line holding `key` is dirty.
+    pub fn is_dirty(&self, key: u64) -> bool {
+        self.find(key).map(|i| self.lines[i].dirty).unwrap_or(false)
+    }
+
+    /// Marks the line holding `key` dirty; returns `false` if absent.
+    pub fn mark_dirty(&mut self, key: u64) -> bool {
+        if let Some(i) = self.find(key) {
+            self.lines[i].dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `key`, evicting a victim if the set is full. If `key` is
+    /// already present its payload and dirty bit are replaced (dirty is
+    /// OR-ed) and no eviction occurs.
+    pub fn insert(&mut self, key: u64, payload: P, dirty: bool) -> Option<Eviction<P>> {
+        let (base, tag) = self.set_range(key);
+        if let Some(i) = self.find(key) {
+            self.lines[i].payload = payload;
+            self.lines[i].dirty |= dirty;
+            self.touch(i);
+            return None;
+        }
+        // Prefer an invalid way.
+        let victim = (base..base + self.ways)
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| self.pick_victim(base));
+        let line = &mut self.lines[victim];
+        let evicted = if line.valid {
+            Some(Eviction {
+                key: line.tag * self.sets + (base / self.ways) as u64,
+                dirty: line.dirty,
+                payload: std::mem::take(&mut line.payload),
+            })
+        } else {
+            None
+        };
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = dirty;
+        line.nru_ref = false;
+        line.payload = payload;
+        self.touch(victim);
+        evicted
+    }
+
+    fn pick_victim(&self, base: usize) -> usize {
+        match self.policy {
+            ReplacementKind::Lru => (base..base + self.ways)
+                .min_by_key(|&i| self.lines[i].last_use)
+                .expect("non-empty set"),
+            ReplacementKind::Nru => (base..base + self.ways)
+                .find(|&i| !self.lines[i].nru_ref)
+                .unwrap_or(base),
+        }
+    }
+
+    /// Invalidates `key`; returns the evicted line if it was present.
+    pub fn invalidate(&mut self, key: u64) -> Option<Eviction<P>> {
+        let i = self.find(key)?;
+        let line = &mut self.lines[i];
+        line.valid = false;
+        Some(Eviction {
+            key,
+            dirty: std::mem::replace(&mut line.dirty, false),
+            payload: std::mem::take(&mut line.payload),
+        })
+    }
+
+    /// Invalidates every line in set `set_index` (used by BATMAN's set
+    /// disabling), returning the dirty lines that must be written back.
+    pub fn invalidate_set(&mut self, set_index: u64) -> Vec<Eviction<P>> {
+        assert!(set_index < self.sets, "set index out of range");
+        let base = (set_index as usize) * self.ways;
+        let mut out = Vec::new();
+        for i in base..base + self.ways {
+            if self.lines[i].valid {
+                self.lines[i].valid = false;
+                out.push(Eviction {
+                    key: self.lines[i].tag * self.sets + set_index,
+                    dirty: std::mem::replace(&mut self.lines[i].dirty, false),
+                    payload: std::mem::take(&mut self.lines[i].payload),
+                });
+            }
+        }
+        out
+    }
+
+    /// Peeks every valid line in `key`'s set without perturbing replacement
+    /// state: (reconstructed key, dirty, payload reference).
+    pub fn peek_set(&self, key: u64) -> Vec<(u64, bool, &P)> {
+        let (base, _) = self.set_range(key);
+        let set = (base / self.ways) as u64;
+        (base..base + self.ways)
+            .filter(|&i| self.lines[i].valid)
+            .map(|i| {
+                (
+                    self.lines[i].tag * self.sets + set,
+                    self.lines[i].dirty,
+                    &self.lines[i].payload,
+                )
+            })
+            .collect()
+    }
+
+    /// Number of valid lines (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: u64, ways: usize, policy: ReplacementKind) -> SetAssocCache<u32> {
+        SetAssocCache::new(sets, ways, policy)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = cache(16, 4, ReplacementKind::Lru);
+        c.insert(100, 7, false);
+        assert!(c.lookup(100));
+        assert_eq!(c.peek(100), Some(&7));
+        assert_eq!(c.hit_miss_counts(), (1, 0));
+    }
+
+    #[test]
+    fn miss_on_absent() {
+        let mut c = cache(16, 4, ReplacementKind::Lru);
+        assert!(!c.lookup(100));
+        assert_eq!(c.hit_miss_counts(), (0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = cache(1, 2, ReplacementKind::Lru);
+        c.insert(0, 0, false);
+        c.insert(1, 1, false);
+        c.lookup(0); // 1 is now LRU
+        let ev = c.insert(2, 2, false).expect("eviction");
+        assert_eq!(ev.key, 1);
+        assert!(c.contains(0) && c.contains(2) && !c.contains(1));
+    }
+
+    #[test]
+    fn eviction_reconstructs_key() {
+        let mut c = cache(8, 1, ReplacementKind::Lru);
+        c.insert(3 + 8 * 5, 0, true); // set 3, tag 5
+        let ev = c.insert(3 + 8 * 9, 0, false).expect("conflict eviction");
+        assert_eq!(ev.key, 3 + 8 * 5);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced_victim() {
+        let mut c = cache(1, 4, ReplacementKind::Nru);
+        for k in 0..4 {
+            c.insert(k, k as u32, false);
+        }
+        // Touch 0..3 except 2.
+        c.lookup(0);
+        c.lookup(1);
+        c.lookup(3);
+        let ev = c.insert(10, 10, false).expect("eviction");
+        assert_eq!(ev.key, 2, "the not-recently-used line is the victim");
+    }
+
+    #[test]
+    fn nru_clears_bits_when_all_referenced() {
+        let mut c = cache(1, 2, ReplacementKind::Nru);
+        c.insert(0, 0, false);
+        c.insert(1, 1, false);
+        c.lookup(0);
+        c.lookup(1); // all referenced: bits clear except line 1
+        let ev = c.insert(2, 2, false).expect("eviction");
+        assert_eq!(ev.key, 0);
+    }
+
+    #[test]
+    fn reinsert_updates_payload_and_ors_dirty() {
+        let mut c = cache(4, 2, ReplacementKind::Lru);
+        c.insert(5, 1, true);
+        assert!(c.insert(5, 2, false).is_none());
+        assert_eq!(c.peek(5), Some(&2));
+        assert!(c.is_dirty(5), "dirty bit must be sticky across re-insert");
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_state() {
+        let mut c = cache(4, 2, ReplacementKind::Lru);
+        c.insert(5, 1, false);
+        c.mark_dirty(5);
+        let ev = c.invalidate(5).expect("line present");
+        assert!(ev.dirty);
+        assert!(!c.contains(5));
+    }
+
+    #[test]
+    fn invalidate_set_flushes_everything() {
+        let mut c = cache(2, 2, ReplacementKind::Lru);
+        c.insert(0, 0, true); // set 0
+        c.insert(2, 1, false); // set 0
+        c.insert(1, 2, false); // set 1
+        let evs = c.invalidate_set(0);
+        assert_eq!(evs.len(), 2);
+        assert!(c.contains(1));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn fills_all_ways_before_evicting() {
+        let mut c = cache(2, 4, ReplacementKind::Lru);
+        for i in 0..4 {
+            assert!(
+                c.insert(i * 2, 0, false).is_none(),
+                "way {i} should be free"
+            );
+        }
+        assert!(c.insert(8, 0, false).is_some());
+    }
+}

@@ -1,0 +1,82 @@
+//! Clock-domain conversion.
+//!
+//! Everything in the simulator is accounted in CPU cycles. DRAM devices run
+//! on their own clocks; [`ClockScale`] converts device-clock latencies into
+//! CPU cycles once, at configuration time.
+
+/// A CPU cycle count. The simulator's one notion of time.
+pub type Cycle = u64;
+
+/// Converts device clocks to CPU cycles.
+///
+/// ```
+/// use mem_sim::clock::ClockScale;
+/// // 4 GHz CPU, DDR4-2400 command clock (1200 MHz):
+/// let s = ClockScale::new(4000.0, 1200.0);
+/// assert_eq!(s.to_cpu(15), 50); // tCAS=15 -> 50 CPU cycles
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockScale {
+    cpu_mhz: f64,
+    device_mhz: f64,
+}
+
+impl ClockScale {
+    /// Creates a converter between a CPU clock and a device clock, both in
+    /// MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is not positive.
+    pub fn new(cpu_mhz: f64, device_mhz: f64) -> Self {
+        assert!(
+            cpu_mhz > 0.0 && device_mhz > 0.0,
+            "frequencies must be positive"
+        );
+        Self {
+            cpu_mhz,
+            device_mhz,
+        }
+    }
+
+    /// Converts a device-clock count to CPU cycles (rounded to nearest).
+    pub fn to_cpu(&self, device_cycles: u32) -> Cycle {
+        (f64::from(device_cycles) * self.cpu_mhz / self.device_mhz).round() as Cycle
+    }
+
+    /// CPU cycles per device cycle, as a float (for fractional bursts).
+    pub fn ratio(&self) -> f64 {
+        self.cpu_mhz / self.device_mhz
+    }
+
+    /// The CPU frequency in MHz.
+    pub fn cpu_mhz(&self) -> f64 {
+        self.cpu_mhz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_2400_timing_conversion() {
+        let s = ClockScale::new(4000.0, 1200.0);
+        assert_eq!(s.to_cpu(15), 50);
+        assert_eq!(s.to_cpu(39), 130); // tRAS
+        assert!((s.ratio() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hbm_800_conversion() {
+        let s = ClockScale::new(4000.0, 800.0);
+        assert_eq!(s.to_cpu(10), 50);
+        assert_eq!(s.to_cpu(2), 10); // BL4 = 2 device clocks
+    }
+
+    #[test]
+    #[should_panic(expected = "frequencies must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockScale::new(0.0, 1200.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! DRAM device models: DDR4 / LPDDR4 main memory, HBM DRAM-cache arrays,
+//! and eDRAM arrays, all with per-bank row-buffer state and burst-occupied
+//! data buses.
+
+mod channel;
+mod module;
+mod timing;
+
+pub use channel::Channel;
+pub use module::{DramModule, DramStats};
+pub use timing::{DramConfig, RefreshTiming, ResolvedTiming};

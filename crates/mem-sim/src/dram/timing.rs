@@ -1,0 +1,322 @@
+//! DRAM device configurations, with the paper's evaluated parts as presets.
+
+use crate::clock::{ClockScale, Cycle};
+
+/// Refresh parameters (JEDEC-style all-bank refresh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshTiming {
+    /// Average refresh interval in device clocks (tREFI, ~7.8 us).
+    pub t_refi: u32,
+    /// Refresh cycle time in device clocks (tRFC: the bank group is
+    /// unavailable for this long per refresh).
+    pub t_rfc: u32,
+}
+
+impl RefreshTiming {
+    /// DDR4 defaults: tREFI = 7.8 us, tRFC = 350 ns at a 1200 MHz command
+    /// clock.
+    pub fn ddr4() -> Self {
+        Self {
+            t_refi: 9360,
+            t_rfc: 420,
+        }
+    }
+}
+
+/// Static description of a DRAM module (all channels identical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Human-readable part name.
+    pub name: &'static str,
+    /// Device command clock in MHz.
+    pub device_mhz: f64,
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Banks per channel (across all ranks; rank-level parallelism is folded
+    /// into the bank count).
+    pub banks_per_channel: u32,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Device clocks a 64-byte transfer occupies the data bus.
+    pub burst_clocks: u32,
+    /// tCAS in device clocks.
+    pub t_cas: u32,
+    /// tRCD in device clocks.
+    pub t_rcd: u32,
+    /// tRP in device clocks.
+    pub t_rp: u32,
+    /// tRAS in device clocks.
+    pub t_ras: u32,
+    /// Extra I/O / board delay charged per access, in *CPU* cycles (the
+    /// paper charges ten 1.2 GHz cycles on main memory).
+    pub io_delay_cpu: Cycle,
+    /// Writes are buffered and drained in batches of this size to reduce
+    /// channel turnarounds.
+    pub write_batch: usize,
+    /// Periodic refresh, if modeled. All presets default to `None`: the
+    /// paper folds refresh (like other scheduler inefficiencies) into the
+    /// bandwidth-efficiency factor `E`. Enable explicitly to study refresh
+    /// pressure (cf. MicroRefresh, MEMSYS 2016, in the paper's related
+    /// work).
+    pub refresh: Option<RefreshTiming>,
+}
+
+impl DramConfig {
+    /// The paper's default main memory: dual-channel DDR4-2400, two ranks x
+    /// eight banks, 2 KB rows, 15-15-15-39, burst length 8, ten 1.2 GHz
+    /// cycles of I/O delay (33 CPU cycles at 4 GHz).
+    pub fn ddr4_2400() -> Self {
+        Self {
+            name: "DDR4-2400",
+            device_mhz: 1200.0,
+            channels: 2,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            burst_clocks: 4,
+            t_cas: 15,
+            t_rcd: 15,
+            t_rp: 15,
+            t_ras: 39,
+            io_delay_cpu: 33,
+            write_batch: 16,
+            refresh: None,
+        }
+    }
+
+    /// The default part with all board/I/O latency removed (Fig. 9's second
+    /// bar).
+    pub fn ddr4_2400_no_io() -> Self {
+        Self {
+            name: "DDR4-2400 w/o I/O",
+            io_delay_cpu: 0,
+            ..Self::ddr4_2400()
+        }
+    }
+
+    /// Quad-channel LPDDR4-2400 (32-bit channels, burst length 16),
+    /// 24-24-24-53: same 38.4 GB/s bandwidth but ~70% higher row-hit
+    /// latency (Fig. 9's third bar).
+    pub fn lpddr4_2400() -> Self {
+        Self {
+            name: "LPDDR4-2400",
+            device_mhz: 1200.0,
+            channels: 4,
+            banks_per_channel: 8,
+            row_bytes: 2048,
+            burst_clocks: 8,
+            t_cas: 24,
+            t_rcd: 24,
+            t_rp: 24,
+            t_ras: 53,
+            io_delay_cpu: 33,
+            write_batch: 16,
+            refresh: None,
+        }
+    }
+
+    /// Dual-channel DDR4-3200 20-20-20-52: 51.2 GB/s at the default part's
+    /// latency (Fig. 9's fourth bar; also the 16-core system's memory).
+    pub fn ddr4_3200() -> Self {
+        Self {
+            name: "DDR4-3200",
+            device_mhz: 1600.0,
+            channels: 2,
+            banks_per_channel: 16,
+            t_cas: 20,
+            t_rcd: 20,
+            t_rp: 20,
+            t_ras: 52,
+            ..Self::ddr4_2400()
+        }
+    }
+
+    /// The paper's default DRAM-cache array: JEDEC HBM, four 128-bit
+    /// channels at 800 MHz (102.4 GB/s), 16 banks, 2 KB rows, 10-10-10-26,
+    /// burst length 4.
+    pub fn hbm_102() -> Self {
+        Self {
+            name: "HBM 102.4 GB/s",
+            device_mhz: 800.0,
+            channels: 4,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            burst_clocks: 2,
+            t_cas: 10,
+            t_rcd: 10,
+            t_rp: 10,
+            t_ras: 26,
+            io_delay_cpu: 0,
+            write_batch: 16,
+            refresh: None,
+        }
+    }
+
+    /// HBM at 1 GHz with 12-12-12-32 — the paper's 128 GB/s point.
+    pub fn hbm_128() -> Self {
+        Self {
+            name: "HBM 128 GB/s",
+            device_mhz: 1000.0,
+            t_cas: 12,
+            t_rcd: 12,
+            t_rp: 12,
+            t_ras: 32,
+            ..Self::hbm_102()
+        }
+    }
+
+    /// Eight-channel HBM at 800 MHz — the paper's 204.8 GB/s point.
+    pub fn hbm_204() -> Self {
+        Self {
+            name: "HBM 204.8 GB/s",
+            channels: 8,
+            ..Self::hbm_102()
+        }
+    }
+
+    /// One direction of the sectored eDRAM cache: 51.2 GB/s, with an access
+    /// latency about two-thirds of the main memory's page-hit latency.
+    pub fn edram_direction() -> Self {
+        Self {
+            name: "eDRAM 51.2 GB/s",
+            device_mhz: 800.0,
+            channels: 2,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            burst_clocks: 2,
+            t_cas: 7,
+            t_rcd: 7,
+            t_rp: 7,
+            t_ras: 18,
+            io_delay_cpu: 0,
+            write_batch: 16,
+            refresh: None,
+        }
+    }
+
+    /// Enables JEDEC-style periodic refresh on this part.
+    pub fn with_refresh(mut self, refresh: RefreshTiming) -> Self {
+        self.refresh = Some(refresh);
+        self
+    }
+
+    /// Peak bandwidth in GB/s implied by the channel/burst parameters.
+    pub fn peak_gbps(&self) -> f64 {
+        let per_channel = 64.0 * self.device_mhz * 1e6 / f64::from(self.burst_clocks) / 1e9;
+        per_channel * f64::from(self.channels)
+    }
+
+    /// Resolves device-clock timings into CPU cycles.
+    pub fn resolve(&self, cpu_mhz: f64) -> ResolvedTiming {
+        let s = ClockScale::new(cpu_mhz, self.device_mhz);
+        ResolvedTiming {
+            cas: s.to_cpu(self.t_cas),
+            rcd: s.to_cpu(self.t_rcd),
+            rp: s.to_cpu(self.t_rp),
+            ras: s.to_cpu(self.t_ras),
+            burst: s.to_cpu(self.burst_clocks).max(1),
+            io: self.io_delay_cpu,
+            refresh: self
+                .refresh
+                .map(|r| (s.to_cpu(r.t_refi).max(1), s.to_cpu(r.t_rfc))),
+        }
+    }
+}
+
+/// Device timings resolved to CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedTiming {
+    /// Column access latency.
+    pub cas: Cycle,
+    /// Row-to-column delay.
+    pub rcd: Cycle,
+    /// Precharge latency.
+    pub rp: Cycle,
+    /// Row-active minimum.
+    pub ras: Cycle,
+    /// Data-bus occupancy of one 64-byte transfer.
+    pub burst: Cycle,
+    /// Per-access I/O delay.
+    pub io: Cycle,
+    /// `(tREFI, tRFC)` in CPU cycles, when refresh is modeled.
+    pub refresh: Option<(Cycle, Cycle)>,
+}
+
+impl ResolvedTiming {
+    /// Latency of a row-buffer hit read (excluding queueing and I/O).
+    pub fn row_hit(&self) -> Cycle {
+        self.cas + self.burst
+    }
+
+    /// Latency of a row-buffer conflict read.
+    pub fn row_conflict(&self) -> Cycle {
+        self.rp + self.rcd + self.cas + self.burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_bandwidths_match_paper() {
+        assert!((DramConfig::ddr4_2400().peak_gbps() - 38.4).abs() < 1e-9);
+        assert!((DramConfig::ddr4_3200().peak_gbps() - 51.2).abs() < 1e-9);
+        assert!((DramConfig::lpddr4_2400().peak_gbps() - 38.4).abs() < 1e-9);
+        assert!((DramConfig::hbm_102().peak_gbps() - 102.4).abs() < 1e-9);
+        assert!((DramConfig::hbm_128().peak_gbps() - 128.0).abs() < 1e-9);
+        assert!((DramConfig::hbm_204().peak_gbps() - 204.8).abs() < 1e-9);
+        assert!((DramConfig::edram_direction().peak_gbps() - 51.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr4_timing_resolves_to_cpu_cycles() {
+        let t = DramConfig::ddr4_2400().resolve(4000.0);
+        assert_eq!(t.cas, 50);
+        assert_eq!(t.burst, 13);
+        assert_eq!(t.io, 33);
+        assert_eq!(t.row_hit(), 63);
+        assert_eq!(t.row_conflict(), 163);
+    }
+
+    #[test]
+    fn lpddr4_row_hit_is_much_slower_than_ddr4() {
+        let ddr = DramConfig::ddr4_2400().resolve(4000.0);
+        let lp = DramConfig::lpddr4_2400().resolve(4000.0);
+        let ratio = lp.row_hit() as f64 / ddr.row_hit() as f64;
+        assert!(ratio > 1.5, "LPDDR4 should be ~70% slower: got {ratio}");
+    }
+
+    #[test]
+    fn refresh_defaults_off_on_all_presets() {
+        for cfg in [
+            DramConfig::ddr4_2400(),
+            DramConfig::ddr4_3200(),
+            DramConfig::lpddr4_2400(),
+            DramConfig::hbm_102(),
+            DramConfig::edram_direction(),
+        ] {
+            assert!(
+                cfg.refresh.is_none(),
+                "{} must not refresh by default",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_timing_resolves() {
+        let cfg = DramConfig::ddr4_2400().with_refresh(RefreshTiming::ddr4());
+        let t = cfg.resolve(4000.0);
+        let (refi, rfc) = t.refresh.expect("refresh resolved");
+        assert_eq!(refi, 31200); // 9360 device clocks at 10/3
+        assert_eq!(rfc, 1400);
+    }
+
+    #[test]
+    fn edram_latency_is_about_two_thirds_of_mm_page_hit() {
+        let mm = DramConfig::ddr4_2400().resolve(4000.0);
+        let ed = DramConfig::edram_direction().resolve(4000.0);
+        let ratio = ed.row_hit() as f64 / mm.row_hit() as f64;
+        assert!((ratio - 2.0 / 3.0).abs() < 0.1, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Dirty-Bit Cache (DBC) for the Alloy cache (Section IV-B).
+//!
+//! Each entry tracks the dirty bits of a *stretch* of 64 consecutive
+//! direct-mapped Alloy sets. A read that finds its set's bit clear may be
+//! forced to main memory (IFRM) without fetching the TAD. The structure is
+//! 32K entries, four ways, twelve bytes per entry, borrowing one way of the
+//! L3 cache; lookups take five cycles.
+
+use crate::cache::{ReplacementKind, SetAssocCache};
+use crate::clock::Cycle;
+
+/// Sets covered by one DBC entry.
+const STRETCH: u64 = 64;
+
+/// The dirty-bit cache.
+#[derive(Debug, Clone)]
+pub struct DirtyBitCache {
+    entries: SetAssocCache<u64>,
+    latency: Cycle,
+}
+
+impl DirtyBitCache {
+    /// The paper's configuration: 32K entries, 4 ways, 5-cycle lookup.
+    pub fn paper_default() -> Self {
+        Self::new(32 * 1024, 4, 5)
+    }
+
+    /// Creates a DBC with `entries` total entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways`.
+    pub fn new(entries: u64, ways: usize, latency: Cycle) -> Self {
+        assert!(
+            entries % ways as u64 == 0,
+            "entries must divide evenly into ways"
+        );
+        Self {
+            entries: SetAssocCache::new(entries / ways as u64, ways, ReplacementKind::Lru),
+            latency,
+        }
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    fn split(alloy_set: u64) -> (u64, u32) {
+        (alloy_set / STRETCH, (alloy_set % STRETCH) as u32)
+    }
+
+    /// Probes the DBC for an Alloy set. Returns:
+    ///
+    /// * `Some(false)` — entry resident, set known clean (IFRM candidate),
+    /// * `Some(true)` — entry resident, set dirty,
+    /// * `None` — entry not resident (state unknown; no IFRM).
+    pub fn probe(&mut self, alloy_set: u64) -> Option<bool> {
+        let (stretch, bit) = Self::split(alloy_set);
+        self.entries
+            .lookup_payload(stretch)
+            .map(|bits| *bits >> bit & 1 == 1)
+    }
+
+    /// Records that a set's block became dirty (a write hit the Alloy
+    /// cache). Allocates the stretch entry if needed.
+    pub fn mark_dirty(&mut self, alloy_set: u64) {
+        let (stretch, bit) = Self::split(alloy_set);
+        if let Some(bits) = self.entries.peek_mut(stretch) {
+            *bits |= 1 << bit;
+        } else {
+            self.entries.insert(stretch, 1 << bit, false);
+        }
+    }
+
+    /// Records that a set's block became clean (written back or replaced by
+    /// a clean fill).
+    pub fn mark_clean(&mut self, alloy_set: u64) {
+        let (stretch, bit) = Self::split(alloy_set);
+        if let Some(bits) = self.entries.peek_mut(stretch) {
+            *bits &= !(1 << bit);
+        } else {
+            self.entries.insert(stretch, 0, false);
+        }
+    }
+
+    /// (hits, misses) counters of probes.
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        self.entries.hit_miss_counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_before_any_marking() {
+        let mut dbc = DirtyBitCache::paper_default();
+        assert_eq!(dbc.probe(100), None);
+    }
+
+    #[test]
+    fn dirty_then_clean_transitions() {
+        let mut dbc = DirtyBitCache::paper_default();
+        dbc.mark_dirty(100);
+        assert_eq!(dbc.probe(100), Some(true));
+        dbc.mark_clean(100);
+        assert_eq!(dbc.probe(100), Some(false));
+    }
+
+    #[test]
+    fn stretch_covers_64_sets() {
+        let mut dbc = DirtyBitCache::paper_default();
+        dbc.mark_dirty(64); // allocates stretch 1
+        assert_eq!(
+            dbc.probe(65),
+            Some(false),
+            "same stretch, different set: known clean"
+        );
+        assert_eq!(dbc.probe(63), None, "different stretch: unknown");
+    }
+
+    #[test]
+    fn marking_clean_allocates_known_clean_entry() {
+        let mut dbc = DirtyBitCache::paper_default();
+        dbc.mark_clean(10);
+        assert_eq!(dbc.probe(10), Some(false));
+    }
+
+    #[test]
+    fn capacity_eviction_loses_knowledge() {
+        let mut dbc = DirtyBitCache::new(4, 1, 5); // 4 direct-mapped entries
+        dbc.mark_dirty(0); // stretch 0 -> DBC set 0
+        dbc.mark_dirty(4 * 64); // stretch 4 -> DBC set 0, evicts stretch 0
+        assert_eq!(dbc.probe(0), None);
+    }
+}

@@ -1,0 +1,503 @@
+//! Sectored (sub-blocked) die-stacked DRAM cache.
+//!
+//! Allocation unit: a multi-kilobyte *sector* of contiguous 64-byte blocks.
+//! Only demanded (plus footprint-predicted) blocks are fetched, so the main
+//! memory sees block-grain traffic while the tag store stays small. Sector
+//! metadata lives in the cache DRAM itself; an SRAM [`TagCache`] absorbs
+//! most metadata reads. Replacement is single-bit NRU, as in the paper.
+
+use super::tag_cache::TagCache;
+use crate::cache::{ReplacementKind, SetAssocCache};
+use crate::clock::Cycle;
+use crate::dram::{DramConfig, DramModule};
+use crate::prefetch::FootprintPredictor;
+use crate::BLOCK_BYTES;
+
+/// Presence/dirtiness of one block in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Block absent (sector absent, or sector present without this block).
+    Miss,
+    /// Block present and clean.
+    CleanHit,
+    /// Block present and dirty.
+    DirtyHit,
+}
+
+/// Per-sector payload: valid/dirty bits plus the footprint observed during
+/// this residency.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sector {
+    valid: u64,
+    dirty: u64,
+    used: u64,
+}
+
+/// Result of allocating a sector for a demand miss.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    /// Block addresses the footprint prefetcher wants fetched from main
+    /// memory and filled (includes the demanded block).
+    pub fetch_blocks: Vec<u64>,
+    /// Dirty blocks of the evicted victim sector, which must be read from
+    /// the cache array and written to main memory.
+    pub victim_dirty_blocks: Vec<u64>,
+}
+
+/// Outcome of a metadata probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataProbe {
+    /// Cycle at which the block's hit/miss state is known.
+    pub resolved_at: Cycle,
+    /// Whether the tag cache (if any) hit.
+    pub tag_cache_hit: bool,
+    /// Metadata CAS operations this probe cost on the cache DRAM.
+    pub metadata_cas: u32,
+}
+
+/// The sectored DRAM cache.
+#[derive(Debug, Clone)]
+pub struct SectoredDramCache {
+    dir: SetAssocCache<Sector>,
+    dram: DramModule,
+    tag_cache: Option<TagCache>,
+    footprint: FootprintPredictor,
+    blocks_per_sector: u32,
+    sector_shift: u32,
+    /// Synthetic address region for metadata blocks, disjoint from data.
+    meta_base: u64,
+}
+
+impl SectoredDramCache {
+    /// Creates a sectored cache.
+    ///
+    /// * `capacity_bytes` — total data capacity.
+    /// * `sector_bytes` — allocation unit (power of two, 512 B .. 4 KB).
+    /// * `ways` — associativity.
+    /// * `dram` — the cache array's device configuration.
+    /// * `with_tag_cache` — model the SRAM tag cache (the optimized
+    ///   baseline) or force every probe to DRAM metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or the geometry is degenerate.
+    pub fn new(
+        capacity_bytes: u64,
+        sector_bytes: u64,
+        ways: usize,
+        dram: DramConfig,
+        cpu_mhz: f64,
+        with_tag_cache: bool,
+    ) -> Self {
+        assert!(sector_bytes.is_power_of_two() && sector_bytes >= BLOCK_BYTES);
+        assert!(
+            capacity_bytes.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        let blocks_per_sector = (sector_bytes / BLOCK_BYTES) as u32;
+        assert!(
+            blocks_per_sector <= 64,
+            "sector footprint must fit a 64-bit vector"
+        );
+        let sectors = capacity_bytes / sector_bytes;
+        let sets = sectors / ways as u64;
+        assert!(
+            sets > 0,
+            "capacity too small for the given sector size and ways"
+        );
+        // SRAM helper structures scale with capacity so their coverage
+        // ratios stay in the paper's regime (32K tag-cache entries against
+        // the 1M sectors of a 4 GB cache; our synthetic clones have less
+        // sector locality than SPEC, so the tag cache gets 1/16 coverage).
+        let tag_entries = (sectors / 8).next_power_of_two().max(512);
+        let footprint_entries = (sectors / 16).next_power_of_two().max(1024);
+        Self {
+            dir: SetAssocCache::new(sets, ways, ReplacementKind::Nru),
+            dram: DramModule::new(dram, cpu_mhz),
+            tag_cache: with_tag_cache.then(|| TagCache::new(tag_entries, 4, 5)),
+            footprint: FootprintPredictor::new(footprint_entries, blocks_per_sector),
+            blocks_per_sector,
+            sector_shift: blocks_per_sector.trailing_zeros(),
+            meta_base: 1 << 44,
+        }
+    }
+
+    /// Blocks per sector.
+    pub fn blocks_per_sector(&self) -> u32 {
+        self.blocks_per_sector
+    }
+
+    /// Number of directory sets (for BATMAN's set disabling).
+    pub fn sets(&self) -> u64 {
+        self.dir.sets()
+    }
+
+    /// The cache DRAM array (for bandwidth statistics).
+    pub fn dram(&self) -> &DramModule {
+        &self.dram
+    }
+
+    /// Flushes buffered DRAM writes (end-of-run accounting).
+    pub fn flush(&mut self, now: Cycle) {
+        self.dram.flush_writes(now);
+    }
+
+    /// The tag cache, if modeled.
+    pub fn tag_cache(&self) -> Option<&TagCache> {
+        self.tag_cache.as_ref()
+    }
+
+    /// Splits a block address into (sector index, offset within sector).
+    pub fn sector_of(&self, block: u64) -> (u64, u32) {
+        (
+            block >> self.sector_shift,
+            (block & u64::from(self.blocks_per_sector - 1)) as u32,
+        )
+    }
+
+    /// Directory set index of a sector.
+    pub fn set_of(&self, sector: u64) -> u64 {
+        sector % self.dir.sets()
+    }
+
+    /// Estimated queueing delay at the cache array.
+    pub fn estimated_wait(&self, block: u64, now: Cycle) -> Cycle {
+        self.dram.estimated_wait(block, now)
+    }
+
+    /// Current presence state of a block (directory only; no timing).
+    pub fn state(&self, block: u64) -> BlockState {
+        let (sector, off) = self.sector_of(block);
+        match self.dir.peek(sector) {
+            Some(s) if s.valid >> off & 1 == 1 => {
+                if s.dirty >> off & 1 == 1 {
+                    BlockState::DirtyHit
+                } else {
+                    BlockState::CleanHit
+                }
+            }
+            _ => BlockState::Miss,
+        }
+    }
+
+    /// Whether the sector containing `block` is resident.
+    pub fn sector_present(&self, block: u64) -> bool {
+        let (sector, _) = self.sector_of(block);
+        self.dir.contains(sector)
+    }
+
+    /// Resolves the block's metadata: tag-cache probe, falling back to a
+    /// metadata read from the cache DRAM. Marks the directory access for
+    /// replacement.
+    pub fn probe_metadata(&mut self, block: u64, now: Cycle) -> MetadataProbe {
+        let (sector, _) = self.sector_of(block);
+        // Touch the directory for NRU state.
+        let _ = self.dir.lookup(sector);
+        let meta_block = self.meta_block(sector);
+        let writeback_block = self.meta_base + 1;
+        match &mut self.tag_cache {
+            Some(tc) => {
+                let p = tc.probe(sector);
+                if p.hit {
+                    MetadataProbe {
+                        resolved_at: now + tc.latency(),
+                        tag_cache_hit: true,
+                        metadata_cas: 0,
+                    }
+                } else {
+                    let mut cas = 1u32;
+                    let lat = tc.latency();
+                    let done = self.dram.read_block(meta_block, now + lat);
+                    if p.writeback_needed {
+                        self.dram.write_block(writeback_block, now);
+                        cas += 1;
+                    }
+                    MetadataProbe {
+                        resolved_at: done,
+                        tag_cache_hit: false,
+                        metadata_cas: cas,
+                    }
+                }
+            }
+            None => {
+                let done = self.dram.read_block(meta_block, now);
+                MetadataProbe {
+                    resolved_at: done,
+                    tag_cache_hit: true,
+                    metadata_cas: 1,
+                }
+            }
+        }
+    }
+
+    fn meta_block(&self, sector: u64) -> u64 {
+        self.meta_base + sector
+    }
+
+    /// Reads a resident block's data from the cache array; returns the
+    /// completion cycle and records footprint usage.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the block is not resident.
+    pub fn read_data(&mut self, block: u64, now: Cycle) -> Cycle {
+        debug_assert!(
+            self.state(block) != BlockState::Miss,
+            "read_data needs a resident block"
+        );
+        let (sector, off) = self.sector_of(block);
+        if let Some(s) = self.dir.peek_mut(sector) {
+            s.used |= 1 << off;
+        }
+        self.dram.read_block(block, now)
+    }
+
+    /// Writes a block into a *resident* sector (demand write or fill).
+    /// Returns false if the sector is absent (caller must allocate or
+    /// route the write to main memory).
+    pub fn write_data(&mut self, block: u64, now: Cycle, dirty: bool) -> bool {
+        let (sector, off) = self.sector_of(block);
+        let Some(s) = self.dir.peek_mut(sector) else {
+            return false;
+        };
+        s.valid |= 1 << off;
+        if dirty {
+            // Demand writes count toward the footprint; clean fills do not
+            // (otherwise every filled block would look used and the
+            // footprint would grow monotonically).
+            s.used |= 1 << off;
+            s.dirty |= 1 << off;
+        }
+        if let Some(tc) = &mut self.tag_cache {
+            tc.mark_dirty(sector);
+        }
+        self.dram.write_block(block, now);
+        true
+    }
+
+    /// Invalidates one block (write bypass of a resident block).
+    pub fn invalidate_block(&mut self, block: u64) {
+        let (sector, off) = self.sector_of(block);
+        if let Some(s) = self.dir.peek_mut(sector) {
+            s.valid &= !(1 << off);
+            s.dirty &= !(1 << off);
+        }
+        if let Some(tc) = &mut self.tag_cache {
+            tc.mark_dirty(sector);
+        }
+    }
+
+    /// Allocates the sector for a demand miss to `block`: picks a victim,
+    /// returns the footprint-predicted blocks to fetch and the victim's
+    /// dirty blocks to evict. The caller performs the fetches (main-memory
+    /// reads + [`Self::write_data`] fills) and eviction traffic.
+    pub fn allocate(&mut self, block: u64, _now: Cycle) -> Allocation {
+        let (sector, off) = self.sector_of(block);
+        let predicted = self.footprint.predict(sector, off);
+        let ev = self.dir.insert(sector, Sector::default(), false);
+        let mut out = Allocation::default();
+        if let Some(ev) = ev {
+            self.footprint.record(ev.key, ev.payload.used);
+            let base = ev.key << self.sector_shift;
+            for i in 0..self.blocks_per_sector {
+                if ev.payload.dirty >> i & 1 == 1 {
+                    out.victim_dirty_blocks.push(base + u64::from(i));
+                }
+            }
+        }
+        let base = sector << self.sector_shift;
+        for i in 0..self.blocks_per_sector {
+            if predicted >> i & 1 == 1 {
+                out.fetch_blocks.push(base + u64::from(i));
+            }
+        }
+        if let Some(tc) = &mut self.tag_cache {
+            tc.mark_dirty(sector);
+        }
+        out
+    }
+
+    /// Flushes a directory set (BATMAN's set disabling); returns the dirty
+    /// block addresses that must be written to main memory.
+    pub fn flush_set(&mut self, set: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for ev in self.dir.invalidate_set(set) {
+            self.footprint.record(ev.key, ev.payload.used);
+            let base = ev.key << self.sector_shift;
+            for i in 0..self.blocks_per_sector {
+                if ev.payload.dirty >> i & 1 == 1 {
+                    out.push(base + u64::from(i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Performs the DRAM-side read of an evicted dirty block (the caller
+    /// then writes it to main memory). Fire-and-forget for timing.
+    pub fn read_for_eviction(&mut self, block: u64, now: Cycle) -> Cycle {
+        self.dram.read_block(block, now)
+    }
+
+    /// Cleans a sector in place: clears its dirty bits and returns the
+    /// block addresses that were dirty (the caller reads them from the
+    /// array and writes them to main memory). Used by SBD's Dirty List
+    /// evictions. Returns an empty list if the sector is absent.
+    pub fn clean_sector(&mut self, sector: u64) -> Vec<u64> {
+        let shift = self.sector_shift;
+        let blocks = self.blocks_per_sector;
+        let Some(s) = self.dir.peek_mut(sector) else {
+            return Vec::new();
+        };
+        let dirty = std::mem::take(&mut s.dirty);
+        let base = sector << shift;
+        (0..blocks)
+            .filter(|i| dirty >> i & 1 == 1)
+            .map(|i| base + u64::from(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SectoredDramCache {
+        // 4 MB cache, 4 KB sectors, 4 ways -> 256 sets.
+        SectoredDramCache::new(4 << 20, 4096, 4, DramConfig::hbm_102(), 4000.0, true)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cache();
+        assert_eq!(c.blocks_per_sector(), 64);
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.sector_of(64 * 5 + 3).0, 5);
+        assert_eq!(c.sector_of(64 * 5 + 3).1, 3);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = cache();
+        let block = 0x1234;
+        assert_eq!(c.state(block), BlockState::Miss);
+        let alloc = c.allocate(block, 0);
+        assert_eq!(
+            alloc.fetch_blocks,
+            vec![block],
+            "cold footprint = demand block"
+        );
+        assert!(alloc.victim_dirty_blocks.is_empty());
+        assert!(c.write_data(block, 0, false));
+        assert_eq!(c.state(block), BlockState::CleanHit);
+    }
+
+    #[test]
+    fn dirty_write_marks_dirty() {
+        let mut c = cache();
+        let block = 0x40;
+        c.allocate(block, 0);
+        c.write_data(block, 0, true);
+        assert_eq!(c.state(block), BlockState::DirtyHit);
+        c.invalidate_block(block);
+        assert_eq!(c.state(block), BlockState::Miss);
+    }
+
+    #[test]
+    fn sector_present_blocks_still_miss_individually() {
+        let mut c = cache();
+        c.allocate(0x40, 0);
+        c.write_data(0x40, 0, false);
+        assert!(c.sector_present(0x41));
+        assert_eq!(
+            c.state(0x41),
+            BlockState::Miss,
+            "same sector, unfetched block"
+        );
+    }
+
+    #[test]
+    fn footprint_replay_on_reallocation() {
+        let mut c = cache();
+        // Touch blocks 0 and 3 of sector 7, then evict it by filling the set
+        // with conflicting sectors, then re-allocate: footprint should ask
+        // for both blocks again.
+        let base = 7 << 6;
+        c.allocate(base, 0);
+        c.write_data(base, 0, false);
+        c.write_data(base + 3, 0, false);
+        c.read_data(base, 0);
+        c.read_data(base + 3, 0);
+        // 4 ways: insert 4 conflicting sectors (same set: sector % 256 == 7).
+        for k in 1..=4u64 {
+            let sector = 7 + 256 * k;
+            c.allocate(sector << 6, 0);
+        }
+        assert_eq!(c.state(base), BlockState::Miss, "sector 7 must be evicted");
+        let alloc = c.allocate(base + 1, 0);
+        assert!(alloc.fetch_blocks.contains(&base), "footprint block 0");
+        assert!(
+            alloc.fetch_blocks.contains(&(base + 3)),
+            "footprint block 3"
+        );
+        assert!(alloc.fetch_blocks.contains(&(base + 1)), "demand block");
+    }
+
+    #[test]
+    fn eviction_reports_dirty_blocks() {
+        let mut c = cache();
+        let base = 9u64 << 6;
+        c.allocate(base, 0);
+        c.write_data(base, 0, true);
+        c.write_data(base + 5, 0, true);
+        c.write_data(base + 6, 0, false);
+        let mut victim_dirty = Vec::new();
+        for k in 1..=4u64 {
+            let a = c.allocate((9 + 256 * k) << 6, 0);
+            victim_dirty.extend(a.victim_dirty_blocks);
+        }
+        assert_eq!(victim_dirty, vec![base, base + 5]);
+    }
+
+    #[test]
+    fn tag_cache_miss_costs_metadata_cas() {
+        let mut c = cache();
+        let p1 = c.probe_metadata(0x40, 0);
+        assert!(!p1.tag_cache_hit);
+        assert_eq!(p1.metadata_cas, 1);
+        assert!(p1.resolved_at > 5, "metadata read takes DRAM latency");
+        let p2 = c.probe_metadata(0x40, p1.resolved_at);
+        assert!(p2.tag_cache_hit);
+        assert_eq!(p2.metadata_cas, 0);
+        assert_eq!(p2.resolved_at, p1.resolved_at + 5);
+    }
+
+    #[test]
+    fn no_tag_cache_always_reads_metadata() {
+        let mut c = SectoredDramCache::new(4 << 20, 4096, 4, DramConfig::hbm_102(), 4000.0, false);
+        let p = c.probe_metadata(0x40, 0);
+        assert_eq!(p.metadata_cas, 1);
+        let p = c.probe_metadata(0x40, p.resolved_at);
+        assert_eq!(
+            p.metadata_cas, 1,
+            "every probe reads metadata without a tag cache"
+        );
+    }
+
+    #[test]
+    fn flush_set_returns_dirty_blocks() {
+        let mut c = cache();
+        let base = 11u64 << 6; // sector 11 -> set 11
+        c.allocate(base, 0);
+        c.write_data(base + 2, 0, true);
+        let dirty = c.flush_set(11);
+        assert_eq!(dirty, vec![base + 2]);
+        assert_eq!(c.state(base + 2), BlockState::Miss);
+    }
+
+    #[test]
+    fn write_data_to_absent_sector_refuses() {
+        let mut c = cache();
+        assert!(!c.write_data(0x9999, 0, true));
+    }
+}

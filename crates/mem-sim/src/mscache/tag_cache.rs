@@ -1,0 +1,134 @@
+//! SRAM tag cache for DRAM caches with in-DRAM metadata (the paper's
+//! "optimized baseline", Section V-1).
+//!
+//! The tag cache holds recently used sector metadata so that most lookups
+//! avoid the metadata read from the cache DRAM array. It is 32K-entry,
+//! four-way set-associative (624 KB, carved out of one L3 way) with a
+//! five-cycle lookup.
+
+use crate::cache::{ReplacementKind, SetAssocCache};
+use crate::clock::Cycle;
+
+/// Outcome of a tag-cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagProbe {
+    /// Whether the sector's metadata was resident.
+    pub hit: bool,
+    /// Whether inserting the metadata evicted a *dirty* entry whose
+    /// metadata must be written back to the cache DRAM.
+    pub writeback_needed: bool,
+}
+
+/// The SRAM tag cache.
+#[derive(Debug, Clone)]
+pub struct TagCache {
+    entries: SetAssocCache<()>,
+    latency: Cycle,
+}
+
+impl TagCache {
+    /// The paper's configuration: 32K entries, 4 ways, 5-cycle lookup.
+    pub fn paper_default() -> Self {
+        Self::new(32 * 1024, 4, 5)
+    }
+
+    /// Creates a tag cache with `entries` total entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways`.
+    pub fn new(entries: u64, ways: usize, latency: Cycle) -> Self {
+        assert!(
+            entries % ways as u64 == 0,
+            "entries must divide evenly into ways"
+        );
+        Self {
+            entries: SetAssocCache::new(entries / ways as u64, ways, ReplacementKind::Lru),
+            latency,
+        }
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Probes for `sector`'s metadata; on a miss the entry is allocated
+    /// (the caller charges the metadata fetch from DRAM).
+    pub fn probe(&mut self, sector: u64) -> TagProbe {
+        if self.entries.lookup(sector) {
+            TagProbe {
+                hit: true,
+                writeback_needed: false,
+            }
+        } else {
+            let ev = self.entries.insert(sector, (), false);
+            TagProbe {
+                hit: false,
+                writeback_needed: ev.map(|e| e.dirty).unwrap_or(false),
+            }
+        }
+    }
+
+    /// Marks `sector`'s cached metadata as modified (valid/dirty bit or
+    /// replacement-state change); it will need a DRAM metadata write when
+    /// evicted from the tag cache.
+    pub fn mark_dirty(&mut self, sector: u64) {
+        let _ = self.entries.mark_dirty(sector);
+    }
+
+    /// (hits, misses) counters.
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        self.entries.hit_miss_counts()
+    }
+
+    /// Miss ratio so far.
+    pub fn miss_ratio(&self) -> f64 {
+        let (h, m) = self.entries.hit_miss_counts();
+        if h + m == 0 {
+            0.0
+        } else {
+            m as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_probe_misses_then_hits() {
+        let mut tc = TagCache::new(16, 4, 5);
+        assert!(!tc.probe(7).hit);
+        assert!(tc.probe(7).hit);
+        assert_eq!(tc.latency(), 5);
+    }
+
+    #[test]
+    fn dirty_eviction_requests_writeback() {
+        let mut tc = TagCache::new(4, 1, 5); // 4 sets, direct-mapped
+        tc.probe(0);
+        tc.mark_dirty(0);
+        let p = tc.probe(4); // conflicts with 0
+        assert!(!p.hit);
+        assert!(p.writeback_needed, "dirty metadata must be written back");
+    }
+
+    #[test]
+    fn clean_eviction_needs_no_writeback() {
+        let mut tc = TagCache::new(4, 1, 5);
+        tc.probe(0);
+        let p = tc.probe(4);
+        assert!(!p.writeback_needed);
+    }
+
+    #[test]
+    fn miss_ratio_tracks_probes() {
+        let mut tc = TagCache::new(16, 4, 5);
+        tc.probe(1);
+        tc.probe(1);
+        tc.probe(2);
+        assert!((tc.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Footprint predictor for sectored memory-side caches (Jevdjic et al.,
+//! "Die-stacked DRAM Caches for Servers", as used by the paper's baseline).
+//!
+//! A sectored cache allocates multi-kilobyte sectors but fetching a whole
+//! sector on a miss wastes main-memory bandwidth on never-used blocks. The
+//! footprint predictor remembers, per sector, *which* blocks were touched
+//! during the sector's previous residency (its footprint bit vector) and
+//! fetches only those blocks when the sector is re-allocated.
+
+use crate::cache::{ReplacementKind, SetAssocCache};
+
+/// Footprint history table: maps a sector's address to the bit vector of
+/// blocks that were used during its last generation in the cache.
+#[derive(Debug, Clone)]
+pub struct FootprintPredictor {
+    table: SetAssocCache<u64>,
+    blocks_per_sector: u32,
+    predictions: u64,
+    predicted_blocks: u64,
+}
+
+impl FootprintPredictor {
+    /// Creates a predictor with `entries` history slots (4-way associative)
+    /// for sectors of `blocks_per_sector` blocks (at most 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_per_sector` is 0 or exceeds 64, or `entries < 4`.
+    pub fn new(entries: u64, blocks_per_sector: u32) -> Self {
+        assert!(
+            blocks_per_sector >= 1 && blocks_per_sector <= 64,
+            "footprint bit vector holds at most 64 blocks"
+        );
+        assert!(entries >= 4, "need at least one 4-way set");
+        Self {
+            table: SetAssocCache::new(entries / 4, 4, ReplacementKind::Lru),
+            blocks_per_sector,
+            predictions: 0,
+            predicted_blocks: 0,
+        }
+    }
+
+    /// Records the footprint of an evicted sector.
+    pub fn record(&mut self, sector: u64, footprint: u64) {
+        if footprint != 0 {
+            self.table.insert(sector, footprint, false);
+        }
+    }
+
+    /// Predicts which block offsets to fetch when `sector` is allocated for
+    /// a demand access to `demand_offset`. The demanded block is always
+    /// included. Returns a bit vector over block offsets.
+    pub fn predict(&mut self, sector: u64, demand_offset: u32) -> u64 {
+        assert!(
+            demand_offset < self.blocks_per_sector,
+            "offset outside sector"
+        );
+        self.predictions += 1;
+        let demanded = 1u64 << demand_offset;
+        let predicted = self.table.lookup_payload(sector).map(|f| *f).unwrap_or(0);
+        let fp = predicted | demanded;
+        self.predicted_blocks += u64::from(fp.count_ones());
+        fp
+    }
+
+    /// (sector predictions made, total blocks predicted) so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.predictions, self.predicted_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_prediction_is_demand_block_only() {
+        let mut p = FootprintPredictor::new(64, 64);
+        assert_eq!(p.predict(10, 3), 1 << 3);
+    }
+
+    #[test]
+    fn recorded_footprint_is_replayed() {
+        let mut p = FootprintPredictor::new(64, 64);
+        p.record(10, 0b1010_1010);
+        assert_eq!(p.predict(10, 0), 0b1010_1011, "history OR demanded block");
+    }
+
+    #[test]
+    fn empty_footprints_are_not_stored() {
+        let mut p = FootprintPredictor::new(64, 64);
+        p.record(10, 0);
+        assert_eq!(p.predict(10, 1), 1 << 1);
+    }
+
+    #[test]
+    fn distinct_sectors_have_distinct_histories() {
+        let mut p = FootprintPredictor::new(64, 64);
+        p.record(1, 0b1);
+        p.record(2, 0b10);
+        assert_eq!(p.predict(1, 5), 0b1 | (1 << 5));
+        assert_eq!(p.predict(2, 5), 0b10 | (1 << 5));
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut p = FootprintPredictor::new(64, 64);
+        p.record(10, 0b111);
+        p.predict(10, 0);
+        p.predict(11, 2);
+        assert_eq!(p.counts(), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset outside sector")]
+    fn out_of_range_offset_rejected() {
+        let mut p = FootprintPredictor::new(64, 16);
+        let _ = p.predict(0, 16);
+    }
+}

@@ -1,0 +1,8 @@
+//! Hardware prefetchers: the cores' multi-stream stride prefetcher and the
+//! sectored caches' footprint prefetcher.
+
+mod footprint;
+mod stride;
+
+pub use footprint::FootprintPredictor;
+pub use stride::StridePrefetcher;

@@ -1,0 +1,243 @@
+//! Simulation statistics.
+
+use crate::clock::Cycle;
+
+/// Aggregate counters collected by a [`System`](crate::System) run.
+///
+/// CAS counters count 64-byte data transfers at each memory, which is what
+/// the paper's Fig. 8/14 "CAS fraction" plots report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Demand reads arriving at the memory subsystem (L3 read misses).
+    pub demand_reads: u64,
+    /// Demand writes arriving at the memory subsystem (L3 dirty evictions).
+    pub demand_writes: u64,
+    /// Reads that hit the memory-side cache.
+    pub ms_read_hits: u64,
+    /// Reads that missed the memory-side cache.
+    pub ms_read_misses: u64,
+    /// Writes that hit the memory-side cache.
+    pub ms_write_hits: u64,
+    /// Writes that missed the memory-side cache.
+    pub ms_write_misses: u64,
+    /// Data CAS operations served by the memory-side cache (including fills,
+    /// metadata, and dirty-eviction reads).
+    pub ms_cas: u64,
+    /// Data CAS operations served by main memory.
+    pub mm_cas: u64,
+    /// Fills written into the memory-side cache.
+    pub fills: u64,
+    /// Fills dropped by fill write bypass.
+    pub fills_bypassed: u64,
+    /// Writes steered to main memory by write bypass.
+    pub writes_bypassed: u64,
+    /// Clean hits served from main memory by IFRM.
+    pub forced_read_misses: u64,
+    /// Reads sent speculatively to main memory by SFRM.
+    pub speculative_forced: u64,
+    /// SFRM reads that turned out dirty in the cache (wasted MM bandwidth).
+    pub speculative_wasted: u64,
+    /// Writes mirrored to main memory (Alloy write-through).
+    pub write_throughs: u64,
+    /// Dirty blocks evicted from the memory-side cache to main memory.
+    pub ms_dirty_evictions: u64,
+    /// Tag-cache lookups (sectored DRAM cache only).
+    pub tag_cache_lookups: u64,
+    /// Tag-cache misses.
+    pub tag_cache_misses: u64,
+    /// Metadata CAS operations to the cache DRAM array.
+    pub metadata_cas: u64,
+    /// Blocks prefetched into the memory-side cache by the footprint
+    /// prefetcher.
+    pub footprint_prefetches: u64,
+    /// Total L3 accesses (for MPKI).
+    pub l3_accesses: u64,
+    /// Total L3 misses.
+    pub l3_misses: u64,
+    /// Sum of L3 read-miss latencies (for the paper's Fig. 6 bottom panel).
+    pub read_latency_sum: u64,
+    /// Number of latencies accumulated in `read_latency_sum`.
+    pub read_latency_count: u64,
+}
+
+impl SimStats {
+    /// Memory-side cache hit ratio over reads and writes combined.
+    pub fn ms_hit_ratio(&self) -> f64 {
+        let hits = self.ms_read_hits + self.ms_write_hits;
+        let total = hits + self.ms_read_misses + self.ms_write_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Read-only hit ratio of the memory-side cache.
+    pub fn ms_read_hit_ratio(&self) -> f64 {
+        let total = self.ms_read_hits + self.ms_read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ms_read_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of all data CAS operations served by main memory —
+    /// the paper's Fig. 8 metric; optimal is `B_MM / (B_MM + B_MS$)`.
+    pub fn mm_cas_fraction(&self) -> f64 {
+        let total = self.ms_cas + self.mm_cas;
+        if total == 0 {
+            0.0
+        } else {
+            self.mm_cas as f64 / total as f64
+        }
+    }
+
+    /// Average L3 read miss latency in cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.read_latency_count == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.read_latency_count as f64
+        }
+    }
+
+    /// Tag-cache miss ratio.
+    pub fn tag_cache_miss_ratio(&self) -> f64 {
+        if self.tag_cache_lookups == 0 {
+            0.0
+        } else {
+            self.tag_cache_misses as f64 / self.tag_cache_lookups as f64
+        }
+    }
+}
+
+/// Per-core outcome of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Local cycle at which the last instruction retired.
+    pub cycles: Cycle,
+}
+
+impl CoreResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The complete outcome of a [`System`](crate::System) run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Per-core retirement results.
+    pub per_core: Vec<CoreResult>,
+    /// Memory-system counters.
+    pub stats: SimStats,
+    /// DAP decision statistics, if a DAP partitioner ran.
+    pub dap_decisions: Option<dap_core::DecisionStats>,
+}
+
+impl RunResult {
+    /// Sum of per-core IPCs (throughput).
+    pub fn total_ipc(&self) -> f64 {
+        self.per_core.iter().map(CoreResult::ipc).sum()
+    }
+
+    /// Weighted speedup against per-core alone IPCs:
+    /// `sum_i(IPC_shared_i / IPC_alone_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone_ipc` length differs from the core count.
+    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        assert_eq!(
+            alone_ipc.len(),
+            self.per_core.len(),
+            "one alone IPC per core"
+        );
+        self.per_core
+            .iter()
+            .zip(alone_ipc)
+            .map(|(c, &a)| if a > 0.0 { c.ipc() / a } else { 0.0 })
+            .sum()
+    }
+
+    /// L3 misses per kilo-instruction across all cores.
+    pub fn l3_mpki(&self) -> f64 {
+        let instrs: u64 = self.per_core.iter().map(|c| c.instructions).sum();
+        if instrs == 0 {
+            0.0
+        } else {
+            self.stats.l3_misses as f64 * 1000.0 / instrs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_empty() {
+        let s = SimStats::default();
+        assert_eq!(s.ms_hit_ratio(), 0.0);
+        assert_eq!(s.mm_cas_fraction(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_combines_reads_and_writes() {
+        let s = SimStats {
+            ms_read_hits: 6,
+            ms_read_misses: 2,
+            ms_write_hits: 1,
+            ms_write_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.ms_hit_ratio() - 0.7).abs() < 1e-12);
+        assert!((s.ms_read_hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_is_core_count_at_parity() {
+        let r = RunResult {
+            per_core: vec![
+                CoreResult {
+                    instructions: 100,
+                    cycles: 200,
+                },
+                CoreResult {
+                    instructions: 100,
+                    cycles: 400,
+                },
+            ],
+            ..Default::default()
+        };
+        let ws = r.weighted_speedup(&[0.5, 0.25]);
+        assert!((ws - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_counts_all_cores() {
+        let r = RunResult {
+            per_core: vec![
+                CoreResult {
+                    instructions: 1000,
+                    cycles: 1
+                };
+                2
+            ],
+            stats: SimStats {
+                l3_misses: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((r.l3_mpki() - 20.0).abs() < 1e-12);
+    }
+}

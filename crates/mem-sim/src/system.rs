@@ -1,0 +1,1084 @@
+//! System assembly: cores, SRAM hierarchy, memory-side cache, main memory,
+//! and the partitioning policy, plus the simulation loop.
+//!
+//! The [`MemorySubsystem`] is where the paper's action happens: every L3
+//! miss (read) and L3 dirty eviction (write) arrives here, the
+//! [`Partitioner`] is consulted, and traffic is issued to the memory-side
+//! cache array and/or main memory with full bandwidth accounting.
+
+use std::collections::HashMap;
+
+use crate::cache::{ReplacementKind, SetAssocCache};
+use crate::clock::Cycle;
+use crate::config::{CacheKind, SystemConfig};
+use crate::core_model::CoreModel;
+use crate::dram::DramModule;
+use crate::mscache::{AlloyCache, BlockState, EdramCache, FlatTier, SectoredDramCache};
+use crate::policy::{NoPartitioning, Observation, Partitioner, ReadContext, ReadRoute, WriteRoute};
+use crate::prefetch::StridePrefetcher;
+use crate::stats::{CoreResult, RunResult, SimStats};
+use crate::trace::{OpKind, TraceSource};
+
+/// Why a read reaches the memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccessKind {
+    /// A demand load — its latency is what the core waits on.
+    DemandRead,
+    /// A store's read-for-ownership — traffic only, nobody waits.
+    Rfo,
+    /// A prefetch — traffic only.
+    Prefetch,
+}
+
+enum MemSide {
+    None,
+    Sectored(SectoredDramCache),
+    Alloy(AlloyCache),
+    Edram(EdramCache),
+    Flat(FlatTier),
+}
+
+/// The memory subsystem below the shared L3.
+pub struct MemorySubsystem {
+    mm: DramModule,
+    ms: MemSide,
+    policy: Box<dyn Partitioner>,
+    stats: SimStats,
+}
+
+impl MemorySubsystem {
+    /// Builds the subsystem from a configuration and a policy.
+    pub fn new(config: &SystemConfig, policy: Box<dyn Partitioner>) -> Self {
+        let ms = match &config.cache {
+            CacheKind::None => MemSide::None,
+            CacheKind::Sectored {
+                capacity_bytes,
+                sector_bytes,
+                ways,
+                dram,
+                tag_cache,
+            } => MemSide::Sectored(SectoredDramCache::new(
+                *capacity_bytes,
+                *sector_bytes,
+                *ways,
+                dram.clone(),
+                config.cpu_mhz,
+                *tag_cache,
+            )),
+            CacheKind::Alloy {
+                capacity_bytes,
+                dram,
+                bear,
+            } => MemSide::Alloy(AlloyCache::new(
+                *capacity_bytes,
+                dram.clone(),
+                config.cpu_mhz,
+                *bear,
+            )),
+            CacheKind::Edram {
+                capacity_bytes,
+                sector_bytes,
+                ways,
+                direction,
+            } => MemSide::Edram(EdramCache::with_geometry(
+                *capacity_bytes,
+                *sector_bytes,
+                *ways,
+                direction.clone(),
+                config.cpu_mhz,
+                8,
+            )),
+            CacheKind::FlatTier {
+                capacity_bytes,
+                dram,
+                goal,
+            } => MemSide::Flat(FlatTier::new(
+                *capacity_bytes,
+                dram.clone(),
+                config.cpu_mhz,
+                *goal,
+                config.mm.peak_gbps(),
+            )),
+        };
+        Self {
+            mm: DramModule::new(config.mm.clone(), config.cpu_mhz),
+            ms,
+            policy,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Statistics collected so far (CAS totals are finalized by
+    /// [`Self::finalize`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the hierarchy updates L3 counters here).
+    pub fn stats_mut(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    /// Main-memory module (diagnostics).
+    pub fn main_memory(&self) -> &DramModule {
+        &self.mm
+    }
+
+    /// Memory-side cache DRAM statistics (read+write path for eDRAM).
+    pub fn ms_dram_stats(&self) -> Option<crate::dram::DramStats> {
+        match &self.ms {
+            MemSide::None => None,
+            MemSide::Sectored(c) => Some(c.dram().stats()),
+            MemSide::Alloy(c) => Some(c.dram().stats()),
+            MemSide::Edram(c) => {
+                let r = c.read_path().stats();
+                let w = c.write_path().stats();
+                Some(crate::dram::DramStats {
+                    cas_reads: r.cas_reads + w.cas_reads,
+                    cas_writes: r.cas_writes + w.cas_writes,
+                    row_hits: r.row_hits + w.row_hits,
+                    row_misses: r.row_misses + w.row_misses,
+                })
+            }
+            MemSide::Flat(c) => Some(c.fast_module().stats()),
+        }
+    }
+
+    /// The sectored cache's tag-cache miss ratio, if applicable.
+    pub fn tag_cache_miss_ratio(&self) -> Option<f64> {
+        match &self.ms {
+            MemSide::Sectored(c) => c.tag_cache().map(|tc| tc.miss_ratio()),
+            _ => None,
+        }
+    }
+
+    /// Flushes buffered writes and folds DRAM CAS totals into the stats.
+    pub fn finalize(&mut self, now: Cycle) {
+        self.mm.flush_writes(now);
+        match &mut self.ms {
+            MemSide::None => {}
+            MemSide::Sectored(c) => c.flush(now),
+            MemSide::Alloy(c) => c.flush(now),
+            MemSide::Edram(c) => c.flush(now),
+            MemSide::Flat(c) => c.flush(now),
+        }
+        self.stats.mm_cas = self.mm.stats().cas_total();
+        self.stats.ms_cas = match &self.ms {
+            MemSide::None => 0,
+            MemSide::Sectored(c) => c.dram().stats().cas_total(),
+            MemSide::Alloy(c) => c.dram().stats().cas_total(),
+            MemSide::Edram(c) => {
+                c.read_path().stats().cas_total() + c.write_path().stats().cas_total()
+            }
+            MemSide::Flat(c) => c.fast_module().stats().cas_total(),
+        };
+    }
+
+    /// DAP decision statistics, if the policy is DAP.
+    pub fn dap_decisions(&self) -> Option<dap_core::DecisionStats> {
+        self.policy.dap_decisions()
+    }
+
+    /// How far the relevant queues run ahead of `now` for a read to
+    /// `block` (prefetch throttling signal).
+    pub fn queue_pressure(&self, block: u64, now: Cycle) -> Cycle {
+        let cache_wait = match &self.ms {
+            MemSide::None => 0,
+            MemSide::Sectored(c) => c.estimated_wait(block, now),
+            MemSide::Alloy(c) => c.estimated_wait(block, now),
+            MemSide::Edram(c) => c.estimated_read_wait(block, now),
+            MemSide::Flat(_) => 0,
+        };
+        cache_wait.max(self.mm.estimated_wait(block, now))
+    }
+
+    /// A read arriving from the L3. Returns its completion cycle.
+    pub fn read(
+        &mut self,
+        block: u64,
+        core: usize,
+        pc: u64,
+        now: Cycle,
+        kind: MemAccessKind,
+    ) -> Cycle {
+        self.policy.tick(now);
+        self.flush_disabled_sets(now);
+        if kind == MemAccessKind::DemandRead {
+            self.stats.demand_reads += 1;
+        }
+        let done = match &mut self.ms {
+            MemSide::None => {
+                self.stats.ms_read_misses += 1;
+                self.mm.read_block(block, now)
+            }
+            MemSide::Sectored(c) => read_sectored(
+                c,
+                &mut self.mm,
+                self.policy.as_mut(),
+                &mut self.stats,
+                block,
+                core,
+                now,
+            ),
+            MemSide::Alloy(c) => read_alloy(
+                c,
+                &mut self.mm,
+                self.policy.as_mut(),
+                &mut self.stats,
+                block,
+                core,
+                pc,
+                now,
+            ),
+            MemSide::Edram(c) => read_edram(
+                c,
+                &mut self.mm,
+                self.policy.as_mut(),
+                &mut self.stats,
+                block,
+                core,
+                now,
+            ),
+            MemSide::Flat(c) => {
+                let (done, served_fast) = c.access(block, false, now, &mut self.mm);
+                if served_fast {
+                    self.stats.ms_read_hits += 1;
+                } else {
+                    self.stats.ms_read_misses += 1;
+                }
+                done
+            }
+        };
+        if kind == MemAccessKind::DemandRead {
+            self.stats.read_latency_sum += done.saturating_sub(now);
+            self.stats.read_latency_count += 1;
+        }
+        done
+    }
+
+    /// A dirty eviction arriving from the L3.
+    pub fn write(&mut self, block: u64, now: Cycle) {
+        self.policy.tick(now);
+        self.stats.demand_writes += 1;
+        match &mut self.ms {
+            MemSide::None => {
+                self.mm.write_block(block, now);
+            }
+            MemSide::Sectored(c) => write_sectored(
+                c,
+                &mut self.mm,
+                self.policy.as_mut(),
+                &mut self.stats,
+                block,
+                now,
+            ),
+            MemSide::Alloy(c) => write_alloy(
+                c,
+                &mut self.mm,
+                self.policy.as_mut(),
+                &mut self.stats,
+                block,
+                now,
+            ),
+            MemSide::Edram(c) => write_edram(
+                c,
+                &mut self.mm,
+                self.policy.as_mut(),
+                &mut self.stats,
+                block,
+                now,
+            ),
+            MemSide::Flat(c) => {
+                let _ = c.access(block, true, now, &mut self.mm);
+            }
+        }
+    }
+
+    fn flush_disabled_sets(&mut self, now: Cycle) {
+        let sets = self.policy.take_newly_disabled_sets();
+        let sectors = self.policy.take_sectors_to_clean();
+        if sets.is_empty() && sectors.is_empty() {
+            return;
+        }
+        if let MemSide::Sectored(c) = &mut self.ms {
+            // BATMAN: disabled sets lose their contents entirely.
+            for set in sets {
+                for dirty in c.flush_set(set) {
+                    c.read_for_eviction(dirty, now);
+                    self.mm.write_block(dirty, now);
+                    self.stats.ms_dirty_evictions += 1;
+                }
+            }
+            // SBD: evicted Dirty List pages are cleaned but stay resident.
+            for sector in sectors {
+                for dirty in c.clean_sector(sector) {
+                    c.read_for_eviction(dirty, now);
+                    self.mm.write_block(dirty, now);
+                    self.stats.ms_dirty_evictions += 1;
+                }
+            }
+        }
+    }
+}
+
+fn read_context(
+    cache_wait: Cycle,
+    mm_wait: Cycle,
+    block: u64,
+    core: usize,
+    now: Cycle,
+) -> ReadContext {
+    ReadContext {
+        block,
+        core,
+        now,
+        cache_wait,
+        mm_wait,
+    }
+}
+
+/// Demand read through the sectored DRAM cache.
+fn read_sectored(
+    c: &mut SectoredDramCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    core: usize,
+    now: Cycle,
+) -> Cycle {
+    let (sector, _) = c.sector_of(block);
+    let set = c.set_of(sector);
+    let enabled = policy.set_enabled(set, now);
+    let ctx = read_context(
+        c.estimated_wait(block, now),
+        mm.estimated_wait(block, now),
+        block,
+        core,
+        now,
+    );
+    policy.observe(Observation::DemandRead, now);
+    policy.observe(Observation::CacheAccess { write: false }, now);
+
+    let route = policy.route_read(&ctx);
+
+    // SBD-style steering: serve from main memory outright when safe.
+    if route == ReadRoute::SteerMainMemory && c.state(block) != BlockState::DirtyHit {
+        policy.observe(Observation::MmAccess, now);
+        if c.state(block) == BlockState::Miss {
+            stats.ms_read_misses += 1;
+            policy.observe(Observation::ReadMiss, now);
+        } else {
+            stats.ms_read_hits += 1;
+        }
+        return mm.read_block(block, now);
+    }
+
+    // SFRM launches the main-memory read in parallel with the tag lookup.
+    let speculative_done = if route == ReadRoute::Speculative {
+        stats.speculative_forced += 1;
+        Some(mm.read_block(block, now))
+    } else {
+        None
+    };
+
+    let probe = c.probe_metadata(block, now);
+    stats.tag_cache_lookups += 1;
+    if !probe.tag_cache_hit {
+        stats.tag_cache_misses += 1;
+    }
+    stats.metadata_cas += u64::from(probe.metadata_cas);
+    for _ in 0..probe.metadata_cas {
+        policy.observe(Observation::CacheAccess { write: false }, now);
+    }
+
+    let state = if enabled {
+        c.state(block)
+    } else {
+        BlockState::Miss
+    };
+    match state {
+        BlockState::DirtyHit => {
+            stats.ms_read_hits += 1;
+            if speculative_done.is_some() {
+                // The speculative main-memory data is stale; drop it.
+                stats.speculative_wasted += 1;
+            }
+            c.read_data(block, probe.resolved_at)
+        }
+        BlockState::CleanHit => {
+            policy.observe(Observation::CleanHit, now);
+            // A clean hit *served by main memory* counts as a miss in the
+            // paper's hit-rate metric (served-by-cache ratio).
+            if let Some(done) = speculative_done {
+                stats.ms_read_misses += 1;
+                return done;
+            }
+            if policy.force_clean_hit(&ctx) {
+                stats.ms_read_misses += 1;
+                stats.forced_read_misses += 1;
+                return mm.read_block(block, probe.resolved_at);
+            }
+            stats.ms_read_hits += 1;
+            c.read_data(block, probe.resolved_at)
+        }
+        BlockState::Miss => {
+            stats.ms_read_misses += 1;
+            policy.observe(Observation::ReadMiss, now);
+            policy.observe(Observation::MmAccess, now);
+            let done = speculative_done.unwrap_or_else(|| mm.read_block(block, probe.resolved_at));
+            // The fill this miss implies is cache *demand* whether or not it
+            // is bypassed; DAP's solver sees demand, the array sees actuals.
+            policy.observe(Observation::CacheAccess { write: true }, now);
+            if enabled && policy.allow_fill(block, now) {
+                fill_sectored(c, mm, policy, stats, block, now);
+            } else {
+                stats.fills_bypassed += 1;
+            }
+            done
+        }
+    }
+}
+
+/// Fills `block` after a read miss, allocating its sector if needed.
+fn fill_sectored(
+    c: &mut SectoredDramCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    now: Cycle,
+) {
+    if c.sector_present(block) {
+        c.write_data(block, now, false);
+        stats.fills += 1;
+        return;
+    }
+    let alloc = c.allocate(block, now);
+    for victim in alloc.victim_dirty_blocks {
+        c.read_for_eviction(victim, now);
+        policy.observe(Observation::CacheAccess { write: false }, now);
+        policy.observe(Observation::MmAccess, now);
+        mm.write_block(victim, now);
+        stats.ms_dirty_evictions += 1;
+    }
+    for fetch in alloc.fetch_blocks {
+        if fetch != block {
+            // Footprint prefetch: fetch from main memory, fill the array.
+            mm.read_block(fetch, now);
+            policy.observe(Observation::MmAccess, now);
+            policy.observe(Observation::CacheAccess { write: true }, now);
+            stats.footprint_prefetches += 1;
+        }
+        c.write_data(fetch, now, false);
+        stats.fills += 1;
+    }
+}
+
+/// Demand write (L3 dirty eviction) through the sectored DRAM cache.
+fn write_sectored(
+    c: &mut SectoredDramCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    now: Cycle,
+) {
+    let (sector, _) = c.sector_of(block);
+    let set = c.set_of(sector);
+    let enabled = policy.set_enabled(set, now);
+    policy.observe(Observation::WriteDemand, now);
+    policy.observe(Observation::CacheAccess { write: true }, now);
+
+    let probe = c.probe_metadata(block, now);
+    stats.tag_cache_lookups += 1;
+    if !probe.tag_cache_hit {
+        stats.tag_cache_misses += 1;
+    }
+    stats.metadata_cas += u64::from(probe.metadata_cas);
+    for _ in 0..probe.metadata_cas {
+        policy.observe(Observation::CacheAccess { write: false }, now);
+    }
+
+    let sector_hit = enabled && c.sector_present(block);
+    let block_hit = enabled && c.state(block) != BlockState::Miss;
+    if block_hit {
+        stats.ms_write_hits += 1;
+    } else {
+        stats.ms_write_misses += 1;
+    }
+    match policy.route_write(block, now, block_hit) {
+        WriteRoute::Cache => {
+            if sector_hit {
+                c.write_data(block, now, true);
+            } else {
+                // No write-allocate of a whole sector: send to main memory.
+                policy.observe(Observation::MmAccess, now);
+                mm.write_block(block, now);
+            }
+        }
+        WriteRoute::MainMemory => {
+            stats.writes_bypassed += 1;
+            if block_hit {
+                c.invalidate_block(block);
+            }
+            mm.write_block(block, now);
+        }
+        WriteRoute::Both => {
+            stats.write_throughs += 1;
+            if sector_hit {
+                c.write_data(block, now, false); // clean: memory has the data
+            }
+            mm.write_block(block, now);
+        }
+    }
+}
+
+/// Demand read through the Alloy cache.
+fn read_alloy(
+    c: &mut AlloyCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    core: usize,
+    pc: u64,
+    now: Cycle,
+) -> Cycle {
+    let ctx = read_context(
+        c.estimated_wait(block, now),
+        mm.estimated_wait(block, now),
+        block,
+        core,
+        now,
+    );
+    policy.observe(Observation::DemandRead, now);
+    policy.observe(Observation::CacheAccess { write: false }, now);
+
+    // The DBC check gates IFRM without touching the DRAM array.
+    if c.probe_dbc(block) == Some(false) {
+        policy.observe(Observation::CleanHit, now);
+        if policy.force_clean_hit(&ctx) {
+            stats.forced_read_misses += 1;
+            let done = mm.read_block(block, now + c.dbc_latency());
+            // Implicit fill bypass: if the block was absent it stays
+            // absent. Either way the read was served by main memory, which
+            // is a miss in the paper's served-by-cache hit metric.
+            stats.ms_read_misses += 1;
+            if c.state(block) == BlockState::Miss {
+                policy.observe(Observation::ReadMiss, now);
+                policy.observe(Observation::MmAccess, now);
+            }
+            return done;
+        }
+    }
+
+    // Normal Alloy path: predict, fetch TAD, resolve.
+    let predicted_hit = c.predict_hit(pc);
+    let early_mm = if !predicted_hit {
+        Some(mm.read_block(block, now))
+    } else {
+        None
+    };
+    let state = c.state(block);
+    let tad_done = c.read_tad(block, now);
+    c.train_predictor(pc, state != BlockState::Miss);
+
+    if state != BlockState::Miss {
+        stats.ms_read_hits += 1;
+        if early_mm.is_some() {
+            stats.speculative_wasted += 1;
+        }
+        return tad_done;
+    }
+    stats.ms_read_misses += 1;
+    policy.observe(Observation::ReadMiss, now);
+    policy.observe(Observation::MmAccess, now);
+    let done = early_mm.unwrap_or_else(|| mm.read_block(block, tad_done));
+    policy.observe(Observation::CacheAccess { write: true }, now);
+    if policy.allow_fill(block, now) && c.bear_allow_fill(block) {
+        stats.fills += 1;
+        if let Some(ev) = c.install(block, now, false) {
+            if ev.dirty {
+                // Victim data arrived with the TAD; write it to memory.
+                mm.write_block(ev.key, now);
+                stats.ms_dirty_evictions += 1;
+                policy.observe(Observation::MmAccess, now);
+            }
+        }
+    } else {
+        stats.fills_bypassed += 1;
+    }
+    done
+}
+
+/// Demand write through the Alloy cache (with BEAR presence bits, a write
+/// that hits needs no TAD fetch).
+fn write_alloy(
+    c: &mut AlloyCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    now: Cycle,
+) {
+    policy.observe(Observation::WriteDemand, now);
+    policy.observe(Observation::CacheAccess { write: true }, now);
+    let present = c.state(block) != BlockState::Miss;
+    if !c.bear_enabled() {
+        // Without the presence bit the write must fetch the TAD first.
+        let _ = c.read_tad(block, now);
+    }
+    if present {
+        stats.ms_write_hits += 1;
+    } else {
+        stats.ms_write_misses += 1;
+    }
+    match policy.route_write(block, now, present) {
+        WriteRoute::Both if present => {
+            stats.write_throughs += 1;
+            c.install(block, now, false);
+            c.mark_clean_after_write_through(block);
+            mm.write_block(block, now);
+        }
+        WriteRoute::MainMemory => {
+            stats.writes_bypassed += 1;
+            if present {
+                c.invalidate(block);
+            }
+            mm.write_block(block, now);
+        }
+        _ => {
+            if present {
+                c.mark_dirty(block, now);
+            } else {
+                // No write-allocate: misses go to main memory.
+                policy.observe(Observation::MmAccess, now);
+                mm.write_block(block, now);
+            }
+        }
+    }
+}
+
+/// Demand read through the eDRAM cache (on-die tags, split channels).
+fn read_edram(
+    c: &mut EdramCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    core: usize,
+    now: Cycle,
+) -> Cycle {
+    let ctx = read_context(
+        c.estimated_read_wait(block, now),
+        mm.estimated_wait(block, now),
+        block,
+        core,
+        now,
+    );
+    policy.observe(Observation::DemandRead, now);
+    policy.observe(Observation::CacheAccess { write: false }, now);
+    c.touch(block);
+    let resolved = now + c.tag_latency();
+    match c.state(block) {
+        BlockState::DirtyHit => {
+            stats.ms_read_hits += 1;
+            c.read_data(block, now)
+        }
+        BlockState::CleanHit => {
+            policy.observe(Observation::CleanHit, now);
+            if policy.force_clean_hit(&ctx) {
+                stats.ms_read_misses += 1;
+                stats.forced_read_misses += 1;
+                mm.read_block(block, resolved)
+            } else {
+                stats.ms_read_hits += 1;
+                c.read_data(block, now)
+            }
+        }
+        BlockState::Miss => {
+            stats.ms_read_misses += 1;
+            policy.observe(Observation::ReadMiss, now);
+            policy.observe(Observation::MmAccess, now);
+            let done = mm.read_block(block, resolved);
+            policy.observe(Observation::CacheAccess { write: true }, now);
+            if policy.allow_fill(block, now) {
+                fill_edram(c, mm, policy, stats, block, now);
+            } else {
+                stats.fills_bypassed += 1;
+            }
+            done
+        }
+    }
+}
+
+/// Fills `block` in the eDRAM cache after a read miss.
+fn fill_edram(
+    c: &mut EdramCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    now: Cycle,
+) {
+    if c.write_data(block, now, false) {
+        stats.fills += 1;
+        return;
+    }
+    let alloc = c.allocate(block, now);
+    for victim in alloc.victim_dirty_blocks {
+        c.read_for_eviction(victim, now);
+        policy.observe(Observation::CacheAccess { write: false }, now);
+        policy.observe(Observation::MmAccess, now);
+        mm.write_block(victim, now);
+        stats.ms_dirty_evictions += 1;
+    }
+    for fetch in alloc.fetch_blocks {
+        if fetch != block {
+            mm.read_block(fetch, now);
+            policy.observe(Observation::MmAccess, now);
+            policy.observe(Observation::CacheAccess { write: true }, now);
+            stats.footprint_prefetches += 1;
+        }
+        c.write_data(fetch, now, false);
+        stats.fills += 1;
+    }
+}
+
+/// Demand write through the eDRAM cache.
+fn write_edram(
+    c: &mut EdramCache,
+    mm: &mut DramModule,
+    policy: &mut dyn Partitioner,
+    stats: &mut SimStats,
+    block: u64,
+    now: Cycle,
+) {
+    policy.observe(Observation::WriteDemand, now);
+    policy.observe(Observation::CacheAccess { write: true }, now);
+    c.touch(block);
+    let block_hit = c.state(block) != BlockState::Miss;
+    let sector_hit = c.sector_present(block);
+    if block_hit {
+        stats.ms_write_hits += 1;
+    } else {
+        stats.ms_write_misses += 1;
+    }
+    match policy.route_write(block, now, block_hit) {
+        WriteRoute::Cache => {
+            if sector_hit {
+                c.write_data(block, now, true);
+            } else {
+                policy.observe(Observation::MmAccess, now);
+                mm.write_block(block, now);
+            }
+        }
+        WriteRoute::MainMemory => {
+            stats.writes_bypassed += 1;
+            if block_hit {
+                c.invalidate_block(block);
+            }
+            mm.write_block(block, now);
+        }
+        WriteRoute::Both => {
+            stats.write_throughs += 1;
+            if sector_hit {
+                c.write_data(block, now, false);
+            }
+            mm.write_block(block, now);
+        }
+    }
+}
+
+/// The simulated machine.
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<CoreModel>,
+    traces: Vec<Box<dyn TraceSource>>,
+    l1: Vec<SetAssocCache<()>>,
+    l2: Vec<SetAssocCache<()>>,
+    prefetchers: Vec<StridePrefetcher>,
+    l3: SetAssocCache<()>,
+    mshr: HashMap<u64, Cycle>,
+    mshr_cleanup_at: usize,
+    mem: MemorySubsystem,
+}
+
+/// Prefetches are dropped once the target queues back up this far — they
+/// may only consume spare bandwidth, never add to saturation.
+const PREFETCH_PRESSURE_LIMIT: Cycle = 1200;
+
+impl System {
+    /// Builds a system with the baseline (no partitioning) policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != config.cores`.
+    pub fn new(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        Self::with_policy(config, traces, Box::new(NoPartitioning))
+    }
+
+    /// Builds a system with an explicit partitioning policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != config.cores`.
+    pub fn with_policy(
+        config: SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        policy: Box<dyn Partitioner>,
+    ) -> Self {
+        assert_eq!(traces.len(), config.cores, "one trace per core");
+        let mem = MemorySubsystem::new(&config, policy);
+        Self {
+            cores: (0..config.cores)
+                .map(|_| CoreModel::new(config.width, config.rob))
+                .collect(),
+            traces,
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1.0, config.l1.1, ReplacementKind::Lru))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l2.0, config.l2.1, ReplacementKind::Lru))
+                .collect(),
+            prefetchers: (0..config.cores)
+                .map(|_| StridePrefetcher::new(config.prefetch_degree))
+                .collect(),
+            l3: SetAssocCache::new(config.l3.0, config.l3.1, ReplacementKind::Lru),
+            mshr: HashMap::new(),
+            mshr_cleanup_at: 8192,
+            mem,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The memory subsystem (diagnostics).
+    pub fn memory(&self) -> &MemorySubsystem {
+        &self.mem
+    }
+
+    /// Runs until every core retires `instructions_per_core` instructions.
+    pub fn run(&mut self, instructions_per_core: u64) -> RunResult {
+        // One DAP window: cores must interleave at window granularity or
+        // the policy sees several cores' demand lumped into one window.
+        const QUANTUM: Cycle = 64;
+        let mut quantum_end = QUANTUM;
+        let mut quantum_index = 0usize;
+        loop {
+            let mut all_done = true;
+            // Rotate the per-quantum processing order: the first core to
+            // submit each window gets earlier bus reservations, and a fixed
+            // order would hand one core a compounding advantage under
+            // saturation.
+            quantum_index = quantum_index.wrapping_add(1);
+            let n = self.cores.len();
+            for k in 0..n {
+                let i = (k + quantum_index) % n;
+                while self.cores[i].retired() < instructions_per_core
+                    && self.cores[i].local_cycle() < quantum_end
+                {
+                    let op = self.traces[i].next_op();
+                    let remaining = instructions_per_core - self.cores[i].retired();
+                    self.cores[i].push_nonmem(op.gap.min(remaining as u32));
+                    if self.cores[i].retired() >= instructions_per_core {
+                        break;
+                    }
+                    let t = self.cores[i].next_issue_cycle();
+                    match op.kind {
+                        OpKind::Read => {
+                            let done = self.load(i, op.block(), op.pc, t);
+                            self.cores[i].push_mem(done.saturating_sub(t).max(1));
+                        }
+                        OpKind::Write => {
+                            self.store(i, op.block(), op.pc, t);
+                            self.cores[i].push_mem(1);
+                        }
+                    }
+                }
+                if self.cores[i].retired() < instructions_per_core {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            quantum_end += QUANTUM;
+        }
+        let last = self
+            .cores
+            .iter()
+            .map(CoreModel::local_cycle)
+            .max()
+            .unwrap_or(0);
+        self.mem.finalize(last);
+        RunResult {
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| CoreResult {
+                    instructions: c.retired(),
+                    cycles: c.local_cycle(),
+                })
+                .collect(),
+            stats: *self.mem.stats(),
+            dap_decisions: self.mem.dap_decisions(),
+        }
+    }
+
+    /// A demand load at cycle `t`; returns its completion cycle.
+    fn load(&mut self, core: usize, block: u64, pc: u64, t: Cycle) -> Cycle {
+        let (_, _, l1_lat) = self.config.l1;
+        let (_, _, l2_lat) = self.config.l2;
+        if self.l1[core].lookup(block) {
+            return t + l1_lat;
+        }
+        if self.l2[core].lookup(block) {
+            self.install_l1(core, block, t);
+            return t + l2_lat;
+        }
+        let prefetches = if self.config.prefetch_degree > 0 {
+            self.prefetchers[core].observe(block)
+        } else {
+            Vec::new()
+        };
+        let done = self.access_l3(block, core, pc, t + l2_lat, MemAccessKind::DemandRead);
+        self.install_l2(core, block, t);
+        self.install_l1(core, block, t);
+        for p in prefetches {
+            self.prefetch(p, core, pc, t);
+        }
+        done
+    }
+
+    /// A demand store at cycle `t` (fire-and-forget for the core).
+    fn store(&mut self, core: usize, block: u64, pc: u64, t: Cycle) {
+        if self.l1[core].lookup(block) {
+            self.l1[core].mark_dirty(block);
+            return;
+        }
+        if self.l2[core].lookup(block) {
+            self.install_l1(core, block, t);
+            self.l1[core].mark_dirty(block);
+            return;
+        }
+        let prefetches = if self.config.prefetch_degree > 0 {
+            self.prefetchers[core].observe(block)
+        } else {
+            Vec::new()
+        };
+        let (_, _, l2_lat) = self.config.l2;
+        let _ = self.access_l3(block, core, pc, t + l2_lat, MemAccessKind::Rfo);
+        self.install_l2(core, block, t);
+        self.install_l1(core, block, t);
+        self.l1[core].mark_dirty(block);
+        for p in prefetches {
+            self.prefetch(p, core, pc, t);
+        }
+    }
+
+    fn access_l3(
+        &mut self,
+        block: u64,
+        core: usize,
+        pc: u64,
+        t: Cycle,
+        kind: MemAccessKind,
+    ) -> Cycle {
+        let (_, _, l3_lat) = self.config.l3;
+        if kind != MemAccessKind::Prefetch {
+            self.mem.stats_mut().l3_accesses += 1;
+        }
+        // An in-flight miss for this block (demand or prefetch) means the
+        // data is not in the array yet: merge and wait for its completion.
+        if let Some(&c) = self.mshr.get(&block) {
+            if c > t {
+                if kind != MemAccessKind::Prefetch {
+                    self.mem.stats_mut().l3_misses += 1;
+                }
+                return c;
+            }
+        }
+        if self.l3.lookup(block) {
+            return t + l3_lat;
+        }
+        if kind != MemAccessKind::Prefetch {
+            self.mem.stats_mut().l3_misses += 1;
+        }
+        let done = self.mem_read_merged(block, core, pc, t + l3_lat, kind);
+        self.install_l3(block, t);
+        done
+    }
+
+    fn mem_read_merged(
+        &mut self,
+        block: u64,
+        core: usize,
+        pc: u64,
+        t: Cycle,
+        kind: MemAccessKind,
+    ) -> Cycle {
+        if let Some(&c) = self.mshr.get(&block) {
+            if c > t {
+                // Merge into the outstanding miss.
+                return c;
+            }
+        }
+        let done = self.mem.read(block, core, pc, t, kind);
+        self.mshr.insert(block, done);
+        if self.mshr.len() > self.mshr_cleanup_at {
+            self.mshr.retain(|_, &mut c| c > t);
+            // Amortize: if most entries are still outstanding (saturated
+            // memory), grow the threshold instead of re-scanning per insert.
+            self.mshr_cleanup_at = (self.mshr.len() * 2).max(8192);
+        }
+        done
+    }
+
+    fn prefetch(&mut self, block: u64, core: usize, pc: u64, t: Cycle) {
+        if self.l3.contains(block) || self.mshr.get(&block).map(|&c| c > t).unwrap_or(false) {
+            return;
+        }
+        // Prefetches only consume spare bandwidth; drop them once the
+        // memory queues back up.
+        if self.mem.queue_pressure(block, t) > PREFETCH_PRESSURE_LIMIT {
+            return;
+        }
+        let _ = self.mem_read_merged(block, core, pc, t, MemAccessKind::Prefetch);
+        self.install_l3(block, t);
+    }
+
+    // Writeback timestamps use the *access time* `t` of the triggering
+    // operation, never a core's retire frontier — retire frontiers race one
+    // full miss latency ahead and a single future-stamped write drain would
+    // catapult the channel's bus reservation for every later request.
+
+    fn install_l3(&mut self, block: u64, t: Cycle) {
+        if let Some(ev) = self.l3.insert(block, (), false) {
+            if ev.dirty {
+                self.mem.write(ev.key, t);
+            }
+        }
+    }
+
+    fn install_l2(&mut self, core: usize, block: u64, t: Cycle) {
+        if let Some(ev) = self.l2[core].insert(block, (), false) {
+            if ev.dirty && !self.l3.mark_dirty(ev.key) {
+                self.mem.write(ev.key, t);
+            }
+        }
+    }
+
+    fn install_l1(&mut self, core: usize, block: u64, t: Cycle) {
+        if let Some(ev) = self.l1[core].insert(block, (), false) {
+            if ev.dirty && !self.l2[core].mark_dirty(ev.key) && !self.l3.mark_dirty(ev.key) {
+                self.mem.write(ev.key, t);
+            }
+        }
+    }
+}

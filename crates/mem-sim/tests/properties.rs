@@ -1,0 +1,119 @@
+//! Property-based invariants of the simulator substrate.
+
+use mem_sim::cache::{ReplacementKind, SetAssocCache};
+use mem_sim::dram::{DramConfig, DramModule};
+use mem_sim::mscache::{BlockState, SectoredDramCache};
+use proptest::prelude::*;
+
+proptest! {
+    /// DRAM read completions are causal (after the request) and the bus
+    /// reservation never runs backward.
+    #[test]
+    fn dram_completions_are_causal(
+        blocks in prop::collection::vec(0u64..1 << 22, 1..200),
+        gaps in prop::collection::vec(0u64..50, 1..200),
+    ) {
+        let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
+        let mut now = 0u64;
+        for (b, g) in blocks.iter().zip(&gaps) {
+            now += g;
+            let done = m.read_block(*b, now);
+            prop_assert!(done > now, "completion {done} must be after request {now}");
+            prop_assert!(done - now < 100_000, "latency must stay bounded");
+        }
+    }
+
+    /// The channel never serves more bandwidth than its peak: N same-row
+    /// reads need at least N bursts of bus time.
+    #[test]
+    fn dram_bandwidth_never_exceeds_peak(n in 1u64..2000) {
+        let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
+        let mut last = 0;
+        for b in 0..n {
+            last = last.max(m.read_block(b, 0));
+        }
+        // 102.4 GB/s @ 4 GHz = 0.4 blocks/cycle peak.
+        let min_cycles = (n as f64 / 0.4).floor() as u64;
+        prop_assert!(last >= min_cycles.saturating_sub(200),
+            "{n} blocks in {last} cycles beats peak bandwidth");
+    }
+
+    /// Cache directory: a just-inserted key is present; an invalidated key
+    /// is absent; occupancy never exceeds capacity.
+    #[test]
+    fn set_assoc_invariants(
+        keys in prop::collection::vec(0u64..4096, 1..300),
+        sets in prop::sample::select(vec![4u64, 16, 64]),
+        ways in prop::sample::select(vec![1usize, 2, 8]),
+    ) {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(sets, ways, ReplacementKind::Lru);
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 5 == 4 {
+                c.invalidate(k);
+                prop_assert!(!c.contains(k));
+            } else {
+                c.insert(k, 0, i % 2 == 0);
+                prop_assert!(c.contains(k), "key {k} vanished right after insert");
+            }
+            prop_assert!(c.occupancy() <= (sets as usize) * ways);
+        }
+    }
+
+    /// Eviction keys always reconstruct to a previously inserted key.
+    #[test]
+    fn evictions_return_real_keys(keys in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(8, 2, ReplacementKind::Nru);
+        let mut inserted = std::collections::HashSet::new();
+        for &k in &keys {
+            if let Some(ev) = c.insert(k, (), false) {
+                prop_assert!(inserted.contains(&ev.key),
+                    "evicted key {} was never inserted", ev.key);
+            }
+            inserted.insert(k);
+        }
+    }
+
+    /// Sectored cache state machine: write -> hit; invalidate -> miss;
+    /// dirty blocks always reported on eviction exactly once.
+    #[test]
+    fn sectored_state_machine(ops in prop::collection::vec((0u64..1 << 14, any::<bool>()), 1..300)) {
+        let mut c = SectoredDramCache::new(
+            1 << 22, // 4 MB
+            4096,
+            4,
+            DramConfig::hbm_102(),
+            4000.0,
+            true,
+        );
+        for (block, dirty) in ops {
+            if !c.sector_present(block) {
+                let _ = c.allocate(block, 0);
+            }
+            prop_assert!(c.write_data(block, 0, dirty));
+            let expect = if dirty { BlockState::DirtyHit } else { c.state(block) };
+            prop_assert_ne!(c.state(block), BlockState::Miss);
+            if dirty {
+                prop_assert_eq!(c.state(block), expect);
+            }
+            c.invalidate_block(block);
+            prop_assert_eq!(c.state(block), BlockState::Miss);
+        }
+    }
+}
+
+#[test]
+fn dram_modules_are_deterministic() {
+    let run = || {
+        let mut m = DramModule::new(DramConfig::ddr4_2400(), 4000.0);
+        let mut acc = 0u64;
+        for i in 0..5_000u64 {
+            acc = acc.wrapping_add(m.read_block(i.wrapping_mul(2654435761) % (1 << 20), i * 3));
+            if i % 3 == 0 {
+                m.write_block(i % (1 << 20), i * 3);
+            }
+        }
+        m.flush_writes(1 << 20);
+        (acc, m.stats())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,240 @@
+//! White-box tests of the memory subsystem's routing flows, driven through
+//! purpose-built stub policies.
+
+use mem_sim::clock::Cycle;
+use mem_sim::system::MemAccessKind;
+use mem_sim::{
+    MemorySubsystem, Observation, Partitioner, ReadContext, ReadRoute, SystemConfig, WriteRoute,
+};
+
+/// A policy scripted to make one specific decision.
+#[derive(Default)]
+struct Scripted {
+    force_hits: bool,
+    bypass_writes: bool,
+    bypass_fills: bool,
+    write_through: bool,
+    speculative: bool,
+    steer: bool,
+    /// Steering only engages from this cycle on (lets tests warm the cache
+    /// with normal reads first).
+    steer_after: Cycle,
+    /// Sets that stay disabled for the whole run.
+    disabled: Vec<u64>,
+    /// Sets reported once for flushing.
+    newly_disabled: Vec<u64>,
+    clean_sectors: Vec<u64>,
+    observations: std::cell::RefCell<Vec<Observation>>,
+}
+
+impl Partitioner for Scripted {
+    fn observe(&mut self, event: Observation, _now: Cycle) {
+        self.observations.get_mut().push(event);
+    }
+    fn route_read(&mut self, ctx: &ReadContext) -> ReadRoute {
+        if self.speculative {
+            ReadRoute::Speculative
+        } else if self.steer && ctx.now >= self.steer_after {
+            ReadRoute::SteerMainMemory
+        } else {
+            ReadRoute::Lookup
+        }
+    }
+    fn force_clean_hit(&mut self, _ctx: &ReadContext) -> bool {
+        self.force_hits
+    }
+    fn route_write(&mut self, _block: u64, _now: Cycle, hit: bool) -> WriteRoute {
+        if self.write_through {
+            WriteRoute::Both
+        } else if self.bypass_writes && hit {
+            WriteRoute::MainMemory
+        } else {
+            WriteRoute::Cache
+        }
+    }
+    fn allow_fill(&mut self, _block: u64, _now: Cycle) -> bool {
+        !self.bypass_fills
+    }
+    fn set_enabled(&mut self, set: u64, _now: Cycle) -> bool {
+        !self.disabled.contains(&set)
+    }
+    fn take_newly_disabled_sets(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.newly_disabled)
+    }
+    fn take_sectors_to_clean(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.clean_sectors)
+    }
+}
+
+fn subsystem(policy: Scripted) -> MemorySubsystem {
+    MemorySubsystem::new(&SystemConfig::sectored_dram_cache(1), Box::new(policy))
+}
+
+const B: u64 = 0x5000; // an arbitrary block
+
+#[test]
+fn miss_then_fill_then_hit_counts() {
+    let mut m = subsystem(Scripted::default());
+    let t1 = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    assert!(t1 > 1000);
+    let t2 = m.read(B, 0, 0, t1, MemAccessKind::DemandRead);
+    assert!(t2 > t1);
+    let s = m.stats();
+    assert_eq!(s.ms_read_misses, 1);
+    assert_eq!(s.ms_read_hits, 1);
+    assert_eq!(s.fills, 1);
+}
+
+#[test]
+fn fill_bypass_keeps_block_absent() {
+    let mut m = subsystem(Scripted {
+        bypass_fills: true,
+        ..Default::default()
+    });
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    let _ = m.read(B, 0, 0, 50_000, MemAccessKind::DemandRead);
+    let s = m.stats();
+    assert_eq!(
+        s.ms_read_misses, 2,
+        "bypassed fill means the re-read misses again"
+    );
+    assert_eq!(s.fills_bypassed, 2);
+    assert_eq!(s.fills, 0);
+}
+
+#[test]
+fn write_bypass_invalidates_cached_copy() {
+    let mut m = subsystem(Scripted {
+        bypass_writes: true,
+        ..Default::default()
+    });
+    // Install the block via a read miss + fill.
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    // The dirty eviction is bypassed to memory and the copy invalidated.
+    m.write(B, 50_000);
+    assert_eq!(m.stats().writes_bypassed, 1);
+    // The next read must miss (the cached copy was invalidated).
+    let _ = m.read(B, 0, 0, 100_000, MemAccessKind::DemandRead);
+    assert_eq!(m.stats().ms_read_misses, 2);
+}
+
+#[test]
+fn forced_clean_hit_served_by_main_memory() {
+    let mut m = subsystem(Scripted {
+        force_hits: true,
+        ..Default::default()
+    });
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    let _ = m.read(B, 0, 0, 50_000, MemAccessKind::DemandRead);
+    let s = m.stats();
+    assert_eq!(s.forced_read_misses, 1);
+    assert_eq!(s.ms_read_hits, 0, "forced hits count as served-by-memory");
+}
+
+#[test]
+fn dirty_hit_never_forced() {
+    let mut m = subsystem(Scripted {
+        force_hits: true,
+        ..Default::default()
+    });
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    m.write(B, 50_000); // block now dirty in the cache
+    let _ = m.read(B, 0, 0, 100_000, MemAccessKind::DemandRead);
+    let s = m.stats();
+    assert_eq!(
+        s.forced_read_misses, 0,
+        "dirty data must come from the cache"
+    );
+    assert_eq!(s.ms_read_hits, 1);
+}
+
+#[test]
+fn speculative_read_wasted_on_dirty_hit() {
+    let mut m = subsystem(Scripted {
+        speculative: true,
+        ..Default::default()
+    });
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead); // miss (speculation correct)
+    m.write(B, 50_000); // dirty
+    let _ = m.read(B, 0, 0, 100_000, MemAccessKind::DemandRead);
+    let s = m.stats();
+    assert_eq!(s.speculative_forced, 2);
+    assert_eq!(
+        s.speculative_wasted, 1,
+        "the dirty hit wasted the speculative fetch"
+    );
+}
+
+#[test]
+fn steering_respects_dirty_blocks() {
+    // Warm the cache with a normal read, dirty the block, then steer.
+    let mut m = subsystem(Scripted {
+        steer: true,
+        steer_after: 10_000,
+        ..Default::default()
+    });
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead); // normal miss + fill
+    m.write(B, 50_000); // block now dirty in the cache
+                        // Steering would return stale data; the subsystem must use the cache.
+    let _ = m.read(B, 0, 0, 100_000, MemAccessKind::DemandRead);
+    assert_eq!(m.stats().ms_read_hits, 1);
+}
+
+#[test]
+fn write_through_leaves_block_clean() {
+    let mut m = subsystem(Scripted {
+        write_through: true,
+        ..Default::default()
+    });
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    m.write(B, 50_000);
+    assert_eq!(m.stats().write_throughs, 1);
+    // A forced-hit policy could now bypass it; simpler check: re-write with
+    // bypassing disabled and confirm no dirty eviction is ever produced by
+    // flushing a disabled set.
+    let s = m.stats();
+    assert_eq!(s.ms_dirty_evictions, 0);
+}
+
+#[test]
+fn disabled_sets_miss_and_flush_dirty_blocks() {
+    let config = SystemConfig::sectored_dram_cache(1);
+    // First warm a block and dirty it with a permissive policy, then flip
+    // to a policy that disables every set.
+    let mut m = MemorySubsystem::new(
+        &config,
+        Box::new(Scripted {
+            disabled: vec![(B >> 6) % 4096],
+            newly_disabled: vec![(B >> 6) % 4096],
+            ..Default::default()
+        }),
+    );
+    // The disabled-set flush happens on the first access; afterwards the
+    // set rejects fills, so reads keep missing.
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    let _ = m.read(B, 0, 0, 50_000, MemAccessKind::DemandRead);
+    assert_eq!(
+        m.stats().ms_read_misses,
+        2,
+        "disabled set must not serve hits"
+    );
+}
+
+#[test]
+fn observations_cover_demand_and_miss_events() {
+    let mut m = subsystem(Scripted::default());
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::DemandRead);
+    // We can't inspect the moved-in policy, but the stats must agree.
+    assert_eq!(m.stats().demand_reads, 1);
+    assert_eq!(m.stats().ms_read_misses, 1);
+}
+
+#[test]
+fn rfo_and_prefetch_do_not_count_latency() {
+    let mut m = subsystem(Scripted::default());
+    let _ = m.read(B, 0, 0, 1000, MemAccessKind::Rfo);
+    let _ = m.read(B + 1, 0, 0, 1000, MemAccessKind::Prefetch);
+    let s = m.stats();
+    assert_eq!(s.read_latency_count, 0);
+    assert_eq!(s.demand_reads, 0);
+}

@@ -1,0 +1,29 @@
+//! # policies — related access-partitioning proposals
+//!
+//! The baselines the paper compares DAP against in Section VI-A4 /
+//! Fig. 11, implemented as [`mem_sim::Partitioner`]s:
+//!
+//! * [`Sbd`] — Self-Balancing Dispatch (Sim et al., MICRO 2012): steers
+//!   reads to whichever source has the lowest expected latency, kept safe
+//!   by a mostly-clean cache (write-through by default, a Dirty List of
+//!   write-intensive pages tracked by counting Bloom filters). The
+//!   [`SbdVariant::WriteThroughOnly`] flavour is the paper's SBD-WT, which
+//!   never force-cleans evicted Dirty List pages.
+//! * [`Batman`] — Bandwidth-Aware Tiered-Memory Management (Chou et al.):
+//!   disables cache sets until the observed hit rate matches the
+//!   bandwidth-optimal target `B_MS$ / (B_MS$ + B_MM)`.
+//!
+//! BEAR is not a partitioner — it is an Alloy-cache optimization — and is
+//! modeled inside `mem_sim::mscache::AlloyCache` (presence bits +
+//! reuse-aware fill bypass).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batman;
+pub mod bloom;
+pub mod sbd;
+
+pub use batman::Batman;
+pub use bloom::CountingBloom;
+pub use sbd::{Sbd, SbdVariant};

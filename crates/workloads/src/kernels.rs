@@ -1,0 +1,137 @@
+//! Microbenchmark kernels.
+//!
+//! [`ReadKernel`] reproduces the Figure 1 experiment: a read-only stream
+//! whose memory-side cache hit rate is controlled to a target value, used
+//! to measure delivered bandwidth as a function of hit rate.
+
+use mem_sim::trace::{OpKind, TraceOp, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A read-only trace with a controlled cache hit rate.
+///
+/// With probability `hit_rate` the kernel re-reads a block from a small
+/// warm region (resident in the memory-side cache after warmup); otherwise
+/// it reads the next block of an endless cold stream (guaranteed miss).
+/// Gaps are zero: the kernel demands as much bandwidth as the core can
+/// generate, exactly like the paper's "simple read bandwidth kernel".
+#[derive(Debug, Clone)]
+pub struct ReadKernel {
+    base: u64,
+    warm_blocks: u64,
+    warm_cursor: u64,
+    cold_cursor: u64,
+    hit_rate: f64,
+    warming: u64,
+    rng: StdRng,
+}
+
+impl ReadKernel {
+    /// Creates a kernel targeting `hit_rate` in `[0, 1]`, with a warm
+    /// region of `warm_bytes` placed at `base`. The first pass streams the
+    /// warm region once to install it in the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_rate` is outside `[0, 1]` or the warm region is
+    /// smaller than one block.
+    pub fn new(base: u64, warm_bytes: u64, hit_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate in [0, 1]");
+        assert!(warm_bytes >= 64);
+        let warm_blocks = warm_bytes / 64;
+        Self {
+            base,
+            warm_blocks,
+            warm_cursor: 0,
+            cold_cursor: 0,
+            hit_rate,
+            warming: warm_blocks,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The target hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_rate
+    }
+}
+
+impl TraceSource for ReadKernel {
+    fn next_op(&mut self) -> TraceOp {
+        let block = if self.warming > 0 {
+            // Warmup pass: install the warm region.
+            self.warming -= 1;
+            let b = self.warm_cursor;
+            self.warm_cursor = (self.warm_cursor + 1) % self.warm_blocks;
+            b
+        } else if self.rng.gen::<f64>() < self.hit_rate {
+            let b = self.warm_cursor;
+            self.warm_cursor = (self.warm_cursor + 1) % self.warm_blocks;
+            b
+        } else {
+            // Cold stream: fresh blocks beyond the warm region, never
+            // repeated, so they always miss.
+            self.cold_cursor += 1;
+            self.warm_blocks + self.cold_cursor
+        };
+        TraceOp {
+            gap: 0,
+            kind: OpKind::Read,
+            addr: self.base + block * 64,
+            pc: 0x600000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_streams_warm_region_first() {
+        let mut k = ReadKernel::new(0, 64 * 10, 0.5, 1);
+        for i in 0..10 {
+            assert_eq!(k.next_op().addr, i * 64);
+        }
+    }
+
+    #[test]
+    fn hit_fraction_matches_target() {
+        let mut k = ReadKernel::new(0, 64 * 100, 0.7, 1);
+        for _ in 0..100 {
+            k.next_op(); // warmup
+        }
+        let warm_limit = 64 * 100;
+        let warm = (0..20_000)
+            .filter(|_| k.next_op().addr < warm_limit)
+            .count();
+        let f = warm as f64 / 20_000.0;
+        assert!((f - 0.7).abs() < 0.02, "warm fraction {f}");
+    }
+
+    #[test]
+    fn cold_blocks_never_repeat() {
+        let mut k = ReadKernel::new(0, 64 * 4, 0.0, 1);
+        for _ in 0..4 {
+            k.next_op();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(k.next_op().addr), "cold stream must not repeat");
+        }
+    }
+
+    #[test]
+    fn full_hit_rate_stays_warm() {
+        let mut k = ReadKernel::new(0, 64 * 8, 1.0, 1);
+        for _ in 0..1000 {
+            assert!(k.next_op().addr < 64 * 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate in [0, 1]")]
+    fn invalid_hit_rate_rejected() {
+        let _ = ReadKernel::new(0, 64, 1.5, 1);
+    }
+}

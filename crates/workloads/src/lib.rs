@@ -1,0 +1,41 @@
+//! # workloads — synthetic clones of the paper's benchmark suite
+//!
+//! The paper evaluates DAP on one-billion-instruction snippets of
+//! seventeen SPEC CPU 2006 / HPCG / Parboil applications, run in rate-8
+//! mode and in 27 heterogeneous eight-way mixes. SPEC binaries and traces
+//! cannot ship with this reproduction, so this crate provides *parameterized
+//! synthetic clones*: deterministic trace generators whose footprint,
+//! memory intensity (gap between memory operations), read/write mix, and
+//! locality structure (streaming vs pointer-chasing vs hot-set) are tuned
+//! so that each clone lands in the same qualitative class the paper
+//! measures — the same bandwidth-sensitivity split (Fig. 4), comparable L3
+//! MPKI ordering, and comparable memory-side cache hit rates.
+//!
+//! DAP's behaviour depends only on the memory access stream, so clones
+//! that reproduce those stream statistics exercise the policy the same way
+//! the originals do. Footprints are scaled by
+//! [`mem_sim::CAPACITY_SCALE`] in lockstep with the cache capacities.
+//!
+//! ```
+//! use workloads::{spec, rate_mode};
+//! let mcf = spec("mcf").expect("known benchmark");
+//! let traces = rate_mode(mcf, 8); // eight copies in disjoint regions
+//! assert_eq!(traces.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod kernels;
+pub mod mixes;
+pub mod spec;
+pub mod tracefile;
+
+pub use generator::CloneTrace;
+pub use kernels::ReadKernel;
+pub use mixes::{all_44_workloads, heterogeneous_mixes, rate_mix, rate_mode, Mix};
+pub use spec::{
+    all_specs, bandwidth_insensitive, bandwidth_sensitive, spec, Sensitivity, WorkloadSpec,
+};
+pub use tracefile::{record, TraceFile};

@@ -1,0 +1,179 @@
+//! Rate-N and heterogeneous multi-programmed mixes (Section V).
+//!
+//! The paper evaluates 44 eight-way workloads: seventeen homogeneous
+//! rate-8 mixes (one per benchmark) and 27 heterogeneous mixes, roughly
+//! half combining similarly bandwidth-sensitive snippets and half mixing
+//! dissimilar ones.
+
+use mem_sim::trace::TraceSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::CloneTrace;
+use crate::spec::{all_specs, bandwidth_insensitive, bandwidth_sensitive, WorkloadSpec};
+
+/// Address-space stride between cores' footprints (~64 GB apart — cores
+/// never share data in rate or mixed mode, as in the paper). The stride is
+/// deliberately *not* a power of two: a 4 KB-aligned odd sector offset
+/// (785 sectors) so that different cores' footprints do not alias onto the
+/// same cache sets, as real (page-randomized) physical address layouts do
+/// not.
+const CORE_STRIDE: u64 = (1 << 36) + 0x31_1000;
+
+/// One multi-programmed mix: a name and one benchmark clone per core.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Mix label (for reports).
+    pub name: String,
+    /// Constituent benchmark specs, one per core.
+    pub specs: Vec<&'static WorkloadSpec>,
+}
+
+impl Mix {
+    /// Builds the trace set for this mix.
+    pub fn traces(&self) -> Vec<Box<dyn TraceSource>> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Box::new(CloneTrace::new(
+                    s,
+                    0x1000_0000 + (i as u64) * CORE_STRIDE,
+                    i as u64,
+                )) as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+
+    /// Whether every constituent is bandwidth-sensitive.
+    pub fn is_homogeneous_sensitive(&self) -> bool {
+        self.specs
+            .iter()
+            .all(|s| s.sensitivity == crate::spec::Sensitivity::BandwidthSensitive)
+    }
+}
+
+/// `cores` copies of one benchmark in disjoint address regions (the
+/// paper's rate-N mode).
+pub fn rate_mode(spec: &'static WorkloadSpec, cores: usize) -> Vec<Box<dyn TraceSource>> {
+    (0..cores)
+        .map(|i| {
+            Box::new(CloneTrace::new(
+                spec,
+                0x1000_0000 + (i as u64) * CORE_STRIDE,
+                i as u64,
+            )) as Box<dyn TraceSource>
+        })
+        .collect()
+}
+
+/// A rate-mode [`Mix`] descriptor for a single benchmark.
+pub fn rate_mix(spec: &'static WorkloadSpec, cores: usize) -> Mix {
+    Mix {
+        name: spec.name.to_string(),
+        specs: vec![spec; cores],
+    }
+}
+
+/// The 27 heterogeneous eight-way mixes: 13 "similar" mixes drawn from the
+/// bandwidth-sensitive pool and 14 "dissimilar" mixes drawing half from
+/// each pool — matching the paper's roughly half-and-half construction.
+/// Deterministic: the same mixes are produced on every call.
+pub fn heterogeneous_mixes() -> Vec<Mix> {
+    let sens = bandwidth_sensitive();
+    let insens = bandwidth_insensitive();
+    let mut rng = StdRng::seed_from_u64(0xDA92017 ^ 0xA5A5);
+    let mut mixes = Vec::with_capacity(27);
+    for m in 0..27 {
+        let similar = m < 13;
+        let mut specs = Vec::with_capacity(8);
+        for slot in 0..8 {
+            let s = if similar || slot % 2 == 0 {
+                sens[rng.gen_range(0..sens.len())]
+            } else {
+                insens[rng.gen_range(0..insens.len())]
+            };
+            specs.push(s);
+        }
+        mixes.push(Mix {
+            name: format!("mix{:02}", m + 1),
+            specs,
+        });
+    }
+    mixes
+}
+
+/// All 44 workloads of Fig. 12: 12 bandwidth-sensitive rate-8, 5
+/// bandwidth-insensitive rate-8, and the 27 heterogeneous mixes.
+pub fn all_44_workloads(cores: usize) -> Vec<Mix> {
+    let mut out = Vec::with_capacity(44);
+    for s in all_specs() {
+        if s.sensitivity == crate::spec::Sensitivity::BandwidthSensitive {
+            out.push(rate_mix(s, cores));
+        }
+    }
+    for s in all_specs() {
+        if s.sensitivity == crate::spec::Sensitivity::BandwidthInsensitive {
+            out.push(rate_mix(s, cores));
+        }
+    }
+    out.extend(heterogeneous_mixes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_mode_builds_one_trace_per_core() {
+        let traces = rate_mode(crate::spec::spec("hpcg").unwrap(), 8);
+        assert_eq!(traces.len(), 8);
+    }
+
+    #[test]
+    fn heterogeneous_mixes_are_27_and_deterministic() {
+        let a = heterogeneous_mixes();
+        let b = heterogeneous_mixes();
+        assert_eq!(a.len(), 27);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            let xn: Vec<_> = x.specs.iter().map(|s| s.name).collect();
+            let yn: Vec<_> = y.specs.iter().map(|s| s.name).collect();
+            assert_eq!(xn, yn);
+        }
+    }
+
+    #[test]
+    fn similar_and_dissimilar_mixes_split() {
+        let mixes = heterogeneous_mixes();
+        let similar = mixes
+            .iter()
+            .filter(|m| m.is_homogeneous_sensitive())
+            .count();
+        assert_eq!(
+            similar, 13,
+            "first 13 mixes draw only from the sensitive pool"
+        );
+    }
+
+    #[test]
+    fn forty_four_workloads_total() {
+        let all = all_44_workloads(8);
+        assert_eq!(all.len(), 44);
+        assert!(all.iter().all(|m| m.specs.len() == 8));
+        // First twelve are the bandwidth-sensitive rate mixes.
+        assert!(all[..12].iter().all(Mix::is_homogeneous_sensitive));
+    }
+
+    #[test]
+    fn mix_traces_use_disjoint_address_regions() {
+        let mix = &heterogeneous_mixes()[0];
+        let mut traces = mix.traces();
+        let mut firsts: Vec<u64> = traces.iter_mut().map(|t| t.next_op().addr).collect();
+        firsts.sort_unstable();
+        for w in firsts.windows(2) {
+            assert!(w[1] - w[0] > 1 << 30, "cores must not share footprints");
+        }
+    }
+}

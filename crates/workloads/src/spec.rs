@@ -1,0 +1,297 @@
+//! The seventeen benchmark clone specifications.
+//!
+//! Parameters are chosen from the qualitative behaviour the paper reports:
+//! the twelve bandwidth-sensitive snippets have an average L3 MPKI of 20.4
+//! and speed up when DRAM-cache bandwidth doubles; the five insensitive
+//! ones average 11.6 MPKI and do not. `omnetpp` and `astar.BigLakes` have
+//! poor sector utilization (high tag-cache miss rates, Fig. 5); `mcf` is a
+//! pointer-chaser; `libquantum`/`hpcg`/`parboil-lbm` are streaming;
+//! `parboil-lbm`'s heavy write mix keeps its baseline main-memory CAS
+//! fraction high (Fig. 8).
+
+/// Whether the paper classifies the benchmark as bandwidth-sensitive
+/// (Fig. 4: gains from doubling the DRAM-cache bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sensitivity {
+    /// Gains >5% from doubled memory-side cache bandwidth.
+    BandwidthSensitive,
+    /// Insensitive to memory-side cache bandwidth.
+    BandwidthInsensitive,
+}
+
+/// The parameters of one benchmark clone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Paper-equivalent footprint in MB (scaled down at trace-build time).
+    pub footprint_mb: u64,
+    /// Mean non-memory instructions between memory operations.
+    pub gap_mean: u32,
+    /// Fraction of memory operations that are stores.
+    pub write_fraction: f64,
+    /// Fraction of loads that are dependent pointer chases (random blocks,
+    /// poor sector utilization).
+    pub chase_fraction: f64,
+    /// Concurrent sequential streams (strided engines).
+    pub streams: u32,
+    /// Fraction of accesses landing in a small hot region (SRAM-friendly).
+    pub hot_fraction: f64,
+    /// Bandwidth-sensitivity class from Fig. 4.
+    pub sensitivity: Sensitivity,
+}
+
+use Sensitivity::{BandwidthInsensitive as Insens, BandwidthSensitive as Sens};
+
+/// All seventeen clones, in the paper's alphabetical figure order.
+const SPECS: [WorkloadSpec; 17] = [
+    WorkloadSpec {
+        name: "astar.BigLakes",
+        footprint_mb: 256,
+        gap_mean: 4,
+        write_fraction: 0.15,
+        chase_fraction: 0.65,
+        streams: 2,
+        hot_fraction: 0.30,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "bwaves",
+        footprint_mb: 256,
+        gap_mean: 34,
+        write_fraction: 0.20,
+        chase_fraction: 0.05,
+        streams: 6,
+        hot_fraction: 0.35,
+        sensitivity: Insens,
+    },
+    WorkloadSpec {
+        name: "bzip2.combined",
+        footprint_mb: 192,
+        gap_mean: 3,
+        write_fraction: 0.30,
+        chase_fraction: 0.20,
+        streams: 3,
+        hot_fraction: 0.25,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "cactusADM",
+        footprint_mb: 224,
+        gap_mean: 40,
+        write_fraction: 0.25,
+        chase_fraction: 0.05,
+        streams: 4,
+        hot_fraction: 0.40,
+        sensitivity: Insens,
+    },
+    WorkloadSpec {
+        name: "gcc.expr",
+        footprint_mb: 224,
+        gap_mean: 3,
+        write_fraction: 0.35,
+        chase_fraction: 0.25,
+        streams: 3,
+        hot_fraction: 0.20,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "gcc.s04",
+        footprint_mb: 288,
+        gap_mean: 3,
+        write_fraction: 0.35,
+        chase_fraction: 0.30,
+        streams: 3,
+        hot_fraction: 0.15,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "gobmk.score2",
+        footprint_mb: 160,
+        gap_mean: 4,
+        write_fraction: 0.25,
+        chase_fraction: 0.35,
+        streams: 2,
+        hot_fraction: 0.30,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "hpcg",
+        footprint_mb: 352,
+        gap_mean: 2,
+        write_fraction: 0.15,
+        chase_fraction: 0.10,
+        streams: 6,
+        hot_fraction: 0.10,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "leslie3D",
+        footprint_mb: 240,
+        gap_mean: 36,
+        write_fraction: 0.25,
+        chase_fraction: 0.05,
+        streams: 5,
+        hot_fraction: 0.35,
+        sensitivity: Insens,
+    },
+    WorkloadSpec {
+        name: "libquantum",
+        footprint_mb: 192,
+        gap_mean: 2,
+        write_fraction: 0.25,
+        chase_fraction: 0.0,
+        streams: 1,
+        hot_fraction: 0.0,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "mcf",
+        footprint_mb: 384,
+        gap_mean: 3,
+        write_fraction: 0.10,
+        chase_fraction: 0.75,
+        streams: 1,
+        hot_fraction: 0.20,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "milc",
+        footprint_mb: 224,
+        gap_mean: 38,
+        write_fraction: 0.25,
+        chase_fraction: 0.10,
+        streams: 4,
+        hot_fraction: 0.30,
+        sensitivity: Insens,
+    },
+    WorkloadSpec {
+        name: "omnetpp",
+        footprint_mb: 320,
+        gap_mean: 3,
+        write_fraction: 0.20,
+        chase_fraction: 0.90,
+        streams: 1,
+        hot_fraction: 0.10,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "parboil-histo",
+        footprint_mb: 192,
+        gap_mean: 32,
+        write_fraction: 0.35,
+        chase_fraction: 0.15,
+        streams: 2,
+        hot_fraction: 0.40,
+        sensitivity: Insens,
+    },
+    WorkloadSpec {
+        name: "parboil-lbm",
+        footprint_mb: 256,
+        gap_mean: 2,
+        write_fraction: 0.45,
+        chase_fraction: 0.0,
+        streams: 8,
+        hot_fraction: 0.0,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "sjeng",
+        footprint_mb: 224,
+        gap_mean: 4,
+        write_fraction: 0.20,
+        chase_fraction: 0.50,
+        streams: 2,
+        hot_fraction: 0.25,
+        sensitivity: Sens,
+    },
+    WorkloadSpec {
+        name: "soplex.ref",
+        footprint_mb: 288,
+        gap_mean: 3,
+        write_fraction: 0.20,
+        chase_fraction: 0.30,
+        streams: 4,
+        hot_fraction: 0.15,
+        sensitivity: Sens,
+    },
+];
+
+/// All seventeen clone specifications.
+pub fn all_specs() -> &'static [WorkloadSpec] {
+    &SPECS
+}
+
+/// Looks up a clone by its paper name.
+pub fn spec(name: &str) -> Option<&'static WorkloadSpec> {
+    SPECS.iter().find(|s| s.name == name)
+}
+
+/// The twelve bandwidth-sensitive clones (Fig. 4's classification).
+pub fn bandwidth_sensitive() -> Vec<&'static WorkloadSpec> {
+    SPECS.iter().filter(|s| s.sensitivity == Sens).collect()
+}
+
+/// The five bandwidth-insensitive clones.
+pub fn bandwidth_insensitive() -> Vec<&'static WorkloadSpec> {
+    SPECS.iter().filter(|s| s.sensitivity == Insens).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_specs_with_papers_split() {
+        assert_eq!(all_specs().len(), 17);
+        assert_eq!(bandwidth_sensitive().len(), 12);
+        assert_eq!(bandwidth_insensitive().len(), 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all_specs().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(spec("mcf").unwrap().name, "mcf");
+        assert!(
+            spec("mcf").unwrap().chase_fraction > 0.5,
+            "mcf is a pointer chaser"
+        );
+        assert!(spec("nonexistent").is_none());
+    }
+
+    #[test]
+    fn sensitive_clones_are_memory_intensive() {
+        // Every bandwidth-sensitive clone must have a materially lower gap
+        // than every insensitive clone — that is what makes it saturate the
+        // cache channels in rate-8 mode.
+        let max_sens_gap = bandwidth_sensitive()
+            .iter()
+            .map(|s| s.gap_mean)
+            .max()
+            .unwrap();
+        let min_insens_gap = bandwidth_insensitive()
+            .iter()
+            .map(|s| s.gap_mean)
+            .min()
+            .unwrap();
+        assert!(max_sens_gap < min_insens_gap);
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for s in all_specs() {
+            assert!(s.footprint_mb >= 128, "{}: footprint too small", s.name);
+            assert!((0.0..=1.0).contains(&s.write_fraction));
+            assert!((0.0..=1.0).contains(&s.chase_fraction));
+            assert!((0.0..=1.0).contains(&s.hot_fraction));
+            assert!(s.streams >= 1);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Domain scenario: capacity/bandwidth planning with the analytical model.
+//!
+//! Before simulating anything, the paper's Section III bandwidth equation
+//! answers sizing questions directly: given a set of heterogeneous memory
+//! sources, what is the best achievable bandwidth, how should accesses be
+//! split, and how much does an unbalanced split cost? This example plans a
+//! hypothetical two-tier and three-tier part entirely analytically.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use dap_repro::dap::{delivered_bandwidth, optimal_fractions, BandwidthSource, SystemBandwidth};
+
+fn gbps(accesses_per_sec: f64) -> f64 {
+    accesses_per_sec * 64.0 / 1e9
+}
+
+fn report(name: &str, sources: Vec<BandwidthSource>, inflation: f64) {
+    println!("== {name}");
+    let sys = SystemBandwidth::new(sources.clone(), inflation);
+    let opt = sys.optimal_fractions();
+    for (s, f) in sources.iter().zip(&opt) {
+        println!("   {s:<24} optimal share {:5.1}%", f * 100.0);
+    }
+    println!(
+        "   max demand bandwidth: {:.1} GB/s (C = {inflation})",
+        gbps(sys.max_demand_bandwidth())
+    );
+
+    // Cost of the cache-centric split everyone ships by default: send
+    // everything to the fastest source.
+    let mut naive = vec![0.0; sources.len()];
+    naive[0] = 1.0;
+    let b_naive = delivered_bandwidth(&sources, &naive);
+    let b_opt = delivered_bandwidth(&sources, &opt);
+    println!(
+        "   all-to-cache delivers {:.1} GB/s -> partitioning recovers {:+.0}%\n",
+        gbps(b_naive),
+        (b_opt / b_naive - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("bandwidth planning with the Section III model\n");
+
+    report(
+        "HPCA'17 default: HBM cache + DDR4",
+        vec![
+            BandwidthSource::from_gbps("HBM cache", 102.4),
+            BandwidthSource::from_gbps("DDR4-2400", 38.4),
+        ],
+        1.25,
+    );
+
+    report(
+        "eDRAM part: split channels + DDR4",
+        vec![
+            BandwidthSource::from_gbps("eDRAM read", 51.2),
+            BandwidthSource::from_gbps("eDRAM write", 51.2),
+            BandwidthSource::from_gbps("DDR4-2400", 38.4),
+        ],
+        1.2,
+    );
+
+    report(
+        "future part: HBM3 + two DDR5 channels + CXL tier",
+        vec![
+            BandwidthSource::from_gbps("HBM3", 512.0),
+            BandwidthSource::from_gbps("DDR5-6400", 102.4),
+            BandwidthSource::from_gbps("CXL tier", 64.0),
+        ],
+        1.15,
+    );
+
+    // Sanity: the optimal fractions equalize B_i / f_i (Eq. 4).
+    let sources = vec![
+        BandwidthSource::from_gbps("a", 100.0),
+        BandwidthSource::from_gbps("b", 25.0),
+    ];
+    let f = optimal_fractions(&sources);
+    let ratios: Vec<f64> = sources
+        .iter()
+        .zip(&f)
+        .map(|(s, f)| s.accesses_per_sec() / f)
+        .collect();
+    assert!((ratios[0] - ratios[1]).abs() / ratios[0] < 1e-12);
+    println!("Eq. 4 check: B_1/f_1 == B_2/f_2 at the optimum — holds.");
+}

@@ -1,0 +1,68 @@
+//! Domain scenario: graph-analytics pointer chasing.
+//!
+//! Graph traversals are latency-bound, not bandwidth-bound: long dependent
+//! chains with little memory-level parallelism. A good partitioning policy
+//! must recognize this phase and stay out of the way — needless
+//! partitioning would serve hits from the slower DDR memory and *lose*
+//! performance (the failure mode the paper ascribes to BATMAN).
+//!
+//! ```sh
+//! cargo run --release --example graph_pointer_chase
+//! ```
+
+use dap_repro::dap::DapConfig;
+use dap_repro::experiments::runner::{build_policy, PolicyKind};
+use dap_repro::sim::trace::{ChaseTrace, TraceSource};
+use dap_repro::sim::{DapPolicy, System, SystemConfig};
+
+/// Eight traversal workers chasing pointers through 4 MB adjacency pools,
+/// with long computation gaps between memory operations.
+fn traversal_workers() -> Vec<Box<dyn TraceSource>> {
+    (0..8)
+        .map(|i| {
+            let base = 0x4000_0000 + (i as u64) * ((1 << 33) + 0x31_1000);
+            Box::new(ChaseTrace::new(base, 25, 4 << 20)) as Box<dyn TraceSource>
+        })
+        .collect()
+}
+
+fn main() {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let instructions = 300_000;
+
+    let base = System::new(config.clone(), traversal_workers()).run(instructions);
+    let dap = System::with_policy(
+        config.clone(),
+        traversal_workers(),
+        Box::new(DapPolicy::new(DapConfig::hbm_ddr4())),
+    )
+    .run(instructions);
+    let batman = System::with_policy(
+        config.clone(),
+        traversal_workers(),
+        build_policy(PolicyKind::Batman, &config),
+    )
+    .run(instructions);
+
+    println!("latency-bound graph traversal, 8 workers\n");
+    println!("policy     traversal throughput (IPC)   vs baseline");
+    println!("baseline   {:>10.3}", base.total_ipc());
+    for (name, r) in [("DAP", &dap), ("BATMAN", &batman)] {
+        println!(
+            "{name:<9}  {:>10.3}                  {:+6.2}%",
+            r.total_ipc(),
+            (r.total_ipc() / base.total_ipc() - 1.0) * 100.0
+        );
+    }
+    let partitioned = dap
+        .dap_decisions
+        .map(|d| d.windows_partitioned as f64 / d.windows_total.max(1) as f64)
+        .unwrap_or(0.0);
+    println!(
+        "\nDAP partitioned only {:.2}% of windows: it detects there is no cache-bandwidth",
+        partitioned * 100.0
+    );
+    println!("shortage and leaves the latency-sensitive traversal alone. BATMAN keeps");
+    println!("modulating the hit rate regardless, which is why the paper reports losses");
+    println!("for it on latency-sensitive phases (Section VI-A4).");
+}

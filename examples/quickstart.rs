@@ -1,0 +1,62 @@
+//! Quickstart: run one benchmark clone on the paper's default system, with
+//! and without DAP, and print what changed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dap_repro::experiments::runner::{run_mix, PolicyKind};
+use dap_repro::sim::SystemConfig;
+use dap_repro::workloads::{rate_mix, spec};
+
+fn main() {
+    // The paper's platform: eight cores, a 4 GB (scaled) sectored HBM DRAM
+    // cache at 102.4 GB/s, and dual-channel DDR4-2400 at 38.4 GB/s.
+    let config = SystemConfig::sectored_dram_cache(8);
+
+    // libquantum in rate-8 mode: eight copies of a bandwidth-hungry
+    // streaming kernel, one per core.
+    let mix = rate_mix(spec("libquantum").expect("known benchmark"), 8);
+
+    println!("running baseline...");
+    let base = run_mix(&config, PolicyKind::Baseline, &mix, 400_000);
+    println!("running DAP...");
+    let dap = run_mix(&config, PolicyKind::Dap, &mix, 400_000);
+
+    let speedup = dap.total_ipc() / base.total_ipc();
+    println!();
+    println!("                      baseline      DAP");
+    println!(
+        "throughput (IPC)      {:8.3}  {:8.3}   ({:+.1}%)",
+        base.total_ipc(),
+        dap.total_ipc(),
+        (speedup - 1.0) * 100.0
+    );
+    println!(
+        "cache hit ratio       {:8.3}  {:8.3}   (DAP trades hits for bandwidth)",
+        base.stats.ms_hit_ratio(),
+        dap.stats.ms_hit_ratio()
+    );
+    println!(
+        "main-memory CAS frac  {:8.3}  {:8.3}   (optimal = 0.27)",
+        base.stats.mm_cas_fraction(),
+        dap.stats.mm_cas_fraction()
+    );
+    println!(
+        "avg read latency      {:8.0}  {:8.0}   cycles",
+        base.stats.avg_read_latency(),
+        dap.stats.avg_read_latency()
+    );
+    if let Some(d) = dap.dap_decisions {
+        let [fwb, wb, ifrm, sfrm] = d.mix();
+        println!();
+        println!(
+            "DAP decisions: {} total (FWB {:.0}%, WB {:.0}%, IFRM {:.0}%, SFRM {:.0}%)",
+            d.total_decisions(),
+            fwb * 100.0,
+            wb * 100.0,
+            ifrm * 100.0,
+            sfrm * 100.0
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Domain scenario: an in-memory column-scan analytics engine.
+//!
+//! Analytical databases stream large column segments with a modest write
+//! mix (intermediate results) — exactly the bandwidth-bound access pattern
+//! the paper's introduction motivates. This example builds such a workload
+//! directly from trace primitives (no benchmark clones) and measures how
+//! much scan throughput DAP recovers from the idle DDR channels across
+//! cache bandwidth points.
+//!
+//! ```sh
+//! cargo run --release --example streaming_analytics
+//! ```
+
+use dap_repro::dap::DapConfig;
+use dap_repro::sim::dram::DramConfig;
+use dap_repro::sim::trace::{StrideTrace, TraceSource};
+use dap_repro::sim::{CacheKind, DapPolicy, System, SystemConfig};
+
+/// Eight scan workers, each streaming a 6 MB column segment (scaled) with
+/// a 15% write mix and three non-memory instructions per access.
+fn scan_workers(cores: usize) -> Vec<Box<dyn TraceSource>> {
+    (0..cores)
+        .map(|i| {
+            let base = 0x2000_0000 + (i as u64) * ((1 << 33) + 0x31_1000);
+            Box::new(StrideTrace::new(base, 3, 6 << 20, 0.15)) as Box<dyn TraceSource>
+        })
+        .collect()
+}
+
+fn run(cache_gbps: f64, dram: DramConfig, with_dap: bool) -> f64 {
+    let mut config = SystemConfig::sectored_dram_cache(8);
+    if let CacheKind::Sectored { dram: d, .. } = &mut config.cache {
+        *d = dram;
+    }
+    let mut system = if with_dap {
+        let dap = DapConfig {
+            cache_gbps,
+            ..DapConfig::hbm_ddr4()
+        };
+        System::with_policy(config, scan_workers(8), Box::new(DapPolicy::new(dap)))
+    } else {
+        System::new(config, scan_workers(8))
+    };
+    let result = system.run(600_000);
+    // Scan throughput: blocks touched per microsecond across the cluster.
+    let memops = 600_000.0 * 8.0 / 4.0; // one access per (1 + gap) instructions
+    let seconds = result.per_core.iter().map(|c| c.cycles).max().unwrap() as f64 / 4e9;
+    memops / seconds / 1e6
+}
+
+fn main() {
+    println!("column-scan throughput (blocks/us), 8 workers, 38.4 GB/s DDR4 behind the cache\n");
+    println!("cache bandwidth     baseline      +DAP     gain");
+    for (gbps, dram) in [
+        (102.4, DramConfig::hbm_102()),
+        (128.0, DramConfig::hbm_128()),
+        (204.8, DramConfig::hbm_204()),
+    ] {
+        let base = run(gbps, dram.clone(), false);
+        let dap = run(gbps, dram, true);
+        println!(
+            "{:>9.1} GB/s    {:>9.1} {:>9.1}   {:+5.1}%",
+            gbps,
+            base,
+            dap,
+            (dap / base - 1.0) * 100.0
+        );
+    }
+    println!("\nThe gain shrinks as the cache gets faster: with more cache bandwidth the");
+    println!("baseline is already closer to the optimal partition (paper Fig. 10).");
+}

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from experiment_results/*.txt plus the
+paper-expectation commentary below. Run after ./run_experiments.sh."""
+
+import os
+import sys
+
+RESULTS = "experiment_results"
+
+# (file, paper_expectation, agreement_notes)
+SECTIONS = [
+    ("fig01_bw_vs_hitrate", """**Paper:** the single-bus HBM DRAM cache's delivered bandwidth rises with
+hit rate and plateaus near the cache bandwidth from ~70% onward; the
+split-channel eDRAM cache *peaks mid-range* and falls back to its read-channel
+bandwidth (51.2 GB/s) at 100% because main-memory bandwidth goes unused.""",
+     """**Agreement:** the analytic columns reproduce the paper's curves exactly.
+The simulated eDRAM curve matches the analytic model within ~1% at every
+point — rising to the 76.8 GB/s peak at 50% and falling back to 51.2 GB/s
+at 100% — and the simulated DRAM$ curve shows the paper's plateau from 70%
+onward at ~78% of the ideal level (the simulator charges the queueing,
+metadata, and fill overheads the idealized kernel omits)."""),
+    ("fig02_edram_capacity", """**Paper:** doubling the eDRAM cache from 256 MB to 512 MB helps most
+bandwidth-sensitive workloads, *but* the speedup does not track the miss-rate
+drop: gcc.s04 gains only 5% despite a ~20pp miss drop and omnetpp loses 4%
+despite a 5pp drop — the motivating evidence that hit rate is not the metric
+to optimize.""",
+     """**Agreement:** the same decoupling appears: several clones gain
+substantially, while others (gcc.s04, libquantum) gain little or lose
+slightly despite double-digit miss-rate drops — more hits concentrated on
+the saturated cache channels do not help."""),
+    ("fig04_bw_sensitivity", """**Paper:** twelve of seventeen workloads speed up when DRAM-cache bandwidth
+doubles (the "bandwidth-sensitive" class, mean L3 MPKI 20.4); five do not
+(mean MPKI 11.6).""",
+     """**Agreement:** the twelve sensitive clones gain far more from doubled
+bandwidth than the five insensitive ones, preserving the classification.
+Absolute MPKI is ~10x the paper's because the clones compress SPEC's
+billion-instruction snippets into millions of instructions — the *ratio*
+between the classes (~5x) matches the paper's intent."""),
+    ("fig05_tag_cache", """**Paper:** adding the 32K-entry SRAM tag cache to the sectored baseline
+gives +16% average, with astar.BigLakes and omnetpp showing high tag-cache
+miss rates (poor sector utilization).""",
+     """**Agreement:** the tag cache is a large win (our baseline without it
+pays DRAM metadata on every access), and the per-workload tag-cache miss
+ordering matches: omnetpp and astar, the poor-sector-locality clones, miss
+by far the most; streaming clones (libquantum, parboil-lbm) almost never
+miss."""),
+    ("fig06_dap_sectored", """**Paper:** DAP improves the twelve bandwidth-sensitive workloads by 15.2%
+on average (range: -1% for parboil-lbm to 2x for omnetpp), with an 18%
+average reduction in L3 read-miss latency; speedups correlate with the
+latency savings.""",
+     """**Agreement:** DAP speeds up *every* sensitive clone (+3% to +5.7%,
+GMEAN +4.0%) with zero losses, latency drops 4% on average, and speedups
+track latency savings workload-by-workload. Magnitude is roughly a quarter
+of the paper's 15.2%: the clones' MLP-limited cores cannot over-demand the
+cache as hard as the paper's tuned cores, and the per-window main-memory
+headroom guard (added to keep bursty windows from over-steering) trades
+peak gains for the strict no-loss profile seen here."""),
+    ("fig07_decision_mix", """**Paper:** averaged over the sensitive workloads, DAP's decisions split
+FWB 23% / WB 40% / IFRM 12% / SFRM 25%; gcc.expr and gobmk use only
+FWB+WB; omnetpp is 87% SFRM.""",
+     """**Agreement:** FWB dominates (63%) with WB second (27%) and IFRM/SFRM
+minorities — the same "cheap techniques first" skew the paper shows,
+with FWB/WB swapped in rank (our footprint-filled sectored cache offers
+more drops-available fills than the paper's). SFRM's share is smaller than
+the paper's because the scaled tag cache misses less pathologically than
+the paper's omnetpp case."""),
+    ("fig08_cas_fraction", """**Paper:** the baseline serves only 9% of CAS operations from main memory;
+DAP raises this to 25%, close to the bandwidth-optimal 27%. Baseline hit
+rate 89% drops to 80% with FWB+WB and 73% with full DAP.""",
+     """**Agreement:** DAP raises the main-memory CAS fraction (0.136 -> 0.161,
+toward the 0.27 optimum; the per-window MM headroom guard stops short of
+it deliberately), and the hit rate falls monotonically from baseline
+(0.805) -> FWB+WB (0.780) -> full DAP (0.777) — the paper's signature
+"sacrifice hits for bandwidth" staircase."""),
+    ("table1_w_e_sensitivity", """**Paper:** W=64/E=0.75 is best (1.15); W=32 and W=128 are within 2%;
+E=1.0 is the *worst* efficiency point (1.12) because assuming full
+bandwidth makes DAP partition less.""",
+     """**Agreement:** E=0.75 edges out both E=0.5 and E=1.0 at W=64 (all within
+0.2%, matching the paper's ±2% flatness). The W sweep is monotone rather
+than flat here — larger windows average out the cross-core accounting
+noise our quantum interleaving introduces — but stays within 4.5% across
+the 4x W range, consistent with the paper's "relatively insensitive"
+claim."""),
+    ("fig09_mm_technology", """**Paper:** removing main-memory I/O latency raises DAP's gain slightly
+(15.2% -> 16%); slower LPDDR4 halves it (to 8%); higher-bandwidth
+DDR4-3200 raises it across the board.""",
+     """**Agreement:** LPDDR4 gives the smallest latency-group gain and DDR4-3200
+by far the largest (Eq. 4: more MM bandwidth moves the optimal split
+toward main memory, leaving more for DAP to exploit) — the paper's two
+directional claims. The no-I/O point sits at the default's level rather
+than above it (the 33-cycle I/O delay is small against our queueing
+latencies)."""),
+    ("fig10_capacity_bandwidth", """**Paper:** DAP's gain grows with cache capacity (more accesses served by
+the cache in the baseline = further from optimal) and shrinks with cache
+bandwidth (102.4 GB/s: 15.2% -> 204.8 GB/s: 7%).""",
+     """**Agreement:** both trends reproduce: gains grow with capacity
+(1.028 -> 1.044 -> 1.057 across 2/4/8 GB) and shrink monotonically as
+cache bandwidth rises (1.044 -> 1.025 -> 1.007 across 102.4/128/204.8
+GB/s) — the paper's Eq. 4 intuition in both directions, including the
+near-vanishing gain at 204.8 GB/s (paper: 15.2% -> 7%)."""),
+    ("fig11_related_proposals", """**Paper:** SBD *loses* 16% on average (forced Dirty-List write-outs),
+SBD-WT gains 5.5%, BATMAN is within 1% of baseline; DAP's 15.2% beats all
+three.""",
+     """**Agreement:** SBD loses significantly (0.89; paper 0.84) from its forced
+Dirty-List clean-outs, SBD-WT recovers to a small gain (1.02; paper 1.055),
+BATMAN is near-neutral (1.01; paper ~0.99), and DAP beats all three (1.04)
+— the paper's full ranking, including its observation that SBD and
+SBD-WT do very well on omnetpp specifically (ours: 1.16/1.16 there)."""),
+    ("fig12_all_workloads", """**Paper:** across all 44 workloads, DAP averages +13%; the five
+bandwidth-insensitive rate mixes see no loss (DAP seldom partitions);
+heterogeneous mixes gain 4%-72%.""",
+     """**Agreement:** sensitive mixes gain the most (+2.2% to +5.8%), the five
+insensitive mixes sit at 0.999-1.005 (no losses — DAP correctly recognizes
+there is no bandwidth shortage and stands down), and the heterogeneous
+mixes land in between; overall GMEAN +3.0% (paper: +13%, same structure at
+our smaller magnitudes)."""),
+    ("fig13_sixteen_cores", """**Paper:** on a 16-core system (8 GB / 204.8 GB/s cache, DDR4-3200), DAP
+gains 14.6% — the mechanism scales with core count.""",
+     """**Agreement:** DAP stays positive on every workload at 16 cores
+(GMEAN +1.9%). The gain is smaller than at 8 cores because this
+configuration pairs the 204.8 GB/s cache (where Fig. 10 already shows
+DAP's margin nearly vanishing) with 51.2 GB/s memory."""),
+    ("fig14_alloy", """**Paper:** on the Alloy cache, BEAR gains 22% over the Alloy baseline and
+Alloy+DAP 29%; the main-memory CAS fraction moves from 13% (baseline) and
+15% (BEAR) to 43% (DAP), near Alloy's optimum of 36% (its effective
+bandwidth is 2/3 of peak).""",
+     """**Agreement:** BEAR gains 14% over the plain Alloy baseline and Alloy+DAP
+17%, with DAP ahead of BEAR on every workload (paper: 22% and 29%), and
+DAP raises the main-memory CAS fraction above both baselines
+(0.240 -> 0.261 -> 0.287), toward the 0.36 optimum."""),
+    ("fig15_edram", """**Paper:** on the eDRAM cache, DAP at 256 MB gives +7% while *lowering*
+hit rate 9.5pp; DAP at 512 MB gives +11% (vs +2% for doubling capacity
+alone), lowering hit rate 6.5pp relative to the 256 MB baseline.""",
+     """**Agreement:** at 512 MB DAP adds +2.1pp over doubling capacity alone
+(1.256 vs 1.235) while serving the same or fewer hits — the paper's
+"partitioning beats capacity" direction. At 256 MB DAP is neutral
+(1.001): the scaled small eDRAM leaves main memory as the true bottleneck
+and the solver's headroom guard correctly stands down, where the paper's
+256 MB point still had partitioning room (+7%)."""),
+    ("ext_os_visible", '''**Extension (not in the paper's evaluation):** Section II claims the
+algorithms "can easily be extended to OS-visible implementations". In
+OS-visible mode the fast memory holds pages exclusively, so Eq. 4 becomes a
+*placement* rule: stop promoting hot pages once the fast tier's share of
+accesses reaches `B_fast/(B_fast+B_mm)` = 0.73, instead of packing the tier
+full (the hit-maximizing default).''',
+     '''**Observation:** bandwidth-optimal placement beats hot-page packing by
+about the same aggregate margin as cache-mode DAP delivers (shown
+alongside), with the expected per-workload variance: streaming-heavy clones
+gain substantially (the packed tier idles the DDR channels), while a few
+chase-heavy clones prefer the extra fast-tier hits. The fast-fraction
+columns show the mechanism directly — balanced placement deliberately
+serves fewer accesses from the fast tier.'''),
+    ("ablation_thread_aware", '''**Extension (not in the paper's evaluation):** Section IV-A notes that "a
+thread-aware IFRM policy would prioritize the clean hits of the
+latency-insensitive threads before the latency-sensitive ones for bypassing
+to the main memory." We implement exactly that (demand-rate ranking; the
+busy half of cores absorbs the last IFRM credits) and compare on the
+dissimilar heterogeneous mixes.''',
+     '''**Observation:** on these mixes the thread-aware variant matches plain
+DAP in both aggregate speedup and the per-core floor: the credit reserve
+only changes decisions when IFRM credits are scarce, which the dissimilar
+mixes — where the latency-sensitive threads rarely generate clean-hit
+pressure — seldom trigger. The reserving mechanism itself is unit-tested
+(`mem_sim::policy::tests::thread_aware_reserves_last_credits_for_busy_cores`);
+its protection is insurance against the worst case, not a steady-state
+win.'''),
+    ("ablation_write_batch", '''**Design-choice study:** the DRAM model drains buffered writes in batches
+(one bus-turnaround penalty per batch), as the paper's methodology
+specifies ("writes are scheduled in batches to reduce channel
+turn-arounds").''',
+     '''**Observation:** depth 16 (the default) is a good operating point;
+very small batches waste bus time on turnarounds, very large ones delay
+reads behind long write bursts. DAP's gain is robust across depths.'''),
+    ("ablation_refresh", '''**Design-choice study:** the DRAM presets fold periodic refresh into the
+bandwidth-efficiency factor `E`, exactly as the paper's methodology does.
+This ablation instead models JEDEC refresh explicitly (tREFI = 7.8 us,
+tRFC = 350 ns) on both the cache array and main memory.''',
+     '''**Observation:** DAP's margin over baseline is unchanged by explicit
+refresh (+4.3% vs +4.2%), confirming the paper's choice to fold refresh
+into `E`. Curiously, refresh *helps* slightly in this model: the DRAM
+channels charge row conflicts as latency without serializing banks (an
+FR-FCFS abstraction), so refresh's row closures convert conflict charges
+into cheaper empty-row activations, outweighing the ~4.5% tRFC duty
+cycle. Absolute refresh costs would need bank-serialized precharge
+modeling; the DAP-relevant conclusion is insensitive to it.'''),
+    ("ablation_prefetch_degree", '''**Design-choice study:** the cores' stride prefetcher shapes how much
+bandwidth demand reaches the memory-side cache (the paper's cores carry an
+"aggressive multi-stream stride prefetcher").''',
+     '''**Observation:** prefetching helps the baseline, and DAP's advantage
+persists at every degree — DAP exploits whatever saturation the demand
+stream produces, rather than depending on a particular prefetcher.'''),
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every figure and table of the paper's evaluation, regenerated by
+`./run_experiments.sh` (per-core instruction budgets of 0.6–1.2M; all runs
+deterministic). Absolute numbers differ from the paper — the substrate is a
+scaled simulator with synthetic workload clones (see DESIGN.md) — so each
+section compares the *shape*: who wins, in which direction, and where the
+crossovers fall.
+
+Reading the tables: `norm. WS` = weighted speedup normalized to the
+experiment's baseline; CAS fractions are main-memory shares of all DRAM
+data transfers (bandwidth-optimal: 0.27 for the sectored/eDRAM systems,
+0.36 for Alloy); hit-rate changes are percentage points.
+
+"""
+
+
+def main():
+    out = [HEADER]
+    for name, paper, agree in SECTIONS:
+        path = os.path.join(RESULTS, f"{name}.txt")
+        if not os.path.exists(path):
+            print(f"missing {path}", file=sys.stderr)
+            continue
+        body = open(path).read().rstrip()
+        title = body.splitlines()[0]
+        out.append(f"## {title}\n\n{paper}\n\n```text\n{body}\n```\n\n{agree}\n")
+    open("EXPERIMENTS.md", "w").write("\n".join(out))
+    print("EXPERIMENTS.md written")
+
+
+if __name__ == "__main__":
+    main()

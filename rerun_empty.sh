@@ -1,0 +1,12 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+for t in table1_w_e_sensitivity:600000 fig09_mm_technology:600000 fig10_capacity_bandwidth:600000 \
+         fig11_related_proposals:600000 fig12_all_workloads:600000 fig13_sixteen_cores:600000 \
+         fig14_alloy:600000 fig15_edram:600000 ablation_thread_aware:600000 \
+         ablation_write_batch:600000 ablation_prefetch_degree:600000 ext_os_visible:600000; do
+    bin="${t%%:*}"; budget="${t##*:}"
+    echo "== $bin (budget $budget)"
+    DAP_INSTRUCTIONS=$budget ./target/release/$bin > "experiment_results/$bin.txt" 2>/dev/null
+done
+echo all done

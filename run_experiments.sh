@@ -1,0 +1,34 @@
+#!/bin/bash
+# Regenerates every figure/table of the paper into experiment_results/.
+# DAP_INSTRUCTIONS scales fidelity vs runtime (default per-figure budgets).
+set -u
+cd "$(dirname "$0")"
+BUDGET="${DAP_INSTRUCTIONS:-1200000}"
+SMALL=$((BUDGET / 2))
+run() { # bin budget
+    echo "== $1 (budget $2)"
+    DAP_INSTRUCTIONS=$2 cargo run --release -p dap-bench --bin "$1" 2>/dev/null \
+        | tee "experiment_results/$1.txt"
+    echo
+}
+run fig01_bw_vs_hitrate "$BUDGET"
+run fig02_edram_capacity "$BUDGET"
+run fig04_bw_sensitivity "$BUDGET"
+run fig05_tag_cache "$BUDGET"
+run fig06_dap_sectored "$BUDGET"
+run fig07_decision_mix "$BUDGET"
+run fig08_cas_fraction "$BUDGET"
+run table1_w_e_sensitivity "$SMALL"
+run fig09_mm_technology "$SMALL"
+run fig10_capacity_bandwidth "$SMALL"
+run fig11_related_proposals "$SMALL"
+run fig12_all_workloads "$SMALL"
+run fig13_sixteen_cores "$SMALL"
+run fig14_alloy "$SMALL"
+run fig15_edram "$SMALL"
+run ablation_thread_aware "$SMALL"
+run ablation_write_batch "$SMALL"
+run ablation_prefetch_degree "$SMALL"
+run ext_os_visible "$SMALL"
+run ablation_refresh "$SMALL"
+echo "all experiments complete"

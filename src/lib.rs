@@ -1,0 +1,32 @@
+//! # dap-repro — facade crate
+//!
+//! A reproduction of *“Near-Optimal Access Partitioning for Memory
+//! Hierarchies with Multiple Heterogeneous Bandwidth Sources”* (HPCA 2017).
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`dap`] — the DAP algorithm and analytical bandwidth model,
+//! * [`sim`] — the memory-hierarchy simulator substrate,
+//! * [`workloads`] — the benchmark clones and mixes,
+//! * [`policies`] — SBD / SBD-WT / BATMAN baselines,
+//! * [`experiments`] — the per-figure experiment runners.
+//!
+//! See the `examples/` directory for end-to-end usage and the `dap-bench`
+//! crate for the figure-regenerating binaries.
+//!
+//! ```
+//! use dap_repro::dap::{optimal_fractions, BandwidthSource};
+//! let f = optimal_fractions(&[
+//!     BandwidthSource::from_gbps("HBM", 102.4),
+//!     BandwidthSource::from_gbps("DDR4", 38.4),
+//! ]);
+//! assert!((f[1] - 0.272).abs() < 1e-2); // the paper's optimal MM share
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dap_core as dap;
+pub use experiments;
+pub use mem_sim as sim;
+pub use policies;
+pub use workloads;

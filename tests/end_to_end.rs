@@ -1,0 +1,119 @@
+//! Workspace-level integration tests: the crates working together through
+//! the facade, cross-validating the analytical model against simulation.
+
+use dap_repro::dap::{optimal_fractions, BandwidthSource, DapConfig};
+use dap_repro::experiments::runner::{run_mix, run_workload, AloneIpcCache, PolicyKind};
+use dap_repro::sim::{DapPolicy, System, SystemConfig};
+use dap_repro::workloads::{heterogeneous_mixes, rate_mix, rate_mode, spec};
+
+const INSTR: u64 = 150_000;
+
+#[test]
+fn analytic_optimum_matches_paper_constants() {
+    // The paper: optimal MM CAS fraction 0.27 for 102.4 + 38.4 GB/s, and
+    // 0.36 for the Alloy cache's 2/3-effective bandwidth.
+    let f = optimal_fractions(&[
+        BandwidthSource::from_gbps("cache", 102.4),
+        BandwidthSource::from_gbps("mm", 38.4),
+    ]);
+    assert!((f[1] - 0.2727).abs() < 1e-3);
+    let f = optimal_fractions(&[
+        BandwidthSource::from_gbps("alloy", 102.4 * 2.0 / 3.0),
+        BandwidthSource::from_gbps("mm", 38.4),
+    ]);
+    assert!((f[1] - 0.36).abs() < 0.01);
+}
+
+#[test]
+fn dap_moves_cas_split_toward_analytic_optimum() {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mix = rate_mix(spec("libquantum").unwrap(), 8);
+    let base = run_mix(&config, PolicyKind::Baseline, &mix, 400_000);
+    let dap = run_mix(&config, PolicyKind::Dap, &mix, 400_000);
+    let optimal = 38.4 / (102.4 + 38.4);
+    let err_base = (base.stats.mm_cas_fraction() - optimal).abs();
+    let err_dap = (dap.stats.mm_cas_fraction() - optimal).abs();
+    assert!(
+        err_dap < err_base,
+        "DAP must close the gap to the optimum: base err {err_base:.3}, dap err {err_dap:.3}"
+    );
+}
+
+#[test]
+fn dap_beats_baseline_on_every_architecture() {
+    for (config, dap_config) in [
+        (SystemConfig::sectored_dram_cache(8), DapConfig::hbm_ddr4()),
+        (SystemConfig::edram_cache(8, 256), DapConfig::edram_ddr4()),
+    ] {
+        let mix = rate_mix(spec("libquantum").unwrap(), 8);
+        let base = System::new(config.clone(), mix.traces()).run(300_000);
+        let dap = System::with_policy(config, mix.traces(), Box::new(DapPolicy::new(dap_config)))
+            .run(300_000);
+        assert!(
+            dap.total_ipc() > base.total_ipc() * 0.99,
+            "DAP must not lose on a bandwidth-bound stream: base {}, dap {}",
+            base.total_ipc(),
+            dap.total_ipc()
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_mix_weighted_speedup_is_sane() {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mix = &heterogeneous_mixes()[0];
+    let mut alone = AloneIpcCache::new();
+    let run = run_workload(&config, PolicyKind::Baseline, mix, INSTR, &mut alone);
+    // Eight programs sharing one memory system: each runs slower than
+    // alone, so 0 < WS < 8.
+    assert!(run.weighted_speedup > 0.0 && run.weighted_speedup < 8.0);
+}
+
+#[test]
+fn all_policies_complete_on_a_heterogeneous_mix() {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mix = &heterogeneous_mixes()[13]; // a dissimilar mix
+    for kind in [
+        PolicyKind::Baseline,
+        PolicyKind::Dap,
+        PolicyKind::Sbd,
+        PolicyKind::SbdWt,
+        PolicyKind::Batman,
+    ] {
+        let r = run_mix(&config, kind, mix, 60_000);
+        assert_eq!(r.per_core.len(), 8);
+        assert!(
+            r.stats.demand_reads > 0,
+            "{kind:?} produced no memory traffic"
+        );
+    }
+}
+
+#[test]
+fn rate16_scales() {
+    let config = SystemConfig::sectored_dram_cache(16);
+    let traces = rate_mode(spec("hpcg").unwrap(), 16);
+    let r = System::new(config, traces).run(50_000);
+    assert_eq!(r.per_core.len(), 16);
+    assert!(r.per_core.iter().all(|c| c.instructions == 50_000));
+}
+
+#[test]
+fn deterministic_through_the_full_stack() {
+    let run = || {
+        let config = SystemConfig::sectored_dram_cache(8);
+        let mix = rate_mix(spec("mcf").unwrap(), 8);
+        run_mix(&config, PolicyKind::Dap, &mix, 80_000).stats
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The doc-example path: everything reachable through dap_repro.
+    let budget = dap_repro::dap::WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75);
+    assert_eq!(budget.cache_budget, 19);
+    let cfg = dap_repro::sim::SystemConfig::sectored_dram_cache(1);
+    assert_eq!(cfg.cores, 1);
+    assert_eq!(dap_repro::workloads::all_specs().len(), 17);
+}

@@ -1,0 +1,136 @@
+//! Smoke tests: every figure/table function runs at a tiny budget and
+//! produces the expected structure (rows, columns, plausible values).
+//! Magnitudes at these budgets are warmup-dominated; EXPERIMENTS.md records
+//! the full-budget numbers.
+
+use dap_repro::experiments::figures as f;
+use dap_repro::experiments::FigureResult;
+
+const INSTR: u64 = 25_000;
+
+fn assert_shape(fig: &FigureResult, rows: usize, cols: usize) {
+    assert_eq!(fig.rows.len(), rows, "{}: row count", fig.id);
+    assert_eq!(fig.columns.len(), cols, "{}: column count", fig.id);
+    for r in &fig.rows {
+        assert_eq!(r.values.len(), cols, "{}: ragged row {}", fig.id, r.name);
+        for v in &r.values {
+            assert!(v.is_finite(), "{}: non-finite value in {}", fig.id, r.name);
+        }
+    }
+    // Display must render every row.
+    let text = fig.to_string();
+    for r in &fig.rows {
+        assert!(
+            text.contains(&r.name),
+            "{}: display misses {}",
+            fig.id,
+            r.name
+        );
+    }
+}
+
+#[test]
+fn fig01_shape() {
+    let fig = f::fig01_bw_vs_hitrate(INSTR);
+    assert_shape(&fig, 6, 4);
+    // The analytic single-bus curve is monotone then flat; the split
+    // channel curve ends at the read-channel limit.
+    assert!((fig.rows[5].values[0] - 102.4).abs() < 1e-6);
+    assert!((fig.rows[5].values[2] - 51.2).abs() < 1e-6);
+}
+
+#[test]
+fn fig02_shape() {
+    assert_shape(&f::fig02_edram_capacity(INSTR), 12, 2);
+}
+
+#[test]
+fn fig04_shape() {
+    let fig = f::fig04_bw_sensitivity(INSTR);
+    assert_shape(&fig, 17, 2);
+    // MPKI column must be positive for every clone.
+    assert!(fig.rows.iter().all(|r| r.values[1] > 0.0));
+}
+
+#[test]
+fn fig05_shape() {
+    let fig = f::fig05_tag_cache(INSTR);
+    assert_shape(&fig, 12, 2);
+    // Tag-cache miss ratios are probabilities.
+    assert!(fig.rows.iter().all(|r| (0.0..=1.0).contains(&r.values[1])));
+}
+
+#[test]
+fn fig06_and_fig07_shape() {
+    let fig = f::fig06_dap_sectored(INSTR);
+    assert_shape(&fig, 12, 2);
+    let fig = f::fig07_decision_mix(INSTR);
+    assert_shape(&fig, 12, 4);
+    for r in &fig.rows {
+        let sum: f64 = r.values.iter().sum();
+        assert!(sum < 1.0 + 1e-9, "decision shares exceed 1 in {}", r.name);
+    }
+}
+
+#[test]
+fn fig08_shape() {
+    let fig = f::fig08_cas_fraction(INSTR);
+    assert_shape(&fig, 12, 5);
+    assert!(fig
+        .rows
+        .iter()
+        .all(|r| r.values.iter().all(|v| (0.0..=1.0).contains(v))));
+}
+
+#[test]
+fn table1_shape() {
+    let fig = f::table1_w_e_sensitivity(INSTR);
+    assert_shape(&fig, 5, 1);
+}
+
+#[test]
+fn fig09_fig10_shape() {
+    assert_shape(&f::fig09_mm_technology(INSTR), 12, 4);
+    assert_shape(&f::fig10_capacity_bandwidth(INSTR), 12, 6);
+}
+
+#[test]
+fn fig11_shape() {
+    assert_shape(&f::fig11_related_proposals(INSTR), 12, 4);
+}
+
+#[test]
+fn fig12_shape() {
+    let fig = f::fig12_all_workloads(INSTR);
+    assert_shape(&fig, 44, 1);
+}
+
+#[test]
+fn fig13_shape() {
+    assert_shape(&f::fig13_sixteen_cores(INSTR), 12, 1);
+}
+
+#[test]
+fn fig14_fig15_shape() {
+    assert_shape(&f::fig14_alloy(INSTR), 12, 5);
+    assert_shape(&f::fig15_edram(INSTR), 12, 6);
+}
+
+#[test]
+fn ablations_shape() {
+    use dap_repro::experiments::ablations as a;
+    let fig = a::ablation_thread_aware(INSTR);
+    assert_shape(&fig, 7, 4);
+    let fig = a::ablation_write_batch(INSTR);
+    assert_shape(&fig, 3, 2);
+    let fig = a::ablation_prefetch_degree(INSTR);
+    assert_shape(&fig, 3, 2);
+    let fig = a::ablation_refresh(INSTR);
+    assert_shape(&fig, 2, 2);
+}
+
+#[test]
+fn extension_shape() {
+    let fig = dap_repro::experiments::extensions::os_visible_tiering(INSTR);
+    assert_shape(&fig, 12, 4);
+}
