@@ -1,0 +1,20 @@
+#!/bin/bash
+# Local CI: formatting, lints, release build, and the full test suite —
+# all offline (the workspace has no registry dependencies; see the
+# hermetic-build policy in Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "ci: all checks passed"

@@ -2,64 +2,61 @@
 //! hot path: set-associative lookups, tag-cache probes, DBC probes, and
 //! the stride prefetcher.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dap_bench::timing::{black_box, Harness};
 use mem_sim::cache::{ReplacementKind, SetAssocCache};
 use mem_sim::mscache::{DirtyBitCache, TagCache};
 use mem_sim::prefetch::StridePrefetcher;
 
-fn bench_set_assoc(c: &mut Criterion) {
-    c.bench_function("cache/l3_lookup_hit", |b| {
-        let mut l3: SetAssocCache<()> = SetAssocCache::new(2048, 16, ReplacementKind::Lru);
-        for k in 0..32_768u64 {
-            l3.insert(k, (), false);
-        }
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 1) % 32_768;
-            black_box(l3.lookup(k))
-        });
+fn bench_set_assoc(h: &mut Harness) {
+    let mut l3: SetAssocCache<()> = SetAssocCache::new(2048, 16, ReplacementKind::Lru);
+    for k in 0..32_768u64 {
+        l3.insert(k, (), false);
+    }
+    let mut k = 0u64;
+    h.bench("l3_lookup_hit", || {
+        k = (k + 1) % 32_768;
+        black_box(l3.lookup(k))
     });
-    c.bench_function("cache/sectored_insert_evict", |b| {
-        let mut dir: SetAssocCache<u64> = SetAssocCache::new(4096, 4, ReplacementKind::Nru);
-        let mut k = 0u64;
-        b.iter(|| {
-            k += 1;
-            black_box(dir.insert(k, 0, k % 3 == 0))
-        });
+
+    let mut dir: SetAssocCache<u64> = SetAssocCache::new(4096, 4, ReplacementKind::Nru);
+    let mut k = 0u64;
+    h.bench("sectored_insert_evict", || {
+        k += 1;
+        black_box(dir.insert(k, 0, k.is_multiple_of(3)))
     });
 }
 
-fn bench_helpers(c: &mut Criterion) {
-    c.bench_function("cache/tag_cache_probe", |b| {
-        let mut tc = TagCache::new(1024, 4, 5);
-        let mut sector = 0u64;
-        b.iter(|| {
-            sector = (sector + 1) % 4096;
-            black_box(tc.probe(sector))
-        });
+fn bench_helpers(h: &mut Harness) {
+    let mut tc = TagCache::new(1024, 4, 5);
+    let mut sector = 0u64;
+    h.bench("tag_cache_probe", || {
+        sector = (sector + 1) % 4096;
+        black_box(tc.probe(sector))
     });
-    c.bench_function("cache/dbc_probe", |b| {
-        let mut dbc = DirtyBitCache::new(512, 4, 5);
-        for s in 0..20_000u64 {
-            if s % 7 == 0 {
-                dbc.mark_dirty(s);
-            }
+
+    let mut dbc = DirtyBitCache::new(512, 4, 5);
+    for s in 0..20_000u64 {
+        if s % 7 == 0 {
+            dbc.mark_dirty(s);
         }
-        let mut s = 0u64;
-        b.iter(|| {
-            s = (s + 1) % 20_000;
-            black_box(dbc.probe(s))
-        });
+    }
+    let mut s = 0u64;
+    h.bench("dbc_probe", || {
+        s = (s + 1) % 20_000;
+        black_box(dbc.probe(s))
     });
-    c.bench_function("prefetch/stride_observe", |b| {
-        let mut p = StridePrefetcher::new(2);
-        let mut block = 0u64;
-        b.iter(|| {
-            block += 1;
-            black_box(p.observe(block))
-        });
+
+    let mut p = StridePrefetcher::new(2);
+    let mut block = 0u64;
+    h.bench("stride_observe", || {
+        block += 1;
+        black_box(p.observe(block))
     });
 }
 
-criterion_group!(benches, bench_set_assoc, bench_helpers);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("cache");
+    bench_set_assoc(&mut h);
+    bench_helpers(&mut h);
+    h.finish();
+}

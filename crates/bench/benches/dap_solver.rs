@@ -2,7 +2,7 @@
 //! paper argues fits in trivial hardware must also be nanoseconds in
 //! software.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dap_bench::timing::{black_box, Harness};
 use dap_core::{
     AlloyDapSolver, DapConfig, DapController, EdramDapSolver, SectoredDapSolver, Technique,
     WindowBudget, WindowStats,
@@ -20,7 +20,7 @@ fn pressured() -> WindowStats {
     }
 }
 
-fn bench_solvers(c: &mut Criterion) {
+fn bench_solvers(h: &mut Harness) {
     let sectored =
         SectoredDapSolver::new(WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75));
     let alloy = AlloyDapSolver::new(WindowBudget::from_gbps(
@@ -41,32 +41,29 @@ fn bench_solvers(c: &mut Criterion) {
     ));
     let stats = pressured();
 
-    c.bench_function("solver/sectored", |b| {
-        b.iter(|| sectored.solve(black_box(&stats)))
+    h.bench("sectored", || sectored.solve(black_box(&stats)));
+    h.bench("alloy", || alloy.solve(black_box(&stats)));
+    h.bench("edram", || edram.solve(black_box(&stats)));
+}
+
+fn bench_controller(h: &mut Harness) {
+    let mut dap = DapController::new(DapConfig::hbm_ddr4());
+    let stats = pressured();
+    h.bench("window_cycle", || {
+        dap.end_window_with(black_box(&stats));
+        while dap.try_apply(Technique::FillWriteBypass) {}
+        while dap.try_apply(Technique::WriteBypass) {}
     });
-    c.bench_function("solver/alloy", |b| {
-        b.iter(|| alloy.solve(black_box(&stats)))
-    });
-    c.bench_function("solver/edram", |b| {
-        b.iter(|| edram.solve(black_box(&stats)))
+
+    let mut empty = DapController::new(DapConfig::hbm_ddr4());
+    h.bench("try_apply_empty", || {
+        empty.try_apply(black_box(Technique::InformedForcedReadMiss))
     });
 }
 
-fn bench_controller(c: &mut Criterion) {
-    c.bench_function("controller/window_cycle", |b| {
-        let mut dap = DapController::new(DapConfig::hbm_ddr4());
-        let stats = pressured();
-        b.iter(|| {
-            dap.end_window_with(black_box(&stats));
-            while dap.try_apply(Technique::FillWriteBypass) {}
-            while dap.try_apply(Technique::WriteBypass) {}
-        });
-    });
-    c.bench_function("controller/try_apply_empty", |b| {
-        let mut dap = DapController::new(DapConfig::hbm_ddr4());
-        b.iter(|| dap.try_apply(black_box(Technique::InformedForcedReadMiss)));
-    });
+fn main() {
+    let mut h = Harness::new("solver");
+    bench_solvers(&mut h);
+    bench_controller(&mut h);
+    h.finish();
 }
-
-criterion_group!(benches, bench_solvers, bench_controller);
-criterion_main!(benches);

@@ -1,43 +1,42 @@
 //! Microbenchmarks for the DRAM timing model: per-access cost of the
 //! resource-reservation scheduler under streaming and random patterns.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dap_bench::timing::{black_box, Harness};
 use mem_sim::dram::{DramConfig, DramModule};
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram/hbm_streaming_read", |b| {
-        let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
-        let mut block = 0u64;
-        let mut now = 0;
-        b.iter(|| {
-            block += 1;
-            now += 3;
-            black_box(m.read_block(block, now))
-        });
+fn bench_dram(h: &mut Harness) {
+    let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
+    let mut block = 0u64;
+    let mut now = 0;
+    h.bench("hbm_streaming_read", || {
+        block += 1;
+        now += 3;
+        black_box(m.read_block(block, now))
     });
-    c.bench_function("dram/ddr4_random_read", |b| {
-        let mut m = DramModule::new(DramConfig::ddr4_2400(), 4000.0);
-        let mut x = 0x243F6A8885A308D3u64;
-        let mut now = 0;
-        b.iter(|| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            now += 9;
-            black_box(m.read_block(x % (1 << 24), now))
-        });
+
+    let mut m = DramModule::new(DramConfig::ddr4_2400(), 4000.0);
+    let mut x = 0x243F6A8885A308D3u64;
+    let mut now = 0;
+    h.bench("ddr4_random_read", || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        now += 9;
+        black_box(m.read_block(x % (1 << 24), now))
     });
-    c.bench_function("dram/write_batched", |b| {
-        let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
-        let mut block = 0u64;
-        let mut now = 0;
-        b.iter(|| {
-            block += 1;
-            now += 3;
-            m.write_block(black_box(block), now);
-        });
+
+    let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
+    let mut block = 0u64;
+    let mut now = 0;
+    h.bench("write_batched", || {
+        block += 1;
+        now += 3;
+        m.write_block(black_box(block), now);
     });
 }
 
-criterion_group!(benches, bench_dram);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("dram");
+    bench_dram(&mut h);
+    h.finish();
+}

@@ -1,68 +1,60 @@
 //! End-to-end simulator throughput: simulated instructions per wall-clock
 //! second for each memory-side cache architecture, with and without DAP.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dap_bench::timing::Harness;
 use dap_core::DapConfig;
 use mem_sim::{DapPolicy, System, SystemConfig};
 use workloads::{rate_mode, spec};
 
 const INSTR: u64 = 40_000;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
-    g.bench_function("sectored_baseline_8core", |b| {
-        b.iter_batched(
-            || {
-                System::new(
-                    SystemConfig::sectored_dram_cache(8),
-                    rate_mode(spec("libquantum").unwrap(), 8),
-                )
-            },
-            |mut sys| sys.run(INSTR),
-            BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("sectored_dap_8core", |b| {
-        b.iter_batched(
-            || {
-                System::with_policy(
-                    SystemConfig::sectored_dram_cache(8),
-                    rate_mode(spec("libquantum").unwrap(), 8),
-                    Box::new(DapPolicy::new(DapConfig::hbm_ddr4())),
-                )
-            },
-            |mut sys| sys.run(INSTR),
-            BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("alloy_baseline_8core", |b| {
-        b.iter_batched(
-            || {
-                System::new(
-                    SystemConfig::alloy_cache(8),
-                    rate_mode(spec("hpcg").unwrap(), 8),
-                )
-            },
-            |mut sys| sys.run(INSTR),
-            BatchSize::LargeInput,
-        );
-    });
-    g.bench_function("edram_dap_8core", |b| {
-        b.iter_batched(
-            || {
-                System::with_policy(
-                    SystemConfig::edram_cache(8, 256),
-                    rate_mode(spec("gcc.expr").unwrap(), 8),
-                    Box::new(DapPolicy::new(DapConfig::edram_ddr4())),
-                )
-            },
-            |mut sys| sys.run(INSTR),
-            BatchSize::LargeInput,
-        );
-    });
-    g.finish();
+fn bench_end_to_end(h: &mut Harness) {
+    h.bench_with_setup(
+        "sectored_baseline_8core",
+        || {
+            System::new(
+                SystemConfig::sectored_dram_cache(8),
+                rate_mode(spec("libquantum").unwrap(), 8),
+            )
+        },
+        |mut sys| sys.run(INSTR),
+    );
+    h.bench_with_setup(
+        "sectored_dap_8core",
+        || {
+            System::with_policy(
+                SystemConfig::sectored_dram_cache(8),
+                rate_mode(spec("libquantum").unwrap(), 8),
+                Box::new(DapPolicy::new(DapConfig::hbm_ddr4())),
+            )
+        },
+        |mut sys| sys.run(INSTR),
+    );
+    h.bench_with_setup(
+        "alloy_baseline_8core",
+        || {
+            System::new(
+                SystemConfig::alloy_cache(8),
+                rate_mode(spec("hpcg").unwrap(), 8),
+            )
+        },
+        |mut sys| sys.run(INSTR),
+    );
+    h.bench_with_setup(
+        "edram_dap_8core",
+        || {
+            System::with_policy(
+                SystemConfig::edram_cache(8, 256),
+                rate_mode(spec("gcc.expr").unwrap(), 8),
+                Box::new(DapPolicy::new(DapConfig::edram_ddr4())),
+            )
+        },
+        |mut sys| sys.run(INSTR),
+    );
 }
 
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("system");
+    bench_end_to_end(&mut h);
+    h.finish();
+}

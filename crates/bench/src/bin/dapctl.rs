@@ -78,6 +78,13 @@ fn parse_args() -> Args {
     args
 }
 
+fn policy_for(kind: PolicyKind, config: &SystemConfig) -> Box<dyn mem_sim::Partitioner> {
+    build_policy(kind, config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn config_for(arch: &str, cores: usize) -> SystemConfig {
     match arch {
         "sectored" => SystemConfig::sectored_dram_cache(cores),
@@ -167,7 +174,7 @@ fn main() {
                 std::process::exit(2);
             });
             let config = config_for(&args.arch, args.cores);
-            let policy = build_policy(args.policy, &config);
+            let policy = policy_for(args.policy, &config);
             let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
             let r = sys.run(args.instructions);
             println!(
@@ -191,7 +198,7 @@ fn main() {
         Some("replay") => {
             let file = args.positional.get(1).unwrap_or_else(|| usage());
             let config = config_for(&args.arch, args.cores);
-            let policy = build_policy(args.policy, &config);
+            let policy = policy_for(args.policy, &config);
             let traces: Vec<Box<dyn TraceSource>> = (0..args.cores)
                 .map(|_| {
                     Box::new(TraceFile::open(file).expect("trace load failed"))

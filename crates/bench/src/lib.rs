@@ -1,8 +1,8 @@
 //! # dap-bench — the benchmark harness
 //!
 //! One binary per paper figure/table (`cargo run --release -p dap-bench
-//! --bin fig06_dap_sectored`), plus Criterion microbenchmarks for the hot
-//! structures (`cargo bench`).
+//! --bin fig06_dap_sectored`), plus dependency-free microbenchmarks for
+//! the hot structures (`cargo bench`) built on [`timing::Harness`].
 //!
 //! Every binary accepts the `DAP_INSTRUCTIONS` environment variable to
 //! override the per-core instruction budget; larger budgets reduce warmup
@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 /// Per-core instruction budget: `DAP_INSTRUCTIONS` env var or `default`.
 ///

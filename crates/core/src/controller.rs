@@ -458,7 +458,6 @@ mod tests {
             read_misses: 5,
             writes: 5,
             clean_read_hits: 15,
-            ..Default::default()
         };
         dap.end_window_with(&stats);
         assert!(dap.try_apply(Technique::InformedForcedReadMiss));

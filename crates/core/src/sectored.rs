@@ -39,20 +39,14 @@ pub struct SectoredPlan {
 impl SectoredPlan {
     /// Write bypasses implied by the scaled solution.
     pub fn n_wb(&self) -> u32 {
-        if self.k_plus_one_num == 0 {
-            0
-        } else {
-            self.wb_scaled / self.k_plus_one_num
-        }
+        self.wb_scaled.checked_div(self.k_plus_one_num).unwrap_or(0)
     }
 
     /// Informed forced read misses implied by the scaled solution.
     pub fn n_ifrm(&self) -> u32 {
-        if self.k_plus_one_num == 0 {
-            0
-        } else {
-            self.ifrm_scaled / self.k_plus_one_num
-        }
+        self.ifrm_scaled
+            .checked_div(self.k_plus_one_num)
+            .unwrap_or(0)
     }
 
     /// True if the plan performs no partitioning at all.

@@ -1,67 +1,85 @@
-//! Property-based tests for the DAP analytical model and window solvers.
+//! Property-style tests for the DAP analytical model and window solvers.
+//!
+//! Hermetic replacement for the former `proptest` suite: each property is
+//! a loop over cases drawn from the in-tree seeded PRNG
+//! ([`workloads::rng::SplitMix64`]), so the exact case set is fixed
+//! forever and reproduces identically offline on every platform.
 
 use dap_core::{
     delivered_bandwidth, optimal_fractions, AlloyDapSolver, BandwidthSource, DapConfig,
     DapController, EdramDapSolver, Ratio, SectoredDapSolver, Technique, WindowBudget, WindowStats,
 };
-use proptest::prelude::*;
+use workloads::rng::SplitMix64;
 
-fn arb_sources(n: usize) -> impl Strategy<Value = Vec<BandwidthSource>> {
-    prop::collection::vec(0.5f64..500.0, n..=n).prop_map(|rates| {
-        rates
-            .into_iter()
-            .enumerate()
-            .map(|(i, g)| BandwidthSource::from_gbps(format!("s{i}"), g))
-            .collect()
-    })
+const CASES: u64 = 256;
+
+fn sources(rng: &mut SplitMix64, n: usize) -> Vec<BandwidthSource> {
+    (0..n)
+        .map(|i| BandwidthSource::from_gbps(format!("s{i}"), rng.range_f64(0.5, 500.0)))
+        .collect()
 }
 
-proptest! {
-    /// Eq. 3: no partition delivers more than the optimal one.
-    #[test]
-    fn optimal_partition_dominates(
-        sources in arb_sources(3),
-        raw in prop::collection::vec(0.01f64..1.0, 3),
-    ) {
+/// Eq. 3: no partition delivers more than the optimal one.
+#[test]
+fn optimal_partition_dominates() {
+    let mut rng = SplitMix64::new(0xDA9_0001);
+    for _ in 0..CASES {
+        let srcs = sources(&mut rng, 3);
+        let raw: Vec<f64> = (0..3).map(|_| rng.range_f64(0.01, 1.0)).collect();
         let sum: f64 = raw.iter().sum();
         let fractions: Vec<f64> = raw.iter().map(|r| r / sum).collect();
-        let opt = optimal_fractions(&sources);
-        let b_any = delivered_bandwidth(&sources, &fractions);
-        let b_opt = delivered_bandwidth(&sources, &opt);
-        prop_assert!(b_any <= b_opt * (1.0 + 1e-9),
-            "partition {fractions:?} beat the optimum: {b_any} > {b_opt}");
+        let opt = optimal_fractions(&srcs);
+        let b_any = delivered_bandwidth(&srcs, &fractions);
+        let b_opt = delivered_bandwidth(&srcs, &opt);
+        assert!(
+            b_any <= b_opt * (1.0 + 1e-9),
+            "partition {fractions:?} beat the optimum: {b_any} > {b_opt}"
+        );
     }
+}
 
-    /// Eq. 3: the optimum equals the sum of source bandwidths.
-    #[test]
-    fn optimum_is_sum_of_bandwidths(sources in arb_sources(4)) {
-        let opt = optimal_fractions(&sources);
-        let b_opt = delivered_bandwidth(&sources, &opt);
-        let total: f64 = sources.iter().map(|s| s.accesses_per_sec()).sum();
-        prop_assert!((b_opt - total).abs() / total < 1e-9);
+/// Eq. 3: the optimum equals the sum of source bandwidths.
+#[test]
+fn optimum_is_sum_of_bandwidths() {
+    let mut rng = SplitMix64::new(0xDA9_0002);
+    for _ in 0..CASES {
+        let srcs = sources(&mut rng, 4);
+        let opt = optimal_fractions(&srcs);
+        let b_opt = delivered_bandwidth(&srcs, &opt);
+        let total: f64 = srcs.iter().map(|s| s.accesses_per_sec()).sum();
+        assert!((b_opt - total).abs() / total < 1e-9);
     }
+}
 
-    /// Ratio approximation stays within 5% whenever a denominator <= 16
-    /// suffices, and multiplication floors correctly.
-    #[test]
-    fn ratio_approximation_is_tight(k in 0.1f64..16.0, x in 0u64..10_000) {
+/// Ratio approximation stays within 5% whenever a denominator <= 16
+/// suffices, and multiplication floors correctly.
+#[test]
+fn ratio_approximation_is_tight() {
+    let mut rng = SplitMix64::new(0xDA9_0003);
+    for _ in 0..CASES {
+        let k = rng.range_f64(0.1, 16.0);
+        let x = rng.below(10_000);
         let r = Ratio::approximate(k);
         let exact = (x as f64) * r.as_f64();
-        prop_assert_eq!(r.mul_int(x), exact.floor() as u64);
+        assert_eq!(r.mul_int(x), exact.floor() as u64);
     }
+}
 
-    /// The sectored solver never plans more work than exists: FWB <= fills,
-    /// WB <= writes, IFRM <= clean hits, and everything is non-negative.
-    #[test]
-    fn sectored_plan_respects_caps(
-        cache in 0u32..2000,
-        mm in 0u32..500,
-        rm in 0u32..300,
-        wm in 0u32..300,
-        clean in 0u32..300,
-        w in prop::sample::select(vec![32u32, 64, 128]),
-        e in prop::sample::select(vec![0.5f64, 0.75, 1.0]),
-    ) {
+/// The sectored solver never plans more work than exists: FWB <= fills,
+/// WB <= writes, IFRM <= clean hits, and everything is non-negative.
+#[test]
+fn sectored_plan_respects_caps() {
+    let mut rng = SplitMix64::new(0xDA9_0004);
+    let windows = [32u32, 64, 128];
+    let efficiencies = [0.5f64, 0.75, 1.0];
+    for _ in 0..CASES {
+        let cache = rng.below(2000) as u32;
+        let mm = rng.below(500) as u32;
+        let rm = rng.below(300) as u32;
+        let wm = rng.below(300) as u32;
+        let clean = rng.below(300) as u32;
+        let w = windows[rng.index(windows.len())];
+        let e = efficiencies[rng.index(efficiencies.len())];
         let budget = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, w, e);
         let solver = SectoredDapSolver::new(budget);
         let stats = WindowStats {
@@ -73,23 +91,23 @@ proptest! {
             ..Default::default()
         };
         let plan = solver.solve(&stats);
-        prop_assert!(plan.n_fwb <= stats.read_misses || plan.n_fwb <= cache);
-        prop_assert!(plan.n_wb() <= stats.writes);
-        prop_assert!(plan.n_ifrm() <= stats.clean_read_hits);
+        assert!(plan.n_fwb <= stats.read_misses || plan.n_fwb <= cache);
+        assert!(plan.n_wb() <= stats.writes);
+        assert!(plan.n_ifrm() <= stats.clean_read_hits);
         // FWB never exceeds the partitioning actually needed.
         let needed = cache.saturating_sub(budget.cache_budget);
-        prop_assert!(plan.n_fwb <= needed.max(stats.read_misses));
+        assert!(plan.n_fwb <= needed.max(stats.read_misses));
     }
+}
 
-    /// The sectored solver is quiet when the cache is under budget, and the
-    /// total partitioned volume never exceeds the cache overdemand by more
-    /// than the equations allow.
-    #[test]
-    fn sectored_solver_quiet_under_budget(
-        cache in 0u32..19,
-        mm in 0u32..500,
-        rm in 0u32..300,
-    ) {
+/// The sectored solver is quiet when the cache is under budget.
+#[test]
+fn sectored_solver_quiet_under_budget() {
+    let mut rng = SplitMix64::new(0xDA9_0005);
+    for _ in 0..CASES {
+        let cache = rng.below(19) as u32;
+        let mm = rng.below(500) as u32;
+        let rm = rng.below(300) as u32;
         let budget = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75);
         let solver = SectoredDapSolver::new(budget);
         let stats = WindowStats {
@@ -98,19 +116,21 @@ proptest! {
             read_misses: rm,
             ..Default::default()
         };
-        prop_assert!(solver.solve(&stats).is_idle());
+        assert!(solver.solve(&stats).is_idle());
     }
+}
 
-    /// Applying the sectored plan moves the cache:MM access ratio toward K
-    /// (never past overshooting in the wrong direction).
-    #[test]
-    fn sectored_plan_moves_ratio_toward_k(
-        cache in 25u32..2000,
-        mm in 1u32..100,
-        rm in 0u32..300,
-        wm in 0u32..300,
-        clean in 0u32..300,
-    ) {
+/// Applying the sectored plan moves the cache:MM access ratio toward K
+/// (never past overshooting in the wrong direction).
+#[test]
+fn sectored_plan_moves_ratio_toward_k() {
+    let mut rng = SplitMix64::new(0xDA9_0006);
+    for _ in 0..CASES {
+        let cache = rng.range_u64(25, 2000) as u32;
+        let mm = rng.range_u64(1, 100) as u32;
+        let rm = rng.below(300) as u32;
+        let wm = rng.below(300) as u32;
+        let clean = rng.below(300) as u32;
         let budget = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75);
         let solver = SectoredDapSolver::new(budget);
         let stats = WindowStats {
@@ -122,28 +142,41 @@ proptest! {
             ..Default::default()
         };
         let plan = solver.solve(&stats);
-        prop_assume!(!plan.is_idle());
+        if plan.is_idle() {
+            continue;
+        }
         let moved = plan.n_fwb + plan.n_wb() + plan.n_ifrm();
-        prop_assume!(moved > 0);
+        if moved == 0 {
+            continue;
+        }
         let k = budget.k.as_f64();
         let before = f64::from(cache) / f64::from(mm);
-        prop_assume!(before > k);
+        if before <= k {
+            continue;
+        }
         let cache_after = f64::from(cache - moved);
         let mm_after = f64::from(mm + plan.n_wb() + plan.n_ifrm());
         let after = cache_after / mm_after;
-        prop_assert!(after <= before + 1e-9, "partitioning must not raise cache share");
-        prop_assert!(after >= k - 1.0 - 1e-9,
-            "must not wildly overshoot below K: after {after}, K {k}");
+        assert!(
+            after <= before + 1e-9,
+            "partitioning must not raise cache share"
+        );
+        assert!(
+            after >= k - 1.0 - 1e-9,
+            "must not wildly overshoot below K: after {after}, K {k}"
+        );
     }
+}
 
-    /// Alloy plans respect DBC and write caps.
-    #[test]
-    fn alloy_plan_respects_caps(
-        cache in 0u32..2000,
-        mm in 0u32..500,
-        writes in 0u32..300,
-        clean in 0u32..300,
-    ) {
+/// Alloy plans respect DBC and write caps.
+#[test]
+fn alloy_plan_respects_caps() {
+    let mut rng = SplitMix64::new(0xDA9_0007);
+    for _ in 0..CASES {
+        let cache = rng.below(2000) as u32;
+        let mm = rng.below(500) as u32;
+        let writes = rng.below(300) as u32;
+        let clean = rng.below(300) as u32;
         let budget = WindowBudget::from_gbps(102.4 * 2.0 / 3.0, None, 38.4, 4.0, 64, 0.75);
         let solver = AlloyDapSolver::new(budget);
         let stats = WindowStats {
@@ -154,24 +187,28 @@ proptest! {
             ..Default::default()
         };
         let plan = solver.solve(&stats);
-        prop_assert!(plan.n_ifrm <= clean);
-        prop_assert!(plan.n_write_through <= writes);
+        assert!(plan.n_ifrm <= clean);
+        assert!(plan.n_write_through <= writes);
         // Write-through plus IFRM never exceeds the MM budget headroom.
         let mm_added = i64::from(plan.n_ifrm) + i64::from(plan.n_write_through);
-        prop_assert!(mm_added <= i64::from(budget.mm_budget).max(0) - i64::from(mm)
-            || plan.n_write_through == 0);
+        assert!(
+            mm_added <= i64::from(budget.mm_budget).max(0) - i64::from(mm)
+                || plan.n_write_through == 0
+        );
     }
+}
 
-    /// eDRAM plans respect caps in all three cases.
-    #[test]
-    fn edram_plan_respects_caps(
-        a_r in 0u32..1000,
-        a_w in 0u32..1000,
-        mm in 0u32..500,
-        rm in 0u32..300,
-        wm in 0u32..300,
-        clean in 0u32..300,
-    ) {
+/// eDRAM plans respect caps in all three cases.
+#[test]
+fn edram_plan_respects_caps() {
+    let mut rng = SplitMix64::new(0xDA9_0008);
+    for _ in 0..CASES {
+        let a_r = rng.below(1000) as u32;
+        let a_w = rng.below(1000) as u32;
+        let mm = rng.below(500) as u32;
+        let rm = rng.below(300) as u32;
+        let wm = rng.below(300) as u32;
+        let clean = rng.below(300) as u32;
         let budget = WindowBudget::from_gbps(51.2, Some(51.2), 38.4, 4.0, 64, 0.75);
         let solver = EdramDapSolver::new(budget);
         let stats = WindowStats {
@@ -182,27 +219,28 @@ proptest! {
             read_misses: rm,
             writes: wm,
             clean_read_hits: clean,
-            ..Default::default()
         };
         let plan = solver.solve(&stats);
-        prop_assert!(plan.n_fwb <= rm);
-        prop_assert!(plan.n_wb <= wm);
-        prop_assert!(plan.n_ifrm <= clean);
+        assert!(plan.n_fwb <= rm);
+        assert!(plan.n_wb <= wm);
+        assert!(plan.n_ifrm <= clean);
         if a_r <= budget.cache_channel_budget && a_w <= budget.cache_channel_budget {
-            prop_assert!(plan.is_idle());
+            assert!(plan.is_idle());
         }
     }
+}
 
-    /// Controller credits never let more applications through than the
-    /// plan granted (saturation & scaled consumption are conservative).
-    #[test]
-    fn controller_never_overspends(
-        cache in 20u32..200,
-        mm in 0u32..20,
-        rm in 0u32..64,
-        wm in 0u32..64,
-        clean in 0u32..64,
-    ) {
+/// Controller credits never let more applications through than the plan
+/// granted (saturation & scaled consumption are conservative).
+#[test]
+fn controller_never_overspends() {
+    let mut rng = SplitMix64::new(0xDA9_0009);
+    for _ in 0..CASES {
+        let cache = rng.range_u64(20, 200) as u32;
+        let mm = rng.below(20) as u32;
+        let rm = rng.below(64) as u32;
+        let wm = rng.below(64) as u32;
+        let clean = rng.below(64) as u32;
         let mut dap = DapController::new(DapConfig::hbm_ddr4());
         let stats = WindowStats {
             cache_accesses: cache,
@@ -225,12 +263,12 @@ proptest! {
         for (i, t) in order.iter().enumerate() {
             while dap.try_apply(*t) {
                 applied[i] += 1;
-                prop_assert!(applied[i] <= 64, "runaway credits for {t:?}");
+                assert!(applied[i] <= 64, "runaway credits for {t:?}");
             }
         }
-        prop_assert!(applied[0] <= plan.n_fwb.min(63));
-        prop_assert!(applied[1] <= plan.n_wb().min(63));
-        prop_assert!(applied[2] <= plan.n_ifrm().min(63));
-        prop_assert!(applied[3] <= plan.n_sfrm.min(63));
+        assert!(applied[0] <= plan.n_fwb.min(63));
+        assert!(applied[1] <= plan.n_wb().min(63));
+        assert!(applied[2] <= plan.n_ifrm().min(63));
+        assert!(applied[3] <= plan.n_sfrm.min(63));
     }
 }

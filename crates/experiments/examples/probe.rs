@@ -8,7 +8,7 @@ fn probe_modules(config: &mem_sim::SystemConfig, mix: &workloads::Mix, instr: u6
     let mut sys = mem_sim::System::with_policy(
         config.clone(),
         mix.traces(),
-        build_policy(PolicyKind::Baseline, config),
+        build_policy(PolicyKind::Baseline, config).expect("baseline always builds"),
     );
     let r = sys.run(instr);
     let cycles = r.per_core.iter().map(|c| c.cycles).max().unwrap() as f64;

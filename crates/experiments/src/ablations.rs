@@ -11,10 +11,11 @@
 
 use mem_sim::dram::{DramConfig, RefreshTiming};
 use mem_sim::{CacheKind, SystemConfig};
-use workloads::heterogeneous_mixes;
+use workloads::{heterogeneous_mixes, Mix};
 
-use crate::metrics::{FigureResult, Row};
-use crate::runner::{run_workload, AloneIpcCache, PolicyKind};
+use crate::exec::run_variant_grid;
+use crate::metrics::{geomean, FigureResult, Row};
+use crate::runner::{AloneIpcCache, PolicyKind, WorkloadRun};
 
 use crate::figures::sensitive_mixes;
 
@@ -25,43 +26,45 @@ use crate::figures::sensitive_mixes;
 /// latency-sensitive threads' hits).
 pub fn ablation_thread_aware(instructions: u64) -> FigureResult {
     let config = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
+    let alone = AloneIpcCache::new();
     // The dissimilar mixes are the second half of the heterogeneous set.
-    for mix in heterogeneous_mixes().into_iter().skip(13).take(7) {
-        let base = run_workload(
-            &config,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-        let ta = run_workload(
-            &config,
-            PolicyKind::ThreadAwareDap,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let floor = |r: &crate::runner::WorkloadRun| {
-            r.result
-                .per_core
-                .iter()
-                .zip(&base.result.per_core)
-                .map(|(a, b)| a.ipc() / b.ipc())
-                .fold(f64::INFINITY, f64::min)
-        };
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![
-                dap.weighted_speedup / base.weighted_speedup,
-                ta.weighted_speedup / base.weighted_speedup,
-                floor(&dap),
-                floor(&ta),
-            ],
-        ));
-    }
+    let mixes: Vec<Mix> = heterogeneous_mixes().into_iter().skip(13).take(7).collect();
+    let grid = run_variant_grid(
+        &[
+            (&config, PolicyKind::Baseline),
+            (&config, PolicyKind::Dap),
+            (&config, PolicyKind::ThreadAwareDap),
+        ],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, dap, ta] = &runs[..] else {
+                unreachable!()
+            };
+            let floor = |r: &WorkloadRun| {
+                r.result
+                    .per_core
+                    .iter()
+                    .zip(&base.result.per_core)
+                    .map(|(a, b)| a.ipc() / b.ipc())
+                    .fold(f64::INFINITY, f64::min)
+            };
+            Row::new(
+                mix.name.clone(),
+                vec![
+                    dap.weighted_speedup / base.weighted_speedup,
+                    ta.weighted_speedup / base.weighted_speedup,
+                    floor(dap),
+                    floor(ta),
+                ],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Ablation A",
         title: "Thread-aware IFRM vs plain DAP on dissimilar mixes".into(),
@@ -77,10 +80,43 @@ pub fn ablation_thread_aware(instructions: u64) -> FigureResult {
     .with_geomean()
 }
 
+/// One sweep point of a "reference vs modified config" ablation: runs
+/// (reference baseline, modified baseline, modified DAP) over the first
+/// four bandwidth-sensitive mixes and returns the geomean speedups of the
+/// modified baseline and modified DAP over the reference baseline.
+fn sweep_point(
+    reference: &SystemConfig,
+    config: &SystemConfig,
+    instructions: u64,
+    alone: &AloneIpcCache,
+) -> (f64, f64) {
+    let mixes: Vec<Mix> = sensitive_mixes(8).into_iter().take(4).collect();
+    let grid = run_variant_grid(
+        &[
+            (reference, PolicyKind::Baseline),
+            (config, PolicyKind::Baseline),
+            (config, PolicyKind::Dap),
+        ],
+        &mixes,
+        instructions,
+        alone,
+    );
+    let mut base_ws = Vec::new();
+    let mut dap_ws = Vec::new();
+    for runs in &grid {
+        let [refr, base, dap] = &runs[..] else {
+            unreachable!()
+        };
+        base_ws.push(base.weighted_speedup / refr.weighted_speedup);
+        dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
+    }
+    (geomean(base_ws), geomean(dap_ws))
+}
+
 /// DRAM write-batch depth sweep: 4 / 16 (default) / 64 buffered writes per
 /// drain, baseline and DAP geomean speedups over the depth-16 baseline.
 pub fn ablation_write_batch(instructions: u64) -> FigureResult {
-    let mut alone = AloneIpcCache::new();
+    let alone = AloneIpcCache::new();
     let reference = SystemConfig::sectored_dram_cache(8);
     let mut rows = Vec::new();
     for batch in [4usize, 16, 64] {
@@ -91,34 +127,8 @@ pub fn ablation_write_batch(instructions: u64) -> FigureResult {
             d.write_batch = batch;
             *dram = d;
         }
-        let mut base_ws = Vec::new();
-        let mut dap_ws = Vec::new();
-        for mix in sensitive_mixes(8).into_iter().take(4) {
-            let refr = run_workload(
-                &reference,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let base = run_workload(
-                &config,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-            base_ws.push(base.weighted_speedup / refr.weighted_speedup);
-            dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
-        }
-        rows.push(Row::new(
-            format!("batch={batch}"),
-            vec![
-                crate::metrics::geomean(base_ws),
-                crate::metrics::geomean(dap_ws),
-            ],
-        ));
+        let (base, dap) = sweep_point(&reference, &config, instructions, &alone);
+        rows.push(Row::new(format!("batch={batch}"), vec![base, dap]));
     }
     FigureResult {
         id: "Ablation B",
@@ -134,7 +144,7 @@ pub fn ablation_write_batch(instructions: u64) -> FigureResult {
 /// (JEDEC tREFI/tRFC) on both the cache array and main memory and checks
 /// that DAP's benefit survives the extra pressure.
 pub fn ablation_refresh(instructions: u64) -> FigureResult {
-    let mut alone = AloneIpcCache::new();
+    let alone = AloneIpcCache::new();
     let reference = SystemConfig::sectored_dram_cache(8);
     let mut rows = Vec::new();
     for enabled in [false, true] {
@@ -145,33 +155,10 @@ pub fn ablation_refresh(instructions: u64) -> FigureResult {
                 *dram = dram.clone().with_refresh(RefreshTiming::ddr4());
             }
         }
-        let mut base_ws = Vec::new();
-        let mut dap_ws = Vec::new();
-        for mix in sensitive_mixes(8).into_iter().take(4) {
-            let refr = run_workload(
-                &reference,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let base = run_workload(
-                &config,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-            base_ws.push(base.weighted_speedup / refr.weighted_speedup);
-            dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
-        }
+        let (base, dap) = sweep_point(&reference, &config, instructions, &alone);
         rows.push(Row::new(
             if enabled { "refresh on" } else { "refresh off" },
-            vec![
-                crate::metrics::geomean(base_ws),
-                crate::metrics::geomean(dap_ws),
-            ],
+            vec![base, dap],
         ));
     }
     FigureResult {
@@ -186,40 +173,14 @@ pub fn ablation_refresh(instructions: u64) -> FigureResult {
 /// Stride-prefetch degree sweep {0, 2, 4}: how upstream bandwidth demand
 /// shaping changes what DAP has to work with.
 pub fn ablation_prefetch_degree(instructions: u64) -> FigureResult {
-    let mut alone = AloneIpcCache::new();
+    let alone = AloneIpcCache::new();
     let reference = SystemConfig::sectored_dram_cache(8);
     let mut rows = Vec::new();
     for degree in [0u32, 2, 4] {
         let mut config = reference.clone();
         config.prefetch_degree = degree;
-        let mut base_ws = Vec::new();
-        let mut dap_ws = Vec::new();
-        for mix in sensitive_mixes(8).into_iter().take(4) {
-            let refr = run_workload(
-                &reference,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let base = run_workload(
-                &config,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-            base_ws.push(base.weighted_speedup / refr.weighted_speedup);
-            dap_ws.push(dap.weighted_speedup / refr.weighted_speedup);
-        }
-        rows.push(Row::new(
-            format!("degree={degree}"),
-            vec![
-                crate::metrics::geomean(base_ws),
-                crate::metrics::geomean(dap_ws),
-            ],
-        ));
+        let (base, dap) = sweep_point(&reference, &config, instructions, &alone);
+        rows.push(Row::new(format!("degree={degree}"), vec![base, dap]));
     }
     FigureResult {
         id: "Ablation C",

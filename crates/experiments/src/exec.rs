@@ -1,0 +1,197 @@
+//! Deterministic parallel execution of experiment grids.
+//!
+//! The paper's evaluation is a grid of mix × policy × architecture
+//! simulations, each independent and deterministic. An [`ExperimentPlan`]
+//! collects those simulations as closures; a [`ParallelExecutor`] drains
+//! the plan over a shared work queue on `std::thread::scope`, returning
+//! results **in plan order** regardless of which thread finished which
+//! unit first. Because every unit is deterministic and results are
+//! reassembled by index, the parallel output is bit-identical to running
+//! the same plan on one thread (`crates/experiments/tests/determinism.rs`
+//! proves this).
+//!
+//! Thread count comes from `DAP_THREADS` (default: all available cores).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mem_sim::SystemConfig;
+use workloads::Mix;
+
+use crate::runner::{run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
+
+type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// An ordered list of independent simulation units.
+#[derive(Default)]
+pub struct ExperimentPlan<'a, T> {
+    tasks: Vec<Task<'a, T>>,
+}
+
+impl<'a, T: Send> ExperimentPlan<'a, T> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self { tasks: Vec::new() }
+    }
+
+    /// Appends a unit and returns its index in the result vector.
+    pub fn add(&mut self, task: impl FnOnce() -> T + Send + 'a) -> usize {
+        self.tasks.push(Box::new(task));
+        self.tasks.len() - 1
+    }
+
+    /// Number of units in the plan.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the plan has no units.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// Runs an [`ExperimentPlan`] across a fixed number of worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with an explicit thread count (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Thread count from the `DAP_THREADS` environment variable, falling
+    /// back to the host's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("DAP_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every unit and returns the results in plan order.
+    ///
+    /// Workers claim units from a shared atomic cursor (dynamic load
+    /// balancing: units vary widely in cost) and deposit each result in
+    /// the slot matching the unit's plan index, so the output order never
+    /// depends on scheduling.
+    pub fn run<'a, T: Send>(&self, plan: ExperimentPlan<'a, T>) -> Vec<T> {
+        let n = plan.tasks.len();
+        if self.threads == 1 || n <= 1 {
+            return plan.tasks.into_iter().map(|task| task()).collect();
+        }
+        let queue: Vec<Mutex<Option<Task<'a, T>>>> = plan
+            .tasks
+            .into_iter()
+            .map(|task| Mutex::new(Some(task)))
+            .collect();
+        let slots: Vec<Mutex<Option<T>>> = std::iter::repeat_with(|| Mutex::new(None))
+            .take(n)
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = queue[i].lock().unwrap().take().expect("unit claimed once");
+                    *slots[i].lock().unwrap() = Some(task());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every unit ran"))
+            .collect()
+    }
+}
+
+/// Runs `variants.len()` workload units per mix in parallel and returns,
+/// per mix, the runs in variant order — the shape almost every figure
+/// needs (N policy/architecture variants over a list of mixes).
+pub fn run_variant_grid(
+    variants: &[(&SystemConfig, PolicyKind)],
+    mixes: &[Mix],
+    instructions: u64,
+    alone: &AloneIpcCache,
+) -> Vec<Vec<WorkloadRun>> {
+    let mut plan = ExperimentPlan::new();
+    for mix in mixes {
+        for &(config, kind) in variants {
+            plan.add(move || run_workload(config, kind, mix, instructions, alone));
+        }
+    }
+    let mut runs = ParallelExecutor::from_env().run(plan).into_iter();
+    mixes
+        .iter()
+        .map(|_| (0..variants.len()).map(|_| runs.next().unwrap()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_plan_order() {
+        let mut plan = ExperimentPlan::new();
+        for i in 0..64u64 {
+            // Uneven unit costs so threads finish out of submission order.
+            plan.add(move || {
+                let mut acc = i;
+                for _ in 0..(i % 7) * 10_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                std::hint::black_box(acc);
+                i
+            });
+        }
+        let out = ParallelExecutor::new(4).run(plan);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_unit_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let mut plan = ExperimentPlan::new();
+        for _ in 0..37 {
+            plan.add(|| counter.fetch_add(1, Ordering::Relaxed));
+        }
+        let out = ParallelExecutor::new(8).run(plan);
+        assert_eq!(out.len(), 37);
+        assert_eq!(counter.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let mut plan = ExperimentPlan::new();
+        assert!(plan.is_empty());
+        plan.add(|| 41);
+        plan.add(|| 42);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(ParallelExecutor::new(1).run(plan), vec![41, 42]);
+    }
+
+    #[test]
+    fn executor_clamps_to_one_thread() {
+        assert_eq!(ParallelExecutor::new(0).threads(), 1);
+        assert!(ParallelExecutor::from_env().threads() >= 1);
+    }
+}

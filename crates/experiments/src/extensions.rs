@@ -10,9 +10,10 @@
 use mem_sim::mscache::PlacementGoal;
 use mem_sim::SystemConfig;
 
+use crate::exec::run_variant_grid;
 use crate::figures::sensitive_mixes;
 use crate::metrics::{FigureResult, Row};
-use crate::runner::{run_workload, AloneIpcCache, PolicyKind};
+use crate::runner::{AloneIpcCache, PolicyKind};
 
 /// OS-visible tiering: conventional hot-page packing vs bandwidth-optimal
 /// placement, both normalized to the conventional system, plus the
@@ -21,35 +22,37 @@ pub fn os_visible_tiering(instructions: u64) -> FigureResult {
     let hits = SystemConfig::flat_tier(8, PlacementGoal::MaximizeFastHits);
     let balanced = SystemConfig::flat_tier(8, PlacementGoal::BandwidthOptimal);
     let cache_mode = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
-    for mix in sensitive_mixes(8) {
-        let base = run_workload(&hits, PolicyKind::Baseline, &mix, instructions, &mut alone);
-        let bal = run_workload(
-            &balanced,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let cache_base = run_workload(
-            &cache_mode,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let cache_dap = run_workload(&cache_mode, PolicyKind::Dap, &mix, instructions, &mut alone);
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![
-                bal.weighted_speedup / base.weighted_speedup,
-                cache_dap.weighted_speedup / cache_base.weighted_speedup,
-                base.result.stats.ms_hit_ratio(),
-                bal.result.stats.ms_hit_ratio(),
-            ],
-        ));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = sensitive_mixes(8);
+    let grid = run_variant_grid(
+        &[
+            (&hits, PolicyKind::Baseline),
+            (&balanced, PolicyKind::Baseline),
+            (&cache_mode, PolicyKind::Baseline),
+            (&cache_mode, PolicyKind::Dap),
+        ],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, bal, cache_base, cache_dap] = &runs[..] else {
+                unreachable!()
+            };
+            Row::new(
+                mix.name.clone(),
+                vec![
+                    bal.weighted_speedup / base.weighted_speedup,
+                    cache_dap.weighted_speedup / cache_base.weighted_speedup,
+                    base.result.stats.ms_hit_ratio(),
+                    bal.result.stats.ms_hit_ratio(),
+                ],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Extension D",
         title: "OS-visible tiering: bandwidth-optimal placement vs hot-page packing \

@@ -1,9 +1,10 @@
 //! Section VI-A DAP-on-sectored-cache experiments: Fig. 6, 7, 8, Table I.
 
-use mem_sim::SystemConfig;
+use mem_sim::{RunResult, SystemConfig};
 
+use crate::exec::{run_variant_grid, ExperimentPlan, ParallelExecutor};
 use crate::metrics::{geomean, FigureResult, Row};
-use crate::runner::{build_policy_with, run_workload, AloneIpcCache, PolicyKind};
+use crate::runner::{build_policy_with, run_mix, AloneIpcCache, PolicyKind};
 
 use super::sensitive_mixes;
 
@@ -11,25 +12,30 @@ use super::sensitive_mixes;
 /// and its normalized average L3 read-miss latency (bottom panel).
 pub fn fig06_dap_sectored(instructions: u64) -> FigureResult {
     let config = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
-    for mix in sensitive_mixes(8) {
-        let base = run_workload(
-            &config,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![
-                dap.weighted_speedup / base.weighted_speedup,
-                dap.result.stats.avg_read_latency() / base.result.stats.avg_read_latency(),
-            ],
-        ));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = sensitive_mixes(8);
+    let grid = run_variant_grid(
+        &[(&config, PolicyKind::Baseline), (&config, PolicyKind::Dap)],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, dap] = &runs[..] else {
+                unreachable!()
+            };
+            Row::new(
+                mix.name.clone(),
+                vec![
+                    dap.weighted_speedup / base.weighted_speedup,
+                    dap.result.stats.avg_read_latency() / base.result.stats.avg_read_latency(),
+                ],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Fig. 6",
         title: "DAP on the sectored DRAM cache: speedup and normalized L3 read-miss latency".into(),
@@ -43,11 +49,19 @@ pub fn fig06_dap_sectored(instructions: u64) -> FigureResult {
 /// Fig. 7: the share of DAP decisions contributed by each technique.
 pub fn fig07_decision_mix(instructions: u64) -> FigureResult {
     let config = SystemConfig::sectored_dram_cache(8);
+    let mixes = sensitive_mixes(8);
+    let mut plan = ExperimentPlan::new();
+    {
+        let config = &config;
+        for mix in &mixes {
+            plan.add(move || run_mix(config, PolicyKind::Dap, mix, instructions));
+        }
+    }
+    let results = ParallelExecutor::from_env().run(plan);
     let mut rows = Vec::new();
     let mut totals = [0.0f64; 4];
     let mut counted = 0usize;
-    for mix in sensitive_mixes(8) {
-        let r = crate::runner::run_mix(&config, PolicyKind::Dap, &mix, instructions);
+    for (mix, r) in mixes.iter().zip(results) {
         let d = r.dap_decisions.expect("DAP ran");
         let mix_shares = d.mix();
         if d.total_decisions() > 0 {
@@ -73,35 +87,37 @@ pub fn fig07_decision_mix(instructions: u64) -> FigureResult {
 /// memory-side cache hit ratio (bottom: baseline, FWB+WB only, full DAP).
 pub fn fig08_cas_fraction(instructions: u64) -> FigureResult {
     let config = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
-    for mix in sensitive_mixes(8) {
-        let base = run_workload(
-            &config,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let fwb_wb = run_workload(
-            &config,
-            PolicyKind::DapFwbWbOnly,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![
-                base.result.stats.mm_cas_fraction(),
-                dap.result.stats.mm_cas_fraction(),
-                base.result.stats.ms_hit_ratio(),
-                fwb_wb.result.stats.ms_hit_ratio(),
-                dap.result.stats.ms_hit_ratio(),
-            ],
-        ));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = sensitive_mixes(8);
+    let grid = run_variant_grid(
+        &[
+            (&config, PolicyKind::Baseline),
+            (&config, PolicyKind::DapFwbWbOnly),
+            (&config, PolicyKind::Dap),
+        ],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, fwb_wb, dap] = &runs[..] else {
+                unreachable!()
+            };
+            Row::new(
+                mix.name.clone(),
+                vec![
+                    base.result.stats.mm_cas_fraction(),
+                    dap.result.stats.mm_cas_fraction(),
+                    base.result.stats.ms_hit_ratio(),
+                    fwb_wb.result.stats.ms_hit_ratio(),
+                    dap.result.stats.ms_hit_ratio(),
+                ],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Fig. 8",
         title: "Main-memory CAS fraction (optimal 0.27) and memory-side cache hit ratio".into(),
@@ -118,45 +134,47 @@ pub fn fig08_cas_fraction(instructions: u64) -> FigureResult {
     .with_mean()
 }
 
+/// Weighted speedup against unit alone-IPCs (homogeneous rate mixes: the
+/// alone term cancels when two such speedups are divided).
+fn unit_ws(result: &RunResult) -> f64 {
+    result.weighted_speedup(&vec![1.0; result.per_core.len()])
+}
+
 /// Table I: geometric-mean DAP speedup while sweeping the window size
 /// `W in {32, 64, 128}` (at `E = 0.75`) and the bandwidth efficiency
 /// `E in {0.5, 0.75, 1.0}` (at `W = 64`).
 pub fn table1_w_e_sensitivity(instructions: u64) -> FigureResult {
+    const PARAMS: [(u32, f64); 5] = [(32, 0.75), (64, 0.75), (128, 0.75), (64, 0.50), (64, 1.00)];
     let config = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-
-    let mut sweep = |window: u32, efficiency: f64| -> f64 {
-        let mut ratios = Vec::new();
-        for mix in sensitive_mixes(8) {
-            let base = run_workload(
-                &config,
-                PolicyKind::Baseline,
-                &mix,
-                instructions,
-                &mut alone,
-            );
-            let policy = build_policy_with(PolicyKind::Dap, &config, window, efficiency);
-            let mut system = mem_sim::System::with_policy(config.clone(), mix.traces(), policy);
-            let result = system.run(instructions);
-            let alone_ipcs: Vec<f64> = mix
-                .specs
-                .iter()
-                .map(|_| 1.0) // homogeneous rate mixes: alone IPC cancels
-                .collect();
-            let ws = result.weighted_speedup(&alone_ipcs);
-            let ws_base = base.result.weighted_speedup(&vec![1.0; mix.specs.len()]);
-            ratios.push(ws / ws_base);
+    let mixes = sensitive_mixes(8);
+    let mut plan = ExperimentPlan::new();
+    {
+        let config = &config;
+        for mix in &mixes {
+            plan.add(move || unit_ws(&run_mix(config, PolicyKind::Baseline, mix, instructions)));
         }
-        geomean(ratios)
-    };
-
-    let rows = vec![
-        Row::new("W=32 E=0.75", vec![sweep(32, 0.75)]),
-        Row::new("W=64 E=0.75", vec![sweep(64, 0.75)]),
-        Row::new("W=128 E=0.75", vec![sweep(128, 0.75)]),
-        Row::new("W=64 E=0.50", vec![sweep(64, 0.50)]),
-        Row::new("W=64 E=1.00", vec![sweep(64, 1.00)]),
-    ];
+        for &(window, efficiency) in &PARAMS {
+            for mix in &mixes {
+                plan.add(move || {
+                    let policy = build_policy_with(PolicyKind::Dap, config, window, efficiency)
+                        .expect("the sectored cache supports DAP");
+                    let mut system =
+                        mem_sim::System::with_policy(config.clone(), mix.traces(), policy);
+                    unit_ws(&system.run(instructions))
+                });
+            }
+        }
+    }
+    let ws = ParallelExecutor::from_env().run(plan);
+    let (base, sweeps) = ws.split_at(mixes.len());
+    let rows = PARAMS
+        .iter()
+        .zip(sweeps.chunks(mixes.len()))
+        .map(|(&(w, e), dap)| {
+            let ratios: Vec<f64> = dap.iter().zip(base).map(|(d, b)| d / b).collect();
+            Row::new(format!("W={w} E={e:.2}"), vec![geomean(ratios)])
+        })
+        .collect();
     FigureResult {
         id: "Table I",
         title: "DAP speedup sensitivity to window size W and bandwidth efficiency E".into(),

@@ -5,8 +5,9 @@
 use mem_sim::{CacheKind, SystemConfig};
 use workloads::all_44_workloads;
 
+use crate::exec::run_variant_grid;
 use crate::metrics::{FigureResult, Row};
-use crate::runner::{run_workload, AloneIpcCache, PolicyKind};
+use crate::runner::{AloneIpcCache, PolicyKind};
 
 use super::sensitive_mixes;
 
@@ -14,31 +15,32 @@ use super::sensitive_mixes;
 /// optimized baseline, on the sectored DRAM cache.
 pub fn fig11_related_proposals(instructions: u64) -> FigureResult {
     let config = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-    let kinds = [
-        PolicyKind::Sbd,
-        PolicyKind::SbdWt,
-        PolicyKind::Batman,
-        PolicyKind::Dap,
-    ];
-    let mut rows = Vec::new();
-    for mix in sensitive_mixes(8) {
-        let base = run_workload(
-            &config,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let values = kinds
-            .iter()
-            .map(|&k| {
-                let r = run_workload(&config, k, &mix, instructions, &mut alone);
-                r.weighted_speedup / base.weighted_speedup
-            })
-            .collect();
-        rows.push(Row::new(mix.name.clone(), values));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = sensitive_mixes(8);
+    let grid = run_variant_grid(
+        &[
+            (&config, PolicyKind::Baseline),
+            (&config, PolicyKind::Sbd),
+            (&config, PolicyKind::SbdWt),
+            (&config, PolicyKind::Batman),
+            (&config, PolicyKind::Dap),
+        ],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let (base, rivals) = runs.split_first().expect("five runs per mix");
+            let values = rivals
+                .iter()
+                .map(|r| r.weighted_speedup / base.weighted_speedup)
+                .collect();
+            Row::new(mix.name.clone(), values)
+        })
+        .collect();
     FigureResult {
         id: "Fig. 11",
         title: "Related proposals vs DAP (normalized weighted speedup)".into(),
@@ -54,22 +56,27 @@ pub fn fig11_related_proposals(instructions: u64) -> FigureResult {
 /// heterogeneous mixes.
 pub fn fig12_all_workloads(instructions: u64) -> FigureResult {
     let config = SystemConfig::sectored_dram_cache(8);
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
-    for mix in all_44_workloads(8) {
-        let base = run_workload(
-            &config,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        let dap = run_workload(&config, PolicyKind::Dap, &mix, instructions, &mut alone);
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![dap.weighted_speedup / base.weighted_speedup],
-        ));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = all_44_workloads(8);
+    let grid = run_variant_grid(
+        &[(&config, PolicyKind::Baseline), (&config, PolicyKind::Dap)],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, dap] = &runs[..] else {
+                unreachable!()
+            };
+            Row::new(
+                mix.name.clone(),
+                vec![dap.weighted_speedup / base.weighted_speedup],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Fig. 12",
         title: "DAP across all 44 workloads (normalized weighted speedup)".into(),
@@ -89,30 +96,38 @@ pub fn fig14_alloy(instructions: u64) -> FigureResult {
     if let CacheKind::Alloy { bear, .. } = &mut alloy_bear.cache {
         *bear = true;
     }
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
-    for mix in sensitive_mixes(8) {
-        let base = run_workload(&alloy, PolicyKind::Baseline, &mix, instructions, &mut alone);
-        let bear = run_workload(
-            &alloy_bear,
-            PolicyKind::Baseline,
-            &mix,
-            instructions,
-            &mut alone,
-        );
-        // DAP's Alloy design builds on the BEAR presence bits + DBC.
-        let dap = run_workload(&alloy_bear, PolicyKind::Dap, &mix, instructions, &mut alone);
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![
-                bear.weighted_speedup / base.weighted_speedup,
-                dap.weighted_speedup / base.weighted_speedup,
-                base.result.stats.mm_cas_fraction(),
-                bear.result.stats.mm_cas_fraction(),
-                dap.result.stats.mm_cas_fraction(),
-            ],
-        ));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = sensitive_mixes(8);
+    // DAP's Alloy design builds on the BEAR presence bits + DBC.
+    let grid = run_variant_grid(
+        &[
+            (&alloy, PolicyKind::Baseline),
+            (&alloy_bear, PolicyKind::Baseline),
+            (&alloy_bear, PolicyKind::Dap),
+        ],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, bear, dap] = &runs[..] else {
+                unreachable!()
+            };
+            Row::new(
+                mix.name.clone(),
+                vec![
+                    bear.weighted_speedup / base.weighted_speedup,
+                    dap.weighted_speedup / base.weighted_speedup,
+                    base.result.stats.mm_cas_fraction(),
+                    bear.result.stats.mm_cas_fraction(),
+                    dap.result.stats.mm_cas_fraction(),
+                ],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Fig. 14",
         title: "Alloy cache: BEAR and Alloy+DAP speedups; main-memory CAS fractions".into(),
@@ -135,26 +150,40 @@ pub fn fig14_alloy(instructions: u64) -> FigureResult {
 pub fn fig15_edram(instructions: u64) -> FigureResult {
     let small = SystemConfig::edram_cache(8, 256);
     let large = SystemConfig::edram_cache(8, 512);
-    let mut alone = AloneIpcCache::new();
-    let mut rows = Vec::new();
-    for mix in sensitive_mixes(8) {
-        let base = run_workload(&small, PolicyKind::Baseline, &mix, instructions, &mut alone);
-        let dap_small = run_workload(&small, PolicyKind::Dap, &mix, instructions, &mut alone);
-        let base_large = run_workload(&large, PolicyKind::Baseline, &mix, instructions, &mut alone);
-        let dap_large = run_workload(&large, PolicyKind::Dap, &mix, instructions, &mut alone);
-        let h0 = base.result.stats.ms_hit_ratio();
-        rows.push(Row::new(
-            mix.name.clone(),
-            vec![
-                dap_small.weighted_speedup / base.weighted_speedup,
-                base_large.weighted_speedup / base.weighted_speedup,
-                dap_large.weighted_speedup / base.weighted_speedup,
-                (dap_small.result.stats.ms_hit_ratio() - h0) * 100.0,
-                (base_large.result.stats.ms_hit_ratio() - h0) * 100.0,
-                (dap_large.result.stats.ms_hit_ratio() - h0) * 100.0,
-            ],
-        ));
-    }
+    let alone = AloneIpcCache::new();
+    let mixes = sensitive_mixes(8);
+    let grid = run_variant_grid(
+        &[
+            (&small, PolicyKind::Baseline),
+            (&small, PolicyKind::Dap),
+            (&large, PolicyKind::Baseline),
+            (&large, PolicyKind::Dap),
+        ],
+        &mixes,
+        instructions,
+        &alone,
+    );
+    let rows = mixes
+        .iter()
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, dap_small, base_large, dap_large] = &runs[..] else {
+                unreachable!()
+            };
+            let h0 = base.result.stats.ms_hit_ratio();
+            Row::new(
+                mix.name.clone(),
+                vec![
+                    dap_small.weighted_speedup / base.weighted_speedup,
+                    base_large.weighted_speedup / base.weighted_speedup,
+                    dap_large.weighted_speedup / base.weighted_speedup,
+                    (dap_small.result.stats.ms_hit_ratio() - h0) * 100.0,
+                    (base_large.result.stats.ms_hit_ratio() - h0) * 100.0,
+                    (dap_large.result.stats.ms_hit_ratio() - h0) * 100.0,
+                ],
+            )
+        })
+        .collect();
     FigureResult {
         id: "Fig. 15",
         title: "eDRAM cache: DAP at 256/512 MB vs the 256 MB baseline; hit-rate change (pp)".into(),

@@ -4,21 +4,27 @@
 use mem_sim::dram::DramConfig;
 use mem_sim::{CacheKind, SystemConfig, CAPACITY_SCALE};
 
+use crate::exec::run_variant_grid;
 use crate::metrics::{FigureResult, Row};
-use crate::runner::{run_workload, AloneIpcCache, PolicyKind};
+use crate::runner::{AloneIpcCache, PolicyKind};
 
 use super::sensitive_mixes;
 
-fn dap_over_baseline(
-    config: &SystemConfig,
-    instructions: u64,
-    alone: &mut AloneIpcCache,
-) -> Vec<Row> {
-    sensitive_mixes(config.cores)
+fn dap_over_baseline(config: &SystemConfig, instructions: u64, alone: &AloneIpcCache) -> Vec<Row> {
+    let mixes = sensitive_mixes(config.cores);
+    let grid = run_variant_grid(
+        &[(config, PolicyKind::Baseline), (config, PolicyKind::Dap)],
+        &mixes,
+        instructions,
+        alone,
+    );
+    mixes
         .iter()
-        .map(|mix| {
-            let base = run_workload(config, PolicyKind::Baseline, mix, instructions, alone);
-            let dap = run_workload(config, PolicyKind::Dap, mix, instructions, alone);
+        .zip(&grid)
+        .map(|(mix, runs)| {
+            let [base, dap] = &runs[..] else {
+                unreachable!()
+            };
             Row::new(
                 mix.name.clone(),
                 vec![dap.weighted_speedup / base.weighted_speedup],
@@ -37,13 +43,13 @@ pub fn fig09_mm_technology(instructions: u64) -> FigureResult {
         DramConfig::lpddr4_2400(),
         DramConfig::ddr4_3200(),
     ];
-    let mut alone = AloneIpcCache::new();
+    let alone = AloneIpcCache::new();
     let mut columns = Vec::new();
     let mut per_memory_rows: Vec<Vec<Row>> = Vec::new();
     for mm in memories {
         columns.push(mm.name.to_string());
         let config = SystemConfig::sectored_dram_cache(8).with_mm(mm);
-        per_memory_rows.push(dap_over_baseline(&config, instructions, &mut alone));
+        per_memory_rows.push(dap_over_baseline(&config, instructions, &alone));
     }
     let rows = merge_columns(per_memory_rows);
     FigureResult {
@@ -60,7 +66,7 @@ pub fn fig09_mm_technology(instructions: u64) -> FigureResult {
 /// {2, 4, 8} GB (at 102.4 GB/s) and its bandwidth over {102.4, 128,
 /// 204.8} GB/s (at 4 GB).
 pub fn fig10_capacity_bandwidth(instructions: u64) -> FigureResult {
-    let mut alone = AloneIpcCache::new();
+    let alone = AloneIpcCache::new();
     let mut columns = Vec::new();
     let mut groups: Vec<Vec<Row>> = Vec::new();
 
@@ -70,7 +76,7 @@ pub fn fig10_capacity_bandwidth(instructions: u64) -> FigureResult {
         if let CacheKind::Sectored { capacity_bytes, .. } = &mut config.cache {
             *capacity_bytes = (capacity_gb << 30) / CAPACITY_SCALE;
         }
-        groups.push(dap_over_baseline(&config, instructions, &mut alone));
+        groups.push(dap_over_baseline(&config, instructions, &alone));
     }
     for dram in [
         DramConfig::hbm_102(),
@@ -82,7 +88,7 @@ pub fn fig10_capacity_bandwidth(instructions: u64) -> FigureResult {
         if let CacheKind::Sectored { dram: d, .. } = &mut config.cache {
             *d = dram;
         }
-        groups.push(dap_over_baseline(&config, instructions, &mut alone));
+        groups.push(dap_over_baseline(&config, instructions, &alone));
     }
     let rows = merge_columns(groups);
     FigureResult {
@@ -110,8 +116,8 @@ pub fn fig13_sixteen_cores(instructions: u64) -> FigureResult {
         *capacity_bytes = (8u64 << 30) / CAPACITY_SCALE;
         *dram = DramConfig::hbm_204();
     }
-    let mut alone = AloneIpcCache::new();
-    let rows = dap_over_baseline(&config, instructions, &mut alone);
+    let alone = AloneIpcCache::new();
+    let rows = dap_over_baseline(&config, instructions, &alone);
     FigureResult {
         id: "Fig. 13",
         title: "DAP speedup on a 16-core system (rate-16)".into(),

@@ -1,0 +1,191 @@
+//! Structural fingerprints of system configurations.
+//!
+//! [`AloneIpcCache`](crate::runner::AloneIpcCache) keys cached alone-run
+//! IPCs by configuration. A `format!("{config:?}")` string key works but
+//! allocates a long string per lookup and silently depends on `Debug`
+//! formatting stability; [`ConfigFingerprint`] instead encodes every field
+//! that affects a run into a canonical word sequence with derived `Hash`,
+//! so two configurations collide exactly when they are equal.
+
+use mem_sim::dram::DramConfig;
+use mem_sim::mscache::PlacementGoal;
+use mem_sim::{CacheKind, SystemConfig};
+
+/// A canonical, hashable encoding of a [`SystemConfig`].
+///
+/// Every field is framed (variable-length data is length-prefixed, enum
+/// variants are tagged) so distinct configurations produce distinct word
+/// sequences — no field boundary can alias another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigFingerprint(Vec<u64>);
+
+impl ConfigFingerprint {
+    /// Fingerprints a configuration.
+    pub fn of(config: &SystemConfig) -> Self {
+        let mut e = Encoder(Vec::with_capacity(64));
+        e.word(config.cores as u64);
+        e.f64(config.cpu_mhz);
+        e.word(u64::from(config.width));
+        e.word(config.rob as u64);
+        for level in [config.l1, config.l2, config.l3] {
+            e.word(level.0);
+            e.word(level.1 as u64);
+            e.word(level.2);
+        }
+        e.word(u64::from(config.prefetch_degree));
+        e.dram(&config.mm);
+        e.cache(&config.cache);
+        Self(e.0)
+    }
+}
+
+struct Encoder(Vec<u64>);
+
+impl Encoder {
+    fn word(&mut self, w: u64) {
+        self.0.push(w);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.0.push(v.to_bits());
+    }
+
+    /// Length-prefixed UTF-8 bytes packed into words.
+    fn str(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.word(u64::from_le_bytes(w));
+        }
+    }
+
+    fn dram(&mut self, d: &DramConfig) {
+        self.str(d.name);
+        self.f64(d.device_mhz);
+        self.word(u64::from(d.channels));
+        self.word(u64::from(d.banks_per_channel));
+        self.word(d.row_bytes);
+        self.word(u64::from(d.burst_clocks));
+        self.word(u64::from(d.t_cas));
+        self.word(u64::from(d.t_rcd));
+        self.word(u64::from(d.t_rp));
+        self.word(u64::from(d.t_ras));
+        self.word(d.io_delay_cpu);
+        self.word(d.write_batch as u64);
+        match d.refresh {
+            None => self.word(0),
+            Some(r) => {
+                self.word(1);
+                self.word(u64::from(r.t_refi));
+                self.word(u64::from(r.t_rfc));
+            }
+        }
+    }
+
+    fn cache(&mut self, cache: &CacheKind) {
+        match cache {
+            CacheKind::None => self.word(0),
+            CacheKind::Sectored {
+                capacity_bytes,
+                sector_bytes,
+                ways,
+                dram,
+                tag_cache,
+            } => {
+                self.word(1);
+                self.word(*capacity_bytes);
+                self.word(*sector_bytes);
+                self.word(*ways as u64);
+                self.dram(dram);
+                self.word(u64::from(*tag_cache));
+            }
+            CacheKind::Alloy {
+                capacity_bytes,
+                dram,
+                bear,
+            } => {
+                self.word(2);
+                self.word(*capacity_bytes);
+                self.dram(dram);
+                self.word(u64::from(*bear));
+            }
+            CacheKind::FlatTier {
+                capacity_bytes,
+                dram,
+                goal,
+            } => {
+                self.word(3);
+                self.word(*capacity_bytes);
+                self.dram(dram);
+                self.word(match goal {
+                    PlacementGoal::MaximizeFastHits => 0,
+                    PlacementGoal::BandwidthOptimal => 1,
+                });
+            }
+            CacheKind::Edram {
+                capacity_bytes,
+                sector_bytes,
+                ways,
+                direction,
+            } => {
+                self.word(4);
+                self.word(*capacity_bytes);
+                self.word(*sector_bytes);
+                self.word(*ways as u64);
+                self.dram(direction);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_sim::dram::RefreshTiming;
+
+    /// The experiment grid's distinct configurations must never collide.
+    #[test]
+    fn distinct_configs_never_collide() {
+        let mut with_refresh = SystemConfig::sectored_dram_cache(8);
+        with_refresh.mm = with_refresh.mm.with_refresh(RefreshTiming::ddr4());
+        let mut no_tag_cache = SystemConfig::sectored_dram_cache(8);
+        if let CacheKind::Sectored { tag_cache, .. } = &mut no_tag_cache.cache {
+            *tag_cache = false;
+        }
+        let mut bear = SystemConfig::alloy_cache(8);
+        if let CacheKind::Alloy { bear, .. } = &mut bear.cache {
+            *bear = true;
+        }
+        let configs = [
+            SystemConfig::sectored_dram_cache(8),
+            SystemConfig::sectored_dram_cache(16),
+            SystemConfig::sectored_dram_cache(8).with_l3_sets(4096),
+            SystemConfig::sectored_dram_cache(8).with_mm(mem_sim::dram::DramConfig::ddr4_3200()),
+            with_refresh,
+            no_tag_cache,
+            SystemConfig::alloy_cache(8),
+            bear,
+            SystemConfig::edram_cache(8, 256),
+            SystemConfig::edram_cache(8, 512),
+            SystemConfig::flat_tier(8, PlacementGoal::MaximizeFastHits),
+            SystemConfig::flat_tier(8, PlacementGoal::BandwidthOptimal),
+            SystemConfig::no_cache(8),
+        ];
+        let prints: Vec<ConfigFingerprint> = configs.iter().map(ConfigFingerprint::of).collect();
+        for (i, a) in prints.iter().enumerate() {
+            for (j, b) in prints.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "configs {i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_configs_agree() {
+        let a = ConfigFingerprint::of(&SystemConfig::sectored_dram_cache(8));
+        let b = ConfigFingerprint::of(&SystemConfig::sectored_dram_cache(8));
+        assert_eq!(a, b);
+    }
+}

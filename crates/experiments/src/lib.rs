@@ -7,8 +7,10 @@
 //! binary per experiment.
 //!
 //! All experiments take an `instructions` budget per core; larger budgets
-//! reduce warmup bias. The deterministic workloads make every run
-//! reproducible.
+//! reduce warmup bias. Each figure's grid of independent simulations runs
+//! on the [`exec::ParallelExecutor`] (`DAP_THREADS` workers), and results
+//! are bit-identical at any thread count — the deterministic workloads
+//! and index-ordered result slots make every run reproducible.
 //!
 //! ```no_run
 //! use experiments::figures;
@@ -21,10 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod exec;
 pub mod extensions;
 pub mod figures;
+pub mod fingerprint;
 pub mod metrics;
 pub mod runner;
 
+pub use exec::{run_variant_grid, ExperimentPlan, ParallelExecutor};
+pub use fingerprint::ConfigFingerprint;
 pub use metrics::{geomean, FigureResult, Row};
-pub use runner::{run_mix, run_workload, PolicyKind, WorkloadRun};
+pub use runner::{run_mix, run_workload, AloneIpcCache, PolicyKind, WorkloadRun};

@@ -2,6 +2,8 @@
 //! weighted-speedup bookkeeping (with cached alone-run IPCs).
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
 
 use dap_core::DapConfig;
 use mem_sim::clock::Cycle;
@@ -11,6 +13,8 @@ use mem_sim::{
 };
 use policies::{Batman, Sbd, SbdVariant};
 use workloads::{rate_mode, Mix};
+
+use crate::fingerprint::ConfigFingerprint;
 
 /// Which access-partitioning policy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,13 +36,50 @@ pub enum PolicyKind {
     Batman,
 }
 
+/// A policy was requested on an architecture that cannot host it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyBuildError {
+    /// The policy that was requested.
+    pub policy: &'static str,
+    /// The architecture that cannot host it.
+    pub architecture: &'static str,
+}
+
+impl fmt::Display for PolicyBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} needs a memory-side cache to steer accesses between; \
+             the `{}` configuration has none",
+            self.policy, self.architecture
+        )
+    }
+}
+
+impl std::error::Error for PolicyBuildError {}
+
+fn architecture_name(cache: &CacheKind) -> &'static str {
+    match cache {
+        CacheKind::None => "no-cache",
+        CacheKind::Sectored { .. } => "sectored",
+        CacheKind::Alloy { .. } => "alloy",
+        CacheKind::FlatTier { .. } => "flat-tier",
+        CacheKind::Edram { .. } => "edram",
+    }
+}
+
 /// Derives the DAP controller configuration implied by a system
 /// configuration (architecture, bandwidths, CPU clock).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the system has no memory-side cache.
-pub fn dap_config_for(config: &SystemConfig, window: u32, efficiency: f64) -> DapConfig {
+/// [`PolicyBuildError`] if the system has no memory-side cache to
+/// partition accesses against (`CacheKind::None`, `CacheKind::FlatTier`).
+pub fn dap_config_for(
+    config: &SystemConfig,
+    window: u32,
+    efficiency: f64,
+) -> Result<DapConfig, PolicyBuildError> {
     let mm_gbps = config.mm.peak_gbps();
     let base = DapConfig {
         window_cycles: window,
@@ -48,27 +89,28 @@ pub fn dap_config_for(config: &SystemConfig, window: u32, efficiency: f64) -> Da
         ..DapConfig::hbm_ddr4()
     };
     match &config.cache {
-        CacheKind::None | CacheKind::FlatTier { .. } => {
-            panic!("DAP request steering needs a memory-side cache")
-        }
-        CacheKind::Sectored { dram, .. } => DapConfig {
+        CacheKind::None | CacheKind::FlatTier { .. } => Err(PolicyBuildError {
+            policy: "DAP request steering",
+            architecture: architecture_name(&config.cache),
+        }),
+        CacheKind::Sectored { dram, .. } => Ok(DapConfig {
             architecture: dap_core::CacheArchitecture::SingleBus,
             cache_gbps: dram.peak_gbps(),
             split_channel_gbps: None,
             ..base
-        },
-        CacheKind::Alloy { dram, .. } => DapConfig {
+        }),
+        CacheKind::Alloy { dram, .. } => Ok(DapConfig {
             architecture: dap_core::CacheArchitecture::Alloy,
             cache_gbps: dram.peak_gbps() * 2.0 / 3.0,
             split_channel_gbps: None,
             ..base
-        },
-        CacheKind::Edram { direction, .. } => DapConfig {
+        }),
+        CacheKind::Edram { direction, .. } => Ok(DapConfig {
             architecture: dap_core::CacheArchitecture::SplitChannel,
             cache_gbps: direction.peak_gbps(),
             split_channel_gbps: Some(direction.peak_gbps()),
             ..base
-        },
+        }),
     }
 }
 
@@ -101,25 +143,38 @@ impl Partitioner for FwbWbOnly {
 }
 
 /// Builds a policy instance for a system (default window 64, E = 0.75).
-pub fn build_policy(kind: PolicyKind, config: &SystemConfig) -> Box<dyn Partitioner> {
+///
+/// # Errors
+///
+/// [`PolicyBuildError`] if the policy needs a memory-side cache the
+/// configuration lacks.
+pub fn build_policy(
+    kind: PolicyKind,
+    config: &SystemConfig,
+) -> Result<Box<dyn Partitioner>, PolicyBuildError> {
     build_policy_with(kind, config, 64, 0.75)
 }
 
 /// Builds a policy with explicit DAP window/efficiency parameters.
+///
+/// # Errors
+///
+/// [`PolicyBuildError`] if the policy needs a memory-side cache the
+/// configuration lacks.
 pub fn build_policy_with(
     kind: PolicyKind,
     config: &SystemConfig,
     window: u32,
     efficiency: f64,
-) -> Box<dyn Partitioner> {
-    match kind {
+) -> Result<Box<dyn Partitioner>, PolicyBuildError> {
+    Ok(match kind {
         PolicyKind::Baseline => Box::new(NoPartitioning),
-        PolicyKind::Dap => Box::new(DapPolicy::new(dap_config_for(config, window, efficiency))),
+        PolicyKind::Dap => Box::new(DapPolicy::new(dap_config_for(config, window, efficiency)?)),
         PolicyKind::DapFwbWbOnly => Box::new(FwbWbOnly(DapPolicy::new(dap_config_for(
             config, window, efficiency,
-        )))),
+        )?))),
         PolicyKind::ThreadAwareDap => Box::new(ThreadAwareDap::new(
-            dap_config_for(config, window, efficiency),
+            dap_config_for(config, window, efficiency)?,
             config.cores,
         )),
         PolicyKind::Sbd => Box::new(Sbd::new(SbdVariant::Original)),
@@ -151,17 +206,26 @@ pub fn build_policy_with(
                     direction.peak_gbps(),
                 ),
                 CacheKind::None | CacheKind::FlatTier { .. } => {
-                    panic!("BATMAN needs a set-organized memory-side cache")
+                    return Err(PolicyBuildError {
+                        policy: "BATMAN",
+                        architecture: architecture_name(&config.cache),
+                    })
                 }
             };
             Box::new(Batman::new(sets, cache_gbps, config.mm.peak_gbps()))
         }
-    }
+    })
 }
 
 /// Runs one mix under one policy.
+///
+/// # Panics
+///
+/// Panics if the policy cannot run on the configuration's architecture —
+/// figure code always pairs compatible ones; CLI callers should use
+/// [`build_policy`] and report the error instead.
 pub fn run_mix(config: &SystemConfig, kind: PolicyKind, mix: &Mix, instructions: u64) -> RunResult {
-    let policy = build_policy(kind, config);
+    let policy = build_policy(kind, config).unwrap_or_else(|e| panic!("{e}"));
     let mut system = System::with_policy(config.clone(), mix.traces(), policy);
     system.run(instructions)
 }
@@ -176,10 +240,16 @@ pub struct WorkloadRun {
     pub weighted_speedup: f64,
 }
 
-/// Cache of alone-run IPCs keyed by (configuration fingerprint, benchmark).
+/// Thread-safe cache of alone-run IPCs keyed by
+/// ([`ConfigFingerprint`], benchmark).
+///
+/// Shared by reference across [`ParallelExecutor`](crate::exec) workers.
+/// Concurrent first touches of the same key may each simulate the alone
+/// run, but the simulation is deterministic, so every thread computes the
+/// same IPC and the first insert wins — results never depend on timing.
 #[derive(Debug, Default)]
 pub struct AloneIpcCache {
-    map: HashMap<(String, &'static str), f64>,
+    map: Mutex<HashMap<(ConfigFingerprint, &'static str), f64>>,
 }
 
 impl AloneIpcCache {
@@ -188,18 +258,29 @@ impl AloneIpcCache {
         Self::default()
     }
 
-    fn get(&mut self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {
-        let key = (format!("{config:?}"), bench);
-        if let Some(&v) = self.map.get(&key) {
+    /// Number of distinct alone runs cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether no alone run has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {
+        let key = (ConfigFingerprint::of(config), bench);
+        if let Some(&v) = self.map.lock().unwrap().get(&key) {
             return v;
         }
+        // Simulate outside the lock so one slow alone run never serializes
+        // the other workers.
         let mut alone_config = config.clone();
         alone_config.cores = 1;
         let spec = workloads::spec(bench).expect("known benchmark");
         let mut system = System::new(alone_config, rate_mode(spec, 1));
         let ipc = system.run(instructions).per_core[0].ipc();
-        self.map.insert(key, ipc);
-        ipc
+        *self.map.lock().unwrap().entry(key).or_insert(ipc)
     }
 }
 
@@ -209,7 +290,7 @@ pub fn run_workload(
     kind: PolicyKind,
     mix: &Mix,
     instructions: u64,
-    alone: &mut AloneIpcCache,
+    alone: &AloneIpcCache,
 ) -> WorkloadRun {
     let result = run_mix(config, kind, mix, instructions);
     let alone_ipcs: Vec<f64> = mix
@@ -234,18 +315,35 @@ mod tests {
     #[test]
     fn dap_config_matches_architecture() {
         let c = SystemConfig::sectored_dram_cache(8);
-        let d = dap_config_for(&c, 64, 0.75);
+        let d = dap_config_for(&c, 64, 0.75).unwrap();
         assert_eq!(d.architecture, dap_core::CacheArchitecture::SingleBus);
         assert!((d.cache_gbps - 102.4).abs() < 1e-9);
         assert!((d.mm_gbps - 38.4).abs() < 1e-9);
 
-        let e = dap_config_for(&SystemConfig::edram_cache(8, 256), 64, 0.75);
+        let e = dap_config_for(&SystemConfig::edram_cache(8, 256), 64, 0.75).unwrap();
         assert_eq!(e.architecture, dap_core::CacheArchitecture::SplitChannel);
         assert_eq!(e.split_channel_gbps, Some(51.2));
 
-        let a = dap_config_for(&SystemConfig::alloy_cache(8), 64, 0.75);
+        let a = dap_config_for(&SystemConfig::alloy_cache(8), 64, 0.75).unwrap();
         assert_eq!(a.architecture, dap_core::CacheArchitecture::Alloy);
         assert!((a.cache_gbps - 102.4 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cacheless_architectures_report_errors_instead_of_panicking() {
+        let flat = SystemConfig::flat_tier(8, mem_sim::mscache::PlacementGoal::MaximizeFastHits);
+        let none = SystemConfig::no_cache(8);
+        for config in [&flat, &none] {
+            let err = dap_config_for(config, 64, 0.75).unwrap_err();
+            assert!(err.to_string().contains("memory-side cache"), "{err}");
+            assert!(build_policy(PolicyKind::Dap, config).is_err());
+            assert!(build_policy(PolicyKind::Batman, config).is_err());
+            // Policies that do not steer into a cache still build.
+            assert!(build_policy(PolicyKind::Baseline, config).is_ok());
+            assert!(build_policy(PolicyKind::Sbd, config).is_ok());
+        }
+        let err = build_policy(PolicyKind::Batman, &none).err().unwrap();
+        assert_eq!(err.architecture, "no-cache");
     }
 
     #[test]
@@ -273,11 +371,12 @@ mod tests {
     fn alone_cache_reuses_runs() {
         let config = SystemConfig::sectored_dram_cache(2);
         let mix = rate_mix(spec("libquantum").unwrap(), 2);
-        let mut cache = AloneIpcCache::new();
-        let a = run_workload(&config, PolicyKind::Baseline, &mix, INSTR, &mut cache);
-        assert_eq!(cache.map.len(), 1, "one benchmark, one alone run");
-        let b = run_workload(&config, PolicyKind::Baseline, &mix, INSTR, &mut cache);
-        assert_eq!(cache.map.len(), 1);
+        let cache = AloneIpcCache::new();
+        assert!(cache.is_empty());
+        let a = run_workload(&config, PolicyKind::Baseline, &mix, INSTR, &cache);
+        assert_eq!(cache.len(), 1, "one benchmark, one alone run");
+        let b = run_workload(&config, PolicyKind::Baseline, &mix, INSTR, &cache);
+        assert_eq!(cache.len(), 1);
         assert!(
             (a.weighted_speedup - b.weighted_speedup).abs() < 1e-12,
             "deterministic"

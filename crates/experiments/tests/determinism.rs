@@ -1,0 +1,59 @@
+//! Serial-vs-parallel determinism: the same experiment plan must produce
+//! bit-identical results on one thread and on many.
+//!
+//! This is the executor's core contract — `run_experiments.sh` may run
+//! the figure grid at any `DAP_THREADS` and the published numbers must
+//! not change.
+
+use dap_core::DecisionStats;
+use experiments::exec::{ExperimentPlan, ParallelExecutor};
+use experiments::runner::{run_workload, AloneIpcCache, PolicyKind};
+use mem_sim::{CoreResult, SimStats, SystemConfig};
+use workloads::{bandwidth_sensitive, rate_mix};
+
+const INSTR: u64 = 25_000;
+
+/// Everything a run produces, with the weighted speedup bit-cast so the
+/// comparison is exact, not within-epsilon.
+type Outcome = (Vec<CoreResult>, SimStats, Option<DecisionStats>, u64);
+
+fn run_grid(threads: usize) -> Vec<Outcome> {
+    let config = SystemConfig::sectored_dram_cache(2);
+    let alone = AloneIpcCache::new();
+    let mixes: Vec<_> = bandwidth_sensitive()
+        .into_iter()
+        .take(3)
+        .map(|s| rate_mix(s, 2))
+        .collect();
+    let mut plan = ExperimentPlan::new();
+    {
+        let config = &config;
+        let alone = &alone;
+        for mix in &mixes {
+            for kind in [PolicyKind::Baseline, PolicyKind::Dap] {
+                plan.add(move || run_workload(config, kind, mix, INSTR, alone));
+            }
+        }
+    }
+    ParallelExecutor::new(threads)
+        .run(plan)
+        .into_iter()
+        .map(|r| {
+            (
+                r.result.per_core,
+                r.result.stats,
+                r.result.dap_decisions,
+                r.weighted_speedup.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_bit_identical_to_serial() {
+    let serial = run_grid(1);
+    assert_eq!(serial.len(), 6);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run_grid(threads), "{threads} threads diverged");
+    }
+}

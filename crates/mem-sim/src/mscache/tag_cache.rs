@@ -39,7 +39,7 @@ impl TagCache {
     /// Panics if `entries` is not a multiple of `ways`.
     pub fn new(entries: u64, ways: usize, latency: Cycle) -> Self {
         assert!(
-            entries % ways as u64 == 0,
+            entries.is_multiple_of(ways as u64),
             "entries must divide evenly into ways"
         );
         Self {

@@ -314,200 +314,5 @@ impl Partitioner for ThreadAwareDap {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn baseline_never_partitions() {
-        let mut p = NoPartitioning;
-        let ctx = ReadContext {
-            block: 0,
-            core: 0,
-            now: 0,
-            cache_wait: 1000,
-            mm_wait: 0,
-        };
-        assert_eq!(p.route_read(&ctx), ReadRoute::Lookup);
-        assert!(!p.force_clean_hit(&ctx));
-        assert_eq!(p.route_write(0, 0, true), WriteRoute::Cache);
-        assert!(p.allow_fill(0, 0));
-        assert!(p.set_enabled(0, 0));
-        assert!(p.dap_decisions().is_none());
-    }
-
-    fn pressured_dap(config: DapConfig) -> DapPolicy {
-        let mut p = DapPolicy::new(config);
-        // Replay a heavily pressured window through the observation hooks.
-        for _ in 0..60 {
-            p.observe(Observation::CacheAccess { write: false }, 0);
-        }
-        p.observe(Observation::MmAccess, 0);
-        for _ in 0..10 {
-            p.observe(Observation::ReadMiss, 0);
-        }
-        for _ in 0..2 {
-            p.observe(Observation::WriteDemand, 0);
-        }
-        for _ in 0..20 {
-            p.observe(Observation::CleanHit, 0);
-        }
-        p.tick(64);
-        p
-    }
-
-    #[test]
-    fn dap_spends_fwb_credits_on_fills() {
-        let mut p = pressured_dap(DapConfig::hbm_ddr4());
-        assert!(!p.allow_fill(0, 64), "first fill should be bypassed");
-        let d = p.dap_decisions().unwrap();
-        assert_eq!(d.fwb, 1);
-    }
-
-    #[test]
-    fn dap_forces_clean_hits_under_pressure() {
-        let mut p = pressured_dap(DapConfig::hbm_ddr4());
-        let ctx = ReadContext {
-            block: 0,
-            core: 0,
-            now: 64,
-            cache_wait: 0,
-            mm_wait: 0,
-        };
-        let mut forced = 0;
-        for _ in 0..100 {
-            if p.force_clean_hit(&ctx) {
-                forced += 1;
-            }
-        }
-        assert!(forced > 0, "IFRM credits should exist");
-        assert!(forced < 100, "credits must run out");
-    }
-
-    #[test]
-    fn dap_sfrm_disabled_for_edram() {
-        let mut p = pressured_dap(DapConfig::edram_ddr4());
-        let ctx = ReadContext {
-            block: 0,
-            core: 0,
-            now: 64,
-            cache_wait: 0,
-            mm_wait: 0,
-        };
-        assert_eq!(p.route_read(&ctx), ReadRoute::Lookup);
-    }
-
-    #[test]
-    fn dap_write_bypass_only_on_hits() {
-        let mut p = pressured_dap(DapConfig::hbm_ddr4());
-        assert_eq!(
-            p.route_write(0, 64, false),
-            WriteRoute::Cache,
-            "miss: no WB"
-        );
-        assert_eq!(p.route_write(0, 64, true), WriteRoute::MainMemory);
-    }
-
-    #[test]
-    fn thread_aware_ranks_by_demand_rate() {
-        let mut p = ThreadAwareDap::new(DapConfig::hbm_ddr4(), 4);
-        // Cores 0 and 1 issue 10x the demand of cores 2 and 3.
-        let mk = |core| ReadContext {
-            block: 0,
-            core,
-            now: 0,
-            cache_wait: 0,
-            mm_wait: 0,
-        };
-        for _ in 0..2000 {
-            for core in [0usize, 1] {
-                for _ in 0..10 {
-                    let _ = p.route_read(&mk(core));
-                }
-            }
-            let _ = p.route_read(&mk(2));
-            let _ = p.route_read(&mk(3));
-        }
-        assert!(p.is_busy(0) && p.is_busy(1));
-        assert!(!p.is_busy(2) && !p.is_busy(3));
-    }
-
-    #[test]
-    fn thread_aware_reserves_last_credits_for_busy_cores() {
-        let mut p = ThreadAwareDap::new(DapConfig::hbm_ddr4(), 2);
-        // Make core 0 busy, core 1 quiet.
-        let mk = |core| ReadContext {
-            block: 0,
-            core,
-            now: 0,
-            cache_wait: 0,
-            mm_wait: 0,
-        };
-        for _ in 0..5000 {
-            let _ = p.route_read(&mk(0));
-            if p.epoch_total % 16 == 0 {
-                let _ = p.route_read(&mk(1));
-            }
-        }
-        assert!(p.is_busy(0) && !p.is_busy(1));
-        // Load an IFRM budget via a pressured window (idle main memory and
-        // no writes, so the whole MM headroom goes to IFRM).
-        for _ in 0..60 {
-            p.observe(Observation::CacheAccess { write: false }, 0);
-        }
-        for _ in 0..3 {
-            p.observe(Observation::ReadMiss, 0);
-        }
-        for _ in 0..50 {
-            p.observe(Observation::CleanHit, 0);
-        }
-        p.tick(64);
-        // Drain credits below the reserve threshold as the busy core.
-        let mut forced = 0;
-        while p
-            .inner
-            .controller()
-            .credits_remaining(Technique::InformedForcedReadMiss)
-            > 4
-        {
-            if p.force_clean_hit(&mk(0)) {
-                forced += 1;
-            } else {
-                break;
-            }
-        }
-        assert!(forced > 0, "busy core must get forced misses");
-        // With only the reserve left, the quiet core is refused...
-        assert!(
-            !p.force_clean_hit(&mk(1)),
-            "quiet core must keep its hit latency"
-        );
-        // ...while the busy core may still spend the reserve.
-        assert!(p.force_clean_hit(&mk(0)));
-    }
-
-    #[test]
-    fn dap_alloy_write_through() {
-        // Moderate pressure with main-memory headroom left after IFRM: the
-        // Alloy variant should mirror some writes to keep blocks clean.
-        let mut p = DapPolicy::new(DapConfig::alloy_hbm_ddr4());
-        for _ in 0..30 {
-            p.observe(Observation::CacheAccess { write: false }, 0);
-        }
-        p.observe(Observation::MmAccess, 0);
-        for _ in 0..10 {
-            p.observe(Observation::WriteDemand, 0);
-        }
-        for _ in 0..3 {
-            p.observe(Observation::CleanHit, 0);
-        }
-        p.tick(64);
-        let mut both = 0;
-        for _ in 0..20 {
-            if p.route_write(0, 64, true) == WriteRoute::Both {
-                both += 1;
-            }
-        }
-        assert!(both > 0, "write-through credits should exist");
-        assert!(both < 20, "write-through credits must run out");
-    }
-}
+#[path = "policy_tests.rs"]
+mod tests;

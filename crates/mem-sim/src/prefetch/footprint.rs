@@ -28,7 +28,7 @@ impl FootprintPredictor {
     /// Panics if `blocks_per_sector` is 0 or exceeds 64, or `entries < 4`.
     pub fn new(entries: u64, blocks_per_sector: u32) -> Self {
         assert!(
-            blocks_per_sector >= 1 && blocks_per_sector <= 64,
+            (1..=64).contains(&blocks_per_sector),
             "footprint bit vector holds at most 64 blocks"
         );
         assert!(entries >= 4, "need at least one 4-way set");

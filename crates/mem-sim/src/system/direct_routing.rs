@@ -1,0 +1,174 @@
+//! Routing for the architectures outside the sector skeleton: the Alloy
+//! cache (direct-mapped TADs, PC-indexed hit predictor, DBC and BEAR
+//! extensions) and the OS-visible flat tier (page migration, no policy
+//! involvement).
+
+use crate::clock::Cycle;
+use crate::dram::DramStats;
+use crate::mscache::{AlloyCache, BlockState, FlatTier};
+use crate::policy::{Observation, WriteRoute};
+
+use super::subsystem::{MemSideCache, RouteEnv};
+
+impl MemSideCache for AlloyCache {
+    /// Demand read through the Alloy cache.
+    fn read(&mut self, env: &mut RouteEnv, block: u64, core: usize, pc: u64, now: Cycle) -> Cycle {
+        let ctx = env.read_context(self.estimated_wait(block, now), block, core, now);
+        env.policy.observe(Observation::DemandRead, now);
+        env.policy
+            .observe(Observation::CacheAccess { write: false }, now);
+
+        // The DBC check gates IFRM without touching the DRAM array.
+        if self.probe_dbc(block) == Some(false) {
+            env.policy.observe(Observation::CleanHit, now);
+            if env.policy.force_clean_hit(&ctx) {
+                env.stats.forced_read_misses += 1;
+                let done = env.mm.read_block(block, now + self.dbc_latency());
+                // Implicit fill bypass: if the block was absent it stays
+                // absent. Either way the read was served by main memory,
+                // which is a miss in the paper's served-by-cache hit metric.
+                env.stats.ms_read_misses += 1;
+                if self.state(block) == BlockState::Miss {
+                    env.policy.observe(Observation::ReadMiss, now);
+                    env.policy.observe(Observation::MmAccess, now);
+                }
+                return done;
+            }
+        }
+
+        // Normal Alloy path: predict, fetch TAD, resolve.
+        let predicted_hit = self.predict_hit(pc);
+        let early_mm = if !predicted_hit {
+            Some(env.mm.read_block(block, now))
+        } else {
+            None
+        };
+        let state = self.state(block);
+        let tad_done = self.read_tad(block, now);
+        self.train_predictor(pc, state != BlockState::Miss);
+
+        if state != BlockState::Miss {
+            env.stats.ms_read_hits += 1;
+            if early_mm.is_some() {
+                env.stats.speculative_wasted += 1;
+            }
+            return tad_done;
+        }
+        env.stats.ms_read_misses += 1;
+        env.policy.observe(Observation::ReadMiss, now);
+        env.policy.observe(Observation::MmAccess, now);
+        let done = early_mm.unwrap_or_else(|| env.mm.read_block(block, tad_done));
+        env.policy
+            .observe(Observation::CacheAccess { write: true }, now);
+        if env.policy.allow_fill(block, now) && self.bear_allow_fill(block) {
+            env.stats.fills += 1;
+            if let Some(ev) = self.install(block, now, false) {
+                if ev.dirty {
+                    // Victim data arrived with the TAD; write it to memory.
+                    env.mm.write_block(ev.key, now);
+                    env.stats.ms_dirty_evictions += 1;
+                    env.policy.observe(Observation::MmAccess, now);
+                }
+            }
+        } else {
+            env.stats.fills_bypassed += 1;
+        }
+        done
+    }
+
+    /// Demand write through the Alloy cache (with BEAR presence bits, a
+    /// write that hits needs no TAD fetch).
+    fn write(&mut self, env: &mut RouteEnv, block: u64, now: Cycle) {
+        env.policy.observe(Observation::WriteDemand, now);
+        env.policy
+            .observe(Observation::CacheAccess { write: true }, now);
+        let present = self.state(block) != BlockState::Miss;
+        if !self.bear_enabled() {
+            // Without the presence bit the write must fetch the TAD first.
+            let _ = self.read_tad(block, now);
+        }
+        if present {
+            env.stats.ms_write_hits += 1;
+        } else {
+            env.stats.ms_write_misses += 1;
+        }
+        match env.policy.route_write(block, now, present) {
+            WriteRoute::Both if present => {
+                env.stats.write_throughs += 1;
+                self.install(block, now, false);
+                self.mark_clean_after_write_through(block);
+                env.mm.write_block(block, now);
+            }
+            WriteRoute::MainMemory => {
+                env.stats.writes_bypassed += 1;
+                if present {
+                    self.invalidate(block);
+                }
+                env.mm.write_block(block, now);
+            }
+            _ => {
+                if present {
+                    self.mark_dirty(block, now);
+                } else {
+                    // No write-allocate: misses go to main memory.
+                    env.policy.observe(Observation::MmAccess, now);
+                    env.mm.write_block(block, now);
+                }
+            }
+        }
+    }
+
+    fn queue_wait(&self, block: u64, now: Cycle) -> Cycle {
+        self.estimated_wait(block, now)
+    }
+
+    fn flush(&mut self, now: Cycle) {
+        AlloyCache::flush(self, now);
+    }
+
+    fn cas_total(&self) -> u64 {
+        self.dram().stats().cas_total()
+    }
+
+    fn dram_stats(&self) -> Option<DramStats> {
+        Some(self.dram().stats())
+    }
+}
+
+impl MemSideCache for FlatTier {
+    /// A read against the flat tier: the tier's own migration machinery
+    /// decides which module serves it; the partitioning policy is never
+    /// consulted (OS-visible memory is not a cache).
+    fn read(
+        &mut self,
+        env: &mut RouteEnv,
+        block: u64,
+        _core: usize,
+        _pc: u64,
+        now: Cycle,
+    ) -> Cycle {
+        let (done, served_fast) = self.access(block, false, now, env.mm);
+        if served_fast {
+            env.stats.ms_read_hits += 1;
+        } else {
+            env.stats.ms_read_misses += 1;
+        }
+        done
+    }
+
+    fn write(&mut self, env: &mut RouteEnv, block: u64, now: Cycle) {
+        let _ = self.access(block, true, now, env.mm);
+    }
+
+    fn flush(&mut self, now: Cycle) {
+        FlatTier::flush(self, now);
+    }
+
+    fn cas_total(&self) -> u64 {
+        self.fast_module().stats().cas_total()
+    }
+
+    fn dram_stats(&self) -> Option<DramStats> {
+        Some(self.fast_module().stats())
+    }
+}

@@ -1,0 +1,239 @@
+//! The simulated machine: cores, private L1/L2, shared L3, stride
+//! prefetchers, and the MSHR merge window in front of the memory
+//! subsystem.
+
+use std::collections::HashMap;
+
+use crate::cache::{ReplacementKind, SetAssocCache};
+use crate::clock::Cycle;
+use crate::config::SystemConfig;
+use crate::core_model::CoreModel;
+use crate::policy::{NoPartitioning, Partitioner};
+use crate::prefetch::StridePrefetcher;
+use crate::trace::TraceSource;
+
+use super::subsystem::{MemAccessKind, MemorySubsystem};
+
+/// Prefetches are dropped once the target queues back up this far — they
+/// may only consume spare bandwidth, never add to saturation.
+const PREFETCH_PRESSURE_LIMIT: Cycle = 1200;
+
+/// The simulated machine.
+pub struct System {
+    pub(super) config: SystemConfig,
+    pub(super) cores: Vec<CoreModel>,
+    pub(super) traces: Vec<Box<dyn TraceSource>>,
+    l1: Vec<SetAssocCache<()>>,
+    l2: Vec<SetAssocCache<()>>,
+    prefetchers: Vec<StridePrefetcher>,
+    l3: SetAssocCache<()>,
+    mshr: HashMap<u64, Cycle>,
+    mshr_cleanup_at: usize,
+    pub(super) mem: MemorySubsystem,
+}
+
+impl System {
+    /// Builds a system with the baseline (no partitioning) policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != config.cores`.
+    pub fn new(config: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        Self::with_policy(config, traces, Box::new(NoPartitioning))
+    }
+
+    /// Builds a system with an explicit partitioning policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != config.cores`.
+    pub fn with_policy(
+        config: SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        policy: Box<dyn Partitioner>,
+    ) -> Self {
+        assert_eq!(traces.len(), config.cores, "one trace per core");
+        let mem = MemorySubsystem::new(&config, policy);
+        Self {
+            cores: (0..config.cores)
+                .map(|_| CoreModel::new(config.width, config.rob))
+                .collect(),
+            traces,
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1.0, config.l1.1, ReplacementKind::Lru))
+                .collect(),
+            l2: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l2.0, config.l2.1, ReplacementKind::Lru))
+                .collect(),
+            prefetchers: (0..config.cores)
+                .map(|_| StridePrefetcher::new(config.prefetch_degree))
+                .collect(),
+            l3: SetAssocCache::new(config.l3.0, config.l3.1, ReplacementKind::Lru),
+            mshr: HashMap::new(),
+            mshr_cleanup_at: 8192,
+            mem,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The memory subsystem (diagnostics).
+    pub fn memory(&self) -> &MemorySubsystem {
+        &self.mem
+    }
+
+    /// A demand load at cycle `t`; returns its completion cycle.
+    pub(super) fn load(&mut self, core: usize, block: u64, pc: u64, t: Cycle) -> Cycle {
+        let (_, _, l1_lat) = self.config.l1;
+        let (_, _, l2_lat) = self.config.l2;
+        if self.l1[core].lookup(block) {
+            return t + l1_lat;
+        }
+        if self.l2[core].lookup(block) {
+            self.install_l1(core, block, t);
+            return t + l2_lat;
+        }
+        let prefetches = if self.config.prefetch_degree > 0 {
+            self.prefetchers[core].observe(block)
+        } else {
+            Vec::new()
+        };
+        let done = self.access_l3(block, core, pc, t + l2_lat, MemAccessKind::DemandRead);
+        self.install_l2(core, block, t);
+        self.install_l1(core, block, t);
+        for p in prefetches {
+            self.prefetch(p, core, pc, t);
+        }
+        done
+    }
+
+    /// A demand store at cycle `t` (fire-and-forget for the core).
+    pub(super) fn store(&mut self, core: usize, block: u64, pc: u64, t: Cycle) {
+        if self.l1[core].lookup(block) {
+            self.l1[core].mark_dirty(block);
+            return;
+        }
+        if self.l2[core].lookup(block) {
+            self.install_l1(core, block, t);
+            self.l1[core].mark_dirty(block);
+            return;
+        }
+        let prefetches = if self.config.prefetch_degree > 0 {
+            self.prefetchers[core].observe(block)
+        } else {
+            Vec::new()
+        };
+        let (_, _, l2_lat) = self.config.l2;
+        let _ = self.access_l3(block, core, pc, t + l2_lat, MemAccessKind::Rfo);
+        self.install_l2(core, block, t);
+        self.install_l1(core, block, t);
+        self.l1[core].mark_dirty(block);
+        for p in prefetches {
+            self.prefetch(p, core, pc, t);
+        }
+    }
+
+    fn access_l3(
+        &mut self,
+        block: u64,
+        core: usize,
+        pc: u64,
+        t: Cycle,
+        kind: MemAccessKind,
+    ) -> Cycle {
+        let (_, _, l3_lat) = self.config.l3;
+        if kind != MemAccessKind::Prefetch {
+            self.mem.stats_mut().l3_accesses += 1;
+        }
+        // An in-flight miss for this block (demand or prefetch) means the
+        // data is not in the array yet: merge and wait for its completion.
+        if let Some(&c) = self.mshr.get(&block) {
+            if c > t {
+                if kind != MemAccessKind::Prefetch {
+                    self.mem.stats_mut().l3_misses += 1;
+                }
+                return c;
+            }
+        }
+        if self.l3.lookup(block) {
+            return t + l3_lat;
+        }
+        if kind != MemAccessKind::Prefetch {
+            self.mem.stats_mut().l3_misses += 1;
+        }
+        let done = self.mem_read_merged(block, core, pc, t + l3_lat, kind);
+        self.install_l3(block, t);
+        done
+    }
+
+    fn mem_read_merged(
+        &mut self,
+        block: u64,
+        core: usize,
+        pc: u64,
+        t: Cycle,
+        kind: MemAccessKind,
+    ) -> Cycle {
+        if let Some(&c) = self.mshr.get(&block) {
+            if c > t {
+                // Merge into the outstanding miss.
+                return c;
+            }
+        }
+        let done = self.mem.read(block, core, pc, t, kind);
+        self.mshr.insert(block, done);
+        if self.mshr.len() > self.mshr_cleanup_at {
+            self.mshr.retain(|_, &mut c| c > t);
+            // Amortize: if most entries are still outstanding (saturated
+            // memory), grow the threshold instead of re-scanning per insert.
+            self.mshr_cleanup_at = (self.mshr.len() * 2).max(8192);
+        }
+        done
+    }
+
+    fn prefetch(&mut self, block: u64, core: usize, pc: u64, t: Cycle) {
+        if self.l3.contains(block) || self.mshr.get(&block).map(|&c| c > t).unwrap_or(false) {
+            return;
+        }
+        // Prefetches only consume spare bandwidth; drop them once the
+        // memory queues back up.
+        if self.mem.queue_pressure(block, t) > PREFETCH_PRESSURE_LIMIT {
+            return;
+        }
+        let _ = self.mem_read_merged(block, core, pc, t, MemAccessKind::Prefetch);
+        self.install_l3(block, t);
+    }
+
+    // Writeback timestamps use the *access time* `t` of the triggering
+    // operation, never a core's retire frontier — retire frontiers race one
+    // full miss latency ahead and a single future-stamped write drain would
+    // catapult the channel's bus reservation for every later request.
+
+    fn install_l3(&mut self, block: u64, t: Cycle) {
+        if let Some(ev) = self.l3.insert(block, (), false) {
+            if ev.dirty {
+                self.mem.write(ev.key, t);
+            }
+        }
+    }
+
+    fn install_l2(&mut self, core: usize, block: u64, t: Cycle) {
+        if let Some(ev) = self.l2[core].insert(block, (), false) {
+            if ev.dirty && !self.l3.mark_dirty(ev.key) {
+                self.mem.write(ev.key, t);
+            }
+        }
+    }
+
+    fn install_l1(&mut self, core: usize, block: u64, t: Cycle) {
+        if let Some(ev) = self.l1[core].insert(block, (), false) {
+            if ev.dirty && !self.l2[core].mark_dirty(ev.key) && !self.l3.mark_dirty(ev.key) {
+                self.mem.write(ev.key, t);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The simulation loop: quantum-interleaved core execution until every
+//! core retires its instruction budget.
+
+use crate::clock::Cycle;
+use crate::core_model::CoreModel;
+use crate::stats::{CoreResult, RunResult};
+use crate::trace::OpKind;
+
+use super::hierarchy::System;
+
+impl System {
+    /// Runs until every core retires `instructions_per_core` instructions.
+    pub fn run(&mut self, instructions_per_core: u64) -> RunResult {
+        // One DAP window: cores must interleave at window granularity or
+        // the policy sees several cores' demand lumped into one window.
+        const QUANTUM: Cycle = 64;
+        let mut quantum_end = QUANTUM;
+        let mut quantum_index = 0usize;
+        loop {
+            let mut all_done = true;
+            // Rotate the per-quantum processing order: the first core to
+            // submit each window gets earlier bus reservations, and a fixed
+            // order would hand one core a compounding advantage under
+            // saturation.
+            quantum_index = quantum_index.wrapping_add(1);
+            let n = self.cores.len();
+            for k in 0..n {
+                let i = (k + quantum_index) % n;
+                while self.cores[i].retired() < instructions_per_core
+                    && self.cores[i].local_cycle() < quantum_end
+                {
+                    let op = self.traces[i].next_op();
+                    let remaining = instructions_per_core - self.cores[i].retired();
+                    self.cores[i].push_nonmem(op.gap.min(remaining as u32));
+                    if self.cores[i].retired() >= instructions_per_core {
+                        break;
+                    }
+                    let t = self.cores[i].next_issue_cycle();
+                    match op.kind {
+                        OpKind::Read => {
+                            let done = self.load(i, op.block(), op.pc, t);
+                            self.cores[i].push_mem(done.saturating_sub(t).max(1));
+                        }
+                        OpKind::Write => {
+                            self.store(i, op.block(), op.pc, t);
+                            self.cores[i].push_mem(1);
+                        }
+                    }
+                }
+                if self.cores[i].retired() < instructions_per_core {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            quantum_end += QUANTUM;
+        }
+        let last = self
+            .cores
+            .iter()
+            .map(CoreModel::local_cycle)
+            .max()
+            .unwrap_or(0);
+        self.mem.finalize(last);
+        RunResult {
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| CoreResult {
+                    instructions: c.retired(),
+                    cycles: c.local_cycle(),
+                })
+                .collect(),
+            stats: *self.mem.stats(),
+            dap_decisions: self.mem.dap_decisions(),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The memory subsystem below the shared L3: policy consultation, the
+//! [`MemSideCache`] architecture abstraction, and bandwidth accounting.
+
+use crate::clock::Cycle;
+use crate::config::{CacheKind, SystemConfig};
+use crate::dram::{DramModule, DramStats};
+use crate::mscache::{AlloyCache, EdramCache, FlatTier, SectoredDramCache};
+use crate::policy::{Partitioner, ReadContext};
+use crate::stats::SimStats;
+
+/// Why a read reaches the memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccessKind {
+    /// A demand load — its latency is what the core waits on.
+    DemandRead,
+    /// A store's read-for-ownership — traffic only, nobody waits.
+    Rfo,
+    /// A prefetch — traffic only.
+    Prefetch,
+}
+
+/// The shared machinery every routing path needs: main memory, the
+/// partitioning policy, and the statistics sink. Split out of
+/// [`MemorySubsystem`] so a cache implementation can borrow all three
+/// mutably alongside itself.
+pub(crate) struct RouteEnv<'a> {
+    /// The main-memory DRAM module.
+    pub mm: &'a mut DramModule,
+    /// The partitioning policy under evaluation.
+    pub policy: &'a mut dyn Partitioner,
+    /// Simulation statistics.
+    pub stats: &'a mut SimStats,
+}
+
+impl RouteEnv<'_> {
+    /// Builds the [`ReadContext`] handed to the policy: queue-depth
+    /// estimates for both paths at `now`.
+    pub fn read_context(
+        &self,
+        cache_wait: Cycle,
+        block: u64,
+        core: usize,
+        now: Cycle,
+    ) -> ReadContext {
+        ReadContext {
+            block,
+            core,
+            now,
+            cache_wait,
+            mm_wait: self.mm.estimated_wait(block, now),
+        }
+    }
+}
+
+/// One memory-side cache architecture, as seen by the subsystem.
+///
+/// Implementations own the *routing* decisions of the paper's Section IV
+/// for their geometry — how a demand read or write consults the policy,
+/// touches the array, and falls through to main memory — while the
+/// subsystem stays architecture-agnostic: it only ticks the policy,
+/// counts demand, and delegates. New architectures implement this trait
+/// and add one arm to [`build_cache`]; nothing else changes.
+pub(crate) trait MemSideCache {
+    /// Routes a demand read; returns its completion cycle.
+    fn read(&mut self, env: &mut RouteEnv, block: u64, core: usize, pc: u64, now: Cycle) -> Cycle;
+
+    /// Routes a demand write (an L3 dirty eviction).
+    fn write(&mut self, env: &mut RouteEnv, block: u64, now: Cycle);
+
+    /// How far this cache's queues run ahead of `now` for a read of
+    /// `block` (prefetch-throttling signal). Architectures without a
+    /// meaningful queue report zero.
+    fn queue_wait(&self, _block: u64, _now: Cycle) -> Cycle {
+        0
+    }
+
+    /// Flushes buffered array writes at end of simulation.
+    fn flush(&mut self, _now: Cycle) {}
+
+    /// Total CAS operations issued to the cache array so far.
+    fn cas_total(&self) -> u64 {
+        0
+    }
+
+    /// DRAM statistics of the cache array, if it is DRAM-backed.
+    fn dram_stats(&self) -> Option<DramStats> {
+        None
+    }
+
+    /// The tag-cache miss ratio, for architectures with an SRAM tag cache.
+    fn tag_cache_miss_ratio(&self) -> Option<f64> {
+        None
+    }
+
+    /// Applies partitioner maintenance: BATMAN's newly disabled sets lose
+    /// their contents, SBD's evicted Dirty List pages are cleaned. Only
+    /// meaningful for the sectored architecture; others ignore it.
+    fn apply_maintenance(
+        &mut self,
+        _env: &mut RouteEnv,
+        _disabled_sets: &[u64],
+        _sectors_to_clean: &[u64],
+        _now: Cycle,
+    ) {
+    }
+}
+
+/// A system without a memory-side cache: everything goes to main memory.
+struct NoCache;
+
+impl MemSideCache for NoCache {
+    fn read(
+        &mut self,
+        env: &mut RouteEnv,
+        block: u64,
+        _core: usize,
+        _pc: u64,
+        now: Cycle,
+    ) -> Cycle {
+        env.stats.ms_read_misses += 1;
+        env.mm.read_block(block, now)
+    }
+
+    fn write(&mut self, env: &mut RouteEnv, block: u64, now: Cycle) {
+        env.mm.write_block(block, now);
+    }
+}
+
+/// The construction-time dispatch: the only place in the subsystem that
+/// matches on the configured cache architecture.
+fn build_cache(config: &SystemConfig) -> Box<dyn MemSideCache> {
+    match &config.cache {
+        CacheKind::None => Box::new(NoCache),
+        CacheKind::Sectored {
+            capacity_bytes,
+            sector_bytes,
+            ways,
+            dram,
+            tag_cache,
+        } => Box::new(SectoredDramCache::new(
+            *capacity_bytes,
+            *sector_bytes,
+            *ways,
+            dram.clone(),
+            config.cpu_mhz,
+            *tag_cache,
+        )),
+        CacheKind::Alloy {
+            capacity_bytes,
+            dram,
+            bear,
+        } => Box::new(AlloyCache::new(
+            *capacity_bytes,
+            dram.clone(),
+            config.cpu_mhz,
+            *bear,
+        )),
+        CacheKind::Edram {
+            capacity_bytes,
+            sector_bytes,
+            ways,
+            direction,
+        } => Box::new(EdramCache::with_geometry(
+            *capacity_bytes,
+            *sector_bytes,
+            *ways,
+            direction.clone(),
+            config.cpu_mhz,
+            8,
+        )),
+        CacheKind::FlatTier {
+            capacity_bytes,
+            dram,
+            goal,
+        } => Box::new(FlatTier::new(
+            *capacity_bytes,
+            dram.clone(),
+            config.cpu_mhz,
+            *goal,
+            config.mm.peak_gbps(),
+        )),
+    }
+}
+
+/// The memory subsystem below the shared L3.
+pub struct MemorySubsystem {
+    mm: DramModule,
+    ms: Box<dyn MemSideCache>,
+    policy: Box<dyn Partitioner>,
+    stats: SimStats,
+}
+
+impl MemorySubsystem {
+    /// Builds the subsystem from a configuration and a policy.
+    pub fn new(config: &SystemConfig, policy: Box<dyn Partitioner>) -> Self {
+        Self {
+            mm: DramModule::new(config.mm.clone(), config.cpu_mhz),
+            ms: build_cache(config),
+            policy,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Statistics collected so far (CAS totals are finalized by
+    /// [`Self::finalize`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the hierarchy updates L3 counters here).
+    pub fn stats_mut(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    /// Main-memory module (diagnostics).
+    pub fn main_memory(&self) -> &DramModule {
+        &self.mm
+    }
+
+    /// Memory-side cache DRAM statistics (read+write path for eDRAM).
+    pub fn ms_dram_stats(&self) -> Option<DramStats> {
+        self.ms.dram_stats()
+    }
+
+    /// The sectored cache's tag-cache miss ratio, if applicable.
+    pub fn tag_cache_miss_ratio(&self) -> Option<f64> {
+        self.ms.tag_cache_miss_ratio()
+    }
+
+    /// Flushes buffered writes and folds DRAM CAS totals into the stats.
+    pub fn finalize(&mut self, now: Cycle) {
+        self.mm.flush_writes(now);
+        self.ms.flush(now);
+        self.stats.mm_cas = self.mm.stats().cas_total();
+        self.stats.ms_cas = self.ms.cas_total();
+    }
+
+    /// DAP decision statistics, if the policy is DAP.
+    pub fn dap_decisions(&self) -> Option<dap_core::DecisionStats> {
+        self.policy.dap_decisions()
+    }
+
+    /// How far the relevant queues run ahead of `now` for a read to
+    /// `block` (prefetch throttling signal).
+    pub fn queue_pressure(&self, block: u64, now: Cycle) -> Cycle {
+        self.ms
+            .queue_wait(block, now)
+            .max(self.mm.estimated_wait(block, now))
+    }
+
+    /// A read arriving from the L3. Returns its completion cycle.
+    pub fn read(
+        &mut self,
+        block: u64,
+        core: usize,
+        pc: u64,
+        now: Cycle,
+        kind: MemAccessKind,
+    ) -> Cycle {
+        self.policy.tick(now);
+        self.apply_policy_maintenance(now);
+        if kind == MemAccessKind::DemandRead {
+            self.stats.demand_reads += 1;
+        }
+        let mut env = RouteEnv {
+            mm: &mut self.mm,
+            policy: self.policy.as_mut(),
+            stats: &mut self.stats,
+        };
+        let done = self.ms.read(&mut env, block, core, pc, now);
+        if kind == MemAccessKind::DemandRead {
+            self.stats.read_latency_sum += done.saturating_sub(now);
+            self.stats.read_latency_count += 1;
+        }
+        done
+    }
+
+    /// A dirty eviction arriving from the L3.
+    pub fn write(&mut self, block: u64, now: Cycle) {
+        self.policy.tick(now);
+        self.stats.demand_writes += 1;
+        let mut env = RouteEnv {
+            mm: &mut self.mm,
+            policy: self.policy.as_mut(),
+            stats: &mut self.stats,
+        };
+        self.ms.write(&mut env, block, now);
+    }
+
+    /// Drains the policy's pending maintenance (always, so non-sectored
+    /// architectures discard it just like the policy expects) and hands it
+    /// to the cache.
+    fn apply_policy_maintenance(&mut self, now: Cycle) {
+        let sets = self.policy.take_newly_disabled_sets();
+        let sectors = self.policy.take_sectors_to_clean();
+        if sets.is_empty() && sectors.is_empty() {
+            return;
+        }
+        let mut env = RouteEnv {
+            mm: &mut self.mm,
+            policy: self.policy.as_mut(),
+            stats: &mut self.stats,
+        };
+        self.ms.apply_maintenance(&mut env, &sets, &sectors, now);
+    }
+}

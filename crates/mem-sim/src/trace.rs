@@ -101,11 +101,12 @@ impl TraceSource for StrideTrace {
         let addr = self.base + self.cursor;
         self.cursor = (self.cursor + 64) % self.footprint_bytes;
         self.count += 1;
-        let kind = if self.write_period != 0 && self.count % u64::from(self.write_period) == 0 {
-            OpKind::Write
-        } else {
-            OpKind::Read
-        };
+        let kind =
+            if self.write_period != 0 && self.count.is_multiple_of(u64::from(self.write_period)) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
         TraceOp {
             gap: self.gap,
             kind,

@@ -1,32 +1,43 @@
-//! Property-based invariants of the simulator substrate.
+//! Property-style invariants of the simulator substrate.
+//!
+//! Hermetic replacement for the former `proptest` suite: each property is
+//! a loop over cases drawn from the in-tree seeded PRNG
+//! ([`workloads::rng::SplitMix64`]), so the exact case set is fixed
+//! forever and reproduces identically offline on every platform.
 
 use mem_sim::cache::{ReplacementKind, SetAssocCache};
 use mem_sim::dram::{DramConfig, DramModule};
 use mem_sim::mscache::{BlockState, SectoredDramCache};
-use proptest::prelude::*;
+use workloads::rng::SplitMix64;
 
-proptest! {
-    /// DRAM read completions are causal (after the request) and the bus
-    /// reservation never runs backward.
-    #[test]
-    fn dram_completions_are_causal(
-        blocks in prop::collection::vec(0u64..1 << 22, 1..200),
-        gaps in prop::collection::vec(0u64..50, 1..200),
-    ) {
+const CASES: u64 = 128;
+
+/// DRAM read completions are causal (after the request) and the bus
+/// reservation never runs backward.
+#[test]
+fn dram_completions_are_causal() {
+    let mut rng = SplitMix64::new(0x51_0001);
+    for _ in 0..CASES {
+        let len = rng.range_u64(1, 200) as usize;
         let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
         let mut now = 0u64;
-        for (b, g) in blocks.iter().zip(&gaps) {
-            now += g;
-            let done = m.read_block(*b, now);
-            prop_assert!(done > now, "completion {done} must be after request {now}");
-            prop_assert!(done - now < 100_000, "latency must stay bounded");
+        for _ in 0..len {
+            let b = rng.below(1 << 22);
+            now += rng.below(50);
+            let done = m.read_block(b, now);
+            assert!(done > now, "completion {done} must be after request {now}");
+            assert!(done - now < 100_000, "latency must stay bounded");
         }
     }
+}
 
-    /// The channel never serves more bandwidth than its peak: N same-row
-    /// reads need at least N bursts of bus time.
-    #[test]
-    fn dram_bandwidth_never_exceeds_peak(n in 1u64..2000) {
+/// The channel never serves more bandwidth than its peak: N same-row
+/// reads need at least N bursts of bus time.
+#[test]
+fn dram_bandwidth_never_exceeds_peak() {
+    let mut rng = SplitMix64::new(0x51_0002);
+    for _ in 0..CASES {
+        let n = rng.range_u64(1, 2000);
         let mut m = DramModule::new(DramConfig::hbm_102(), 4000.0);
         let mut last = 0;
         for b in 0..n {
@@ -34,49 +45,68 @@ proptest! {
         }
         // 102.4 GB/s @ 4 GHz = 0.4 blocks/cycle peak.
         let min_cycles = (n as f64 / 0.4).floor() as u64;
-        prop_assert!(last >= min_cycles.saturating_sub(200),
-            "{n} blocks in {last} cycles beats peak bandwidth");
+        assert!(
+            last >= min_cycles.saturating_sub(200),
+            "{n} blocks in {last} cycles beats peak bandwidth"
+        );
     }
+}
 
-    /// Cache directory: a just-inserted key is present; an invalidated key
-    /// is absent; occupancy never exceeds capacity.
-    #[test]
-    fn set_assoc_invariants(
-        keys in prop::collection::vec(0u64..4096, 1..300),
-        sets in prop::sample::select(vec![4u64, 16, 64]),
-        ways in prop::sample::select(vec![1usize, 2, 8]),
-    ) {
+/// Cache directory: a just-inserted key is present; an invalidated key
+/// is absent; occupancy never exceeds capacity.
+#[test]
+fn set_assoc_invariants() {
+    let mut rng = SplitMix64::new(0x51_0003);
+    let set_choices = [4u64, 16, 64];
+    let way_choices = [1usize, 2, 8];
+    for _ in 0..CASES {
+        let len = rng.range_u64(1, 300) as usize;
+        let sets = set_choices[rng.index(set_choices.len())];
+        let ways = way_choices[rng.index(way_choices.len())];
         let mut c: SetAssocCache<u8> = SetAssocCache::new(sets, ways, ReplacementKind::Lru);
-        for (i, &k) in keys.iter().enumerate() {
+        for i in 0..len {
+            let k = rng.below(4096);
             if i % 5 == 4 {
                 c.invalidate(k);
-                prop_assert!(!c.contains(k));
+                assert!(!c.contains(k));
             } else {
                 c.insert(k, 0, i % 2 == 0);
-                prop_assert!(c.contains(k), "key {k} vanished right after insert");
+                assert!(c.contains(k), "key {k} vanished right after insert");
             }
-            prop_assert!(c.occupancy() <= (sets as usize) * ways);
+            assert!(c.occupancy() <= (sets as usize) * ways);
         }
     }
+}
 
-    /// Eviction keys always reconstruct to a previously inserted key.
-    #[test]
-    fn evictions_return_real_keys(keys in prop::collection::vec(0u64..10_000, 1..300)) {
+/// Eviction keys always reconstruct to a previously inserted key.
+#[test]
+fn evictions_return_real_keys() {
+    let mut rng = SplitMix64::new(0x51_0004);
+    for _ in 0..CASES {
+        let len = rng.range_u64(1, 300) as usize;
         let mut c: SetAssocCache<()> = SetAssocCache::new(8, 2, ReplacementKind::Nru);
         let mut inserted = std::collections::HashSet::new();
-        for &k in &keys {
+        for _ in 0..len {
+            let k = rng.below(10_000);
             if let Some(ev) = c.insert(k, (), false) {
-                prop_assert!(inserted.contains(&ev.key),
-                    "evicted key {} was never inserted", ev.key);
+                assert!(
+                    inserted.contains(&ev.key),
+                    "evicted key {} was never inserted",
+                    ev.key
+                );
             }
             inserted.insert(k);
         }
     }
+}
 
-    /// Sectored cache state machine: write -> hit; invalidate -> miss;
-    /// dirty blocks always reported on eviction exactly once.
-    #[test]
-    fn sectored_state_machine(ops in prop::collection::vec((0u64..1 << 14, any::<bool>()), 1..300)) {
+/// Sectored cache state machine: write -> hit; invalidate -> miss;
+/// dirty blocks always reported on eviction exactly once.
+#[test]
+fn sectored_state_machine() {
+    let mut rng = SplitMix64::new(0x51_0005);
+    for _ in 0..CASES {
+        let len = rng.range_u64(1, 300) as usize;
         let mut c = SectoredDramCache::new(
             1 << 22, // 4 MB
             4096,
@@ -85,18 +115,24 @@ proptest! {
             4000.0,
             true,
         );
-        for (block, dirty) in ops {
+        for _ in 0..len {
+            let block = rng.below(1 << 14);
+            let dirty = rng.chance(0.5);
             if !c.sector_present(block) {
                 let _ = c.allocate(block, 0);
             }
-            prop_assert!(c.write_data(block, 0, dirty));
-            let expect = if dirty { BlockState::DirtyHit } else { c.state(block) };
-            prop_assert_ne!(c.state(block), BlockState::Miss);
+            assert!(c.write_data(block, 0, dirty));
+            let expect = if dirty {
+                BlockState::DirtyHit
+            } else {
+                c.state(block)
+            };
+            assert_ne!(c.state(block), BlockState::Miss);
             if dirty {
-                prop_assert_eq!(c.state(block), expect);
+                assert_eq!(c.state(block), expect);
             }
             c.invalidate_block(block);
-            prop_assert_eq!(c.state(block), BlockState::Miss);
+            assert_eq!(c.state(block), BlockState::Miss);
         }
     }
 }

@@ -1,0 +1,103 @@
+//! Trait conformance: one mix through every `MemSideCache` implementation
+//! (sectored DRAM, Alloy, eDRAM, flat tier, and the no-cache fallback),
+//! checking the accounting invariants the routing contract promises —
+//! whatever the architecture, retirement, hit/miss bookkeeping, and CAS
+//! bandwidth attribution must stay coherent.
+
+use mem_sim::mscache::PlacementGoal;
+use mem_sim::{CacheKind, RunResult, System, SystemConfig};
+use workloads::{rate_mode, spec};
+
+const INSTR: u64 = 40_000;
+
+fn run(config: SystemConfig) -> (RunResult, u64, Option<u64>) {
+    let cores = config.cores;
+    let mut system = System::new(config, rate_mode(spec("libquantum").unwrap(), cores));
+    let result = system.run(INSTR);
+    let mm_cas = system.memory().main_memory().stats().cas_total();
+    let ms_cas = system.memory().ms_dram_stats().map(|s| s.cas_total());
+    (result, mm_cas, ms_cas)
+}
+
+#[test]
+fn every_architecture_upholds_accounting_invariants() {
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        ("sectored", SystemConfig::sectored_dram_cache(2)),
+        ("alloy", SystemConfig::alloy_cache(2)),
+        ("edram", SystemConfig::edram_cache(2, 256)),
+        (
+            "flat-tier",
+            SystemConfig::flat_tier(2, PlacementGoal::MaximizeFastHits),
+        ),
+        ("no-cache", SystemConfig::no_cache(2)),
+    ];
+    for (name, config) in configs {
+        let has_cache = !matches!(config.cache, CacheKind::None);
+        let (r, mm_cas, ms_cas) = run(config);
+
+        // Retirement: every core completes its budget.
+        assert_eq!(r.per_core.len(), 2, "{name}");
+        assert!(
+            r.per_core.iter().all(|c| c.instructions == INSTR),
+            "{name}: cores must retire the full budget"
+        );
+        assert!(r.total_ipc() > 0.0, "{name}");
+
+        let s = &r.stats;
+        // Every routed read (demand, RFO, or prefetch) is accounted as
+        // exactly one hit or miss, so the total covers at least the
+        // demand reads.
+        let reads = s.ms_read_hits + s.ms_read_misses;
+        assert!(s.demand_reads > 0, "{name}: no demand reads");
+        assert!(reads >= s.demand_reads, "{name}: unaccounted demand reads");
+        assert!(
+            (0.0..=1.0).contains(&s.ms_hit_ratio()),
+            "{name}: hit ratio out of range"
+        );
+        assert!(s.avg_read_latency() > 0.0, "{name}");
+
+        // CAS attribution: SimStats totals are exactly the DRAM modules'
+        // counters, and every run moves main-memory data.
+        assert_eq!(s.mm_cas, mm_cas, "{name}: main-memory CAS mismatch");
+        assert!(s.mm_cas > 0, "{name}");
+        match ms_cas {
+            Some(cas) => {
+                assert!(
+                    has_cache,
+                    "{name}: cacheless arch reported cache DRAM stats"
+                );
+                assert_eq!(s.ms_cas, cas, "{name}: cache CAS mismatch");
+                assert!(
+                    (0.0..=1.0).contains(&s.mm_cas_fraction()),
+                    "{name}: CAS fraction out of range"
+                );
+            }
+            None => {
+                assert_eq!(s.ms_cas, 0, "{name}: phantom cache CAS");
+                assert_eq!(s.ms_read_hits, 0, "{name}: hits without a cache");
+                assert_eq!(
+                    s.mm_cas_fraction(),
+                    1.0,
+                    "{name}: all CAS must be main memory"
+                );
+            }
+        }
+    }
+}
+
+/// The no-cache fallback and the flat tier never consult the partitioning
+/// policy, so a DAP-specific counter must stay untouched there, while the
+/// cache architectures route through it.
+#[test]
+fn cacheless_architectures_never_report_dap_decisions() {
+    for config in [
+        SystemConfig::no_cache(2),
+        SystemConfig::flat_tier(2, PlacementGoal::BandwidthOptimal),
+    ] {
+        let (r, _, _) = run(config);
+        assert!(r.dap_decisions.is_none());
+        assert_eq!(r.stats.fills_bypassed, 0);
+        assert_eq!(r.stats.forced_read_misses, 0);
+        assert_eq!(r.stats.write_throughs, 0);
+    }
+}

@@ -140,7 +140,7 @@ impl Partitioner for Sbd {
 
     fn route_write(&mut self, block: u64, _now: Cycle, hit: bool) -> WriteRoute {
         self.writes_seen += 1;
-        if self.writes_seen % AGE_PERIOD == 0 {
+        if self.writes_seen.is_multiple_of(AGE_PERIOD) {
             self.bloom.age();
         }
         let page = Self::page_of(block);

@@ -14,9 +14,8 @@
 
 use mem_sim::trace::{OpKind, TraceOp, TraceSource};
 use mem_sim::{BLOCK_BYTES, CAPACITY_SCALE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
+use crate::rng::SplitMix64;
 use crate::spec::WorkloadSpec;
 
 /// Hot-region size (paper-equivalent bytes, scaled like the footprint).
@@ -33,7 +32,7 @@ pub struct CloneTrace {
     chase_fraction: f64,
     hot_fraction: f64,
     stream_cursors: Vec<u64>,
-    rng: StdRng,
+    rng: SplitMix64,
     pc_base: u64,
 }
 
@@ -47,15 +46,13 @@ impl CloneTrace {
         let hot_blocks = (HOT_BYTES / CAPACITY_SCALE / BLOCK_BYTES)
             .min(footprint_blocks / 4)
             .max(64);
-        let mut seed = [0u8; 32];
-        for (i, b) in spec.name.bytes().enumerate().take(24) {
-            seed[i] = b;
-        }
-        seed[24..32].copy_from_slice(&instance.to_le_bytes());
-        let mut rng = StdRng::from_seed(seed);
+        let mut seed = Vec::with_capacity(spec.name.len() + 8);
+        seed.extend_from_slice(spec.name.as_bytes());
+        seed.extend_from_slice(&instance.to_le_bytes());
+        let mut rng = SplitMix64::from_bytes(&seed);
         // Stream engines start at staggered positions through the footprint.
         let stream_cursors = (0..spec.streams)
-            .map(|_| rng.gen_range(0..footprint_blocks))
+            .map(|_| rng.below(footprint_blocks))
             .collect();
         Self {
             base,
@@ -88,36 +85,32 @@ impl TraceSource for CloneTrace {
         } else {
             // Uniform in [gap/2, 3*gap/2]: mean preserved, bursts possible.
             self.rng
-                .gen_range(self.gap_mean / 2..=self.gap_mean + self.gap_mean / 2)
+                .range_inclusive_u32(self.gap_mean / 2, self.gap_mean + self.gap_mean / 2)
         };
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.next_f64();
         let (block, pc, force_read) = if r < self.hot_fraction {
             // Hot set: small region, lands in the SRAM hierarchy.
-            (
-                self.rng.gen_range(0..self.hot_blocks),
-                self.pc_base + 0x100,
-                false,
-            )
+            (self.rng.below(self.hot_blocks), self.pc_base + 0x100, false)
         } else if r < self.hot_fraction + (1.0 - self.hot_fraction) * self.chase_fraction {
             // Pointer chase: random block, load only. Real irregular codes
             // concentrate reuse on a warm subset, so 60% of chases land in
             // the first eighth of the footprint — this is what gives
             // memory-side caches smaller than the footprint their paper-like
             // intermediate hit rates.
-            let block = if self.rng.gen::<f64>() < 0.6 {
-                self.rng.gen_range(0..(self.footprint_blocks / 8).max(1))
+            let block = if self.rng.chance(0.6) {
+                self.rng.below((self.footprint_blocks / 8).max(1))
             } else {
-                self.rng.gen_range(0..self.footprint_blocks)
+                self.rng.below(self.footprint_blocks)
             };
             (block, self.pc_base + 0x200, true)
         } else {
             // One of the stream engines advances sequentially.
-            let s = self.rng.gen_range(0..self.stream_cursors.len());
+            let s = self.rng.index(self.stream_cursors.len());
             let b = self.stream_cursors[s];
             self.stream_cursors[s] = (b + 1) % self.footprint_blocks;
             (b, self.pc_base + 0x300 + s as u64 * 8, false)
         };
-        let kind = if !force_read && self.rng.gen::<f64>() < self.write_fraction {
+        let kind = if !force_read && self.rng.chance(self.write_fraction) {
             OpKind::Write
         } else {
             OpKind::Read

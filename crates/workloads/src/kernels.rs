@@ -5,8 +5,8 @@
 //! to measure delivered bandwidth as a function of hit rate.
 
 use mem_sim::trace::{OpKind, TraceOp, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SplitMix64;
 
 /// A read-only trace with a controlled cache hit rate.
 ///
@@ -23,7 +23,7 @@ pub struct ReadKernel {
     cold_cursor: u64,
     hit_rate: f64,
     warming: u64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl ReadKernel {
@@ -46,7 +46,7 @@ impl ReadKernel {
             cold_cursor: 0,
             hit_rate,
             warming: warm_blocks,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
@@ -64,7 +64,7 @@ impl TraceSource for ReadKernel {
             let b = self.warm_cursor;
             self.warm_cursor = (self.warm_cursor + 1) % self.warm_blocks;
             b
-        } else if self.rng.gen::<f64>() < self.hit_rate {
+        } else if self.rng.chance(self.hit_rate) {
             let b = self.warm_cursor;
             self.warm_cursor = (self.warm_cursor + 1) % self.warm_blocks;
             b

@@ -29,6 +29,7 @@
 pub mod generator;
 pub mod kernels;
 pub mod mixes;
+pub mod rng;
 pub mod spec;
 pub mod tracefile;
 

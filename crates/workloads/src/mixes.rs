@@ -6,10 +6,9 @@
 //! dissimilar ones.
 
 use mem_sim::trace::TraceSource;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::generator::CloneTrace;
+use crate::rng::SplitMix64;
 use crate::spec::{all_specs, bandwidth_insensitive, bandwidth_sensitive, WorkloadSpec};
 
 /// Address-space stride between cores' footprints (~64 GB apart — cores
@@ -82,16 +81,16 @@ pub fn rate_mix(spec: &'static WorkloadSpec, cores: usize) -> Mix {
 pub fn heterogeneous_mixes() -> Vec<Mix> {
     let sens = bandwidth_sensitive();
     let insens = bandwidth_insensitive();
-    let mut rng = StdRng::seed_from_u64(0xDA92017 ^ 0xA5A5);
+    let mut rng = SplitMix64::new(0xDA92017 ^ 0xA5A5);
     let mut mixes = Vec::with_capacity(27);
     for m in 0..27 {
         let similar = m < 13;
         let mut specs = Vec::with_capacity(8);
         for slot in 0..8 {
             let s = if similar || slot % 2 == 0 {
-                sens[rng.gen_range(0..sens.len())]
+                sens[rng.index(sens.len())]
             } else {
-                insens[rng.gen_range(0..insens.len())]
+                insens[rng.index(insens.len())]
             };
             specs.push(s);
         }

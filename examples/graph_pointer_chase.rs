@@ -40,7 +40,7 @@ fn main() {
     let batman = System::with_policy(
         config.clone(),
         traversal_workers(),
-        build_policy(PolicyKind::Batman, &config),
+        build_policy(PolicyKind::Batman, &config).expect("sectored cache supports BATMAN"),
     )
     .run(instructions);
 

@@ -1,13 +1,21 @@
 #!/bin/bash
 # Regenerates every figure/table of the paper into experiment_results/.
+#
 # DAP_INSTRUCTIONS scales fidelity vs runtime (default per-figure budgets).
-set -u
+# DAP_THREADS sets the worker count of the parallel experiment executor
+# (default: all available cores). Results are bit-identical at any thread
+# count — see crates/experiments/tests/determinism.rs.
+#
+# Fails loudly: any binary that exits non-zero aborts the whole run
+# (`tee` runs under pipefail, and stderr is left on the terminal).
+set -euo pipefail
 cd "$(dirname "$0")"
+mkdir -p experiment_results
 BUDGET="${DAP_INSTRUCTIONS:-1200000}"
 SMALL=$((BUDGET / 2))
 run() { # bin budget
     echo "== $1 (budget $2)"
-    DAP_INSTRUCTIONS=$2 cargo run --release -p dap-bench --bin "$1" 2>/dev/null \
+    DAP_INSTRUCTIONS=$2 cargo run --release --offline -p dap-bench --bin "$1" \
         | tee "experiment_results/$1.txt"
     echo
 }

@@ -62,8 +62,8 @@ fn dap_beats_baseline_on_every_architecture() {
 fn heterogeneous_mix_weighted_speedup_is_sane() {
     let config = SystemConfig::sectored_dram_cache(8);
     let mix = &heterogeneous_mixes()[0];
-    let mut alone = AloneIpcCache::new();
-    let run = run_workload(&config, PolicyKind::Baseline, mix, INSTR, &mut alone);
+    let alone = AloneIpcCache::new();
+    let run = run_workload(&config, PolicyKind::Baseline, mix, INSTR, &alone);
     // Eight programs sharing one memory system: each runs slower than
     // alone, so 0 < WS < 8.
     assert!(run.weighted_speedup > 0.0 && run.weighted_speedup < 8.0);
