@@ -17,4 +17,7 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+echo "== cargo build --offline --features telemetry-off"
+cargo build --offline --features telemetry-off
+
 echo "ci: all checks passed"

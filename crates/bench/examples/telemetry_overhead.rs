@@ -1,0 +1,72 @@
+//! Measures the simulation-speed cost of full telemetry (window-trace
+//! sink + subsystem metrics) against an identical untraced run.
+//!
+//! The acceptance target is ≤5% overhead. Run with:
+//!
+//! ```text
+//! cargo run --release -p dap-bench --example telemetry_overhead
+//! ```
+//!
+//! Methodology: CPU time (utime+stime from `/proc/self/stat`) instead
+//! of wall clock, ABBA-interleaved samples so monotone within-process
+//! drift biases neither variant, and a min-over-samples estimator —
+//! interference on a shared machine only ever adds time, so the
+//! minimum is the best estimate of each variant's true cost.
+
+use std::sync::Arc;
+
+use experiments::runner::{build_policy, PolicyKind};
+use mem_sim::{SubsystemTelemetry, System, SystemConfig};
+use workloads::{rate_mix, spec};
+
+/// Process CPU time (user+system) in clock ticks, from /proc/self/stat.
+fn cpu_ticks() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("procfs");
+    // Fields 14 (utime) and 15 (stime), 1-indexed after the comm field,
+    // which may contain spaces — skip past the closing paren first.
+    let rest = &stat[stat.rfind(')').unwrap() + 2..];
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields[11].parse().unwrap();
+    let stime: u64 = fields[12].parse().unwrap();
+    utime + stime
+}
+
+/// Runs one mcf rate-8 DAP simulation, optionally with the full
+/// telemetry stack attached, and returns its CPU cost in ticks.
+fn run(traced: bool, instr: u64) -> u64 {
+    let config = SystemConfig::sectored_dram_cache(8);
+    let mix = rate_mix(spec("mcf").unwrap(), 8);
+    let policy = build_policy(PolicyKind::Dap, &config).unwrap();
+    let mut sys = System::with_policy(config, mix.traces(), policy);
+    let registry = dap_telemetry::MetricsRegistry::new();
+    if traced {
+        sys.attach_dap_sink(Arc::new(dap_telemetry::WindowTraceRecorder::new(1 << 12)));
+        sys.attach_telemetry(SubsystemTelemetry::new(&registry));
+    }
+    let t = cpu_ticks();
+    let r = sys.run(instr);
+    std::hint::black_box(r);
+    cpu_ticks() - t
+}
+
+fn main() {
+    let instr = 1_600_000;
+    run(false, 50_000); // warm up
+    let mut plain = Vec::new();
+    let mut traced = Vec::new();
+    for i in 0..6 {
+        if i % 2 == 0 {
+            plain.push(run(false, instr));
+            traced.push(run(true, instr));
+        } else {
+            traced.push(run(true, instr));
+            plain.push(run(false, instr));
+        }
+    }
+    let best_plain = *plain.iter().min().unwrap();
+    let best_traced = *traced.iter().min().unwrap();
+    println!("plain   {plain:?} ticks, min {best_plain}");
+    println!("traced  {traced:?} ticks, min {best_traced}");
+    let overhead = best_traced as f64 / best_plain as f64 - 1.0;
+    println!("overhead (min/min) {:+.2}%", overhead * 100.0);
+}

@@ -1,5 +1,6 @@
 //! Ablation study: see `experiments::ablations::ablation_thread_aware`.
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(400_000);
     println!(
         "{}",

@@ -1,5 +1,6 @@
 //! Ablation study: see `experiments::ablations::ablation_write_batch`.
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(400_000);
     println!(
         "{}",

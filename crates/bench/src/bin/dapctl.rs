@@ -10,38 +10,52 @@
 //!     Record a clone's access trace to a DAPTRACE file.
 //! dapctl replay <file> [--cores N] [--policy ...] [--instructions N]
 //!     Drive every core with a recorded trace.
+//! dapctl trace <benchmark> [--policy <dap|ta-dap>] [--cores N] [--arch A]
+//!              [--instructions N] [--out DIR]
+//!     Run one workload with per-window DAP tracing: print the human
+//!     summary and write versioned JSONL + CSV window-trace artifacts.
 //! ```
+//!
+//! All subcommands also accept `--threads N` (worker threads for any
+//! parallel experiment machinery; overrides `DAP_THREADS`).
 
+use std::sync::Arc;
+
+use dap_telemetry::{MetricsRegistry, TraceMeta, WindowTraceRecorder};
 use experiments::runner::{build_policy, PolicyKind};
 use mem_sim::trace::TraceSource;
-use mem_sim::{System, SystemConfig};
+use mem_sim::{SubsystemTelemetry, System, SystemConfig};
 use workloads::{rate_mode, spec, TraceFile};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dapctl <list | run <bench> | record <bench> <file> | replay <file>> \
-         [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N]"
+        "usage: dapctl <list | run <bench> | record <bench> <file> | replay <file> \
+         | trace <bench>> \
+         [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N] \
+         [--out DIR] [--threads N]"
     );
     std::process::exit(2);
 }
 
 struct Args {
     positional: Vec<String>,
-    policy: PolicyKind,
+    policy: Option<PolicyKind>,
     cores: usize,
     arch: String,
     instructions: u64,
     ops: u64,
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         positional: Vec::new(),
-        policy: PolicyKind::Baseline,
+        policy: None,
         cores: 8,
         arch: "sectored".to_string(),
         instructions: 400_000,
         ops: 100_000,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,7 +67,7 @@ fn parse_args() -> Args {
         };
         match a.as_str() {
             "--policy" => {
-                args.policy = match value("--policy").as_str() {
+                args.policy = Some(match value("--policy").as_str() {
                     "baseline" => PolicyKind::Baseline,
                     "dap" => PolicyKind::Dap,
                     "ta-dap" => PolicyKind::ThreadAwareDap,
@@ -64,7 +78,7 @@ fn parse_args() -> Args {
                         eprintln!("unknown policy {other}");
                         usage()
                     }
-                }
+                })
             }
             "--cores" => args.cores = value("--cores").parse().unwrap_or_else(|_| usage()),
             "--arch" => args.arch = value("--arch"),
@@ -72,6 +86,11 @@ fn parse_args() -> Args {
                 args.instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
             }
             "--ops" => args.ops = value("--ops").parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = Some(value("--out")),
+            "--threads" => {
+                let v = value("--threads");
+                dap_bench::cli::apply_threads("dapctl", Some(&v));
+            }
             _ => args.positional.push(a),
         }
     }
@@ -173,13 +192,14 @@ fn main() {
                 eprintln!("unknown benchmark {bench} (try `dapctl list`)");
                 std::process::exit(2);
             });
+            let kind = args.policy.unwrap_or(PolicyKind::Baseline);
             let config = config_for(&args.arch, args.cores);
-            let policy = policy_for(args.policy, &config);
+            let policy = policy_for(kind, &config);
             let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
             let r = sys.run(args.instructions);
             println!(
-                "{bench} rate-{} on {} with {:?}:",
-                args.cores, args.arch, args.policy
+                "{bench} rate-{} on {} with {kind:?}:",
+                args.cores, args.arch
             );
             print_result(&r);
         }
@@ -192,26 +212,105 @@ fn main() {
             let file = args.positional.get(2).unwrap_or_else(|| usage());
             let spec = spec(bench).unwrap_or_else(|| usage());
             let mut src = workloads::CloneTrace::new(spec, 0x1000_0000, 0);
-            workloads::record(&mut src, args.ops, file).expect("trace recording failed");
+            workloads::record(&mut src, args.ops, file).unwrap_or_else(|e| {
+                eprintln!("error: cannot record trace to {file}: {e}");
+                std::process::exit(1);
+            });
             println!("recorded {} operations of {bench} to {file}", args.ops);
         }
         Some("replay") => {
             let file = args.positional.get(1).unwrap_or_else(|| usage());
+            let kind = args.policy.unwrap_or(PolicyKind::Baseline);
             let config = config_for(&args.arch, args.cores);
-            let policy = policy_for(args.policy, &config);
+            let policy = policy_for(kind, &config);
             let traces: Vec<Box<dyn TraceSource>> = (0..args.cores)
                 .map(|_| {
-                    Box::new(TraceFile::open(file).expect("trace load failed"))
-                        as Box<dyn TraceSource>
+                    Box::new(TraceFile::open(file).unwrap_or_else(|e| {
+                        eprintln!("error: cannot load trace {file}: {e}");
+                        std::process::exit(1);
+                    })) as Box<dyn TraceSource>
                 })
                 .collect();
             let mut sys = System::with_policy(config, traces, policy);
             let r = sys.run(args.instructions);
+            println!("replay of {file} on {} cores with {kind:?}:", args.cores);
+            print_result(&r);
+        }
+        Some("trace") => {
+            let bench = args
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage());
+            let spec = spec(bench).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {bench} (try `dapctl list`)");
+                std::process::exit(2);
+            });
+            // Tracing needs a DAP controller to trace; default to full DAP.
+            let kind = args.policy.unwrap_or(PolicyKind::Dap);
+            if !matches!(kind, PolicyKind::Dap | PolicyKind::ThreadAwareDap) {
+                eprintln!(
+                    "error: `dapctl trace` records the DAP controller's window \
+                     decisions; --policy must be dap or ta-dap, not {kind:?}"
+                );
+                std::process::exit(2);
+            }
+            if !dap_telemetry::enabled() {
+                eprintln!(
+                    "error: this binary was built with --features telemetry-off; \
+                     rebuild without it to record traces"
+                );
+                std::process::exit(2);
+            }
+            let config = config_for(&args.arch, args.cores);
+            let policy = policy_for(kind, &config);
+            let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
+            let recorder = Arc::new(WindowTraceRecorder::new(1 << 16));
+            sys.attach_dap_sink(recorder.clone());
+            let registry = MetricsRegistry::new();
+            sys.attach_telemetry(SubsystemTelemetry::new(&registry));
+            let r = sys.run(args.instructions);
+            let trace = recorder.take();
+            let meta = TraceMeta {
+                label: format!("{bench}/rate-{}", args.cores),
+                arch: args.arch.clone(),
+                window_cycles: 64,
+            };
             println!(
-                "replay of {file} on {} cores with {:?}:",
-                args.cores, args.policy
+                "{bench} rate-{} on {} with {kind:?}:",
+                args.cores, args.arch
             );
             print_result(&r);
+            println!();
+            print!("{}", dap_telemetry::summarize(&meta, &trace));
+            let snapshot = registry.snapshot();
+            if let Some(h) = snapshot.histograms.get("mem.read_latency") {
+                println!(
+                    "demand read latency    mean {:.0} cycles over {} reads",
+                    h.mean().unwrap_or(0.0),
+                    h.count
+                );
+            }
+            let out =
+                std::path::PathBuf::from(args.out.as_deref().unwrap_or("target/telemetry/dapctl"));
+            // Benchmark names contain dots ("soplex.ref"): append the
+            // extension instead of `with_extension`, which truncates.
+            let stem = format!("{bench}-rate{}-{}", args.cores, args.arch);
+            let jsonl = out.join(format!("{stem}.jsonl"));
+            let csv = out.join(format!("{stem}.csv"));
+            for result in [
+                dap_telemetry::export::write_window_trace_jsonl(&jsonl, &meta, &trace),
+                dap_telemetry::export::write_window_trace_csv(&csv, &meta, &trace),
+            ] {
+                if let Err(e) = result {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+            println!();
+            println!("artifacts:");
+            println!("  {}", jsonl.display());
+            println!("  {}", csv.display());
         }
         _ => usage(),
     }

@@ -1,6 +1,7 @@
 //! Extension: OS-visible flat-tier placement (see
 //! `experiments::extensions::os_visible_tiering`).
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(400_000);
     println!(
         "{}",

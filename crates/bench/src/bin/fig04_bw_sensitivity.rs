@@ -1,5 +1,6 @@
 //! Regenerates the paper's Fig. 4 (bandwidth-sensitivity classification).
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(400_000);
     println!(
         "{}",

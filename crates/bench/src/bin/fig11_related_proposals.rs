@@ -1,5 +1,6 @@
 //! Regenerates the paper's Fig. 11 (SBD, BATMAN vs DAP).
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(300_000);
     println!(
         "{}",

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Fig. 12 (all 44 workloads).
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(200_000);
     println!(
         "{}",

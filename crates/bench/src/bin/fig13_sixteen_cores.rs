@@ -1,5 +1,6 @@
 //! Regenerates the paper's Fig. 13 (16-core scaling).
 fn main() {
+    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
     let instructions = dap_bench::instructions(250_000);
     println!(
         "{}",

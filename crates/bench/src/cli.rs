@@ -1,0 +1,84 @@
+//! Shared command-line handling for the dap-bench binaries.
+//!
+//! Every figure/table binary accepts `--threads N` (also `--threads=N`)
+//! to set the experiment executor's worker count, taking precedence over
+//! the `DAP_THREADS` environment variable; with neither, the executor
+//! uses all available cores. Invalid values (zero, non-numeric) are
+//! usage errors: the binary prints a diagnostic and exits with status 2.
+
+use experiments::exec::set_thread_override;
+
+/// Parses a `--threads` value. Zero is rejected — a zero-worker executor
+/// cannot make progress, and silently clamping would hide the typo.
+///
+/// # Errors
+///
+/// A human-readable diagnostic when the value is not a positive integer.
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(0) => Err("--threads must be at least 1".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--threads expects a positive integer, got `{raw}`")),
+    }
+}
+
+/// Parses and installs a `--threads` value, exiting with status 2 (usage
+/// error) when it is missing or invalid.
+pub fn apply_threads(binary: &str, value: Option<&str>) -> usize {
+    let Some(raw) = value else {
+        eprintln!("{binary}: --threads needs a value");
+        std::process::exit(2);
+    };
+    match parse_thread_count(raw) {
+        Ok(n) => {
+            set_thread_override(n);
+            n
+        }
+        Err(message) => {
+            eprintln!("{binary}: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Argument handling for the figure/table binaries, which take no
+/// positional arguments: accepts `--threads N` / `--threads=N` and
+/// rejects anything else with a usage error (exit status 2).
+pub fn parse_figure_args(binary: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            apply_threads(binary, it.next().map(String::as_str));
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            apply_threads(binary, Some(v));
+        } else {
+            eprintln!(
+                "{binary}: unknown argument `{a}`\n\
+                 usage: {binary} [--threads N]   (env: DAP_THREADS, DAP_INSTRUCTIONS, \
+                 DAP_TELEMETRY, DAP_TELEMETRY_DIR)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_counts() {
+        assert_eq!(parse_thread_count("1"), Ok(1));
+        assert_eq!(parse_thread_count("64"), Ok(64));
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage() {
+        assert!(parse_thread_count("0").is_err());
+        assert!(parse_thread_count("four").is_err());
+        assert!(parse_thread_count("-2").is_err());
+        assert!(parse_thread_count("").is_err());
+        assert!(parse_thread_count("3.5").is_err());
+    }
+}

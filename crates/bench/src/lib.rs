@@ -6,11 +6,15 @@
 //!
 //! Every binary accepts the `DAP_INSTRUCTIONS` environment variable to
 //! override the per-core instruction budget; larger budgets reduce warmup
-//! bias at proportional runtime.
+//! bias at proportional runtime. Figure binaries also accept
+//! `--threads N` (see [`cli`]) and emit machine-readable window-trace
+//! artifacts when `DAP_TELEMETRY=1` (see [`artifacts`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod cli;
 pub mod timing;
 
 /// Per-core instruction budget: `DAP_INSTRUCTIONS` env var or `default`.

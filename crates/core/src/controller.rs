@@ -5,10 +5,16 @@
 //! window boundary, loads the credit counters, and answers "may I apply
 //! technique X right now?" queries on the datapath.
 
+use std::sync::Arc;
+
 use crate::alloy::AlloyDapSolver;
 use crate::credits::{CreditBank, CreditCounter};
 use crate::edram::EdramDapSolver;
 use crate::sectored::SectoredDapSolver;
+use crate::telemetry::{
+    alloy_fractions, edram_fractions, sectored_fractions, SinkSlot, SourceFractions,
+    TechniqueCounts, TelemetrySink, WindowSnapshot,
+};
 use crate::window::{WindowBudget, WindowStats};
 
 /// Which memory-side cache architecture the controller manages.
@@ -192,6 +198,11 @@ pub struct DapController {
     next_boundary: u64,
     decisions: DecisionStats,
     last_plan_idle: bool,
+    sink: SinkSlot,
+    window_index: u64,
+    /// Decision totals at the previous window boundary, for computing the
+    /// per-window applied counts handed to the telemetry sink.
+    decisions_at_last_boundary: DecisionStats,
 }
 
 impl DapController {
@@ -207,7 +218,17 @@ impl DapController {
             next_boundary: u64::from(config.window_cycles),
             decisions: DecisionStats::default(),
             last_plan_idle: true,
+            sink: SinkSlot::new(),
+            window_index: 0,
+            decisions_at_last_boundary: DecisionStats::default(),
         }
+    }
+
+    /// Attaches a telemetry sink; every subsequent window boundary emits a
+    /// [`WindowSnapshot`]. Without a sink the controller skips all snapshot
+    /// assembly (one branch per window).
+    pub fn attach_sink(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink.attach(sink);
     }
 
     /// The configuration this controller runs with.
@@ -283,6 +304,11 @@ impl DapController {
     /// and in simulators that keep their own counters).
     pub fn end_window_with(&mut self, stats: &WindowStats) {
         self.decisions.windows_total += 1;
+        // Snapshot assembly (granted counts + solved fractions) happens
+        // only when a sink is attached; the solve itself is always needed.
+        let traced = self.sink.is_attached();
+        let mut granted = TechniqueCounts::default();
+        let mut fractions: Option<SourceFractions> = None;
         match self.config.architecture {
             CacheArchitecture::SingleBus => {
                 let plan = SectoredDapSolver::new(self.budget).solve(stats);
@@ -295,6 +321,16 @@ impl DapController {
                     self.credits.wb.refill_scaled(plan.wb_scaled);
                     self.credits.ifrm.refill_scaled(plan.ifrm_scaled);
                     self.credits.sfrm.refill(plan.n_sfrm);
+                }
+                if traced {
+                    granted = TechniqueCounts {
+                        fwb: plan.n_fwb,
+                        wb: plan.n_wb(),
+                        ifrm: plan.n_ifrm(),
+                        sfrm: plan.n_sfrm,
+                        write_through: 0,
+                    };
+                    fractions = Some(sectored_fractions(stats, &plan, self.budget.k));
                 }
             }
             CacheArchitecture::Alloy => {
@@ -311,6 +347,14 @@ impl DapController {
                 } else {
                     self.write_through.refill(plan.n_write_through);
                 }
+                if traced {
+                    granted = TechniqueCounts {
+                        ifrm: plan.n_ifrm,
+                        write_through: plan.n_write_through,
+                        ..TechniqueCounts::default()
+                    };
+                    fractions = Some(alloy_fractions(stats, &plan, self.budget.k));
+                }
             }
             CacheArchitecture::SplitChannel => {
                 let plan = EdramDapSolver::new(self.budget).solve(stats);
@@ -323,7 +367,40 @@ impl DapController {
                     self.credits.wb.refill_applications(plan.n_wb);
                     self.credits.ifrm.refill_applications(plan.n_ifrm);
                 }
+                if traced {
+                    granted = TechniqueCounts {
+                        fwb: plan.n_fwb,
+                        wb: plan.n_wb,
+                        ifrm: plan.n_ifrm,
+                        sfrm: 0,
+                        write_through: 0,
+                    };
+                    fractions = Some(edram_fractions(stats, &plan, self.budget.k));
+                }
             }
+        }
+        let index = self.window_index;
+        self.window_index += 1;
+        if let Some(sink) = self.sink.get() {
+            let d = &self.decisions;
+            let p = &self.decisions_at_last_boundary;
+            let applied = TechniqueCounts {
+                fwb: (d.fwb - p.fwb) as u32,
+                wb: (d.wb - p.wb) as u32,
+                ifrm: (d.ifrm - p.ifrm) as u32,
+                sfrm: (d.sfrm - p.sfrm) as u32,
+                write_through: (d.write_through - p.write_through) as u32,
+            };
+            sink.record_window(&WindowSnapshot {
+                window_index: index,
+                end_cycle: (index + 1) * u64::from(self.config.window_cycles),
+                stats: *stats,
+                partitioned: !self.last_plan_idle,
+                granted,
+                applied,
+                fractions: fractions.expect("fractions computed when traced"),
+            });
+            self.decisions_at_last_boundary = self.decisions;
         }
     }
 

@@ -63,6 +63,7 @@ pub mod credits;
 pub mod edram;
 pub mod ratio;
 pub mod sectored;
+pub mod telemetry;
 pub mod window;
 
 pub use alloy::{AlloyDapSolver, AlloyPlan};
@@ -74,4 +75,5 @@ pub use credits::{CreditBank, CreditCounter, ScaledCreditCounter};
 pub use edram::{EdramDapSolver, EdramPlan};
 pub use ratio::Ratio;
 pub use sectored::{SectoredDapSolver, SectoredPlan};
+pub use telemetry::{SourceFractions, TechniqueCounts, TelemetrySink, WindowSnapshot};
 pub use window::{WindowBudget, WindowStats};

@@ -1,0 +1,286 @@
+//! Satellite coverage for the three-source eDRAM DAP solver (Section
+//! IV-C, Eq. 9–12): exact-arithmetic checks for the paper's cases
+//! i–iii, boundary windows where a source's credits hit zero, and the
+//! `Σ f_i = 1` invariant of the solved fractions under extreme
+//! bandwidth ratios.
+
+use dap_core::telemetry::edram_fractions;
+use dap_core::{
+    DapConfig, DapController, EdramDapSolver, EdramPlan, Technique, WindowBudget, WindowStats,
+};
+
+/// The paper's eDRAM system: 51.2 GB/s per direction, 38.4 GB/s DDR4,
+/// 4 GHz, W=64, E=0.75 — channel budget 9, MM budget 7, K = 11/8.
+fn edram_budget() -> WindowBudget {
+    WindowBudget::from_gbps(51.2, Some(51.2), 38.4, 4.0, 64, 0.75)
+}
+
+fn solve(stats: &WindowStats) -> EdramPlan {
+    EdramDapSolver::new(edram_budget()).solve(stats)
+}
+
+#[test]
+fn case_i_matches_eq_9_exactly() {
+    // Read shortage only (A_R = 20 > 9, A_W = 3 <= 9). Eq. 9 with
+    // K = 11/8: N_IFRM = floor((8*20 - 11*2) / (11+8)) = floor(138/19) = 7,
+    // then trimmed to the 7 - 2 = 5 accesses of MM headroom (each IFRM
+    // adds one main-memory access).
+    let stats = WindowStats {
+        cache_read_accesses: 20,
+        cache_write_accesses: 3,
+        mm_accesses: 2,
+        read_misses: 5,
+        writes: 5,
+        clean_read_hits: 15,
+        ..Default::default()
+    };
+    assert_eq!(
+        solve(&stats),
+        EdramPlan {
+            n_fwb: 0,
+            n_wb: 0,
+            n_ifrm: 5,
+        }
+    );
+}
+
+#[test]
+fn case_i_ifrm_capped_by_clean_hits() {
+    // Eq. 9 asks for 7 IFRMs but only 3 clean read hits exist to force.
+    let stats = WindowStats {
+        cache_read_accesses: 20,
+        cache_write_accesses: 3,
+        mm_accesses: 2,
+        read_misses: 5,
+        writes: 5,
+        clean_read_hits: 3,
+        ..Default::default()
+    };
+    assert_eq!(solve(&stats).n_ifrm, 3);
+}
+
+#[test]
+fn case_ii_matches_eq_10_and_11_with_mm_headroom_trim() {
+    // Write shortage only (A_W = 25 > 9). Eq. 10: N_FWB =
+    // floor((8*25 - 11*3)/8) = 20, capped at Rm = 6 fills. Eq. 11 on the
+    // remaining 19 writes: floor((8*19 - 11*3)/19) = 6 — but WB adds
+    // main-memory traffic and only 7 - 3 = 4 accesses of MM headroom
+    // remain, so the final plan trims WB to 4.
+    let stats = WindowStats {
+        cache_read_accesses: 5,
+        cache_write_accesses: 25,
+        mm_accesses: 3,
+        read_misses: 6,
+        writes: 20,
+        clean_read_hits: 10,
+        ..Default::default()
+    };
+    assert_eq!(
+        solve(&stats),
+        EdramPlan {
+            n_fwb: 6,
+            n_wb: 4,
+            n_ifrm: 0,
+        }
+    );
+}
+
+#[test]
+fn case_ii_fwb_alone_can_absorb_the_write_surplus() {
+    // With plenty of fills available, Eq. 10 bypasses
+    // floor((8*20 - 11*2)/8) = 17 fill writes; the 3 writes left over no
+    // longer exceed K*A_MM, so Eq. 11 grants no WB at all.
+    let stats = WindowStats {
+        cache_read_accesses: 5,
+        cache_write_accesses: 20,
+        mm_accesses: 2,
+        read_misses: 30,
+        writes: 12,
+        clean_read_hits: 10,
+        ..Default::default()
+    };
+    assert_eq!(
+        solve(&stats),
+        EdramPlan {
+            n_fwb: 17,
+            n_wb: 0,
+            n_ifrm: 0,
+        }
+    );
+}
+
+#[test]
+fn case_iii_matches_eq_12_exactly() {
+    // Both channel sets short (A_R = A_W = 20 > 9). Eq. 10 first:
+    // floor((8*20 - 11*1)/8) = 18, capped at Rm = 4, so W_eff = 16.
+    // Eq. 12 jointly with denom 2*11+8 = 30:
+    //   N_WB   = floor((19*16 - 11*20 - 11*1)/30) = floor(73/30)  = 2
+    //   N_IFRM = floor((19*20 - 11*16 - 11*1)/30) = floor(193/30) = 6
+    // MM headroom is 7 - 1 = 6: WB's 2 fit, then IFRM trims to 4.
+    let stats = WindowStats {
+        cache_read_accesses: 20,
+        cache_write_accesses: 20,
+        mm_accesses: 1,
+        read_misses: 4,
+        writes: 12,
+        clean_read_hits: 15,
+        ..Default::default()
+    };
+    assert_eq!(
+        solve(&stats),
+        EdramPlan {
+            n_fwb: 4,
+            n_wb: 2,
+            n_ifrm: 4,
+        }
+    );
+}
+
+#[test]
+fn mm_at_budget_blocks_all_partitioning() {
+    // Main memory at (or beyond) its own 7-access budget is the
+    // bottleneck: both channel sets may be short, the plan stays idle.
+    for mm_accesses in [7, 8, 30] {
+        let stats = WindowStats {
+            cache_read_accesses: 20,
+            cache_write_accesses: 20,
+            mm_accesses,
+            read_misses: 5,
+            writes: 12,
+            clean_read_hits: 15,
+            ..Default::default()
+        };
+        assert!(solve(&stats).is_idle(), "A_MM = {mm_accesses}");
+    }
+}
+
+#[test]
+fn one_access_of_headroom_grants_at_most_one_mm_technique() {
+    // A_MM = 6 leaves exactly one access of MM headroom: WB and IFRM
+    // together may claim at most that one; FWB (which *removes* MM
+    // traffic) is unconstrained by it.
+    let stats = WindowStats {
+        cache_read_accesses: 20,
+        cache_write_accesses: 20,
+        mm_accesses: 6,
+        read_misses: 5,
+        writes: 12,
+        clean_read_hits: 15,
+        ..Default::default()
+    };
+    let plan = solve(&stats);
+    assert!(plan.n_wb + plan.n_ifrm <= 1, "{plan:?}");
+}
+
+/// A read-pressured window on the controller's eDRAM configuration;
+/// grants exactly 5 IFRM credits (the Eq. 9 solution of 7, trimmed to
+/// the MM headroom of 5).
+fn read_pressured() -> WindowStats {
+    WindowStats {
+        cache_read_accesses: 20,
+        cache_write_accesses: 3,
+        cache_accesses: 23,
+        mm_accesses: 2,
+        read_misses: 5,
+        writes: 5,
+        clean_read_hits: 15,
+    }
+}
+
+#[test]
+fn credits_drain_to_zero_within_the_window() {
+    let mut dap = DapController::new(DapConfig::edram_ddr4());
+    dap.end_window_with(&read_pressured());
+    assert_eq!(dap.credits_remaining(Technique::InformedForcedReadMiss), 5);
+    for used in 0..5 {
+        assert!(dap.try_apply(Technique::InformedForcedReadMiss));
+        assert_eq!(
+            dap.credits_remaining(Technique::InformedForcedReadMiss),
+            4 - used
+        );
+    }
+    assert!(
+        !dap.try_apply(Technique::InformedForcedReadMiss),
+        "an empty counter must refuse the sixth application"
+    );
+    assert_eq!(dap.credits_remaining(Technique::InformedForcedReadMiss), 0);
+}
+
+#[test]
+fn calm_boundary_clears_unspent_credits() {
+    let mut dap = DapController::new(DapConfig::edram_ddr4());
+    dap.end_window_with(&read_pressured());
+    assert!(dap.try_apply(Technique::InformedForcedReadMiss));
+    // The next window shows no pressure: the idle plan must clear the
+    // six unspent credits rather than let them leak across windows.
+    dap.end_window_with(&WindowStats::default());
+    assert!(!dap.is_partitioning());
+    for t in Technique::ALL {
+        assert_eq!(dap.credits_remaining(t), 0, "{t:?}");
+    }
+    assert!(!dap.try_apply(Technique::InformedForcedReadMiss));
+}
+
+#[test]
+fn pressured_window_refills_a_drained_counter() {
+    let mut dap = DapController::new(DapConfig::edram_ddr4());
+    dap.end_window_with(&read_pressured());
+    while dap.try_apply(Technique::InformedForcedReadMiss) {}
+    assert_eq!(dap.credits_remaining(Technique::InformedForcedReadMiss), 0);
+    dap.end_window_with(&read_pressured());
+    assert_eq!(dap.credits_remaining(Technique::InformedForcedReadMiss), 5);
+}
+
+#[test]
+fn fractions_sum_to_one_under_extreme_bandwidth_ratios() {
+    // Sweep bandwidth ratios from cache-dominant (K = 512) to
+    // MM-dominant (K clamps at 1/16) and a grid of window shapes; for
+    // every solved plan the post-plan fractions must form a valid
+    // distribution over the three sources and respect the plan caps.
+    let ratios = [(512.0, 1.0), (400.0, 0.5), (51.2, 38.4), (1.0, 512.0)];
+    for (cache_gbps, mm_gbps) in ratios {
+        let budget = WindowBudget::from_gbps(cache_gbps, Some(cache_gbps), mm_gbps, 4.0, 64, 0.75);
+        let solver = EdramDapSolver::new(budget);
+        for a_r in [0u32, 5, 40, 2000] {
+            for a_w in [0u32, 7, 40] {
+                for a_mm in [0u32, 3, 50] {
+                    let stats = WindowStats {
+                        cache_read_accesses: a_r,
+                        cache_write_accesses: a_w,
+                        cache_accesses: a_r + a_w,
+                        mm_accesses: a_mm,
+                        read_misses: a_r / 4,
+                        writes: a_w / 2,
+                        clean_read_hits: a_r / 2,
+                    };
+                    let plan = solver.solve(&stats);
+                    assert!(plan.n_fwb <= stats.read_misses, "{plan:?} vs {stats:?}");
+                    assert!(plan.n_wb <= stats.writes, "{plan:?} vs {stats:?}");
+                    assert!(
+                        plan.n_ifrm <= stats.clean_read_hits,
+                        "{plan:?} vs {stats:?}"
+                    );
+                    if a_mm < budget.mm_budget {
+                        assert!(
+                            a_mm + plan.n_wb + plan.n_ifrm <= budget.mm_budget,
+                            "MM traffic after the plan must fit the budget: \
+                             {plan:?} vs {stats:?} (budget {})",
+                            budget.mm_budget
+                        );
+                    }
+                    let f = edram_fractions(&stats, &plan, budget.k);
+                    assert_eq!(f.sources, 3);
+                    let solved: f64 = f.solved.iter().sum();
+                    let ideal: f64 = f.ideal.iter().sum();
+                    assert!((solved - 1.0).abs() < 1e-9, "Σ solved = {solved}");
+                    assert!((ideal - 1.0).abs() < 1e-9, "Σ ideal = {ideal}");
+                    assert!(f
+                        .solved
+                        .iter()
+                        .chain(f.ideal.iter())
+                        .all(|&v| (0.0..=1.0).contains(&v)));
+                }
+            }
+        }
+    }
+}

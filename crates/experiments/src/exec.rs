@@ -10,7 +10,8 @@
 //! the same plan on one thread (`crates/experiments/tests/determinism.rs`
 //! proves this).
 //!
-//! Thread count comes from `DAP_THREADS` (default: all available cores).
+//! Thread count comes from [`set_thread_override`] (the `--threads` CLI
+//! flag) when set, else `DAP_THREADS`, else all available cores.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -51,6 +52,19 @@ impl<'a, T: Send> ExperimentPlan<'a, T> {
     }
 }
 
+/// Process-wide thread-count override (0 = unset). Set by the `--threads`
+/// CLI flag; takes precedence over `DAP_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the executor's worker-thread count for this process,
+/// taking precedence over the `DAP_THREADS` environment variable.
+/// `--threads N` on the CLI binaries calls this. A value of 0 clears
+/// the override (callers validating user input should reject 0 before
+/// calling — see `dap_bench::cli`).
+pub fn set_thread_override(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
 /// Runs an [`ExperimentPlan`] across a fixed number of worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelExecutor {
@@ -65,9 +79,14 @@ impl ParallelExecutor {
         }
     }
 
-    /// Thread count from the `DAP_THREADS` environment variable, falling
+    /// Thread count from [`set_thread_override`] (the `--threads` flag)
+    /// when set, else the `DAP_THREADS` environment variable, falling
     /// back to the host's available parallelism.
     pub fn from_env() -> Self {
+        let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+        if overridden > 0 {
+            return Self::new(overridden);
+        }
         let threads = std::env::var("DAP_THREADS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -192,6 +211,14 @@ mod tests {
     #[test]
     fn executor_clamps_to_one_thread() {
         assert_eq!(ParallelExecutor::new(0).threads(), 1);
+        assert!(ParallelExecutor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_beats_environment() {
+        set_thread_override(3);
+        assert_eq!(ParallelExecutor::from_env().threads(), 3);
+        set_thread_override(0); // clear so other tests see the default
         assert!(ParallelExecutor::from_env().threads() >= 1);
     }
 }

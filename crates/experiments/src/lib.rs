@@ -29,8 +29,13 @@ pub mod figures;
 pub mod fingerprint;
 pub mod metrics;
 pub mod runner;
+pub mod telemetry;
 
 pub use exec::{run_variant_grid, ExperimentPlan, ParallelExecutor};
 pub use fingerprint::ConfigFingerprint;
 pub use metrics::{geomean, FigureResult, Row};
 pub use runner::{run_mix, run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
+pub use telemetry::{
+    artifact_dir_from_env, export_variant_traces, run_variant_grid_traced, run_workload_traced,
+    TracedRun, VariantTelemetry,
+};

@@ -140,6 +140,9 @@ impl Partitioner for FwbWbOnly {
     fn dap_decisions(&self) -> Option<dap_core::DecisionStats> {
         self.0.dap_decisions()
     }
+    fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
+        self.0.attach_dap_sink(sink);
+    }
 }
 
 /// Builds a policy instance for a system (default window 64, E = 0.75).
@@ -266,6 +269,12 @@ impl AloneIpcCache {
     /// Whether no alone run has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The alone-run IPC for `bench` on `config`, simulating it on the
+    /// first touch and answering from the cache afterwards.
+    pub fn ipc(&self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {
+        self.get(config, bench, instructions)
     }
 
     fn get(&self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {

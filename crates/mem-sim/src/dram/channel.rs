@@ -35,6 +35,13 @@ pub struct ChannelStats {
     pub row_misses: u64,
 }
 
+impl ChannelStats {
+    /// Total CAS operations (data transfers).
+    pub fn cas_total(&self) -> u64 {
+        self.cas_reads + self.cas_writes
+    }
+}
+
 /// One DRAM channel.
 #[derive(Debug, Clone)]
 pub struct Channel {
@@ -47,6 +54,9 @@ pub struct Channel {
     next_refresh_at: Cycle,
     refreshes: u64,
     stats: ChannelStats,
+    /// Cycles the data bus has been reserved (bursts + turnarounds) —
+    /// utilization numerator for telemetry.
+    busy_cycles: Cycle,
 }
 
 impl Channel {
@@ -67,12 +77,20 @@ impl Channel {
             next_refresh_at: timing.refresh.map(|(refi, _)| refi).unwrap_or(Cycle::MAX),
             refreshes: 0,
             stats: ChannelStats::default(),
+            busy_cycles: 0,
         }
     }
 
     /// Refresh windows charged so far.
     pub fn refreshes(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Cycles the data bus has been reserved so far (bursts plus
+    /// write-turnaround dead time). Divided by elapsed cycles this gives
+    /// the channel's bus utilization.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy_cycles
     }
 
     /// Activity counters.
@@ -134,6 +152,7 @@ impl Channel {
         }
         // Channel turnaround: one burst worth of dead bus time.
         self.bus_free_at = self.bus_free_at.max(now) + self.timing.burst;
+        self.busy_cycles += self.timing.burst;
         let queue = std::mem::take(&mut self.write_queue);
         let mut done = now;
         for (bank, row) in queue {
@@ -195,6 +214,7 @@ impl Channel {
         let data_at = data_ready.max(self.bus_free_at);
         let done = data_at + burst;
         self.bus_free_at = done;
+        self.busy_cycles += burst;
         done
     }
 }

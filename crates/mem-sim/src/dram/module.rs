@@ -107,6 +107,15 @@ impl DramModule {
         }
     }
 
+    /// Per-channel `(cas_total, busy_cycles)` pairs, in channel order —
+    /// the raw material for channel-utilization telemetry.
+    pub fn per_channel_activity(&self) -> Vec<(u64, Cycle)> {
+        self.channels
+            .iter()
+            .map(|ch| (ch.stats().cas_total(), ch.busy_cycles()))
+            .collect()
+    }
+
     /// Aggregated counters across channels.
     pub fn stats(&self) -> DramStats {
         let mut out = DramStats::default();

@@ -47,6 +47,7 @@ pub mod policy;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::{CacheKind, SystemConfig, CAPACITY_SCALE};
@@ -56,6 +57,7 @@ pub use policy::{
 };
 pub use stats::{CoreResult, RunResult, SimStats};
 pub use system::{MemAccessKind, MemorySubsystem, System};
+pub use telemetry::SubsystemTelemetry;
 
 /// Block size used throughout the hierarchy (bytes).
 pub const BLOCK_BYTES: u64 = 64;

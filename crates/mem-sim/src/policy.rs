@@ -129,6 +129,10 @@ pub trait Partitioner {
     fn dap_decisions(&self) -> Option<DecisionStats> {
         None
     }
+
+    /// Attaches a window-trace sink to the policy's DAP controller, when
+    /// it has one. Non-DAP policies ignore the sink (the default).
+    fn attach_dap_sink(&mut self, _sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {}
 }
 
 /// The baseline policy: everything goes to the memory-side cache.
@@ -213,6 +217,10 @@ impl Partitioner for DapPolicy {
 
     fn dap_decisions(&self) -> Option<DecisionStats> {
         Some(*self.controller.decisions())
+    }
+
+    fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
+        self.controller.attach_sink(sink);
     }
 }
 
@@ -310,6 +318,10 @@ impl Partitioner for ThreadAwareDap {
 
     fn dap_decisions(&self) -> Option<DecisionStats> {
         self.inner.dap_decisions()
+    }
+
+    fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
+        self.inner.attach_dap_sink(sink);
     }
 }
 

@@ -86,6 +86,18 @@ impl System {
         &self.mem
     }
 
+    /// Attaches simulator-side telemetry (queue-occupancy and
+    /// channel-utilization recording) to the memory subsystem.
+    pub fn attach_telemetry(&mut self, telemetry: crate::telemetry::SubsystemTelemetry) {
+        self.mem.attach_telemetry(telemetry);
+    }
+
+    /// Forwards a DAP window-trace sink to the partitioning policy
+    /// (no-op when the policy has no DAP controller).
+    pub fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
+        self.mem.attach_dap_sink(sink);
+    }
+
     /// A demand load at cycle `t`; returns its completion cycle.
     pub(super) fn load(&mut self, core: usize, block: u64, pc: u64, t: Cycle) -> Cycle {
         let (_, _, l1_lat) = self.config.l1;

@@ -7,6 +7,7 @@ use crate::dram::{DramModule, DramStats};
 use crate::mscache::{AlloyCache, EdramCache, FlatTier, SectoredDramCache};
 use crate::policy::{Partitioner, ReadContext};
 use crate::stats::SimStats;
+use crate::telemetry::SubsystemTelemetry;
 
 /// Why a read reaches the memory subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,6 +189,7 @@ pub struct MemorySubsystem {
     ms: Box<dyn MemSideCache>,
     policy: Box<dyn Partitioner>,
     stats: SimStats,
+    telemetry: Option<SubsystemTelemetry>,
 }
 
 impl MemorySubsystem {
@@ -198,7 +200,22 @@ impl MemorySubsystem {
             ms: build_cache(config),
             policy,
             stats: SimStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches simulator-side telemetry: demand reads/writes start
+    /// feeding the queue-occupancy and latency histograms, and
+    /// [`Self::finalize`] folds in per-channel utilization. Without an
+    /// attachment the hot paths pay one `Option` check.
+    pub fn attach_telemetry(&mut self, telemetry: SubsystemTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Forwards a DAP window-trace sink to the policy (no-op for
+    /// non-DAP policies).
+    pub fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
+        self.policy.attach_dap_sink(sink);
     }
 
     /// Statistics collected so far (CAS totals are finalized by
@@ -233,6 +250,13 @@ impl MemorySubsystem {
         self.ms.flush(now);
         self.stats.mm_cas = self.mm.stats().cas_total();
         self.stats.ms_cas = self.ms.cas_total();
+        if self.telemetry.is_some() {
+            let activity = self.mm.per_channel_activity();
+            if let Some(telemetry) = self.telemetry.as_mut() {
+                telemetry.record_channel_activity(&activity, now);
+                telemetry.flush();
+            }
+        }
     }
 
     /// DAP decision statistics, if the policy is DAP.
@@ -271,6 +295,13 @@ impl MemorySubsystem {
         if kind == MemAccessKind::DemandRead {
             self.stats.read_latency_sum += done.saturating_sub(now);
             self.stats.read_latency_count += 1;
+            if self.telemetry.is_some() {
+                let cache_wait = self.ms.queue_wait(block, now);
+                let mm_wait = self.mm.estimated_wait(block, now);
+                if let Some(telemetry) = self.telemetry.as_mut() {
+                    telemetry.record_demand_read(done.saturating_sub(now), cache_wait, mm_wait);
+                }
+            }
         }
         done
     }
@@ -279,6 +310,9 @@ impl MemorySubsystem {
     pub fn write(&mut self, block: u64, now: Cycle) {
         self.policy.tick(now);
         self.stats.demand_writes += 1;
+        if let Some(telemetry) = self.telemetry.as_mut() {
+            telemetry.record_demand_write();
+        }
         let mut env = RouteEnv {
             mm: &mut self.mm,
             policy: self.policy.as_mut(),

@@ -1,0 +1,233 @@
+//! Simulator-side telemetry: queue-occupancy and channel-utilization
+//! recording for the memory subsystem.
+//!
+//! [`SubsystemTelemetry`] accumulates into plain (non-atomic) local
+//! counters — a `System` is single-threaded, so its hot paths pay one
+//! integer add per sample, not atomic traffic — and publishes everything
+//! into the shared [`MetricsRegistry`] in one bulk [`flush`]
+//! (subsystem `finalize` calls it). All metrics live under the `mem.` /
+//! `mm.` namespaces of the supplied registry, so one registry can
+//! aggregate several subsystems (the experiment executor shares one per
+//! variant — the flushed sums are commutative, keeping parallel runs
+//! deterministic).
+//!
+//! [`flush`]: SubsystemTelemetry::flush
+
+use dap_telemetry::metrics::{bucket_for, Counter, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+use crate::clock::Cycle;
+
+/// A plain-integer histogram accumulator mirroring
+/// [`Histogram`]'s bucket layout, flushed in bulk.
+#[derive(Debug, Clone, Copy)]
+struct LocalHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    #[inline]
+    fn record(&mut self, value: u64) {
+        self.buckets[bucket_for(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    fn flush_into(&mut self, target: &Histogram) {
+        if self.count > 0 {
+            target.add_bucketed(&self.buckets, self.count, self.sum);
+            *self = Self::default();
+        }
+    }
+}
+
+/// Metric handles and local accumulators the memory subsystem records
+/// into when attached.
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `mem.demand_reads` | counter | demand reads entering the subsystem |
+/// | `mem.demand_writes` | counter | L3 dirty evictions entering |
+/// | `mem.read_latency` | histogram | demand-read completion latency (cycles) |
+/// | `mem.cache_queue_wait` | histogram | memory-side cache queue depth at read arrival (cycles) |
+/// | `mem.mm_queue_wait` | histogram | main-memory queue depth at read arrival (cycles) |
+/// | `mm.channel_cas` | histogram | per-channel CAS totals at finalize (one sample per channel) |
+/// | `mm.channel_util_pct` | histogram | per-channel bus utilization percent at finalize |
+///
+/// Samples become visible in the registry only after [`flush`]
+/// (`MemorySubsystem::finalize` — and therefore `System::run` — flushes
+/// automatically).
+///
+/// [`flush`]: SubsystemTelemetry::flush
+#[derive(Debug, Clone)]
+pub struct SubsystemTelemetry {
+    registry: MetricsRegistry,
+    demand_reads: Counter,
+    demand_writes: Counter,
+    read_latency: Histogram,
+    cache_queue_wait: Histogram,
+    mm_queue_wait: Histogram,
+    channel_cas: Histogram,
+    channel_util_pct: Histogram,
+    local_demand_reads: u64,
+    local_demand_writes: u64,
+    local_read_latency: LocalHistogram,
+    local_cache_queue_wait: LocalHistogram,
+    local_mm_queue_wait: LocalHistogram,
+}
+
+impl SubsystemTelemetry {
+    /// Creates the handle bundle against `registry` (one-time lookups).
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            registry: registry.clone(),
+            demand_reads: registry.counter("mem.demand_reads"),
+            demand_writes: registry.counter("mem.demand_writes"),
+            read_latency: registry.histogram("mem.read_latency"),
+            cache_queue_wait: registry.histogram("mem.cache_queue_wait"),
+            mm_queue_wait: registry.histogram("mem.mm_queue_wait"),
+            channel_cas: registry.histogram("mm.channel_cas"),
+            channel_util_pct: registry.histogram("mm.channel_util_pct"),
+            local_demand_reads: 0,
+            local_demand_writes: 0,
+            local_read_latency: LocalHistogram::default(),
+            local_cache_queue_wait: LocalHistogram::default(),
+            local_mm_queue_wait: LocalHistogram::default(),
+        }
+    }
+
+    /// The registry these handles record into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Records one demand read: its completion latency and the queue
+    /// depths both routes showed on arrival.
+    #[inline]
+    pub fn record_demand_read(&mut self, latency: Cycle, cache_wait: Cycle, mm_wait: Cycle) {
+        self.local_demand_reads += 1;
+        self.local_read_latency.record(latency);
+        self.local_cache_queue_wait.record(cache_wait);
+        self.local_mm_queue_wait.record(mm_wait);
+    }
+
+    /// Records one demand write (L3 dirty eviction).
+    #[inline]
+    pub fn record_demand_write(&mut self) {
+        self.local_demand_writes += 1;
+    }
+
+    /// Folds end-of-run channel activity — `(cas_total, busy_cycles)`
+    /// per main-memory channel — into the utilization histograms: one
+    /// sample per channel, published immediately.
+    pub fn record_channel_activity(&mut self, activity: &[(u64, Cycle)], elapsed: Cycle) {
+        for &(cas_total, busy) in activity {
+            self.channel_cas.record(cas_total);
+            if let Some(util) = busy.saturating_mul(100).checked_div(elapsed) {
+                self.channel_util_pct.record(util);
+            }
+        }
+    }
+
+    /// Publishes the locally accumulated samples into the shared
+    /// registry and resets the local state. Idempotent between runs: a
+    /// second flush with nothing new recorded adds nothing.
+    pub fn flush(&mut self) {
+        if self.local_demand_reads > 0 {
+            self.demand_reads.add(self.local_demand_reads);
+            self.local_demand_reads = 0;
+        }
+        if self.local_demand_writes > 0 {
+            self.demand_writes.add(self.local_demand_writes);
+            self.local_demand_writes = 0;
+        }
+        self.local_read_latency.flush_into(&self.read_latency);
+        self.local_cache_queue_wait
+            .flush_into(&self.cache_queue_wait);
+        self.local_mm_queue_wait.flush_into(&self.mm_queue_wait);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{DramConfig, DramModule};
+
+    #[test]
+    fn demand_read_feeds_all_histograms() {
+        let registry = MetricsRegistry::new();
+        let mut telemetry = SubsystemTelemetry::new(&registry);
+        telemetry.record_demand_read(120, 30, 0);
+        telemetry.record_demand_read(80, 0, 15);
+        telemetry.record_demand_write();
+        assert_eq!(
+            registry.snapshot().counters["mem.demand_reads"],
+            0,
+            "samples stay local until flush"
+        );
+        telemetry.flush();
+        let snap = registry.snapshot();
+        if !dap_telemetry::enabled() {
+            assert_eq!(snap.counters["mem.demand_reads"], 0);
+            return;
+        }
+        assert_eq!(snap.counters["mem.demand_reads"], 2);
+        assert_eq!(snap.counters["mem.demand_writes"], 1);
+        assert_eq!(snap.histograms["mem.read_latency"].count, 2);
+        assert_eq!(snap.histograms["mem.read_latency"].sum, 200);
+        assert_eq!(snap.histograms["mem.cache_queue_wait"].count, 2);
+        assert_eq!(snap.histograms["mem.mm_queue_wait"].count, 2);
+        telemetry.flush();
+        assert_eq!(
+            registry.snapshot().counters["mem.demand_reads"],
+            2,
+            "an empty second flush adds nothing"
+        );
+    }
+
+    #[test]
+    fn channel_activity_samples_once_per_channel() {
+        if !dap_telemetry::enabled() {
+            return;
+        }
+        let registry = MetricsRegistry::new();
+        let mut telemetry = SubsystemTelemetry::new(&registry);
+        let mut mm = DramModule::new(DramConfig::ddr4_2400(), 4000.0);
+        let mut last = 0;
+        for block in 0..2_000u64 {
+            last = last.max(mm.read_block(block, 0));
+        }
+        telemetry.record_channel_activity(&mm.per_channel_activity(), last);
+        let snap = registry.snapshot();
+        let channels = mm.config().channels as u64;
+        assert_eq!(snap.histograms["mm.channel_cas"].count, channels);
+        assert_eq!(snap.histograms["mm.channel_cas"].sum, 2_000);
+        let util = &snap.histograms["mm.channel_util_pct"];
+        assert_eq!(util.count, channels);
+        // Streaming reads keep the buses busy; utilization must be
+        // substantial but can never exceed 100%.
+        assert!(util.mean().unwrap() > 50.0, "util {:?}", util.mean());
+        assert!(util.mean().unwrap() <= 100.0);
+    }
+
+    #[test]
+    fn zero_elapsed_skips_utilization_samples() {
+        let registry = MetricsRegistry::new();
+        let mut telemetry = SubsystemTelemetry::new(&registry);
+        let mm = DramModule::new(DramConfig::ddr4_2400(), 4000.0);
+        telemetry.record_channel_activity(&mm.per_channel_activity(), 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["mm.channel_util_pct"].count, 0);
+    }
+}

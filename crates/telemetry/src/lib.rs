@@ -1,0 +1,53 @@
+//! # dap-telemetry — zero-dependency observability for the DAP stack
+//!
+//! DAP's contribution is a per-window control loop, and bandwidth-
+//! efficiency claims live or die on traffic *breakdowns* — so this crate
+//! makes the control loop observable without giving up the workspace's
+//! hermetic build (no registry dependencies) or its determinism:
+//!
+//! * [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry) of
+//!   sharded atomic counters, gauges, and fixed-bucket power-of-two
+//!   histograms, cheap enough to stay enabled in release runs.
+//! * [`window`] — a [`WindowTraceRecorder`](window::WindowTraceRecorder)
+//!   implementing `dap_core`'s `TelemetrySink`: it captures every
+//!   [`WindowSnapshot`](dap_core::WindowSnapshot) in a bounded ring
+//!   buffer, optionally spilling overflow to a writer as JSONL.
+//! * [`export`] — versioned JSONL and CSV run artifacts (schema
+//!   [`export::SCHEMA_VERSION`]) with round-trip parsers, parent-directory
+//!   creation, and path-reporting errors.
+//! * [`summary`] — a human-readable digest of a window trace.
+//! * [`json`] — the minimal in-tree JSON reader/writer the exporters use.
+//!
+//! ## The `telemetry-off` feature
+//!
+//! Building with `--features telemetry-off` compiles every recording path
+//! to a no-op while keeping the full API, so instrumented callers need no
+//! `cfg` of their own. [`enabled()`] reports which build is active;
+//! artifact emitters should skip writing when it returns `false`.
+//!
+//! ## Determinism
+//!
+//! Recording never influences simulation state, and all exported values
+//! derive from deterministic simulations — a trace exported at any thread
+//! count is bit-identical (counter *totals* are sums of commutative
+//! atomic adds). `crates/experiments/tests/determinism.rs` proves this
+//! end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod summary;
+pub mod window;
+
+pub use export::{ArtifactError, TraceMeta, SCHEMA_NAME, SCHEMA_VERSION};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use summary::summarize;
+pub use window::{WindowTrace, WindowTraceRecorder};
+
+/// Whether this build records telemetry (`false` under `telemetry-off`).
+pub const fn enabled() -> bool {
+    cfg!(not(feature = "telemetry-off"))
+}

@@ -1,0 +1,552 @@
+//! Sharded atomic metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Hot-path cost is a single relaxed atomic add on a cache-line-padded
+//! shard, so instrumentation can stay enabled in release experiment runs.
+//! Under the `telemetry-off` feature every record path compiles to a
+//! no-op (the types remain, so callers need no `cfg` of their own).
+//!
+//! Reads ([`Counter::value`], [`Histogram::bucket_counts`],
+//! [`MetricsRegistry::snapshot`]) sum across shards; they are intended
+//! for end-of-run export, not the hot path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent cache-line-padded shards per counter/histogram.
+///
+/// Eight shards comfortably cover the worker-thread counts the experiment
+/// executor uses while keeping per-metric memory at 8 × 64 B.
+pub const SHARDS: usize = 8;
+
+/// Number of buckets in a [`Histogram`].
+///
+/// Bucket `i < 31` counts samples in `[2^(i-1)+1, 2^i]` (bucket 0 counts
+/// zeros and ones); bucket 31 is the overflow bucket for samples above
+/// `2^30`.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// One cache line's worth of atomic counter, padded to avoid false sharing
+/// between shards updated by different worker threads.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+#[cfg(not(feature = "telemetry-off"))]
+fn shard_index() -> usize {
+    // Thread-local round-robin-free shard choice: hash the thread id once
+    // and cache it, so each thread always lands on the same shard.
+    thread_local! {
+        static SHARD: usize = {
+            use std::collections::hash_map::RandomState;
+            use std::hash::BuildHasher;
+            (RandomState::new().hash_one(std::thread::current().id()) as usize) % SHARDS
+        };
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing sum, sharded across [`SHARDS`] padded
+/// atomics. Cloning is cheap and shares the underlying shards.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    shards: Arc<[PaddedU64; SHARDS]>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.shards[shard_index()]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = delta;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards (end-of-run read, not hot path).
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed last-value metric (e.g. current queue depth). Unsharded: gauges
+/// record a momentary level, not a sum, so the last writer wins.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.value.store(value, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = value;
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = delta;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramShard {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramShard {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-memory power-of-two histogram for latencies and occupancies.
+///
+/// Values are assigned to [`HISTOGRAM_BUCKETS`] buckets by bit width, so
+/// recording costs three relaxed atomic adds and no allocation; memory is
+/// fixed regardless of sample count. Cloning shares the underlying shards.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    shards: Arc<[HistogramShard; SHARDS]>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Maps a sample to its bucket: 0..=1 → 0, otherwise `ceil(log2(v))`,
+/// saturating into the final overflow bucket.
+pub fn bucket_for(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        let bits = 64 - (value - 1).leading_zeros() as usize;
+        bits.min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of `bucket` (`u64::MAX` for the overflow bucket).
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        1
+    } else if bucket >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << bucket
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let shard = &self.shards[shard_index()];
+            shard.buckets[bucket_for(value)].fetch_add(1, Ordering::Relaxed);
+            shard.count.fetch_add(1, Ordering::Relaxed);
+            shard.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = value;
+    }
+
+    /// Folds pre-aggregated samples in: per-bucket counts plus their
+    /// total count and value sum. This is the bulk path for
+    /// single-threaded recorders that accumulate locally (plain integer
+    /// adds) and publish once per run instead of paying atomic traffic
+    /// per sample.
+    pub fn add_bucketed(&self, buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, sum: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let shard = &self.shards[shard_index()];
+            for (slot, &c) in shard.buckets.iter().zip(buckets.iter()) {
+                if c > 0 {
+                    slot.fetch_add(c, Ordering::Relaxed);
+                }
+            }
+            shard.count.fetch_add(count, Ordering::Relaxed);
+            shard.sum.fetch_add(sum, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (buckets, count, sum);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.sum.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Mean of recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / count as f64)
+        }
+    }
+
+    /// Per-bucket sample counts, summed across shards.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for shard in self.shards.iter() {
+            for (slot, bucket) in out.iter_mut().zip(shard.buckets.iter()) {
+                *slot += bucket.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Smallest bucket upper bound covering at least `q` (in `[0,1]`) of
+    /// the samples, or `None` if the histogram is empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics, shared across threads by cloning.
+///
+/// Lookup takes a mutex, so instruments should be fetched once (at
+/// attach/setup time) and the returned handles — which share state with
+/// the registry — used on the hot path.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Captures a point-in-time, deterministically ordered snapshot of
+    /// every metric in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: v.count(),
+                            sum: v.sum(),
+                            buckets: v.bucket_counts(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen values of one histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Per-bucket counts (see [`bucket_upper_bound`] for bucket edges).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics, ordered by name so that
+/// exports are deterministic. Snapshots from per-variant registries can be
+/// [`merge`](MetricsSnapshot::merge)d into one run-level artifact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and histogram buckets add,
+    /// gauges take `other`'s value (last writer wins).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            let slot = self
+                .histograms
+                .entry(name.clone())
+                .or_insert_with(|| HistogramSnapshot {
+                    count: 0,
+                    sum: 0,
+                    buckets: [0; HISTOGRAM_BUCKETS],
+                });
+            slot.count += hist.count;
+            slot.sum = slot.sum.wrapping_add(hist.sum);
+            for (a, b) in slot.buckets.iter_mut().zip(hist.buckets.iter()) {
+                *a += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_fold_matches_per_sample_recording() {
+        let per_sample = Histogram::new();
+        let bulk = Histogram::new();
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let (mut count, mut sum) = (0u64, 0u64);
+        for v in [0, 1, 2, 3, 100, 5000, u64::MAX] {
+            per_sample.record(v);
+            buckets[bucket_for(v)] += 1;
+            count += 1;
+            sum = sum.wrapping_add(v);
+        }
+        bulk.add_bucketed(&buckets, count, sum);
+        assert_eq!(per_sample.bucket_counts(), bulk.bucket_counts());
+        assert_eq!(per_sample.count(), bulk.count());
+        assert_eq!(per_sample.sum(), bulk.sum());
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        if crate::enabled() {
+            assert_eq!(counter.value(), 4000);
+        } else {
+            assert_eq!(counter.value(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_tracks_last_value() {
+        let gauge = Gauge::new();
+        gauge.set(7);
+        gauge.add(-3);
+        if crate::enabled() {
+            assert_eq!(gauge.value(), 4);
+        } else {
+            assert_eq!(gauge.value(), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(1), 0);
+        assert_eq!(bucket_for(2), 1);
+        assert_eq!(bucket_for(3), 2);
+        assert_eq!(bucket_for(4), 2);
+        assert_eq!(bucket_for(5), 3);
+        assert_eq!(bucket_for(1 << 10), 10);
+        assert_eq!(bucket_for((1 << 10) + 1), 11);
+        assert_eq!(bucket_for(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every representable value lands in the bucket whose upper bound
+        // covers it.
+        for v in [0u64, 1, 2, 3, 100, 4096, 1 << 20, 1 << 40] {
+            assert!(v <= bucket_upper_bound(bucket_for(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let hist = Histogram::new();
+        if !crate::enabled() {
+            hist.record(10);
+            assert_eq!(hist.count(), 0);
+            return;
+        }
+        for v in [1u64, 2, 4, 8, 1000] {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.sum(), 1015);
+        assert!((hist.mean().unwrap() - 203.0).abs() < 1e-9);
+        // The median sample (4) lives in the bucket with upper bound 4.
+        assert_eq!(hist.quantile_upper_bound(0.5), Some(4));
+        assert_eq!(hist.quantile_upper_bound(1.0), Some(1024));
+    }
+
+    #[test]
+    fn registry_snapshot_merge() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("hits").add(3);
+        b.counter("hits").add(4);
+        b.counter("misses").add(1);
+        a.histogram("lat").record(8);
+        b.histogram("lat").record(8);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        if crate::enabled() {
+            assert_eq!(merged.counters["hits"], 7);
+            assert_eq!(merged.counters["misses"], 1);
+            assert_eq!(merged.histograms["lat"].count, 2);
+        } else {
+            assert_eq!(merged.counters["hits"], 0);
+        }
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let registry = MetricsRegistry::new();
+        let first = registry.counter("x");
+        let second = registry.counter("x");
+        first.add(2);
+        assert_eq!(second.value(), first.value());
+    }
+}

@@ -1,0 +1,169 @@
+//! Human-readable digest of a window trace.
+//!
+//! The JSONL/CSV artifacts are for machines; [`summarize`] renders the
+//! same trace as a few lines a person can read in a terminal — window
+//! counts, how often the controller actually partitioned, total technique
+//! credits granted vs. applied, and how close the solved fractions sat to
+//! the Eq. 4 bandwidth-proportional ideal.
+
+use std::fmt::Write as _;
+
+use dap_core::TechniqueCounts;
+
+use crate::export::TraceMeta;
+use crate::window::WindowTrace;
+
+fn accumulate(into: &mut TechniqueCounts, from: &TechniqueCounts) {
+    into.fwb += from.fwb;
+    into.wb += from.wb;
+    into.ifrm += from.ifrm;
+    into.sfrm += from.sfrm;
+    into.write_through += from.write_through;
+}
+
+fn technique_line(counts: &TechniqueCounts) -> String {
+    format!(
+        "FWB {}  WB {}  IFRM {}  SFRM {}  WT {}  (total {})",
+        counts.fwb,
+        counts.wb,
+        counts.ifrm,
+        counts.sfrm,
+        counts.write_through,
+        counts.total()
+    )
+}
+
+/// Renders a multi-line human summary of `trace`.
+pub fn summarize(meta: &TraceMeta, trace: &WindowTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run {} ({}, W={} cycles)",
+        if meta.label.is_empty() {
+            "<unlabelled>"
+        } else {
+            &meta.label
+        },
+        if meta.arch.is_empty() {
+            "unknown arch"
+        } else {
+            &meta.arch
+        },
+        meta.window_cycles
+    );
+    let retained = trace.records.len() as u64;
+    let _ = writeln!(
+        out,
+        "windows: {} observed ({retained} retained, {} spilled, {} dropped)",
+        trace.windows_observed(),
+        trace.spilled,
+        trace.dropped
+    );
+    if trace.records.is_empty() {
+        out.push_str("no retained windows.\n");
+        return out;
+    }
+
+    let partitioned = trace.records.iter().filter(|r| r.partitioned).count();
+    let _ = writeln!(
+        out,
+        "partitioned windows: {partitioned}/{retained} ({:.1}%)",
+        100.0 * partitioned as f64 / retained as f64
+    );
+
+    let mut granted = TechniqueCounts::default();
+    let mut applied = TechniqueCounts::default();
+    for record in &trace.records {
+        accumulate(&mut granted, &record.granted);
+        accumulate(&mut applied, &record.applied);
+    }
+    let _ = writeln!(out, "credits granted: {}", technique_line(&granted));
+    let _ = writeln!(out, "credits applied: {}", technique_line(&applied));
+    if granted.total() > 0 {
+        let _ = writeln!(
+            out,
+            "credit utilization: {:.1}%",
+            100.0 * applied.total() as f64 / granted.total() as f64
+        );
+    }
+
+    let deviations: Vec<f64> = trace
+        .records
+        .iter()
+        .map(|r| r.fractions.max_deviation())
+        .collect();
+    let mean = deviations.iter().sum::<f64>() / deviations.len() as f64;
+    let max = deviations.iter().copied().fold(0.0, f64::max);
+    let _ = writeln!(out, "|f - ideal| deviation: mean {mean:.4}, max {max:.4}");
+
+    let traffic: u64 = trace
+        .records
+        .iter()
+        .map(|r| u64::from(r.stats.cache_accesses) + u64::from(r.stats.mm_accesses))
+        .sum();
+    let _ = writeln!(
+        out,
+        "traffic: {traffic} accesses over {retained} retained windows ({:.2}/window)",
+        traffic as f64 / retained as f64
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_core::telemetry::sectored_fractions;
+    use dap_core::{Ratio, SectoredPlan, WindowSnapshot, WindowStats};
+
+    #[test]
+    fn summary_reports_counts_and_deviation() {
+        let stats = WindowStats {
+            cache_accesses: 40,
+            mm_accesses: 2,
+            ..Default::default()
+        };
+        let records = vec![WindowSnapshot {
+            window_index: 0,
+            end_cycle: 64,
+            stats,
+            partitioned: true,
+            granted: TechniqueCounts {
+                fwb: 5,
+                wb: 2,
+                ifrm: 1,
+                sfrm: 0,
+                write_through: 0,
+            },
+            applied: TechniqueCounts {
+                fwb: 4,
+                wb: 2,
+                ifrm: 0,
+                sfrm: 0,
+                write_through: 0,
+            },
+            fractions: sectored_fractions(&stats, &SectoredPlan::default(), Ratio::new(11, 4)),
+        }];
+        let meta = TraceMeta {
+            label: "dap/mix03".to_string(),
+            arch: "sectored".to_string(),
+            window_cycles: 64,
+        };
+        let trace = WindowTrace {
+            records,
+            spilled: 0,
+            dropped: 0,
+        };
+        let text = summarize(&meta, &trace);
+        assert!(text.contains("dap/mix03"), "{text}");
+        assert!(text.contains("partitioned windows: 1/1"), "{text}");
+        assert!(text.contains("FWB 5"), "{text}");
+        assert!(text.contains("credit utilization: 75.0%"), "{text}");
+        assert!(text.contains("|f - ideal|"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_without_panicking() {
+        let text = summarize(&TraceMeta::default(), &WindowTrace::default());
+        assert!(text.contains("no retained windows"), "{text}");
+    }
+}

@@ -18,12 +18,19 @@ use mem_sim::trace::{OpKind, TraceOp, TraceSource};
 const MAGIC: &[u8; 8] = b"DAPTRACE";
 const RECORD_BYTES: usize = 4 + 1 + 8 + 8;
 
-/// Records `n` operations from `source` into the file at `path`.
+/// Records `n` operations from `source` into the file at `path`,
+/// creating any missing parent directories first.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from creating or writing the file.
 pub fn record(source: &mut dyn TraceSource, n: u64, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     for _ in 0..n {
@@ -119,6 +126,17 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("dap_tracefile_{name}_{}", std::process::id()));
         p
+    }
+
+    #[test]
+    fn record_creates_missing_parent_directories() {
+        let dir = tmp("nested_dirs");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("a/b/trace.dap");
+        let mut gen = CloneTrace::new(spec("mcf").unwrap(), 0x1000_0000, 0);
+        record(&mut gen, 5, &path).unwrap();
+        assert_eq!(TraceFile::open(&path).unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
