@@ -20,4 +20,12 @@ cargo test -q --offline
 echo "== cargo build --offline --features telemetry-off"
 cargo build --offline --features telemetry-off
 
+# Fault-injection smoke: a tiny grid with one injected panic cell and a
+# permanent channel-outage schedule must complete with exactly one
+# CellError and bit-identical sibling cells (release: the grid is slow
+# under debug assertions, and the release build already exists).
+echo "== fault-injection smoke"
+cargo test --release --offline -q -p experiments --test fault_tolerance \
+    injected_panic_isolates_to_one_cell
+
 echo "ci: all checks passed"

@@ -9,11 +9,13 @@ use std::sync::Arc;
 
 use crate::alloy::AlloyDapSolver;
 use crate::credits::{CreditBank, CreditCounter};
+use crate::degrade::EffectiveBandwidth;
 use crate::edram::EdramDapSolver;
 use crate::sectored::SectoredDapSolver;
 use crate::telemetry::{
-    alloy_fractions, edram_fractions, sectored_fractions, SinkSlot, SourceFractions,
-    TechniqueCounts, TelemetrySink, WindowSnapshot,
+    alloy_fractions, alloy_fractions_weighted, edram_fractions, edram_fractions_weighted,
+    sectored_fractions, sectored_fractions_weighted, SinkSlot, SourceFractions, TechniqueCounts,
+    TelemetrySink, WindowSnapshot,
 };
 use crate::window::{WindowBudget, WindowStats};
 
@@ -161,6 +163,8 @@ pub struct DecisionStats {
     pub windows_partitioned: u64,
     /// Total windows observed.
     pub windows_total: u64,
+    /// Measured-bandwidth changes that re-derived the window budget.
+    pub bandwidth_resolves: u64,
 }
 
 impl DecisionStats {
@@ -203,6 +207,9 @@ pub struct DapController {
     /// Decision totals at the previous window boundary, for computing the
     /// per-window applied counts handed to the telemetry sink.
     decisions_at_last_boundary: DecisionStats,
+    /// The measured bandwidth the budget was last derived from; `None`
+    /// means the nominal config rates are in effect.
+    effective: Option<EffectiveBandwidth>,
 }
 
 impl DapController {
@@ -221,7 +228,43 @@ impl DapController {
             sink: SinkSlot::new(),
             window_index: 0,
             decisions_at_last_boundary: DecisionStats::default(),
+            effective: None,
         }
+    }
+
+    /// Installs (or clears, with `None`) a measured-bandwidth input.
+    ///
+    /// When the resulting budget differs from the one in effect, the
+    /// window budget — including `K = B_MS$ / B_MM` — is re-derived so
+    /// every subsequent window boundary solves Eq. 4 against *delivered*
+    /// rather than nominal bandwidth, and the credit bank is rebuilt
+    /// around the new `K`. Rebuilding empties every counter: a source
+    /// that just went dark *drains* its outstanding credits instead of
+    /// letting the datapath keep steering traffic at a dead device. A
+    /// call that does not change the budget (same measurement, or a
+    /// change too small to move the integer budgets) is free.
+    pub fn set_effective_bandwidth(&mut self, effective: Option<EffectiveBandwidth>) {
+        let budget = match &effective {
+            Some(e) => e.budget(&self.config),
+            None => self.config.budget(),
+        };
+        self.effective = effective;
+        if budget != self.budget {
+            self.decisions.bandwidth_resolves += 1;
+            self.credits = CreditBank::new(budget.k);
+            self.write_through.clear();
+            self.budget = budget;
+        }
+    }
+
+    /// The measured-bandwidth input currently in effect, if any.
+    pub fn effective_bandwidth(&self) -> Option<&EffectiveBandwidth> {
+        self.effective.as_ref()
+    }
+
+    /// How many times a measured-bandwidth change re-derived the budget.
+    pub fn bandwidth_resolves(&self) -> u64 {
+        self.decisions.bandwidth_resolves
     }
 
     /// Attaches a telemetry sink; every subsequent window boundary emits a
@@ -287,9 +330,26 @@ impl DapController {
     /// Advances time; at window boundaries, solves and reloads credits.
     /// Call with a monotonically non-decreasing cycle count.
     pub fn tick(&mut self, now_cycle: u64) {
+        let w = u64::from(self.config.window_cycles);
+        // A caller stalled on a faulted device can next touch the
+        // controller astronomically late (an access deferred toward the
+        // fault horizon). The windows in between are empty, and one
+        // empty end_window() already applies the full idle transition
+        // (credits cleared, idle plan recorded), so beyond a threshold
+        // no real run ever crosses, the repeats are folded into the
+        // window counter instead of being stepped one by one.
+        const IDLE_FOLD_WINDOWS: u64 = 1 << 20;
+        if now_cycle >= self.next_boundary {
+            let pending = (now_cycle - self.next_boundary) / w + 1;
+            if pending > IDLE_FOLD_WINDOWS {
+                self.end_window(); // the window holding the observed stats
+                self.decisions.windows_total += pending - 2;
+                self.next_boundary += (pending - 1) * w;
+            }
+        }
         while now_cycle >= self.next_boundary {
             self.end_window();
-            self.next_boundary += u64::from(self.config.window_cycles);
+            self.next_boundary += w;
         }
     }
 
@@ -330,7 +390,12 @@ impl DapController {
                         sfrm: plan.n_sfrm,
                         write_through: 0,
                     };
-                    fractions = Some(sectored_fractions(stats, &plan, self.budget.k));
+                    fractions = Some(match &self.effective {
+                        Some(e) => {
+                            sectored_fractions_weighted(stats, &plan, e.cache_gbps, e.mm_gbps)
+                        }
+                        None => sectored_fractions(stats, &plan, self.budget.k),
+                    });
                 }
             }
             CacheArchitecture::Alloy => {
@@ -353,7 +418,10 @@ impl DapController {
                         write_through: plan.n_write_through,
                         ..TechniqueCounts::default()
                     };
-                    fractions = Some(alloy_fractions(stats, &plan, self.budget.k));
+                    fractions = Some(match &self.effective {
+                        Some(e) => alloy_fractions_weighted(stats, &plan, e.cache_gbps, e.mm_gbps),
+                        None => alloy_fractions(stats, &plan, self.budget.k),
+                    });
                 }
             }
             CacheArchitecture::SplitChannel => {
@@ -375,7 +443,13 @@ impl DapController {
                         sfrm: 0,
                         write_through: 0,
                     };
-                    fractions = Some(edram_fractions(stats, &plan, self.budget.k));
+                    fractions = Some(match &self.effective {
+                        Some(e) => {
+                            let dir = e.split_channel_gbps.unwrap_or(e.cache_gbps);
+                            edram_fractions_weighted(stats, &plan, dir, dir, e.mm_gbps)
+                        }
+                        None => edram_fractions(stats, &plan, self.budget.k),
+                    });
                 }
             }
         }
@@ -556,6 +630,69 @@ mod tests {
         dap.end_window();
         // Read channel pressure (20 > 9) should produce IFRM credits.
         assert!(dap.credits_remaining(Technique::InformedForcedReadMiss) > 0);
+    }
+
+    #[test]
+    fn degraded_bandwidth_rebuilds_budget_and_drains_credits() {
+        let config = DapConfig::hbm_ddr4();
+        let mut dap = DapController::new(config);
+        dap.end_window_with(&pressured_stats());
+        assert!(dap.credits_remaining(Technique::FillWriteBypass) > 0);
+        // Cache throttled to half rate: budget shrinks, K halves, and the
+        // rebuilt credit bank starts empty.
+        dap.set_effective_bandwidth(Some(EffectiveBandwidth::scaled(&config, 0.5, 1.0)));
+        assert_eq!(dap.bandwidth_resolves(), 1);
+        assert_eq!(dap.budget().cache_budget, 9);
+        for t in Technique::ALL {
+            assert_eq!(dap.credits_remaining(t), 0, "{t:?} must be drained");
+        }
+        // Restoring nominal bandwidth re-derives the original budget.
+        dap.set_effective_bandwidth(None);
+        assert_eq!(dap.bandwidth_resolves(), 2);
+        assert_eq!(*dap.budget(), config.budget());
+    }
+
+    #[test]
+    fn unchanged_measurement_does_not_count_as_resolve() {
+        let config = DapConfig::hbm_ddr4();
+        let mut dap = DapController::new(config);
+        dap.set_effective_bandwidth(Some(EffectiveBandwidth::nominal(&config)));
+        assert_eq!(
+            dap.bandwidth_resolves(),
+            0,
+            "nominal rates leave the budget alone"
+        );
+    }
+
+    #[test]
+    fn dark_mm_grants_nothing_mm_bound() {
+        let config = DapConfig::hbm_ddr4();
+        let mut dap = DapController::new(config);
+        dap.set_effective_bandwidth(Some(EffectiveBandwidth::scaled(&config, 1.0, 0.0)));
+        dap.end_window_with(&pressured_stats());
+        // With main memory dark there is no headroom to move anything to
+        // it: WB / IFRM / SFRM must all stay at zero.
+        assert_eq!(dap.credits_remaining(Technique::WriteBypass), 0);
+        assert_eq!(dap.credits_remaining(Technique::InformedForcedReadMiss), 0);
+        assert_eq!(
+            dap.credits_remaining(Technique::SpeculativeForcedReadMiss),
+            0
+        );
+    }
+
+    #[test]
+    fn dark_cache_steers_everything_to_mm() {
+        let config = DapConfig::hbm_ddr4();
+        let mut dap = DapController::new(config);
+        dap.set_effective_bandwidth(Some(EffectiveBandwidth::scaled(&config, 0.0, 1.0)));
+        dap.end_window_with(&pressured_stats());
+        // A dark cache makes every fill droppable and every write/clean
+        // hit a candidate to move, bounded by mm headroom.
+        assert!(dap.credits_remaining(Technique::FillWriteBypass) > 0);
+        assert!(
+            dap.credits_remaining(Technique::WriteBypass) > 0
+                || dap.credits_remaining(Technique::InformedForcedReadMiss) > 0
+        );
     }
 
     #[test]

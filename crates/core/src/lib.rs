@@ -60,6 +60,7 @@ pub mod alloy;
 pub mod bandwidth;
 pub mod controller;
 pub mod credits;
+pub mod degrade;
 pub mod edram;
 pub mod ratio;
 pub mod sectored;
@@ -72,6 +73,7 @@ pub use bandwidth::{
 };
 pub use controller::{CacheArchitecture, DapConfig, DapController, DecisionStats, Technique};
 pub use credits::{CreditBank, CreditCounter, ScaledCreditCounter};
+pub use degrade::{degraded_k, EffectiveBandwidth};
 pub use edram::{EdramDapSolver, EdramPlan};
 pub use ratio::Ratio;
 pub use sectored::{SectoredDapSolver, SectoredPlan};

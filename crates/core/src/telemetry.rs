@@ -149,21 +149,70 @@ impl fmt::Debug for SinkSlot {
     }
 }
 
-fn two_source(cache_after: f64, mm_after: f64, k: Ratio) -> SourceFractions {
-    let num = f64::from(k.numerator());
-    let den = f64::from(k.denominator());
-    let ideal = [num / (num + den), den / (num + den), 0.0];
-    let total = cache_after + mm_after;
-    let solved = if total > 0.0 {
-        [cache_after / total, mm_after / total, 0.0]
+/// Builds a [`SourceFractions`] from post-plan access counts and raw
+/// per-source bandwidth weights. The Eq. 4 ideal is the normalized weight
+/// vector, so a dark source (weight zero) gets an ideal of *exactly*
+/// zero — something the rational `K` encoding cannot express. If every
+/// weight is zero (all sources dark) the ideal degenerates to uniform.
+fn weighted(
+    sources: u8,
+    after: [f64; MAX_SOURCES],
+    weights: [f64; MAX_SOURCES],
+) -> SourceFractions {
+    let n = usize::from(sources);
+    let mut ideal = [0.0; MAX_SOURCES];
+    let weight_sum: f64 = weights[..n].iter().map(|w| w.max(0.0)).sum();
+    if weight_sum > 0.0 {
+        for i in 0..n {
+            ideal[i] = weights[i].max(0.0) / weight_sum;
+        }
     } else {
-        ideal
-    };
+        for slot in ideal.iter_mut().take(n) {
+            *slot = 1.0 / n as f64;
+        }
+    }
+    let total: f64 = after[..n].iter().sum();
+    let mut solved = ideal;
+    if total > 0.0 {
+        for i in 0..n {
+            solved[i] = after[i] / total;
+        }
+    }
     SourceFractions {
-        sources: 2,
+        sources,
         solved,
         ideal,
     }
+}
+
+fn two_source(cache_after: f64, mm_after: f64, k: Ratio) -> SourceFractions {
+    two_source_weighted(
+        cache_after,
+        mm_after,
+        f64::from(k.numerator()),
+        f64::from(k.denominator()),
+    )
+}
+
+fn two_source_weighted(
+    cache_after: f64,
+    mm_after: f64,
+    cache_weight: f64,
+    mm_weight: f64,
+) -> SourceFractions {
+    weighted(
+        2,
+        [cache_after, mm_after, 0.0],
+        [cache_weight, mm_weight, 0.0],
+    )
+}
+
+fn sectored_after(stats: &WindowStats, plan: &SectoredPlan) -> (f64, f64) {
+    let moved_to_mm = f64::from(plan.n_wb() + plan.n_ifrm() + plan.n_sfrm);
+    let removed = f64::from(plan.n_fwb) + moved_to_mm;
+    let cache_after = (f64::from(stats.cache_accesses) - removed).max(0.0);
+    let mm_after = f64::from(stats.mm_accesses) + moved_to_mm;
+    (cache_after, mm_after)
 }
 
 /// Post-plan fractions for the sectored (single-bus) architecture: the
@@ -171,22 +220,56 @@ fn two_source(cache_after: f64, mm_after: f64, k: Ratio) -> SourceFractions {
 /// and adds the WB/IFRM/SFRM share to main memory (a bypassed fill
 /// vanishes — its read miss already paid the main-memory access).
 pub fn sectored_fractions(stats: &WindowStats, plan: &SectoredPlan, k: Ratio) -> SourceFractions {
-    let moved_to_mm = f64::from(plan.n_wb() + plan.n_ifrm() + plan.n_sfrm);
-    let removed = f64::from(plan.n_fwb) + moved_to_mm;
-    let cache_after = (f64::from(stats.cache_accesses) - removed).max(0.0);
-    let mm_after = f64::from(stats.mm_accesses) + moved_to_mm;
+    let (cache_after, mm_after) = sectored_after(stats, plan);
     two_source(cache_after, mm_after, k)
+}
+
+/// [`sectored_fractions`] against *measured* per-source bandwidths
+/// (GB/s or any common unit): the ideal is the normalized weight vector,
+/// so a dark source's ideal is exactly zero.
+pub fn sectored_fractions_weighted(
+    stats: &WindowStats,
+    plan: &SectoredPlan,
+    cache_weight: f64,
+    mm_weight: f64,
+) -> SourceFractions {
+    let (cache_after, mm_after) = sectored_after(stats, plan);
+    two_source_weighted(cache_after, mm_after, cache_weight, mm_weight)
+}
+
+fn alloy_after(stats: &WindowStats, plan: &AlloyPlan) -> (f64, f64) {
+    let ifrm = f64::from(plan.n_ifrm);
+    let wt = f64::from(plan.n_write_through);
+    let cache_after = (f64::from(stats.cache_accesses) - ifrm).max(0.0);
+    let mm_after = f64::from(stats.mm_accesses) + ifrm + wt;
+    (cache_after, mm_after)
 }
 
 /// Post-plan fractions for the Alloy architecture: IFRM moves reads to
 /// main memory; write-through keeps the cache write and mirrors it to
 /// main memory.
 pub fn alloy_fractions(stats: &WindowStats, plan: &AlloyPlan, k: Ratio) -> SourceFractions {
-    let ifrm = f64::from(plan.n_ifrm);
-    let wt = f64::from(plan.n_write_through);
-    let cache_after = (f64::from(stats.cache_accesses) - ifrm).max(0.0);
-    let mm_after = f64::from(stats.mm_accesses) + ifrm + wt;
+    let (cache_after, mm_after) = alloy_after(stats, plan);
     two_source(cache_after, mm_after, k)
+}
+
+/// [`alloy_fractions`] against measured per-source bandwidth weights.
+pub fn alloy_fractions_weighted(
+    stats: &WindowStats,
+    plan: &AlloyPlan,
+    cache_weight: f64,
+    mm_weight: f64,
+) -> SourceFractions {
+    let (cache_after, mm_after) = alloy_after(stats, plan);
+    two_source_weighted(cache_after, mm_after, cache_weight, mm_weight)
+}
+
+fn edram_after(stats: &WindowStats, plan: &EdramPlan) -> [f64; MAX_SOURCES] {
+    let read_after = (f64::from(stats.cache_read_accesses) - f64::from(plan.n_ifrm)).max(0.0);
+    let write_after =
+        (f64::from(stats.cache_write_accesses) - f64::from(plan.n_fwb + plan.n_wb)).max(0.0);
+    let mm_after = f64::from(stats.mm_accesses) + f64::from(plan.n_wb + plan.n_ifrm);
+    [read_after, write_after, mm_after]
 }
 
 /// Post-plan fractions for the split-channel eDRAM architecture (three
@@ -196,23 +279,24 @@ pub fn alloy_fractions(stats: &WindowStats, plan: &AlloyPlan, k: Ratio) -> Sourc
 pub fn edram_fractions(stats: &WindowStats, plan: &EdramPlan, k: Ratio) -> SourceFractions {
     let num = f64::from(k.numerator());
     let den = f64::from(k.denominator());
-    let sum = 2.0 * num + den;
-    let ideal = [num / sum, num / sum, den / sum];
-    let read_after = (f64::from(stats.cache_read_accesses) - f64::from(plan.n_ifrm)).max(0.0);
-    let write_after =
-        (f64::from(stats.cache_write_accesses) - f64::from(plan.n_fwb + plan.n_wb)).max(0.0);
-    let mm_after = f64::from(stats.mm_accesses) + f64::from(plan.n_wb + plan.n_ifrm);
-    let total = read_after + write_after + mm_after;
-    let solved = if total > 0.0 {
-        [read_after / total, write_after / total, mm_after / total]
-    } else {
-        ideal
-    };
-    SourceFractions {
-        sources: 3,
-        solved,
-        ideal,
-    }
+    weighted(3, edram_after(stats, plan), [num, num, den])
+}
+
+/// [`edram_fractions`] against measured per-direction and main-memory
+/// bandwidth weights (three sources: read channels, write channels, main
+/// memory).
+pub fn edram_fractions_weighted(
+    stats: &WindowStats,
+    plan: &EdramPlan,
+    read_weight: f64,
+    write_weight: f64,
+    mm_weight: f64,
+) -> SourceFractions {
+    weighted(
+        3,
+        edram_after(stats, plan),
+        [read_weight, write_weight, mm_weight],
+    )
 }
 
 #[cfg(test)]
@@ -299,6 +383,52 @@ mod tests {
         let before = sectored_fractions(&stats, &idle, k);
         let after = sectored_fractions(&stats, &active, k);
         assert!(after.max_deviation() < before.max_deviation());
+    }
+
+    #[test]
+    fn weighted_ideal_zeroes_a_dark_source() {
+        let stats = WindowStats {
+            cache_accesses: 40,
+            mm_accesses: 2,
+            ..Default::default()
+        };
+        let f = sectored_fractions_weighted(&stats, &SectoredPlan::default(), 0.0, 38.4);
+        assert_eq!(f.ideal[0], 0.0, "dark cache must get ideal exactly 0");
+        assert!((f.ideal[1] - 1.0).abs() < 1e-12);
+        let f = edram_fractions_weighted(&stats, &EdramPlan::default(), 51.2, 51.2, 0.0);
+        assert_eq!(f.ideal[2], 0.0, "dark mm must get ideal exactly 0");
+        assert!((f.ideal.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_matches_k_form_for_nominal_rates() {
+        let stats = WindowStats {
+            cache_accesses: 40,
+            mm_accesses: 2,
+            ..Default::default()
+        };
+        let plan = SectoredPlan {
+            n_fwb: 3,
+            wb_scaled: 30,
+            ifrm_scaled: 15,
+            n_sfrm: 1,
+            k_plus_one_num: 15,
+        };
+        let by_k = sectored_fractions(&stats, &plan, Ratio::new(11, 4));
+        let by_w = sectored_fractions_weighted(&stats, &plan, 11.0, 4.0);
+        assert_eq!(by_k, by_w);
+    }
+
+    #[test]
+    fn all_dark_degenerates_to_uniform_ideal() {
+        let f = sectored_fractions_weighted(
+            &WindowStats::default(),
+            &SectoredPlan::default(),
+            0.0,
+            0.0,
+        );
+        assert!((f.ideal[0] - 0.5).abs() < 1e-12);
+        assert!((f.ideal[1] - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -120,6 +120,53 @@ impl WindowBudget {
             k: Ratio::approximate(cache_gbps / mm_gbps),
         }
     }
+
+    /// Derives budgets from *measured* (possibly degraded) GB/s rates.
+    ///
+    /// Unlike [`WindowBudget::from_gbps`] this tolerates zero rates: a
+    /// dark source gets a budget of exactly zero (no `.max(1)` floor) and
+    /// `K` is computed by [`crate::degrade::degraded_k`], so the solvers
+    /// stop assigning that source any traffic instead of panicking.
+    /// Negative rates are treated as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU clock or window length is non-positive, or if
+    /// `efficiency` is outside `(0, 1]` — those are configuration
+    /// constants, not measurements, so they can never legitimately
+    /// degrade.
+    pub fn from_effective_gbps(
+        cache_gbps: f64,
+        split_channel_gbps: Option<f64>,
+        mm_gbps: f64,
+        cpu_ghz: f64,
+        window_cycles: u32,
+        efficiency: f64,
+    ) -> Self {
+        assert!(cpu_ghz > 0.0, "CPU clock must be positive");
+        assert!(window_cycles > 0, "window must be non-empty");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        let accesses_per_window = |gbps: f64| -> u32 {
+            if gbps <= 0.0 {
+                return 0;
+            }
+            let per_cycle = gbps * 1e9 / 64.0 / (cpu_ghz * 1e9);
+            (efficiency * per_cycle * f64::from(window_cycles)).floor() as u32
+        };
+        let cache_budget = accesses_per_window(cache_gbps);
+        Self {
+            window_cycles,
+            cache_budget,
+            cache_channel_budget: split_channel_gbps
+                .map(&accesses_per_window)
+                .unwrap_or(cache_budget),
+            mm_budget: accesses_per_window(mm_gbps),
+            k: crate::degrade::degraded_k(cache_gbps, mm_gbps),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +225,25 @@ mod tests {
     #[should_panic(expected = "efficiency must be in (0, 1]")]
     fn zero_efficiency_rejected() {
         let _ = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.0);
+    }
+
+    #[test]
+    fn effective_budget_matches_nominal_when_undegraded() {
+        let nominal = WindowBudget::from_gbps(102.4, None, 38.4, 4.0, 64, 0.75);
+        let effective = WindowBudget::from_effective_gbps(102.4, None, 38.4, 4.0, 64, 0.75);
+        assert_eq!(nominal, effective);
+    }
+
+    #[test]
+    fn effective_budget_allows_dark_sources() {
+        let b = WindowBudget::from_effective_gbps(0.0, None, 38.4, 4.0, 64, 0.75);
+        assert_eq!(b.cache_budget, 0);
+        assert_eq!(b.cache_channel_budget, 0);
+        assert_eq!(b.mm_budget, 7);
+        assert_eq!(b.k.numerator(), 0);
+        let b = WindowBudget::from_effective_gbps(102.4, None, -1.0, 4.0, 64, 0.75);
+        assert_eq!(b.mm_budget, 0);
+        assert!(b.k.numerator() > b.k.denominator() * 100);
     }
 
     #[test]

@@ -272,3 +272,99 @@ fn controller_never_overspends() {
         assert!(applied[3] <= plan.n_sfrm.min(63));
     }
 }
+
+/// Degraded-bandwidth fractions: for any measured per-source bandwidth
+/// (including a fully dark source) and any window the solver can see,
+/// the solved and ideal fractions each sum to exactly 1.
+#[test]
+fn degraded_fractions_sum_to_one() {
+    use dap_core::telemetry::sectored_fractions_weighted;
+    use dap_core::EffectiveBandwidth;
+    let mut rng = SplitMix64::new(0xDA9_000A);
+    let config = DapConfig::hbm_ddr4();
+    for _ in 0..CASES {
+        // Scales in [0, 1]; each source goes fully dark in ~1/8 of cases.
+        let cache_scale = if rng.chance(0.125) {
+            0.0
+        } else {
+            rng.range_f64(0.01, 1.0)
+        };
+        let mm_scale = if rng.chance(0.125) {
+            0.0
+        } else {
+            rng.range_f64(0.01, 1.0)
+        };
+        let effective = EffectiveBandwidth::scaled(&config, cache_scale, mm_scale);
+        let budget = effective.budget(&config);
+        let stats = WindowStats {
+            cache_accesses: rng.below(2000) as u32,
+            mm_accesses: rng.below(500) as u32,
+            read_misses: rng.below(300) as u32,
+            writes: rng.below(300) as u32,
+            clean_read_hits: rng.below(300) as u32,
+            ..Default::default()
+        };
+        let plan = SectoredDapSolver::new(budget).solve(&stats);
+        let f = sectored_fractions_weighted(&stats, &plan, effective.cache_gbps, effective.mm_gbps);
+        let n = usize::from(f.sources);
+        let solved_sum: f64 = f.solved[..n].iter().sum();
+        let ideal_sum: f64 = f.ideal[..n].iter().sum();
+        assert!(
+            (solved_sum - 1.0).abs() < 1e-9,
+            "scales ({cache_scale}, {mm_scale}): sum solved = {solved_sum}"
+        );
+        assert!(
+            (ideal_sum - 1.0).abs() < 1e-9,
+            "scales ({cache_scale}, {mm_scale}): sum ideal = {ideal_sum}"
+        );
+        for v in f.solved[..n].iter().chain(&f.ideal[..n]) {
+            assert!((0.0..=1.0).contains(v), "fraction out of range: {v}");
+        }
+    }
+}
+
+/// A fully-outaged source never gets a nonzero ideal fraction: Eq. 4
+/// re-solved against measured bandwidth targets zero accesses at a dark
+/// source, and its window budget is zero so no credits can route there.
+#[test]
+fn dark_source_gets_zero_ideal_fraction_and_budget() {
+    use dap_core::telemetry::sectored_fractions_weighted;
+    use dap_core::EffectiveBandwidth;
+    let mut rng = SplitMix64::new(0xDA9_000B);
+    let config = DapConfig::hbm_ddr4();
+    for _ in 0..CASES {
+        let live_scale = rng.range_f64(0.01, 1.0);
+        let cache_dark = rng.chance(0.5);
+        let (cache_scale, mm_scale) = if cache_dark {
+            (0.0, live_scale)
+        } else {
+            (live_scale, 0.0)
+        };
+        let effective = EffectiveBandwidth::scaled(&config, cache_scale, mm_scale);
+        assert_eq!(effective.cache_dark(), cache_dark);
+        assert_eq!(effective.mm_dark(), !cache_dark);
+        let budget = effective.budget(&config);
+        if cache_dark {
+            assert_eq!(budget.cache_budget, 0, "dark cache gets no budget");
+        } else {
+            assert_eq!(budget.mm_budget, 0, "dark main memory gets no budget");
+        }
+        let stats = WindowStats {
+            cache_accesses: rng.below(2000) as u32,
+            mm_accesses: rng.below(500) as u32,
+            read_misses: rng.below(300) as u32,
+            writes: rng.below(300) as u32,
+            clean_read_hits: rng.below(300) as u32,
+            ..Default::default()
+        };
+        let plan = SectoredDapSolver::new(budget).solve(&stats);
+        let f = sectored_fractions_weighted(&stats, &plan, effective.cache_gbps, effective.mm_gbps);
+        let dark_index = usize::from(!cache_dark);
+        assert_eq!(
+            f.ideal[dark_index], 0.0,
+            "dark source must have an ideal fraction of exactly zero"
+        );
+        let live_index = usize::from(cache_dark);
+        assert!((f.ideal[live_index] - 1.0).abs() < 1e-12);
+    }
+}

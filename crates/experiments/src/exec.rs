@@ -1,4 +1,4 @@
-//! Deterministic parallel execution of experiment grids.
+//! Deterministic, crash-tolerant parallel execution of experiment grids.
 //!
 //! The paper's evaluation is a grid of mix × policy × architecture
 //! simulations, each independent and deterministic. An [`ExperimentPlan`]
@@ -10,18 +10,145 @@
 //! the same plan on one thread (`crates/experiments/tests/determinism.rs`
 //! proves this).
 //!
+//! Every unit runs under [`catch_unwind`], so one panicking cell cannot
+//! take down its siblings: [`ParallelExecutor::try_run`] returns a
+//! [`CellError`] (panic payload + cell identity) in that cell's slot and
+//! every other result untouched, and [`ParallelExecutor::run_cells`]
+//! additionally retries failed cells a bounded number of times.
+//! Long grids can also checkpoint finished cells and resume after a crash
+//! — see [`run_variant_grid_recovered`] and
+//! [`CheckpointManifest`](crate::checkpoint::CheckpointManifest).
+//!
 //! Thread count comes from [`set_thread_override`] (the `--threads` CLI
 //! flag) when set, else `DAP_THREADS`, else all available cores.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use mem_sim::SystemConfig;
 use workloads::Mix;
 
+use crate::checkpoint::{cell_key, CheckpointManifest};
 use crate::runner::{run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
 
 type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Locks `mutex`, recovering the guard if another thread panicked while
+/// holding it. Every value the executor guards stays consistent across a
+/// panic (results are computed *before* the slot lock is taken, and the
+/// alone-IPC cache only inserts finished entries), so the poison flag
+/// carries no information here — a panicking cell must not wedge its
+/// siblings.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A grid cell that panicked (through all of its permitted attempts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The cell's index in plan/cell order.
+    pub index: usize,
+    /// Human-readable cell identity (e.g. `"mix03/Dap"`).
+    pub label: String,
+    /// The cell's configuration fingerprint / checkpoint key, when known.
+    pub fingerprint: Option<String>,
+    /// The panic payload, when it was a string (panic messages are).
+    pub message: String,
+    /// How many times the cell was attempted.
+    pub attempts: u32,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} ({}) panicked after {} attempt{}: {}",
+            self.index,
+            self.label,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )?;
+        if let Some(fp) = &self.fingerprint {
+            write!(f, " [{fp}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CellError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Label of a cell the next matching [`run_cells`] /
+/// [`run_variant_grid_recovered`] execution should panic in (fault
+/// drills; consumed by the first attempt of the first matching cell).
+///
+/// [`run_cells`]: ParallelExecutor::run_cells
+static PANIC_INJECTION: Mutex<Option<String>> = Mutex::new(None);
+
+/// Arms a one-shot panic in the next cell whose label equals `label`
+/// (exactly). Used by the CI fault-injection smoke run and the harness
+/// tests to prove a crashing cell is isolated; pass `None`-like empty
+/// string via [`clear_cell_panic`] instead to disarm.
+pub fn inject_cell_panic(label: &str) {
+    *lock_unpoisoned(&PANIC_INJECTION) = Some(label.to_string());
+}
+
+/// Disarms any pending [`inject_cell_panic`].
+pub fn clear_cell_panic() {
+    *lock_unpoisoned(&PANIC_INJECTION) = None;
+}
+
+/// Panics if a panic injection is armed for `label` (consuming it).
+fn fire_injected_panic(label: &str) {
+    let mut armed = lock_unpoisoned(&PANIC_INJECTION);
+    if armed.as_deref() == Some(label) {
+        *armed = None;
+        drop(armed);
+        panic!("injected panic in cell {label}");
+    }
+}
+
+/// A named, re-runnable grid cell for [`ParallelExecutor::run_cells`].
+pub struct CellSpec<'a, T> {
+    label: String,
+    fingerprint: Option<String>,
+    run: Box<dyn Fn() -> T + Send + Sync + 'a>,
+}
+
+impl<'a, T> CellSpec<'a, T> {
+    /// A cell running `run`, identified as `label` in errors.
+    pub fn new(label: impl Into<String>, run: impl Fn() -> T + Send + Sync + 'a) -> Self {
+        Self {
+            label: label.into(),
+            fingerprint: None,
+            run: Box::new(run),
+        }
+    }
+
+    /// Attaches a configuration fingerprint carried into [`CellError`].
+    #[must_use]
+    pub fn with_fingerprint(mut self, fingerprint: impl Into<String>) -> Self {
+        self.fingerprint = Some(fingerprint.into());
+        self
+    }
+
+    /// The cell's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
 
 /// An ordered list of independent simulation units.
 #[derive(Default)]
@@ -65,6 +192,41 @@ pub fn set_thread_override(threads: usize) {
     THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
+/// Runs work items over a fixed worker pool, depositing each result in
+/// the slot matching the item's index so output order never depends on
+/// scheduling. `run_one` must be safe to call concurrently.
+fn run_indexed<T: Send>(threads: usize, n: usize, run_one: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if threads == 1 || n <= 1 {
+        return (0..n).map(run_one).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = std::iter::repeat_with(|| Mutex::new(None))
+        .take(n)
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Compute before taking the slot lock: a panicking unit
+                // (caught by the caller's closure) never holds it.
+                let result = run_one(i);
+                *lock_unpoisoned(&slots[i]) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every unit ran")
+        })
+        .collect()
+}
+
 /// Runs an [`ExperimentPlan`] across a fixed number of worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelExecutor {
@@ -106,39 +268,75 @@ impl ParallelExecutor {
     /// Runs every unit and returns the results in plan order.
     ///
     /// Workers claim units from a shared atomic cursor (dynamic load
-    /// balancing: units vary widely in cost) and deposit each result in
-    /// the slot matching the unit's plan index, so the output order never
-    /// depends on scheduling.
+    /// balancing: units vary widely in cost). A panicking unit does not
+    /// abort the grid — every other unit still runs and this method
+    /// panics with the first [`CellError`] only after the grid drains
+    /// (use [`Self::try_run`] to receive the errors instead).
     pub fn run<'a, T: Send>(&self, plan: ExperimentPlan<'a, T>) -> Vec<T> {
-        let n = plan.tasks.len();
-        if self.threads == 1 || n <= 1 {
-            return plan.tasks.into_iter().map(|task| task()).collect();
-        }
+        self.try_run(plan)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Runs every unit, isolating panics: each cell's slot holds either
+    /// its result or the [`CellError`] describing its panic. Sibling
+    /// cells and shared state (the alone-IPC cache) are unaffected by a
+    /// crashing cell.
+    pub fn try_run<'a, T: Send>(&self, plan: ExperimentPlan<'a, T>) -> Vec<Result<T, CellError>> {
         let queue: Vec<Mutex<Option<Task<'a, T>>>> = plan
             .tasks
             .into_iter()
             .map(|task| Mutex::new(Some(task)))
             .collect();
-        let slots: Vec<Mutex<Option<T>>> = std::iter::repeat_with(|| Mutex::new(None))
-            .take(n)
-            .collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let task = queue[i].lock().unwrap().take().expect("unit claimed once");
-                    *slots[i].lock().unwrap() = Some(task());
-                });
+        run_indexed(self.threads, queue.len(), |i| {
+            let task = lock_unpoisoned(&queue[i])
+                .take()
+                .expect("unit claimed once");
+            catch_unwind(AssertUnwindSafe(task)).map_err(|payload| CellError {
+                index: i,
+                label: format!("unit {i}"),
+                fingerprint: None,
+                message: panic_message(payload),
+                attempts: 1,
+            })
+        })
+    }
+
+    /// Runs named, re-runnable cells with bounded retry: a cell that
+    /// panics is re-attempted up to `retries` more times (transient
+    /// faults — e.g. an injected fault drill — clear on retry; a
+    /// deterministic panic fails every attempt) and reports a
+    /// [`CellError`] carrying its label, fingerprint, and attempt count
+    /// if every attempt panicked.
+    pub fn run_cells<'a, T: Send>(
+        &self,
+        cells: Vec<CellSpec<'a, T>>,
+        retries: u32,
+    ) -> Vec<Result<T, CellError>> {
+        let cells = &cells;
+        run_indexed(self.threads, cells.len(), move |i| {
+            let cell = &cells[i];
+            let attempts = retries.saturating_add(1);
+            let mut message = String::new();
+            for _ in 0..attempts {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fire_injected_panic(&cell.label);
+                    (cell.run)()
+                }));
+                match outcome {
+                    Ok(value) => return Ok(value),
+                    Err(payload) => message = panic_message(payload),
+                }
             }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("every unit ran"))
-            .collect()
+            Err(CellError {
+                index: i,
+                label: cell.label.clone(),
+                fingerprint: cell.fingerprint.clone(),
+                message,
+                attempts,
+            })
+        })
     }
 }
 
@@ -162,6 +360,100 @@ pub fn run_variant_grid(
         .iter()
         .map(|_| (0..variants.len()).map(|_| runs.next().unwrap()).collect())
         .collect()
+}
+
+/// The outcome of a crash-tolerant grid: per-mix rows of per-variant
+/// cells (`None` where the cell kept panicking), the errors themselves,
+/// and how many cells were answered from the checkpoint without
+/// simulating.
+#[derive(Debug)]
+pub struct RecoveredGrid {
+    /// `runs[mix][variant]`; `None` exactly where `errors` has an entry.
+    pub runs: Vec<Vec<Option<WorkloadRun>>>,
+    /// Every cell that panicked through all its attempts, in cell order.
+    pub errors: Vec<CellError>,
+    /// Cells restored from the checkpoint manifest instead of simulated.
+    pub resumed: usize,
+}
+
+impl RecoveredGrid {
+    /// Whether every cell produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// The crash-tolerant sibling of [`run_variant_grid`]: every cell runs
+/// under `catch_unwind` with `retries` extra attempts, finished cells are
+/// recorded into `checkpoint` (when given) so an interrupted grid resumes
+/// instead of recomputing — keyed by
+/// [`cell_key`](crate::checkpoint::cell_key), which covers the full
+/// system configuration (fault schedule included), policy, mix, and
+/// instruction budget — and cells that keep panicking surface as
+/// [`CellError`]s instead of aborting the grid.
+pub fn run_variant_grid_recovered(
+    variants: &[(&SystemConfig, PolicyKind)],
+    mixes: &[Mix],
+    instructions: u64,
+    alone: &AloneIpcCache,
+    checkpoint: Option<&CheckpointManifest>,
+    retries: u32,
+) -> RecoveredGrid {
+    let total = mixes.len() * variants.len();
+    let mut slots: Vec<Option<Result<WorkloadRun, CellError>>> = (0..total).map(|_| None).collect();
+    let mut resumed = 0;
+    let mut cells = Vec::new();
+    let mut cell_slot = Vec::new();
+    for (m, mix) in mixes.iter().enumerate() {
+        for (v, &(config, kind)) in variants.iter().enumerate() {
+            let slot = m * variants.len() + v;
+            let key = cell_key(config, kind, mix, instructions);
+            if let Some(manifest) = checkpoint {
+                if let Some(run) = manifest.lookup(&key) {
+                    slots[slot] = Some(Ok(run));
+                    resumed += 1;
+                    continue;
+                }
+            }
+            let record_key = key.clone();
+            cells.push(
+                CellSpec::new(format!("{}/{kind:?}", mix.name), move || {
+                    let run = run_workload(config, kind, mix, instructions, alone);
+                    if let Some(manifest) = checkpoint {
+                        manifest.record(&record_key, &run);
+                    }
+                    run
+                })
+                .with_fingerprint(key),
+            );
+            cell_slot.push(slot);
+        }
+    }
+    let results = ParallelExecutor::from_env().run_cells(cells, retries);
+    for (slot, result) in cell_slot.into_iter().zip(results) {
+        slots[slot] = Some(result);
+    }
+    let mut errors = Vec::new();
+    let mut runs = Vec::with_capacity(mixes.len());
+    let mut it = slots.into_iter();
+    for _ in mixes {
+        let mut row = Vec::with_capacity(variants.len());
+        for _ in variants {
+            match it.next().unwrap().expect("every slot filled") {
+                Ok(run) => row.push(Some(run)),
+                Err(e) => {
+                    errors.push(e);
+                    row.push(None);
+                }
+            }
+        }
+        runs.push(row);
+    }
+    RecoveredGrid {
+        runs,
+        errors,
+        resumed,
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +512,102 @@ mod tests {
         assert_eq!(ParallelExecutor::from_env().threads(), 3);
         set_thread_override(0); // clear so other tests see the default
         assert!(ParallelExecutor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn panicking_unit_does_not_poison_siblings() {
+        for threads in [1, 4] {
+            let mut plan = ExperimentPlan::new();
+            for i in 0..16u64 {
+                plan.add(move || {
+                    assert_ne!(i, 5, "unit 5 always crashes");
+                    i * 10
+                });
+            }
+            let out = ParallelExecutor::new(threads).try_run(plan);
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 5);
+                    assert_eq!(e.attempts, 1);
+                    assert!(e.message.contains("unit 5 always crashes"), "{e}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 10, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_panics_with_cell_error_after_draining() {
+        let completed = AtomicUsize::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut plan = ExperimentPlan::new();
+            plan.add(|| {
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+            plan.add(|| panic!("boom"));
+            plan.add(|| {
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+            ParallelExecutor::new(2).run(plan)
+        }));
+        let message = panic_message(outcome.unwrap_err());
+        assert!(message.contains("boom"), "{message}");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            2,
+            "healthy units finish before the error propagates"
+        );
+    }
+
+    #[test]
+    fn retries_recover_transient_panics() {
+        let failures_left = Mutex::new(2u32);
+        let cells = vec![CellSpec::new("flaky", || {
+            let mut left = lock_unpoisoned(&failures_left);
+            if *left > 0 {
+                *left -= 1;
+                drop(left);
+                panic!("transient");
+            }
+            7u32
+        })];
+        let out = ParallelExecutor::new(1).run_cells(cells, 2);
+        assert_eq!(out[0].as_ref().unwrap(), &7);
+    }
+
+    #[test]
+    fn exhausted_retries_report_attempt_count() {
+        let cells = vec![
+            CellSpec::new("ok", || 1u32),
+            CellSpec::new("doomed", || panic!("always")).with_fingerprint("cfg-beef"),
+        ];
+        let out = ParallelExecutor::new(2).run_cells(cells, 1);
+        assert_eq!(out[0].as_ref().unwrap(), &1);
+        let e = out[1].as_ref().unwrap_err();
+        assert_eq!(e.attempts, 2);
+        assert_eq!(e.label, "doomed");
+        assert_eq!(e.fingerprint.as_deref(), Some("cfg-beef"));
+        assert!(e.to_string().contains("cfg-beef"), "{e}");
+    }
+
+    #[test]
+    fn injected_panic_fires_once_for_matching_label() {
+        clear_cell_panic();
+        inject_cell_panic("target");
+        let cells = vec![
+            CellSpec::new("other", || 0u32),
+            CellSpec::new("target", || 1u32),
+        ];
+        let out = ParallelExecutor::new(1).run_cells(cells, 0);
+        assert_eq!(out[0].as_ref().unwrap(), &0, "non-matching cell untouched");
+        let e = out[1].as_ref().unwrap_err();
+        assert!(e.message.contains("injected panic"), "{e}");
+        // The injection is consumed: re-running the same cells succeeds.
+        let cells = vec![CellSpec::new("target", || 1u32)];
+        let out = ParallelExecutor::new(1).run_cells(cells, 0);
+        assert_eq!(out[0].as_ref().unwrap(), &1);
     }
 }

@@ -17,13 +17,16 @@
 //! | [`fig13_sixteen_cores`] | Fig. 13 — 16-core scaling |
 //! | [`fig14_alloy`] | Fig. 14 — Alloy cache + BEAR vs DAP |
 //! | [`fig15_edram`] | Fig. 15 — eDRAM capacities with DAP |
+//! | [`fig_fault_degradation`] | Extension — delivered bandwidth under injected faults |
 
 mod dap;
+mod fault;
 mod motivation;
 mod rivals;
 mod sweeps;
 
 pub use dap::{fig06_dap_sectored, fig07_decision_mix, fig08_cas_fraction, table1_w_e_sensitivity};
+pub use fault::{delivered_gbps, fig_fault_degradation};
 pub use motivation::{
     fig01_bw_vs_hitrate, fig02_edram_capacity, fig04_bw_sensitivity, fig05_tag_cache,
 };

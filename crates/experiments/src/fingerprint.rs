@@ -9,7 +9,7 @@
 
 use mem_sim::dram::DramConfig;
 use mem_sim::mscache::PlacementGoal;
-use mem_sim::{CacheKind, SystemConfig};
+use mem_sim::{CacheKind, FaultKind, FaultSchedule, FaultTarget, SystemConfig};
 
 /// A canonical, hashable encoding of a [`SystemConfig`].
 ///
@@ -35,7 +35,13 @@ impl ConfigFingerprint {
         e.word(u64::from(config.prefetch_degree));
         e.dram(&config.mm);
         e.cache(&config.cache);
+        e.faults(config.faults.as_ref());
         Self(e.0)
+    }
+
+    /// The canonical word sequence (for digesting into checkpoint keys).
+    pub fn words(&self) -> &[u64] {
+        &self.0
     }
 }
 
@@ -80,6 +86,44 @@ impl Encoder {
                 self.word(u64::from(r.t_refi));
                 self.word(u64::from(r.t_rfc));
             }
+        }
+    }
+
+    fn faults(&mut self, faults: Option<&FaultSchedule>) {
+        let Some(schedule) = faults else {
+            self.word(0);
+            return;
+        };
+        self.word(1);
+        self.word(schedule.seed());
+        self.word(schedule.events().len() as u64);
+        for event in schedule.events() {
+            self.word(match event.target {
+                FaultTarget::Cache => 0,
+                FaultTarget::MainMemory => 1,
+            });
+            match event.kind {
+                FaultKind::ChannelOutage { channel } => {
+                    self.word(0);
+                    self.word(u64::from(channel));
+                }
+                FaultKind::Throttle { num, den } => {
+                    self.word(1);
+                    self.word(u64::from(num));
+                    self.word(u64::from(den));
+                }
+                FaultKind::RefreshStorm { interval, stall } => {
+                    self.word(2);
+                    self.word(interval);
+                    self.word(stall);
+                }
+                FaultKind::LatencyJitter { max_extra } => {
+                    self.word(3);
+                    self.word(max_extra);
+                }
+            }
+            self.word(event.start);
+            self.word(event.end);
         }
     }
 
@@ -157,21 +201,39 @@ mod tests {
         if let CacheKind::Alloy { bear, .. } = &mut bear.cache {
             *bear = true;
         }
-        let configs = [
-            SystemConfig::sectored_dram_cache(8),
-            SystemConfig::sectored_dram_cache(16),
-            SystemConfig::sectored_dram_cache(8).with_l3_sets(4096),
-            SystemConfig::sectored_dram_cache(8).with_mm(mem_sim::dram::DramConfig::ddr4_3200()),
-            with_refresh,
-            no_tag_cache,
-            SystemConfig::alloy_cache(8),
-            bear,
-            SystemConfig::edram_cache(8, 256),
-            SystemConfig::edram_cache(8, 512),
-            SystemConfig::flat_tier(8, PlacementGoal::MaximizeFastHits),
-            SystemConfig::flat_tier(8, PlacementGoal::BandwidthOptimal),
-            SystemConfig::no_cache(8),
-        ];
+        let configs =
+            [
+                SystemConfig::sectored_dram_cache(8),
+                SystemConfig::sectored_dram_cache(16),
+                SystemConfig::sectored_dram_cache(8).with_l3_sets(4096),
+                SystemConfig::sectored_dram_cache(8)
+                    .with_mm(mem_sim::dram::DramConfig::ddr4_3200()),
+                with_refresh,
+                no_tag_cache,
+                SystemConfig::alloy_cache(8),
+                bear,
+                SystemConfig::edram_cache(8, 256),
+                SystemConfig::edram_cache(8, 512),
+                SystemConfig::flat_tier(8, PlacementGoal::MaximizeFastHits),
+                SystemConfig::flat_tier(8, PlacementGoal::BandwidthOptimal),
+                SystemConfig::no_cache(8),
+                SystemConfig::sectored_dram_cache(8).with_faults(
+                    FaultSchedule::new(7).channel_outage(FaultTarget::Cache, 0, 100, 200),
+                ),
+                SystemConfig::sectored_dram_cache(8).with_faults(
+                    FaultSchedule::new(7).channel_outage(FaultTarget::MainMemory, 0, 100, 200),
+                ),
+                SystemConfig::sectored_dram_cache(8).with_faults(
+                    FaultSchedule::new(8).channel_outage(FaultTarget::Cache, 0, 100, 200),
+                ),
+                SystemConfig::sectored_dram_cache(8).with_faults(FaultSchedule::new(7).throttle(
+                    FaultTarget::Cache,
+                    2,
+                    1,
+                    100,
+                    200,
+                )),
+            ];
         let prints: Vec<ConfigFingerprint> = configs.iter().map(ConfigFingerprint::of).collect();
         for (i, a) in prints.iter().enumerate() {
             for (j, b) in prints.iter().enumerate() {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod checkpoint;
 pub mod exec;
 pub mod extensions;
 pub mod figures;
@@ -31,7 +32,12 @@ pub mod metrics;
 pub mod runner;
 pub mod telemetry;
 
-pub use exec::{run_variant_grid, ExperimentPlan, ParallelExecutor};
+pub use checkpoint::{cell_key, CheckpointManifest, RESUME_ENV};
+pub use exec::{
+    clear_cell_panic, inject_cell_panic, lock_unpoisoned, run_variant_grid,
+    run_variant_grid_recovered, CellError, CellSpec, ExperimentPlan, ParallelExecutor,
+    RecoveredGrid,
+};
 pub use fingerprint::ConfigFingerprint;
 pub use metrics::{geomean, FigureResult, Row};
 pub use runner::{run_mix, run_workload, AloneIpcCache, PolicyKind, WorkloadRun};

@@ -14,6 +14,7 @@ use mem_sim::{
 use policies::{Batman, Sbd, SbdVariant};
 use workloads::{rate_mode, Mix};
 
+use crate::exec::lock_unpoisoned;
 use crate::fingerprint::ConfigFingerprint;
 
 /// Which access-partitioning policy to run.
@@ -23,6 +24,11 @@ pub enum PolicyKind {
     Baseline,
     /// Full DAP (FWB + WB + IFRM + SFRM / write-through).
     Dap,
+    /// Full DAP that re-solves its window budget against measured
+    /// per-source bandwidth when a fault schedule degrades a source
+    /// (static Eq. 4 ratios otherwise — identical to [`Self::Dap`] on a
+    /// healthy system).
+    DapMeasured,
     /// DAP restricted to FWB and WB (the Fig. 8 ablation).
     DapFwbWbOnly,
     /// Thread-aware DAP: IFRM prefers latency-insensitive threads
@@ -173,6 +179,9 @@ pub fn build_policy_with(
     Ok(match kind {
         PolicyKind::Baseline => Box::new(NoPartitioning),
         PolicyKind::Dap => Box::new(DapPolicy::new(dap_config_for(config, window, efficiency)?)),
+        PolicyKind::DapMeasured => Box::new(DapPolicy::with_measured_bandwidth(dap_config_for(
+            config, window, efficiency,
+        )?)),
         PolicyKind::DapFwbWbOnly => Box::new(FwbWbOnly(DapPolicy::new(dap_config_for(
             config, window, efficiency,
         )?))),
@@ -263,7 +272,7 @@ impl AloneIpcCache {
 
     /// Number of distinct alone runs cached.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        lock_unpoisoned(&self.map).len()
     }
 
     /// Whether no alone run has been cached yet.
@@ -279,7 +288,7 @@ impl AloneIpcCache {
 
     fn get(&self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {
         let key = (ConfigFingerprint::of(config), bench);
-        if let Some(&v) = self.map.lock().unwrap().get(&key) {
+        if let Some(&v) = lock_unpoisoned(&self.map).get(&key) {
             return v;
         }
         // Simulate outside the lock so one slow alone run never serializes
@@ -289,7 +298,7 @@ impl AloneIpcCache {
         let spec = workloads::spec(bench).expect("known benchmark");
         let mut system = System::new(alone_config, rate_mode(spec, 1));
         let ipc = system.run(instructions).per_core[0].ipc();
-        *self.map.lock().unwrap().entry(key).or_insert(ipc)
+        *lock_unpoisoned(&self.map).entry(key).or_insert(ipc)
     }
 }
 
@@ -362,6 +371,7 @@ mod tests {
         for kind in [
             PolicyKind::Baseline,
             PolicyKind::Dap,
+            PolicyKind::DapMeasured,
             PolicyKind::DapFwbWbOnly,
             PolicyKind::Sbd,
             PolicyKind::SbdWt,

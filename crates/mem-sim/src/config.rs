@@ -100,6 +100,8 @@ pub struct SystemConfig {
     pub mm: DramConfig,
     /// Memory-side cache.
     pub cache: CacheKind,
+    /// Injected fault schedule (`None` for fault-free runs).
+    pub faults: Option<crate::faults::FaultSchedule>,
 }
 
 impl SystemConfig {
@@ -123,6 +125,7 @@ impl SystemConfig {
                 dram: DramConfig::hbm_102(),
                 tag_cache: true,
             },
+            faults: None,
         }
     }
 
@@ -176,6 +179,13 @@ impl SystemConfig {
             cache: CacheKind::None,
             ..Self::sectored_dram_cache(cores)
         }
+    }
+
+    /// Attaches a fault-injection schedule (applied to the DRAM devices
+    /// when the system is built).
+    pub fn with_faults(mut self, faults: crate::faults::FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Replaces the main memory device.

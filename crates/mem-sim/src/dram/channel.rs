@@ -11,6 +11,7 @@
 
 use super::timing::ResolvedTiming;
 use crate::clock::Cycle;
+use crate::faults::ChannelFaults;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
@@ -57,6 +58,9 @@ pub struct Channel {
     /// Cycles the data bus has been reserved (bursts + turnarounds) —
     /// utilization numerator for telemetry.
     busy_cycles: Cycle,
+    /// Injected fault state; `None` (the overwhelmingly common case)
+    /// costs one branch per access.
+    faults: Option<Box<ChannelFaults>>,
 }
 
 impl Channel {
@@ -78,7 +82,13 @@ impl Channel {
             refreshes: 0,
             stats: ChannelStats::default(),
             busy_cycles: 0,
+            faults: None,
         }
+    }
+
+    /// Installs (or clears) this channel's resolved fault state.
+    pub(crate) fn set_faults(&mut self, faults: Option<ChannelFaults>) {
+        self.faults = faults.map(Box::new);
     }
 
     /// Refresh windows charged so far.
@@ -167,13 +177,63 @@ impl Channel {
         self.write_queue.len()
     }
 
+    /// Applies injected faults to an access arriving at `now` with a
+    /// nominal `burst`: storm stalls push the service timeline forward,
+    /// throttles stretch the burst (and CAS, as extra latency), jitter
+    /// adds pure latency. Outages never reach this point — the module
+    /// routes around dark channels — so the service timeline stays
+    /// finite. Returns the adjusted `(now, burst, extra_latency)`.
+    fn apply_faults(&mut self, now: Cycle, burst: Cycle) -> (Cycle, Cycle, Cycle) {
+        let Some(mut f) = self.faults.take() else {
+            return (now, burst, 0);
+        };
+        // Refresh storms behave like extra all-bank refreshes, driven by
+        // the service timeline exactly like the regular refresh loop.
+        while let Some((at, stall)) = f.next_storm_stall(now.max(self.bus_free_at)) {
+            let start = at.max(self.bus_free_at);
+            self.bus_free_at = start + stall;
+            for b in &mut self.banks {
+                b.row_open = false;
+                b.ready_at = b.ready_at.max(start + stall);
+            }
+        }
+        let probe = now.max(self.bus_free_at);
+        let throttled_burst = f.throttled(probe, burst);
+        let cas_extra = f.throttled(probe, self.timing.cas) - self.timing.cas;
+        let jitter = f.jitter_extra(probe);
+        self.faults = Some(f);
+        (now, throttled_burst, cas_extra + jitter)
+    }
+
     fn access(&mut self, bank: u32, row: u64, now: Cycle, burst: Cycle) -> Cycle {
+        let (now, burst, fault_latency) = if self.faults.is_some() {
+            self.apply_faults(now, burst)
+        } else {
+            (now, burst, 0)
+        };
         let t = self.timing;
         // All-bank refresh: whenever the channel's service timeline crosses
         // a tREFI boundary, the whole channel stalls for tRFC and every row
         // buffer closes. The service timeline (not the arrival clock) is
         // what crosses boundaries under saturation.
         if let Some((refi, rfc)) = t.refresh {
+            // A caller stalled on a fully-dark device elsewhere can
+            // arrive with `now` astronomically far past the refresh
+            // ledger. All but the final boundary only close rows and
+            // advance the ledger (tREFI > tRFC, so each stall is long
+            // over before the next boundary), so fold them in O(1) and
+            // let the loop below finish exactly as if stepped.
+            let tline = now.max(self.bus_free_at);
+            if tline > self.next_refresh_at {
+                let pending = (tline - self.next_refresh_at) / refi;
+                if pending > (1 << 16) {
+                    self.refreshes += pending - 1;
+                    self.next_refresh_at += (pending - 1) * refi;
+                    for b in &mut self.banks {
+                        b.row_open = false;
+                    }
+                }
+            }
             while now.max(self.bus_free_at) >= self.next_refresh_at {
                 let start = self.next_refresh_at.max(self.bus_free_at);
                 self.bus_free_at = start + rfc;
@@ -215,7 +275,9 @@ impl Channel {
         let done = data_at + burst;
         self.bus_free_at = done;
         self.busy_cycles += burst;
-        done
+        // Fault-injected CAS stretch and jitter are pure latency: they
+        // delay this access's completion without holding the bus.
+        done + fault_latency
     }
 }
 
@@ -358,6 +420,60 @@ mod tests {
     fn idle_channel_has_no_wait() {
         let c = channel();
         assert_eq!(c.estimated_wait(100), 0);
+    }
+
+    #[test]
+    fn throttle_stretches_burst_and_cas() {
+        use crate::faults::{FaultSchedule, FaultTarget};
+        let mut plain = channel();
+        let mut slow = channel();
+        let s = FaultSchedule::new(0).throttle(FaultTarget::Cache, 2, 1, 0, Cycle::MAX);
+        slow.set_faults(s.channel_faults(FaultTarget::Cache, 0, 1));
+        let mut last_plain = 0;
+        let mut last_slow = 0;
+        for i in 0..16 {
+            last_plain = plain.read(i, 1, 0, None);
+            last_slow = slow.read(i, 1, 0, None);
+        }
+        // Bus-limited streaming takes ~2x as long under a 2x throttle.
+        assert!(
+            last_slow > last_plain + 15 * 10,
+            "throttled {last_slow} vs nominal {last_plain}"
+        );
+    }
+
+    #[test]
+    fn inactive_schedule_leaves_timing_identical() {
+        use crate::faults::{FaultSchedule, FaultTarget};
+        let mut plain = channel();
+        let mut faulted = channel();
+        let s = FaultSchedule::new(0).throttle(FaultTarget::Cache, 4, 1, 1_000_000, 2_000_000);
+        faulted.set_faults(s.channel_faults(FaultTarget::Cache, 0, 1));
+        for i in 0..32 {
+            assert_eq!(
+                plain.read(i % 8, u64::from(i) / 3, 0, None),
+                faulted.read(i % 8, u64::from(i) / 3, 0, None)
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_storm_costs_bandwidth() {
+        use crate::faults::{FaultSchedule, FaultTarget};
+        let mut plain = channel();
+        let mut stormy = channel();
+        let s = FaultSchedule::new(0).refresh_storm(FaultTarget::Cache, 1_000, 400, 0, Cycle::MAX);
+        stormy.set_faults(s.channel_faults(FaultTarget::Cache, 0, 1));
+        let mut last_plain = 0;
+        let mut last_storm = 0;
+        for i in 0..1_000u64 {
+            last_plain = plain.read((i % 8) as u32, i / 8, 0, None);
+            last_storm = stormy.read((i % 8) as u32, i / 8, 0, None);
+        }
+        assert!(
+            last_storm > last_plain + last_plain / 4,
+            "40% storm duty must cost substantial bandwidth: {last_storm} vs {last_plain}"
+        );
     }
 
     #[test]

@@ -3,7 +3,20 @@
 use super::channel::Channel;
 use super::timing::DramConfig;
 use crate::clock::Cycle;
+use crate::faults::{dark_until, FAULT_HORIZON};
 use crate::BLOCK_BYTES;
+
+/// Routing outcome for one request under degraded interleave.
+enum Route {
+    /// Service on this channel immediately.
+    Live(usize),
+    /// Every channel is dark right now; this one restores earliest, at
+    /// the given cycle — defer the request to it.
+    Resumes(usize, Cycle),
+    /// Every channel is dark past the fault horizon: the request is
+    /// never serviced.
+    Never,
+}
 
 /// Aggregated activity counters for a module.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +55,9 @@ pub struct DramModule {
     config: DramConfig,
     channels: Vec<Channel>,
     row_blocks: u64,
+    /// Per-channel outage windows `[start, end)`, kept for degraded-
+    /// interleave routing; empty when no outage is scheduled.
+    outages: Vec<Vec<(Cycle, Cycle)>>,
 }
 
 impl DramModule {
@@ -56,12 +72,71 @@ impl DramModule {
             config,
             channels,
             row_blocks,
+            outages: Vec::new(),
         }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DramConfig {
         &self.config
+    }
+
+    /// Resolves `schedule`'s events for `target` into per-channel fault
+    /// state. Channels no event touches keep their fault-free fast path.
+    pub fn apply_faults(
+        &mut self,
+        schedule: &crate::faults::FaultSchedule,
+        target: crate::faults::FaultTarget,
+    ) {
+        let total = self.channels.len() as u32;
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_faults(schedule.channel_faults(target, i as u32, total));
+        }
+        self.outages = (0..total)
+            .map(|i| schedule.outage_windows(target, i, total))
+            .collect();
+        if self.outages.iter().all(Vec::is_empty) {
+            self.outages.clear();
+        }
+    }
+
+    /// Degraded interleave: traffic aimed at a channel that is dark when
+    /// it would be *serviced* spills to the next live channel, modelling
+    /// a controller that has remapped around the failure (bandwidth
+    /// drops to the live-channel fraction, matching
+    /// [`FaultSchedule::bandwidth_scale`]). Darkness is judged at the
+    /// service estimate `max(now, bus_free_at)`, not arrival: a request
+    /// arriving just before an outage whose turn comes inside it must
+    /// spill too. Channels never see outages themselves — routing is the
+    /// *only* mechanism, so a dead channel's service timeline can never
+    /// be pushed into its own outage window. With every channel dark the
+    /// request defers to whichever channel restores earliest, or is
+    /// reported as never serviced when no restore precedes the fault
+    /// horizon.
+    ///
+    /// [`FaultSchedule::bandwidth_scale`]: crate::faults::FaultSchedule::bandwidth_scale
+    fn route(&self, channel: usize, now: Cycle) -> Route {
+        if self.outages.is_empty() {
+            return Route::Live(channel);
+        }
+        let until =
+            |c: usize| dark_until(&self.outages[c], now.max(self.channels[c].bus_free_at()));
+        if until(channel).is_none() {
+            return Route::Live(channel);
+        }
+        let n = self.channels.len();
+        for step in 1..n {
+            let c = (channel + step) % n;
+            if until(c).is_none() {
+                return Route::Live(c);
+            }
+        }
+        // Every channel is dark at its service estimate: defer to the
+        // earliest restore (ties keep the lowest index, deterministic).
+        match (0..n).filter_map(|c| until(c).map(|e| (e, c))).min() {
+            Some((end, c)) if end < FAULT_HORIZON => Route::Resumes(c, end),
+            _ => Route::Never,
+        }
     }
 
     /// Maps a block address to (channel, bank, row).
@@ -75,29 +150,52 @@ impl DramModule {
         (channel, bank, row)
     }
 
-    /// Reads a 64-byte block; returns the completion cycle.
+    /// Reads a 64-byte block; returns the completion cycle. Under a
+    /// full outage the read defers to the earliest channel restore, or
+    /// reports the fault horizon when no restore is scheduled.
     pub fn read_block(&mut self, block: u64, now: Cycle) -> Cycle {
         let (ch, bank, row) = self.map(block);
-        self.channels[ch].read(bank, row, now, None)
+        match self.route(ch, now) {
+            Route::Live(ch) => self.channels[ch].read(bank, row, now, None),
+            Route::Resumes(ch, at) => self.channels[ch].read(bank, row, at, None),
+            Route::Never => FAULT_HORIZON,
+        }
     }
 
     /// Reads an Alloy-cache TAD (72 bytes = 1.5x the burst of a block).
     pub fn read_tad(&mut self, block: u64, now: Cycle) -> Cycle {
         let (ch, bank, row) = self.map(block);
         let burst = self.config.resolve_burst_tad();
-        self.channels[ch].read(bank, row, now, Some(burst))
+        match self.route(ch, now) {
+            Route::Live(ch) => self.channels[ch].read(bank, row, now, Some(burst)),
+            Route::Resumes(ch, at) => self.channels[ch].read(bank, row, at, Some(burst)),
+            Route::Never => FAULT_HORIZON,
+        }
     }
 
-    /// Writes a 64-byte block (buffered; drains in batches).
+    /// Writes a 64-byte block (buffered; drains in batches). A write
+    /// aimed at a module that is dark forever is lost with the device.
     pub fn write_block(&mut self, block: u64, now: Cycle) {
         let (ch, bank, row) = self.map(block);
-        let _ = self.channels[ch].write(bank, row, now);
+        match self.route(ch, now) {
+            Route::Live(ch) => {
+                let _ = self.channels[ch].write(bank, row, now);
+            }
+            Route::Resumes(ch, at) => {
+                let _ = self.channels[ch].write(bank, row, at);
+            }
+            Route::Never => {}
+        }
     }
 
     /// Expected queueing delay for a read to `block` issued now.
     pub fn estimated_wait(&self, block: u64, now: Cycle) -> Cycle {
         let (ch, _, _) = self.map(block);
-        self.channels[ch].estimated_wait(now)
+        match self.route(ch, now) {
+            Route::Live(ch) => self.channels[ch].estimated_wait(now),
+            Route::Resumes(ch, at) => (at - now) + self.channels[ch].estimated_wait(at),
+            Route::Never => FAULT_HORIZON.saturating_sub(now),
+        }
     }
 
     /// Drains every channel's buffered writes (end-of-run accounting).
@@ -229,6 +327,83 @@ mod tests {
             m.read_block(x % (1 << 24), 0);
         }
         assert!(m.stats().row_hit_rate() < 0.5);
+    }
+
+    #[test]
+    fn outaged_channel_traffic_spills_to_live_channels() {
+        use crate::faults::{FaultSchedule, FaultTarget};
+        let mut healthy = hbm();
+        let mut faulted = hbm();
+        let dead = FaultSchedule::new(0).channel_outage(FaultTarget::Cache, 0, 0, u64::MAX);
+        faulted.apply_faults(&dead, FaultTarget::Cache);
+        let (mut last_healthy, mut last_faulted) = (0, 0);
+        for block in 0..40_000u64 {
+            last_healthy = last_healthy.max(healthy.read_block(block, 0));
+            last_faulted = last_faulted.max(faulted.read_block(block, 0));
+        }
+        // The dead channel serviced nothing; its traffic landed on the
+        // survivors, so the same stream takes longer but still finishes.
+        let activity = faulted.per_channel_activity();
+        assert_eq!(activity[0], (0, 0), "dead channel must stay idle");
+        assert_eq!(
+            activity.iter().map(|&(cas, _)| cas).sum::<u64>(),
+            40_000,
+            "every read is serviced by a live channel"
+        );
+        assert!(last_faulted > last_healthy, "losing a channel costs time");
+        let n = faulted.config().channels as f64;
+        let degraded = faulted.delivered_gbps(last_faulted, 4000.0);
+        let full = healthy.delivered_gbps(last_healthy, 4000.0);
+        assert!(
+            degraded < full && degraded > full * (n - 2.0) / n,
+            "delivered {degraded} GB/s vs healthy {full} GB/s"
+        );
+    }
+
+    #[test]
+    fn fully_dark_module_saturates_at_the_fault_horizon() {
+        use crate::faults::{FaultSchedule, FaultTarget, FAULT_HORIZON};
+        let mut m = hbm();
+        let mut all_dead = FaultSchedule::new(0);
+        for ch in 0..m.config().channels {
+            all_dead = all_dead.channel_outage(FaultTarget::Cache, ch, 0, u64::MAX);
+        }
+        m.apply_faults(&all_dead, FaultTarget::Cache);
+        // Nowhere to spill: completion clamps instead of overflowing.
+        assert_eq!(m.read_block(0, 0), FAULT_HORIZON);
+        assert_eq!(m.read_block(123, 500), FAULT_HORIZON);
+    }
+
+    #[test]
+    fn finite_all_dark_window_defers_to_the_earliest_restore() {
+        use crate::faults::{FaultSchedule, FaultTarget};
+        let mut m = hbm();
+        let mut s = FaultSchedule::new(0);
+        for ch in 0..m.config().channels {
+            s = s.channel_outage(FaultTarget::Cache, ch, 0, 1_000 + u64::from(ch) * 500);
+        }
+        m.apply_faults(&s, FaultTarget::Cache);
+        // Block 7 maps to channel 3 (dark until 2 500); with every
+        // channel dark the read defers to channel 0, which restores
+        // first (cycle 1 000), then pays a normal activation there.
+        let done = m.read_block(7, 0);
+        assert_eq!(done, 1_000 + 110);
+        assert_eq!(m.per_channel_activity()[0].0, 1);
+    }
+
+    #[test]
+    fn finite_outage_routing_restores_the_channel_afterwards() {
+        use crate::faults::{FaultSchedule, FaultTarget};
+        let mut m = hbm();
+        let s = FaultSchedule::new(0).channel_outage(FaultTarget::Cache, 0, 0, 10_000);
+        m.apply_faults(&s, FaultTarget::Cache);
+        let nch = m.config().channels as u64;
+        // Block 0 maps to channel 0: during the window it spills, after
+        // the window it lands on channel 0 again.
+        m.read_block(0, 0);
+        assert_eq!(m.per_channel_activity()[0].0, 0);
+        m.read_block(nch, 20_000);
+        assert_eq!(m.per_channel_activity()[0].0, 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod clock;
 pub mod config;
 pub mod core_model;
 pub mod dram;
+pub mod faults;
 pub mod mscache;
 pub mod policy;
 pub mod prefetch;
@@ -51,6 +52,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use config::{CacheKind, SystemConfig, CAPACITY_SCALE};
+pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 pub use policy::{
     DapPolicy, NoPartitioning, Observation, Partitioner, ReadContext, ReadRoute, ThreadAwareDap,
     WriteRoute,

@@ -121,6 +121,16 @@ impl EdramCache {
         self.write_path.flush_writes(now);
     }
 
+    /// Applies a fault-injection schedule to both directions' channels
+    /// (a cache-targeted channel fault hits the same channel index in
+    /// each direction).
+    pub fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        self.read_path
+            .apply_faults(schedule, crate::faults::FaultTarget::Cache);
+        self.write_path
+            .apply_faults(schedule, crate::faults::FaultTarget::Cache);
+    }
+
     /// Splits a block address into (sector, offset).
     pub fn sector_of(&self, block: u64) -> (u64, u32) {
         (

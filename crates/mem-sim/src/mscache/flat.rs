@@ -112,6 +112,12 @@ impl FlatTier {
         self.fast.flush_writes(now);
     }
 
+    /// Applies a fault-injection schedule to the fast tier's channels.
+    pub fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        self.fast
+            .apply_faults(schedule, crate::faults::FaultTarget::Cache);
+    }
+
     /// Serves one block access; returns the completion cycle (reads) and
     /// whether the fast tier served it.
     pub fn access(

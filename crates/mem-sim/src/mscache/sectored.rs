@@ -137,6 +137,12 @@ impl SectoredDramCache {
         &self.dram
     }
 
+    /// Applies a fault-injection schedule to the cache's DRAM channels.
+    pub fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        self.dram
+            .apply_faults(schedule, crate::faults::FaultTarget::Cache);
+    }
+
     /// Flushes buffered DRAM writes (end-of-run accounting).
     pub fn flush(&mut self, now: Cycle) {
         self.dram.flush_writes(now);

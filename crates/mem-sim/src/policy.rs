@@ -7,7 +7,7 @@
 //! BATMAN — see the `policies` crate) implement the same trait.
 
 use crate::clock::Cycle;
-use dap_core::{DapConfig, DapController, DecisionStats, Technique};
+use dap_core::{DapConfig, DapController, DecisionStats, EffectiveBandwidth, Technique};
 
 /// What a policy may decide for a demand read *before* the tag lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +133,13 @@ pub trait Partitioner {
     /// Attaches a window-trace sink to the policy's DAP controller, when
     /// it has one. Non-DAP policies ignore the sink (the default).
     fn attach_dap_sink(&mut self, _sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {}
+
+    /// Reports the measured fraction of nominal bandwidth each source is
+    /// currently delivering, in `[0, 1]` (the subsystem calls this at
+    /// fault-schedule boundaries). Policies that only know nominal rates
+    /// ignore it (the default); degradation-aware DAP re-derives its
+    /// window budget — and hence Eq. 4's ideal fractions — from it.
+    fn note_bandwidth_scale(&mut self, _cache_scale: f64, _mm_scale: f64, _now: Cycle) {}
 }
 
 /// The baseline policy: everything goes to the memory-side cache.
@@ -149,6 +156,9 @@ pub struct DapPolicy {
     /// SFRM only pays off when tags are off-die or behind a tag cache;
     /// eDRAM (on-die tags) and Alloy (hit/miss predictor) disable it.
     enable_sfrm: bool,
+    /// Whether measured-bandwidth reports re-derive the window budget
+    /// (static Eq. 4 DAP ignores them).
+    measured: bool,
 }
 
 impl DapPolicy {
@@ -158,6 +168,20 @@ impl DapPolicy {
         Self {
             controller: DapController::new(config),
             enable_sfrm,
+            measured: false,
+        }
+    }
+
+    /// Creates a degradation-aware DAP policy: every
+    /// [`note_effective_bandwidth`] report re-derives the window budget
+    /// (and `K`) from the measured rates, so Eq. 4 is solved against
+    /// delivered rather than nominal bandwidth.
+    ///
+    /// [`note_effective_bandwidth`]: Partitioner::note_effective_bandwidth
+    pub fn with_measured_bandwidth(config: DapConfig) -> Self {
+        Self {
+            measured: true,
+            ..Self::new(config)
         }
     }
 
@@ -221,6 +245,17 @@ impl Partitioner for DapPolicy {
 
     fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
         self.controller.attach_sink(sink);
+    }
+
+    fn note_bandwidth_scale(&mut self, cache_scale: f64, mm_scale: f64, _now: Cycle) {
+        if self.measured {
+            // Scaling the controller's own nominal rates keeps the
+            // architecture adjustments baked into its config (e.g.
+            // Alloy's 2/3 TAD factor) in the measured figure.
+            let effective =
+                EffectiveBandwidth::scaled(self.controller.config(), cache_scale, mm_scale);
+            self.controller.set_effective_bandwidth(Some(effective));
+        }
     }
 }
 
@@ -322,6 +357,10 @@ impl Partitioner for ThreadAwareDap {
 
     fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
         self.inner.attach_dap_sink(sink);
+    }
+
+    fn note_bandwidth_scale(&mut self, cache_scale: f64, mm_scale: f64, now: Cycle) {
+        self.inner.note_bandwidth_scale(cache_scale, mm_scale, now);
     }
 }
 

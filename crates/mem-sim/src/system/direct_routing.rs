@@ -133,6 +133,10 @@ impl MemSideCache for AlloyCache {
     fn dram_stats(&self) -> Option<DramStats> {
         Some(self.dram().stats())
     }
+
+    fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        AlloyCache::apply_faults(self, schedule);
+    }
 }
 
 impl MemSideCache for FlatTier {
@@ -170,5 +174,9 @@ impl MemSideCache for FlatTier {
 
     fn dram_stats(&self) -> Option<DramStats> {
         Some(self.fast_module().stats())
+    }
+
+    fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        FlatTier::apply_faults(self, schedule);
     }
 }

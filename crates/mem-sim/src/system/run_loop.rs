@@ -54,6 +54,23 @@ impl System {
             if all_done {
                 break;
             }
+            // Fast-forward over quanta in which no core can execute (all
+            // unfinished cores are stalled past `quantum_end`, e.g. on a
+            // long fault-injected wait): stepping them one by one would
+            // run nothing, so jump — advancing the rotation by the same
+            // number of quanta keeps results bit-identical to stepping.
+            let earliest = self
+                .cores
+                .iter()
+                .filter(|c| c.retired() < instructions_per_core)
+                .map(CoreModel::local_cycle)
+                .min()
+                .unwrap_or(quantum_end);
+            if earliest > quantum_end {
+                let skipped = (earliest - quantum_end) / QUANTUM;
+                quantum_index = quantum_index.wrapping_add(skipped as usize);
+                quantum_end += skipped * QUANTUM;
+            }
             quantum_end += QUANTUM;
         }
         let last = self

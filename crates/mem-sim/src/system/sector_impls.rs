@@ -146,6 +146,10 @@ impl MemSideCache for SectoredDramCache {
         self.tag_cache().map(|tc| tc.miss_ratio())
     }
 
+    fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        SectoredDramCache::apply_faults(self, schedule);
+    }
+
     fn apply_maintenance(
         &mut self,
         env: &mut RouteEnv,
@@ -261,5 +265,9 @@ impl MemSideCache for EdramCache {
             row_hits: r.row_hits + w.row_hits,
             row_misses: r.row_misses + w.row_misses,
         })
+    }
+
+    fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
+        EdramCache::apply_faults(self, schedule);
     }
 }

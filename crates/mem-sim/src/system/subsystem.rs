@@ -4,6 +4,7 @@
 use crate::clock::Cycle;
 use crate::config::{CacheKind, SystemConfig};
 use crate::dram::{DramModule, DramStats};
+use crate::faults::{FaultSchedule, FaultTarget};
 use crate::mscache::{AlloyCache, EdramCache, FlatTier, SectoredDramCache};
 use crate::policy::{Partitioner, ReadContext};
 use crate::stats::SimStats;
@@ -104,6 +105,10 @@ pub(crate) trait MemSideCache {
         _now: Cycle,
     ) {
     }
+
+    /// Arms a fault-injection schedule on the cache's DRAM channels.
+    /// Architectures without injectable devices ignore it (the default).
+    fn apply_faults(&mut self, _schedule: &FaultSchedule) {}
 }
 
 /// A system without a memory-side cache: everything goes to main memory.
@@ -183,6 +188,92 @@ fn build_cache(config: &SystemConfig) -> Box<dyn MemSideCache> {
     }
 }
 
+/// Tracks an armed [`FaultSchedule`]'s boundaries so the subsystem only
+/// re-measures bandwidth (and notifies the policy) when the active fault
+/// set actually changes — between boundaries the scales are constant.
+struct FaultWatch {
+    schedule: FaultSchedule,
+    boundaries: Vec<Cycle>,
+    /// Index of the next boundary not yet crossed.
+    next: usize,
+    /// Active event count at the last crossed boundary.
+    active: usize,
+    cache_channels: u32,
+    mm_channels: u32,
+}
+
+/// The degradation state after crossing one or more fault boundaries.
+struct FaultTransition {
+    /// Events that became active across the crossed boundaries.
+    applied: u64,
+    /// Events that expired across the crossed boundaries.
+    cleared: u64,
+    /// Post-crossing delivered fraction of nominal cache bandwidth.
+    cache_scale: f64,
+    /// Post-crossing delivered fraction of nominal main-memory bandwidth.
+    mm_scale: f64,
+}
+
+impl FaultWatch {
+    fn new(schedule: FaultSchedule, cache_channels: u32, mm_channels: u32) -> Self {
+        let boundaries = schedule.boundaries();
+        Self {
+            schedule,
+            boundaries,
+            next: 0,
+            active: 0,
+            cache_channels,
+            mm_channels,
+        }
+    }
+
+    /// Advances past every boundary at or before `now`; `Some` when at
+    /// least one was crossed. The fast path (no boundary due) is two
+    /// compares.
+    fn poll(&mut self, now: Cycle) -> Option<FaultTransition> {
+        if self.next >= self.boundaries.len() || self.boundaries[self.next] > now {
+            return None;
+        }
+        let (mut applied, mut cleared) = (0u64, 0u64);
+        let mut at = now;
+        while self.next < self.boundaries.len() && self.boundaries[self.next] <= now {
+            at = self.boundaries[self.next];
+            self.next += 1;
+            let active = self.schedule.active_count(at);
+            applied += active.saturating_sub(self.active) as u64;
+            cleared += self.active.saturating_sub(active) as u64;
+            self.active = active;
+        }
+        let cache_scale = if self.cache_channels == 0 {
+            1.0
+        } else {
+            self.schedule
+                .bandwidth_scale(FaultTarget::Cache, at, self.cache_channels)
+        };
+        let mm_scale = self
+            .schedule
+            .bandwidth_scale(FaultTarget::MainMemory, at, self.mm_channels);
+        Some(FaultTransition {
+            applied,
+            cleared,
+            cache_scale,
+            mm_scale,
+        })
+    }
+}
+
+/// Channel count of the configured memory-side cache (per direction for
+/// eDRAM), zero without one.
+fn cache_channels(config: &SystemConfig) -> u32 {
+    match &config.cache {
+        CacheKind::None => 0,
+        CacheKind::Sectored { dram, .. }
+        | CacheKind::Alloy { dram, .. }
+        | CacheKind::FlatTier { dram, .. } => dram.channels,
+        CacheKind::Edram { direction, .. } => direction.channels,
+    }
+}
+
 /// The memory subsystem below the shared L3.
 pub struct MemorySubsystem {
     mm: DramModule,
@@ -190,17 +281,32 @@ pub struct MemorySubsystem {
     policy: Box<dyn Partitioner>,
     stats: SimStats,
     telemetry: Option<SubsystemTelemetry>,
+    faults: Option<FaultWatch>,
 }
 
 impl MemorySubsystem {
-    /// Builds the subsystem from a configuration and a policy.
+    /// Builds the subsystem from a configuration and a policy. A fault
+    /// schedule in the configuration is armed on both DRAM sides here,
+    /// and its boundaries drive measured-bandwidth reports to the policy.
     pub fn new(config: &SystemConfig, policy: Box<dyn Partitioner>) -> Self {
+        let mut mm = DramModule::new(config.mm.clone(), config.cpu_mhz);
+        let mut ms = build_cache(config);
+        let faults = config
+            .faults
+            .as_ref()
+            .filter(|schedule| !schedule.is_empty())
+            .map(|schedule| {
+                mm.apply_faults(schedule, FaultTarget::MainMemory);
+                ms.apply_faults(schedule);
+                FaultWatch::new(schedule.clone(), cache_channels(config), config.mm.channels)
+            });
         Self {
-            mm: DramModule::new(config.mm.clone(), config.cpu_mhz),
-            ms: build_cache(config),
+            mm,
+            ms,
             policy,
             stats: SimStats::default(),
             telemetry: None,
+            faults,
         }
     }
 
@@ -281,6 +387,7 @@ impl MemorySubsystem {
         now: Cycle,
         kind: MemAccessKind,
     ) -> Cycle {
+        self.poll_faults(now);
         self.policy.tick(now);
         self.apply_policy_maintenance(now);
         if kind == MemAccessKind::DemandRead {
@@ -308,6 +415,7 @@ impl MemorySubsystem {
 
     /// A dirty eviction arriving from the L3.
     pub fn write(&mut self, block: u64, now: Cycle) {
+        self.poll_faults(now);
         self.policy.tick(now);
         self.stats.demand_writes += 1;
         if let Some(telemetry) = self.telemetry.as_mut() {
@@ -319,6 +427,24 @@ impl MemorySubsystem {
             stats: &mut self.stats,
         };
         self.ms.write(&mut env, block, now);
+    }
+
+    /// Crosses any fault-schedule boundaries reached by `now`: reports
+    /// the new measured bandwidth to the policy and counts the
+    /// applied/cleared events in telemetry. No-faults runs pay one
+    /// `Option` check.
+    fn poll_faults(&mut self, now: Cycle) {
+        let Some(watch) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(transition) = watch.poll(now) else {
+            return;
+        };
+        self.policy
+            .note_bandwidth_scale(transition.cache_scale, transition.mm_scale, now);
+        if let Some(telemetry) = self.telemetry.as_mut() {
+            telemetry.record_fault_transition(transition.applied, transition.cleared);
+        }
     }
 
     /// Drains the policy's pending maintenance (always, so non-sectored
@@ -336,5 +462,78 @@ impl MemorySubsystem {
             stats: &mut self.stats,
         };
         self.ms.apply_maintenance(&mut env, &sets, &sectors, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_watch_reports_only_on_boundary_crossings() {
+        let schedule = FaultSchedule::new(1).throttle(FaultTarget::Cache, 2, 1, 100, 200);
+        let mut watch = FaultWatch::new(schedule, 4, 2);
+        assert!(watch.poll(50).is_none());
+        let t = watch.poll(150).expect("throttle start crossed");
+        assert_eq!((t.applied, t.cleared), (1, 0));
+        assert!((t.cache_scale - 0.5).abs() < 1e-12);
+        assert!((t.mm_scale - 1.0).abs() < 1e-12);
+        assert!(watch.poll(180).is_none(), "active set unchanged");
+        let t = watch.poll(5_000).expect("throttle end crossed");
+        assert_eq!((t.applied, t.cleared), (0, 1));
+        assert!((t.cache_scale - 1.0).abs() < 1e-12);
+        assert!(watch.poll(9_000).is_none(), "schedule exhausted");
+    }
+
+    #[test]
+    fn fault_watch_folds_multiple_boundaries_into_one_report() {
+        // An outage fully inside a skipped span: both its start and end
+        // are crossed in one poll, so it nets out applied=1, cleared=1
+        // and the final scale is fault-free.
+        let schedule = FaultSchedule::new(7).channel_outage(FaultTarget::MainMemory, 0, 100, 200);
+        let mut watch = FaultWatch::new(schedule, 4, 2);
+        let t = watch.poll(300).expect("two boundaries crossed");
+        assert_eq!((t.applied, t.cleared), (1, 1));
+        assert!((t.mm_scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cacheless_config_reports_full_cache_scale() {
+        let schedule = FaultSchedule::new(3).throttle(FaultTarget::Cache, 4, 1, 0, 100);
+        let mut watch = FaultWatch::new(schedule, 0, 2);
+        let t = watch.poll(10).expect("boundary at zero crossed");
+        assert!((t.cache_scale - 1.0).abs() < 1e-12, "no cache to degrade");
+    }
+
+    #[test]
+    fn subsystem_arms_faults_and_notifies_measured_policy() {
+        use crate::policy::DapPolicy;
+
+        let schedule = FaultSchedule::new(11).throttle(FaultTarget::Cache, 2, 1, 1_000, u64::MAX);
+        let config = SystemConfig::sectored_dram_cache(1).with_faults(schedule);
+        let dap = dap_core::DapConfig::hbm_ddr4();
+        let policy = Box::new(DapPolicy::with_measured_bandwidth(dap));
+        let mut sub = MemorySubsystem::new(&config, policy);
+        sub.read(
+            0x1000 >> crate::BLOCK_SHIFT,
+            0,
+            0,
+            10,
+            MemAccessKind::DemandRead,
+        );
+        assert_eq!(
+            sub.dap_decisions().expect("DAP policy").bandwidth_resolves,
+            0,
+            "before the throttle starts the budget is nominal"
+        );
+        sub.read(
+            0x2000 >> crate::BLOCK_SHIFT,
+            0,
+            0,
+            2_000,
+            MemAccessKind::DemandRead,
+        );
+        let decisions = sub.dap_decisions().expect("DAP policy");
+        assert_eq!(decisions.bandwidth_resolves, 1, "one boundary crossed");
     }
 }

@@ -64,6 +64,9 @@ impl LocalHistogram {
 /// | `mem.mm_queue_wait` | histogram | main-memory queue depth at read arrival (cycles) |
 /// | `mm.channel_cas` | histogram | per-channel CAS totals at finalize (one sample per channel) |
 /// | `mm.channel_util_pct` | histogram | per-channel bus utilization percent at finalize |
+/// | `mem.faults_applied` | counter | injected fault events becoming active |
+/// | `mem.faults_cleared` | counter | injected fault events expiring |
+/// | `mem.bandwidth_resolves` | counter | measured-bandwidth changes reported to the policy |
 ///
 /// Samples become visible in the registry only after [`flush`]
 /// (`MemorySubsystem::finalize` — and therefore `System::run` — flushes
@@ -80,8 +83,14 @@ pub struct SubsystemTelemetry {
     mm_queue_wait: Histogram,
     channel_cas: Histogram,
     channel_util_pct: Histogram,
+    faults_applied: Counter,
+    faults_cleared: Counter,
+    bandwidth_resolves: Counter,
     local_demand_reads: u64,
     local_demand_writes: u64,
+    local_faults_applied: u64,
+    local_faults_cleared: u64,
+    local_bandwidth_resolves: u64,
     local_read_latency: LocalHistogram,
     local_cache_queue_wait: LocalHistogram,
     local_mm_queue_wait: LocalHistogram,
@@ -99,8 +108,14 @@ impl SubsystemTelemetry {
             mm_queue_wait: registry.histogram("mem.mm_queue_wait"),
             channel_cas: registry.histogram("mm.channel_cas"),
             channel_util_pct: registry.histogram("mm.channel_util_pct"),
+            faults_applied: registry.counter("mem.faults_applied"),
+            faults_cleared: registry.counter("mem.faults_cleared"),
+            bandwidth_resolves: registry.counter("mem.bandwidth_resolves"),
             local_demand_reads: 0,
             local_demand_writes: 0,
+            local_faults_applied: 0,
+            local_faults_cleared: 0,
+            local_bandwidth_resolves: 0,
             local_read_latency: LocalHistogram::default(),
             local_cache_queue_wait: LocalHistogram::default(),
             local_mm_queue_wait: LocalHistogram::default(),
@@ -128,6 +143,15 @@ impl SubsystemTelemetry {
         self.local_demand_writes += 1;
     }
 
+    /// Records a fault-schedule boundary crossing: `applied` events became
+    /// active, `cleared` expired, and (when either is nonzero) the
+    /// measured bandwidth was re-reported to the policy once.
+    pub fn record_fault_transition(&mut self, applied: u64, cleared: u64) {
+        self.local_faults_applied += applied;
+        self.local_faults_cleared += cleared;
+        self.local_bandwidth_resolves += 1;
+    }
+
     /// Folds end-of-run channel activity — `(cas_total, busy_cycles)`
     /// per main-memory channel — into the utilization histograms: one
     /// sample per channel, published immediately.
@@ -151,6 +175,18 @@ impl SubsystemTelemetry {
         if self.local_demand_writes > 0 {
             self.demand_writes.add(self.local_demand_writes);
             self.local_demand_writes = 0;
+        }
+        if self.local_faults_applied > 0 {
+            self.faults_applied.add(self.local_faults_applied);
+            self.local_faults_applied = 0;
+        }
+        if self.local_faults_cleared > 0 {
+            self.faults_cleared.add(self.local_faults_cleared);
+            self.local_faults_cleared = 0;
+        }
+        if self.local_bandwidth_resolves > 0 {
+            self.bandwidth_resolves.add(self.local_bandwidth_resolves);
+            self.local_bandwidth_resolves = 0;
         }
         self.local_read_latency.flush_into(&self.read_latency);
         self.local_cache_queue_wait

@@ -373,6 +373,93 @@ pub fn read_window_trace_jsonl(path: &Path) -> Result<(TraceMeta, WindowTrace), 
     Ok((meta, trace))
 }
 
+/// A window trace read leniently: corrupt record lines skipped and
+/// counted instead of failing the whole artifact.
+#[derive(Debug, Clone)]
+pub struct RecoveredWindowTrace {
+    /// The artifact's run metadata.
+    pub meta: TraceMeta,
+    /// Every record that parsed, in file order.
+    pub trace: WindowTrace,
+    /// Record lines that were corrupt or truncated and were skipped.
+    pub parse_errors: u64,
+}
+
+/// Reads a JSONL artifact tolerating corrupt record lines.
+///
+/// A crashed or `kill -9`'d run leaves a truncated final line; a partial
+/// copy or disk fault can corrupt lines anywhere. That must cost those
+/// records, not the whole artifact — every line that fails to parse is
+/// skipped and counted in [`RecoveredWindowTrace::parse_errors`], and the
+/// header's declared window count is not enforced (skipped lines make it
+/// meaningless). The header itself must still parse: without a valid
+/// schema line nothing identifies the file as a window trace.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactError`] only for I/O failures or an unreadable /
+/// mismatching schema header.
+pub fn read_window_trace_jsonl_lenient(path: &Path) -> Result<RecoveredWindowTrace, ArtifactError> {
+    let text = fs::read_to_string(path).map_err(io_err("read", path))?;
+    let parse_err = |line: usize, message: String| ArtifactError::Parse {
+        path: path.to_path_buf(),
+        line,
+        message,
+    };
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty artifact".to_string()))?;
+    let header = parse(header_line).map_err(|e| parse_err(1, e))?;
+    if header.get("schema").and_then(Json::as_str) != Some(SCHEMA_NAME) {
+        return Err(parse_err(1, format!("not a {SCHEMA_NAME} artifact")));
+    }
+    let version = header.get("version").and_then(Json::as_u64);
+    if version != Some(u64::from(SCHEMA_VERSION)) {
+        return Err(parse_err(
+            1,
+            format!("unsupported schema version {version:?}, expected {SCHEMA_VERSION}"),
+        ));
+    }
+    let meta = TraceMeta {
+        label: header
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        arch: header
+            .get("arch")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        window_cycles: header
+            .get("window_cycles")
+            .and_then(Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| parse_err(1, "missing `window_cycles`".to_string()))?,
+    };
+    let mut trace = WindowTrace {
+        records: Vec::new(),
+        spilled: header.get("spilled").and_then(Json::as_u64).unwrap_or(0),
+        dropped: header.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+    };
+    let mut parse_errors = 0u64;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match window_from_jsonl_line(line) {
+            Ok(record) => trace.records.push(record),
+            Err(_) => parse_errors += 1,
+        }
+    }
+    Ok(RecoveredWindowTrace {
+        meta,
+        trace,
+        parse_errors,
+    })
+}
+
 /// Column names of the CSV artifact body, in order.
 pub const CSV_COLUMNS: &[&str] = &[
     "window",

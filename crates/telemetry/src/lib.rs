@@ -42,9 +42,9 @@ pub mod metrics;
 pub mod summary;
 pub mod window;
 
-pub use export::{ArtifactError, TraceMeta, SCHEMA_NAME, SCHEMA_VERSION};
+pub use export::{ArtifactError, RecoveredWindowTrace, TraceMeta, SCHEMA_NAME, SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
-pub use summary::summarize;
+pub use summary::{summarize, summarize_recovered};
 pub use window::{WindowTrace, WindowTraceRecorder};
 
 /// Whether this build records telemetry (`false` under `telemetry-off`).

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use dap_core::TechniqueCounts;
 
-use crate::export::TraceMeta;
+use crate::export::{RecoveredWindowTrace, TraceMeta};
 use crate::window::WindowTrace;
 
 fn accumulate(into: &mut TechniqueCounts, from: &TechniqueCounts) {
@@ -106,6 +106,20 @@ pub fn summarize(meta: &TraceMeta, trace: &WindowTrace) -> String {
         "traffic: {traffic} accesses over {retained} retained windows ({:.2}/window)",
         traffic as f64 / retained as f64
     );
+    out
+}
+
+/// Renders the summary of a leniently-read artifact, appending the count
+/// of corrupt lines that were skipped (when any were).
+pub fn summarize_recovered(recovered: &RecoveredWindowTrace) -> String {
+    let mut out = summarize(&recovered.meta, &recovered.trace);
+    if recovered.parse_errors > 0 {
+        let _ = writeln!(
+            out,
+            "parse_errors: {} corrupt record line(s) skipped",
+            recovered.parse_errors
+        );
+    }
     out
 }
 

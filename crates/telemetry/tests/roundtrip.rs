@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use dap_core::{DapConfig, DapController, Technique};
 use dap_telemetry::export::{
-    read_window_trace_csv, read_window_trace_jsonl, write_window_trace_csv,
-    write_window_trace_jsonl, TraceMeta,
+    read_window_trace_csv, read_window_trace_jsonl, read_window_trace_jsonl_lenient,
+    write_window_trace_csv, write_window_trace_jsonl, TraceMeta,
 };
 use dap_telemetry::window::WindowTraceRecorder;
 
@@ -144,6 +144,114 @@ fn jsonl_and_csv_round_trip_preserve_invariants() {
     assert!(dap.decisions().wb >= applied_wb);
     assert!(dap.decisions().fwb - applied_fwb <= 1);
     assert!(dap.decisions().wb - applied_wb <= 1);
+}
+
+/// Splitmix64: the same deterministic generator the simulator uses for
+/// jitter, reused here to corrupt artifacts reproducibly.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Fuzz-style corruption: for several seeds, truncate, byte-flip, or
+/// garbage-fill a random subset of record lines. The strict reader must
+/// reject the file; the lenient reader must keep every intact record and
+/// count exactly the corrupted lines.
+#[test]
+fn lenient_reader_survives_seeded_corruption() {
+    if !dap_telemetry::enabled() {
+        return;
+    }
+    let (dap, recorder) = drive_controller();
+    let trace = recorder.take();
+    let meta = TraceMeta {
+        label: "corruption/hbm-ddr4".to_string(),
+        arch: "sectored".to_string(),
+        window_cycles: dap.config().window_cycles,
+    };
+    let dir = std::env::temp_dir().join(format!("dap-corrupt-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    let clean_path = dir.join("clean.jsonl");
+    write_window_trace_jsonl(&clean_path, &meta, &trace).expect("jsonl export");
+    let clean = fs::read_to_string(&clean_path).expect("read back");
+    let lines: Vec<&str> = clean.lines().collect();
+    assert!(lines.len() as u64 > WINDOWS, "header + records");
+
+    for seed in 0..16u64 {
+        let mut rng = seed.wrapping_mul(0x2545f4914f6cdd1d) ^ 0xdeadbeef;
+        let mut corrupted = 0u64;
+        let mut out = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            // Never corrupt the header (line 0): without a schema line the
+            // file is not identifiable as an artifact at all.
+            let mangle = i > 0 && splitmix64(&mut rng).is_multiple_of(8);
+            if mangle {
+                corrupted += 1;
+                match splitmix64(&mut rng) % 3 {
+                    0 => {
+                        // Truncate mid-line, as a killed writer would.
+                        let cut = 1 + (splitmix64(&mut rng) as usize) % (line.len() - 1);
+                        let cut = (0..=cut).rev().find(|&c| line.is_char_boundary(c)).unwrap();
+                        out.push_str(&line[..cut]);
+                    }
+                    1 => {
+                        // Flip one byte to a brace-breaking character.
+                        let pos = (splitmix64(&mut rng) as usize) % line.len();
+                        let pos = (0..=pos).rev().find(|&c| line.is_char_boundary(c)).unwrap();
+                        out.push_str(&line[..pos]);
+                        out.push('}');
+                        out.push_str(&line[(pos + 1).min(line.len())..]);
+                    }
+                    _ => out.push_str("not json at all"),
+                }
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        if corrupted == 0 {
+            continue;
+        }
+        let path = dir.join(format!("corrupt-{seed}.jsonl"));
+        fs::write(&path, &out).expect("write corrupted");
+
+        assert!(
+            read_window_trace_jsonl(&path).is_err(),
+            "seed {seed}: strict reader must reject a corrupted artifact"
+        );
+        let recovered = read_window_trace_jsonl_lenient(&path)
+            .unwrap_or_else(|e| panic!("seed {seed}: lenient reader failed: {e}"));
+        // A byte flip can accidentally still parse as a (different) valid
+        // record, so `parse_errors` is at most the mangled count — but the
+        // reader must never lose an untouched line.
+        assert!(
+            recovered.parse_errors <= corrupted,
+            "seed {seed}: {} errors from {corrupted} corruptions",
+            recovered.parse_errors
+        );
+        assert_eq!(
+            recovered.trace.records.len() as u64 + recovered.parse_errors,
+            WINDOWS,
+            "seed {seed}: every record line is either kept or counted"
+        );
+        // Every surviving record is bit-identical to one the writer emitted.
+        for record in &recovered.trace.records {
+            assert_eq!(
+                &trace.records[record.window_index as usize], record,
+                "seed {seed}: window {} must round-trip exactly",
+                record.window_index
+            );
+        }
+        let text = dap_telemetry::summarize_recovered(&recovered);
+        if recovered.parse_errors > 0 {
+            assert!(text.contains("parse_errors:"), "{text}");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -39,4 +39,4 @@ pub use mixes::{all_44_workloads, heterogeneous_mixes, rate_mix, rate_mode, Mix}
 pub use spec::{
     all_specs, bandwidth_insensitive, bandwidth_sensitive, spec, Sensitivity, WorkloadSpec,
 };
-pub use tracefile::{record, TraceFile};
+pub use tracefile::{record, TraceFile, TraceFileError, MAX_ADDR_BITS};
