@@ -20,6 +20,9 @@ cargo test -q --offline
 echo "== cargo build --offline --features telemetry-off"
 cargo build --offline --features telemetry-off
 
+echo "== cargo build --offline --features audit-off"
+cargo build --offline --features audit-off
+
 # Fault-injection smoke: a tiny grid with one injected panic cell and a
 # permanent channel-outage schedule must complete with exactly one
 # CellError and bit-identical sibling cells (release: the grid is slow
@@ -27,5 +30,36 @@ cargo build --offline --features telemetry-off
 echo "== fault-injection smoke"
 cargo test --release --offline -q -p experiments --test fault_tolerance \
     injected_panic_isolates_to_one_cell
+
+# Strict-audit smoke: a small fig01 run with the checked-mode auditor
+# failing fast must finish with zero invariant violations.
+echo "== strict-audit fig01 smoke"
+DAP_INSTRUCTIONS=20000 ./target/release/fig01_bw_vs_hitrate --audit >/dev/null
+
+# SIGINT cancellation smoke: interrupt a checkpointed figure run mid-grid,
+# expect the graceful-shutdown exit code (130) with a manifest on disk,
+# then resume from the manifest to completion. Timing-tolerant: if the
+# run finishes before the signal lands, a clean exit (0) also passes.
+echo "== SIGINT cancellation smoke"
+ckpt_dir=$(mktemp -d)
+trap 'rm -rf "$ckpt_dir"' EXIT
+DAP_INSTRUCTIONS=20000 DAP_RESUME="$ckpt_dir/grid.ckpt" \
+    ./target/release/fig_fault_degradation >/dev/null 2>&1 &
+smoke_pid=$!
+sleep 2
+kill -INT "$smoke_pid" 2>/dev/null || true
+smoke_status=0
+wait "$smoke_pid" || smoke_status=$?
+if [ "$smoke_status" -eq 130 ]; then
+    [ -s "$ckpt_dir/grid.ckpt" ] || {
+        echo "ci: interrupted run left no checkpoint manifest" >&2
+        exit 1
+    }
+elif [ "$smoke_status" -ne 0 ]; then
+    echo "ci: SIGINT smoke exited with unexpected status $smoke_status" >&2
+    exit 1
+fi
+DAP_INSTRUCTIONS=20000 DAP_RESUME="$ckpt_dir/grid.ckpt" \
+    ./target/release/fig_fault_degradation >/dev/null
 
 echo "ci: all checks passed"

@@ -1,6 +1,7 @@
 //! Ablation study: see `experiments::ablations::ablation_refresh`.
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!("{}", experiments::ablations::ablation_refresh(instructions));
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!("{}", experiments::ablations::ablation_refresh(instructions));
+    });
 }

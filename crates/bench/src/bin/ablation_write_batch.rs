@@ -1,9 +1,10 @@
 //! Ablation study: see `experiments::ablations::ablation_write_batch`.
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!(
-        "{}",
-        experiments::ablations::ablation_write_batch(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!(
+            "{}",
+            experiments::ablations::ablation_write_batch(instructions)
+        );
+    });
 }

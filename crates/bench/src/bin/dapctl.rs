@@ -32,7 +32,7 @@ fn usage() -> ! {
         "usage: dapctl <list | run <bench> | record <bench> <file> | replay <file> \
          | trace <bench>> \
          [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N] \
-         [--out DIR] [--threads N]"
+         [--out DIR] [--threads N] [--audit[=strict|observe|off]]"
     );
     std::process::exit(2);
 }
@@ -90,6 +90,11 @@ fn parse_args() -> Args {
             "--threads" => {
                 let v = value("--threads");
                 dap_bench::cli::apply_threads("dapctl", Some(&v));
+            }
+            "--audit" => dap_core::audit::set_mode_override(Some(dap_core::AuditMode::Strict)),
+            other if other.starts_with("--audit=") => {
+                let mode = dap_core::audit::parse_mode(&other["--audit=".len()..]);
+                dap_core::audit::set_mode_override(Some(mode));
             }
             _ => args.positional.push(a),
         }
@@ -161,157 +166,160 @@ fn print_result(r: &mem_sim::RunResult) {
 }
 
 fn main() {
-    let args = parse_args();
-    match args.positional.first().map(String::as_str) {
-        Some("list") => {
-            println!(
-                "{:<16} {:>9} {:>5} {:>7} {:>7} {:>8} {:>5} sensitivity",
-                "benchmark", "paper-MB", "gap", "writes", "chase", "streams", "hot"
-            );
-            for s in workloads::all_specs() {
+    dap_bench::cli::run_interruptible("dapctl", || {
+        let args = parse_args();
+        match args.positional.first().map(String::as_str) {
+            Some("list") => {
                 println!(
-                    "{:<16} {:>9} {:>5} {:>6.0}% {:>6.0}% {:>8} {:>4.0}% {:?}",
-                    s.name,
-                    s.footprint_mb,
-                    s.gap_mean,
-                    s.write_fraction * 100.0,
-                    s.chase_fraction * 100.0,
-                    s.streams,
-                    s.hot_fraction * 100.0,
-                    s.sensitivity
+                    "{:<16} {:>9} {:>5} {:>7} {:>7} {:>8} {:>5} sensitivity",
+                    "benchmark", "paper-MB", "gap", "writes", "chase", "streams", "hot"
                 );
-            }
-        }
-        Some("run") => {
-            let bench = args
-                .positional
-                .get(1)
-                .map(String::as_str)
-                .unwrap_or_else(|| usage());
-            let spec = spec(bench).unwrap_or_else(|| {
-                eprintln!("unknown benchmark {bench} (try `dapctl list`)");
-                std::process::exit(2);
-            });
-            let kind = args.policy.unwrap_or(PolicyKind::Baseline);
-            let config = config_for(&args.arch, args.cores);
-            let policy = policy_for(kind, &config);
-            let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
-            let r = sys.run(args.instructions);
-            println!(
-                "{bench} rate-{} on {} with {kind:?}:",
-                args.cores, args.arch
-            );
-            print_result(&r);
-        }
-        Some("record") => {
-            let bench = args
-                .positional
-                .get(1)
-                .map(String::as_str)
-                .unwrap_or_else(|| usage());
-            let file = args.positional.get(2).unwrap_or_else(|| usage());
-            let spec = spec(bench).unwrap_or_else(|| usage());
-            let mut src = workloads::CloneTrace::new(spec, 0x1000_0000, 0);
-            workloads::record(&mut src, args.ops, file).unwrap_or_else(|e| {
-                eprintln!("error: cannot record trace to {file}: {e}");
-                std::process::exit(1);
-            });
-            println!("recorded {} operations of {bench} to {file}", args.ops);
-        }
-        Some("replay") => {
-            let file = args.positional.get(1).unwrap_or_else(|| usage());
-            let kind = args.policy.unwrap_or(PolicyKind::Baseline);
-            let config = config_for(&args.arch, args.cores);
-            let policy = policy_for(kind, &config);
-            let traces: Vec<Box<dyn TraceSource>> = (0..args.cores)
-                .map(|_| {
-                    Box::new(TraceFile::open(file).unwrap_or_else(|e| {
-                        eprintln!("error: cannot load trace {file}: {e}");
-                        std::process::exit(1);
-                    })) as Box<dyn TraceSource>
-                })
-                .collect();
-            let mut sys = System::with_policy(config, traces, policy);
-            let r = sys.run(args.instructions);
-            println!("replay of {file} on {} cores with {kind:?}:", args.cores);
-            print_result(&r);
-        }
-        Some("trace") => {
-            let bench = args
-                .positional
-                .get(1)
-                .map(String::as_str)
-                .unwrap_or_else(|| usage());
-            let spec = spec(bench).unwrap_or_else(|| {
-                eprintln!("unknown benchmark {bench} (try `dapctl list`)");
-                std::process::exit(2);
-            });
-            // Tracing needs a DAP controller to trace; default to full DAP.
-            let kind = args.policy.unwrap_or(PolicyKind::Dap);
-            if !matches!(kind, PolicyKind::Dap | PolicyKind::ThreadAwareDap) {
-                eprintln!(
-                    "error: `dapctl trace` records the DAP controller's window \
-                     decisions; --policy must be dap or ta-dap, not {kind:?}"
-                );
-                std::process::exit(2);
-            }
-            if !dap_telemetry::enabled() {
-                eprintln!(
-                    "error: this binary was built with --features telemetry-off; \
-                     rebuild without it to record traces"
-                );
-                std::process::exit(2);
-            }
-            let config = config_for(&args.arch, args.cores);
-            let policy = policy_for(kind, &config);
-            let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
-            let recorder = Arc::new(WindowTraceRecorder::new(1 << 16));
-            sys.attach_dap_sink(recorder.clone());
-            let registry = MetricsRegistry::new();
-            sys.attach_telemetry(SubsystemTelemetry::new(&registry));
-            let r = sys.run(args.instructions);
-            let trace = recorder.take();
-            let meta = TraceMeta {
-                label: format!("{bench}/rate-{}", args.cores),
-                arch: args.arch.clone(),
-                window_cycles: 64,
-            };
-            println!(
-                "{bench} rate-{} on {} with {kind:?}:",
-                args.cores, args.arch
-            );
-            print_result(&r);
-            println!();
-            print!("{}", dap_telemetry::summarize(&meta, &trace));
-            let snapshot = registry.snapshot();
-            if let Some(h) = snapshot.histograms.get("mem.read_latency") {
-                println!(
-                    "demand read latency    mean {:.0} cycles over {} reads",
-                    h.mean().unwrap_or(0.0),
-                    h.count
-                );
-            }
-            let out =
-                std::path::PathBuf::from(args.out.as_deref().unwrap_or("target/telemetry/dapctl"));
-            // Benchmark names contain dots ("soplex.ref"): append the
-            // extension instead of `with_extension`, which truncates.
-            let stem = format!("{bench}-rate{}-{}", args.cores, args.arch);
-            let jsonl = out.join(format!("{stem}.jsonl"));
-            let csv = out.join(format!("{stem}.csv"));
-            for result in [
-                dap_telemetry::export::write_window_trace_jsonl(&jsonl, &meta, &trace),
-                dap_telemetry::export::write_window_trace_csv(&csv, &meta, &trace),
-            ] {
-                if let Err(e) = result {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
+                for s in workloads::all_specs() {
+                    println!(
+                        "{:<16} {:>9} {:>5} {:>6.0}% {:>6.0}% {:>8} {:>4.0}% {:?}",
+                        s.name,
+                        s.footprint_mb,
+                        s.gap_mean,
+                        s.write_fraction * 100.0,
+                        s.chase_fraction * 100.0,
+                        s.streams,
+                        s.hot_fraction * 100.0,
+                        s.sensitivity
+                    );
                 }
             }
-            println!();
-            println!("artifacts:");
-            println!("  {}", jsonl.display());
-            println!("  {}", csv.display());
+            Some("run") => {
+                let bench = args
+                    .positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage());
+                let spec = spec(bench).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {bench} (try `dapctl list`)");
+                    std::process::exit(2);
+                });
+                let kind = args.policy.unwrap_or(PolicyKind::Baseline);
+                let config = config_for(&args.arch, args.cores);
+                let policy = policy_for(kind, &config);
+                let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
+                let r = sys.run(args.instructions);
+                println!(
+                    "{bench} rate-{} on {} with {kind:?}:",
+                    args.cores, args.arch
+                );
+                print_result(&r);
+            }
+            Some("record") => {
+                let bench = args
+                    .positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage());
+                let file = args.positional.get(2).unwrap_or_else(|| usage());
+                let spec = spec(bench).unwrap_or_else(|| usage());
+                let mut src = workloads::CloneTrace::new(spec, 0x1000_0000, 0);
+                workloads::record(&mut src, args.ops, file).unwrap_or_else(|e| {
+                    eprintln!("error: cannot record trace to {file}: {e}");
+                    std::process::exit(1);
+                });
+                println!("recorded {} operations of {bench} to {file}", args.ops);
+            }
+            Some("replay") => {
+                let file = args.positional.get(1).unwrap_or_else(|| usage());
+                let kind = args.policy.unwrap_or(PolicyKind::Baseline);
+                let config = config_for(&args.arch, args.cores);
+                let policy = policy_for(kind, &config);
+                let traces: Vec<Box<dyn TraceSource>> = (0..args.cores)
+                    .map(|_| {
+                        Box::new(TraceFile::open(file).unwrap_or_else(|e| {
+                            eprintln!("error: cannot load trace {file}: {e}");
+                            std::process::exit(1);
+                        })) as Box<dyn TraceSource>
+                    })
+                    .collect();
+                let mut sys = System::with_policy(config, traces, policy);
+                let r = sys.run(args.instructions);
+                println!("replay of {file} on {} cores with {kind:?}:", args.cores);
+                print_result(&r);
+            }
+            Some("trace") => {
+                let bench = args
+                    .positional
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage());
+                let spec = spec(bench).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {bench} (try `dapctl list`)");
+                    std::process::exit(2);
+                });
+                // Tracing needs a DAP controller to trace; default to full DAP.
+                let kind = args.policy.unwrap_or(PolicyKind::Dap);
+                if !matches!(kind, PolicyKind::Dap | PolicyKind::ThreadAwareDap) {
+                    eprintln!(
+                        "error: `dapctl trace` records the DAP controller's window \
+                         decisions; --policy must be dap or ta-dap, not {kind:?}"
+                    );
+                    std::process::exit(2);
+                }
+                if !dap_telemetry::enabled() {
+                    eprintln!(
+                        "error: this binary was built with --features telemetry-off; \
+                         rebuild without it to record traces"
+                    );
+                    std::process::exit(2);
+                }
+                let config = config_for(&args.arch, args.cores);
+                let policy = policy_for(kind, &config);
+                let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
+                let recorder = Arc::new(WindowTraceRecorder::new(1 << 16));
+                sys.attach_dap_sink(recorder.clone());
+                let registry = MetricsRegistry::new();
+                sys.attach_telemetry(SubsystemTelemetry::new(&registry));
+                let r = sys.run(args.instructions);
+                let trace = recorder.take();
+                let meta = TraceMeta {
+                    label: format!("{bench}/rate-{}", args.cores),
+                    arch: args.arch.clone(),
+                    window_cycles: 64,
+                };
+                println!(
+                    "{bench} rate-{} on {} with {kind:?}:",
+                    args.cores, args.arch
+                );
+                print_result(&r);
+                println!();
+                print!("{}", dap_telemetry::summarize(&meta, &trace));
+                let snapshot = registry.snapshot();
+                if let Some(h) = snapshot.histograms.get("mem.read_latency") {
+                    println!(
+                        "demand read latency    mean {:.0} cycles over {} reads",
+                        h.mean().unwrap_or(0.0),
+                        h.count
+                    );
+                }
+                let out = std::path::PathBuf::from(
+                    args.out.as_deref().unwrap_or("target/telemetry/dapctl"),
+                );
+                // Benchmark names contain dots ("soplex.ref"): append the
+                // extension instead of `with_extension`, which truncates.
+                let stem = format!("{bench}-rate{}-{}", args.cores, args.arch);
+                let jsonl = out.join(format!("{stem}.jsonl"));
+                let csv = out.join(format!("{stem}.csv"));
+                for result in [
+                    dap_telemetry::export::write_window_trace_jsonl(&jsonl, &meta, &trace),
+                    dap_telemetry::export::write_window_trace_csv(&csv, &meta, &trace),
+                ] {
+                    if let Err(e) = result {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                println!();
+                println!("artifacts:");
+                println!("  {}", jsonl.display());
+                println!("  {}", csv.display());
+            }
+            _ => usage(),
         }
-        _ => usage(),
-    }
+    });
 }

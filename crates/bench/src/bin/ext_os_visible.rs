@@ -1,10 +1,11 @@
 //! Extension: OS-visible flat-tier placement (see
 //! `experiments::extensions::os_visible_tiering`).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!(
-        "{}",
-        experiments::extensions::os_visible_tiering(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!(
+            "{}",
+            experiments::extensions::os_visible_tiering(instructions)
+        );
+    });
 }

@@ -1,14 +1,15 @@
 //! Regenerates the paper's Fig. 1 (delivered bandwidth vs hit rate).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!(
-        "{}",
-        experiments::figures::fig01_bw_vs_hitrate(instructions)
-    );
-    dap_bench::artifacts::maybe_emit_window_traces(
-        "fig01_bw_vs_hitrate",
-        &mem_sim::SystemConfig::sectored_dram_cache(8),
-        instructions,
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!(
+            "{}",
+            experiments::figures::fig01_bw_vs_hitrate(instructions)
+        );
+        dap_bench::artifacts::maybe_emit_window_traces(
+            "fig01_bw_vs_hitrate",
+            &mem_sim::SystemConfig::sectored_dram_cache(8),
+            instructions,
+        );
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Fig. 2 (eDRAM capacity doubling).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!(
-        "{}",
-        experiments::figures::fig02_edram_capacity(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!(
+            "{}",
+            experiments::figures::fig02_edram_capacity(instructions)
+        );
+    });
 }

@@ -1,6 +1,7 @@
 //! Regenerates the paper's Fig. 5 (SRAM tag cache).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!("{}", experiments::figures::fig05_tag_cache(instructions));
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!("{}", experiments::figures::fig05_tag_cache(instructions));
+    });
 }

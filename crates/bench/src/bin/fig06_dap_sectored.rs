@@ -1,11 +1,12 @@
 //! Regenerates the paper's Fig. 6 (DAP speedup and latency).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!("{}", experiments::figures::fig06_dap_sectored(instructions));
-    dap_bench::artifacts::maybe_emit_window_traces(
-        "fig06_dap_sectored",
-        &mem_sim::SystemConfig::sectored_dram_cache(8),
-        instructions,
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!("{}", experiments::figures::fig06_dap_sectored(instructions));
+        dap_bench::artifacts::maybe_emit_window_traces(
+            "fig06_dap_sectored",
+            &mem_sim::SystemConfig::sectored_dram_cache(8),
+            instructions,
+        );
+    });
 }

@@ -1,6 +1,7 @@
 //! Regenerates the paper's Fig. 8 (main-memory CAS fraction).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(400_000);
-    println!("{}", experiments::figures::fig08_cas_fraction(instructions));
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(400_000);
+        println!("{}", experiments::figures::fig08_cas_fraction(instructions));
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Fig. 9 (main-memory technology sweep).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(250_000);
-    println!(
-        "{}",
-        experiments::figures::fig09_mm_technology(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(250_000);
+        println!(
+            "{}",
+            experiments::figures::fig09_mm_technology(instructions)
+        );
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Fig. 10 (capacity and bandwidth sweep).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(250_000);
-    println!(
-        "{}",
-        experiments::figures::fig10_capacity_bandwidth(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(250_000);
+        println!(
+            "{}",
+            experiments::figures::fig10_capacity_bandwidth(instructions)
+        );
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Fig. 11 (SBD, BATMAN vs DAP).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(300_000);
-    println!(
-        "{}",
-        experiments::figures::fig11_related_proposals(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(300_000);
+        println!(
+            "{}",
+            experiments::figures::fig11_related_proposals(instructions)
+        );
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Fig. 12 (all 44 workloads).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(200_000);
-    println!(
-        "{}",
-        experiments::figures::fig12_all_workloads(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(200_000);
+        println!(
+            "{}",
+            experiments::figures::fig12_all_workloads(instructions)
+        );
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Fig. 13 (16-core scaling).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(250_000);
-    println!(
-        "{}",
-        experiments::figures::fig13_sixteen_cores(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(250_000);
+        println!(
+            "{}",
+            experiments::figures::fig13_sixteen_cores(instructions)
+        );
+    });
 }

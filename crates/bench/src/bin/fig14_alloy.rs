@@ -1,11 +1,12 @@
 //! Regenerates the paper's Fig. 14 (Alloy cache with BEAR and DAP).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(300_000);
-    println!("{}", experiments::figures::fig14_alloy(instructions));
-    dap_bench::artifacts::maybe_emit_window_traces(
-        "fig14_alloy",
-        &mem_sim::SystemConfig::alloy_cache(8),
-        instructions,
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(300_000);
+        println!("{}", experiments::figures::fig14_alloy(instructions));
+        dap_bench::artifacts::maybe_emit_window_traces(
+            "fig14_alloy",
+            &mem_sim::SystemConfig::alloy_cache(8),
+            instructions,
+        );
+    });
 }

@@ -1,11 +1,12 @@
 //! Regenerates the paper's Fig. 15 (eDRAM cache with DAP).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(300_000);
-    println!("{}", experiments::figures::fig15_edram(instructions));
-    dap_bench::artifacts::maybe_emit_window_traces(
-        "fig15_edram",
-        &mem_sim::SystemConfig::edram_cache(8, 256),
-        instructions,
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(300_000);
+        println!("{}", experiments::figures::fig15_edram(instructions));
+        dap_bench::artifacts::maybe_emit_window_traces(
+            "fig15_edram",
+            &mem_sim::SystemConfig::edram_cache(8, 256),
+            instructions,
+        );
+    });
 }

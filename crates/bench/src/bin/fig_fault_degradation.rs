@@ -2,10 +2,11 @@
 //! re-solved against measured per-source bandwidth. Set `DAP_RESUME` to a
 //! manifest path to checkpoint the grid and resume an interrupted run.
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(200_000);
-    println!(
-        "{}",
-        experiments::figures::fig_fault_degradation(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(200_000);
+        println!(
+            "{}",
+            experiments::figures::fig_fault_degradation(instructions)
+        );
+    });
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's Table I (window size and efficiency sweep).
 fn main() {
-    dap_bench::cli::parse_figure_args(env!("CARGO_BIN_NAME"));
-    let instructions = dap_bench::instructions(250_000);
-    println!(
-        "{}",
-        experiments::figures::table1_w_e_sensitivity(instructions)
-    );
+    dap_bench::cli::run_figure(env!("CARGO_BIN_NAME"), || {
+        let instructions = dap_bench::instructions(250_000);
+        println!(
+            "{}",
+            experiments::figures::table1_w_e_sensitivity(instructions)
+        );
+    });
 }

@@ -10,23 +10,30 @@
 //! `--threads N` (see [`cli`]) and emit machine-readable window-trace
 //! artifacts when `DAP_TELEMETRY=1` (see [`artifacts`]).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `sigint` module registers the Ctrl-C
+// handler through C `signal(2)` (std has no signal API) and carries the
+// crate's only `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifacts;
 pub mod cli;
+pub mod sigint;
 pub mod timing;
 
 /// Per-core instruction budget: `DAP_INSTRUCTIONS` env var or `default`.
-///
-/// # Panics
-///
-/// Panics if the variable is set but not a positive integer.
+/// A set-but-invalid value is a usage error: the process prints a
+/// diagnostic and exits with status 2 (matching the CLI flag contract)
+/// instead of panicking.
 pub fn instructions(default: u64) -> u64 {
     match std::env::var("DAP_INSTRUCTIONS") {
-        Ok(s) => s
-            .parse()
-            .expect("DAP_INSTRUCTIONS must be a positive integer"),
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("DAP_INSTRUCTIONS must be a positive integer, got {s:?}");
+                std::process::exit(2);
+            }
+        },
         Err(_) => default,
     }
 }

@@ -1,0 +1,78 @@
+//! Ctrl-C handling for the CLI binaries.
+//!
+//! [`install`] registers a SIGINT handler that trips the experiment
+//! harness's [`global_cancel_token`](experiments::global_cancel_token).
+//! Nothing else happens in signal context — the handler performs one
+//! atomic store (async-signal-safe) and returns; in-flight simulations
+//! notice the tripped token at their next window boundary, the executor
+//! stops starting new cells, checkpointed progress stays on disk, and
+//! the binary exits with [`EXIT_INTERRUPTED`](experiments::cancel) so a
+//! wrapper can tell "interrupted, resume later" from "failed".
+//!
+//! A second Ctrl-C aborts outright: if the first one is taking too long
+//! to drain (or the process is wedged before a window boundary), the
+//! user still has a way out.
+//!
+//! This is the one module in the repository that needs `unsafe` — the
+//! standard library has no signal API, so the handler is registered
+//! through the C `signal(2)` entry point directly (no new dependencies).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod ffi {
+    /// C `SIGINT` (POSIX-mandated value 2 on every Unix).
+    pub const SIGINT: i32 = 2;
+
+    extern "C" {
+        /// C `signal(2)`. The handler is passed (and the previous
+        /// disposition returned) as a pointer-sized integer so the
+        /// declaration stays free of function-pointer-in-FFI casts.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The SIGINT handler: trip the global cancel token; abort on a
+    /// repeated Ctrl-C. Only atomic operations — async-signal-safe.
+    pub extern "C" fn on_sigint(_signum: i32) {
+        let token = experiments::global_cancel_token();
+        if token.is_cancelled() {
+            // invariant: abort() is async-signal-safe (raises SIGABRT);
+            // a second Ctrl-C means "stop now", not "drain gracefully".
+            std::process::abort();
+        }
+        token.cancel();
+    }
+}
+
+/// Registers the Ctrl-C handler (idempotent). Call before starting any
+/// grid; the first Ctrl-C then cancels cooperatively instead of killing
+/// the process mid-write.
+pub fn install() {
+    // Initialize the token eagerly so the signal handler's lookup is a
+    // plain atomic load, never a first-use allocation.
+    let _ = experiments::global_cancel_token();
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    // SAFETY: `signal` is the C standard registration call; the handler
+    // is `extern "C"`, performs only async-signal-safe operations, and
+    // both arguments are valid for the process's lifetime.
+    unsafe {
+        let handler: extern "C" fn(i32) = ffi::on_sigint;
+        ffi::signal(ffi::SIGINT, handler as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn install_is_idempotent() {
+        super::install();
+        super::install();
+        assert!(!experiments::global_cancel_token().is_cancelled());
+    }
+}

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use crate::alloy::AlloyDapSolver;
+use crate::audit::{self, AuditMode, AuditReport, WindowAuditor};
 use crate::credits::{CreditBank, CreditCounter};
 use crate::degrade::EffectiveBandwidth;
 use crate::edram::EdramDapSolver;
@@ -210,11 +211,24 @@ pub struct DapController {
     /// The measured bandwidth the budget was last derived from; `None`
     /// means the nominal config rates are in effect.
     effective: Option<EffectiveBandwidth>,
+    /// Checked-mode invariant auditor (`None` when auditing is off).
+    auditor: Option<Box<WindowAuditor>>,
+    /// Test seam: report a deliberately wrong Eq. 4 ideal at every
+    /// boundary, proving the auditor catches a broken solver end to end.
+    break_solver: bool,
 }
 
 impl DapController {
     /// Creates a controller; the first window starts at cycle zero.
+    /// Checked mode follows [`audit::default_mode`] (strict in debug
+    /// builds, `DAP_AUDIT`/`--audit` elsewhere).
     pub fn new(config: DapConfig) -> Self {
+        Self::with_audit(config, audit::default_mode())
+    }
+
+    /// Creates a controller with an explicit audit mode, bypassing the
+    /// process-wide default.
+    pub fn with_audit(config: DapConfig, mode: AuditMode) -> Self {
         let budget = config.budget();
         Self {
             config,
@@ -229,7 +243,32 @@ impl DapController {
             window_index: 0,
             decisions_at_last_boundary: DecisionStats::default(),
             effective: None,
+            auditor: WindowAuditor::new(mode),
+            break_solver: false,
         }
+    }
+
+    /// Makes every subsequent window boundary report a deliberately
+    /// non-proportional Eq. 4 ideal (the fractions still sum to 1, so
+    /// only the proportionality invariant can fire). Exists so tests can
+    /// prove a broken solver is caught with the right equation
+    /// reference; never call it outside a test.
+    #[doc(hidden)]
+    pub fn break_solver_for_test(&mut self) {
+        self.break_solver = true;
+    }
+
+    /// The checked-mode report accumulated so far (`None` when auditing
+    /// is off).
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.auditor.as_deref().map(WindowAuditor::report)
+    }
+
+    /// Lifetime `(cache, mm)` access totals the controller has observed,
+    /// when auditing is on — the simulator's channel accounting uses
+    /// this for the cross-layer served-access conservation check.
+    pub fn audited_totals(&self) -> Option<(u64, u64)> {
+        self.auditor.as_deref().map(WindowAuditor::noted_totals)
     }
 
     /// Installs (or clears, with `None`) a measured-bandwidth input.
@@ -304,11 +343,17 @@ impl DapController {
         } else {
             self.current.cache_read_accesses += 1;
         }
+        if let Some(auditor) = &mut self.auditor {
+            auditor.note_cache_access();
+        }
     }
 
     /// Records an access demanded from main memory (`A_MM`).
     pub fn note_mm_access(&mut self) {
         self.current.mm_accesses += 1;
+        if let Some(auditor) = &mut self.auditor {
+            auditor.note_mm_access();
+        }
     }
 
     /// Records a read miss in the memory-side cache (`Rm`).
@@ -357,18 +402,29 @@ impl DapController {
     /// the observation counters.
     pub fn end_window(&mut self) {
         let stats = std::mem::take(&mut self.current);
-        self.end_window_with(&stats);
+        self.boundary(&stats);
     }
 
     /// Ends a window using externally collected statistics (useful in tests
-    /// and in simulators that keep their own counters).
+    /// and in simulators that keep their own counters). Bypassing the
+    /// `note_*` counters disables the auditor's served-access conservation
+    /// check, which is only meaningful for internally accumulated stats.
     pub fn end_window_with(&mut self, stats: &WindowStats) {
+        if let Some(auditor) = &mut self.auditor {
+            auditor.note_external_stats();
+        }
+        self.boundary(stats);
+    }
+
+    fn boundary(&mut self, stats: &WindowStats) {
         self.decisions.windows_total += 1;
         // Snapshot assembly (granted counts + solved fractions) happens
-        // only when a sink is attached; the solve itself is always needed.
-        let traced = self.sink.is_attached();
+        // only when a sink or the auditor consumes it; the solve itself
+        // is always needed.
+        let traced = self.sink.is_attached() || self.auditor.is_some();
         let mut granted = TechniqueCounts::default();
         let mut fractions: Option<SourceFractions> = None;
+        let mut weights = [0.0f64; crate::telemetry::MAX_SOURCES];
         match self.config.architecture {
             CacheArchitecture::SingleBus => {
                 let plan = SectoredDapSolver::new(self.budget).solve(stats);
@@ -392,9 +448,14 @@ impl DapController {
                     };
                     fractions = Some(match &self.effective {
                         Some(e) => {
+                            weights = [e.cache_gbps, e.mm_gbps, 0.0];
                             sectored_fractions_weighted(stats, &plan, e.cache_gbps, e.mm_gbps)
                         }
-                        None => sectored_fractions(stats, &plan, self.budget.k),
+                        None => {
+                            let k = self.budget.k;
+                            weights = [f64::from(k.numerator()), f64::from(k.denominator()), 0.0];
+                            sectored_fractions(stats, &plan, k)
+                        }
                     });
                 }
             }
@@ -419,8 +480,15 @@ impl DapController {
                         ..TechniqueCounts::default()
                     };
                     fractions = Some(match &self.effective {
-                        Some(e) => alloy_fractions_weighted(stats, &plan, e.cache_gbps, e.mm_gbps),
-                        None => alloy_fractions(stats, &plan, self.budget.k),
+                        Some(e) => {
+                            weights = [e.cache_gbps, e.mm_gbps, 0.0];
+                            alloy_fractions_weighted(stats, &plan, e.cache_gbps, e.mm_gbps)
+                        }
+                        None => {
+                            let k = self.budget.k;
+                            weights = [f64::from(k.numerator()), f64::from(k.denominator()), 0.0];
+                            alloy_fractions(stats, &plan, k)
+                        }
                     });
                 }
             }
@@ -446,35 +514,64 @@ impl DapController {
                     fractions = Some(match &self.effective {
                         Some(e) => {
                             let dir = e.split_channel_gbps.unwrap_or(e.cache_gbps);
+                            weights = [dir, dir, e.mm_gbps];
                             edram_fractions_weighted(stats, &plan, dir, dir, e.mm_gbps)
                         }
-                        None => edram_fractions(stats, &plan, self.budget.k),
+                        None => {
+                            let k = self.budget.k;
+                            let num = f64::from(k.numerator());
+                            weights = [num, num, f64::from(k.denominator())];
+                            edram_fractions(stats, &plan, k)
+                        }
                     });
                 }
             }
         }
         let index = self.window_index;
         self.window_index += 1;
+        // Every arch arm above fills `fractions` exactly when `traced`;
+        // the let-else (rather than an `expect`) keeps the non-traced
+        // path panic-free.
+        let Some(mut fractions) = fractions else {
+            return;
+        };
+        debug_assert!(traced);
+        if self.break_solver {
+            // Swapping the first two ideal entries keeps Σf = 1 while
+            // breaking proportionality whenever the sources differ.
+            fractions.ideal.swap(0, 1);
+        }
+        let d = &self.decisions;
+        let p = &self.decisions_at_last_boundary;
+        let applied = TechniqueCounts {
+            fwb: (d.fwb - p.fwb) as u32,
+            wb: (d.wb - p.wb) as u32,
+            ifrm: (d.ifrm - p.ifrm) as u32,
+            sfrm: (d.sfrm - p.sfrm) as u32,
+            write_through: (d.write_through - p.write_through) as u32,
+        };
+        self.decisions_at_last_boundary = self.decisions;
+        let snapshot = WindowSnapshot {
+            window_index: index,
+            end_cycle: (index + 1) * u64::from(self.config.window_cycles),
+            stats: *stats,
+            partitioned: !self.last_plan_idle,
+            granted,
+            applied,
+            fractions,
+        };
+        if let Some(auditor) = &mut self.auditor {
+            // In strict mode a violation panics inside check_window; in
+            // observe mode the violations come back for the sink.
+            let violations = auditor.check_window(&snapshot, weights);
+            if let Some(sink) = self.sink.get() {
+                for violation in &violations {
+                    sink.record_violation(violation);
+                }
+            }
+        }
         if let Some(sink) = self.sink.get() {
-            let d = &self.decisions;
-            let p = &self.decisions_at_last_boundary;
-            let applied = TechniqueCounts {
-                fwb: (d.fwb - p.fwb) as u32,
-                wb: (d.wb - p.wb) as u32,
-                ifrm: (d.ifrm - p.ifrm) as u32,
-                sfrm: (d.sfrm - p.sfrm) as u32,
-                write_through: (d.write_through - p.write_through) as u32,
-            };
-            sink.record_window(&WindowSnapshot {
-                window_index: index,
-                end_cycle: (index + 1) * u64::from(self.config.window_cycles),
-                stats: *stats,
-                partitioned: !self.last_plan_idle,
-                granted,
-                applied,
-                fractions: fractions.expect("fractions computed when traced"),
-            });
-            self.decisions_at_last_boundary = self.decisions;
+            sink.record_window(&snapshot);
         }
     }
 

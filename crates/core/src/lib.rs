@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod alloy;
+pub mod audit;
 pub mod bandwidth;
 pub mod controller;
 pub mod credits;
@@ -68,6 +69,7 @@ pub mod telemetry;
 pub mod window;
 
 pub use alloy::{AlloyDapSolver, AlloyPlan};
+pub use audit::{AuditError, AuditMode, AuditReport, AuditViolation, Invariant, WindowAuditor};
 pub use bandwidth::{
     delivered_bandwidth, optimal_fractions, read_kernel_bandwidth, BandwidthSource, SystemBandwidth,
 };

@@ -80,15 +80,22 @@ impl Ratio {
     }
 
     /// `floor(x * self)` — the shift-and-add a hardware multiplier performs.
+    /// The intermediate product is computed in 128 bits so inputs near
+    /// `u64::MAX` cannot overflow; a result wider than 64 bits saturates
+    /// at `u64::MAX` (a hardware multiplier would likewise clamp at its
+    /// register width).
     pub fn mul_int(&self, x: u64) -> u64 {
-        x * u64::from(self.num) / u64::from(self.den)
+        let wide = u128::from(x) * u128::from(self.num) / u128::from(self.den);
+        u64::try_from(wide).unwrap_or(u64::MAX)
     }
 
     /// `floor(x * self)` for signed inputs (rounds toward negative infinity,
-    /// as an arithmetic right shift does).
+    /// as an arithmetic right shift does). Like [`mul_int`](Self::mul_int),
+    /// the product is widened to 128 bits and the result saturates at the
+    /// `i64` limits.
     pub fn mul_i64(&self, x: i64) -> i64 {
-        let scaled = x * i64::from(self.num);
-        scaled.div_euclid(i64::from(self.den))
+        let wide = (i128::from(x) * i128::from(self.num)).div_euclid(i128::from(self.den));
+        i64::try_from(wide).unwrap_or(if wide < 0 { i64::MIN } else { i64::MAX })
     }
 
     /// The ratio as a float (for reporting only).
@@ -97,14 +104,16 @@ impl Ratio {
     }
 
     /// `self + 1` as a scaled integer pair: returns `num + den` over `den`,
-    /// i.e. the `(K + 1)` factor the credit counters store.
+    /// i.e. the `(K + 1)` factor the credit counters store. Saturates at
+    /// `u32::MAX` for extreme ratios instead of overflowing.
     pub fn plus_one_num(&self) -> u32 {
-        self.num + self.den
+        self.num.saturating_add(self.den)
     }
 
     /// `2*self + 1` scaled by `den` — the `(2K + 1)` factor of Eq. 12.
+    /// Saturates at `u32::MAX` for extreme ratios instead of overflowing.
     pub fn twice_plus_one_num(&self) -> u32 {
-        2 * self.num + self.den
+        self.num.saturating_mul(2).saturating_add(self.den)
     }
 }
 

@@ -110,6 +110,12 @@ pub struct WindowSnapshot {
 pub trait TelemetrySink: Send + Sync {
     /// Records one window-boundary snapshot.
     fn record_window(&self, snapshot: &WindowSnapshot);
+
+    /// Records one checked-mode audit violation (see [`crate::audit`]).
+    /// The default does nothing so plain recorders need no changes.
+    fn record_violation(&self, violation: &crate::audit::AuditViolation) {
+        let _ = violation;
+    }
 }
 
 /// An optional shared sink, `Debug`/`Clone` so controller types keep

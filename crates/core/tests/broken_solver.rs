@@ -1,0 +1,61 @@
+//! End-to-end checked-mode test: an intentionally broken solver — a
+//! controller whose window boundaries report a non-proportional Eq. 4
+//! ideal — must be caught by the invariant auditor with the correct
+//! equation reference, both in observe mode (counted, reported) and in
+//! strict mode (fail fast with the reference in the panic message).
+
+#![cfg(not(feature = "audit-off"))]
+
+use dap_core::{AuditMode, DapConfig, DapController, Invariant};
+
+/// Drives one full window of plausible traffic through a controller.
+fn run_one_window(controller: &mut DapController) {
+    for _ in 0..12 {
+        controller.note_cache_access(false);
+    }
+    for _ in 0..4 {
+        controller.note_mm_access();
+    }
+    controller.note_read_miss();
+    controller.tick(u64::from(controller.config().window_cycles));
+}
+
+#[test]
+fn broken_solver_is_reported_with_the_eq4_reference() {
+    let mut controller = DapController::with_audit(DapConfig::hbm_ddr4(), AuditMode::Observe);
+    controller.break_solver_for_test();
+    run_one_window(&mut controller);
+    let report = controller.audit_report().expect("auditing is on");
+    assert!(report.violations >= 1, "the broken ideal must be caught");
+    let violation = &report.first[0];
+    assert_eq!(violation.invariant, Invariant::Eq4Proportionality);
+    assert_eq!(violation.invariant.equation(), "Eq. 4 (B_i/f_i equalized)");
+    assert_eq!(violation.window_index, 0, "caught at the first boundary");
+}
+
+#[test]
+fn strict_mode_fails_fast_on_a_broken_solver() {
+    let outcome = std::panic::catch_unwind(|| {
+        let mut controller = DapController::with_audit(DapConfig::hbm_ddr4(), AuditMode::Strict);
+        controller.break_solver_for_test();
+        run_one_window(&mut controller);
+    });
+    let payload = outcome.expect_err("strict mode must fail fast");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("Eq. 4"),
+        "the panic must carry the equation reference, got: {message}"
+    );
+}
+
+#[test]
+fn healthy_solver_passes_the_same_traffic_strictly() {
+    let mut controller = DapController::with_audit(DapConfig::hbm_ddr4(), AuditMode::Strict);
+    run_one_window(&mut controller);
+    let report = controller.audit_report().expect("auditing is on");
+    assert_eq!(report.violations, 0);
+    assert!(report.windows_checked >= 1);
+}

@@ -7,7 +7,8 @@
 
 use dap_core::{
     delivered_bandwidth, optimal_fractions, AlloyDapSolver, BandwidthSource, DapConfig,
-    DapController, EdramDapSolver, Ratio, SectoredDapSolver, Technique, WindowBudget, WindowStats,
+    DapController, EdramDapSolver, Ratio, ScaledCreditCounter, SectoredDapSolver, Technique,
+    WindowBudget, WindowStats,
 };
 use workloads::rng::SplitMix64;
 
@@ -62,6 +63,96 @@ fn ratio_approximation_is_tight() {
         let r = Ratio::approximate(k);
         let exact = (x as f64) * r.as_f64();
         assert_eq!(r.mul_int(x), exact.floor() as u64);
+    }
+}
+
+/// `mul_int`/`mul_i64` at the overflow boundary: for inputs pushed up
+/// against `u64::MAX` (and down against `i64::MIN`), the widened product
+/// matches exact 128-bit arithmetic, saturates at the register limits
+/// instead of wrapping, and stays monotone through the saturation point.
+#[test]
+fn ratio_mul_saturates_exactly_at_overflow_boundaries() {
+    let mut rng = SplitMix64::new(0xDA9_000C);
+    for _ in 0..CASES {
+        let den = 1u32 << rng.index(5);
+        let num = rng.range_u64(1, 5_000) as u32;
+        let r = Ratio::new(num, den);
+        let x = u64::MAX - rng.below(1 << 16);
+        let exact = u128::from(x) * u128::from(num) / u128::from(den);
+        let expected = u64::try_from(exact).unwrap_or(u64::MAX);
+        assert_eq!(r.mul_int(x), expected, "{r} * {x}");
+        assert!(r.mul_int(x - 1) <= r.mul_int(x), "{r} not monotone at {x}");
+        let xi = i64::MIN + rng.below(1 << 16) as i64;
+        let floor = (i128::from(xi) * i128::from(num)).div_euclid(i128::from(den));
+        let expected_i = i64::try_from(floor).unwrap_or(i64::MIN);
+        assert_eq!(r.mul_i64(xi), expected_i, "{r} * {xi}");
+    }
+}
+
+/// Re-approximating a ratio's own value is a pure reduction: the value
+/// stays within the 5% tolerance, the denominator never grows (it can
+/// only reduce, e.g. 4/16 -> 1/4), and walking the reduction ladder
+/// reaches an exact fixed point — so repeated K-derivations (e.g. after
+/// a bandwidth re-measurement landing on the same figure) cannot drift.
+#[test]
+fn ratio_reduction_is_idempotent() {
+    let mut rng = SplitMix64::new(0xDA9_000D);
+    for _ in 0..CASES {
+        let k = rng.range_f64(0.1, 32.0);
+        let once = Ratio::approximate(k);
+        let twice = Ratio::approximate(once.as_f64());
+        assert!(
+            twice.denominator() <= once.denominator(),
+            "re-approximating {k} grew {once} to {twice}"
+        );
+        let drift = (twice.as_f64() - once.as_f64()).abs() / once.as_f64();
+        assert!(drift <= 0.05, "{once} drifted to {twice} ({drift:.4})");
+        // The denominator ladder (16, 8, 4, 2, 1) bounds the walk.
+        let mut current = twice;
+        for _ in 0..5 {
+            let next = Ratio::approximate(current.as_f64());
+            if (next.numerator(), next.denominator())
+                == (current.numerator(), current.denominator())
+            {
+                break;
+            }
+            assert!(next.denominator() < current.denominator());
+            current = next;
+        }
+        let fixed = Ratio::approximate(current.as_f64());
+        assert_eq!(
+            (fixed.numerator(), fixed.denominator()),
+            (current.numerator(), current.denominator()),
+            "no reduction fixed point for {k}"
+        );
+    }
+}
+
+/// The credit-counter scaling round-trips: the `(K+1)` and `(2K+1)`
+/// scaled factors recover the numerator exactly, `floor(x*(K+1)) = x +
+/// floor(x*K)` holds for any count, and a scaled refill of
+/// `den*(K+1)*n` yields exactly `n` consumable applications.
+#[test]
+fn credit_counter_scaling_round_trips() {
+    let mut rng = SplitMix64::new(0xDA9_000E);
+    for _ in 0..CASES {
+        let den = 1u32 << rng.index(5);
+        let num = rng.range_u64(1, 64) as u32;
+        let r = Ratio::new(num, den);
+        assert_eq!(r.plus_one_num() - r.denominator(), r.numerator());
+        assert_eq!(r.twice_plus_one_num() - r.denominator(), 2 * r.numerator());
+        let x = rng.below(1_000_000);
+        let k_plus_one = Ratio::new(r.plus_one_num(), den);
+        assert_eq!(k_plus_one.mul_int(x), x + r.mul_int(x), "{r} at x = {x}");
+        let n = rng.below(64) as u32;
+        let mut counter = ScaledCreditCounter::new(r);
+        counter.refill_scaled(n * r.plus_one_num());
+        assert_eq!(counter.remaining_applications(), n, "{r} with n = {n}");
+        let mut consumed = 0;
+        while counter.try_consume() {
+            consumed += 1;
+        }
+        assert_eq!(consumed, n);
     }
 }
 

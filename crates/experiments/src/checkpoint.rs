@@ -67,6 +67,18 @@ pub fn cell_key(config: &SystemConfig, kind: PolicyKind, mix: &Mix, instructions
     format!("{}/{kind:?}-{hash:016x}", mix.name)
 }
 
+/// The single durable-append primitive every manifest write goes
+/// through: write the line and its newline, flush, then `sync_data` so
+/// the record survives an immediately following crash or power cut —
+/// a checkpoint that only lives in the page cache protects against
+/// process death but not machine death.
+fn append_line_synced(file: &mut File, line: &str) -> std::io::Result<()> {
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()?;
+    file.sync_data()
+}
+
 struct ManifestInner {
     file: Option<File>,
     completed: HashMap<String, WorkloadRun>,
@@ -114,9 +126,10 @@ impl CheckpointManifest {
         let mut file = OpenOptions::new().create(true).append(true).open(path)?;
         if torn_tail {
             // A crash mid-append left a line without its newline; terminate
-            // it so the next record starts on a fresh line instead of
-            // gluing onto the torn one.
-            writeln!(file)?;
+            // it (durably, through the same helper every append uses) so
+            // the next record starts on a fresh line instead of gluing
+            // onto the torn one.
+            append_line_synced(&mut file, "")?;
         }
         Ok(Self {
             inner: Mutex::new(ManifestInner {
@@ -167,17 +180,20 @@ impl CheckpointManifest {
         lock_unpoisoned(&self.inner).completed.get(key).cloned()
     }
 
-    /// Records a finished cell: one appended, flushed JSONL line plus the
-    /// in-memory entry. Recording the same key again overwrites (the runs
-    /// are deterministic, so the values agree).
+    /// Records a finished cell: one appended, fsync'd JSONL line (via
+    /// [`append_line_synced`]) plus the in-memory entry. Recording the
+    /// same key again overwrites (the runs are deterministic, so the
+    /// values agree).
     pub fn record(&self, key: &str, run: &WorkloadRun) {
         let line = run_to_json(key, run).to_string_compact();
         let mut inner = lock_unpoisoned(&self.inner);
         if let Some(file) = inner.file.as_mut() {
             // A failed append degrades the manifest to in-memory for this
-            // cell; the grid result is unaffected.
-            let _ = writeln!(file, "{line}");
-            let _ = file.flush();
+            // cell; the grid result is unaffected, but say so — a user
+            // relying on resume deserves to know durability was lost.
+            if let Err(e) = append_line_synced(file, &line) {
+                eprintln!("warning: checkpoint append for {key} failed ({e}); kept in memory only");
+            }
         }
         inner.completed.insert(key.to_string(), run.clone());
     }
@@ -463,6 +479,53 @@ mod tests {
         m.record("cell-c", &run);
         let again = CheckpointManifest::open(&path).unwrap();
         assert_eq!(again.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Exhaustive torn-tail repair: a crash can truncate the manifest at
+    /// any byte of its final line. For every such cut point, reopening
+    /// must recover all fully-written cells, count at most one parse
+    /// error, and accept further appends that a second reopen then sees.
+    #[test]
+    fn torn_tail_repairs_at_every_byte_offset_of_the_final_line() {
+        let dir = std::env::temp_dir().join(format!("dap-ckpt-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let run = sample_run();
+        {
+            let m = CheckpointManifest::open(&path).unwrap();
+            m.record("cell-a", &run);
+            m.record("cell-b", &run);
+        }
+        let pristine = std::fs::read(&path).unwrap();
+        // Start of the final line = one past the newline terminating the
+        // first line (both lines end in '\n' after a clean close).
+        let first_nl = pristine.iter().position(|&b| b == b'\n').unwrap();
+        let last_line_start = first_nl + 1;
+        assert!(last_line_start < pristine.len() - 1, "two-line fixture");
+
+        for cut in last_line_start..=pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let m = CheckpointManifest::open(&path).unwrap();
+            // Losing only the trailing newline still leaves a complete,
+            // parseable JSON line.
+            let whole_line_survived = cut >= pristine.len() - 1;
+            let expected_cells = if whole_line_survived { 2 } else { 1 };
+            assert_eq!(m.len(), expected_cells, "cut at byte {cut}");
+            assert!(m.parse_errors() <= 1, "cut at byte {cut}");
+            assert_same(&m.lookup("cell-a").unwrap(), &run);
+            if whole_line_survived {
+                assert_same(&m.lookup("cell-b").unwrap(), &run);
+            }
+            // The repaired manifest keeps appending on a fresh line.
+            m.record("cell-c", &run);
+            drop(m);
+            let again = CheckpointManifest::open(&path).unwrap();
+            assert_eq!(again.len(), expected_cells + 1, "cut at byte {cut}");
+            assert_same(&again.lookup("cell-c").unwrap(), &run);
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -21,15 +21,25 @@
 //!
 //! Thread count comes from [`set_thread_override`] (the `--threads` CLI
 //! flag) when set, else `DAP_THREADS`, else all available cores.
+//!
+//! Grids stop gracefully, not only crash-tolerantly: a
+//! [`CancelToken`](crate::cancel::CancelToken) (tripped by Ctrl-C or a
+//! test hook) and a per-cell deadline watchdog (`DAP_CELL_DEADLINE_MS`)
+//! are armed as [`mem_sim::ScopedStop`] flags around every cell attempt,
+//! the simulator honors them at window granularity, and the resulting
+//! [`CellError`]s carry a [`CellErrorKind`] so cancellation, deadline
+//! overruns, and genuine panics stay distinguishable.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-use mem_sim::SystemConfig;
+use mem_sim::{RunInterrupted, ScopedStop, StopCause, SystemConfig};
 use workloads::Mix;
 
+use crate::cancel::{global_cancel_token, CancelToken};
 use crate::checkpoint::{cell_key, CheckpointManifest};
 use crate::runner::{run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
 
@@ -45,7 +55,20 @@ pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// A grid cell that panicked (through all of its permitted attempts).
+/// Why a grid cell failed to produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// The cell's code panicked (a genuine bug or an injected fault).
+    Panicked,
+    /// The per-cell deadline watchdog (`DAP_CELL_DEADLINE_MS`) stopped
+    /// it; retry-eligible — a transient stall clears on retry.
+    DeadlineExceeded,
+    /// The grid's [`CancelToken`] tripped; never retried.
+    Cancelled,
+}
+
+/// A grid cell that failed to produce a result (through all of its
+/// permitted attempts).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellError {
     /// The cell's index in plan/cell order.
@@ -54,23 +77,56 @@ pub struct CellError {
     pub label: String,
     /// The cell's configuration fingerprint / checkpoint key, when known.
     pub fingerprint: Option<String>,
-    /// The panic payload, when it was a string (panic messages are).
+    /// The panic payload, when it was a string (panic messages are), or
+    /// the interruption description.
     pub message: String,
-    /// How many times the cell was attempted.
+    /// How many times the cell was attempted (0 = cancelled before its
+    /// first attempt started).
     pub attempts: u32,
+    /// What stopped the cell.
+    pub kind: CellErrorKind,
+}
+
+impl CellError {
+    /// A cell the executor never started because the grid was already
+    /// cancelled when its turn came.
+    fn cancelled_before_start(index: usize, label: String, fingerprint: Option<String>) -> Self {
+        Self {
+            index,
+            label,
+            fingerprint,
+            message: "grid cancelled before this cell started".to_string(),
+            attempts: 0,
+            kind: CellErrorKind::Cancelled,
+        }
+    }
 }
 
 impl fmt::Display for CellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "cell {} ({}) panicked after {} attempt{}: {}",
-            self.index,
-            self.label,
-            self.attempts,
-            if self.attempts == 1 { "" } else { "s" },
-            self.message
-        )?;
+        let what = match self.kind {
+            CellErrorKind::Panicked => "panicked",
+            CellErrorKind::DeadlineExceeded => "exceeded its deadline",
+            CellErrorKind::Cancelled => "was cancelled",
+        };
+        if self.attempts == 0 {
+            write!(
+                f,
+                "cell {} ({}) {} before starting",
+                self.index, self.label, what
+            )?;
+        } else {
+            write!(
+                f,
+                "cell {} ({}) {} after {} attempt{}: {}",
+                self.index,
+                self.label,
+                what,
+                self.attempts,
+                if self.attempts == 1 { "" } else { "s" },
+                self.message
+            )?;
+        }
         if let Some(fp) = &self.fingerprint {
             write!(f, " [{fp}]")?;
         }
@@ -80,11 +136,25 @@ impl fmt::Display for CellError {
 
 impl std::error::Error for CellError {}
 
+/// Distinguishes a cooperative interruption (the run loop's typed
+/// [`RunInterrupted`] payload) from a genuine panic.
+fn classify(payload: &(dyn std::any::Any + Send)) -> CellErrorKind {
+    match payload.downcast_ref::<RunInterrupted>() {
+        Some(interrupted) => match interrupted.cause {
+            StopCause::Cancelled => CellErrorKind::Cancelled,
+            StopCause::DeadlineExceeded => CellErrorKind::DeadlineExceeded,
+        },
+        None => CellErrorKind::Panicked,
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(interrupted) = payload.downcast_ref::<RunInterrupted>() {
+        interrupted.to_string()
     } else {
         "non-string panic payload".to_string()
     }
@@ -222,42 +292,185 @@ fn run_indexed<T: Send>(threads: usize, n: usize, run_one: impl Fn(usize) -> T +
         .map(|s| {
             s.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
+                // invariant: run_indexed hands every index in 0..units to
+                // exactly one worker, and workers fill their slot before
+                // returning.
                 .expect("every unit ran")
         })
         .collect()
 }
 
+/// One watched cell's deadline state. The stop flag is only mutated
+/// under the `started` lock (by both the worker arming the slot and the
+/// watchdog tripping it), so a trip can never leak from an expired
+/// attempt into a fresh one.
+struct WatchSlot {
+    /// When the current attempt started; `None` between attempts.
+    started: Mutex<Option<Instant>>,
+    /// The stop flag installed as the attempt's `ScopedStop` entry.
+    stop: Arc<AtomicBool>,
+}
+
+/// A background thread enforcing the per-cell deadline: it polls every
+/// armed [`WatchSlot`] and trips the slot's stop flag once the attempt
+/// has run past the deadline. The simulation notices at its next window
+/// boundary and unwinds with [`StopCause::DeadlineExceeded`].
+struct Watchdog {
+    slots: Arc<Vec<WatchSlot>>,
+    done: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn new(cells: usize, deadline: Duration) -> Self {
+        let slots: Arc<Vec<WatchSlot>> = Arc::new(
+            std::iter::repeat_with(|| WatchSlot {
+                started: Mutex::new(None),
+                stop: Arc::new(AtomicBool::new(false)),
+            })
+            .take(cells)
+            .collect(),
+        );
+        let done = Arc::new(AtomicBool::new(false));
+        // Poll well inside the deadline so an overrun is caught promptly,
+        // but never busier than every 5 ms.
+        let poll = (deadline / 8).clamp(Duration::from_millis(5), Duration::from_millis(50));
+        let handle = std::thread::spawn({
+            let slots = Arc::clone(&slots);
+            let done = Arc::clone(&done);
+            move || {
+                while !done.load(Ordering::Relaxed) {
+                    for slot in slots.iter() {
+                        let started = lock_unpoisoned(&slot.started);
+                        if let Some(t0) = *started {
+                            if t0.elapsed() >= deadline {
+                                slot.stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    std::thread::park_timeout(poll);
+                }
+            }
+        });
+        Self {
+            slots,
+            done,
+            handle: Some(handle),
+        }
+    }
+
+    /// Arms cell `i`'s slot for a fresh attempt (resetting any trip left
+    /// by a previous attempt) and returns its stop flag.
+    fn arm(&self, i: usize) -> Arc<AtomicBool> {
+        let slot = &self.slots[i];
+        let mut started = lock_unpoisoned(&slot.started);
+        slot.stop.store(false, Ordering::Relaxed);
+        *started = Some(Instant::now());
+        drop(started);
+        Arc::clone(&slot.stop)
+    }
+
+    /// Disarms cell `i`'s slot after an attempt finishes.
+    fn disarm(&self, i: usize) {
+        *lock_unpoisoned(&self.slots[i].started) = None;
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The `DAP_CELL_DEADLINE_MS` environment variable: per-cell deadline in
+/// milliseconds for [`ParallelExecutor::from_env`] grids.
+pub const CELL_DEADLINE_ENV: &str = "DAP_CELL_DEADLINE_MS";
+
+/// Parses `DAP_CELL_DEADLINE_MS`; malformed or zero values are reported
+/// once and ignored rather than aborting a multi-hour run.
+fn deadline_from_env() -> Option<Duration> {
+    let raw = std::env::var(CELL_DEADLINE_ENV).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<u64>() {
+        Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+        _ => {
+            eprintln!(
+                "warning: ignoring invalid {CELL_DEADLINE_ENV}={raw:?} \
+                 (expected a positive integer of milliseconds)"
+            );
+            None
+        }
+    }
+}
+
 /// Runs an [`ExperimentPlan`] across a fixed number of worker threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelExecutor {
     threads: usize,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
 }
 
 impl ParallelExecutor {
-    /// An executor with an explicit thread count (clamped to at least 1).
+    /// An executor with an explicit thread count (clamped to at least 1)
+    /// and no cancellation or deadline attached.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            cancel: None,
+            deadline: None,
         }
     }
 
     /// Thread count from [`set_thread_override`] (the `--threads` flag)
     /// when set, else the `DAP_THREADS` environment variable, falling
-    /// back to the host's available parallelism.
+    /// back to the host's available parallelism. The
+    /// [`global_cancel_token`] is attached (so Ctrl-C stops the grid)
+    /// along with any `DAP_CELL_DEADLINE_MS` per-cell deadline.
     pub fn from_env() -> Self {
         let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
-        if overridden > 0 {
-            return Self::new(overridden);
+        let threads = if overridden > 0 {
+            overridden
+        } else {
+            std::env::var("DAP_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
+        };
+        let mut exec = Self::new(threads).with_cancel(global_cancel_token().clone());
+        if let Some(deadline) = deadline_from_env() {
+            exec = exec.with_deadline(deadline);
         }
-        let threads = std::env::var("DAP_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
-        Self::new(threads)
+        exec
+    }
+
+    /// Attaches a cancel token: tripping it stops in-flight cells at
+    /// their next simulation window and keeps queued cells from starting.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a per-cell deadline: an attempt running longer is
+    /// stopped by the watchdog and reported as
+    /// [`CellErrorKind::DeadlineExceeded`] (retry-eligible in
+    /// [`Self::run_cells`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The worker-thread count.
@@ -289,14 +502,31 @@ impl ParallelExecutor {
             .into_iter()
             .map(|task| Mutex::new(Some(task)))
             .collect();
+        let cancel = self.cancel.as_ref();
         run_indexed(self.threads, queue.len(), |i| {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(CellError::cancelled_before_start(
+                        i,
+                        format!("unit {i}"),
+                        None,
+                    ));
+                }
+            }
             let task = lock_unpoisoned(&queue[i])
                 .take()
+                // invariant: run_indexed dispatches each index once, so
+                // no other worker can have taken this task.
                 .expect("unit claimed once");
+            let stop_flags: Vec<_> = cancel
+                .map(|token| vec![(token.flag(), StopCause::Cancelled)])
+                .unwrap_or_default();
+            let _armed = ScopedStop::install(&stop_flags);
             catch_unwind(AssertUnwindSafe(task)).map_err(|payload| CellError {
                 index: i,
                 label: format!("unit {i}"),
                 fingerprint: None,
+                kind: classify(payload.as_ref()),
                 message: panic_message(payload),
                 attempts: 1,
             })
@@ -304,29 +534,69 @@ impl ParallelExecutor {
     }
 
     /// Runs named, re-runnable cells with bounded retry: a cell that
-    /// panics is re-attempted up to `retries` more times (transient
-    /// faults — e.g. an injected fault drill — clear on retry; a
-    /// deterministic panic fails every attempt) and reports a
-    /// [`CellError`] carrying its label, fingerprint, and attempt count
-    /// if every attempt panicked.
+    /// panics or exceeds its deadline is re-attempted up to `retries`
+    /// more times (transient faults — e.g. an injected fault drill or a
+    /// machine stall — clear on retry; a deterministic failure exhausts
+    /// every attempt) and reports a [`CellError`] carrying its label,
+    /// fingerprint, attempt count, and [`CellErrorKind`] if no attempt
+    /// succeeded. A tripped cancel token is never retried, and cells
+    /// whose turn comes after the trip are not started.
     pub fn run_cells<'a, T: Send>(
         &self,
         cells: Vec<CellSpec<'a, T>>,
         retries: u32,
     ) -> Vec<Result<T, CellError>> {
         let cells = &cells;
+        let watchdog = self.deadline.map(|d| Watchdog::new(cells.len(), d));
+        let watchdog = watchdog.as_ref();
+        let cancel = self.cancel.as_ref();
         run_indexed(self.threads, cells.len(), move |i| {
             let cell = &cells[i];
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(CellError::cancelled_before_start(
+                        i,
+                        cell.label.clone(),
+                        cell.fingerprint.clone(),
+                    ));
+                }
+            }
             let attempts = retries.saturating_add(1);
             let mut message = String::new();
+            let mut kind = CellErrorKind::Panicked;
+            let mut attempted = 0;
             for _ in 0..attempts {
+                attempted += 1;
+                let mut stop_flags = Vec::new();
+                if let Some(token) = cancel {
+                    stop_flags.push((token.flag(), StopCause::Cancelled));
+                }
+                if let Some(dog) = watchdog {
+                    stop_flags.push((dog.arm(i), StopCause::DeadlineExceeded));
+                }
+                let armed = ScopedStop::install(&stop_flags);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     fire_injected_panic(&cell.label);
                     (cell.run)()
                 }));
+                drop(armed);
+                if let Some(dog) = watchdog {
+                    dog.disarm(i);
+                }
                 match outcome {
-                    Ok(value) => return Ok(value),
-                    Err(payload) => message = panic_message(payload),
+                    Ok(value) => {
+                        if let Some(token) = cancel {
+                            token.note_completed();
+                        }
+                        return Ok(value);
+                    }
+                    Err(payload) => {
+                        kind = classify(payload.as_ref());
+                        message = panic_message(payload);
+                        if kind == CellErrorKind::Cancelled {
+                            break;
+                        }
+                    }
                 }
             }
             Err(CellError {
@@ -334,7 +604,8 @@ impl ParallelExecutor {
                 label: cell.label.clone(),
                 fingerprint: cell.fingerprint.clone(),
                 message,
-                attempts,
+                attempts: attempted,
+                kind,
             })
         })
     }
@@ -358,6 +629,8 @@ pub fn run_variant_grid(
     let mut runs = ParallelExecutor::from_env().run(plan).into_iter();
     mixes
         .iter()
+        // invariant: run() returns exactly one result per added task, and
+        // the plan added mixes.len() * variants.len() tasks above.
         .map(|_| (0..variants.len()).map(|_| runs.next().unwrap()).collect())
         .collect()
 }
@@ -381,7 +654,80 @@ impl RecoveredGrid {
     pub fn is_complete(&self) -> bool {
         self.errors.is_empty()
     }
+
+    /// Whether the grid was stopped by cancellation (at least one cell
+    /// was cancelled rather than failing on its own).
+    pub fn cancelled(&self) -> bool {
+        self.errors
+            .iter()
+            .any(|e| e.kind == CellErrorKind::Cancelled)
+    }
+
+    /// Converts the grid into the complete per-mix rows, or the
+    /// [`ExecError`] describing why it is incomplete (cancellation wins
+    /// over cell failures: an interrupted grid should be resumed, not
+    /// diagnosed).
+    pub fn into_result(self) -> Result<Vec<Vec<WorkloadRun>>, ExecError> {
+        if self.cancelled() {
+            let total: usize = self.runs.iter().map(Vec::len).sum();
+            return Err(ExecError::Cancelled {
+                completed: total - self.errors.len(),
+                total,
+            });
+        }
+        if !self.errors.is_empty() {
+            return Err(ExecError::Failed(self.errors));
+        }
+        Ok(self
+            .runs
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    // invariant: no errors means every slot holds a run.
+                    .map(|cell| cell.expect("complete grid has every cell"))
+                    .collect()
+            })
+            .collect())
+    }
 }
+
+/// Why a crash-tolerant grid did not complete.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The grid's cancel token tripped mid-run. Finished cells are in
+    /// the checkpoint manifest (when one was given); re-running with
+    /// `DAP_RESUME` completes the grid bit-identically.
+    Cancelled {
+        /// Cells that finished (including checkpoint-resumed ones).
+        completed: usize,
+        /// Total cells in the grid.
+        total: usize,
+    },
+    /// One or more cells failed through all their permitted attempts.
+    Failed(Vec<CellError>),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cancelled { completed, total } => {
+                write!(
+                    f,
+                    "grid cancelled after {completed}/{total} cells completed"
+                )
+            }
+            Self::Failed(errors) => {
+                write!(f, "{} cell(s) failed", errors.len())?;
+                if let Some(first) = errors.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// The crash-tolerant sibling of [`run_variant_grid`]: every cell runs
 /// under `catch_unwind` with `retries` extra attempts, finished cells are
@@ -398,6 +744,30 @@ pub fn run_variant_grid_recovered(
     alone: &AloneIpcCache,
     checkpoint: Option<&CheckpointManifest>,
     retries: u32,
+) -> RecoveredGrid {
+    run_variant_grid_recovered_with(
+        variants,
+        mixes,
+        instructions,
+        alone,
+        checkpoint,
+        retries,
+        &ParallelExecutor::from_env(),
+    )
+}
+
+/// [`run_variant_grid_recovered`] with an explicit executor, so callers
+/// (and the cancellation tests) control the thread count, cancel token,
+/// and per-cell deadline instead of inheriting the environment's.
+#[allow(clippy::too_many_arguments)]
+pub fn run_variant_grid_recovered_with(
+    variants: &[(&SystemConfig, PolicyKind)],
+    mixes: &[Mix],
+    instructions: u64,
+    alone: &AloneIpcCache,
+    checkpoint: Option<&CheckpointManifest>,
+    retries: u32,
+    executor: &ParallelExecutor,
 ) -> RecoveredGrid {
     let total = mixes.len() * variants.len();
     let mut slots: Vec<Option<Result<WorkloadRun, CellError>>> = (0..total).map(|_| None).collect();
@@ -429,7 +799,7 @@ pub fn run_variant_grid_recovered(
             cell_slot.push(slot);
         }
     }
-    let results = ParallelExecutor::from_env().run_cells(cells, retries);
+    let results = executor.run_cells(cells, retries);
     for (slot, result) in cell_slot.into_iter().zip(results) {
         slots[slot] = Some(result);
     }
@@ -439,6 +809,8 @@ pub fn run_variant_grid_recovered(
     for _ in mixes {
         let mut row = Vec::with_capacity(variants.len());
         for _ in variants {
+            // invariant: the loop above placed a result (resumed, run, or
+            // error) into each of the mixes × variants slots.
             match it.next().unwrap().expect("every slot filled") {
                 Ok(run) => row.push(Some(run)),
                 Err(e) => {

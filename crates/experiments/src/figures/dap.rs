@@ -62,6 +62,8 @@ pub fn fig07_decision_mix(instructions: u64) -> FigureResult {
     let mut totals = [0.0f64; 4];
     let mut counted = 0usize;
     for (mix, r) in mixes.iter().zip(results) {
+        // invariant: every plan cell above runs PolicyKind::Dap, which
+        // always reports decision statistics.
         let d = r.dap_decisions.expect("DAP ran");
         let mix_shares = d.mix();
         if d.total_decisions() > 0 {
@@ -156,6 +158,8 @@ pub fn table1_w_e_sensitivity(instructions: u64) -> FigureResult {
         for &(window, efficiency) in &PARAMS {
             for mix in &mixes {
                 plan.add(move || {
+                    // invariant: the sectored DRAM-cache config always
+                    // carries the bandwidth fields DAP solves against.
                     let policy = build_policy_with(PolicyKind::Dap, config, window, efficiency)
                         .expect("the sectored cache supports DAP");
                     let mut system =

@@ -89,8 +89,13 @@ pub fn fig_fault_degradation(instructions: u64) -> FigureResult {
             manifest.as_ref(),
             0,
         );
+        let cancelled = grid.cancelled();
         for error in &grid.errors {
-            eprintln!("warning: {error}");
+            // A cancelled grid is expected to be incomplete; only genuine
+            // failures deserve per-cell warnings.
+            if error.kind != crate::exec::CellErrorKind::Cancelled {
+                eprintln!("warning: {error}");
+            }
         }
         let mut sums = [0.0f64; 3];
         let mut counted = 0usize;
@@ -119,6 +124,12 @@ pub fn fig_fault_degradation(instructions: u64) -> FigureResult {
                 resolves as f64,
             ],
         ));
+        if cancelled {
+            // Stop starting new scenarios: finished cells are in the
+            // checkpoint manifest, and `DAP_RESUME` picks up from here.
+            eprintln!("fig_fault_degradation: cancelled after scenario {name}; partial figure");
+            break;
+        }
     }
     FigureResult {
         id: "Fig. F",

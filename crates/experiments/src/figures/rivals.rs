@@ -33,6 +33,8 @@ pub fn fig11_related_proposals(instructions: u64) -> FigureResult {
         .iter()
         .zip(&grid)
         .map(|(mix, runs)| {
+            // invariant: the variant list above is non-empty and fixed,
+            // so every grid row has a baseline plus rivals.
             let (base, rivals) = runs.split_first().expect("five runs per mix");
             let values = rivals
                 .iter()

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cancel;
 pub mod checkpoint;
 pub mod exec;
 pub mod extensions;
@@ -32,11 +33,12 @@ pub mod metrics;
 pub mod runner;
 pub mod telemetry;
 
+pub use cancel::{global_cancel_token, CancelToken, EXIT_INTERRUPTED};
 pub use checkpoint::{cell_key, CheckpointManifest, RESUME_ENV};
 pub use exec::{
     clear_cell_panic, inject_cell_panic, lock_unpoisoned, run_variant_grid,
-    run_variant_grid_recovered, CellError, CellSpec, ExperimentPlan, ParallelExecutor,
-    RecoveredGrid,
+    run_variant_grid_recovered, run_variant_grid_recovered_with, CellError, CellErrorKind,
+    CellSpec, ExecError, ExperimentPlan, ParallelExecutor, RecoveredGrid,
 };
 pub use fingerprint::ConfigFingerprint;
 pub use metrics::{geomean, FigureResult, Row};

@@ -295,6 +295,8 @@ impl AloneIpcCache {
         // the other workers.
         let mut alone_config = config.clone();
         alone_config.cores = 1;
+        // invariant: `bench` comes from a Mix built over the in-tree
+        // benchmark table, so the lookup cannot miss.
         let spec = workloads::spec(bench).expect("known benchmark");
         let mut system = System::new(alone_config, rate_mode(spec, 1));
         let ipc = system.run(instructions).per_core[0].ipc();

@@ -132,6 +132,8 @@ pub fn run_variant_grid_traced(
     for mix in mixes {
         let mut row = Vec::with_capacity(variants.len());
         for variant_traces in traces.iter_mut() {
+            // invariant: run() returns one result per added task; the
+            // plan added mixes × variants tasks in this same order.
             let t = traced.next().expect("one result per unit");
             variant_traces.push((mix.name.clone(), t.trace));
             row.push(t.run);

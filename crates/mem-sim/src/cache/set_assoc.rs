@@ -217,6 +217,8 @@ impl<P: Default + Clone> SetAssocCache<P> {
 
     fn pick_victim(&self, base: usize) -> usize {
         match self.policy {
+            // invariant: construction rejects zero ways, so every set has
+            // at least one line to choose from.
             ReplacementKind::Lru => (base..base + self.ways)
                 .min_by_key(|&i| self.lines[i].last_use)
                 .expect("non-empty set"),

@@ -1,0 +1,146 @@
+//! Cooperative interruption of long-running simulations.
+//!
+//! A multi-hour experiment grid needs two ways to stop a simulation that
+//! is still mid-run: a user pressing Ctrl-C (cancel the whole grid) and
+//! a per-cell deadline watchdog (one runaway cell must not stall its
+//! siblings). Both are *cooperative*: the owner of the simulation
+//! installs one or more stop flags for the current thread with
+//! [`ScopedStop`], and [`System::run`][crate::System] polls them once
+//! per 64-cycle quantum — one DAP window, so a stop request is honored
+//! at window granularity.
+//!
+//! When a flag trips, the run loop unwinds with a [`RunInterrupted`]
+//! panic payload carrying the [`StopCause`] and the cycle reached. The
+//! experiment harness's per-cell `catch_unwind` downcasts the payload
+//! into a structured cell error (cancelled vs. deadline-exceeded), so
+//! an interrupted cell is reported — never silently dropped — and a
+//! checkpointed grid resumes it bit-identically on the next run.
+//!
+//! With no flags installed (the default) the poll is a thread-local
+//! read of an empty list; simulations not under a harness never pay
+//! more than that.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Why a simulation was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopCause {
+    /// The whole run was cancelled (e.g. Ctrl-C tripped a cancel token).
+    Cancelled,
+    /// This cell exceeded its per-cell deadline (`DAP_CELL_DEADLINE_MS`).
+    DeadlineExceeded,
+}
+
+/// Panic payload thrown by [`System::run`][crate::System] when an
+/// installed stop flag trips. Catch with `catch_unwind` and downcast to
+/// distinguish interruption from a genuine panic.
+#[derive(Debug, Clone, Copy)]
+pub struct RunInterrupted {
+    /// Why the run stopped.
+    pub cause: StopCause,
+    /// The quantum-end cycle at which the stop was honored.
+    pub at_cycle: u64,
+}
+
+impl std::fmt::Display for RunInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cause = match self.cause {
+            StopCause::Cancelled => "cancelled",
+            StopCause::DeadlineExceeded => "deadline exceeded",
+        };
+        write!(f, "simulation {} at cycle {}", cause, self.at_cycle)
+    }
+}
+
+thread_local! {
+    /// The stop flags active for simulations on this thread, newest
+    /// last. A `Vec` (not a single slot) so a cancel token and a
+    /// deadline flag can be armed at once, and nested harnesses stack.
+    static STOP_FLAGS: RefCell<Vec<(Arc<AtomicBool>, StopCause)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard installing stop flags for simulations run on the current
+/// thread; dropping it uninstalls exactly the flags it installed.
+#[derive(Debug)]
+pub struct ScopedStop {
+    installed: usize,
+}
+
+impl ScopedStop {
+    /// Arms `flags` for this thread (on top of any already armed).
+    pub fn install(flags: &[(Arc<AtomicBool>, StopCause)]) -> Self {
+        STOP_FLAGS.with(|slot| {
+            slot.borrow_mut().extend(flags.iter().cloned());
+        });
+        Self {
+            installed: flags.len(),
+        }
+    }
+}
+
+impl Drop for ScopedStop {
+    fn drop(&mut self) {
+        STOP_FLAGS.with(|slot| {
+            let mut flags = slot.borrow_mut();
+            let keep = flags.len().saturating_sub(self.installed);
+            flags.truncate(keep);
+        });
+    }
+}
+
+/// The first tripped stop flag's cause, if any. Polled by the run loop
+/// once per quantum.
+pub(crate) fn tripped() -> Option<StopCause> {
+    STOP_FLAGS.with(|slot| {
+        slot.borrow()
+            .iter()
+            .find(|(flag, _)| flag.load(Ordering::Relaxed))
+            .map(|(_, cause)| *cause)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flags_means_no_trip() {
+        assert_eq!(tripped(), None);
+    }
+
+    #[test]
+    fn tripped_reports_first_set_flag_and_uninstalls_on_drop() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let deadline = Arc::new(AtomicBool::new(false));
+        {
+            let _guard = ScopedStop::install(&[
+                (cancel.clone(), StopCause::Cancelled),
+                (deadline.clone(), StopCause::DeadlineExceeded),
+            ]);
+            assert_eq!(tripped(), None);
+            deadline.store(true, Ordering::Relaxed);
+            assert_eq!(tripped(), Some(StopCause::DeadlineExceeded));
+            cancel.store(true, Ordering::Relaxed);
+            // Install order decides which cause wins when both are set.
+            assert_eq!(tripped(), Some(StopCause::Cancelled));
+        }
+        assert_eq!(tripped(), None, "drop uninstalls the flags");
+    }
+
+    #[test]
+    fn guards_nest() {
+        let outer = Arc::new(AtomicBool::new(false));
+        let _g1 = ScopedStop::install(&[(outer.clone(), StopCause::Cancelled)]);
+        {
+            let inner = Arc::new(AtomicBool::new(true));
+            let _g2 = ScopedStop::install(&[(inner, StopCause::DeadlineExceeded)]);
+            assert_eq!(tripped(), Some(StopCause::DeadlineExceeded));
+        }
+        assert_eq!(tripped(), None);
+        outer.store(true, Ordering::Relaxed);
+        assert_eq!(tripped(), Some(StopCause::Cancelled));
+    }
+}

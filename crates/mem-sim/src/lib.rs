@@ -43,6 +43,7 @@ pub mod config;
 pub mod core_model;
 pub mod dram;
 pub mod faults;
+pub mod interrupt;
 pub mod mscache;
 pub mod policy;
 pub mod prefetch;
@@ -53,6 +54,7 @@ pub mod trace;
 
 pub use config::{CacheKind, SystemConfig, CAPACITY_SCALE};
 pub use faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+pub use interrupt::{RunInterrupted, ScopedStop, StopCause};
 pub use policy::{
     DapPolicy, NoPartitioning, Observation, Partitioner, ReadContext, ReadRoute, ThreadAwareDap,
     WriteRoute,

@@ -140,6 +140,15 @@ pub trait Partitioner {
     /// ignore it (the default); degradation-aware DAP re-derives its
     /// window budget — and hence Eq. 4's ideal fractions — from it.
     fn note_bandwidth_scale(&mut self, _cache_scale: f64, _mm_scale: f64, _now: Cycle) {}
+
+    /// Lifetime `(cache, mm)` access totals the policy has accumulated
+    /// from [`Observation::CacheAccess`]/[`Observation::MmAccess`], when
+    /// the policy runs a checked-mode DAP controller. The subsystem's
+    /// served-access conservation audit compares this against its own
+    /// channel-side tally; `None` (the default) skips the check.
+    fn audited_totals(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// The baseline policy: everything goes to the memory-side cache.
@@ -245,6 +254,10 @@ impl Partitioner for DapPolicy {
 
     fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
         self.controller.attach_sink(sink);
+    }
+
+    fn audited_totals(&self) -> Option<(u64, u64)> {
+        self.controller.audited_totals()
     }
 
     fn note_bandwidth_scale(&mut self, cache_scale: f64, mm_scale: f64, _now: Cycle) {
@@ -361,6 +374,10 @@ impl Partitioner for ThreadAwareDap {
 
     fn note_bandwidth_scale(&mut self, cache_scale: f64, mm_scale: f64, now: Cycle) {
         self.inner.note_bandwidth_scale(cache_scale, mm_scale, now);
+    }
+
+    fn audited_totals(&self) -> Option<(u64, u64)> {
+        self.inner.audited_totals()
     }
 }
 

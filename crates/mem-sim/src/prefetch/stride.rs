@@ -79,6 +79,8 @@ impl StridePrefetcher {
                         0
                     }
                 })
+                // invariant: STREAMS is a non-zero constant, so the
+                // victim scan always yields a candidate.
                 .expect("streams is non-empty");
             self.streams[victim] = Stream {
                 region,

@@ -14,13 +14,12 @@ impl MemSideCache for AlloyCache {
     /// Demand read through the Alloy cache.
     fn read(&mut self, env: &mut RouteEnv, block: u64, core: usize, pc: u64, now: Cycle) -> Cycle {
         let ctx = env.read_context(self.estimated_wait(block, now), block, core, now);
-        env.policy.observe(Observation::DemandRead, now);
-        env.policy
-            .observe(Observation::CacheAccess { write: false }, now);
+        env.observe(Observation::DemandRead, now);
+        env.observe(Observation::CacheAccess { write: false }, now);
 
         // The DBC check gates IFRM without touching the DRAM array.
         if self.probe_dbc(block) == Some(false) {
-            env.policy.observe(Observation::CleanHit, now);
+            env.observe(Observation::CleanHit, now);
             if env.policy.force_clean_hit(&ctx) {
                 env.stats.forced_read_misses += 1;
                 let done = env.mm.read_block(block, now + self.dbc_latency());
@@ -29,8 +28,8 @@ impl MemSideCache for AlloyCache {
                 // which is a miss in the paper's served-by-cache hit metric.
                 env.stats.ms_read_misses += 1;
                 if self.state(block) == BlockState::Miss {
-                    env.policy.observe(Observation::ReadMiss, now);
-                    env.policy.observe(Observation::MmAccess, now);
+                    env.observe(Observation::ReadMiss, now);
+                    env.observe(Observation::MmAccess, now);
                 }
                 return done;
             }
@@ -55,11 +54,10 @@ impl MemSideCache for AlloyCache {
             return tad_done;
         }
         env.stats.ms_read_misses += 1;
-        env.policy.observe(Observation::ReadMiss, now);
-        env.policy.observe(Observation::MmAccess, now);
+        env.observe(Observation::ReadMiss, now);
+        env.observe(Observation::MmAccess, now);
         let done = early_mm.unwrap_or_else(|| env.mm.read_block(block, tad_done));
-        env.policy
-            .observe(Observation::CacheAccess { write: true }, now);
+        env.observe(Observation::CacheAccess { write: true }, now);
         if env.policy.allow_fill(block, now) && self.bear_allow_fill(block) {
             env.stats.fills += 1;
             if let Some(ev) = self.install(block, now, false) {
@@ -67,7 +65,7 @@ impl MemSideCache for AlloyCache {
                     // Victim data arrived with the TAD; write it to memory.
                     env.mm.write_block(ev.key, now);
                     env.stats.ms_dirty_evictions += 1;
-                    env.policy.observe(Observation::MmAccess, now);
+                    env.observe(Observation::MmAccess, now);
                 }
             }
         } else {
@@ -79,9 +77,8 @@ impl MemSideCache for AlloyCache {
     /// Demand write through the Alloy cache (with BEAR presence bits, a
     /// write that hits needs no TAD fetch).
     fn write(&mut self, env: &mut RouteEnv, block: u64, now: Cycle) {
-        env.policy.observe(Observation::WriteDemand, now);
-        env.policy
-            .observe(Observation::CacheAccess { write: true }, now);
+        env.observe(Observation::WriteDemand, now);
+        env.observe(Observation::CacheAccess { write: true }, now);
         let present = self.state(block) != BlockState::Miss;
         if !self.bear_enabled() {
             // Without the presence bit the write must fetch the TAD first.
@@ -111,7 +108,7 @@ impl MemSideCache for AlloyCache {
                     self.mark_dirty(block, now);
                 } else {
                     // No write-allocate: misses go to main memory.
-                    env.policy.observe(Observation::MmAccess, now);
+                    env.observe(Observation::MmAccess, now);
                     env.mm.write_block(block, now);
                 }
             }

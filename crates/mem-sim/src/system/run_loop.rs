@@ -17,6 +17,16 @@ impl System {
         let mut quantum_end = QUANTUM;
         let mut quantum_index = 0usize;
         loop {
+            // Cooperative interruption, honored at window granularity:
+            // a tripped stop flag (Ctrl-C cancel token or the per-cell
+            // deadline watchdog) unwinds with a typed payload the
+            // harness catches and reports structurally.
+            if let Some(cause) = crate::interrupt::tripped() {
+                std::panic::panic_any(crate::interrupt::RunInterrupted {
+                    cause,
+                    at_cycle: quantum_end,
+                });
+            }
             let mut all_done = true;
             // Rotate the per-quantum processing order: the first core to
             // submit each window gets earlier bus reservations, and a fixed

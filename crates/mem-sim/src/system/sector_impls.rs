@@ -21,8 +21,7 @@ impl SectoredDramCache {
         }
         env.stats.metadata_cas += u64::from(probe.metadata_cas);
         for _ in 0..probe.metadata_cas {
-            env.policy
-                .observe(Observation::CacheAccess { write: false }, now);
+            env.observe(Observation::CacheAccess { write: false }, now);
         }
         probe.resolved_at
     }
@@ -44,10 +43,10 @@ impl SectorCache for SectoredDramCache {
 
         // SBD-style steering: serve from main memory outright when safe.
         if route == ReadRoute::SteerMainMemory && self.state(block) != BlockState::DirtyHit {
-            env.policy.observe(Observation::MmAccess, now);
+            env.observe(Observation::MmAccess, now);
             if self.state(block) == BlockState::Miss {
                 env.stats.ms_read_misses += 1;
-                env.policy.observe(Observation::ReadMiss, now);
+                env.observe(Observation::ReadMiss, now);
             } else {
                 env.stats.ms_read_hits += 1;
             }

@@ -95,9 +95,8 @@ pub(super) fn read_sector_cache<C: SectorCache>(
         None => true,
     };
     let ctx = env.read_context(c.read_wait(block, now), block, core, now);
-    env.policy.observe(Observation::DemandRead, now);
-    env.policy
-        .observe(Observation::CacheAccess { write: false }, now);
+    env.observe(Observation::DemandRead, now);
+    env.observe(Observation::CacheAccess { write: false }, now);
 
     let speculative_done = match c.pre_read(env, &ctx, now) {
         PreRead::Done(done) => return done,
@@ -121,7 +120,7 @@ pub(super) fn read_sector_cache<C: SectorCache>(
             c.read_data(block, probe.data_at)
         }
         BlockState::CleanHit => {
-            env.policy.observe(Observation::CleanHit, now);
+            env.observe(Observation::CleanHit, now);
             // A clean hit *served by main memory* counts as a miss in the
             // paper's hit-rate metric (served-by-cache ratio).
             if let Some(done) = speculative_done {
@@ -138,13 +137,12 @@ pub(super) fn read_sector_cache<C: SectorCache>(
         }
         BlockState::Miss => {
             env.stats.ms_read_misses += 1;
-            env.policy.observe(Observation::ReadMiss, now);
-            env.policy.observe(Observation::MmAccess, now);
+            env.observe(Observation::ReadMiss, now);
+            env.observe(Observation::MmAccess, now);
             let done = speculative_done.unwrap_or_else(|| env.mm.read_block(block, probe.mm_at));
             // The fill this miss implies is cache *demand* whether or not it
             // is bypassed; DAP's solver sees demand, the array sees actuals.
-            env.policy
-                .observe(Observation::CacheAccess { write: true }, now);
+            env.observe(Observation::CacheAccess { write: true }, now);
             if enabled && env.policy.allow_fill(block, now) {
                 fill_sector_cache(c, env, block, now);
             } else {
@@ -164,9 +162,8 @@ fn fill_sector_cache<C: SectorCache>(c: &mut C, env: &mut RouteEnv, block: u64, 
     let (victims, fetches) = c.allocate_sector(block, now);
     for victim in victims {
         c.read_for_eviction(victim, now);
-        env.policy
-            .observe(Observation::CacheAccess { write: false }, now);
-        env.policy.observe(Observation::MmAccess, now);
+        env.observe(Observation::CacheAccess { write: false }, now);
+        env.observe(Observation::MmAccess, now);
         env.mm.write_block(victim, now);
         env.stats.ms_dirty_evictions += 1;
     }
@@ -174,9 +171,8 @@ fn fill_sector_cache<C: SectorCache>(c: &mut C, env: &mut RouteEnv, block: u64, 
         if fetch != block {
             // Footprint prefetch: fetch from main memory, fill the array.
             env.mm.read_block(fetch, now);
-            env.policy.observe(Observation::MmAccess, now);
-            env.policy
-                .observe(Observation::CacheAccess { write: true }, now);
+            env.observe(Observation::MmAccess, now);
+            env.observe(Observation::CacheAccess { write: true }, now);
             env.stats.footprint_prefetches += 1;
         }
         c.write_data(fetch, now, false);
@@ -195,9 +191,8 @@ pub(super) fn write_sector_cache<C: SectorCache>(
         Some(set) => env.policy.set_enabled(set, now),
         None => true,
     };
-    env.policy.observe(Observation::WriteDemand, now);
-    env.policy
-        .observe(Observation::CacheAccess { write: true }, now);
+    env.observe(Observation::WriteDemand, now);
+    env.observe(Observation::CacheAccess { write: true }, now);
 
     c.write_probe(env, block, now);
 
@@ -214,7 +209,7 @@ pub(super) fn write_sector_cache<C: SectorCache>(
                 c.write_data(block, now, true);
             } else {
                 // No write-allocate of a whole sector: send to main memory.
-                env.policy.observe(Observation::MmAccess, now);
+                env.observe(Observation::MmAccess, now);
                 env.mm.write_block(block, now);
             }
         }

@@ -6,7 +6,7 @@ use crate::config::{CacheKind, SystemConfig};
 use crate::dram::{DramModule, DramStats};
 use crate::faults::{FaultSchedule, FaultTarget};
 use crate::mscache::{AlloyCache, EdramCache, FlatTier, SectoredDramCache};
-use crate::policy::{Partitioner, ReadContext};
+use crate::policy::{Observation, Partitioner, ReadContext};
 use crate::stats::SimStats;
 use crate::telemetry::SubsystemTelemetry;
 
@@ -21,6 +21,18 @@ pub enum MemAccessKind {
     Prefetch,
 }
 
+/// Checked-mode tally of the access observations the routing layer has
+/// emitted to the policy. The subsystem compares it against the DAP
+/// controller's own accumulation at [`MemorySubsystem::finalize`]
+/// (Eq. 1/2 served-access conservation); `None` outside checked mode.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ObservedAccesses {
+    /// `Observation::CacheAccess` events emitted.
+    pub cache: u64,
+    /// `Observation::MmAccess` events emitted.
+    pub mm: u64,
+}
+
 /// The shared machinery every routing path needs: main memory, the
 /// partitioning policy, and the statistics sink. Split out of
 /// [`MemorySubsystem`] so a cache implementation can borrow all three
@@ -32,9 +44,27 @@ pub(crate) struct RouteEnv<'a> {
     pub policy: &'a mut dyn Partitioner,
     /// Simulation statistics.
     pub stats: &'a mut SimStats,
+    /// Checked-mode conservation tally (`None` when the audit is off).
+    pub observed: Option<&'a mut ObservedAccesses>,
 }
 
 impl RouteEnv<'_> {
+    /// Emits an observation to the policy, tallying bandwidth-bearing
+    /// events for the checked-mode conservation audit. All routing-layer
+    /// observations must flow through here, not `policy.observe`
+    /// directly — the audit compares exactly what was emitted against
+    /// what the controller accumulated.
+    pub fn observe(&mut self, event: Observation, now: Cycle) {
+        if let Some(tally) = self.observed.as_deref_mut() {
+            match event {
+                Observation::CacheAccess { .. } => tally.cache += 1,
+                Observation::MmAccess => tally.mm += 1,
+                _ => {}
+            }
+        }
+        self.policy.observe(event, now);
+    }
+
     /// Builds the [`ReadContext`] handed to the policy: queue-depth
     /// estimates for both paths at `now`.
     pub fn read_context(
@@ -282,6 +312,9 @@ pub struct MemorySubsystem {
     stats: SimStats,
     telemetry: Option<SubsystemTelemetry>,
     faults: Option<FaultWatch>,
+    /// Checked-mode served-access tally and the mode violations are
+    /// reported in; `None` when the audit is off.
+    audit: Option<(dap_core::AuditMode, ObservedAccesses)>,
 }
 
 impl MemorySubsystem {
@@ -300,6 +333,7 @@ impl MemorySubsystem {
                 ms.apply_faults(schedule);
                 FaultWatch::new(schedule.clone(), cache_channels(config), config.mm.channels)
             });
+        let audit_mode = dap_core::audit::default_mode();
         Self {
             mm,
             ms,
@@ -307,6 +341,8 @@ impl MemorySubsystem {
             stats: SimStats::default(),
             telemetry: None,
             faults,
+            audit: (audit_mode != dap_core::AuditMode::Off)
+                .then(|| (audit_mode, ObservedAccesses::default())),
         }
     }
 
@@ -363,6 +399,39 @@ impl MemorySubsystem {
                 telemetry.flush();
             }
         }
+        self.check_served_conservation();
+    }
+
+    /// Checked mode: the bandwidth-bearing observations the routing layer
+    /// emitted must equal what the policy's DAP controller accumulated —
+    /// Eq. 1/2's access counts are conserved between the simulator's
+    /// channel accounting and the partitioning model. Skipped for
+    /// policies without a checked controller.
+    fn check_served_conservation(&self) {
+        let Some((mode, tally)) = self.audit.as_ref() else {
+            return;
+        };
+        let Some((cache, mm)) = self.policy.audited_totals() else {
+            return;
+        };
+        for (source, emitted, noted) in [("cache", tally.cache, cache), ("mm", tally.mm, mm)] {
+            if emitted != noted {
+                dap_core::audit::report_violation(
+                    *mode,
+                    dap_core::AuditViolation {
+                        window_index: 0,
+                        invariant: dap_core::Invariant::ServedConservation,
+                        source,
+                        expected: emitted as f64,
+                        actual: noted as f64,
+                        detail: format!(
+                            "at finalize: {source} accesses emitted by routing ({emitted}) \
+                             != accumulated by controller ({noted})"
+                        ),
+                    },
+                );
+            }
+        }
     }
 
     /// DAP decision statistics, if the policy is DAP.
@@ -397,6 +466,7 @@ impl MemorySubsystem {
             mm: &mut self.mm,
             policy: self.policy.as_mut(),
             stats: &mut self.stats,
+            observed: self.audit.as_mut().map(|(_, tally)| tally),
         };
         let done = self.ms.read(&mut env, block, core, pc, now);
         if kind == MemAccessKind::DemandRead {
@@ -425,6 +495,7 @@ impl MemorySubsystem {
             mm: &mut self.mm,
             policy: self.policy.as_mut(),
             stats: &mut self.stats,
+            observed: self.audit.as_mut().map(|(_, tally)| tally),
         };
         self.ms.write(&mut env, block, now);
     }
@@ -460,6 +531,7 @@ impl MemorySubsystem {
             mm: &mut self.mm,
             policy: self.policy.as_mut(),
             stats: &mut self.stats,
+            observed: self.audit.as_mut().map(|(_, tally)| tally),
         };
         self.ms.apply_maintenance(&mut env, &sets, &sectors, now);
     }

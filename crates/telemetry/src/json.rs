@@ -271,6 +271,8 @@ impl Parser<'_> {
                     // char boundaries is safe via chars()).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    // invariant: this match arm only runs when peek saw a
+                    // byte, so the remainder has at least one char.
                     let c = s.chars().next().expect("peeked non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();

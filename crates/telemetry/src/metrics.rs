@@ -285,6 +285,15 @@ struct RegistryInner {
     histograms: BTreeMap<String, Histogram>,
 }
 
+/// Locks the registry, recovering from poisoning: the maps hold only
+/// atomic-backed handles, consistent after any interrupted mutation, so
+/// a panicked experiment thread must not take metrics down with it.
+fn lock_registry(inner: &Mutex<RegistryInner>) -> std::sync::MutexGuard<'_, RegistryInner> {
+    inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A named collection of metrics, shared across threads by cloning.
 ///
 /// Lookup takes a mutex, so instruments should be fetched once (at
@@ -297,7 +306,7 @@ pub struct MetricsRegistry {
 
 impl fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock_registry(&self.inner);
         f.debug_struct("MetricsRegistry")
             .field("counters", &inner.counters.len())
             .field("gauges", &inner.gauges.len())
@@ -314,19 +323,19 @@ impl MetricsRegistry {
 
     /// Returns the counter named `name`, creating it if absent.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_registry(&self.inner);
         inner.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the gauge named `name`, creating it if absent.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_registry(&self.inner);
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the histogram named `name`, creating it if absent.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = lock_registry(&self.inner);
         inner
             .histograms
             .entry(name.to_string())
@@ -337,7 +346,7 @@ impl MetricsRegistry {
     /// Captures a point-in-time, deterministically ordered snapshot of
     /// every metric in the registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = lock_registry(&self.inner);
         MetricsSnapshot {
             counters: inner
                 .counters

@@ -28,6 +28,17 @@ struct Inner {
     spilled: u64,
     dropped: u64,
     spill_error: Option<io::Error>,
+    violations: u64,
+}
+
+/// Locks the recorder's state, recovering from poisoning: the state is
+/// plain counters and copyable snapshots — consistent after any
+/// interrupted mutation — so one panicked simulation thread must not
+/// cascade a panic into every later telemetry call.
+fn lock_unpoisoned(inner: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// A bounded, thread-safe recorder of per-window controller snapshots.
@@ -41,7 +52,7 @@ pub struct WindowTraceRecorder {
 
 impl std::fmt::Debug for WindowTraceRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("window recorder poisoned");
+        let inner = lock_unpoisoned(&self.inner);
         f.debug_struct("WindowTraceRecorder")
             .field("recorded", &inner.ring.len())
             .field("capacity", &inner.capacity)
@@ -74,6 +85,7 @@ impl WindowTraceRecorder {
                 spilled: 0,
                 dropped: 0,
                 spill_error: None,
+                violations: 0,
             }),
         }
     }
@@ -85,21 +97,13 @@ impl WindowTraceRecorder {
     /// from inside the simulation loop.
     pub fn with_spill(capacity: usize, spill: Box<dyn Write + Send>) -> Self {
         let recorder = Self::new(capacity);
-        recorder
-            .inner
-            .lock()
-            .expect("window recorder poisoned")
-            .spill = Some(spill);
+        lock_unpoisoned(&recorder.inner).spill = Some(spill);
         recorder
     }
 
     /// Number of windows currently held in the ring.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("window recorder poisoned")
-            .ring
-            .len()
+        lock_unpoisoned(&self.inner).ring.len()
     }
 
     /// Whether no windows have been retained.
@@ -109,18 +113,22 @@ impl WindowTraceRecorder {
 
     /// The first spill-write error encountered, if any.
     pub fn spill_error(&self) -> Option<io::ErrorKind> {
-        self.inner
-            .lock()
-            .expect("window recorder poisoned")
+        lock_unpoisoned(&self.inner)
             .spill_error
             .as_ref()
             .map(io::Error::kind)
     }
 
+    /// Checked-mode audit violations reported through this sink so far
+    /// (see [`dap_core::audit`]); reset by [`take`](Self::take).
+    pub fn violations(&self) -> u64 {
+        lock_unpoisoned(&self.inner).violations
+    }
+
     /// Removes and returns everything recorded so far, leaving the
     /// recorder empty (overflow counters are reset too).
     pub fn take(&self) -> WindowTrace {
-        let mut inner = self.inner.lock().expect("window recorder poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         let trace = WindowTrace {
             records: inner.ring.drain(..).collect(),
             spilled: inner.spilled,
@@ -128,12 +136,13 @@ impl WindowTraceRecorder {
         };
         inner.spilled = 0;
         inner.dropped = 0;
+        inner.violations = 0;
         trace
     }
 
     /// Returns a copy of everything recorded so far without clearing.
     pub fn trace(&self) -> WindowTrace {
-        let inner = self.inner.lock().expect("window recorder poisoned");
+        let inner = lock_unpoisoned(&self.inner);
         WindowTrace {
             records: inner.ring.iter().copied().collect(),
             spilled: inner.spilled,
@@ -150,8 +159,10 @@ impl TelemetrySink for WindowTraceRecorder {
         }
         #[cfg(not(feature = "telemetry-off"))]
         {
-            let mut inner = self.inner.lock().expect("window recorder poisoned");
+            let mut inner = lock_unpoisoned(&self.inner);
             if inner.ring.len() >= inner.capacity {
+                // invariant: new() rejects capacity zero, so a full ring
+                // always has a front element to evict.
                 let oldest = inner.ring.pop_front().expect("capacity is non-zero");
                 let spill_ok = inner.spill_error.is_none();
                 let mut new_error = None;
@@ -179,6 +190,14 @@ impl TelemetrySink for WindowTraceRecorder {
                 }
             }
             inner.ring.push_back(*snapshot);
+        }
+    }
+
+    fn record_violation(&self, violation: &dap_core::AuditViolation) {
+        let _ = violation;
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            lock_unpoisoned(&self.inner).violations += 1;
         }
     }
 }
@@ -337,5 +356,25 @@ mod tests {
     #[should_panic(expected = "ring capacity must be non-zero")]
     fn zero_capacity_rejected() {
         let _ = WindowTraceRecorder::new(0);
+    }
+
+    #[test]
+    fn violations_are_counted_and_reset_by_take() {
+        let recorder = WindowTraceRecorder::new(2);
+        let violation = dap_core::AuditViolation {
+            window_index: 0,
+            invariant: dap_core::Invariant::FractionConservation,
+            source: "solved",
+            expected: 1.0,
+            actual: 0.9,
+            detail: "test".into(),
+        };
+        recorder.record_violation(&violation);
+        recorder.record_violation(&violation);
+        if crate::enabled() {
+            assert_eq!(recorder.violations(), 2);
+            let _ = recorder.take();
+        }
+        assert_eq!(recorder.violations(), 0);
     }
 }

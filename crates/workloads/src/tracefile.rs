@@ -224,6 +224,8 @@ impl TraceFile {
                     })
                 }
             };
+            // invariant: `c` comes from chunks_exact(RECORD_BYTES), so
+            // these fixed slices always have the converted width.
             let addr = u64::from_le_bytes(c[5..13].try_into().expect("chunk size"));
             if addr >> MAX_ADDR_BITS != 0 {
                 return Err(TraceFileError::AddressOutOfRange {
