@@ -62,4 +62,33 @@ fi
 DAP_INSTRUCTIONS=20000 DAP_RESUME="$ckpt_dir/grid.ckpt" \
     ./target/release/fig_fault_degradation >/dev/null
 
+# Bench regression smoke: the pinned suite must run, emit a
+# schema-versioned BENCH JSON, and compare against the checked-in seed
+# baseline. The compare is warn-only — wall-clock timings are
+# machine-dependent, so regressions here inform rather than gate.
+echo "== bench smoke (warn-only compare vs seed baseline)"
+./target/release/dapctl bench --label ci --instructions 20000 --out target/bench \
+    --compare crates/bench/baselines/BENCH_seed.json --warn-only >/dev/null
+grep -q '"schema":"dap-bench"' target/bench/BENCH_ci.json || {
+    echo "ci: BENCH_ci.json is missing the dap-bench schema tag" >&2
+    exit 1
+}
+grep -q '"version":1' target/bench/BENCH_ci.json || {
+    echo "ci: BENCH_ci.json is missing schema version 1" >&2
+    exit 1
+}
+
+# telemetry-off must compile the whole observability stack away without
+# changing a figure's output: the same fig01 run from a telemetry-off
+# release build must be byte-identical. Runs last — it rebuilds
+# target/release with the feature enabled.
+echo "== telemetry-off fig01 byte-identical check"
+DAP_INSTRUCTIONS=20000 ./target/release/fig01_bw_vs_hitrate > target/fig01_telemetry_on.txt
+cargo build --release --offline --features telemetry-off
+DAP_INSTRUCTIONS=20000 ./target/release/fig01_bw_vs_hitrate > target/fig01_telemetry_off.txt
+cmp target/fig01_telemetry_on.txt target/fig01_telemetry_off.txt || {
+    echo "ci: telemetry-off changed fig01 output" >&2
+    exit 1
+}
+
 echo "ci: all checks passed"

@@ -64,6 +64,13 @@ pub fn maybe_emit_window_traces(figure: &str, config: &SystemConfig, instruction
                 println!();
                 print!("{}", dap_telemetry::summarize(&meta, trace));
             }
+            if let Some((mix, profile)) = variant.profiles.iter().find(|(_, p)| !p.is_empty()) {
+                println!();
+                println!("cycle attribution ({mix}):");
+                print!("{}", dap_telemetry::summarize_profile_windows(profile));
+            }
+            println!();
+            print!("{}", dap_telemetry::summarize_metrics(&variant.metrics));
         }
         Err(e) => {
             eprintln!("telemetry: {e}");

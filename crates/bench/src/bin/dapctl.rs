@@ -14,6 +14,16 @@
 //!              [--instructions N] [--out DIR]
 //!     Run one workload with per-window DAP tracing: print the human
 //!     summary and write versioned JSONL + CSV window-trace artifacts.
+//! dapctl trace summarize <file> [--lenient-ok]
+//!     Read a window-trace artifact (JSONL or CSV) leniently and print
+//!     its human summary. Corrupt record lines are skipped with a
+//!     `N records unparseable` warning and exit status 4 — pass
+//!     --lenient-ok to accept partial artifacts with exit 0.
+//! dapctl bench [--label L] [--out DIR] [--instructions N]
+//!              [--compare BASELINE.json] [--threshold PCT] [--warn-only]
+//!     Time the pinned regression suite and write BENCH_<label>.json.
+//!     With --compare, flag cells slower than the baseline by more than
+//!     the threshold (default 10%) and exit 3 (0 with --warn-only).
 //! ```
 //!
 //! All subcommands also accept `--threads N` (worker threads for any
@@ -30,21 +40,32 @@ use workloads::{rate_mode, spec, TraceFile};
 fn usage() -> ! {
     eprintln!(
         "usage: dapctl <list | run <bench> | record <bench> <file> | replay <file> \
-         | trace <bench>> \
+         | trace <bench> | trace summarize <file> | bench> \
          [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N] \
-         [--out DIR] [--threads N] [--audit[=strict|observe|off]]"
+         [--out DIR] [--threads N] [--audit[=strict|observe|off]] \
+         [--label L] [--compare FILE] [--threshold PCT] [--warn-only] [--lenient-ok]"
     );
     std::process::exit(2);
 }
+
+/// Exit status when `trace summarize` skipped unparseable records and
+/// `--lenient-ok` was not given. Distinct from usage errors (2) and
+/// bench regressions (3).
+const EXIT_PARSE_ERRORS: i32 = 4;
 
 struct Args {
     positional: Vec<String>,
     policy: Option<PolicyKind>,
     cores: usize,
     arch: String,
-    instructions: u64,
+    instructions: Option<u64>,
     ops: u64,
     out: Option<String>,
+    label: String,
+    compare: Option<String>,
+    threshold: f64,
+    warn_only: bool,
+    lenient_ok: bool,
 }
 
 fn parse_args() -> Args {
@@ -53,9 +74,14 @@ fn parse_args() -> Args {
         policy: None,
         cores: 8,
         arch: "sectored".to_string(),
-        instructions: 400_000,
+        instructions: None,
         ops: 100_000,
         out: None,
+        label: "local".to_string(),
+        compare: None,
+        threshold: dap_bench::regress::DEFAULT_THRESHOLD_PCT,
+        warn_only: false,
+        lenient_ok: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,10 +109,18 @@ fn parse_args() -> Args {
             "--cores" => args.cores = value("--cores").parse().unwrap_or_else(|_| usage()),
             "--arch" => args.arch = value("--arch"),
             "--instructions" => {
-                args.instructions = value("--instructions").parse().unwrap_or_else(|_| usage())
+                args.instructions =
+                    Some(value("--instructions").parse().unwrap_or_else(|_| usage()))
             }
             "--ops" => args.ops = value("--ops").parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(value("--out")),
+            "--label" => args.label = value("--label"),
+            "--compare" => args.compare = Some(value("--compare")),
+            "--threshold" => {
+                args.threshold = value("--threshold").parse().unwrap_or_else(|_| usage())
+            }
+            "--warn-only" => args.warn_only = true,
+            "--lenient-ok" => args.lenient_ok = true,
             "--threads" => {
                 let v = value("--threads");
                 dap_bench::cli::apply_threads("dapctl", Some(&v));
@@ -202,7 +236,7 @@ fn main() {
                 let config = config_for(&args.arch, args.cores);
                 let policy = policy_for(kind, &config);
                 let mut sys = System::with_policy(config, rate_mode(spec, args.cores), policy);
-                let r = sys.run(args.instructions);
+                let r = sys.run(args.instructions.unwrap_or(400_000));
                 println!(
                     "{bench} rate-{} on {} with {kind:?}:",
                     args.cores, args.arch
@@ -238,7 +272,7 @@ fn main() {
                     })
                     .collect();
                 let mut sys = System::with_policy(config, traces, policy);
-                let r = sys.run(args.instructions);
+                let r = sys.run(args.instructions.unwrap_or(400_000));
                 println!("replay of {file} on {} cores with {kind:?}:", args.cores);
                 print_result(&r);
             }
@@ -248,6 +282,11 @@ fn main() {
                     .get(1)
                     .map(String::as_str)
                     .unwrap_or_else(|| usage());
+                if bench == "summarize" {
+                    let file = args.positional.get(2).unwrap_or_else(|| usage());
+                    summarize_artifact(file, args.lenient_ok);
+                    return;
+                }
                 let spec = spec(bench).unwrap_or_else(|| {
                     eprintln!("unknown benchmark {bench} (try `dapctl list`)");
                     std::process::exit(2);
@@ -275,7 +314,10 @@ fn main() {
                 sys.attach_dap_sink(recorder.clone());
                 let registry = MetricsRegistry::new();
                 sys.attach_telemetry(SubsystemTelemetry::new(&registry));
-                let r = sys.run(args.instructions);
+                let r = sys.run(args.instructions.unwrap_or(400_000));
+                // Profile rollups must be read before `take()` clears
+                // both recorder rings.
+                let profile = recorder.profile_windows();
                 let trace = recorder.take();
                 let meta = TraceMeta {
                     label: format!("{bench}/rate-{}", args.cores),
@@ -289,6 +331,7 @@ fn main() {
                 print_result(&r);
                 println!();
                 print!("{}", dap_telemetry::summarize(&meta, &trace));
+                print!("{}", dap_telemetry::summarize_profile_windows(&profile));
                 let snapshot = registry.snapshot();
                 if let Some(h) = snapshot.histograms.get("mem.read_latency") {
                     println!(
@@ -319,7 +362,102 @@ fn main() {
                 println!("  {}", jsonl.display());
                 println!("  {}", csv.display());
             }
+            Some("bench") => {
+                // The suite default is smaller than the ad-hoc `run`
+                // default: four cells run back to back.
+                let instructions = args.instructions.unwrap_or(150_000);
+                let report = dap_bench::regress::run_suite(&args.label, instructions);
+                print!("{}", dap_bench::regress::render_report(&report));
+                let dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("target/bench"));
+                match dap_bench::regress::write_report(&dir, &report) {
+                    Ok(path) => println!("report: {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                if let Some(baseline_path) = &args.compare {
+                    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+                        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                        std::process::exit(1);
+                    });
+                    let baseline =
+                        dap_bench::regress::report_from_json(&text).unwrap_or_else(|e| {
+                            eprintln!("error: baseline {baseline_path}: {e}");
+                            std::process::exit(1);
+                        });
+                    let regressions =
+                        dap_bench::regress::compare(&report, &baseline, args.threshold);
+                    if regressions.is_empty() {
+                        println!(
+                            "compare: no regressions vs {} ({}%, baseline {})",
+                            baseline_path, args.threshold, baseline.label
+                        );
+                    } else {
+                        for regression in &regressions {
+                            eprintln!("regression: {regression}");
+                        }
+                        if args.warn_only {
+                            eprintln!(
+                                "compare: {} regression(s) vs {baseline_path} (warn-only)",
+                                regressions.len()
+                            );
+                        } else {
+                            std::process::exit(dap_bench::regress::EXIT_REGRESSION);
+                        }
+                    }
+                }
+            }
             _ => usage(),
         }
     });
+}
+
+/// `dapctl trace summarize`: reads a window-trace artifact leniently
+/// (JSONL or CSV by extension) and prints the human digest. Unparseable
+/// record lines are skipped with a warning; unless `--lenient-ok` is
+/// given, they make the process exit with [`EXIT_PARSE_ERRORS`].
+fn summarize_artifact(file: &str, lenient_ok: bool) {
+    let path = std::path::Path::new(file);
+    let parse_errors = if path.extension().is_some_and(|e| e == "csv") {
+        match dap_telemetry::export::read_window_trace_csv_lenient(path) {
+            Ok(recovered) => {
+                // The lenient CSV reader reconstructs records only; the
+                // window length lives in the JSONL twin's header.
+                let meta = TraceMeta {
+                    label: file.to_string(),
+                    arch: String::new(),
+                    window_cycles: 0,
+                };
+                let trace = dap_telemetry::WindowTrace {
+                    records: recovered.records,
+                    spilled: 0,
+                    dropped: 0,
+                };
+                print!("{}", dap_telemetry::summarize(&meta, &trace));
+                recovered.parse_errors
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match dap_telemetry::export::read_window_trace_jsonl_lenient(path) {
+            Ok(recovered) => {
+                print!("{}", dap_telemetry::summarize_recovered(&recovered));
+                recovered.parse_errors
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if parse_errors > 0 {
+        eprintln!("warning: {parse_errors} records unparseable");
+        if !lenient_ok {
+            std::process::exit(EXIT_PARSE_ERRORS);
+        }
+    }
 }

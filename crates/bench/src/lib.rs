@@ -18,6 +18,7 @@
 
 pub mod artifacts;
 pub mod cli;
+pub mod regress;
 pub mod sigint;
 pub mod timing;
 

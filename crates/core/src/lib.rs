@@ -79,5 +79,7 @@ pub use degrade::{degraded_k, EffectiveBandwidth};
 pub use edram::{EdramDapSolver, EdramPlan};
 pub use ratio::Ratio;
 pub use sectored::{SectoredDapSolver, SectoredPlan};
-pub use telemetry::{SourceFractions, TechniqueCounts, TelemetrySink, WindowSnapshot};
+pub use telemetry::{
+    ProfileWindow, SourceFractions, TechniqueCounts, TelemetrySink, WindowSnapshot,
+};
 pub use window::{WindowBudget, WindowStats};

@@ -101,6 +101,37 @@ pub struct WindowSnapshot {
     pub fractions: SourceFractions,
 }
 
+/// Per-window cycle-attribution totals from the simulator-side profiler.
+///
+/// The `mem-sim` access profiler samples demand reads/writes 1-in-N by
+/// address hash and decomposes each sampled access into phases (see the
+/// profiler's phase taxonomy). At every window boundary the sampled
+/// totals are rolled up into one of these records, so a trace can show
+/// the queue-wait shift Sec. III predicts when DAP activates. All cycle
+/// fields are *sums over the window's sampled accesses*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileWindow {
+    /// Zero-based index of the window the totals cover.
+    pub window_index: u64,
+    /// Sampled accesses folded into this window.
+    pub samples: u64,
+    /// Sampled accesses whose route a granted DAP technique changed.
+    pub grants: u64,
+    /// Cycles resolving tags in the SRAM tag cache.
+    pub tag_probe: u64,
+    /// Cycles resolving tags/metadata in the DRAM-cache array.
+    pub cache_tag: u64,
+    /// Cache-queue wait cycles observed at access arrival.
+    pub cache_queue_wait: u64,
+    /// Main-memory-queue wait cycles observed at access arrival.
+    pub mm_queue_wait: u64,
+    /// Channel CAS service cycles (completion minus waits and tag work).
+    pub channel_cas: u64,
+    /// Cycles traded by DAP grant decisions (the queue-estimate
+    /// differential between the two sources at decision time).
+    pub dap_decision: u64,
+}
+
 /// A consumer of per-window controller snapshots.
 ///
 /// Implementations must be cheap and non-blocking on the caller's side —
@@ -115,6 +146,13 @@ pub trait TelemetrySink: Send + Sync {
     /// The default does nothing so plain recorders need no changes.
     fn record_violation(&self, violation: &crate::audit::AuditViolation) {
         let _ = violation;
+    }
+
+    /// Records one window's profiler cycle-attribution totals (emitted by
+    /// the `mem-sim` access profiler, not the controller). The default
+    /// does nothing so plain recorders need no changes.
+    fn record_profile_window(&self, window: &ProfileWindow) {
+        let _ = window;
     }
 }
 

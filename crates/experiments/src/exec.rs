@@ -620,10 +620,15 @@ pub fn run_variant_grid(
     instructions: u64,
     alone: &AloneIpcCache,
 ) -> Vec<Vec<WorkloadRun>> {
+    let _progress = crate::progress::grid_started(mixes.len() * variants.len());
     let mut plan = ExperimentPlan::new();
     for mix in mixes {
         for &(config, kind) in variants {
-            plan.add(move || run_workload(config, kind, mix, instructions, alone));
+            plan.add(move || {
+                let run = run_workload(config, kind, mix, instructions, alone);
+                crate::progress::cell_finished(crate::progress::windows_of(&run));
+                run
+            });
         }
     }
     let mut runs = ParallelExecutor::from_env().run(plan).into_iter();
@@ -792,6 +797,7 @@ pub fn run_variant_grid_recovered_with(
                     if let Some(manifest) = checkpoint {
                         manifest.record(&record_key, &run);
                     }
+                    crate::progress::cell_finished(crate::progress::windows_of(&run));
                     run
                 })
                 .with_fingerprint(key),
@@ -799,6 +805,7 @@ pub fn run_variant_grid_recovered_with(
             cell_slot.push(slot);
         }
     }
+    let _progress = crate::progress::grid_started(cells.len());
     let results = executor.run_cells(cells, retries);
     for (slot, result) in cell_slot.into_iter().zip(results) {
         slots[slot] = Some(result);

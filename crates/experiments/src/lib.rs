@@ -30,6 +30,7 @@ pub mod extensions;
 pub mod figures;
 pub mod fingerprint;
 pub mod metrics;
+pub mod progress;
 pub mod runner;
 pub mod telemetry;
 
@@ -42,6 +43,7 @@ pub use exec::{
 };
 pub use fingerprint::ConfigFingerprint;
 pub use metrics::{geomean, FigureResult, Row};
+pub use progress::{cell_finished, grid_started, GridProgress};
 pub use runner::{run_mix, run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
 pub use telemetry::{
     artifact_dir_from_env, export_variant_traces, run_variant_grid_traced, run_workload_traced,

@@ -1,0 +1,210 @@
+//! Live grid progress on stderr.
+//!
+//! A figure sweep is minutes of silence without this: the executor knows
+//! how many cells exist and the runner knows how many DAP windows each
+//! finished cell simulated, so between them a single process-global
+//! reporter can print `cells done, windows/s, ETA`. The reporter is
+//! deliberately conservative:
+//!
+//! * it writes only to **stderr**, never stdout (figure output is parsed
+//!   and compared byte-for-byte by CI),
+//! * it is **off** when stderr is not a terminal or `DAP_QUIET=1` is set,
+//!   so CI logs and piped runs stay clean,
+//! * emissions are rate-limited (at most ~5 lines/s, rewritten in place
+//!   with `\r`), so the reporter never becomes the bottleneck it is
+//!   supposed to diagnose.
+//!
+//! [`grid_started`] installs the reporter for one grid and returns a
+//! guard; the grid helpers in [`crate::exec`] and [`crate::telemetry`]
+//! call [`cell_finished`] as cells complete. Overlapping grids are not a
+//! real workload (figures run sequentially) — a nested `grid_started`
+//! simply replaces the active reporter.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::exec::lock_unpoisoned;
+use crate::runner::WorkloadRun;
+
+/// Environment variable that silences the progress reporter (set to `1`).
+pub const QUIET_ENV: &str = "DAP_QUIET";
+
+/// Minimum interval between stderr rewrites.
+const EMIT_INTERVAL: Duration = Duration::from_millis(200);
+
+struct Inner {
+    total: usize,
+    done: AtomicUsize,
+    windows: AtomicU64,
+    started: Instant,
+    last_emit: Mutex<Instant>,
+}
+
+impl Inner {
+    /// One status line (no carriage control); pure so tests can pin the
+    /// format without a terminal.
+    fn render(done: usize, total: usize, windows: u64, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let rate = windows as f64 / secs;
+        let eta = if done == 0 {
+            "?".to_string()
+        } else {
+            let remaining = secs / done as f64 * (total - done) as f64;
+            format!("{remaining:.0}s")
+        };
+        format!("{done}/{total} cells | {rate:.0} windows/s | ETA {eta}")
+    }
+
+    fn emit(&self, force: bool) {
+        let now = Instant::now();
+        {
+            let mut last = lock_unpoisoned(&self.last_emit);
+            if !force && now.duration_since(*last) < EMIT_INTERVAL {
+                return;
+            }
+            *last = now;
+        }
+        let line = Self::render(
+            self.done.load(Ordering::Relaxed),
+            self.total,
+            self.windows.load(Ordering::Relaxed),
+            self.started.elapsed(),
+        );
+        // Rewrite in place; pad so a shorter line fully covers the
+        // previous one.
+        let _ = write!(std::io::stderr(), "\r{line:<60}");
+    }
+}
+
+/// The active reporter, if a grid is running and reporting is enabled.
+static ACTIVE: Mutex<Option<Arc<Inner>>> = Mutex::new(None);
+
+/// Whether progress reporting is enabled in this environment: stderr is
+/// a terminal and [`QUIET_ENV`] is not `1`.
+fn reporting_enabled() -> bool {
+    if std::env::var(QUIET_ENV).is_ok_and(|v| v.trim() == "1") {
+        return false;
+    }
+    std::io::stderr().is_terminal()
+}
+
+/// Keeps the reporter alive for one grid; dropping it clears the status
+/// line and deactivates reporting.
+pub struct GridProgress {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Drop for GridProgress {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let mut active = lock_unpoisoned(&ACTIVE);
+        // Only clear the slot if it is still ours (a nested grid may
+        // have replaced the reporter).
+        if active
+            .as_ref()
+            .is_some_and(|current| Arc::ptr_eq(current, &inner))
+        {
+            *active = None;
+            drop(active);
+            // Blank the in-place status line so the next output starts
+            // on a clean column.
+            let _ = write!(std::io::stderr(), "\r{:<60}\r", "");
+        }
+    }
+}
+
+/// Installs a progress reporter for a grid of `total_cells` cells.
+/// Returns a no-op guard when reporting is disabled (non-TTY stderr,
+/// `DAP_QUIET=1`, or an empty grid).
+pub fn grid_started(total_cells: usize) -> GridProgress {
+    if total_cells == 0 || !reporting_enabled() {
+        return GridProgress { inner: None };
+    }
+    let inner = Arc::new(Inner {
+        total: total_cells,
+        done: AtomicUsize::new(0),
+        windows: AtomicU64::new(0),
+        started: Instant::now(),
+        last_emit: Mutex::new(Instant::now() - EMIT_INTERVAL),
+    });
+    *lock_unpoisoned(&ACTIVE) = Some(inner.clone());
+    inner.emit(true);
+    GridProgress { inner: Some(inner) }
+}
+
+/// Reports one finished cell that simulated `windows` DAP windows.
+/// No-op when no reporter is active.
+pub fn cell_finished(windows: u64) {
+    let inner = lock_unpoisoned(&ACTIVE).clone();
+    let Some(inner) = inner else {
+        return;
+    };
+    inner.done.fetch_add(1, Ordering::Relaxed);
+    inner.windows.fetch_add(windows, Ordering::Relaxed);
+    let done = inner.done.load(Ordering::Relaxed);
+    inner.emit(done >= inner.total);
+}
+
+/// How many DAP windows a finished workload run simulated (the slowest
+/// core's cycle count over the default 64-cycle window).
+pub fn windows_of(run: &WorkloadRun) -> u64 {
+    run.result
+        .per_core
+        .iter()
+        .map(|core| core.cycles)
+        .max()
+        .unwrap_or(0)
+        / 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_cells_rate_and_eta() {
+        let line = Inner::render(3, 10, 70_000, Duration::from_secs(7));
+        assert_eq!(line, "3/10 cells | 10000 windows/s | ETA 16s");
+        let unknown = Inner::render(0, 10, 0, Duration::from_secs(1));
+        assert!(unknown.ends_with("ETA ?"), "{unknown}");
+        let finished = Inner::render(10, 10, 100, Duration::from_secs(2));
+        assert!(finished.contains("ETA 0s"), "{finished}");
+    }
+
+    #[test]
+    fn inactive_reporter_ignores_cell_reports() {
+        // No grid installed (tests run without a TTY anyway): must not
+        // panic or print.
+        cell_finished(123);
+        let guard = grid_started(0);
+        drop(guard);
+        cell_finished(1);
+    }
+
+    #[test]
+    fn windows_of_uses_slowest_core() {
+        use mem_sim::{CoreResult, RunResult, SimStats};
+        let run = WorkloadRun {
+            result: RunResult {
+                per_core: vec![
+                    CoreResult {
+                        instructions: 10,
+                        cycles: 640,
+                    },
+                    CoreResult {
+                        instructions: 10,
+                        cycles: 6_400,
+                    },
+                ],
+                stats: SimStats::default(),
+                dap_decisions: None,
+            },
+            weighted_speedup: 1.0,
+        };
+        assert_eq!(windows_of(&run), 100);
+    }
+}

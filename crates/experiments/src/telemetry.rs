@@ -53,6 +53,9 @@ pub struct TracedRun {
     /// The per-window DAP controller trace (empty for non-DAP policies —
     /// they have no controller to trace).
     pub trace: WindowTrace,
+    /// The cycle-attribution profiler's per-window rollups (empty when
+    /// profiling is disabled — `DAP_PROFILE_SAMPLE=0` or `telemetry-off`).
+    pub profile: Vec<dap_core::ProfileWindow>,
 }
 
 /// Runs one mix under one policy with telemetry attached: a private
@@ -84,12 +87,15 @@ pub fn run_workload_traced(
         .map(|s| alone.ipc(config, s.name, instructions))
         .collect();
     let weighted_speedup = result.weighted_speedup(&alone_ipcs);
+    // Profile rollups must be read before `take()` clears both rings.
+    let profile = recorder.profile_windows();
     TracedRun {
         run: WorkloadRun {
             result,
             weighted_speedup,
         },
         trace: recorder.take(),
+        profile,
     }
 }
 
@@ -104,6 +110,9 @@ pub struct VariantTelemetry {
     pub metrics: MetricsSnapshot,
     /// `(mix name, trace)` per mix, in mix order.
     pub traces: Vec<(String, WindowTrace)>,
+    /// Cycle-attribution rollups per mix, in mix order (empty inner
+    /// vectors when profiling is disabled).
+    pub profiles: Vec<(String, Vec<dap_core::ProfileWindow>)>,
 }
 
 /// Runs `variants.len()` traced units per mix in parallel: the traced
@@ -117,25 +126,33 @@ pub fn run_variant_grid_traced(
     instructions: u64,
     alone: &AloneIpcCache,
 ) -> (Vec<Vec<WorkloadRun>>, Vec<VariantTelemetry>) {
+    let _progress = crate::progress::grid_started(mixes.len() * variants.len());
     let registries: Vec<MetricsRegistry> =
         variants.iter().map(|_| MetricsRegistry::new()).collect();
     let mut plan = ExperimentPlan::new();
     for mix in mixes {
         for (v, &(config, kind, _)) in variants.iter().enumerate() {
             let registry = &registries[v];
-            plan.add(move || run_workload_traced(config, kind, mix, instructions, alone, registry));
+            plan.add(move || {
+                let traced = run_workload_traced(config, kind, mix, instructions, alone, registry);
+                crate::progress::cell_finished(crate::progress::windows_of(&traced.run));
+                traced
+            });
         }
     }
     let mut traced = ParallelExecutor::from_env().run(plan).into_iter();
     let mut per_mix: Vec<Vec<WorkloadRun>> = Vec::with_capacity(mixes.len());
     let mut traces: Vec<Vec<(String, WindowTrace)>> = variants.iter().map(|_| Vec::new()).collect();
+    let mut profiles: Vec<Vec<(String, Vec<dap_core::ProfileWindow>)>> =
+        variants.iter().map(|_| Vec::new()).collect();
     for mix in mixes {
         let mut row = Vec::with_capacity(variants.len());
-        for variant_traces in traces.iter_mut() {
+        for (variant_traces, variant_profiles) in traces.iter_mut().zip(profiles.iter_mut()) {
             // invariant: run() returns one result per added task; the
             // plan added mixes × variants tasks in this same order.
             let t = traced.next().expect("one result per unit");
             variant_traces.push((mix.name.clone(), t.trace));
+            variant_profiles.push((mix.name.clone(), t.profile));
             row.push(t.run);
         }
         per_mix.push(row);
@@ -143,13 +160,14 @@ pub fn run_variant_grid_traced(
     let telemetry = variants
         .iter()
         .zip(registries.iter())
-        .zip(traces)
+        .zip(traces.into_iter().zip(profiles))
         .map(
-            |((&(config, _, label), registry), traces)| VariantTelemetry {
+            |((&(config, _, label), registry), (traces, profiles))| VariantTelemetry {
                 label: label.to_string(),
                 arch: architecture_label(config),
                 metrics: registry.snapshot(),
                 traces,
+                profiles,
             },
         )
         .collect();

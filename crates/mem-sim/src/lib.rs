@@ -47,6 +47,7 @@ pub mod interrupt;
 pub mod mscache;
 pub mod policy;
 pub mod prefetch;
+pub mod profile;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
@@ -59,6 +60,7 @@ pub use policy::{
     DapPolicy, NoPartitioning, Observation, Partitioner, ReadContext, ReadRoute, ThreadAwareDap,
     WriteRoute,
 };
+pub use profile::{AccessProfiler, PhaseSample};
 pub use stats::{CoreResult, RunResult, SimStats};
 pub use system::{MemAccessKind, MemorySubsystem, System};
 pub use telemetry::SubsystemTelemetry;

@@ -130,6 +130,13 @@ pub trait Partitioner {
         None
     }
 
+    /// The policy's accounting-window length in cycles, when it runs a
+    /// windowed controller (the access profiler aligns its rollups to
+    /// it). `None` (the default) for window-less policies.
+    fn window_cycles(&self) -> Option<u32> {
+        None
+    }
+
     /// Attaches a window-trace sink to the policy's DAP controller, when
     /// it has one. Non-DAP policies ignore the sink (the default).
     fn attach_dap_sink(&mut self, _sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {}
@@ -252,6 +259,10 @@ impl Partitioner for DapPolicy {
         Some(*self.controller.decisions())
     }
 
+    fn window_cycles(&self) -> Option<u32> {
+        Some(self.controller.config().window_cycles)
+    }
+
     fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
         self.controller.attach_sink(sink);
     }
@@ -366,6 +377,10 @@ impl Partitioner for ThreadAwareDap {
 
     fn dap_decisions(&self) -> Option<DecisionStats> {
         self.inner.dap_decisions()
+    }
+
+    fn window_cycles(&self) -> Option<u32> {
+        self.inner.window_cycles()
     }
 
     fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {

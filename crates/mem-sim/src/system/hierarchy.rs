@@ -98,6 +98,18 @@ impl System {
         self.mem.attach_dap_sink(sink);
     }
 
+    /// Replaces the memory subsystem's access profiler (fixed-interval
+    /// sampling for tests and tools).
+    pub fn attach_profiler(&mut self, profiler: crate::profile::AccessProfiler) {
+        self.mem.attach_profiler(profiler);
+    }
+
+    /// Removes the memory subsystem's access profiler (overhead tools
+    /// that need telemetry without profiling).
+    pub fn detach_profiler(&mut self) {
+        self.mem.detach_profiler();
+    }
+
     /// A demand load at cycle `t`; returns its completion cycle.
     pub(super) fn load(&mut self, core: usize, block: u64, pc: u64, t: Cycle) -> Cycle {
         let (_, _, l1_lat) = self.config.l1;

@@ -20,6 +20,16 @@ impl SectoredDramCache {
             env.stats.tag_cache_misses += 1;
         }
         env.stats.metadata_cas += u64::from(probe.metadata_cas);
+        if let Some(sample) = env.profile.as_deref_mut() {
+            // Cycle attribution: a tag-cache hit resolves in the SRAM
+            // probe phase; a miss pays the DRAM-cache tag access.
+            let spent = probe.resolved_at.saturating_sub(now);
+            if probe.tag_cache_hit {
+                sample.tag_probe += spent;
+            } else {
+                sample.cache_tag += spent;
+            }
+        }
         for _ in 0..probe.metadata_cas {
             env.observe(Observation::CacheAccess { write: false }, now);
         }
@@ -185,8 +195,13 @@ impl SectorCache for EdramCache {
         self.estimated_read_wait(block, now)
     }
 
-    fn read_probe(&mut self, _env: &mut RouteEnv, block: u64, now: Cycle) -> Probe {
+    fn read_probe(&mut self, env: &mut RouteEnv, block: u64, now: Cycle) -> Probe {
         self.touch(block);
+        if let Some(sample) = env.profile.as_deref_mut() {
+            // On-die tags: the check is a fixed array-tag latency, with
+            // no SRAM tag-cache phase in front of it.
+            sample.cache_tag += self.tag_latency();
+        }
         Probe {
             // On-die tags: data reads start immediately (the array call
             // accounts its own latency); fall-through main-memory reads
@@ -196,8 +211,11 @@ impl SectorCache for EdramCache {
         }
     }
 
-    fn write_probe(&mut self, _env: &mut RouteEnv, block: u64, _now: Cycle) {
+    fn write_probe(&mut self, env: &mut RouteEnv, block: u64, _now: Cycle) {
         self.touch(block);
+        if let Some(sample) = env.profile.as_deref_mut() {
+            sample.cache_tag += self.tag_latency();
+        }
     }
 
     fn state(&self, block: u64) -> BlockState {

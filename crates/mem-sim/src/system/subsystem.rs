@@ -7,6 +7,7 @@ use crate::dram::{DramModule, DramStats};
 use crate::faults::{FaultSchedule, FaultTarget};
 use crate::mscache::{AlloyCache, EdramCache, FlatTier, SectoredDramCache};
 use crate::policy::{Observation, Partitioner, ReadContext};
+use crate::profile::{grant_fired, AccessProfiler, PhaseSample};
 use crate::stats::SimStats;
 use crate::telemetry::SubsystemTelemetry;
 
@@ -46,6 +47,11 @@ pub(crate) struct RouteEnv<'a> {
     pub stats: &'a mut SimStats,
     /// Checked-mode conservation tally (`None` when the audit is off).
     pub observed: Option<&'a mut ObservedAccesses>,
+    /// Cycle-attribution sample under construction, when this access is
+    /// in the profiler's 1-in-N sample. Routing layers add the tag-phase
+    /// cycles they spend; `None` (the overwhelmingly common case) costs
+    /// them one branch.
+    pub profile: Option<&'a mut PhaseSample>,
 }
 
 impl RouteEnv<'_> {
@@ -311,6 +317,13 @@ pub struct MemorySubsystem {
     policy: Box<dyn Partitioner>,
     stats: SimStats,
     telemetry: Option<SubsystemTelemetry>,
+    /// Cycle-attribution profiler; created with the telemetry attachment
+    /// when the build records telemetry and `DAP_PROFILE_SAMPLE` != 0.
+    profiler: Option<AccessProfiler>,
+    /// Sink receiving the profiler's per-window rollups (the same sink
+    /// the DAP window trace goes to), retained so attachment order
+    /// between telemetry and sink doesn't matter.
+    profile_sink: Option<std::sync::Arc<dyn dap_core::TelemetrySink>>,
     faults: Option<FaultWatch>,
     /// Checked-mode served-access tally and the mode violations are
     /// reported in; `None` when the audit is off.
@@ -340,6 +353,8 @@ impl MemorySubsystem {
             policy,
             stats: SimStats::default(),
             telemetry: None,
+            profiler: None,
+            profile_sink: None,
             faults,
             audit: (audit_mode != dap_core::AuditMode::Off)
                 .then(|| (audit_mode, ObservedAccesses::default())),
@@ -347,16 +362,43 @@ impl MemorySubsystem {
     }
 
     /// Attaches simulator-side telemetry: demand reads/writes start
-    /// feeding the queue-occupancy and latency histograms, and
-    /// [`Self::finalize`] folds in per-channel utilization. Without an
-    /// attachment the hot paths pay one `Option` check.
+    /// feeding the queue-occupancy and latency histograms, sampled
+    /// accesses get cycle-attribution profiled (see [`crate::profile`]),
+    /// and [`Self::finalize`] folds in per-channel utilization. Without
+    /// an attachment the hot paths pay one `Option` check.
     pub fn attach_telemetry(&mut self, telemetry: SubsystemTelemetry) {
         self.telemetry = Some(telemetry);
+        self.profiler = AccessProfiler::from_env(self.policy.window_cycles().unwrap_or(64));
+        if let (Some(profiler), Some(sink)) = (self.profiler.as_mut(), self.profile_sink.as_ref()) {
+            profiler.attach_sink(sink.clone());
+        }
+    }
+
+    /// Replaces the access profiler (tests and tools that need a fixed
+    /// sampling interval; [`Self::attach_telemetry`] builds one from
+    /// `DAP_PROFILE_SAMPLE` by default). A previously attached sink
+    /// carries over.
+    pub fn attach_profiler(&mut self, mut profiler: AccessProfiler) {
+        if let Some(sink) = self.profile_sink.as_ref() {
+            profiler.attach_sink(sink.clone());
+        }
+        self.profiler = Some(profiler);
+    }
+
+    /// Removes the access profiler (overhead-measurement tools that need
+    /// telemetry attached but profiling off, independent of the
+    /// environment). No-op when none is attached.
+    pub fn detach_profiler(&mut self) {
+        self.profiler = None;
     }
 
     /// Forwards a DAP window-trace sink to the policy (no-op for
-    /// non-DAP policies).
+    /// non-DAP policies) and to the access profiler's window rollups.
     pub fn attach_dap_sink(&mut self, sink: std::sync::Arc<dyn dap_core::TelemetrySink>) {
+        if let Some(profiler) = self.profiler.as_mut() {
+            profiler.attach_sink(sink.clone());
+        }
+        self.profile_sink = Some(sink.clone());
         self.policy.attach_dap_sink(sink);
     }
 
@@ -392,6 +434,9 @@ impl MemorySubsystem {
         self.ms.flush(now);
         self.stats.mm_cas = self.mm.stats().cas_total();
         self.stats.ms_cas = self.ms.cas_total();
+        if let Some(profiler) = self.profiler.as_mut() {
+            profiler.emit();
+        }
         if self.telemetry.is_some() {
             let activity = self.mm.per_channel_activity();
             if let Some(telemetry) = self.telemetry.as_mut() {
@@ -462,13 +507,56 @@ impl MemorySubsystem {
         if kind == MemAccessKind::DemandRead {
             self.stats.demand_reads += 1;
         }
+        // Cycle attribution: for the deterministic 1-in-N sample, capture
+        // the pure `&self` pre-access state the decomposition needs —
+        // both queue estimates, the technique counters, and the hit
+        // counter that reveals which source served the read. Reads only
+        // and never mutates, so profiling cannot perturb timing.
+        let mut phase = PhaseSample::default();
+        let pre = if kind == MemAccessKind::DemandRead
+            && self.profiler.as_ref().is_some_and(|p| p.samples(block))
+        {
+            Some((
+                self.ms.queue_wait(block, now),
+                self.mm.estimated_wait(block, now),
+                self.policy.dap_decisions().unwrap_or_default(),
+                self.stats.ms_read_hits,
+            ))
+        } else {
+            None
+        };
         let mut env = RouteEnv {
             mm: &mut self.mm,
             policy: self.policy.as_mut(),
             stats: &mut self.stats,
             observed: self.audit.as_mut().map(|(_, tally)| tally),
+            profile: pre.is_some().then_some(&mut phase),
         };
         let done = self.ms.read(&mut env, block, core, pc, now);
+        if let Some((cache_wait, mm_wait, decisions_before, hits_before)) = pre {
+            phase.cache_queue_wait = cache_wait;
+            phase.mm_queue_wait = mm_wait;
+            let after = self.policy.dap_decisions().unwrap_or_default();
+            phase.granted = grant_fired(&decisions_before, &after);
+            if phase.granted {
+                phase.dap_decision = cache_wait.abs_diff(mm_wait);
+            }
+            let served_wait = if self.stats.ms_read_hits > hits_before {
+                cache_wait
+            } else {
+                mm_wait
+            };
+            phase.channel_cas = done
+                .saturating_sub(now)
+                .saturating_sub(served_wait)
+                .saturating_sub(phase.tag_probe + phase.cache_tag);
+            if let Some(telemetry) = self.telemetry.as_mut() {
+                telemetry.record_profile_sample(&phase);
+            }
+            if let Some(profiler) = self.profiler.as_mut() {
+                profiler.record(now, &phase);
+            }
+        }
         if kind == MemAccessKind::DemandRead {
             self.stats.read_latency_sum += done.saturating_sub(now);
             self.stats.read_latency_count += 1;
@@ -491,13 +579,45 @@ impl MemorySubsystem {
         if let Some(telemetry) = self.telemetry.as_mut() {
             telemetry.record_demand_write();
         }
+        // Writes have no completion cycle a core waits on, so a sampled
+        // write attributes its tag phases, arrival queue waits, and grant
+        // decision but leaves `channel_cas` at zero.
+        let mut phase = PhaseSample {
+            write: true,
+            ..PhaseSample::default()
+        };
+        let pre = if self.profiler.as_ref().is_some_and(|p| p.samples(block)) {
+            Some((
+                self.ms.queue_wait(block, now),
+                self.mm.estimated_wait(block, now),
+                self.policy.dap_decisions().unwrap_or_default(),
+            ))
+        } else {
+            None
+        };
         let mut env = RouteEnv {
             mm: &mut self.mm,
             policy: self.policy.as_mut(),
             stats: &mut self.stats,
             observed: self.audit.as_mut().map(|(_, tally)| tally),
+            profile: pre.is_some().then_some(&mut phase),
         };
         self.ms.write(&mut env, block, now);
+        if let Some((cache_wait, mm_wait, decisions_before)) = pre {
+            phase.cache_queue_wait = cache_wait;
+            phase.mm_queue_wait = mm_wait;
+            let after = self.policy.dap_decisions().unwrap_or_default();
+            phase.granted = grant_fired(&decisions_before, &after);
+            if phase.granted {
+                phase.dap_decision = cache_wait.abs_diff(mm_wait);
+            }
+            if let Some(telemetry) = self.telemetry.as_mut() {
+                telemetry.record_profile_sample(&phase);
+            }
+            if let Some(profiler) = self.profiler.as_mut() {
+                profiler.record(now, &phase);
+            }
+        }
     }
 
     /// Crosses any fault-schedule boundaries reached by `now`: reports
@@ -532,6 +652,7 @@ impl MemorySubsystem {
             policy: self.policy.as_mut(),
             stats: &mut self.stats,
             observed: self.audit.as_mut().map(|(_, tally)| tally),
+            profile: None,
         };
         self.ms.apply_maintenance(&mut env, &sets, &sectors, now);
     }

@@ -16,6 +16,7 @@
 use dap_telemetry::metrics::{bucket_for, Counter, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 
 use crate::clock::Cycle;
+use crate::profile::PhaseSample;
 
 /// A plain-integer histogram accumulator mirroring
 /// [`Histogram`]'s bucket layout, flushed in bulk.
@@ -67,6 +68,14 @@ impl LocalHistogram {
 /// | `mem.faults_applied` | counter | injected fault events becoming active |
 /// | `mem.faults_cleared` | counter | injected fault events expiring |
 /// | `mem.bandwidth_resolves` | counter | measured-bandwidth changes reported to the policy |
+/// | `prof.samples` | counter | demand accesses in the cycle-attribution sample |
+/// | `prof.grants` | counter | sampled accesses a DAP technique fired on |
+/// | `prof.tag_probe` | histogram | sampled SRAM tag-cache probe cycles |
+/// | `prof.cache_tag` | histogram | sampled DRAM/eDRAM tag-access cycles |
+/// | `prof.cache_queue_wait` | histogram | sampled cache-queue wait at arrival (cycles) |
+/// | `prof.mm_queue_wait` | histogram | sampled main-memory-queue wait at arrival (cycles) |
+/// | `prof.channel_cas` | histogram | sampled residual channel service cycles |
+/// | `prof.dap_decision` | histogram | queue-wait gap of granted samples (cycles) |
 ///
 /// Samples become visible in the registry only after [`flush`]
 /// (`MemorySubsystem::finalize` — and therefore `System::run` — flushes
@@ -86,14 +95,30 @@ pub struct SubsystemTelemetry {
     faults_applied: Counter,
     faults_cleared: Counter,
     bandwidth_resolves: Counter,
+    prof_samples: Counter,
+    prof_grants: Counter,
+    prof_tag_probe: Histogram,
+    prof_cache_tag: Histogram,
+    prof_cache_queue_wait: Histogram,
+    prof_mm_queue_wait: Histogram,
+    prof_channel_cas: Histogram,
+    prof_dap_decision: Histogram,
     local_demand_reads: u64,
     local_demand_writes: u64,
     local_faults_applied: u64,
     local_faults_cleared: u64,
     local_bandwidth_resolves: u64,
+    local_prof_samples: u64,
+    local_prof_grants: u64,
     local_read_latency: LocalHistogram,
     local_cache_queue_wait: LocalHistogram,
     local_mm_queue_wait: LocalHistogram,
+    local_prof_tag_probe: LocalHistogram,
+    local_prof_cache_tag: LocalHistogram,
+    local_prof_cache_queue_wait: LocalHistogram,
+    local_prof_mm_queue_wait: LocalHistogram,
+    local_prof_channel_cas: LocalHistogram,
+    local_prof_dap_decision: LocalHistogram,
 }
 
 impl SubsystemTelemetry {
@@ -111,14 +136,30 @@ impl SubsystemTelemetry {
             faults_applied: registry.counter("mem.faults_applied"),
             faults_cleared: registry.counter("mem.faults_cleared"),
             bandwidth_resolves: registry.counter("mem.bandwidth_resolves"),
+            prof_samples: registry.counter("prof.samples"),
+            prof_grants: registry.counter("prof.grants"),
+            prof_tag_probe: registry.histogram("prof.tag_probe"),
+            prof_cache_tag: registry.histogram("prof.cache_tag"),
+            prof_cache_queue_wait: registry.histogram("prof.cache_queue_wait"),
+            prof_mm_queue_wait: registry.histogram("prof.mm_queue_wait"),
+            prof_channel_cas: registry.histogram("prof.channel_cas"),
+            prof_dap_decision: registry.histogram("prof.dap_decision"),
             local_demand_reads: 0,
             local_demand_writes: 0,
             local_faults_applied: 0,
             local_faults_cleared: 0,
             local_bandwidth_resolves: 0,
+            local_prof_samples: 0,
+            local_prof_grants: 0,
             local_read_latency: LocalHistogram::default(),
             local_cache_queue_wait: LocalHistogram::default(),
             local_mm_queue_wait: LocalHistogram::default(),
+            local_prof_tag_probe: LocalHistogram::default(),
+            local_prof_cache_tag: LocalHistogram::default(),
+            local_prof_cache_queue_wait: LocalHistogram::default(),
+            local_prof_mm_queue_wait: LocalHistogram::default(),
+            local_prof_channel_cas: LocalHistogram::default(),
+            local_prof_dap_decision: LocalHistogram::default(),
         }
     }
 
@@ -141,6 +182,27 @@ impl SubsystemTelemetry {
     #[inline]
     pub fn record_demand_write(&mut self) {
         self.local_demand_writes += 1;
+    }
+
+    /// Folds one cycle-attribution sample into the per-phase `prof.*`
+    /// histograms. Every phase records a sample — a zero is the real
+    /// "no wait" signal, and equal counts keep the phases comparable —
+    /// except `prof.dap_decision`, which only granted accesses feed (an
+    /// all-zeros flood from ungranted traffic would bury the gap
+    /// distribution the grants decided across).
+    #[inline]
+    pub fn record_profile_sample(&mut self, sample: &PhaseSample) {
+        self.local_prof_samples += 1;
+        self.local_prof_grants += u64::from(sample.granted);
+        self.local_prof_tag_probe.record(sample.tag_probe);
+        self.local_prof_cache_tag.record(sample.cache_tag);
+        self.local_prof_cache_queue_wait
+            .record(sample.cache_queue_wait);
+        self.local_prof_mm_queue_wait.record(sample.mm_queue_wait);
+        self.local_prof_channel_cas.record(sample.channel_cas);
+        if sample.granted {
+            self.local_prof_dap_decision.record(sample.dap_decision);
+        }
     }
 
     /// Records a fault-schedule boundary crossing: `applied` events became
@@ -188,10 +250,28 @@ impl SubsystemTelemetry {
             self.bandwidth_resolves.add(self.local_bandwidth_resolves);
             self.local_bandwidth_resolves = 0;
         }
+        if self.local_prof_samples > 0 {
+            self.prof_samples.add(self.local_prof_samples);
+            self.local_prof_samples = 0;
+        }
+        if self.local_prof_grants > 0 {
+            self.prof_grants.add(self.local_prof_grants);
+            self.local_prof_grants = 0;
+        }
         self.local_read_latency.flush_into(&self.read_latency);
         self.local_cache_queue_wait
             .flush_into(&self.cache_queue_wait);
         self.local_mm_queue_wait.flush_into(&self.mm_queue_wait);
+        self.local_prof_tag_probe.flush_into(&self.prof_tag_probe);
+        self.local_prof_cache_tag.flush_into(&self.prof_cache_tag);
+        self.local_prof_cache_queue_wait
+            .flush_into(&self.prof_cache_queue_wait);
+        self.local_prof_mm_queue_wait
+            .flush_into(&self.prof_mm_queue_wait);
+        self.local_prof_channel_cas
+            .flush_into(&self.prof_channel_cas);
+        self.local_prof_dap_decision
+            .flush_into(&self.prof_dap_decision);
     }
 }
 
@@ -230,6 +310,37 @@ mod tests {
             2,
             "an empty second flush adds nothing"
         );
+    }
+
+    #[test]
+    fn profile_samples_feed_phase_histograms() {
+        if !dap_telemetry::enabled() {
+            return;
+        }
+        let registry = MetricsRegistry::new();
+        let mut telemetry = SubsystemTelemetry::new(&registry);
+        telemetry.record_profile_sample(&PhaseSample {
+            tag_probe: 3,
+            cache_queue_wait: 40,
+            channel_cas: 25,
+            ..PhaseSample::default()
+        });
+        telemetry.record_profile_sample(&PhaseSample {
+            granted: true,
+            dap_decision: 90,
+            mm_queue_wait: 12,
+            channel_cas: 30,
+            ..PhaseSample::default()
+        });
+        telemetry.flush();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["prof.samples"], 2);
+        assert_eq!(snap.counters["prof.grants"], 1);
+        assert_eq!(snap.histograms["prof.tag_probe"].count, 2);
+        assert_eq!(snap.histograms["prof.channel_cas"].sum, 55);
+        // Only the granted sample feeds the decision-gap histogram.
+        assert_eq!(snap.histograms["prof.dap_decision"].count, 1);
+        assert_eq!(snap.histograms["prof.dap_decision"].sum, 90);
     }
 
     #[test]

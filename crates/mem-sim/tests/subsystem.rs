@@ -238,3 +238,76 @@ fn rfo_and_prefetch_do_not_count_latency() {
     assert_eq!(s.read_latency_count, 0);
     assert_eq!(s.demand_reads, 0);
 }
+
+/// Drives one DAP subsystem over a fixed access pattern, optionally with
+/// the cycle-attribution profiler sampling every access.
+fn drive_profiled(
+    profiled: bool,
+) -> (
+    mem_sim::SimStats,
+    dap_telemetry::MetricsSnapshot,
+    Vec<dap_core::ProfileWindow>,
+) {
+    use std::sync::Arc;
+
+    let config = SystemConfig::sectored_dram_cache(1);
+    let policy = Box::new(mem_sim::DapPolicy::new(dap_core::DapConfig::hbm_ddr4()));
+    let mut m = MemorySubsystem::new(&config, policy);
+    let registry = dap_telemetry::MetricsRegistry::new();
+    let recorder = Arc::new(dap_telemetry::WindowTraceRecorder::new(4096));
+    if profiled {
+        m.attach_dap_sink(recorder.clone());
+        m.attach_telemetry(mem_sim::SubsystemTelemetry::new(&registry));
+        if let Some(profiler) = mem_sim::AccessProfiler::new(1, 64) {
+            m.attach_profiler(profiler);
+        }
+    }
+    let mut now = 1_000;
+    for i in 0..400u64 {
+        let block = (i % 48) * 8;
+        now = now.max(m.read(block, 0, 0, now + 20, MemAccessKind::DemandRead));
+        if i % 7 == 0 {
+            m.write(block, now);
+        }
+    }
+    m.finalize(now);
+    (*m.stats(), registry.snapshot(), recorder.profile_windows())
+}
+
+#[test]
+fn profiler_attributes_phases_without_perturbing_simulation() {
+    let (plain, ..) = drive_profiled(false);
+    let (profiled, snapshot, windows) = drive_profiled(true);
+    assert_eq!(
+        plain, profiled,
+        "cycle-attribution profiling must never change simulation numbers"
+    );
+    if !dap_telemetry::enabled() {
+        assert!(windows.is_empty(), "telemetry-off records nothing");
+        return;
+    }
+    // Interval 1 samples every demand access.
+    let sampled = snapshot.counters["prof.samples"];
+    assert_eq!(sampled, plain.demand_reads + plain.demand_writes);
+    assert_eq!(snapshot.histograms["prof.cache_queue_wait"].count, sampled);
+    assert_eq!(snapshot.histograms["prof.mm_queue_wait"].count, sampled);
+    assert!(
+        snapshot.histograms["prof.tag_probe"].sum + snapshot.histograms["prof.cache_tag"].sum > 0,
+        "tag resolution must attribute cycles somewhere"
+    );
+    assert!(
+        snapshot.histograms["prof.channel_cas"].sum > 0,
+        "channel service must attribute cycles"
+    );
+    // The per-window rollups conserve the same sample population.
+    assert!(!windows.is_empty());
+    let rolled: u64 = windows.iter().map(|w| w.samples).sum();
+    assert_eq!(rolled, sampled);
+    let mut indices: Vec<u64> = windows.iter().map(|w| w.window_index).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(indices.len(), sorted.len(), "one rollup per window");
+    indices.sort_unstable();
+    assert_eq!(indices, sorted);
+}

@@ -656,6 +656,113 @@ pub fn read_window_trace_csv(path: &Path) -> Result<Vec<WindowSnapshot>, Artifac
     Ok(records)
 }
 
+/// CSV window records read leniently: corrupt rows skipped and counted
+/// instead of failing the whole artifact.
+#[derive(Debug, Clone)]
+pub struct RecoveredCsvTrace {
+    /// Every row that parsed, in file order.
+    pub records: Vec<WindowSnapshot>,
+    /// Rows that were corrupt or truncated and were skipped.
+    pub parse_errors: u64,
+}
+
+/// Reads a CSV artifact tolerating corrupt rows — the CSV twin of
+/// [`read_window_trace_jsonl_lenient`], with the same contract: a torn
+/// tail or a corrupted row costs that record, not the artifact, and
+/// every skipped row is counted in [`RecoveredCsvTrace::parse_errors`].
+/// The schema comment header and the column row must still be intact —
+/// without them nothing identifies the file as a window trace (or says
+/// how to interpret its columns).
+///
+/// # Errors
+///
+/// Returns an [`ArtifactError`] only for I/O failures or a missing /
+/// mismatching comment header or column row.
+pub fn read_window_trace_csv_lenient(path: &Path) -> Result<RecoveredCsvTrace, ArtifactError> {
+    let text = fs::read_to_string(path).map_err(io_err("read", path))?;
+    let parse_err = |line: usize, message: String| ArtifactError::Parse {
+        path: path.to_path_buf(),
+        line,
+        message,
+    };
+    let mut lines = text.lines();
+    let comment = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty artifact".to_string()))?;
+    let expected_tag = format!("# {SCHEMA_NAME} v{SCHEMA_VERSION} ");
+    if !comment.starts_with(&expected_tag) {
+        return Err(parse_err(
+            1,
+            format!("missing `{expected_tag}...` comment header"),
+        ));
+    }
+    let columns = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing column row".to_string()))?;
+    if columns != CSV_COLUMNS.join(",") {
+        return Err(parse_err(2, "unexpected column layout".to_string()));
+    }
+    let mut records = Vec::new();
+    let mut parse_errors = 0u64;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match csv_row_to_snapshot(line) {
+            Some(record) => records.push(record),
+            None => parse_errors += 1,
+        }
+    }
+    Ok(RecoveredCsvTrace {
+        records,
+        parse_errors,
+    })
+}
+
+/// Parses one CSV body row, `None` on any missing or ill-typed field.
+fn csv_row_to_snapshot(line: &str) -> Option<WindowSnapshot> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != CSV_COLUMNS.len() {
+        return None;
+    }
+    let int = |idx: usize| fields[idx].parse::<u64>().ok();
+    let int32 = |idx: usize| fields[idx].parse::<u32>().ok();
+    let float = |idx: usize| fields[idx].parse::<f64>().ok();
+    Some(WindowSnapshot {
+        window_index: int(0)?,
+        end_cycle: int(1)?,
+        partitioned: int(2)? != 0,
+        stats: WindowStats {
+            cache_accesses: int32(3)?,
+            cache_read_accesses: int32(4)?,
+            cache_write_accesses: int32(5)?,
+            mm_accesses: int32(6)?,
+            read_misses: int32(7)?,
+            writes: int32(8)?,
+            clean_read_hits: int32(9)?,
+        },
+        granted: TechniqueCounts {
+            fwb: int32(10)?,
+            wb: int32(11)?,
+            ifrm: int32(12)?,
+            sfrm: int32(13)?,
+            write_through: int32(14)?,
+        },
+        applied: TechniqueCounts {
+            fwb: int32(15)?,
+            wb: int32(16)?,
+            ifrm: int32(17)?,
+            sfrm: int32(18)?,
+            write_through: int32(19)?,
+        },
+        fractions: SourceFractions {
+            sources: u8::try_from(int32(20)?).ok()?,
+            solved: [float(21)?, float(22)?, float(23)?],
+            ideal: [float(24)?, float(25)?, float(26)?],
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,154 @@
+//! Prometheus-text-format exposition of a [`MetricsSnapshot`].
+//!
+//! [`render_exposition`] turns a snapshot into the plain-text format a
+//! Prometheus scrape endpoint serves: one `# TYPE` comment per metric,
+//! counters/gauges as single samples, and histograms as the standard
+//! cumulative `_bucket{le="..."}` series with `_sum` and `_count`. Metric
+//! names are sanitized to the Prometheus charset (`[a-zA-Z0-9_:]`), so
+//! the registry's dotted names (`mem.read_latency`) come out as
+//! `mem_read_latency`.
+//!
+//! Output is deterministic: snapshots iterate in name order, and bucket
+//! rows stop at the last non-empty bucket (the `+Inf` row always closes
+//! the series), so exports diff cleanly between runs.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Maps a registry metric name onto the Prometheus charset: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is
+/// prefixed with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let last_used = hist
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .unwrap_or(0)
+        .min(HISTOGRAM_BUCKETS - 2);
+    let mut cumulative = 0u64;
+    for bucket in 0..=last_used {
+        cumulative += hist.buckets[bucket];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(bucket)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+    let _ = writeln!(out, "{name}_sum {}", hist.sum);
+    let _ = writeln!(out, "{name}_count {}", hist.count);
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        render_histogram(&mut out, &sanitize_metric_name(name), hist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{bucket_for, MetricsRegistry};
+
+    #[test]
+    fn sanitizes_dotted_and_leading_digit_names() {
+        assert_eq!(sanitize_metric_name("mem.read_latency"), "mem_read_latency");
+        assert_eq!(
+            sanitize_metric_name("prof.dap-decision"),
+            "prof_dap_decision"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = MetricsRegistry::new();
+        registry.counter("mem.demand_reads").add(7);
+        registry.gauge("exec.cells_running").set(-2);
+        let hist = registry.histogram("mem.read_latency");
+        for v in [1u64, 2, 300] {
+            hist.record(v);
+        }
+        let text = render_exposition(&registry.snapshot());
+        assert!(text.contains("# TYPE mem_demand_reads counter\nmem_demand_reads 7\n"));
+        assert!(text.contains("# TYPE exec_cells_running gauge\nexec_cells_running -2\n"));
+        assert!(text.contains("# TYPE mem_read_latency histogram"));
+        // Cumulative buckets: le="1" sees 1 sample, le="2" sees 2, the
+        // bucket covering 300 sees all 3, and +Inf closes at the count.
+        assert!(
+            text.contains("mem_read_latency_bucket{le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mem_read_latency_bucket{le=\"2\"} 2\n"),
+            "{text}"
+        );
+        let upper = bucket_upper_bound(bucket_for(300));
+        assert!(
+            text.contains(&format!("mem_read_latency_bucket{{le=\"{upper}\"}} 3\n")),
+            "{text}"
+        );
+        assert!(text.contains("mem_read_latency_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("mem_read_latency_sum 303\n"));
+        assert!(text.contains("mem_read_latency_count 3\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_string() {
+        let text = render_exposition(&MetricsSnapshot::default());
+        assert!(text.is_empty());
+    }
+
+    #[test]
+    fn overflow_bucket_never_gets_a_numeric_le_row() {
+        // A sample in the overflow bucket must appear only in the +Inf
+        // row: u64::MAX is not a meaningful numeric bucket bound.
+        let mut snapshot = MetricsSnapshot::default();
+        let mut buckets = [0u64; crate::metrics::HISTOGRAM_BUCKETS];
+        buckets[crate::metrics::HISTOGRAM_BUCKETS - 1] = 1;
+        snapshot.histograms.insert(
+            "lat".to_string(),
+            HistogramSnapshot {
+                count: 1,
+                sum: u64::MAX,
+                buckets,
+            },
+        );
+        let text = render_exposition(&snapshot);
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
+    }
+}

@@ -15,7 +15,11 @@
 //! * [`export`] — versioned JSONL and CSV run artifacts (schema
 //!   [`export::SCHEMA_VERSION`]) with round-trip parsers, parent-directory
 //!   creation, and path-reporting errors.
-//! * [`summary`] — a human-readable digest of a window trace.
+//! * [`summary`] — human-readable digests of window traces, metrics
+//!   snapshots (with percentile columns), and profiler rollups.
+//! * [`percentile`] — p50/p90/p99/p999 estimation from histogram bucket
+//!   counts (upper-bound semantics, `None` for empty histograms).
+//! * [`exposition`] — Prometheus text-format rendering of a snapshot.
 //! * [`json`] — the minimal in-tree JSON reader/writer the exporters use.
 //!
 //! ## The `telemetry-off` feature
@@ -37,14 +41,20 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod exposition;
 pub mod json;
 pub mod metrics;
+pub mod percentile;
 pub mod summary;
 pub mod window;
 
-pub use export::{ArtifactError, RecoveredWindowTrace, TraceMeta, SCHEMA_NAME, SCHEMA_VERSION};
+pub use export::{
+    ArtifactError, RecoveredCsvTrace, RecoveredWindowTrace, TraceMeta, SCHEMA_NAME, SCHEMA_VERSION,
+};
+pub use exposition::render_exposition;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
-pub use summary::{summarize, summarize_recovered};
+pub use percentile::Percentiles;
+pub use summary::{summarize, summarize_metrics, summarize_profile_windows, summarize_recovered};
 pub use window::{WindowTrace, WindowTraceRecorder};
 
 /// Whether this build records telemetry (`false` under `telemetry-off`).

@@ -8,9 +8,10 @@
 
 use std::fmt::Write as _;
 
-use dap_core::TechniqueCounts;
+use dap_core::{ProfileWindow, TechniqueCounts};
 
 use crate::export::{RecoveredWindowTrace, TraceMeta};
+use crate::metrics::MetricsSnapshot;
 use crate::window::WindowTrace;
 
 fn accumulate(into: &mut TechniqueCounts, from: &TechniqueCounts) {
@@ -109,6 +110,100 @@ pub fn summarize(meta: &TraceMeta, trace: &WindowTrace) -> String {
     out
 }
 
+/// Renders a metrics snapshot as human-readable tables: counters with
+/// their totals, and histograms with count, mean, and the p50/p90/p99/
+/// p999 percentile columns (bucket upper bounds — see
+/// [`crate::percentile`]). Empty histograms render `-` in every
+/// percentile column instead of fabricating zeros.
+pub fn summarize_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if snapshot.counters.is_empty() && snapshot.gauges.is_empty() && snapshot.histograms.is_empty()
+    {
+        out.push_str("no metrics recorded.\n");
+        return out;
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<28} {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<28} {value:>12}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms:\n  {:<28} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "name", "count", "mean", "p50", "p90", "p99", "p999"
+        );
+        for (name, hist) in &snapshot.histograms {
+            let mean = hist
+                .mean()
+                .map_or_else(|| "-".to_string(), |m| format!("{m:.1}"));
+            let (p50, p90, p99, p999) = match hist.percentiles() {
+                Some(p) => (
+                    p.p50.to_string(),
+                    p.p90.to_string(),
+                    p.p99.to_string(),
+                    p.p999.to_string(),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<28} {:>10} {mean:>10} {p50:>8} {p90:>8} {p99:>8} {p999:>8}",
+                hist.count
+            );
+        }
+    }
+    out
+}
+
+/// Renders the profiler's per-window cycle-attribution rollups as a
+/// short digest: total sampled accesses and grants, and the mean
+/// cache-queue / main-memory-queue wait per sampled access over the
+/// first and last quarter of the windows — the queue-wait shift the
+/// paper's Sec. III predicts when DAP activates shows up as the cache
+/// wait collapsing between the two.
+pub fn summarize_profile_windows(windows: &[ProfileWindow]) -> String {
+    let mut out = String::new();
+    if windows.is_empty() {
+        out.push_str("profile: no sampled windows.\n");
+        return out;
+    }
+    let samples: u64 = windows.iter().map(|w| w.samples).sum();
+    let grants: u64 = windows.iter().map(|w| w.grants).sum();
+    let _ = writeln!(
+        out,
+        "profile: {samples} sampled accesses over {} windows, {grants} DAP-granted",
+        windows.len()
+    );
+    let quarter = (windows.len() / 4).max(1);
+    let mean_waits = |slice: &[ProfileWindow]| -> Option<(f64, f64)> {
+        let n: u64 = slice.iter().map(|w| w.samples).sum();
+        if n == 0 {
+            return None;
+        }
+        let cache: u64 = slice.iter().map(|w| w.cache_queue_wait).sum();
+        let mm: u64 = slice.iter().map(|w| w.mm_queue_wait).sum();
+        Some((cache as f64 / n as f64, mm as f64 / n as f64))
+    };
+    let early = mean_waits(&windows[..quarter]);
+    let late = mean_waits(&windows[windows.len() - quarter..]);
+    if let (Some((ec, em)), Some((lc, lm))) = (early, late) {
+        let _ = writeln!(
+            out,
+            "queue wait per sampled access (cycles): cache {ec:.1} -> {lc:.1}, mm {em:.1} -> {lm:.1} \
+             (first vs last quarter of windows)"
+        );
+    }
+    out
+}
+
 /// Renders the summary of a leniently-read artifact, appending the count
 /// of corrupt lines that were skipped (when any were).
 pub fn summarize_recovered(recovered: &RecoveredWindowTrace) -> String {
@@ -179,5 +274,62 @@ mod tests {
     fn empty_trace_summarizes_without_panicking() {
         let text = summarize(&TraceMeta::default(), &WindowTrace::default());
         assert!(text.contains("no retained windows"), "{text}");
+    }
+
+    #[test]
+    fn metrics_summary_shows_percentile_columns() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = crate::MetricsRegistry::new();
+        registry.counter("mem.demand_reads").add(42);
+        let hist = registry.histogram("prof.cache_queue_wait");
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 200] {
+            hist.record(v);
+        }
+        registry.histogram("prof.mm_queue_wait"); // registered but empty
+        let text = summarize_metrics(&registry.snapshot());
+        assert!(text.contains("mem.demand_reads"), "{text}");
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p999"), "{text}");
+        assert!(text.contains("prof.cache_queue_wait"), "{text}");
+        // Empty histograms show the `-` sentinel, never a fabricated 0.
+        let empty_row = text
+            .lines()
+            .find(|l| l.contains("prof.mm_queue_wait"))
+            .expect("row for empty histogram");
+        assert!(empty_row.contains('-'), "{empty_row}");
+    }
+
+    #[test]
+    fn empty_metrics_summary_says_so() {
+        let text = summarize_metrics(&crate::MetricsSnapshot::default());
+        assert!(text.contains("no metrics recorded"), "{text}");
+    }
+
+    #[test]
+    fn profile_window_digest_shows_queue_shift() {
+        let early = ProfileWindow {
+            window_index: 0,
+            samples: 10,
+            grants: 0,
+            cache_queue_wait: 1000,
+            mm_queue_wait: 50,
+            ..Default::default()
+        };
+        let late = ProfileWindow {
+            window_index: 9,
+            samples: 10,
+            grants: 6,
+            cache_queue_wait: 100,
+            mm_queue_wait: 120,
+            ..Default::default()
+        };
+        let windows = [early, early, early, early, late, late, late, late];
+        let text = summarize_profile_windows(&windows);
+        assert!(text.contains("80 sampled accesses"), "{text}");
+        assert!(text.contains("24 DAP-granted"), "{text}");
+        assert!(text.contains("cache 100.0 -> 10.0"), "{text}");
+        assert!(summarize_profile_windows(&[]).contains("no sampled windows"));
     }
 }

@@ -12,7 +12,7 @@
 use std::io::{self, Write};
 use std::sync::Mutex;
 
-use dap_core::{TelemetrySink, WindowSnapshot};
+use dap_core::{ProfileWindow, TelemetrySink, WindowSnapshot};
 
 #[cfg(not(feature = "telemetry-off"))]
 use crate::export::window_jsonl_line;
@@ -29,6 +29,10 @@ struct Inner {
     dropped: u64,
     spill_error: Option<io::Error>,
     violations: u64,
+    /// Profiler cycle-attribution rollups, bounded by the same capacity
+    /// as the snapshot ring (oldest dropped and counted on overflow).
+    profile: std::collections::VecDeque<ProfileWindow>,
+    profile_dropped: u64,
 }
 
 /// Locks the recorder's state, recovering from poisoning: the state is
@@ -86,6 +90,8 @@ impl WindowTraceRecorder {
                 dropped: 0,
                 spill_error: None,
                 violations: 0,
+                profile: std::collections::VecDeque::new(),
+                profile_dropped: 0,
             }),
         }
     }
@@ -126,7 +132,8 @@ impl WindowTraceRecorder {
     }
 
     /// Removes and returns everything recorded so far, leaving the
-    /// recorder empty (overflow counters are reset too).
+    /// recorder empty (overflow counters and profile rollups are reset
+    /// too).
     pub fn take(&self) -> WindowTrace {
         let mut inner = lock_unpoisoned(&self.inner);
         let trace = WindowTrace {
@@ -137,7 +144,24 @@ impl WindowTraceRecorder {
         inner.spilled = 0;
         inner.dropped = 0;
         inner.violations = 0;
+        inner.profile.clear();
+        inner.profile_dropped = 0;
         trace
+    }
+
+    /// Profiler cycle-attribution rollups retained so far, oldest first
+    /// (see [`dap_core::ProfileWindow`]); cleared by [`take`](Self::take).
+    pub fn profile_windows(&self) -> Vec<ProfileWindow> {
+        lock_unpoisoned(&self.inner)
+            .profile
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Profile rollups lost to the bounded ring's overflow.
+    pub fn profile_dropped(&self) -> u64 {
+        lock_unpoisoned(&self.inner).profile_dropped
     }
 
     /// Returns a copy of everything recorded so far without clearing.
@@ -198,6 +222,22 @@ impl TelemetrySink for WindowTraceRecorder {
         #[cfg(not(feature = "telemetry-off"))]
         {
             lock_unpoisoned(&self.inner).violations += 1;
+        }
+    }
+
+    fn record_profile_window(&self, window: &ProfileWindow) {
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = window;
+        }
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let mut inner = lock_unpoisoned(&self.inner);
+            if inner.profile.len() >= inner.capacity {
+                inner.profile.pop_front();
+                inner.profile_dropped += 1;
+            }
+            inner.profile.push_back(*window);
         }
     }
 }
@@ -356,6 +396,31 @@ mod tests {
     #[should_panic(expected = "ring capacity must be non-zero")]
     fn zero_capacity_rejected() {
         let _ = WindowTraceRecorder::new(0);
+    }
+
+    #[test]
+    fn profile_windows_are_retained_bounded_and_cleared_by_take() {
+        let recorder = WindowTraceRecorder::new(2);
+        for i in 0..3u64 {
+            recorder.record_profile_window(&ProfileWindow {
+                window_index: i,
+                samples: 1 + i,
+                cache_queue_wait: 10 * i,
+                ..Default::default()
+            });
+        }
+        if crate::enabled() {
+            let retained = recorder.profile_windows();
+            assert_eq!(
+                retained.iter().map(|w| w.window_index).collect::<Vec<_>>(),
+                vec![1, 2],
+                "oldest rollup evicted at capacity"
+            );
+            assert_eq!(recorder.profile_dropped(), 1);
+            let _ = recorder.take();
+        }
+        assert!(recorder.profile_windows().is_empty());
+        assert_eq!(recorder.profile_dropped(), 0);
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use dap_core::{DapConfig, DapController, Technique};
 use dap_telemetry::export::{
-    read_window_trace_csv, read_window_trace_jsonl, read_window_trace_jsonl_lenient,
-    write_window_trace_csv, write_window_trace_jsonl, TraceMeta,
+    read_window_trace_csv, read_window_trace_csv_lenient, read_window_trace_jsonl,
+    read_window_trace_jsonl_lenient, write_window_trace_csv, write_window_trace_jsonl, TraceMeta,
 };
 use dap_telemetry::window::WindowTraceRecorder;
 
@@ -249,6 +249,103 @@ fn lenient_reader_survives_seeded_corruption() {
         let text = dap_telemetry::summarize_recovered(&recovered);
         if recovered.parse_errors > 0 {
             assert!(text.contains("parse_errors:"), "{text}");
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// CSV parity for the corruption contract: the strict CSV reader must
+/// reject a corrupted artifact, the lenient one must keep every intact
+/// row and count exactly the mangled ones — the same guarantees the
+/// JSONL pair has had since PR 3.
+#[test]
+fn lenient_csv_reader_survives_seeded_corruption() {
+    if !dap_telemetry::enabled() {
+        return;
+    }
+    let (dap, recorder) = drive_controller();
+    let trace = recorder.take();
+    let meta = TraceMeta {
+        label: "corruption-csv/hbm-ddr4".to_string(),
+        arch: "sectored".to_string(),
+        window_cycles: dap.config().window_cycles,
+    };
+    let dir = std::env::temp_dir().join(format!("dap-corrupt-csv-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir");
+    let clean_path = dir.join("clean.csv");
+    write_window_trace_csv(&clean_path, &meta, &trace).expect("csv export");
+    let clean = fs::read_to_string(&clean_path).expect("read back");
+    let lines: Vec<&str> = clean.lines().collect();
+    assert_eq!(lines.len() as u64, WINDOWS + 2, "header + columns + rows");
+
+    for seed in 100..116u64 {
+        let mut rng = seed.wrapping_mul(0x2545f4914f6cdd1d) ^ 0xdeadbeef;
+        let mut corrupted = 0u64;
+        let mut out = String::new();
+        for (i, line) in lines.iter().enumerate() {
+            // Never corrupt the comment header or column row: without
+            // them the file is not identifiable as a window trace.
+            let mangle = i > 1 && splitmix64(&mut rng).is_multiple_of(8);
+            if mangle {
+                corrupted += 1;
+                match splitmix64(&mut rng) % 3 {
+                    0 => {
+                        // Truncate mid-row, as a killed writer would.
+                        let cut = 1 + (splitmix64(&mut rng) as usize) % (line.len() - 1);
+                        out.push_str(&line[..cut]);
+                    }
+                    1 => {
+                        // Replace one field with non-numeric garbage.
+                        let fields: Vec<&str> = line.split(',').collect();
+                        let victim = (splitmix64(&mut rng) as usize) % fields.len();
+                        let mangled: Vec<&str> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(j, f)| if j == victim { "xx" } else { *f })
+                            .collect();
+                        out.push_str(&mangled.join(","));
+                    }
+                    _ => out.push_str("not,a,row"),
+                }
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        if corrupted == 0 {
+            continue;
+        }
+        let path = dir.join(format!("corrupt-{seed}.csv"));
+        fs::write(&path, &out).expect("write corrupted");
+
+        assert!(
+            read_window_trace_csv(&path).is_err(),
+            "seed {seed}: strict CSV reader must reject a corrupted artifact"
+        );
+        let recovered = read_window_trace_csv_lenient(&path)
+            .unwrap_or_else(|e| panic!("seed {seed}: lenient CSV reader failed: {e}"));
+        // Truncation can land exactly on a field boundary and still parse
+        // (the row just loses columns → counted), but a mid-digit cut can
+        // also leave a shorter yet valid number — so `parse_errors` is at
+        // most the mangled count, and no untouched row is ever lost.
+        assert!(
+            recovered.parse_errors <= corrupted,
+            "seed {seed}: {} errors from {corrupted} corruptions",
+            recovered.parse_errors
+        );
+        assert_eq!(
+            recovered.records.len() as u64 + recovered.parse_errors,
+            WINDOWS,
+            "seed {seed}: every row is either kept or counted"
+        );
+        for record in &recovered.records {
+            if record == &trace.records[record.window_index as usize] {
+                continue;
+            }
+            // A mangled row that still parses differs from the original;
+            // it must be one of the corrupted ones, not an intact row.
+            assert!(corrupted > 0, "seed {seed}: intact row changed");
         }
     }
     let _ = fs::remove_dir_all(&dir);
