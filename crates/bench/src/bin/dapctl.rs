@@ -21,9 +21,15 @@
 //!     --lenient-ok to accept partial artifacts with exit 0.
 //! dapctl bench [--label L] [--out DIR] [--instructions N]
 //!              [--compare BASELINE.json] [--threshold PCT] [--warn-only]
+//!              [--update-baseline LABEL]
 //!     Time the pinned regression suite and write BENCH_<label>.json.
 //!     With --compare, flag cells slower than the baseline by more than
-//!     the threshold (default 10%) and exit 3 (0 with --warn-only).
+//!     the threshold (default 10%) and exit 3 (0 with --warn-only);
+//!     unless --instructions is given, the run adopts the baseline's
+//!     recorded per-core budget so the wall-clock times are comparable.
+//!     With --update-baseline, write BENCH_<LABEL>.json into the
+//!     repository's pinned `crates/bench/baselines/` directory instead
+//!     of `target/bench/`.
 //! ```
 //!
 //! All subcommands also accept `--threads N` (worker threads for any
@@ -43,7 +49,8 @@ fn usage() -> ! {
          | trace <bench> | trace summarize <file> | bench> \
          [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N] \
          [--out DIR] [--threads N] [--audit[=strict|observe|off]] \
-         [--label L] [--compare FILE] [--threshold PCT] [--warn-only] [--lenient-ok]"
+         [--label L] [--compare FILE] [--threshold PCT] [--warn-only] \
+         [--update-baseline LABEL] [--lenient-ok]"
     );
     std::process::exit(2);
 }
@@ -66,6 +73,7 @@ struct Args {
     threshold: f64,
     warn_only: bool,
     lenient_ok: bool,
+    update_baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +90,7 @@ fn parse_args() -> Args {
         threshold: dap_bench::regress::DEFAULT_THRESHOLD_PCT,
         warn_only: false,
         lenient_ok: false,
+        update_baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -120,6 +129,9 @@ fn parse_args() -> Args {
                 args.threshold = value("--threshold").parse().unwrap_or_else(|_| usage())
             }
             "--warn-only" => args.warn_only = true,
+            "--update-baseline" => {
+                args.update_baseline = Some(value("--update-baseline"));
+            }
             "--lenient-ok" => args.lenient_ok = true,
             "--threads" => {
                 let v = value("--threads");
@@ -363,12 +375,38 @@ fn main() {
                 println!("  {}", csv.display());
             }
             Some("bench") => {
+                // Parse the baseline up front (when comparing) so the
+                // run can adopt its recorded per-core budget: comparing
+                // wall times across different budgets is meaningless and
+                // compare() rejects it.
+                let baseline = args.compare.as_ref().map(|baseline_path| {
+                    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+                        eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                        std::process::exit(1);
+                    });
+                    dap_bench::regress::report_from_json(&text).unwrap_or_else(|e| {
+                        eprintln!("error: baseline {baseline_path}: {e}");
+                        std::process::exit(1);
+                    })
+                });
                 // The suite default is smaller than the ad-hoc `run`
                 // default: four cells run back to back.
-                let instructions = args.instructions.unwrap_or(150_000);
-                let report = dap_bench::regress::run_suite(&args.label, instructions);
+                let instructions = args
+                    .instructions
+                    .or(baseline.as_ref().map(|b| b.instructions))
+                    .unwrap_or(150_000);
+                let label = args.update_baseline.as_ref().unwrap_or(&args.label);
+                let report = dap_bench::regress::run_suite(label, instructions);
                 print!("{}", dap_bench::regress::render_report(&report));
-                let dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("target/bench"));
+                // --update-baseline pins the report next to the sources
+                // (the path is compiled in; the tool is repo-local), so a
+                // fresh machine class can re-anchor `--compare` in one
+                // step instead of hand-copying from target/.
+                let dir = if args.update_baseline.is_some() {
+                    std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines"))
+                } else {
+                    std::path::PathBuf::from(args.out.as_deref().unwrap_or("target/bench"))
+                };
                 match dap_bench::regress::write_report(&dir, &report) {
                     Ok(path) => println!("report: {}", path.display()),
                     Err(e) => {
@@ -376,16 +414,7 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
-                if let Some(baseline_path) = &args.compare {
-                    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
-                        eprintln!("error: cannot read baseline {baseline_path}: {e}");
-                        std::process::exit(1);
-                    });
-                    let baseline =
-                        dap_bench::regress::report_from_json(&text).unwrap_or_else(|e| {
-                            eprintln!("error: baseline {baseline_path}: {e}");
-                            std::process::exit(1);
-                        });
+                if let (Some(baseline), Some(baseline_path)) = (baseline, &args.compare) {
                     let regressions =
                         dap_bench::regress::compare(&report, &baseline, args.threshold);
                     if regressions.is_empty() {

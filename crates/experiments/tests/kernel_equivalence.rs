@@ -1,0 +1,199 @@
+//! Property suite: the epoch-skipping kernel is bit-identical to the
+//! per-quantum reference loop.
+//!
+//! `System::run_kernel` may only be an *optimization* of
+//! `System::run_reference` — same `RunResult` (per-core cycles and
+//! instructions, every `SimStats` counter, the DAP `DecisionStats`) and
+//! the same window-by-window telemetry trace, bit for bit. This suite
+//! drives both loops over a seeded random grid of system configurations
+//! (architecture × sector size × policy × fault schedule × core count)
+//! plus a set of hand-picked corners, and asserts exact equality of
+//! everything both runs produce.
+
+use std::sync::Arc;
+
+use dap_telemetry::WindowTraceRecorder;
+use experiments::runner::{build_policy, PolicyKind};
+use mem_sim::{CacheKind, FaultSchedule, FaultTarget, System, SystemConfig};
+use workloads::rng::SplitMix64;
+use workloads::{bandwidth_sensitive, rate_mode};
+
+const INSTR: u64 = 1_200;
+
+/// Policies that are valid for a given architecture (everything
+/// [`build_policy`] accepts on that cache kind).
+fn policies_for(arch: usize) -> &'static [PolicyKind] {
+    match arch {
+        // Sectored: the full menu.
+        0 => &[
+            PolicyKind::Baseline,
+            PolicyKind::Dap,
+            PolicyKind::DapMeasured,
+            PolicyKind::DapFwbWbOnly,
+            PolicyKind::ThreadAwareDap,
+            PolicyKind::Sbd,
+            PolicyKind::SbdWt,
+            PolicyKind::Batman,
+        ],
+        // Alloy.
+        1 => &[PolicyKind::Baseline, PolicyKind::Dap, PolicyKind::Batman],
+        // eDRAM.
+        _ => &[PolicyKind::Baseline, PolicyKind::Dap, PolicyKind::Sbd],
+    }
+}
+
+/// One random grid point: a config, a policy, and a workload index.
+fn random_case(rng: &mut SplitMix64) -> (SystemConfig, PolicyKind, usize) {
+    let cores = [1usize, 2, 4][rng.below(3) as usize];
+    let arch = rng.below(3) as usize;
+    let mut config = match arch {
+        0 => SystemConfig::sectored_dram_cache(cores),
+        1 => SystemConfig::alloy_cache(cores),
+        _ => SystemConfig::edram_cache(cores, 64),
+    };
+    // Sector-size axis (sectored and eDRAM geometries).
+    match &mut config.cache {
+        CacheKind::Sectored {
+            sector_bytes,
+            tag_cache,
+            ..
+        } => {
+            *sector_bytes = [512u64, 1024, 2048, 4096][rng.below(4) as usize];
+            *tag_cache = rng.below(2) == 0;
+        }
+        CacheKind::Edram { sector_bytes, .. } => {
+            *sector_bytes = [512u64, 1024, 2048][rng.below(3) as usize];
+        }
+        _ => {}
+    }
+    config.prefetch_degree = rng.below(3) as u32;
+    // Fault-schedule axis: none / outage / throttle / refresh storm /
+    // jitter, with windows sized so some runs stall long enough for the
+    // epoch scheduler to actually skip.
+    config.faults = match rng.below(5) {
+        0 => None,
+        1 => Some(FaultSchedule::new(rng.next_u64()).channel_outage(
+            FaultTarget::MainMemory,
+            0,
+            rng.range_u64(1_000, 20_000),
+            rng.range_u64(40_000, 200_000),
+        )),
+        2 => Some(FaultSchedule::new(rng.next_u64()).throttle(
+            FaultTarget::Cache,
+            rng.range_u64(2, 5) as u32,
+            1,
+            rng.range_u64(1_000, 10_000),
+            rng.range_u64(50_000, 150_000),
+        )),
+        3 => Some(FaultSchedule::new(rng.next_u64()).refresh_storm(
+            FaultTarget::Cache,
+            2_000,
+            rng.range_u64(100, 1_500),
+            rng.range_u64(0, 5_000),
+            rng.range_u64(60_000, 160_000),
+        )),
+        _ => Some(FaultSchedule::new(rng.next_u64()).latency_jitter(
+            FaultTarget::MainMemory,
+            rng.range_u64(10, 400),
+            0,
+            rng.range_u64(30_000, 120_000),
+        )),
+    };
+    let menu = policies_for(arch);
+    let policy = menu[rng.below(menu.len() as u64) as usize];
+    let workload = rng.below(bandwidth_sensitive().len() as u64) as usize;
+    (config, policy, workload)
+}
+
+/// Runs one case through the given loop; returns the run result and the
+/// full window trace.
+fn run_case(
+    config: &SystemConfig,
+    policy: PolicyKind,
+    workload: usize,
+    reference: bool,
+) -> (mem_sim::RunResult, Vec<dap_core::WindowSnapshot>) {
+    let spec = bandwidth_sensitive()[workload];
+    let policy = build_policy(policy, config).expect("suite only pairs valid policy/arch");
+    let mut sys = System::with_policy(config.clone(), rate_mode(spec, config.cores), policy);
+    let recorder = Arc::new(WindowTraceRecorder::new(1 << 16));
+    sys.attach_dap_sink(recorder.clone());
+    let result = if reference {
+        sys.run_reference(INSTR)
+    } else {
+        sys.run_kernel(INSTR)
+    };
+    (result, recorder.take().records)
+}
+
+#[test]
+fn kernel_matches_reference_on_seeded_grid() {
+    let mut rng = SplitMix64::from_bytes(b"kernel-equivalence-grid");
+    for case in 0..32 {
+        let (config, policy, workload) = random_case(&mut rng);
+        let reference = run_case(&config, policy, workload, true);
+        let kernel = run_case(&config, policy, workload, false);
+        assert_eq!(
+            reference.0,
+            kernel.0,
+            "case {case}: RunResult diverged ({policy:?}, cache {:?}, faults {})",
+            std::mem::discriminant(&config.cache),
+            config.faults.is_some(),
+        );
+        assert_eq!(
+            reference.1, kernel.1,
+            "case {case}: window trace diverged ({policy:?})",
+        );
+    }
+}
+
+/// Hand-picked corners the random grid might under-sample: single core,
+/// no memory-side cache, and the flat OS-visible tier.
+#[test]
+fn kernel_matches_reference_on_corner_configs() {
+    let corners: Vec<SystemConfig> = vec![
+        SystemConfig::no_cache(1),
+        SystemConfig::no_cache(4),
+        SystemConfig::flat_tier(2, mem_sim::mscache::PlacementGoal::MaximizeFastHits),
+        SystemConfig::sectored_dram_cache(8),
+    ];
+    for (i, config) in corners.into_iter().enumerate() {
+        let reference = run_case(&config, PolicyKind::Baseline, i % 3, true);
+        let kernel = run_case(&config, PolicyKind::Baseline, i % 3, false);
+        assert_eq!(reference.0, kernel.0, "corner {i}: RunResult diverged");
+        assert_eq!(reference.1, kernel.1, "corner {i}: window trace diverged");
+    }
+}
+
+/// The rotation-advance contract (the satellite of the epoch-skipping
+/// refactor): when a long main-memory outage stalls every core, the
+/// kernel must actually *skip* quanta — and because a skip advances the
+/// core-rotation index by exactly the skipped count, the post-stall
+/// interleaving (hence every downstream bus reservation) still matches
+/// the reference bit for bit.
+#[test]
+fn epoch_skip_advances_rotation_identically_to_stepping() {
+    let mut config = SystemConfig::sectored_dram_cache(4);
+    config.faults = Some(
+        FaultSchedule::new(7)
+            .channel_outage(FaultTarget::MainMemory, 0, 2_000, 150_000)
+            .channel_outage(FaultTarget::MainMemory, 1, 2_000, 150_000),
+    );
+    let reference = run_case(&config, PolicyKind::Dap, 0, true);
+    let spec = bandwidth_sensitive()[0];
+    let policy = build_policy(PolicyKind::Dap, &config).unwrap();
+    let mut sys = System::with_policy(config.clone(), rate_mode(spec, config.cores), policy);
+    let recorder = Arc::new(WindowTraceRecorder::new(1 << 16));
+    sys.attach_dap_sink(recorder.clone());
+    let (result, stats) = sys.run_kernel_instrumented(INSTR);
+    assert!(
+        stats.skipped_quanta > 0,
+        "a full main-memory outage must produce skippable quanta, got {stats:?}"
+    );
+    assert_eq!(reference.0, result, "skipping changed the simulation");
+    assert_eq!(
+        reference.1,
+        recorder.take().records,
+        "skipping changed the window trace"
+    );
+}

@@ -6,4 +6,4 @@ mod replacement;
 mod set_assoc;
 
 pub use replacement::ReplacementKind;
-pub use set_assoc::{Eviction, SetAssocCache};
+pub use set_assoc::{Eviction, SetAssocCache, Slot};

@@ -4,17 +4,32 @@
 //! stretch ids, ...). Each line can carry a payload `P` — footprint bit
 //! vectors, dirty-bit vectors, tag-cache metadata — which is returned to the
 //! caller on eviction so writeback side effects can be modeled.
+//!
+//! # Layout
+//!
+//! Line state is kept in struct-of-arrays form: tags and LRU stamps in flat
+//! parallel arrays indexed `set * ways + way`, and the single-bit metadata
+//! (valid, dirty, NRU reference) as one 64-bit way-mask per set. A probe
+//! therefore touches one mask word plus the tag lane — two cache lines for
+//! a 16-way set instead of the eight an array-of-structs layout costs — and
+//! the dirty/NRU state is read and updated with single bit operations. This
+//! is the layout the simulator's hot loops (L1/L2/L3 probes, sector
+//! directory, SRAM tag cache, Alloy DBC) scan millions of times per second.
 
 use super::replacement::ReplacementKind;
 
-#[derive(Debug, Clone)]
-struct Line<P> {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    nru_ref: bool,
-    last_use: u64,
-    payload: P,
+/// Elements per 4 KB page (at least 1, for oversized `T`).
+fn page_stride<T>() -> usize {
+    (4096 / std::mem::size_of::<T>().max(1)).max(1)
+}
+
+/// Touches one element per page of a zero-filled allocation so its
+/// backing pages are faulted in up front (see [`SetAssocCache::new`]).
+/// `black_box` keeps the self-assignment from being optimized away.
+fn prefault<T: Copy>(v: &mut [T]) {
+    for i in (0..v.len()).step_by(page_stride::<T>()) {
+        v[i] = std::hint::black_box(v[i]);
+    }
 }
 
 /// A line evicted by [`SetAssocCache::insert`].
@@ -28,6 +43,15 @@ pub struct Eviction<P> {
     pub payload: P,
 }
 
+/// An opaque handle to a resident line, returned by the slot-returning
+/// probe/insert variants so follow-up metadata updates (dirty marking,
+/// payload access) skip the repeated tag scan.
+///
+/// A `Slot` is invalidated by any subsequent `insert`/`invalidate` on the
+/// same cache; using a stale slot is a logic error (debug-asserted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot(usize);
+
 /// A set-associative cache directory with LRU or NRU replacement.
 ///
 /// ```
@@ -39,8 +63,23 @@ pub struct Eviction<P> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<P> {
     sets: u64,
+    /// `log2(sets)` when `sets` is a power of two (the common geometry):
+    /// set/tag extraction becomes mask+shift instead of two divisions.
+    set_shift: Option<u32>,
     ways: usize,
-    lines: Vec<Line<P>>,
+    /// Tag of each line (`set * ways + way`); meaningful only where the
+    /// set's valid mask has the way's bit.
+    tags: Vec<u64>,
+    /// LRU stamp of each line (global tick at last touch).
+    last_use: Vec<u64>,
+    /// Payload of each line.
+    payloads: Vec<P>,
+    /// Per-set way masks: bit `w` set means way `w` holds a valid line.
+    valid: Vec<u64>,
+    /// Per-set way masks: bit `w` set means way `w` is dirty.
+    dirty: Vec<u64>,
+    /// Per-set way masks: NRU reference bits.
+    nru: Vec<u64>,
     policy: ReplacementKind,
     tick: u64,
     hits: u64,
@@ -52,29 +91,41 @@ impl<P: Default + Clone> SetAssocCache<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` or `ways` is zero.
+    /// Panics if `sets` or `ways` is zero, or `ways` exceeds 64 (way
+    /// metadata is tracked in 64-bit masks).
     pub fn new(sets: u64, ways: usize, policy: ReplacementKind) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have at least one line");
-        let lines = vec![
-            Line {
-                tag: 0,
-                valid: false,
-                dirty: false,
-                nru_ref: false,
-                last_use: 0,
-                payload: P::default()
-            };
-            (sets as usize) * ways
-        ];
-        Self {
+        assert!(ways <= 64, "way metadata is tracked in 64-bit masks");
+        let lines = (sets as usize) * ways;
+        let mut cache = Self {
             sets,
+            set_shift: sets.is_power_of_two().then(|| sets.trailing_zeros()),
             ways,
-            lines,
+            tags: vec![0; lines],
+            last_use: vec![0; lines],
+            payloads: vec![P::default(); lines],
+            valid: vec![0; sets as usize],
+            dirty: vec![0; sets as usize],
+            nru: vec![0; sets as usize],
             policy,
             tick: 0,
             hits: 0,
             misses: 0,
+        };
+        // A multi-megabyte directory allocated with `vec![0; n]` maps
+        // copy-on-write zero pages; left alone, the page faults land on
+        // the first simulated accesses that touch each page — i.e. inside
+        // the measured hot loop, where they show up as multi-millisecond
+        // warmup noise in short benchmark cells. Touch one element per
+        // page now, at construction, where setup cost belongs.
+        prefault(&mut cache.tags);
+        prefault(&mut cache.last_use);
+        for i in (0..cache.payloads.len()).step_by(page_stride::<P>()) {
+            let line = std::mem::take(&mut cache.payloads[i]);
+            cache.payloads[i] = std::hint::black_box(line);
         }
+        prefault(&mut cache.valid);
+        cache
     }
 
     /// Number of sets.
@@ -92,46 +143,83 @@ impl<P: Default + Clone> SetAssocCache<P> {
         (self.hits, self.misses)
     }
 
-    fn set_range(&self, key: u64) -> (usize, u64) {
-        let set = (key % self.sets) as usize;
-        let tag = key / self.sets;
-        (set * self.ways, tag)
+    /// Mask with one bit per way.
+    #[inline]
+    fn ways_mask(&self) -> u64 {
+        if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
     }
 
+    #[inline]
+    fn split(&self, key: u64) -> (usize, u64) {
+        match self.set_shift {
+            Some(sh) => ((key & (self.sets - 1)) as usize, key >> sh),
+            None => ((key % self.sets) as usize, key / self.sets),
+        }
+    }
+
+    /// Reconstructs the key of the line at `idx`.
+    #[inline]
+    fn key_of(&self, idx: usize) -> u64 {
+        self.tags[idx] * self.sets + (idx / self.ways) as u64
+    }
+
+    /// Finds `key`'s line index, scanning only valid ways in way order.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let (set, tag) = self.split(key);
+        let base = set * self.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if self.tags[base + way] == tag {
+                return Some(base + way);
+            }
+            mask &= mask - 1;
+        }
+        None
+    }
+
+    /// Touches `idx` for replacement: bumps the global tick, stamps the
+    /// line, and updates NRU reference bits exactly as the paper's
+    /// single-bit scheme requires (when every valid line is referenced,
+    /// all bits except the touched line's clear).
+    #[inline]
     fn touch(&mut self, idx: usize) {
         self.tick += 1;
-        let set_base = idx - idx % self.ways;
-        self.lines[idx].last_use = self.tick;
-        self.lines[idx].nru_ref = true;
+        self.last_use[idx] = self.tick;
+        let set = idx / self.ways;
+        let bit = 1u64 << (idx % self.ways);
+        self.nru[set] |= bit;
         if self.policy == ReplacementKind::Nru {
-            let all_set = (set_base..set_base + self.ways)
-                .all(|i| !self.lines[i].valid || self.lines[i].nru_ref);
-            if all_set {
-                for i in set_base..set_base + self.ways {
-                    if i != idx {
-                        self.lines[i].nru_ref = false;
-                    }
-                }
+            let wm = self.ways_mask();
+            // Every way is either invalid or referenced: clear the others.
+            if (self.nru[set] | !self.valid[set]) & wm == wm {
+                self.nru[set] = bit;
             }
         }
     }
 
-    fn find(&self, key: u64) -> Option<usize> {
-        let (base, tag) = self.set_range(key);
-        (base..base + self.ways).find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
-    }
-
     /// Probes for `key`, updating replacement state and hit/miss counters.
     pub fn lookup(&mut self, key: u64) -> bool {
+        self.lookup_slot(key).is_some()
+    }
+
+    /// [`Self::lookup`], returning the hit line's [`Slot`] so follow-up
+    /// metadata updates skip a second tag scan.
+    pub fn lookup_slot(&mut self, key: u64) -> Option<Slot> {
         match self.find(key) {
             Some(i) => {
                 self.hits += 1;
                 self.touch(i);
-                true
+                Some(Slot(i))
             }
             None => {
                 self.misses += 1;
-                false
+                None
             }
         }
     }
@@ -142,7 +230,7 @@ impl<P: Default + Clone> SetAssocCache<P> {
             Some(i) => {
                 self.hits += 1;
                 self.touch(i);
-                Some(&mut self.lines[i].payload)
+                Some(&mut self.payloads[i])
             }
             None => {
                 self.misses += 1;
@@ -156,87 +244,208 @@ impl<P: Default + Clone> SetAssocCache<P> {
         self.find(key).is_some()
     }
 
+    /// Returns the hit line's [`Slot`] without perturbing replacement
+    /// state or counters.
+    pub fn peek_slot(&self, key: u64) -> Option<Slot> {
+        self.find(key).map(Slot)
+    }
+
     /// Returns the payload without perturbing replacement state.
     pub fn peek(&self, key: u64) -> Option<&P> {
-        self.find(key).map(|i| &self.lines[i].payload)
+        self.find(key).map(|i| &self.payloads[i])
     }
 
     /// Returns the payload mutably without perturbing replacement state.
     pub fn peek_mut(&mut self, key: u64) -> Option<&mut P> {
-        self.find(key).map(|i| &mut self.lines[i].payload)
+        self.find(key).map(|i| &mut self.payloads[i])
     }
 
     /// Whether the line holding `key` is dirty.
     pub fn is_dirty(&self, key: u64) -> bool {
-        self.find(key).map(|i| self.lines[i].dirty).unwrap_or(false)
+        match self.find(key) {
+            Some(i) => self.dirty[i / self.ways] >> (i % self.ways) & 1 == 1,
+            None => false,
+        }
     }
 
     /// Marks the line holding `key` dirty; returns `false` if absent.
     pub fn mark_dirty(&mut self, key: u64) -> bool {
         if let Some(i) = self.find(key) {
-            self.lines[i].dirty = true;
+            self.dirty[i / self.ways] |= 1 << (i % self.ways);
             true
         } else {
             false
         }
     }
 
+    /// Reads the payload of a line found earlier (via a slot-returning
+    /// probe) without a second tag scan.
+    pub fn slot_payload(&self, slot: Slot) -> &P {
+        debug_assert!(
+            self.valid[slot.0 / self.ways] >> (slot.0 % self.ways) & 1 == 1,
+            "stale slot"
+        );
+        &self.payloads[slot.0]
+    }
+
+    /// Mutable access to the payload of a line found earlier.
+    pub fn slot_payload_mut(&mut self, slot: Slot) -> &mut P {
+        debug_assert!(
+            self.valid[slot.0 / self.ways] >> (slot.0 % self.ways) & 1 == 1,
+            "stale slot"
+        );
+        &mut self.payloads[slot.0]
+    }
+
+    /// Whether the line at `slot` is dirty.
+    pub fn slot_is_dirty(&self, slot: Slot) -> bool {
+        self.dirty[slot.0 / self.ways] >> (slot.0 % self.ways) & 1 == 1
+    }
+
+    /// Marks a line found earlier (via a slot-returning probe) dirty.
+    pub fn mark_dirty_slot(&mut self, slot: Slot) {
+        debug_assert!(
+            self.valid[slot.0 / self.ways] >> (slot.0 % self.ways) & 1 == 1,
+            "stale slot"
+        );
+        self.dirty[slot.0 / self.ways] |= 1 << (slot.0 % self.ways);
+    }
+
+    /// Clears the dirty bit of a line found earlier.
+    pub fn clear_dirty_slot(&mut self, slot: Slot) {
+        debug_assert!(
+            self.valid[slot.0 / self.ways] >> (slot.0 % self.ways) & 1 == 1,
+            "stale slot"
+        );
+        self.dirty[slot.0 / self.ways] &= !(1 << (slot.0 % self.ways));
+    }
+
+    /// Updates replacement state for a line found earlier, exactly as a
+    /// `lookup` hit on it would (without the hit/miss counting).
+    pub fn touch_slot(&mut self, slot: Slot) {
+        debug_assert!(
+            self.valid[slot.0 / self.ways] >> (slot.0 % self.ways) & 1 == 1,
+            "stale slot"
+        );
+        self.touch(slot.0);
+    }
+
     /// Inserts `key`, evicting a victim if the set is full. If `key` is
     /// already present its payload and dirty bit are replaced (dirty is
     /// OR-ed) and no eviction occurs.
     pub fn insert(&mut self, key: u64, payload: P, dirty: bool) -> Option<Eviction<P>> {
-        let (base, tag) = self.set_range(key);
+        self.insert_slot(key, payload, dirty).0
+    }
+
+    /// [`Self::insert`], also returning the filled line's [`Slot`] so the
+    /// caller can read the post-insert metadata (e.g. the sticky dirty
+    /// bit) without another tag scan.
+    pub fn insert_slot(
+        &mut self,
+        key: u64,
+        payload: P,
+        dirty: bool,
+    ) -> (Option<Eviction<P>>, Slot) {
         if let Some(i) = self.find(key) {
-            self.lines[i].payload = payload;
-            self.lines[i].dirty |= dirty;
+            self.payloads[i] = payload;
+            if dirty {
+                self.dirty[i / self.ways] |= 1 << (i % self.ways);
+            }
             self.touch(i);
-            return None;
+            return (None, Slot(i));
         }
+        self.insert_absent_slot(key, payload, dirty)
+    }
+
+    /// [`Self::insert`] for a key the caller has just proven absent (a
+    /// preceding `lookup`/`contains` miss with no intervening insert):
+    /// skips the presence scan and goes straight to victim selection.
+    ///
+    /// Calling this with a resident key is a logic error (debug-asserted)
+    /// that would duplicate the line.
+    pub fn insert_absent(&mut self, key: u64, payload: P, dirty: bool) -> Option<Eviction<P>> {
+        self.insert_absent_slot(key, payload, dirty).0
+    }
+
+    /// [`Self::insert_absent`], also returning the filled line's [`Slot`].
+    pub fn insert_absent_slot(
+        &mut self,
+        key: u64,
+        payload: P,
+        dirty: bool,
+    ) -> (Option<Eviction<P>>, Slot) {
+        debug_assert!(self.find(key).is_none(), "insert_absent on resident key");
+        let (set, tag) = self.split(key);
+        let base = set * self.ways;
+        let free = !self.valid[set] & self.ways_mask();
         // Prefer an invalid way.
-        let victim = (base..base + self.ways)
-            .find(|&i| !self.lines[i].valid)
-            .unwrap_or_else(|| self.pick_victim(base));
-        let line = &mut self.lines[victim];
-        let evicted = if line.valid {
+        let victim = if free != 0 {
+            base + free.trailing_zeros() as usize
+        } else {
+            self.pick_victim(base)
+        };
+        let vbit = 1u64 << (victim % self.ways);
+        let evicted = if self.valid[set] & vbit != 0 {
             Some(Eviction {
-                key: line.tag * self.sets + (base / self.ways) as u64,
-                dirty: line.dirty,
-                payload: std::mem::take(&mut line.payload),
+                key: self.key_of(victim),
+                dirty: self.dirty[set] & vbit != 0,
+                payload: std::mem::take(&mut self.payloads[victim]),
             })
         } else {
             None
         };
-        line.tag = tag;
-        line.valid = true;
-        line.dirty = dirty;
-        line.nru_ref = false;
-        line.payload = payload;
+        self.tags[victim] = tag;
+        self.valid[set] |= vbit;
+        if dirty {
+            self.dirty[set] |= vbit;
+        } else {
+            self.dirty[set] &= !vbit;
+        }
+        self.nru[set] &= !vbit;
+        self.payloads[victim] = payload;
         self.touch(victim);
-        evicted
+        (evicted, Slot(victim))
     }
 
     fn pick_victim(&self, base: usize) -> usize {
+        let set = base / self.ways;
         match self.policy {
             // invariant: construction rejects zero ways, so every set has
-            // at least one line to choose from.
-            ReplacementKind::Lru => (base..base + self.ways)
-                .min_by_key(|&i| self.lines[i].last_use)
-                .expect("non-empty set"),
-            ReplacementKind::Nru => (base..base + self.ways)
-                .find(|&i| !self.lines[i].nru_ref)
-                .unwrap_or(base),
+            // at least one line to choose from; ties keep the lowest way.
+            ReplacementKind::Lru => {
+                let mut best = base;
+                for i in base + 1..base + self.ways {
+                    if self.last_use[i] < self.last_use[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            ReplacementKind::Nru => {
+                let unref = !self.nru[set] & self.ways_mask();
+                if unref != 0 {
+                    base + unref.trailing_zeros() as usize
+                } else {
+                    base
+                }
+            }
         }
     }
 
     /// Invalidates `key`; returns the evicted line if it was present.
+    /// (LRU stamps and NRU bits are left stale, exactly as a real
+    /// directory's replacement state would be.)
     pub fn invalidate(&mut self, key: u64) -> Option<Eviction<P>> {
         let i = self.find(key)?;
-        let line = &mut self.lines[i];
-        line.valid = false;
+        let set = i / self.ways;
+        let bit = 1u64 << (i % self.ways);
+        self.valid[set] &= !bit;
+        let dirty = self.dirty[set] & bit != 0;
+        self.dirty[set] &= !bit;
         Some(Eviction {
             key,
-            dirty: std::mem::replace(&mut line.dirty, false),
-            payload: std::mem::take(&mut line.payload),
+            dirty,
+            payload: std::mem::take(&mut self.payloads[i]),
         })
     }
 
@@ -244,41 +453,47 @@ impl<P: Default + Clone> SetAssocCache<P> {
     /// disabling), returning the dirty lines that must be written back.
     pub fn invalidate_set(&mut self, set_index: u64) -> Vec<Eviction<P>> {
         assert!(set_index < self.sets, "set index out of range");
-        let base = (set_index as usize) * self.ways;
+        let set = set_index as usize;
+        let base = set * self.ways;
         let mut out = Vec::new();
-        for i in base..base + self.ways {
-            if self.lines[i].valid {
-                self.lines[i].valid = false;
-                out.push(Eviction {
-                    key: self.lines[i].tag * self.sets + set_index,
-                    dirty: std::mem::replace(&mut self.lines[i].dirty, false),
-                    payload: std::mem::take(&mut self.lines[i].payload),
-                });
-            }
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            let bit = 1u64 << way;
+            out.push(Eviction {
+                key: self.key_of(base + way),
+                dirty: self.dirty[set] & bit != 0,
+                payload: std::mem::take(&mut self.payloads[base + way]),
+            });
+            mask &= mask - 1;
         }
+        self.valid[set] = 0;
+        self.dirty[set] = 0;
         out
     }
 
     /// Peeks every valid line in `key`'s set without perturbing replacement
     /// state: (reconstructed key, dirty, payload reference).
     pub fn peek_set(&self, key: u64) -> Vec<(u64, bool, &P)> {
-        let (base, _) = self.set_range(key);
-        let set = (base / self.ways) as u64;
-        (base..base + self.ways)
-            .filter(|&i| self.lines[i].valid)
-            .map(|i| {
-                (
-                    self.lines[i].tag * self.sets + set,
-                    self.lines[i].dirty,
-                    &self.lines[i].payload,
-                )
-            })
-            .collect()
+        let (set, _) = self.split(key);
+        let base = set * self.ways;
+        let mut out = Vec::new();
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            out.push((
+                self.key_of(base + way),
+                self.dirty[set] >> way & 1 == 1,
+                &self.payloads[base + way],
+            ));
+            mask &= mask - 1;
+        }
+        out
     }
 
     /// Number of valid lines (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 }
 
@@ -392,5 +607,65 @@ mod tests {
             );
         }
         assert!(c.insert(8, 0, false).is_some());
+    }
+
+    #[test]
+    fn insert_absent_matches_insert() {
+        // Drive two caches with the same stream; one uses the fused
+        // absent-insert after a lookup miss. State must stay identical.
+        let mut plain = cache(8, 2, ReplacementKind::Lru);
+        let mut fused = cache(8, 2, ReplacementKind::Lru);
+        let mut x = 7u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = x % 64;
+            let d = i % 3 == 0;
+            let ev_a = if plain.lookup(k) {
+                None
+            } else {
+                plain.insert(k, i as u32, d)
+            };
+            let ev_b = match fused.lookup_slot(k) {
+                Some(_) => None,
+                None => fused.insert_absent(k, i as u32, d),
+            };
+            assert_eq!(ev_a, ev_b);
+        }
+        assert_eq!(plain.hit_miss_counts(), fused.hit_miss_counts());
+        assert_eq!(plain.occupancy(), fused.occupancy());
+    }
+
+    #[test]
+    fn slot_dirty_marking_matches_keyed_marking() {
+        let mut a = cache(4, 4, ReplacementKind::Lru);
+        let mut b = cache(4, 4, ReplacementKind::Lru);
+        a.insert(9, 0, false);
+        b.insert(9, 0, false);
+        a.lookup(9);
+        a.mark_dirty(9);
+        let slot = b.lookup_slot(9).expect("hit");
+        b.mark_dirty_slot(slot);
+        assert_eq!(a.is_dirty(9), b.is_dirty(9));
+        let (_, slot) = b.insert_absent_slot(13, 1, false);
+        b.mark_dirty_slot(slot);
+        assert!(b.is_dirty(13));
+    }
+
+    #[test]
+    fn sixty_four_ways_is_the_mask_limit() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(2, 64, ReplacementKind::Nru);
+        for k in 0..128 {
+            c.insert(k, (), false);
+        }
+        assert_eq!(c.occupancy(), 128);
+        assert!(c.insert(128, (), false).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "64-bit masks")]
+    fn more_than_sixty_four_ways_is_rejected() {
+        let _: SetAssocCache<()> = SetAssocCache::new(1, 65, ReplacementKind::Lru);
     }
 }

@@ -21,6 +21,9 @@ pub struct CoreModel {
     ring: Vec<u64>,
     pos: usize,
     width: u64,
+    /// `log2(width)` when the width is a power of two (it always is for
+    /// the shipped configs): slot-to-cycle conversion becomes a shift.
+    width_shift: Option<u32>,
     last_issue_slot: u64,
     last_retire_slot: u64,
     retired: u64,
@@ -38,6 +41,7 @@ impl CoreModel {
             ring: vec![0; rob_entries],
             pos: 0,
             width: u64::from(width),
+            width_shift: width.is_power_of_two().then(|| width.trailing_zeros()),
             last_issue_slot: 0,
             last_retire_slot: 0,
             retired: 0,
@@ -57,14 +61,22 @@ impl CoreModel {
     /// The local cycle at which the youngest retired instruction left the
     /// ROB — the core's notion of "now".
     pub fn local_cycle(&self) -> Cycle {
-        self.last_retire_slot / self.width
+        self.slots_to_cycles(self.last_retire_slot)
+    }
+
+    #[inline]
+    fn slots_to_cycles(&self, slots: u64) -> Cycle {
+        match self.width_shift {
+            Some(sh) => slots >> sh,
+            None => slots / self.width,
+        }
     }
 
     /// The cycle at which the *next* instruction will issue (enter the ROB
     /// and, for a memory operation, access the hierarchy).
     pub fn next_issue_cycle(&self) -> Cycle {
         let slot_free = self.ring[self.pos];
-        (self.last_issue_slot + 1).max(slot_free) / self.width
+        self.slots_to_cycles((self.last_issue_slot + 1).max(slot_free))
     }
 
     fn push(&mut self, latency_cycles: Cycle) {
@@ -80,7 +92,45 @@ impl CoreModel {
     }
 
     /// Executes `count` single-cycle non-memory instructions.
+    ///
+    /// When the ROB has drained past the batch (the common case on
+    /// compute-heavy gaps), the whole batch reduces to consecutive
+    /// issue/retire slots and is applied with one bounds check per ring
+    /// store instead of the full per-instruction recurrence; the
+    /// per-instruction loop below is the fallback and the semantic
+    /// reference (the fast path is bit-identical, see
+    /// `batched_nonmem_matches_stepped`).
     pub fn push_nonmem(&mut self, count: u32) {
+        let k = count as usize;
+        let rob = self.ring.len();
+        if k > 0 && k <= rob {
+            // Ring entries from `pos` are circular-monotone (in-order
+            // retirement), so the largest ROB constraint among the next
+            // `k` slots is the last one in each contiguous span.
+            let issue_0 = self.last_issue_slot + 1;
+            let end = self.pos + k;
+            let max_constraint = if end <= rob {
+                self.ring[end - 1]
+            } else {
+                self.ring[rob - 1].max(self.ring[end - 1 - rob])
+            };
+            if max_constraint <= issue_0 {
+                // No ROB stall anywhere in the batch: issues are
+                // consecutive slots, and retires follow at +1 apiece.
+                let r0 = (issue_0 + self.width).max(self.last_retire_slot + 1);
+                for j in 0..k as u64 {
+                    self.ring[self.pos] = r0 + j;
+                    self.pos += 1;
+                    if self.pos == rob {
+                        self.pos = 0;
+                    }
+                }
+                self.last_issue_slot = issue_0 + k as u64 - 1;
+                self.last_retire_slot = r0 + k as u64 - 1;
+                self.retired += k as u64;
+                return;
+            }
+        }
         for _ in 0..count {
             self.push(1);
         }
@@ -107,6 +157,37 @@ impl CoreModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batched_nonmem_matches_stepped() {
+        // Drive two cores with an identical op stream; one uses
+        // push_nonmem batches, the other steps instruction by
+        // instruction. Every observable must stay identical, across
+        // ROB-drained and ROB-full regimes.
+        let mut x = 42u64;
+        for (width, rob) in [(4u32, 224usize), (4, 8), (1, 16), (3, 7)] {
+            let mut batched = CoreModel::new(width, rob);
+            let mut stepped = CoreModel::new(width, rob);
+            for _ in 0..2_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let gap = (x >> 33) % 40;
+                let latency = if x.is_multiple_of(5) { 400 } else { 1 + x % 7 };
+                batched.push_nonmem(gap as u32);
+                batched.push_mem(latency);
+                for _ in 0..gap {
+                    stepped.push(1);
+                }
+                stepped.push_mem(latency);
+                assert_eq!(batched.local_cycle(), stepped.local_cycle());
+                assert_eq!(batched.next_issue_cycle(), stepped.next_issue_cycle());
+                assert_eq!(batched.retired(), stepped.retired());
+            }
+            assert_eq!(batched.ring, stepped.ring);
+            assert_eq!(batched.pos, stepped.pos);
+        }
+    }
 
     #[test]
     fn nonmem_retires_at_full_width() {

@@ -13,16 +13,6 @@ use super::timing::ResolvedTiming;
 use crate::clock::Cycle;
 use crate::faults::ChannelFaults;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Bank {
-    open_row: u64,
-    row_open: bool,
-    /// Earliest cycle the next column command may issue (tCCD spacing).
-    ready_at: Cycle,
-    /// Earliest cycle the open row may be precharged (tRAS).
-    precharge_ok_at: Cycle,
-}
-
 /// Per-channel activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -44,10 +34,25 @@ impl ChannelStats {
 }
 
 /// One DRAM channel.
+///
+/// Bank timing state is kept in struct-of-arrays form: the per-bank
+/// fields live in flat parallel vectors plus a row-open bitmask, so the
+/// hot access path touches two adjacent words per bank and a refresh
+/// closes every row with a single mask clear.
 #[derive(Debug, Clone)]
 pub struct Channel {
     timing: ResolvedTiming,
-    banks: Vec<Bank>,
+    /// Open-row address per bank (valid only when the mask bit is set).
+    bank_open_row: Vec<u64>,
+    /// Earliest cycle each bank's next column command may issue (tCCD).
+    bank_ready_at: Vec<Cycle>,
+    /// Earliest cycle each bank's open row may be precharged (tRAS).
+    bank_precharge_ok_at: Vec<Cycle>,
+    /// Bit `b` set = bank `b` has an open row.
+    row_open: u64,
+    /// Bank-index mask when the bank count is a power of two (always, for
+    /// the shipped configs); `None` falls back to a modulo.
+    bank_mask: Option<u32>,
     bus_free_at: Cycle,
     write_queue: Vec<(u32, u64)>,
     write_batch: usize,
@@ -71,10 +76,15 @@ impl Channel {
     /// Panics if `banks` is zero or `write_batch` is zero.
     pub fn new(timing: ResolvedTiming, banks: u32, write_batch: usize) -> Self {
         assert!(banks > 0, "need at least one bank");
+        assert!(banks <= 64, "row-open mask holds at most 64 banks");
         assert!(write_batch > 0, "write batch must be non-empty");
         Self {
             timing,
-            banks: vec![Bank::default(); banks as usize],
+            bank_open_row: vec![0; banks as usize],
+            bank_ready_at: vec![0; banks as usize],
+            bank_precharge_ok_at: vec![0; banks as usize],
+            row_open: 0,
+            bank_mask: banks.is_power_of_two().then(|| banks - 1),
             bus_free_at: 0,
             write_queue: Vec::with_capacity(write_batch),
             write_batch,
@@ -118,6 +128,28 @@ impl Channel {
     /// Cycle at which the data bus becomes free (diagnostics).
     pub fn bus_free_at(&self) -> Cycle {
         self.bus_free_at
+    }
+
+    /// The next cycle strictly after `now` at which this channel has
+    /// scheduled work of its own: the start of the next all-bank refresh
+    /// window, or the point where an idle bus would opportunistically
+    /// drain buffered writes. Both are *lazy* — the state mutation happens
+    /// on the next access that observes the crossing — so the epoch
+    /// scheduler may use this purely as an upper bound on how far it
+    /// skips. Returns `Cycle::MAX` when nothing is scheduled.
+    pub fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        let mut next = Cycle::MAX;
+        if self.timing.refresh.is_some() && self.next_refresh_at > now {
+            next = self.next_refresh_at;
+        }
+        if !self.write_queue.is_empty() {
+            // `read` drains when `now > bus_free_at + 4 * burst`.
+            let drain_at = self.bus_free_at + 4 * self.timing.burst + 1;
+            if drain_at > now {
+                next = next.min(drain_at);
+            }
+        }
+        next
     }
 
     /// Performs a read of `burst_override.unwrap_or(timing.burst)` bus
@@ -192,9 +224,9 @@ impl Channel {
         while let Some((at, stall)) = f.next_storm_stall(now.max(self.bus_free_at)) {
             let start = at.max(self.bus_free_at);
             self.bus_free_at = start + stall;
-            for b in &mut self.banks {
-                b.row_open = false;
-                b.ready_at = b.ready_at.max(start + stall);
+            self.row_open = 0;
+            for r in &mut self.bank_ready_at {
+                *r = (*r).max(start + stall);
             }
         }
         let probe = now.max(self.bus_free_at);
@@ -229,48 +261,48 @@ impl Channel {
                 if pending > (1 << 16) {
                     self.refreshes += pending - 1;
                     self.next_refresh_at += (pending - 1) * refi;
-                    for b in &mut self.banks {
-                        b.row_open = false;
-                    }
+                    self.row_open = 0;
                 }
             }
             while now.max(self.bus_free_at) >= self.next_refresh_at {
                 let start = self.next_refresh_at.max(self.bus_free_at);
                 self.bus_free_at = start + rfc;
-                for b in &mut self.banks {
-                    b.row_open = false;
-                    b.ready_at = b.ready_at.max(start + rfc);
+                self.row_open = 0;
+                for r in &mut self.bank_ready_at {
+                    *r = (*r).max(start + rfc);
                 }
                 self.refreshes += 1;
                 self.next_refresh_at += refi;
             }
         }
-        let bank_idx = bank as usize % self.banks.len();
-        let b = &mut self.banks[bank_idx];
+        let bi = match self.bank_mask {
+            Some(m) => (bank & m) as usize,
+            None => bank as usize % self.bank_open_row.len(),
+        };
+        let bbit = 1u64 << bi;
         // When does this access's column command issue, and when is data
         // ready at the pins? Column commands pipeline at burst (tCCD)
         // spacing. Row conflicts are charged their full tRP+tRCD *latency*
         // but do not serialize the bank: a real FR-FCFS scheduler reorders
         // requests to keep banks pipelined, and the residual throughput
         // loss is what the paper's bandwidth-efficiency factor E models.
-        let (cas_issue, data_ready) = if b.row_open && b.open_row == row {
+        let cas_issue = now.max(self.bank_ready_at[bi]);
+        let open = self.row_open & bbit != 0;
+        let data_ready = if open && self.bank_open_row[bi] == row {
             self.stats.row_hits += 1;
-            let cas_issue = now.max(b.ready_at);
-            (cas_issue, cas_issue + t.cas)
-        } else if !b.row_open {
+            cas_issue + t.cas
+        } else if !open {
             self.stats.row_misses += 1;
-            let cas_issue = now.max(b.ready_at);
-            b.precharge_ok_at = cas_issue + t.ras;
-            (cas_issue, cas_issue + t.rcd + t.cas)
+            self.bank_precharge_ok_at[bi] = cas_issue + t.ras;
+            cas_issue + t.rcd + t.cas
         } else {
             self.stats.row_misses += 1;
-            let cas_issue = now.max(b.ready_at);
-            b.precharge_ok_at = cas_issue + t.ras;
-            (cas_issue, cas_issue + t.rp + t.rcd + t.cas)
+            self.bank_precharge_ok_at[bi] = cas_issue + t.ras;
+            cas_issue + t.rp + t.rcd + t.cas
         };
-        b.open_row = row;
-        b.row_open = true;
-        b.ready_at = cas_issue + burst;
+        self.bank_open_row[bi] = row;
+        self.row_open |= bbit;
+        self.bank_ready_at[bi] = cas_issue + burst;
         let data_at = data_ready.max(self.bus_free_at);
         let done = data_at + burst;
         self.bus_free_at = done;

@@ -55,6 +55,11 @@ pub struct DramModule {
     config: DramConfig,
     channels: Vec<Channel>,
     row_blocks: u64,
+    /// `(channel_shift, row_blocks_shift, bank_shift)` when channels,
+    /// blocks-per-row, and banks are all powers of two (every shipped
+    /// device config): [`Self::map`] becomes three shifts and two masks
+    /// instead of five integer divisions.
+    map_shifts: Option<(u32, u32, u32)>,
     /// Per-channel outage windows `[start, end)`, kept for degraded-
     /// interleave routing; empty when no outage is scheduled.
     outages: Vec<Vec<(Cycle, Cycle)>>,
@@ -68,10 +73,22 @@ impl DramModule {
             .map(|_| Channel::new(timing, config.banks_per_channel, config.write_batch))
             .collect();
         let row_blocks = config.row_bytes / BLOCK_BYTES;
+        let nch = u64::from(config.channels);
+        let banks = u64::from(config.banks_per_channel);
+        let map_shifts =
+            (nch.is_power_of_two() && row_blocks.is_power_of_two() && banks.is_power_of_two())
+                .then(|| {
+                    (
+                        nch.trailing_zeros(),
+                        row_blocks.trailing_zeros(),
+                        banks.trailing_zeros(),
+                    )
+                });
         Self {
             config,
             channels,
             row_blocks,
+            map_shifts,
             outages: Vec::new(),
         }
     }
@@ -140,7 +157,15 @@ impl DramModule {
     }
 
     /// Maps a block address to (channel, bank, row).
+    #[inline]
     fn map(&self, block: u64) -> (usize, u32, u64) {
+        if let Some((ch_sh, rb_sh, bank_sh)) = self.map_shifts {
+            let channel = (block & ((1 << ch_sh) - 1)) as usize;
+            let in_channel = block >> ch_sh;
+            let bank = (in_channel >> rb_sh & ((1 << bank_sh) - 1)) as u32;
+            let row = in_channel >> (rb_sh + bank_sh);
+            return (channel, bank, row);
+        }
         let nch = self.channels.len() as u64;
         let channel = (block % nch) as usize;
         let in_channel = block / nch;
@@ -196,6 +221,17 @@ impl DramModule {
             Route::Resumes(ch, at) => (at - now) + self.channels[ch].estimated_wait(at),
             Route::Never => FAULT_HORIZON.saturating_sub(now),
         }
+    }
+
+    /// Earliest [`Channel::next_scheduled_event`] across the module's
+    /// channels — the module's next refresh-window start or opportunistic
+    /// write-drain point after `now`, `Cycle::MAX` when idle.
+    pub fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        self.channels
+            .iter()
+            .map(|ch| ch.next_scheduled_event(now))
+            .min()
+            .unwrap_or(Cycle::MAX)
     }
 
     /// Drains every channel's buffered writes (end-of-run accounting).

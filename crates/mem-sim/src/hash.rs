@@ -1,0 +1,92 @@
+//! A fast, deterministic hasher for the simulator's hot maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash with a random key) costs more
+//! per `u64` key than the entire rest of an MSHR probe, and its per-process
+//! random seed makes iteration order vary between runs. The simulator's
+//! maps are keyed by block addresses it generates itself — HashDoS is not
+//! in the threat model — so a two-round multiply-xor mixer is plenty, and
+//! determinism is a feature: any accidental dependence on iteration order
+//! shows up as a reproducible bug, not a heisenbug.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`MixHasher`] — deterministic and fast for the
+/// integer keys the simulator uses.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<MixHasher>>;
+
+/// Multiply-xor mixing hasher (finalizer strength comparable to
+/// splitmix64). Not cryptographic; do not use for untrusted keys.
+#[derive(Default)]
+pub struct MixHasher(u64);
+
+impl MixHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        let mut x = self.0 ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        self.0 = x;
+    }
+}
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for composite keys: fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_maps() {
+        let mut a: FastMap<u64, u64> = FastMap::default();
+        let mut b: FastMap<u64, u64> = FastMap::default();
+        for k in 0..1000u64 {
+            a.insert(k * 7919, k);
+            b.insert(k * 7919, k);
+        }
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Block addresses are dense; the mixer must not collide low bits.
+        let mut buckets = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            let mut h = MixHasher::default();
+            h.write_u64(k);
+            buckets.insert(h.finish() & 0xFFF);
+        }
+        assert!(buckets.len() > 3_000, "only {} buckets hit", buckets.len());
+    }
+}

@@ -43,6 +43,7 @@ pub mod config;
 pub mod core_model;
 pub mod dram;
 pub mod faults;
+pub mod hash;
 pub mod interrupt;
 pub mod mscache;
 pub mod policy;
@@ -62,7 +63,7 @@ pub use policy::{
 };
 pub use profile::{AccessProfiler, PhaseSample};
 pub use stats::{CoreResult, RunResult, SimStats};
-pub use system::{MemAccessKind, MemorySubsystem, System};
+pub use system::{KernelStats, MemAccessKind, MemorySubsystem, System};
 pub use telemetry::SubsystemTelemetry;
 
 /// Block size used throughout the hierarchy (bytes).

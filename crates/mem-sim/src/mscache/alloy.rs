@@ -93,12 +93,11 @@ impl AlloyCache {
     /// Presence/dirtiness of a block (directory oracle; the hardware learns
     /// this from the TAD or the presence bit).
     pub fn state(&self, block: u64) -> BlockState {
-        if !self.dir.contains(block) {
-            BlockState::Miss
-        } else if self.dir.is_dirty(block) {
-            BlockState::DirtyHit
-        } else {
-            BlockState::CleanHit
+        // One tag scan: presence and dirtiness from the same slot.
+        match self.dir.peek_slot(block) {
+            None => BlockState::Miss,
+            Some(slot) if self.dir.slot_is_dirty(slot) => BlockState::DirtyHit,
+            Some(_) => BlockState::CleanHit,
         }
     }
 
@@ -133,10 +132,12 @@ impl AlloyCache {
     /// Reads the TAD for `block`; returns the completion cycle and marks
     /// reuse on a hit.
     pub fn read_tad(&mut self, block: u64, now: Cycle) -> Cycle {
-        if let Some(reuse) = self.dir.peek_mut(block) {
+        // One tag scan: the counted/touching lookup also hands back the
+        // slot whose reuse counter the hit must bump.
+        if let Some(slot) = self.dir.lookup_slot(block) {
+            let reuse = self.dir.slot_payload_mut(slot);
             *reuse = reuse.saturating_add(1);
         }
-        let _ = self.dir.lookup(block);
         self.dram.read_tad(block, now)
     }
 
@@ -163,8 +164,10 @@ impl AlloyCache {
     /// CAS is charged).
     pub fn install(&mut self, block: u64, now: Cycle, dirty: bool) -> Option<Eviction<Reuse>> {
         let set = self.set_of(block);
-        let ev = self.dir.insert(block, 0, dirty);
-        if self.dir.is_dirty(block) {
+        // The insert hands back the filled slot, so the post-insert dirty
+        // state (sticky across a same-block replace) needs no re-scan.
+        let (ev, slot) = self.dir.insert_slot(block, 0, dirty);
+        if self.dir.slot_is_dirty(slot) {
             self.dbc.mark_dirty(set);
         } else {
             self.dbc.mark_clean(set);
@@ -188,10 +191,15 @@ impl AlloyCache {
     /// Marks a resident block clean (Alloy write-through mirrored the data
     /// to main memory).
     pub fn mark_clean_after_write_through(&mut self, block: u64) {
-        if let Some(_reuse) = self.dir.peek(block) {
-            // Clear dirtiness by reinstalling the directory state.
-            let _ = self.dir.invalidate(block);
-            let _ = self.dir.insert(block, 0, false);
+        // In-place equivalent of the old invalidate-and-reinsert pair
+        // (exact for the direct-mapped directory, where the reinsert can
+        // only land in the line's own way): reset the reuse payload,
+        // clear the dirty bit, and touch replacement state as the insert
+        // would have.
+        if let Some(slot) = self.dir.peek_slot(block) {
+            *self.dir.slot_payload_mut(slot) = 0;
+            self.dir.clear_dirty_slot(slot);
+            self.dir.touch_slot(slot);
             self.dbc.mark_clean(self.set_of(block));
         }
     }

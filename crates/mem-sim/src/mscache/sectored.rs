@@ -7,7 +7,7 @@
 //! most metadata reads. Replacement is single-bit NRU, as in the paper.
 
 use super::tag_cache::TagCache;
-use crate::cache::{ReplacementKind, SetAssocCache};
+use crate::cache::{ReplacementKind, SetAssocCache, Slot};
 use crate::clock::Cycle;
 use crate::dram::{DramConfig, DramModule};
 use crate::prefetch::FootprintPredictor;
@@ -66,6 +66,12 @@ pub struct SectoredDramCache {
     sector_shift: u32,
     /// Synthetic address region for metadata blocks, disjoint from data.
     meta_base: u64,
+    /// One-entry memo of the most recent directory probe, so the
+    /// probe → state → data sequence of a single access resolves the
+    /// directory once. Reset whenever directory lines move (sector
+    /// allocation, set flush); peeks and in-place payload updates keep
+    /// slots stable.
+    probe_slot: Option<(u64, Slot)>,
 }
 
 impl SectoredDramCache {
@@ -119,7 +125,29 @@ impl SectoredDramCache {
             blocks_per_sector,
             sector_shift: blocks_per_sector.trailing_zeros(),
             meta_base: 1 << 44,
+            probe_slot: None,
         }
+    }
+
+    /// The memoized slot for `sector`, if the last probe resolved it.
+    #[inline]
+    fn memo_slot(&self, sector: u64) -> Option<Slot> {
+        match self.probe_slot {
+            Some((s, slot)) if s == sector => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Resolves `sector`'s directory slot, consulting and refreshing the
+    /// memo (no replacement-state or counter side effects).
+    #[inline]
+    fn resolve_slot(&mut self, sector: u64) -> Option<Slot> {
+        if let Some(slot) = self.memo_slot(sector) {
+            return Some(slot);
+        }
+        let slot = self.dir.peek_slot(sector)?;
+        self.probe_slot = Some((sector, slot));
+        Some(slot)
     }
 
     /// Blocks per sector.
@@ -174,7 +202,11 @@ impl SectoredDramCache {
     /// Current presence state of a block (directory only; no timing).
     pub fn state(&self, block: u64) -> BlockState {
         let (sector, off) = self.sector_of(block);
-        match self.dir.peek(sector) {
+        let payload = match self.memo_slot(sector) {
+            Some(slot) => Some(self.dir.slot_payload(slot)),
+            None => self.dir.peek(sector),
+        };
+        match payload {
             Some(s) if s.valid >> off & 1 == 1 => {
                 if s.dirty >> off & 1 == 1 {
                     BlockState::DirtyHit
@@ -189,7 +221,7 @@ impl SectoredDramCache {
     /// Whether the sector containing `block` is resident.
     pub fn sector_present(&self, block: u64) -> bool {
         let (sector, _) = self.sector_of(block);
-        self.dir.contains(sector)
+        self.memo_slot(sector).is_some() || self.dir.contains(sector)
     }
 
     /// Resolves the block's metadata: tag-cache probe, falling back to a
@@ -197,8 +229,9 @@ impl SectoredDramCache {
     /// replacement.
     pub fn probe_metadata(&mut self, block: u64, now: Cycle) -> MetadataProbe {
         let (sector, _) = self.sector_of(block);
-        // Touch the directory for NRU state.
-        let _ = self.dir.lookup(sector);
+        // Touch the directory for NRU state; remember the hit slot so the
+        // rest of this access skips repeated tag scans.
+        self.probe_slot = self.dir.lookup_slot(sector).map(|slot| (sector, slot));
         let meta_block = self.meta_block(sector);
         let writeback_block = self.meta_base + 1;
         match &mut self.tag_cache {
@@ -252,8 +285,8 @@ impl SectoredDramCache {
             "read_data needs a resident block"
         );
         let (sector, off) = self.sector_of(block);
-        if let Some(s) = self.dir.peek_mut(sector) {
-            s.used |= 1 << off;
+        if let Some(slot) = self.resolve_slot(sector) {
+            self.dir.slot_payload_mut(slot).used |= 1 << off;
         }
         self.dram.read_block(block, now)
     }
@@ -263,9 +296,10 @@ impl SectoredDramCache {
     /// route the write to main memory).
     pub fn write_data(&mut self, block: u64, now: Cycle, dirty: bool) -> bool {
         let (sector, off) = self.sector_of(block);
-        let Some(s) = self.dir.peek_mut(sector) else {
+        let Some(slot) = self.resolve_slot(sector) else {
             return false;
         };
+        let s = self.dir.slot_payload_mut(slot);
         s.valid |= 1 << off;
         if dirty {
             // Demand writes count toward the footprint; clean fills do not
@@ -284,7 +318,8 @@ impl SectoredDramCache {
     /// Invalidates one block (write bypass of a resident block).
     pub fn invalidate_block(&mut self, block: u64) {
         let (sector, off) = self.sector_of(block);
-        if let Some(s) = self.dir.peek_mut(sector) {
+        if let Some(slot) = self.resolve_slot(sector) {
+            let s = self.dir.slot_payload_mut(slot);
             s.valid &= !(1 << off);
             s.dirty &= !(1 << off);
         }
@@ -301,6 +336,9 @@ impl SectoredDramCache {
         let (sector, off) = self.sector_of(block);
         let predicted = self.footprint.predict(sector, off);
         let ev = self.dir.insert(sector, Sector::default(), false);
+        // The insert may have moved lines; drop the memo and let the next
+        // probe re-resolve.
+        self.probe_slot = None;
         let mut out = Allocation::default();
         if let Some(ev) = ev {
             self.footprint.record(ev.key, ev.payload.used);
@@ -326,6 +364,7 @@ impl SectoredDramCache {
     /// Flushes a directory set (BATMAN's set disabling); returns the dirty
     /// block addresses that must be written to main memory.
     pub fn flush_set(&mut self, set: u64) -> Vec<u64> {
+        self.probe_slot = None;
         let mut out = Vec::new();
         for ev in self.dir.invalidate_set(set) {
             self.footprint.record(ev.key, ev.payload.used);

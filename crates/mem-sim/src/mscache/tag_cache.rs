@@ -62,7 +62,9 @@ impl TagCache {
                 writeback_needed: false,
             }
         } else {
-            let ev = self.entries.insert(sector, (), false);
+            // The lookup above just missed with no intervening insert, so
+            // the presence re-scan inside `insert` can be skipped.
+            let ev = self.entries.insert_absent(sector, (), false);
             TagProbe {
                 hit: false,
                 writeback_needed: ev.map(|e| e.dirty).unwrap_or(false),

@@ -61,6 +61,15 @@ impl StridePrefetcher {
     /// Observes a demand *block* address; returns block addresses to
     /// prefetch (possibly empty).
     pub fn observe(&mut self, block: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(block, &mut out);
+        out
+    }
+
+    /// [`Self::observe`] writing candidates into a caller-owned buffer
+    /// (cleared first), so steady-state observation never allocates.
+    pub fn observe_into(&mut self, block: u64, out: &mut Vec<u64>) {
+        out.clear();
         self.tick += 1;
         let region = block >> Self::REGION_SHIFT;
         // Find this region's stream, or the stream in an adjacent region the
@@ -90,14 +99,14 @@ impl StridePrefetcher {
                 valid: true,
                 last_use: self.tick,
             };
-            return Vec::new();
+            return;
         };
         let s = &mut self.streams[i];
         s.last_use = self.tick;
         s.region = region;
         let observed = block as i64 - s.last_block as i64;
         if observed == 0 {
-            return Vec::new();
+            return;
         }
         if observed == s.stride && s.stride != 0 {
             s.confidence = (s.confidence + 1).min(3);
@@ -107,10 +116,9 @@ impl StridePrefetcher {
         }
         s.last_block = block;
         if s.confidence == 0 {
-            return Vec::new();
+            return;
         }
         let stride = s.stride;
-        let mut out = Vec::with_capacity(self.degree as usize);
         for d in 1..=i64::from(self.degree) {
             let target = block as i64 + stride * d;
             if target >= 0 {
@@ -118,7 +126,6 @@ impl StridePrefetcher {
             }
         }
         self.issued += out.len() as u64;
-        out
     }
 }
 

@@ -133,7 +133,7 @@ impl CoreResult {
 }
 
 /// The complete outcome of a [`System`](crate::System) run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     /// Per-core retirement results.
     pub per_core: Vec<CoreResult>,

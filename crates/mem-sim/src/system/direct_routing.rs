@@ -134,6 +134,10 @@ impl MemSideCache for AlloyCache {
     fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
         AlloyCache::apply_faults(self, schedule);
     }
+
+    fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        self.dram().next_scheduled_event(now)
+    }
 }
 
 impl MemSideCache for FlatTier {
@@ -175,5 +179,9 @@ impl MemSideCache for FlatTier {
 
     fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
         FlatTier::apply_faults(self, schedule);
+    }
+
+    fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        self.fast_module().next_scheduled_event(now)
     }
 }

@@ -2,12 +2,11 @@
 //! prefetchers, and the MSHR merge window in front of the memory
 //! subsystem.
 
-use std::collections::HashMap;
-
 use crate::cache::{ReplacementKind, SetAssocCache};
 use crate::clock::Cycle;
 use crate::config::SystemConfig;
 use crate::core_model::CoreModel;
+use crate::hash::FastMap;
 use crate::policy::{NoPartitioning, Partitioner};
 use crate::prefetch::StridePrefetcher;
 use crate::trace::TraceSource;
@@ -27,8 +26,11 @@ pub struct System {
     l2: Vec<SetAssocCache<()>>,
     prefetchers: Vec<StridePrefetcher>,
     l3: SetAssocCache<()>,
-    mshr: HashMap<u64, Cycle>,
+    mshr: FastMap<u64, Cycle>,
     mshr_cleanup_at: usize,
+    /// Reused between accesses so the prefetcher's candidate list never
+    /// allocates in steady state.
+    prefetch_buf: Vec<u64>,
     pub(super) mem: MemorySubsystem,
 }
 
@@ -69,8 +71,9 @@ impl System {
                 .map(|_| StridePrefetcher::new(config.prefetch_degree))
                 .collect(),
             l3: SetAssocCache::new(config.l3.0, config.l3.1, ReplacementKind::Lru),
-            mshr: HashMap::new(),
+            mshr: FastMap::default(),
             mshr_cleanup_at: 8192,
+            prefetch_buf: Vec::new(),
             mem,
             config,
         }
@@ -118,47 +121,49 @@ impl System {
             return t + l1_lat;
         }
         if self.l2[core].lookup(block) {
-            self.install_l1(core, block, t);
+            self.install_l1(core, block, t, false);
             return t + l2_lat;
         }
-        let prefetches = if self.config.prefetch_degree > 0 {
-            self.prefetchers[core].observe(block)
+        let mut prefetches = std::mem::take(&mut self.prefetch_buf);
+        if self.config.prefetch_degree > 0 {
+            self.prefetchers[core].observe_into(block, &mut prefetches);
         } else {
-            Vec::new()
-        };
+            prefetches.clear();
+        }
         let done = self.access_l3(block, core, pc, t + l2_lat, MemAccessKind::DemandRead);
         self.install_l2(core, block, t);
-        self.install_l1(core, block, t);
-        for p in prefetches {
+        self.install_l1(core, block, t, false);
+        for &p in &prefetches {
             self.prefetch(p, core, pc, t);
         }
+        self.prefetch_buf = prefetches;
         done
     }
 
     /// A demand store at cycle `t` (fire-and-forget for the core).
     pub(super) fn store(&mut self, core: usize, block: u64, pc: u64, t: Cycle) {
-        if self.l1[core].lookup(block) {
-            self.l1[core].mark_dirty(block);
+        if let Some(slot) = self.l1[core].lookup_slot(block) {
+            self.l1[core].mark_dirty_slot(slot);
             return;
         }
         if self.l2[core].lookup(block) {
-            self.install_l1(core, block, t);
-            self.l1[core].mark_dirty(block);
+            self.install_l1(core, block, t, true);
             return;
         }
-        let prefetches = if self.config.prefetch_degree > 0 {
-            self.prefetchers[core].observe(block)
+        let mut prefetches = std::mem::take(&mut self.prefetch_buf);
+        if self.config.prefetch_degree > 0 {
+            self.prefetchers[core].observe_into(block, &mut prefetches);
         } else {
-            Vec::new()
-        };
+            prefetches.clear();
+        }
         let (_, _, l2_lat) = self.config.l2;
         let _ = self.access_l3(block, core, pc, t + l2_lat, MemAccessKind::Rfo);
         self.install_l2(core, block, t);
-        self.install_l1(core, block, t);
-        self.l1[core].mark_dirty(block);
-        for p in prefetches {
+        self.install_l1(core, block, t, true);
+        for &p in &prefetches {
             self.prefetch(p, core, pc, t);
         }
+        self.prefetch_buf = prefetches;
     }
 
     fn access_l3(
@@ -189,12 +194,18 @@ impl System {
         if kind != MemAccessKind::Prefetch {
             self.mem.stats_mut().l3_misses += 1;
         }
-        let done = self.mem_read_merged(block, core, pc, t + l3_lat, kind);
+        let done = self.mem_read_insert(block, core, pc, t + l3_lat, kind);
         self.install_l3(block, t);
         done
     }
 
-    fn mem_read_merged(
+    /// Issues a memory read and records it in the MSHR.
+    ///
+    /// Both callers have already probed the MSHR for this block at an
+    /// earlier-or-equal cycle and found no outstanding miss, so any entry
+    /// still present here is stale (completed at or before `t`) and is
+    /// simply overwritten — no second merge check is needed.
+    fn mem_read_insert(
         &mut self,
         block: u64,
         core: usize,
@@ -202,12 +213,6 @@ impl System {
         t: Cycle,
         kind: MemAccessKind,
     ) -> Cycle {
-        if let Some(&c) = self.mshr.get(&block) {
-            if c > t {
-                // Merge into the outstanding miss.
-                return c;
-            }
-        }
         let done = self.mem.read(block, core, pc, t, kind);
         self.mshr.insert(block, done);
         if self.mshr.len() > self.mshr_cleanup_at {
@@ -228,7 +233,7 @@ impl System {
         if self.mem.queue_pressure(block, t) > PREFETCH_PRESSURE_LIMIT {
             return;
         }
-        let _ = self.mem_read_merged(block, core, pc, t, MemAccessKind::Prefetch);
+        let _ = self.mem_read_insert(block, core, pc, t, MemAccessKind::Prefetch);
         self.install_l3(block, t);
     }
 
@@ -237,8 +242,13 @@ impl System {
     // full miss latency ahead and a single future-stamped write drain would
     // catapult the channel's bus reservation for every later request.
 
+    // Every install below runs on a path where the target cache has just
+    // missed on `block` with no intervening insert of it (installs into
+    // *other* levels and memory reads cannot add lines here), so the
+    // presence re-scan inside `insert` is skipped via `insert_absent`.
+
     fn install_l3(&mut self, block: u64, t: Cycle) {
-        if let Some(ev) = self.l3.insert(block, (), false) {
+        if let Some(ev) = self.l3.insert_absent(block, (), false) {
             if ev.dirty {
                 self.mem.write(ev.key, t);
             }
@@ -246,15 +256,15 @@ impl System {
     }
 
     fn install_l2(&mut self, core: usize, block: u64, t: Cycle) {
-        if let Some(ev) = self.l2[core].insert(block, (), false) {
+        if let Some(ev) = self.l2[core].insert_absent(block, (), false) {
             if ev.dirty && !self.l3.mark_dirty(ev.key) {
                 self.mem.write(ev.key, t);
             }
         }
     }
 
-    fn install_l1(&mut self, core: usize, block: u64, t: Cycle) {
-        if let Some(ev) = self.l1[core].insert(block, (), false) {
+    fn install_l1(&mut self, core: usize, block: u64, t: Cycle, dirty: bool) {
+        if let Some(ev) = self.l1[core].insert_absent(block, (), dirty) {
             if ev.dirty && !self.l2[core].mark_dirty(ev.key) && !self.l3.mark_dirty(ev.key) {
                 self.mem.write(ev.key, t);
             }

@@ -1,0 +1,247 @@
+//! The epoch-skipping simulation kernel.
+//!
+//! [`System::run`] advances the machine in 64-cycle quanta (one DAP
+//! window) with a rotating core order. The naive formulation — step every
+//! quantum, then rescan all cores for the earliest runnable cycle —
+//! spends its time in bookkeeping whenever cores stall for thousands of
+//! cycles (fault outages, saturated channels, sparse traces). This module
+//! replaces it with an *epoch* loop built from two pieces:
+//!
+//! * **Folded frontier.** The earliest cycle at which any unfinished core
+//!   can run again is computed *during* the per-quantum core sweep
+//!   instead of by a second pass afterwards. This is exact, not an
+//!   approximation: cores are processed in rotation order and a later
+//!   core can never rewind an earlier core's `local_cycle` or retire its
+//!   instructions, so each core's contribution to the minimum is final
+//!   the moment its sweep slot ends.
+//! * **Epoch scheduler.** When the frontier lies beyond the current
+//!   quantum, the [`EpochScheduler`] jumps straight to the quantum
+//!   containing the next *interesting* cycle: the earliest core issue,
+//!   bounded by the memory side's next scheduled event (fault-schedule
+//!   boundary, DRAM refresh-window start, opportunistic write-batch
+//!   drain — see [`MemorySubsystem::next_scheduled_event`]). The jump
+//!   advances the rotation index by exactly the number of skipped quanta,
+//!   which is what stepping them one by one would have done.
+//!
+//! # Bit-identity
+//!
+//! The kernel is verified bit-identical to the retained per-quantum
+//! reference loop ([`System::run_reference`]) across a seeded
+//! configuration sweep (`tests/kernel_equivalence.rs`). The argument:
+//!
+//! * A skipped quantum executes nothing in the reference loop — every
+//!   unfinished core satisfies `local_cycle >= quantum_end`, so the inner
+//!   sweep falls straight through — and mutates no memory-side state,
+//!   because everything below the cores (DAP window accounting, fault
+//!   transitions, refresh, write drains) is applied lazily at the next
+//!   access. Skipping it therefore changes nothing but loop overhead.
+//! * DAP window boundaries need no event source of their own:
+//!   [`DapController::tick`](dap_core::DapController) folds runs of idle
+//!   windows deterministically, so a window with no accesses produces the
+//!   same solver state whether it was stepped or jumped over.
+//! * Clamping a jump *short* of the frontier (at a memory-side event) is
+//!   equally safe in the other direction: the loop just iterates over a
+//!   few more provably-empty quanta, exactly as the reference does for
+//!   all of them. The clamp only keeps the cooperative-cancellation check
+//!   and epoch accounting responsive across very long stalls.
+//!
+//! The PR-4 contracts survive unchanged: cancellation still unwinds at
+//! quantum (= window) granularity with the same `at_cycle`, and the
+//! policy's `WindowAuditor` sees every window because window accounting
+//! itself was always access-driven.
+
+use crate::clock::Cycle;
+use crate::core_model::CoreModel;
+use crate::stats::{CoreResult, RunResult};
+use crate::trace::OpKind;
+
+use super::hierarchy::System;
+
+/// One DAP window. Cores must interleave at window granularity or the
+/// policy sees several cores' demand lumped into one window.
+pub(super) const QUANTUM: Cycle = 64;
+
+/// How the epoch scheduler advanced during one run (instrumentation for
+/// regression tests and diagnostics; not part of [`RunResult`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Quantum sweeps actually executed.
+    pub epochs: u64,
+    /// Empty quanta jumped over without a sweep.
+    pub skipped_quanta: u64,
+    /// Jumps that were shortened by a memory-side scheduled event
+    /// landing before the core frontier.
+    pub memory_clamps: u64,
+}
+
+/// Owns the quantum clock: the end of the current quantum, the rotation
+/// index that staggers per-quantum core order, and the skip arithmetic
+/// that jumps both across empty epochs in lockstep.
+struct EpochScheduler {
+    quantum_end: Cycle,
+    quantum_index: usize,
+    stats: KernelStats,
+}
+
+impl EpochScheduler {
+    fn new() -> Self {
+        Self {
+            quantum_end: QUANTUM,
+            quantum_index: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Opens the next epoch; returns `(rotation_index, quantum_end)` for
+    /// the sweep.
+    fn begin_epoch(&mut self) -> (usize, Cycle) {
+        self.stats.epochs += 1;
+        // Rotate the per-quantum processing order: the first core to
+        // submit each window gets earlier bus reservations, and a fixed
+        // order would hand one core a compounding advantage under
+        // saturation.
+        self.quantum_index = self.quantum_index.wrapping_add(1);
+        (self.quantum_index, self.quantum_end)
+    }
+
+    /// Closes the epoch: if the core frontier lies beyond the quantum
+    /// that just ran, jump to the quantum containing the next interesting
+    /// cycle — the frontier, clamped by the memory side's next scheduled
+    /// event (queried lazily, only when a jump is possible). Advancing
+    /// the rotation index by the number of skipped quanta keeps results
+    /// bit-identical to stepping them.
+    fn advance(&mut self, frontier: Cycle, memory_event: impl FnOnce(Cycle) -> Cycle) {
+        if frontier > self.quantum_end {
+            let unclamped = (frontier - self.quantum_end) / QUANTUM;
+            let mut skipped = unclamped;
+            if unclamped > 0 {
+                let event = memory_event(self.quantum_end).max(self.quantum_end);
+                skipped = unclamped.min((event - self.quantum_end) / QUANTUM);
+                if skipped < unclamped {
+                    self.stats.memory_clamps += 1;
+                }
+            }
+            self.quantum_index = self.quantum_index.wrapping_add(skipped as usize);
+            self.quantum_end += skipped * QUANTUM;
+            self.stats.skipped_quanta += skipped;
+        }
+        self.quantum_end += QUANTUM;
+    }
+}
+
+impl System {
+    /// Runs until every core retires `instructions_per_core` instructions.
+    ///
+    /// Dispatches to the epoch-skipping kernel, or to the retained
+    /// per-quantum reference loop when the crate is built with the
+    /// `reference-kernel` feature (the equivalence oracle).
+    pub fn run(&mut self, instructions_per_core: u64) -> RunResult {
+        #[cfg(feature = "reference-kernel")]
+        {
+            self.run_reference(instructions_per_core)
+        }
+        #[cfg(not(feature = "reference-kernel"))]
+        {
+            self.run_kernel(instructions_per_core)
+        }
+    }
+
+    /// The epoch-skipping kernel (see the module docs).
+    pub fn run_kernel(&mut self, instructions_per_core: u64) -> RunResult {
+        self.run_kernel_instrumented(instructions_per_core).0
+    }
+
+    /// [`run_kernel`](System::run_kernel), also returning the epoch
+    /// scheduler's counters for tests and diagnostics.
+    pub fn run_kernel_instrumented(
+        &mut self,
+        instructions_per_core: u64,
+    ) -> (RunResult, KernelStats) {
+        let mut sched = EpochScheduler::new();
+        loop {
+            // Cooperative interruption, honored at window granularity:
+            // a tripped stop flag (Ctrl-C cancel token or the per-cell
+            // deadline watchdog) unwinds with a typed payload the
+            // harness catches and reports structurally.
+            if let Some(cause) = crate::interrupt::tripped() {
+                std::panic::panic_any(crate::interrupt::RunInterrupted {
+                    cause,
+                    at_cycle: sched.quantum_end,
+                });
+            }
+            let (rotation, quantum_end) = sched.begin_epoch();
+            let n = self.cores.len();
+            let mut all_done = true;
+            let mut frontier = Cycle::MAX;
+            for k in 0..n {
+                let i = (k + rotation) % n;
+                self.step_core(i, instructions_per_core, quantum_end);
+                // This core's slot is over; nothing later in the sweep
+                // can move it, so its frontier contribution is final.
+                if self.cores[i].retired() < instructions_per_core {
+                    all_done = false;
+                    frontier = frontier.min(self.cores[i].local_cycle());
+                }
+            }
+            if all_done {
+                break;
+            }
+            let mem = &self.mem;
+            sched.advance(frontier, |at| mem.next_scheduled_event(at));
+        }
+        (self.finish_run(), sched.stats)
+    }
+
+    /// Executes core `i`'s share of the quantum ending at `quantum_end`:
+    /// consume trace operations until the core either retires its budget
+    /// or its local clock crosses the quantum boundary. Shared verbatim
+    /// by the kernel and the reference loop so the two cannot drift.
+    #[inline]
+    pub(super) fn step_core(&mut self, i: usize, instructions_per_core: u64, quantum_end: Cycle) {
+        while self.cores[i].retired() < instructions_per_core
+            && self.cores[i].local_cycle() < quantum_end
+        {
+            let op = self.traces[i].next_op();
+            let remaining = instructions_per_core - self.cores[i].retired();
+            self.cores[i].push_nonmem(op.gap.min(remaining as u32));
+            if self.cores[i].retired() >= instructions_per_core {
+                break;
+            }
+            let t = self.cores[i].next_issue_cycle();
+            match op.kind {
+                OpKind::Read => {
+                    let done = self.load(i, op.block(), op.pc, t);
+                    self.cores[i].push_mem(done.saturating_sub(t).max(1));
+                }
+                OpKind::Write => {
+                    self.store(i, op.block(), op.pc, t);
+                    self.cores[i].push_mem(1);
+                }
+            }
+        }
+    }
+
+    /// End-of-run accounting shared by both kernels: flush the memory
+    /// side at the last core cycle and assemble the [`RunResult`].
+    pub(super) fn finish_run(&mut self) -> RunResult {
+        let last = self
+            .cores
+            .iter()
+            .map(CoreModel::local_cycle)
+            .max()
+            .unwrap_or(0);
+        self.mem.finalize(last);
+        RunResult {
+            per_core: self
+                .cores
+                .iter()
+                .map(|c| CoreResult {
+                    instructions: c.retired(),
+                    cycles: c.local_cycle(),
+                })
+                .collect(),
+            stats: *self.mem.stats(),
+            dap_decisions: self.mem.dap_decisions(),
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //!   not share the sector skeleton.
 //! * [`hierarchy`] — the [`System`]: cores, L1/L2/L3 SRAM caches, MSHRs,
 //!   and the prefetchers.
-//! * [`run_loop`] — the quantum-interleaved simulation loop.
+//! * [`kernel`] — the epoch-skipping simulation kernel (the default run
+//!   loop) and its epoch scheduler.
+//! * [`run_loop`] — the per-quantum reference loop, retained as the
+//!   kernel's bit-identity oracle (`reference-kernel` feature).
 //!
 //! The [`MemorySubsystem`] is where the paper's action happens: every L3
 //! miss (read) and L3 dirty eviction (write) arrives here, the
@@ -27,10 +30,12 @@
 
 mod direct_routing;
 mod hierarchy;
+mod kernel;
 mod run_loop;
 mod sector_impls;
 mod sector_routing;
 mod subsystem;
 
 pub use hierarchy::System;
+pub use kernel::KernelStats;
 pub use subsystem::{MemAccessKind, MemorySubsystem};

@@ -1,19 +1,24 @@
-//! The simulation loop: quantum-interleaved core execution until every
-//! core retires its instruction budget.
+//! The per-quantum reference loop: quantum-interleaved core execution
+//! with a rescan-based fast-forward, retained verbatim as the
+//! equivalence oracle for the epoch-skipping kernel (see [`kernel`]).
+//!
+//! [`System::run`] dispatches here when the crate is built with the
+//! `reference-kernel` feature; the property suite and CI equivalence
+//! smoke call [`System::run_reference`] directly and assert bit-identical
+//! results against [`System::run_kernel`](super::kernel).
+//!
+//! [`kernel`]: super::kernel
 
-use crate::clock::Cycle;
 use crate::core_model::CoreModel;
-use crate::stats::{CoreResult, RunResult};
-use crate::trace::OpKind;
+use crate::stats::RunResult;
 
 use super::hierarchy::System;
+use super::kernel::QUANTUM;
 
 impl System {
-    /// Runs until every core retires `instructions_per_core` instructions.
-    pub fn run(&mut self, instructions_per_core: u64) -> RunResult {
-        // One DAP window: cores must interleave at window granularity or
-        // the policy sees several cores' demand lumped into one window.
-        const QUANTUM: Cycle = 64;
+    /// Runs until every core retires `instructions_per_core` instructions,
+    /// stepping one quantum at a time.
+    pub fn run_reference(&mut self, instructions_per_core: u64) -> RunResult {
         let mut quantum_end = QUANTUM;
         let mut quantum_index = 0usize;
         loop {
@@ -36,27 +41,7 @@ impl System {
             let n = self.cores.len();
             for k in 0..n {
                 let i = (k + quantum_index) % n;
-                while self.cores[i].retired() < instructions_per_core
-                    && self.cores[i].local_cycle() < quantum_end
-                {
-                    let op = self.traces[i].next_op();
-                    let remaining = instructions_per_core - self.cores[i].retired();
-                    self.cores[i].push_nonmem(op.gap.min(remaining as u32));
-                    if self.cores[i].retired() >= instructions_per_core {
-                        break;
-                    }
-                    let t = self.cores[i].next_issue_cycle();
-                    match op.kind {
-                        OpKind::Read => {
-                            let done = self.load(i, op.block(), op.pc, t);
-                            self.cores[i].push_mem(done.saturating_sub(t).max(1));
-                        }
-                        OpKind::Write => {
-                            self.store(i, op.block(), op.pc, t);
-                            self.cores[i].push_mem(1);
-                        }
-                    }
-                }
+                self.step_core(i, instructions_per_core, quantum_end);
                 if self.cores[i].retired() < instructions_per_core {
                     all_done = false;
                 }
@@ -83,24 +68,6 @@ impl System {
             }
             quantum_end += QUANTUM;
         }
-        let last = self
-            .cores
-            .iter()
-            .map(CoreModel::local_cycle)
-            .max()
-            .unwrap_or(0);
-        self.mem.finalize(last);
-        RunResult {
-            per_core: self
-                .cores
-                .iter()
-                .map(|c| CoreResult {
-                    instructions: c.retired(),
-                    cycles: c.local_cycle(),
-                })
-                .collect(),
-            stats: *self.mem.stats(),
-            dap_decisions: self.mem.dap_decisions(),
-        }
+        self.finish_run()
     }
 }

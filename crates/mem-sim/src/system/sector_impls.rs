@@ -159,6 +159,10 @@ impl MemSideCache for SectoredDramCache {
         SectoredDramCache::apply_faults(self, schedule);
     }
 
+    fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        self.dram().next_scheduled_event(now)
+    }
+
     fn apply_maintenance(
         &mut self,
         env: &mut RouteEnv,
@@ -286,5 +290,11 @@ impl MemSideCache for EdramCache {
 
     fn apply_faults(&mut self, schedule: &crate::faults::FaultSchedule) {
         EdramCache::apply_faults(self, schedule);
+    }
+
+    fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        self.read_path()
+            .next_scheduled_event(now)
+            .min(self.write_path().next_scheduled_event(now))
     }
 }

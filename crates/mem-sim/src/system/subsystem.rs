@@ -145,6 +145,16 @@ pub(crate) trait MemSideCache {
     /// Arms a fault-injection schedule on the cache's DRAM channels.
     /// Architectures without injectable devices ignore it (the default).
     fn apply_faults(&mut self, _schedule: &FaultSchedule) {}
+
+    /// The next cycle strictly after `now` at which the cache's own DRAM
+    /// devices have scheduled work (refresh-window start, opportunistic
+    /// write-batch drain). All such work is applied lazily by the next
+    /// access, so this is advisory — an upper bound for the epoch
+    /// scheduler, never a correctness obligation. `Cycle::MAX` for
+    /// architectures without scheduled device work (the default).
+    fn next_scheduled_event(&self, _now: Cycle) -> Cycle {
+        Cycle::MAX
+    }
 }
 
 /// A system without a memory-side cache: everything goes to main memory.
@@ -295,6 +305,15 @@ impl FaultWatch {
             cache_scale,
             mm_scale,
         })
+    }
+
+    /// The next uncrossed fault boundary, `Cycle::MAX` once the schedule
+    /// is exhausted.
+    fn next_boundary(&self) -> Cycle {
+        self.boundaries
+            .get(self.next)
+            .copied()
+            .unwrap_or(Cycle::MAX)
     }
 }
 
@@ -490,6 +509,25 @@ impl MemorySubsystem {
         self.ms
             .queue_wait(block, now)
             .max(self.mm.estimated_wait(block, now))
+    }
+
+    /// The earliest cycle strictly after `now` at which any component
+    /// below the L3 has *scheduled* work: a fault-schedule boundary, a
+    /// DRAM refresh-window start, or an opportunistic write-batch drain
+    /// point (cache array or main memory). Every such event is applied
+    /// lazily by whichever access next observes the crossing, so the
+    /// value is advisory: the epoch-skipping kernel uses it only to bound
+    /// how far it jumps, which keeps epoch accounting (and the
+    /// cancellation check) aligned with device activity without changing
+    /// any simulated state. `Cycle::MAX` when nothing is scheduled.
+    pub fn next_scheduled_event(&self, now: Cycle) -> Cycle {
+        let faults = self
+            .faults
+            .as_ref()
+            .map_or(Cycle::MAX, FaultWatch::next_boundary);
+        faults
+            .min(self.mm.next_scheduled_event(now))
+            .min(self.ms.next_scheduled_event(now))
     }
 
     /// A read arriving from the L3. Returns its completion cycle.
