@@ -26,6 +26,11 @@ cargo build --offline --features telemetry-off
 echo "== cargo build --offline --features audit-off"
 cargo build --offline --features audit-off
 
+# The extracted decision crate must keep building without std (core +
+# alloc only) — the whole point of the extraction is embeddability.
+echo "== dap-decide no_std build"
+cargo build --offline -p dap-decide --no-default-features
+
 # Fault-injection smoke: a tiny grid with one injected panic cell and a
 # permanent channel-outage schedule must complete with exactly one
 # CellError and bit-identical sibling cells (release: the grid is slow
@@ -83,6 +88,45 @@ grep -q '"version":1' target/bench/BENCH_ci.json || {
     echo "ci: BENCH_ci.json is missing schema version 1" >&2
     exit 1
 }
+
+# dapd smoke: start the daemon on a temp Unix socket, drive 10k requests
+# through it with a mid-run throttle, and require a clean shutdown plus
+# non-empty stats showing the daemon actually decided something.
+echo "== dapd daemon smoke (serve + loadgen over a Unix socket)"
+dapd_sock=$(mktemp -u /tmp/dapd-ci-XXXXXX.sock)
+dapd_log=$(mktemp)
+./target/release/dapctl serve --socket "$dapd_sock" > "$dapd_log" 2>&1 &
+dapd_pid=$!
+for _ in $(seq 50); do
+    [ -S "$dapd_sock" ] && break
+    sleep 0.1
+done
+[ -S "$dapd_sock" ] || {
+    echo "ci: dapd never bound its socket" >&2
+    cat "$dapd_log" >&2
+    exit 1
+}
+loadgen_out=$(./target/release/dapctl loadgen --socket "$dapd_sock"     --requests 10000 --throttle-after 5000 --throttle-factor 0.25 --shutdown)
+wait "$dapd_pid" || {
+    echo "ci: dapd did not shut down cleanly" >&2
+    cat "$dapd_log" >&2
+    exit 1
+}
+grep -q "dapd: clean shutdown" "$dapd_log" || {
+    echo "ci: dapd log is missing the clean-shutdown line" >&2
+    cat "$dapd_log" >&2
+    exit 1
+}
+echo "$loadgen_out" | grep -q "dapd_decisions_total 10000" || {
+    echo "ci: dapd stats missing or wrong decision count" >&2
+    echo "$loadgen_out" >&2
+    exit 1
+}
+[ ! -e "$dapd_sock" ] || {
+    echo "ci: dapd left its socket file behind" >&2
+    exit 1
+}
+rm -f "$dapd_log"
 
 # telemetry-off must compile the whole observability stack away without
 # changing a figure's output: the same fig01 run from a telemetry-off

@@ -19,6 +19,19 @@
 //!     its human summary. Corrupt record lines are skipped with a
 //!     `N records unparseable` warning and exit status 4 — pass
 //!     --lenient-ok to accept partial artifacts with exit 0.
+//! dapctl serve [--socket PATH | --tcp ADDR] [--resolve-every N]
+//!     Run the dapd partitioning daemon on a Unix socket (default
+//!     target/dapd.sock) or TCP address, with the stock two-backend
+//!     (HBM + DDR4) two-tenant configuration. Runs until a client sends
+//!     Shutdown (`dapctl loadgen --shutdown` does).
+//! dapctl loadgen [--socket PATH | --tcp ADDR] [--requests N]
+//!                [--bench B] [--throttle-after N] [--throttle-factor F]
+//!                [--shutdown]
+//!     Drive a running daemon with a workload-clone-shaped request
+//!     stream: route every request, report synthetic service at nominal
+//!     rate (optionally throttling backend 0 by --throttle-factor after
+//!     --throttle-after requests), print the routed split and final
+//!     stats. --shutdown stops the daemon afterwards.
 //! dapctl bench [--label L] [--out DIR] [--instructions N]
 //!              [--compare BASELINE.json] [--threshold PCT] [--warn-only]
 //!              [--update-baseline LABEL]
@@ -43,17 +56,47 @@ use mem_sim::trace::TraceSource;
 use mem_sim::{SubsystemTelemetry, System, SystemConfig};
 use workloads::{rate_mode, spec, TraceFile};
 
+const HELP: &str = "\
+dapctl — driver for the DAP reproduction: simulations, traces, benches, daemon
+
+subcommands:
+  list                       List the benchmark clones and their parameters.
+  run <bench>                Run one rate-N workload and print statistics.
+  record <bench> <file>      Record a clone's access trace to a DAPTRACE file.
+  replay <file>              Drive every core with a recorded trace.
+  trace <bench>              Run with per-window DAP tracing; write artifacts.
+  trace summarize <file>     Summarize a window-trace artifact leniently.
+  bench                      Time the pinned regression suite (incl. dapd).
+  serve                      Run the dapd partitioning daemon on a socket.
+  loadgen                    Drive a running dapd daemon with clone traffic.
+  help                       Show this message.
+
+common flags:
+  --policy P     baseline|dap|ta-dap|sbd|sbd-wt|batman   --cores N
+  --arch A       sectored|alloy|edram                    --instructions N
+  --ops N        --out DIR   --threads N   --audit[=strict|observe|off]
+
+bench flags:
+  --label L   --compare FILE   --threshold PCT   --warn-only
+  --update-baseline LABEL
+
+daemon flags (serve/loadgen):
+  --socket PATH   --tcp ADDR   --resolve-every N   --requests N   --bench B
+  --throttle-after N   --throttle-factor F   --shutdown
+
+exit codes: 0 ok, 2 usage, 3 bench regression, 4 artifact parse errors,
+5 unknown subcommand, 130 interrupted
+";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: dapctl <list | run <bench> | record <bench> <file> | replay <file> \
-         | trace <bench> | trace summarize <file> | bench> \
-         [--policy P] [--cores N] [--arch A] [--instructions N] [--ops N] \
-         [--out DIR] [--threads N] [--audit[=strict|observe|off]] \
-         [--label L] [--compare FILE] [--threshold PCT] [--warn-only] \
-         [--update-baseline LABEL] [--lenient-ok]"
-    );
+    eprint!("{HELP}");
     std::process::exit(2);
 }
+
+/// Exit status for a subcommand `dapctl` does not know. Distinct from
+/// general usage errors (2) so scripts can tell a typo'd subcommand from
+/// a malformed flag.
+const EXIT_UNKNOWN_SUBCOMMAND: i32 = 5;
 
 /// Exit status when `trace summarize` skipped unparseable records and
 /// `--lenient-ok` was not given. Distinct from usage errors (2) and
@@ -74,6 +117,14 @@ struct Args {
     warn_only: bool,
     lenient_ok: bool,
     update_baseline: Option<String>,
+    socket: Option<String>,
+    tcp: Option<String>,
+    resolve_every: u32,
+    requests: u64,
+    bench_clone: String,
+    throttle_after: Option<u64>,
+    throttle_factor: f64,
+    shutdown: bool,
 }
 
 fn parse_args() -> Args {
@@ -91,6 +142,14 @@ fn parse_args() -> Args {
         warn_only: false,
         lenient_ok: false,
         update_baseline: None,
+        socket: None,
+        tcp: None,
+        resolve_every: 64,
+        requests: 10_000,
+        bench_clone: "mcf".to_string(),
+        throttle_after: None,
+        throttle_factor: 0.25,
+        shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -133,6 +192,26 @@ fn parse_args() -> Args {
                 args.update_baseline = Some(value("--update-baseline"));
             }
             "--lenient-ok" => args.lenient_ok = true,
+            "--socket" => args.socket = Some(value("--socket")),
+            "--tcp" => args.tcp = Some(value("--tcp")),
+            "--resolve-every" => {
+                args.resolve_every = value("--resolve-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--requests" => args.requests = value("--requests").parse().unwrap_or_else(|_| usage()),
+            "--bench" => args.bench_clone = value("--bench"),
+            "--throttle-after" => {
+                args.throttle_after = Some(
+                    value("--throttle-after")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--throttle-factor" => {
+                args.throttle_factor = value("--throttle-factor")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--shutdown" => args.shutdown = true,
             "--threads" => {
                 let v = value("--threads");
                 dap_bench::cli::apply_threads("dapctl", Some(&v));
@@ -437,9 +516,150 @@ fn main() {
                     }
                 }
             }
-            _ => usage(),
+            Some("help") => print!("{HELP}"),
+            Some("serve") => serve(&args),
+            Some("loadgen") => loadgen(&args),
+            Some(other) => {
+                eprintln!("dapctl: unknown subcommand `{other}` (try `dapctl help`)");
+                std::process::exit(EXIT_UNKNOWN_SUBCOMMAND);
+            }
+            None => usage(),
         }
     });
+}
+
+/// Default Unix socket path shared by `serve` and `loadgen`.
+const DEFAULT_SOCKET: &str = "target/dapd.sock";
+
+/// `dapctl serve`: run the dapd daemon until a client asks it to stop.
+fn serve(args: &Args) {
+    let mut config = dapd::EngineConfig::hbm_ddr4_pair();
+    config.resolve_every = args.resolve_every;
+    let engine = dapd::Engine::new(config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let handle = if let Some(addr) = &args.tcp {
+        let server = dapd::Server::bind_tcp(addr, engine).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("dapd listening on tcp {}", server.local_addr().unwrap());
+        server.spawn()
+    } else {
+        let path = args
+            .socket
+            .clone()
+            .unwrap_or_else(|| DEFAULT_SOCKET.to_string());
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let server =
+            dapd::Server::bind_unix(std::path::Path::new(&path), engine).unwrap_or_else(|e| {
+                eprintln!("error: cannot bind {path}: {e}");
+                std::process::exit(1);
+            });
+        println!("dapd listening on unix {path}");
+        server.spawn()
+    };
+    let handle = handle.unwrap_or_else(|e| {
+        eprintln!("error: cannot start acceptor: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = handle.join() {
+        eprintln!("error: daemon exited abnormally: {e}");
+        std::process::exit(1);
+    }
+    println!("dapd: clean shutdown");
+}
+
+/// `dapctl loadgen`: stream clone-shaped requests at a running daemon.
+fn loadgen(args: &Args) {
+    let spec = spec(&args.bench_clone).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {} (try `dapctl list`)", args.bench_clone);
+        std::process::exit(2);
+    });
+    let mut client = if let Some(addr) = &args.tcp {
+        dapd::Client::connect_tcp(addr)
+    } else {
+        let path = args
+            .socket
+            .clone()
+            .unwrap_or_else(|| DEFAULT_SOCKET.to_string());
+        dapd::Client::connect_unix(std::path::Path::new(&path))
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to daemon: {e}");
+        std::process::exit(1);
+    });
+    // The stock daemon config: two tenants, nominal rates for synthetic
+    // service-time reports.
+    let stock = dapd::EngineConfig::hbm_ddr4_pair();
+    let tenants = stock.tenants.len() as u16;
+    let nominal: Vec<f64> = stock.backends.iter().map(|b| b.nominal_gbps).collect();
+    let mut stream = workloads::RequestStream::from_spec(spec, tenants, 0xDA9D_10AD);
+    let mut routed = vec![0u64; nominal.len()];
+    // Fractional-nanosecond carry per backend: a 64-byte block takes
+    // under a nanosecond at HBM rates, so truncating each report alone
+    // would under-report busy time and the daemon would measure garbage.
+    let mut carry_ns = vec![0.0f64; nominal.len()];
+    let start = std::time::Instant::now();
+    for i in 0..args.requests {
+        let r = stream.next_request();
+        let d = client.get_route(r.tenant, r.bytes).unwrap_or_else(|e| {
+            eprintln!("error: route request {i} failed: {e}");
+            std::process::exit(1);
+        });
+        routed[d.backend] += u64::from(r.bytes);
+        // Synthetic service: the chosen backend delivers at nominal rate
+        // — except a throttled backend 0, which delivers at
+        // `--throttle-factor` of nominal from `--throttle-after` on.
+        let mut rate = nominal[d.backend];
+        if d.backend == 0 && args.throttle_after.is_some_and(|n| i >= n) {
+            rate *= args.throttle_factor.clamp(0.0, 1.0);
+        }
+        if rate > 0.0 {
+            // One byte per nanosecond is 1 GB/s, so ns = bytes / GB/s.
+            carry_ns[d.backend] += f64::from(r.bytes) / rate;
+            let nanos = carry_ns[d.backend] as u32;
+            carry_ns[d.backend] -= f64::from(nanos);
+            client
+                .report_served(d.backend as u8, r.bytes, nanos)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: served report {i} failed: {e}");
+                    std::process::exit(1);
+                });
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let total: u64 = routed.iter().sum::<u64>().max(1);
+    println!(
+        "loadgen: {} requests of {} in {:.2}s ({:.0} decisions/s)",
+        args.requests,
+        args.bench_clone,
+        elapsed,
+        args.requests as f64 / elapsed
+    );
+    for (i, (b, bytes)) in stock.backends.iter().zip(&routed).enumerate() {
+        println!(
+            "  backend {i} {:<6} {:>12} bytes  ({:.3} of total)",
+            b.name,
+            bytes,
+            *bytes as f64 / total as f64
+        );
+    }
+    let stats = client.snapshot_stats().unwrap_or_else(|e| {
+        eprintln!("error: stats snapshot failed: {e}");
+        std::process::exit(1);
+    });
+    print!("{stats}");
+    if args.shutdown {
+        client.shutdown().unwrap_or_else(|e| {
+            eprintln!("error: shutdown failed: {e}");
+            std::process::exit(1);
+        });
+        println!("loadgen: daemon acknowledged shutdown");
+    }
 }
 
 /// `dapctl trace summarize`: reads a window-trace artifact leniently

@@ -173,6 +173,61 @@ fn config_for(arch: &str, cores: usize) -> SystemConfig {
     }
 }
 
+/// Decisions the `dapd-decisions` cell makes per instruction of the
+/// per-core budget (150k instructions → 600k decisions: enough to clear
+/// [`MIN_COMPARABLE_SECONDS`] on a laptop-class core while staying a
+/// small fraction of the suite's wall time).
+const DAPD_DECISIONS_PER_INSTRUCTION: u64 = 4;
+
+/// Times the `dapd` decision engine in-process: a route + served-report
+/// round per request over an mcf-shaped request stream, re-solving Eq. 4
+/// from the measured rates every 64 decisions. In the resulting
+/// [`CellTiming`], `accesses` counts *decisions* (so the report's
+/// accesses/s column reads as decisions/s for this cell) and `windows`
+/// counts re-solves.
+pub fn run_dapd_cell(decisions: u64) -> CellTiming {
+    let spec = spec("mcf").unwrap_or_else(|| unreachable!("mcf is in the workload table"));
+    let mut seconds = f64::INFINITY;
+    let mut windows = 0u64;
+    for _ in 0..TIMING_REPEATS {
+        let mut engine = dapd::Engine::new(dapd::EngineConfig::hbm_ddr4_pair())
+            .unwrap_or_else(|e| unreachable!("stock dapd config is valid: {e}"));
+        let tenants = engine.config().tenants.len() as u16;
+        let rates: Vec<f64> = engine
+            .config()
+            .backends
+            .iter()
+            .map(|b| b.nominal_gbps)
+            .collect();
+        let mut stream = workloads::RequestStream::from_spec(spec, tenants, 0xBE9C_0001);
+        // Sub-nanosecond service times carry fractionally between
+        // reports so windowed busy time integrates to the true rate.
+        let mut carry_ns = vec![0.0f64; rates.len()];
+        let start = Instant::now();
+        for _ in 0..decisions {
+            let r = stream.next_request();
+            let d = engine
+                .route(r.tenant, r.bytes)
+                .unwrap_or_else(|e| unreachable!("stream tenants match the engine: {e}"));
+            // Close the loop: the chosen backend "serves" at nominal
+            // rate, so the measured-bandwidth re-solve path runs every
+            // window exactly as it would against live reports.
+            carry_ns[d.backend] += f64::from(r.bytes) / rates[d.backend];
+            let nanos = carry_ns[d.backend] as u32;
+            carry_ns[d.backend] -= f64::from(nanos);
+            let _ = engine.report_served(d.backend as u8, r.bytes, nanos);
+        }
+        seconds = seconds.min(start.elapsed().as_secs_f64());
+        windows = u64::from(engine.window_seq());
+    }
+    CellTiming {
+        name: "dapd-decisions".to_string(),
+        seconds,
+        windows,
+        accesses: decisions,
+    }
+}
+
 /// Runs the pinned suite at `instructions` per core and assembles the
 /// report. Cells run sequentially so their timings don't contend; each
 /// cell is timed [`TIMING_REPEATS`] times and the minimum is reported.
@@ -245,6 +300,14 @@ pub fn run_suite(label: &str, instructions: u64) -> BenchReport {
             accesses,
         });
     }
+    // The daemon's decision engine rides along as a fifth cell so a
+    // slowdown on the `dapd` hot path (route + ledger + re-solve) is
+    // caught by the same `--compare` gate as the simulator cells.
+    let dapd_cell = run_dapd_cell(instructions * DAPD_DECISIONS_PER_INSTRUCTION);
+    total_seconds += dapd_cell.seconds;
+    total_windows += dapd_cell.windows;
+    total_accesses += dapd_cell.accesses;
+    cells.push(dapd_cell);
     let secs = total_seconds.max(1e-9);
     BenchReport {
         label: label.to_string(),
@@ -638,7 +701,14 @@ mod tests {
     #[test]
     fn suite_runs_at_a_tiny_budget_and_renders() {
         let report = run_suite("unit", 2_000);
-        assert_eq!(report.cells.len(), SUITE.len());
+        assert_eq!(report.cells.len(), SUITE.len() + 1);
+        let dapd_cell = report.cells.last().unwrap();
+        assert_eq!(dapd_cell.name, "dapd-decisions");
+        assert_eq!(
+            dapd_cell.accesses,
+            2_000 * DAPD_DECISIONS_PER_INSTRUCTION,
+            "accesses column counts decisions for the dapd cell"
+        );
         assert!(report.cells.iter().all(|c| c.windows > 0));
         assert!(report.cells.iter().all(|c| c.accesses > 0));
         if dap_telemetry::enabled() {

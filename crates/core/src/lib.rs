@@ -56,17 +56,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod alloy;
 pub mod audit;
-pub mod bandwidth;
 pub mod controller;
-pub mod credits;
-pub mod degrade;
-pub mod edram;
-pub mod ratio;
-pub mod sectored;
 pub mod telemetry;
-pub mod window;
+
+// The pure decision arithmetic now lives in the allocation-light
+// `dap-decide` crate so it can be embedded outside the simulator (the
+// `dapd` daemon, firmware, `no_std` targets). Re-exported module-by-module
+// so every historical `dap_core::<module>::...` path keeps resolving.
+pub use dap_decide::{alloy, bandwidth, config, credits, degrade, edram, ratio, sectored, window};
 
 pub use alloy::{AlloyDapSolver, AlloyPlan};
 pub use audit::{AuditError, AuditMode, AuditReport, AuditViolation, Invariant, WindowAuditor};

@@ -1,0 +1,136 @@
+//! Blocking client for the daemon's wire protocol.
+//!
+//! One request, one response, in order, per connection — the protocol
+//! has no pipelining, which keeps both ends trivially correct and is
+//! plenty for a control-plane service (routing *decisions* are returned,
+//! not data).
+
+use crate::engine::RouteDecision;
+use crate::wire::{read_frame, write_frame, Message, RejectCode};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected client.
+pub struct Client {
+    stream: Stream,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn reject_to_error(code: RejectCode) -> io::Error {
+    let kind = match code {
+        RejectCode::UnknownTenant | RejectCode::UnknownBackend => io::ErrorKind::PermissionDenied,
+        RejectCode::ShuttingDown => io::ErrorKind::ConnectionAborted,
+    };
+    let what = match code {
+        RejectCode::UnknownTenant => "unknown tenant",
+        RejectCode::UnknownBackend => "unknown backend",
+        RejectCode::ShuttingDown => "daemon is shutting down",
+    };
+    io::Error::new(kind, format!("daemon rejected request: {what}"))
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        Ok(Self {
+            stream: Stream::Tcp(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Connects to a Unix-domain socket.
+    pub fn connect_unix(path: &Path) -> io::Result<Self> {
+        Ok(Self {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    fn call(&mut self, msg: &Message) -> io::Result<Message> {
+        write_frame(&mut self.stream, msg)?;
+        match read_frame(&mut self.stream)? {
+            Some(Message::Reject(code)) => Err(reject_to_error(code)),
+            Some(reply) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-call",
+            )),
+        }
+    }
+
+    /// Asks which backend should serve `bytes` for `tenant`.
+    pub fn get_route(&mut self, tenant: u16, bytes: u32) -> io::Result<RouteDecision> {
+        match self.call(&Message::GetRoute { tenant, bytes })? {
+            Message::Route { source, window } => Ok(RouteDecision {
+                backend: source as usize,
+                window,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reports that `source` delivered `bytes` in `latency_ns` nanoseconds
+    /// of busy time.
+    pub fn report_served(&mut self, source: u8, bytes: u32, latency_ns: u32) -> io::Result<()> {
+        match self.call(&Message::ReportServed {
+            source,
+            bytes,
+            latency_ns,
+        })? {
+            Message::Ack => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the Prometheus-text stats dump.
+    pub fn snapshot_stats(&mut self) -> io::Result<String> {
+        match self.call(&Message::SnapshotStats)? {
+            Message::Stats(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to exit cleanly.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Message::Shutdown)? {
+            Message::Ack => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(msg: Message) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply from daemon: {msg:?}"),
+    )
+}

@@ -1,0 +1,308 @@
+//! The daemon: a std-only, thread-per-connection socket server.
+//!
+//! Listens on a TCP address or a Unix-domain socket, speaks the
+//! [`crate::wire`] protocol, and multiplexes all connections onto one
+//! shared [`Engine`] behind a mutex (decisions are microseconds; the
+//! lock, not the solver, is the ceiling — and the bench harness measures
+//! exactly that ceiling honestly).
+//!
+//! Shutdown is cooperative: any client may send [`Message::Shutdown`];
+//! the acceptor notices within one poll interval (10 ms), stops
+//! accepting, and [`ServerHandle::join`] returns once the acceptor
+//! thread exits. In-flight connections see their streams shut down.
+
+use crate::engine::{Engine, EngineError};
+use crate::wire::{read_frame, write_frame, Message, RejectCode};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: Listener,
+    engine: Arc<Mutex<Engine>>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// Handle to a running daemon.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    acceptor: thread::JoinHandle<io::Result<()>>,
+    engine: Arc<Mutex<Engine>>,
+    /// Unix socket path to unlink on join, if any.
+    unlink: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds a TCP listener. `addr` may use port 0 to let the OS pick;
+    /// [`Server::local_addr`] reports the result.
+    pub fn bind_tcp(addr: &str, engine: Engine) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener: Listener::Tcp(listener),
+            engine: Arc::new(Mutex::new(engine)),
+        })
+    }
+
+    /// Binds a Unix-domain socket, replacing a stale socket file if one
+    /// exists at `path`.
+    pub fn bind_unix(path: &Path, engine: Engine) -> io::Result<Self> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        Ok(Self {
+            listener: Listener::Unix(listener, path.to_path_buf()),
+            engine: Arc::new(Mutex::new(engine)),
+        })
+    }
+
+    /// The bound TCP address (None for Unix sockets).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(..) => None,
+        }
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let engine = Arc::clone(&self.engine);
+        let unlink = match &self.listener {
+            Listener::Unix(_, path) => Some(path.clone()),
+            Listener::Tcp(_) => None,
+        };
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let engine = Arc::clone(&self.engine);
+            match self.listener {
+                Listener::Tcp(l) => {
+                    l.set_nonblocking(true)?;
+                    thread::spawn(move || accept_loop(l, stop, engine, accept_tcp))
+                }
+                Listener::Unix(l, _) => {
+                    l.set_nonblocking(true)?;
+                    thread::spawn(move || accept_loop(l, stop, engine, accept_unix))
+                }
+            }
+        };
+        Ok(ServerHandle {
+            stop,
+            acceptor,
+            engine,
+            unlink,
+        })
+    }
+}
+
+fn accept_tcp(l: &TcpListener) -> io::Result<TcpStream> {
+    l.accept().map(|(s, _)| s)
+}
+
+fn accept_unix(l: &UnixListener) -> io::Result<UnixStream> {
+    l.accept().map(|(s, _)| s)
+}
+
+fn accept_loop<L, S>(
+    listener: L,
+    stop: Arc<AtomicBool>,
+    engine: Arc<Mutex<Engine>>,
+    accept: fn(&L) -> io::Result<S>,
+) -> io::Result<()>
+where
+    L: Send + 'static,
+    S: io::Read + io::Write + Send + 'static,
+{
+    let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match accept(&listener) {
+            Ok(stream) => {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                workers.push(thread::spawn(move || {
+                    let _ = serve_connection(stream, engine, stop);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+fn serve_connection<S: io::Read + io::Write>(
+    mut stream: S,
+    engine: Arc<Mutex<Engine>>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    loop {
+        let msg = match read_frame(&mut stream)? {
+            Some(m) => m,
+            None => return Ok(()), // clean EOF
+        };
+        if stop.load(Ordering::SeqCst) && !matches!(msg, Message::Shutdown) {
+            write_frame(&mut stream, &Message::Reject(RejectCode::ShuttingDown))?;
+            continue;
+        }
+        let reply = match msg {
+            Message::GetRoute { tenant, bytes } => {
+                match engine.lock().unwrap().route(tenant, bytes) {
+                    Ok(d) => Message::Route {
+                        source: d.backend as u8,
+                        window: d.window,
+                    },
+                    Err(EngineError::UnknownTenant(_)) => {
+                        Message::Reject(RejectCode::UnknownTenant)
+                    }
+                    Err(_) => Message::Reject(RejectCode::UnknownBackend),
+                }
+            }
+            Message::ReportServed {
+                source,
+                bytes,
+                latency_ns,
+            } => match engine
+                .lock()
+                .unwrap()
+                .report_served(source, bytes, latency_ns)
+            {
+                Ok(()) => Message::Ack,
+                Err(_) => Message::Reject(RejectCode::UnknownBackend),
+            },
+            Message::SnapshotStats => Message::Stats(engine.lock().unwrap().stats_text()),
+            Message::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                write_frame(&mut stream, &Message::Ack)?;
+                return Ok(());
+            }
+            // Response types arriving at the server are a protocol
+            // violation; drop the connection.
+            Message::Route { .. } | Message::Ack | Message::Stats(_) | Message::Reject(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response message sent to server",
+                ));
+            }
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+}
+
+impl ServerHandle {
+    /// Asks the daemon to stop without a client round-trip.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Renders the engine's current stats (works while running).
+    pub fn stats_text(&self) -> String {
+        self.engine.lock().unwrap().stats_text()
+    }
+
+    /// Waits for the acceptor to exit and cleans up the socket file.
+    pub fn join(self) -> io::Result<()> {
+        let result = self
+            .acceptor
+            .join()
+            .map_err(|_| io::Error::other("acceptor thread panicked"))?;
+        if let Some(path) = &self.unlink {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::engine::EngineConfig;
+
+    fn spawn_tcp() -> (ServerHandle, SocketAddr) {
+        let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let server = Server::bind_tcp("127.0.0.1:0", engine).unwrap();
+        let addr = server.local_addr().unwrap();
+        (server.spawn().unwrap(), addr)
+    }
+
+    #[test]
+    fn tcp_route_report_stats_shutdown() {
+        let (handle, addr) = spawn_tcp();
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let d = client.get_route(0, 4096).unwrap();
+        assert!(d.backend < 2);
+        client.report_served(1, 38_400, 1000).unwrap();
+        let stats = client.snapshot_stats().unwrap();
+        assert!(stats.contains("dapd_decisions_total 1"), "{stats}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join(format!("dapd-test-{}.sock", std::process::id()));
+        let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let handle = Server::bind_unix(&path, engine).unwrap().spawn().unwrap();
+        let mut client = Client::connect_unix(&path).unwrap();
+        for i in 0..100u32 {
+            client.get_route((i % 2) as u16, 4096).unwrap();
+        }
+        let stats = client.snapshot_stats().unwrap();
+        assert!(stats.contains("dapd_decisions_total 100"), "{stats}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        assert!(!path.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn unknown_tenant_gets_typed_reject() {
+        let (handle, addr) = spawn_tcp();
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        let err = client.get_route(999, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied, "{err}");
+        assert!(err.to_string().contains("unknown tenant"), "{err}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_engine() {
+        let (handle, addr) = spawn_tcp();
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let addr = addr.to_string();
+            threads.push(thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).unwrap();
+                for i in 0..250u32 {
+                    client.get_route((i % 2) as u16, 1024).unwrap();
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = handle.stats_text();
+        assert!(stats.contains("dapd_decisions_total 1000"), "{stats}");
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+}

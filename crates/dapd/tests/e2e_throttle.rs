@@ -1,0 +1,145 @@
+//! End-to-end daemon test: a backend throttles mid-run and the measured-
+//! bandwidth re-solve shifts routing to the new Eq. 4 optimum.
+//!
+//! The whole exchange goes over a real socket through the wire protocol —
+//! client-side carry-accumulated nanosecond reports, server-side windowed
+//! re-solve — and is deterministic: a seeded request stream, synthetic
+//! service times, and window boundaries driven purely by decision count.
+
+use dapd::{Client, Engine, EngineConfig, Server};
+use workloads::{spec, RequestStream};
+
+/// Routes `requests` through the daemon, reporting synthetic service at
+/// `rates[backend]` GB/s, and returns the per-backend routed bytes.
+fn drive(
+    client: &mut Client,
+    stream: &mut RequestStream,
+    carry_ns: &mut [f64],
+    rates: &[f64],
+    requests: u32,
+) -> Vec<u64> {
+    let mut routed = vec![0u64; rates.len()];
+    for _ in 0..requests {
+        let r = stream.next_request();
+        let d = client.get_route(r.tenant, r.bytes).expect("route");
+        routed[d.backend] += u64::from(r.bytes);
+        // One byte per nanosecond is 1 GB/s; fractional nanoseconds
+        // carry between reports so window busy time integrates exactly.
+        carry_ns[d.backend] += f64::from(r.bytes) / rates[d.backend];
+        let nanos = carry_ns[d.backend] as u32;
+        carry_ns[d.backend] -= f64::from(nanos);
+        client
+            .report_served(d.backend as u8, r.bytes, nanos)
+            .expect("report");
+    }
+    routed
+}
+
+fn fraction0(routed: &[u64]) -> f64 {
+    routed[0] as f64 / routed.iter().sum::<u64>() as f64
+}
+
+#[test]
+fn throttled_backend_shifts_routing_to_measured_eq4_optimum() {
+    let config = EngineConfig::hbm_ddr4_pair();
+    let resolve_every = config.resolve_every;
+    let nominal: Vec<f64> = config.backends.iter().map(|b| b.nominal_gbps).collect();
+    let engine = Engine::new(config).expect("stock config");
+    let server = Server::bind_tcp("127.0.0.1:0", engine).expect("bind");
+    let addr = server.local_addr().expect("tcp addr").to_string();
+    let handle = server.spawn().expect("spawn");
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let mut stream = RequestStream::from_spec(spec("mcf").expect("mcf exists"), 2, 0xE2E_5EED);
+    let mut carry_ns = vec![0.0f64; nominal.len()];
+
+    // Phase 1 — both backends deliver nominal. After a warm-up window the
+    // byte split must chase Eq. 4 for (102.4, 38.4): f_hbm ≈ 0.727.
+    drive(
+        &mut client,
+        &mut stream,
+        &mut carry_ns,
+        &nominal,
+        resolve_every,
+    );
+    let healthy = drive(
+        &mut client,
+        &mut stream,
+        &mut carry_ns,
+        &nominal,
+        resolve_every * 40,
+    );
+    let f_healthy = fraction0(&healthy);
+    let eq4_healthy = 102.4 / (102.4 + 38.4);
+    assert!(
+        (f_healthy - eq4_healthy).abs() < 0.02,
+        "healthy hbm fraction {f_healthy}, Eq. 4 wants {eq4_healthy}"
+    );
+
+    // Phase 2 — HBM thermally throttles to a quarter rate (25.6 GB/s).
+    // The daemon only learns this through the served reports; one full
+    // window of measurements later, routing must sit at the *measured*
+    // Eq. 4 optimum f_hbm = 25.6 / (25.6 + 38.4) = 0.4, which no nominal-
+    // rate solver would ever choose.
+    let throttled = vec![nominal[0] * 0.25, nominal[1]];
+    drive(
+        &mut client,
+        &mut stream,
+        &mut carry_ns,
+        &throttled,
+        resolve_every * 2,
+    );
+    let degraded = drive(
+        &mut client,
+        &mut stream,
+        &mut carry_ns,
+        &throttled,
+        resolve_every * 40,
+    );
+    let f_degraded = fraction0(&degraded);
+    let eq4_degraded = (102.4 * 0.25) / (102.4 * 0.25 + 38.4);
+    assert!(
+        (f_degraded - eq4_degraded).abs() < 0.02,
+        "throttled hbm fraction {f_degraded}, Eq. 4 wants {eq4_degraded}"
+    );
+
+    // The stats surface must reflect the measured (not nominal) estimate:
+    // ~25.6 GB/s = ~25600 milli-GB/s on the hbm gauge.
+    let stats = client.snapshot_stats().expect("stats");
+    let mbps: i64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("dapd_effective_mbps_hbm "))
+        .expect("hbm gauge present")
+        .trim()
+        .parse()
+        .expect("gauge is integer");
+    assert!(
+        (mbps - 25_600).abs() < 600,
+        "measured hbm estimate {mbps} milli-GB/s, expected ~25600"
+    );
+
+    // Phase 3 — the throttle lifts; measurements revive the full rate and
+    // routing returns to the nominal optimum.
+    drive(
+        &mut client,
+        &mut stream,
+        &mut carry_ns,
+        &nominal,
+        resolve_every * 2,
+    );
+    let recovered = drive(
+        &mut client,
+        &mut stream,
+        &mut carry_ns,
+        &nominal,
+        resolve_every * 40,
+    );
+    let f_recovered = fraction0(&recovered);
+    assert!(
+        (f_recovered - eq4_healthy).abs() < 0.02,
+        "recovered hbm fraction {f_recovered}, Eq. 4 wants {eq4_healthy}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}

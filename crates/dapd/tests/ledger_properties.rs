@@ -1,0 +1,127 @@
+//! Seeded-PRNG property tests for [`dapd::TenantLedger`].
+//!
+//! The invariant under test: at every instant, for *any* funding shape
+//! and *any* interleaving of tenant spends,
+//!
+//! ```text
+//! Σ reserved_remaining + pool_remaining + drained == global
+//! ```
+//!
+//! and overdraft equals exactly the demand that exceeded the budget.
+//! No proptest — cases are generated from a SplitMix64 stream, so every
+//! failure is reproducible from the printed seed.
+
+use dapd::TenantLedger;
+use workloads::rng::SplitMix64;
+
+const SEEDS: [u64; 4] = [0xDA9D_0001, 0xDA9D_0002, 0xC0FF_EE00, 42];
+const CASES_PER_SEED: usize = 250;
+const SPENDS_PER_CASE: usize = 200;
+
+/// Draws a funding shape: a global budget plus per-tenant reservations
+/// that may deliberately oversubscribe it.
+fn arbitrary_funding(rng: &mut SplitMix64) -> (u64, Vec<u64>) {
+    let global = rng.below(1 << 30);
+    let tenants = 1 + rng.index(8);
+    let reserved: Vec<u64> = (0..tenants)
+        .map(|_| {
+            if rng.chance(0.3) {
+                // Sometimes reserve far beyond the global budget to
+                // exercise the clipping path.
+                rng.below(1 << 31)
+            } else {
+                rng.below(global / tenants as u64 + 1)
+            }
+        })
+        .collect();
+    (global, reserved)
+}
+
+#[test]
+fn conservation_holds_across_any_interleaving() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed);
+        for case in 0..CASES_PER_SEED {
+            let (global, reserved) = arbitrary_funding(&mut rng);
+            let mut ledger = TenantLedger::fund(global, &reserved);
+            assert!(
+                ledger.conserves(),
+                "seed {seed:#x} case {case}: freshly funded ledger must conserve"
+            );
+            // Funding never grants more than the budget, clipped in
+            // tenant order.
+            assert!(
+                ledger.reserved_remaining().iter().sum::<u64>() <= global,
+                "seed {seed:#x} case {case}: reservations exceed budget"
+            );
+
+            let mut demanded = 0u64;
+            for step in 0..SPENDS_PER_CASE {
+                let tenant = rng.index(reserved.len());
+                // Mix tiny spends, block-sized spends, and budget-scale
+                // spends so both the funded and the overdraft paths run.
+                let bytes = match rng.index(3) {
+                    0 => rng.below(64),
+                    1 => 64 * (1 + rng.below(64)),
+                    _ => rng.below(global + 1),
+                };
+                demanded += bytes;
+                let short = ledger.spend(tenant, bytes);
+                assert!(
+                    short <= bytes,
+                    "seed {seed:#x} case {case} step {step}: overdraft exceeds demand"
+                );
+                assert!(
+                    ledger.conserves(),
+                    "seed {seed:#x} case {case} step {step}: conservation violated \
+                     (reserved {:?} pool {} drained {} global {})",
+                    ledger.reserved_remaining(),
+                    ledger.pool_remaining(),
+                    ledger.drained(),
+                    ledger.global(),
+                );
+                // Every demanded byte is either funded (drained) or
+                // recorded as overdraft — none vanish, none are minted.
+                assert_eq!(
+                    ledger.drained() + ledger.overdraft(),
+                    demanded,
+                    "seed {seed:#x} case {case} step {step}: demand leaked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_reservations_clip_in_tenant_order() {
+    for seed in SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0x5EED);
+        for _ in 0..CASES_PER_SEED {
+            let (global, reserved) = arbitrary_funding(&mut rng);
+            let ledger = TenantLedger::fund(global, &reserved);
+            // Replaying the clipping by hand must match: earlier tenants
+            // win, later tenants get what's left.
+            let mut remaining = global;
+            for (t, (&want, &got)) in reserved.iter().zip(ledger.reserved_remaining()).enumerate() {
+                assert_eq!(got, want.min(remaining), "tenant {t}");
+                remaining -= got;
+            }
+            assert_eq!(ledger.pool_remaining(), remaining);
+        }
+    }
+}
+
+#[test]
+fn drained_credits_never_resurrect() {
+    // Spending everything leaves exactly zero unspent credit and a fully
+    // drained budget; further spends are pure overdraft.
+    let mut ledger = TenantLedger::fund(1000, &[300, 0]);
+    assert_eq!(ledger.spend(0, 2000), 1000); // 300 reserved + 700 pool
+    assert_eq!(ledger.drained(), 1000);
+    assert_eq!(ledger.pool_remaining(), 0);
+    assert_eq!(ledger.reserved_remaining(), &[0, 0]);
+    for _ in 0..10 {
+        assert_eq!(ledger.spend(1, 64), 64, "drained ledger only overdrafts");
+    }
+    assert!(ledger.conserves());
+}

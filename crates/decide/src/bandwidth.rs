@@ -13,7 +13,9 @@
 //! partitions accesses *and* prefers techniques (like fill write bypass) that
 //! reduce `C`.
 
-use std::fmt;
+#[cfg(not(feature = "std"))]
+use alloc::{string::String, vec, vec::Vec};
+use core::fmt;
 
 /// A single bandwidth source: a named channel group with a peak bandwidth.
 ///
@@ -22,7 +24,7 @@ use std::fmt;
 /// [`BandwidthSource::from_gbps`] to convert a GB/s figure.
 ///
 /// ```
-/// use dap_core::BandwidthSource;
+/// use dap_decide::BandwidthSource;
 /// let hbm = BandwidthSource::from_gbps("HBM", 102.4);
 /// let ddr = BandwidthSource::from_gbps("DDR4", 38.4);
 /// assert!(hbm.accesses_per_sec() > ddr.accesses_per_sec());
@@ -37,15 +39,17 @@ impl BandwidthSource {
     /// Bytes moved per access everywhere in this model (one cache block).
     pub const BYTES_PER_ACCESS: f64 = 64.0;
 
-    /// Creates a source from a raw accesses-per-second rate.
+    /// Creates a source from a raw accesses-per-second rate. A rate of
+    /// exactly zero is allowed and means the source is currently dark
+    /// (delivering nothing — see [`crate::degrade`]).
     ///
     /// # Panics
     ///
-    /// Panics if `accesses_per_sec` is not finite and positive.
+    /// Panics if `accesses_per_sec` is not finite and non-negative.
     pub fn new(name: impl Into<String>, accesses_per_sec: f64) -> Self {
         assert!(
-            accesses_per_sec.is_finite() && accesses_per_sec > 0.0,
-            "bandwidth must be finite and positive, got {accesses_per_sec}"
+            accesses_per_sec.is_finite() && accesses_per_sec >= 0.0,
+            "bandwidth must be finite and non-negative, got {accesses_per_sec}"
         );
         Self {
             name: name.into(),
@@ -96,7 +100,7 @@ impl fmt::Display for BandwidthSource {
 /// negative/NaN.
 ///
 /// ```
-/// use dap_core::{delivered_bandwidth, BandwidthSource};
+/// use dap_decide::{delivered_bandwidth, BandwidthSource};
 /// let m1 = BandwidthSource::from_gbps("M1", 102.4);
 /// let m2 = BandwidthSource::from_gbps("M2", 51.2);
 /// // Half the accesses to each: bottlenecked by M2 at 102.4 GB/s total.
@@ -116,6 +120,11 @@ pub fn delivered_bandwidth(sources: &[BandwidthSource], fractions: &[f64]) -> f6
             min = min.min(s.accesses_per_sec / f);
         }
     }
+    // Every fraction zero means no source is assigned any accesses:
+    // nothing is delivered (rather than the vacuous infinite minimum).
+    if min == f64::INFINITY {
+        return 0.0;
+    }
     min
 }
 
@@ -129,7 +138,7 @@ pub fn delivered_bandwidth(sources: &[BandwidthSource], fractions: &[f64]) -> f6
 /// Panics if `sources` is empty.
 ///
 /// ```
-/// use dap_core::{optimal_fractions, BandwidthSource};
+/// use dap_decide::{optimal_fractions, BandwidthSource};
 /// let f = optimal_fractions(&[
 ///     BandwidthSource::from_gbps("M1", 102.4),
 ///     BandwidthSource::from_gbps("M2", 51.2),
@@ -140,6 +149,11 @@ pub fn delivered_bandwidth(sources: &[BandwidthSource], fractions: &[f64]) -> f6
 pub fn optimal_fractions(sources: &[BandwidthSource]) -> Vec<f64> {
     assert!(!sources.is_empty(), "need at least one source");
     let total: f64 = sources.iter().map(|s| s.accesses_per_sec).sum();
+    if total <= 0.0 {
+        // Every source dark: there is no stream to partition. All-zero
+        // fractions (not NaN from 0/0) keep downstream arithmetic sane.
+        return vec![0.0; sources.len()];
+    }
     sources.iter().map(|s| s.accesses_per_sec / total).collect()
 }
 
@@ -388,9 +402,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bandwidth must be finite and positive")]
-    fn zero_bandwidth_rejected() {
-        let _ = BandwidthSource::new("bad", 0.0);
+    fn zero_bandwidth_means_dark_source() {
+        // Zero is representable (a dark source — see `degrade`); only
+        // negative or non-finite rates are rejected.
+        let dark = BandwidthSource::new("dark", 0.0);
+        assert_eq!(dark.accesses_per_sec(), 0.0);
+        let f = optimal_fractions(&[BandwidthSource::from_gbps("live", 38.4), dark]);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be finite and non-negative")]
+    fn negative_bandwidth_rejected() {
+        let _ = BandwidthSource::new("bad", -1.0);
+    }
+
+    #[test]
+    fn all_dark_sources_yield_zero_fractions_and_bandwidth() {
+        let sources = [
+            BandwidthSource::new("d0", 0.0),
+            BandwidthSource::new("d1", 0.0),
+        ];
+        let f = optimal_fractions(&sources);
+        assert_eq!(f, vec![0.0, 0.0], "no NaN from 0/0");
+        assert_eq!(delivered_bandwidth(&sources, &f), 0.0);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! source. Real parts throttle under thermal load, lose channels, and
 //! suffer refresh storms, so the delivered bandwidth can sit far below
 //! nominal exactly when partitioning matters most. [`EffectiveBandwidth`]
-//! carries the *measured* per-source rates; feeding it to
-//! [`DapController::set_effective_bandwidth`] re-derives the window budget
+//! carries the *measured* per-source rates; feeding it to an embedding's
+//! controller (`DapController::set_effective_bandwidth` in `dap-core`,
+//! the re-solve path in `dapd`) re-derives the window budget
 //! (and `K = B_MS$ / B_MM`) so every subsequent window boundary solves
 //! Eq. 4 against what the sources actually deliver.
 //!
@@ -14,10 +15,8 @@
 //! outaged) is representable: its budget becomes zero, its Eq. 4 ideal
 //! fraction becomes exactly zero, and rebuilding the credit bank drains
 //! any credits that would have steered traffic toward it.
-//!
-//! [`DapController::set_effective_bandwidth`]: crate::controller::DapController::set_effective_bandwidth
 
-use crate::controller::DapConfig;
+use crate::config::DapConfig;
 use crate::ratio::Ratio;
 use crate::window::WindowBudget;
 

@@ -1,0 +1,52 @@
+//! `no_std`-safe float helpers.
+//!
+//! `f64::floor`/`f64::round` live in `std` (they lower to platform
+//! intrinsics), so a `no_std` build cannot call them. The decision
+//! arithmetic only ever floors/rounds *non-negative* values that fit the
+//! target integer, and for that domain the integer-cast forms below are
+//! exactly equivalent (Rust's float→int `as` casts truncate toward zero
+//! and saturate). Using one implementation for both `std` and `no_std`
+//! builds guarantees the two produce identical bits.
+
+/// `floor(x) as u32` for non-negative finite `x` (saturating, like `as`).
+#[inline]
+pub(crate) fn floor_u32(x: f64) -> u32 {
+    x as u32
+}
+
+/// `round(x) as u32` for non-negative finite `x`.
+///
+/// Equivalent to `x.round() as u32` (round half away from zero) on the
+/// non-negative domain: adding 0.5 then truncating rounds ties up, which
+/// coincides with away-from-zero for `x >= 0`. The addition is exact for
+/// every value this crate rounds (|x| well below 2^52).
+#[inline]
+pub(crate) fn round_u32(x: f64) -> u32 {
+    (x + 0.5) as u32
+}
+
+#[cfg(all(test, feature = "std"))]
+mod tests {
+    use super::*;
+    use workloads::rng::SplitMix64;
+
+    /// The cast forms must agree bit-for-bit with the std intrinsics over
+    /// a dense seeded sweep of the domain the solvers use (ratios up to
+    /// ~16k, budgets up to millions of accesses/window).
+    #[test]
+    fn cast_forms_match_std_intrinsics() {
+        let mut rng = SplitMix64::new(0xDEC1_DE01);
+        for _ in 0..100_000 {
+            let x = rng.next_f64() * 16_384.0;
+            assert_eq!(floor_u32(x), x.floor() as u32, "floor({x})");
+            assert_eq!(round_u32(x), x.round() as u32, "round({x})");
+        }
+        for exact in [0.0, 0.5, 1.0, 1.5, 2.5, 63.5, 1024.0, 16384.5] {
+            assert_eq!(round_u32(exact), exact.round() as u32, "round({exact})");
+            assert_eq!(floor_u32(exact), exact.floor() as u32, "floor({exact})");
+        }
+        // Saturation and NaN behave like the original `as` casts did.
+        assert_eq!(floor_u32(f64::from(u32::MAX) * 4.0), u32::MAX);
+        assert_eq!(floor_u32(f64::NAN), 0);
+    }
+}

@@ -6,12 +6,14 @@
 //! power-of-two denominator (8/3 ≈ 11/4) so that multiplication reduces to a
 //! shift-and-add. [`Ratio`] reproduces that arithmetic exactly.
 
-use std::fmt;
+use core::fmt;
+
+use crate::math::round_u32;
 
 /// A non-negative rational `num / den` with a power-of-two denominator.
 ///
 /// ```
-/// use dap_core::Ratio;
+/// use dap_decide::Ratio;
 /// let k = Ratio::approximate(102.4 / 38.4); // 8/3 -> 11/4
 /// assert_eq!((k.numerator(), k.denominator()), (11, 4));
 /// assert_eq!(k.mul_int(8), 22); // floor(8 * 11/4)
@@ -54,14 +56,14 @@ impl Ratio {
         );
         let mut den = 1u32;
         loop {
-            let num = (k * f64::from(den)).round() as u32;
+            let num = round_u32(k * f64::from(den));
             let approx = f64::from(num) / f64::from(den);
             if num > 0 && (approx - k).abs() / k <= 0.05 {
                 return Self { num, den };
             }
             if den >= Self::MAX_DEN {
                 return Self {
-                    num: (k * f64::from(den)).round().max(1.0) as u32,
+                    num: round_u32(k * f64::from(den)).max(1),
                     den,
                 };
             }

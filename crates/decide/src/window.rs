@@ -5,6 +5,7 @@
 //! at the window boundary those counts are fed to a solver which computes
 //! the partitioning credits for window `N + 1`.
 
+use crate::math::floor_u32;
 use crate::ratio::Ratio;
 
 /// Access counts observed during one window.
@@ -105,7 +106,7 @@ impl WindowBudget {
         );
         let accesses_per_window = |gbps: f64| -> u32 {
             let per_cycle = gbps * 1e9 / 64.0 / (cpu_ghz * 1e9);
-            (efficiency * per_cycle * f64::from(window_cycles)).floor() as u32
+            floor_u32(efficiency * per_cycle * f64::from(window_cycles))
         };
         let cache_budget = accesses_per_window(cache_gbps).max(1);
         let cache_channel_budget = split_channel_gbps
@@ -154,7 +155,7 @@ impl WindowBudget {
                 return 0;
             }
             let per_cycle = gbps * 1e9 / 64.0 / (cpu_ghz * 1e9);
-            (efficiency * per_cycle * f64::from(window_cycles)).floor() as u32
+            floor_u32(efficiency * per_cycle * f64::from(window_cycles))
         };
         let cache_budget = accesses_per_window(cache_gbps);
         Self {

@@ -29,6 +29,7 @@
 pub mod generator;
 pub mod kernels;
 pub mod mixes;
+pub mod requests;
 pub mod rng;
 pub mod spec;
 pub mod tracefile;
@@ -36,6 +37,7 @@ pub mod tracefile;
 pub use generator::CloneTrace;
 pub use kernels::ReadKernel;
 pub use mixes::{all_44_workloads, heterogeneous_mixes, rate_mix, rate_mode, Mix};
+pub use requests::{Request, RequestStream};
 pub use spec::{
     all_specs, bandwidth_insensitive, bandwidth_sensitive, spec, Sensitivity, WorkloadSpec,
 };

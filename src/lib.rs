@@ -8,7 +8,8 @@
 //! * [`sim`] — the memory-hierarchy simulator substrate,
 //! * [`workloads`] — the benchmark clones and mixes,
 //! * [`policies`] — SBD / SBD-WT / BATMAN baselines,
-//! * [`experiments`] — the per-figure experiment runners.
+//! * [`experiments`] — the per-figure experiment runners,
+//! * [`dapd`] — DAP as a service: the multi-tenant partitioning daemon.
 //!
 //! See the `examples/` directory for end-to-end usage and the `dap-bench`
 //! crate for the figure-regenerating binaries.
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub use dap_core as dap;
+pub use dapd;
 pub use experiments;
 pub use mem_sim as sim;
 pub use policies;
