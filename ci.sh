@@ -128,6 +128,16 @@ echo "$loadgen_out" | grep -q "dapd_decisions_total 10000" || {
 }
 rm -f "$dapd_log"
 
+# Chaos soak smoke: the seeded in-process fault proxy (fixed seed, temp
+# Unix sockets) drives corruption/drops/stalls/partial writes at the
+# daemon and asserts it sheds with Reject(Overloaded), converges back to
+# the measured Eq. 4 optimum, conserves the tenant ledger exactly, shuts
+# down cleanly, and that every fault class actually fired. Release: the
+# soak's wall time is dominated by deliberate deadline waits either way,
+# and the release build is already warm.
+echo "== dapd chaos soak (seeded fault proxy)"
+cargo test --release --offline -q -p dapd --test chaos
+
 # telemetry-off must compile the whole observability stack away without
 # changing a figure's output: the same fig01 run from a telemetry-off
 # release build must be byte-identical. The feature build targets

@@ -20,18 +20,27 @@
 //!     `N records unparseable` warning and exit status 4 — pass
 //!     --lenient-ok to accept partial artifacts with exit 0.
 //! dapctl serve [--socket PATH | --tcp ADDR] [--resolve-every N]
+//!              [--max-conns N] [--deadline-ms MS]
 //!     Run the dapd partitioning daemon on a Unix socket (default
 //!     target/dapd.sock) or TCP address, with the stock two-backend
 //!     (HBM + DDR4) two-tenant configuration. Runs until a client sends
-//!     Shutdown (`dapctl loadgen --shutdown` does).
+//!     Shutdown (`dapctl loadgen --shutdown` does). Beyond --max-conns
+//!     concurrent connections (default 64) new peers are shed with
+//!     `Reject(Overloaded)`; a peer that stalls longer than
+//!     --deadline-ms (default 5000) is disconnected. A stale socket
+//!     file left by a crashed daemon is probed and reclaimed; a live
+//!     daemon's socket is never stolen.
 //! dapctl loadgen [--socket PATH | --tcp ADDR] [--requests N]
 //!                [--bench B] [--throttle-after N] [--throttle-factor F]
-//!                [--shutdown]
+//!                [--retries N] [--shutdown]
 //!     Drive a running daemon with a workload-clone-shaped request
 //!     stream: route every request, report synthetic service at nominal
 //!     rate (optionally throttling backend 0 by --throttle-factor after
 //!     --throttle-after requests), print the routed split and final
-//!     stats. --shutdown stops the daemon afterwards.
+//!     stats. With --retries N (default 0: fail fast), each call is
+//!     retried up to N times with jittered exponential backoff and the
+//!     run rides through daemon restarts and sheds, reporting how many
+//!     calls were lost. --shutdown stops the daemon afterwards.
 //! dapctl bench [--label L] [--out DIR] [--instructions N]
 //!              [--compare BASELINE.json] [--threshold PCT] [--warn-only]
 //!              [--update-baseline LABEL]
@@ -83,6 +92,7 @@ bench flags:
 daemon flags (serve/loadgen):
   --socket PATH   --tcp ADDR   --resolve-every N   --requests N   --bench B
   --throttle-after N   --throttle-factor F   --shutdown
+  --max-conns N   --deadline-ms MS   --retries N
 
 exit codes: 0 ok, 2 usage, 3 bench regression, 4 artifact parse errors,
 5 unknown subcommand, 130 interrupted
@@ -125,6 +135,9 @@ struct Args {
     throttle_after: Option<u64>,
     throttle_factor: f64,
     shutdown: bool,
+    max_conns: usize,
+    deadline_ms: u64,
+    retries: u32,
 }
 
 fn parse_args() -> Args {
@@ -150,6 +163,9 @@ fn parse_args() -> Args {
         throttle_after: None,
         throttle_factor: 0.25,
         shutdown: false,
+        max_conns: 64,
+        deadline_ms: 5_000,
+        retries: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -212,6 +228,13 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--shutdown" => args.shutdown = true,
+            "--max-conns" => {
+                args.max_conns = value("--max-conns").parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--retries" => args.retries = value("--retries").parse().unwrap_or_else(|_| usage()),
             "--threads" => {
                 let v = value("--threads");
                 dap_bench::cli::apply_threads("dapctl", Some(&v));
@@ -539,11 +562,20 @@ fn serve(args: &Args) {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let deadline = std::time::Duration::from_millis(args.deadline_ms);
+    let server_config = dapd::ServerConfig {
+        read_deadline: deadline,
+        write_deadline: deadline,
+        max_connections: args.max_conns,
+        ..dapd::ServerConfig::default()
+    };
     let handle = if let Some(addr) = &args.tcp {
-        let server = dapd::Server::bind_tcp(addr, engine).unwrap_or_else(|e| {
-            eprintln!("error: cannot bind {addr}: {e}");
-            std::process::exit(1);
-        });
+        let server = dapd::Server::bind_tcp(addr, engine)
+            .and_then(|s| s.with_config(server_config))
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            });
         println!("dapd listening on tcp {}", server.local_addr().unwrap());
         server.spawn()
     } else {
@@ -554,8 +586,11 @@ fn serve(args: &Args) {
         if let Some(parent) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        let server =
-            dapd::Server::bind_unix(std::path::Path::new(&path), engine).unwrap_or_else(|e| {
+        // bind_unix probes an existing socket file: a stale one (crashed
+        // daemon) is reclaimed, a live daemon's is left alone.
+        let server = dapd::Server::bind_unix(std::path::Path::new(&path), engine)
+            .and_then(|s| s.with_config(server_config))
+            .unwrap_or_else(|e| {
                 eprintln!("error: cannot bind {path}: {e}");
                 std::process::exit(1);
             });
@@ -579,14 +614,24 @@ fn loadgen(args: &Args) {
         eprintln!("unknown benchmark {} (try `dapctl list`)", args.bench_clone);
         std::process::exit(2);
     });
+    // --retries N: N retry attempts beyond the first try, jittered
+    // exponential backoff, riding through restarts and sheds.
+    let policy = if args.retries == 0 {
+        dapd::RetryPolicy::none()
+    } else {
+        dapd::RetryPolicy {
+            max_attempts: args.retries + 1,
+            ..dapd::RetryPolicy::default()
+        }
+    };
     let mut client = if let Some(addr) = &args.tcp {
-        dapd::Client::connect_tcp(addr)
+        dapd::Client::connect_tcp_with(addr, policy)
     } else {
         let path = args
             .socket
             .clone()
             .unwrap_or_else(|| DEFAULT_SOCKET.to_string());
-        dapd::Client::connect_unix(std::path::Path::new(&path))
+        dapd::Client::connect_unix_with(std::path::Path::new(&path), policy)
     }
     .unwrap_or_else(|e| {
         eprintln!("error: cannot connect to daemon: {e}");
@@ -603,13 +648,25 @@ fn loadgen(args: &Args) {
     // under a nanosecond at HBM rates, so truncating each report alone
     // would under-report busy time and the daemon would measure garbage.
     let mut carry_ns = vec![0.0f64; nominal.len()];
+    let mut lost_routes = 0u64;
+    let mut lost_reports = 0u64;
     let start = std::time::Instant::now();
     for i in 0..args.requests {
         let r = stream.next_request();
-        let d = client.get_route(r.tenant, r.bytes).unwrap_or_else(|e| {
-            eprintln!("error: route request {i} failed: {e}");
-            std::process::exit(1);
-        });
+        let d = match client.get_route(r.tenant, r.bytes) {
+            Ok(d) => d,
+            Err(e) if args.retries > 0 => {
+                // Retries exhausted: warn, skip the request, keep going —
+                // a fault-tolerant loadgen finishes its run.
+                eprintln!("warning: route request {i} lost: {e}");
+                lost_routes += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("error: route request {i} failed: {e}");
+                std::process::exit(1);
+            }
+        };
         routed[d.backend] += u64::from(r.bytes);
         // Synthetic service: the chosen backend delivers at nominal rate
         // — except a throttled backend 0, which delivers at
@@ -623,12 +680,17 @@ fn loadgen(args: &Args) {
             carry_ns[d.backend] += f64::from(r.bytes) / rate;
             let nanos = carry_ns[d.backend] as u32;
             carry_ns[d.backend] -= f64::from(nanos);
-            client
-                .report_served(d.backend as u8, r.bytes, nanos)
-                .unwrap_or_else(|e| {
+            match client.report_served(d.backend as u8, r.bytes, nanos) {
+                Ok(()) => {}
+                Err(e) if args.retries > 0 => {
+                    eprintln!("warning: served report {i} lost: {e}");
+                    lost_reports += 1;
+                }
+                Err(e) => {
                     eprintln!("error: served report {i} failed: {e}");
                     std::process::exit(1);
-                });
+                }
+            }
         }
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
@@ -640,6 +702,16 @@ fn loadgen(args: &Args) {
         elapsed,
         args.requests as f64 / elapsed
     );
+    if args.retries > 0 {
+        println!(
+            "  retry policy: {} reconnects, {} routes lost, {} reports lost \
+             ({} indeterminate)",
+            client.reconnects(),
+            lost_routes,
+            lost_reports,
+            client.indeterminate_reports()
+        );
+    }
     for (i, (b, bytes)) in stock.backends.iter().zip(&routed).enumerate() {
         println!(
             "  backend {i} {:<6} {:>12} bytes  ({:.3} of total)",

@@ -497,6 +497,15 @@ impl Engine {
         render_exposition(&self.metrics.snapshot())
     }
 
+    /// Resolves (creating if absent) a named counter in the engine's
+    /// metrics registry. The server layer uses this to count shed
+    /// connections and per-reason rejects (`dapd_shed_total`,
+    /// `dapd_rejected_total_*`) in the same exposition the routing
+    /// metrics live in, so one `SnapshotStats` shows the whole picture.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.metrics.counter(name)
+    }
+
     fn recompute_weights(&mut self) {
         let total: f64 = self.effective_gbps.iter().sum();
         if total > 0.0 {

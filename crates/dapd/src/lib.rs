@@ -22,6 +22,16 @@
 //!   server plus the matching blocking [`client::Client`], and a
 //!   Prometheus-text stats dump via `dap-telemetry`.
 //!
+//! The serving path is hardened for overload and partial failure: the
+//! server runs every connection under a [`server::ServerConfig`]
+//! (read/write deadlines, a hard connection cap with
+//! `Reject(Overloaded)` load shedding, per-connection frame/byte
+//! budgets), and the client takes a [`client::RetryPolicy`] for
+//! jittered-exponential-backoff retries with idempotency-aware
+//! semantics. Shed and reject events are counted in the same Prometheus
+//! exposition as the routing metrics (`dapd_shed_total`,
+//! `dapd_rejected_total_*`).
+//!
 //! Everything is hermetic: no async runtime, no registry dependencies —
 //! just `std::net`, `std::os::unix::net`, and the workspace crates.
 
@@ -33,9 +43,9 @@ pub mod engine;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{
     BackendSpec, Engine, EngineConfig, RouteDecision, TenantClass, TenantLedger, TenantSpec,
 };
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{Message, RejectCode, WireError, MAX_PAYLOAD};

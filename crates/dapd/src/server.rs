@@ -1,4 +1,5 @@
-//! The daemon: a std-only, thread-per-connection socket server.
+//! The daemon: a std-only, thread-per-connection socket server,
+//! hardened for overload and partial failure.
 //!
 //! Listens on a TCP address or a Unix-domain socket, speaks the
 //! [`crate::wire`] protocol, and multiplexes all connections onto one
@@ -6,13 +7,43 @@
 //! lock, not the solver, is the ceiling — and the bench harness measures
 //! exactly that ceiling honestly).
 //!
+//! ## Overload hardening
+//!
+//! Every connection runs under a [`ServerConfig`]:
+//!
+//! * **Read/write deadlines** — a peer that stalls mid-frame (or simply
+//!   goes idle) is disconnected after `read_deadline`, so a slow-loris
+//!   client can never pin a worker thread. Counted in
+//!   `dapd_rejected_total_deadline`.
+//! * **Connection cap with deterministic load shedding** — beyond
+//!   `max_connections` live workers, new connections are accepted, sent
+//!   one [`Message::Reject`] with [`RejectCode::Overloaded`], and closed.
+//!   Nothing queues unboundedly. Counted in `dapd_shed_total` and
+//!   `dapd_rejected_total_overloaded`.
+//! * **Per-connection frame/byte budgets** — a connection that exceeds
+//!   `max_frames_per_conn` or `max_bytes_per_conn` is told `Overloaded`
+//!   and closed (`dapd_rejected_total_frame_budget` /
+//!   `dapd_rejected_total_byte_budget`), so a garbage-spewing or runaway
+//!   client costs a bounded amount of work.
+//! * **Garbage isolation** — undecodable bytes close only the offending
+//!   connection (`dapd_rejected_total_garbage`); the wire layer's
+//!   [`crate::wire::SHUTDOWN_TOKEN`] guarantees garbage can never spoof a
+//!   shutdown order.
+//!
+//! Finished worker handles are pruned in the accept loop (the live count
+//! is what the connection cap is checked against), so the worker table
+//! stays bounded for the life of the server.
+//!
 //! Shutdown is cooperative: any client may send [`Message::Shutdown`];
 //! the acceptor notices within one poll interval (10 ms), stops
 //! accepting, and [`ServerHandle::join`] returns once the acceptor
-//! thread exits. In-flight connections see their streams shut down.
+//! thread exits. Draining workers answer in-flight requests with
+//! `Reject(ShuttingDown)` and close; because every worker wakes at least
+//! once per `read_deadline`, the join is bounded even with silent peers.
 
 use crate::engine::{Engine, EngineError};
-use crate::wire::{read_frame, write_frame, Message, RejectCode};
+use crate::wire::{read_frame_counted, write_frame, Message, RejectCode};
+use dap_telemetry::Counter;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -24,10 +55,114 @@ use std::time::Duration;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
+/// Overload and deadline knobs for a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How long a worker waits for the next byte before dropping the
+    /// connection. Doubles as the idle timeout: a healthy client either
+    /// pipelines its next request within this window or reconnects.
+    pub read_deadline: Duration,
+    /// How long a worker may block writing a reply (or a shed reject)
+    /// before the connection is dropped.
+    pub write_deadline: Duration,
+    /// Hard cap on concurrently served connections. Beyond it, new
+    /// connections are shed: accepted, told `Reject(Overloaded)`, closed.
+    pub max_connections: usize,
+    /// Frames one connection may send before being shed.
+    pub max_frames_per_conn: u64,
+    /// Wire bytes (headers + payloads) one connection may send before
+    /// being shed.
+    pub max_bytes_per_conn: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_deadline: Duration::from_secs(5),
+            write_deadline: Duration::from_secs(5),
+            max_connections: 64,
+            max_frames_per_conn: 1 << 24,
+            max_bytes_per_conn: 1 << 32,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> io::Result<()> {
+        if self.read_deadline.is_zero() || self.write_deadline.is_zero() {
+            // A zero socket timeout means "no timeout" to the OS — the
+            // opposite of what a caller asking for a zero deadline wants.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server deadlines must be non-zero",
+            ));
+        }
+        if self.max_connections == 0
+            || self.max_frames_per_conn == 0
+            || self.max_bytes_per_conn == 0
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server caps and budgets must be non-zero",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counter handles for the shed/reject bookkeeping, resolved once at
+/// spawn (they live in the engine's registry so `SnapshotStats` shows
+/// them) and cloned into every worker.
+#[derive(Clone)]
+struct ServerMetrics {
+    shed: Counter,
+    rejected_overloaded: Counter,
+    rejected_deadline: Counter,
+    rejected_garbage: Counter,
+    rejected_frame_budget: Counter,
+    rejected_byte_budget: Counter,
+    rejected_unknown_id: Counter,
+}
+
+impl ServerMetrics {
+    fn new(engine: &Engine) -> Self {
+        Self {
+            shed: engine.counter("dapd_shed_total"),
+            rejected_overloaded: engine.counter("dapd_rejected_total_overloaded"),
+            rejected_deadline: engine.counter("dapd_rejected_total_deadline"),
+            rejected_garbage: engine.counter("dapd_rejected_total_garbage"),
+            rejected_frame_budget: engine.counter("dapd_rejected_total_frame_budget"),
+            rejected_byte_budget: engine.counter("dapd_rejected_total_byte_budget"),
+            rejected_unknown_id: engine.counter("dapd_rejected_total_unknown_id"),
+        }
+    }
+}
+
+/// Socket-type-independent view of one accepted connection: blocking
+/// I/O plus OS-level read/write deadlines.
+trait Conn: io::Read + io::Write + Send + 'static {
+    fn set_deadlines(&self, read: Duration, write: Duration) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_deadlines(&self, read: Duration, write: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(read))?;
+        self.set_write_timeout(Some(write))
+    }
+}
+
+impl Conn for UnixStream {
+    fn set_deadlines(&self, read: Duration, write: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(read))?;
+        self.set_write_timeout(Some(write))
+    }
+}
+
 /// A bound, not-yet-running daemon.
 pub struct Server {
     listener: Listener,
     engine: Arc<Mutex<Engine>>,
+    config: ServerConfig,
 }
 
 enum Listener {
@@ -52,18 +187,58 @@ impl Server {
         Ok(Self {
             listener: Listener::Tcp(listener),
             engine: Arc::new(Mutex::new(engine)),
+            config: ServerConfig::default(),
         })
     }
 
-    /// Binds a Unix-domain socket, replacing a stale socket file if one
-    /// exists at `path`.
+    /// Binds a Unix-domain socket.
+    ///
+    /// If a socket file already exists at `path`, it is probed first: a
+    /// connection attempt that is *refused* means the file is stale — a
+    /// crashed daemon never unlinks — so it is removed and the path
+    /// rebound. A probe that connects means a live daemon owns the path,
+    /// and binding fails with [`io::ErrorKind::AddrInUse`] instead of
+    /// yanking the socket out from under it.
     pub fn bind_unix(path: &Path, engine: Engine) -> io::Result<Self> {
-        let _ = std::fs::remove_file(path);
-        let listener = UnixListener::bind(path)?;
+        let listener = match UnixListener::bind(path) {
+            Ok(l) => l,
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => match UnixStream::connect(path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("{}: another daemon is listening", path.display()),
+                    ));
+                }
+                Err(probe)
+                    if probe.kind() == io::ErrorKind::ConnectionRefused
+                        || probe.kind() == io::ErrorKind::NotFound =>
+                {
+                    // Stale socket file from a crashed daemon (or it
+                    // vanished between bind and probe): reclaim the path.
+                    let _ = std::fs::remove_file(path);
+                    UnixListener::bind(path)?
+                }
+                Err(probe) => return Err(probe),
+            },
+            Err(e) => return Err(e),
+        };
         Ok(Self {
             listener: Listener::Unix(listener, path.to_path_buf()),
             engine: Arc::new(Mutex::new(engine)),
+            config: ServerConfig::default(),
         })
+    }
+
+    /// Replaces the default overload/deadline configuration.
+    pub fn with_config(mut self, config: ServerConfig) -> io::Result<Self> {
+        config.validate()?;
+        self.config = config;
+        Ok(self)
+    }
+
+    /// The active overload/deadline configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The bound TCP address (None for Unix sockets).
@@ -78,6 +253,7 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let stop = Arc::new(AtomicBool::new(false));
         let engine = Arc::clone(&self.engine);
+        let metrics = ServerMetrics::new(&engine.lock().unwrap());
         let unlink = match &self.listener {
             Listener::Unix(_, path) => Some(path.clone()),
             Listener::Tcp(_) => None,
@@ -85,14 +261,17 @@ impl Server {
         let acceptor = {
             let stop = Arc::clone(&stop);
             let engine = Arc::clone(&self.engine);
+            let config = self.config;
             match self.listener {
                 Listener::Tcp(l) => {
                     l.set_nonblocking(true)?;
-                    thread::spawn(move || accept_loop(l, stop, engine, accept_tcp))
+                    thread::spawn(move || accept_loop(l, stop, engine, config, metrics, accept_tcp))
                 }
                 Listener::Unix(l, _) => {
                     l.set_nonblocking(true)?;
-                    thread::spawn(move || accept_loop(l, stop, engine, accept_unix))
+                    thread::spawn(move || {
+                        accept_loop(l, stop, engine, config, metrics, accept_unix)
+                    })
                 }
             }
         };
@@ -113,31 +292,66 @@ fn accept_unix(l: &UnixListener) -> io::Result<UnixStream> {
     l.accept().map(|(s, _)| s)
 }
 
+/// Sheds one over-cap connection: best-effort `Reject(Overloaded)`, then
+/// close (by drop). The write deadline bounds how long a non-reading
+/// peer can hold the acceptor.
+fn shed<S: Conn>(mut stream: S, config: &ServerConfig, metrics: &ServerMetrics) {
+    metrics.shed.incr();
+    metrics.rejected_overloaded.incr();
+    let _ = stream.set_deadlines(config.read_deadline, config.write_deadline);
+    let _ = write_frame(&mut stream, &Message::Reject(RejectCode::Overloaded));
+}
+
 fn accept_loop<L, S>(
     listener: L,
     stop: Arc<AtomicBool>,
     engine: Arc<Mutex<Engine>>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
     accept: fn(&L) -> io::Result<S>,
 ) -> io::Result<()>
 where
     L: Send + 'static,
-    S: io::Read + io::Write + Send + 'static,
+    S: Conn,
 {
     let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match accept(&listener) {
             Ok(stream) => {
+                // Prune finished workers first: the live count is what
+                // the cap is checked against, and the table must not
+                // grow for the life of the server.
+                workers.retain(|w| !w.is_finished());
+                if workers.len() >= config.max_connections {
+                    shed(stream, &config, &metrics);
+                    continue;
+                }
+                if stream
+                    .set_deadlines(config.read_deadline, config.write_deadline)
+                    .is_err()
+                {
+                    // A socket we cannot arm deadlines on could pin a
+                    // worker forever; refuse it.
+                    continue;
+                }
                 let engine = Arc::clone(&engine);
                 let stop = Arc::clone(&stop);
+                let config = config.clone();
+                let metrics = metrics.clone();
                 workers.push(thread::spawn(move || {
-                    let _ = serve_connection(stream, engine, stop);
+                    let _ = serve_connection(stream, engine, stop, &config, &metrics);
                 }));
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                workers.retain(|w| !w.is_finished());
+                thread::sleep(ACCEPT_POLL);
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
+    // Deadlines bound this join: every worker wakes from its blocking
+    // read within one read_deadline and exits (drain reject or timeout).
     for w in workers {
         let _ = w.join();
     }
@@ -148,15 +362,45 @@ fn serve_connection<S: io::Read + io::Write>(
     mut stream: S,
     engine: Arc<Mutex<Engine>>,
     stop: Arc<AtomicBool>,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
 ) -> io::Result<()> {
+    let mut frames: u64 = 0;
+    let mut bytes: u64 = 0;
     loop {
-        let msg = match read_frame(&mut stream)? {
-            Some(m) => m,
-            None => return Ok(()), // clean EOF
+        let (msg, frame_bytes) = match read_frame_counted(&mut stream) {
+            Ok(Some(m)) => m,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e) => {
+                match e.kind() {
+                    // The OS read timeout fired: the peer stalled
+                    // mid-frame or idled past the deadline.
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                        metrics.rejected_deadline.incr()
+                    }
+                    // Undecodable bytes: drop this connection only.
+                    io::ErrorKind::InvalidData => metrics.rejected_garbage.incr(),
+                    _ => {}
+                }
+                return Err(e);
+            }
         };
+        frames += 1;
+        bytes += frame_bytes as u64;
+        if frames > config.max_frames_per_conn {
+            metrics.rejected_frame_budget.incr();
+            let _ = write_frame(&mut stream, &Message::Reject(RejectCode::Overloaded));
+            return Ok(());
+        }
+        if bytes > config.max_bytes_per_conn {
+            metrics.rejected_byte_budget.incr();
+            let _ = write_frame(&mut stream, &Message::Reject(RejectCode::Overloaded));
+            return Ok(());
+        }
         if stop.load(Ordering::SeqCst) && !matches!(msg, Message::Shutdown) {
-            write_frame(&mut stream, &Message::Reject(RejectCode::ShuttingDown))?;
-            continue;
+            // Draining: answer and close, so shutdown never waits on us.
+            let _ = write_frame(&mut stream, &Message::Reject(RejectCode::ShuttingDown));
+            return Ok(());
         }
         let reply = match msg {
             Message::GetRoute { tenant, bytes } => {
@@ -166,9 +410,13 @@ fn serve_connection<S: io::Read + io::Write>(
                         window: d.window,
                     },
                     Err(EngineError::UnknownTenant(_)) => {
+                        metrics.rejected_unknown_id.incr();
                         Message::Reject(RejectCode::UnknownTenant)
                     }
-                    Err(_) => Message::Reject(RejectCode::UnknownBackend),
+                    Err(_) => {
+                        metrics.rejected_unknown_id.incr();
+                        Message::Reject(RejectCode::UnknownBackend)
+                    }
                 }
             }
             Message::ReportServed {
@@ -181,7 +429,10 @@ fn serve_connection<S: io::Read + io::Write>(
                 .report_served(source, bytes, latency_ns)
             {
                 Ok(()) => Message::Ack,
-                Err(_) => Message::Reject(RejectCode::UnknownBackend),
+                Err(_) => {
+                    metrics.rejected_unknown_id.incr();
+                    Message::Reject(RejectCode::UnknownBackend)
+                }
             },
             Message::SnapshotStats => Message::Stats(engine.lock().unwrap().stats_text()),
             Message::Shutdown => {
@@ -192,6 +443,7 @@ fn serve_connection<S: io::Read + io::Write>(
             // Response types arriving at the server are a protocol
             // violation; drop the connection.
             Message::Route { .. } | Message::Ack | Message::Stats(_) | Message::Reject(_) => {
+                metrics.rejected_garbage.incr();
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "response message sent to server",
@@ -218,6 +470,13 @@ impl ServerHandle {
         self.engine.lock().unwrap().stats_text()
     }
 
+    /// Runs `f` against the shared engine — introspection for tests and
+    /// operators (e.g. checking the [`crate::TenantLedger`] conservation
+    /// invariant on a live daemon).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.engine.lock().unwrap())
+    }
+
     /// Waits for the acceptor to exit and cleans up the socket file.
     pub fn join(self) -> io::Result<()> {
         let result = self
@@ -236,12 +495,32 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use crate::engine::EngineConfig;
+    use crate::wire::read_frame;
+    use std::io::{Read, Write};
 
     fn spawn_tcp() -> (ServerHandle, SocketAddr) {
         let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
         let server = Server::bind_tcp("127.0.0.1:0", engine).unwrap();
         let addr = server.local_addr().unwrap();
         (server.spawn().unwrap(), addr)
+    }
+
+    fn spawn_tcp_with(config: ServerConfig) -> (ServerHandle, SocketAddr) {
+        let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let server = Server::bind_tcp("127.0.0.1:0", engine)
+            .unwrap()
+            .with_config(config)
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        (server.spawn().unwrap(), addr)
+    }
+
+    fn counter_value(stats: &str, name: &str) -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .map(|v| v.trim().parse().unwrap())
+            .unwrap_or(0)
     }
 
     #[test]
@@ -271,6 +550,41 @@ mod tests {
         client.shutdown().unwrap();
         handle.join().unwrap();
         assert!(!path.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn stale_unix_socket_is_reclaimed() {
+        let path = std::env::temp_dir().join(format!("dapd-stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // A crashed daemon: the listener is gone but the file remains
+        // (dropping a UnixListener does not unlink its socket file).
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "crash leaves a stale socket file");
+        let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let handle = Server::bind_unix(&path, engine)
+            .expect("stale socket must be reclaimed")
+            .spawn()
+            .unwrap();
+        let mut client = Client::connect_unix(&path).unwrap();
+        client.get_route(0, 64).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn live_unix_socket_is_not_stolen() {
+        let path = std::env::temp_dir().join(format!("dapd-live-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let handle = Server::bind_unix(&path, engine).unwrap().spawn().unwrap();
+        let second = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let err = Server::bind_unix(&path, second).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse, "{err}");
+        // The live daemon kept its socket and still serves.
+        let mut client = Client::connect_unix(&path).unwrap();
+        client.get_route(0, 64).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
     }
 
     #[test]
@@ -304,5 +618,157 @@ mod tests {
         assert!(stats.contains("dapd_decisions_total 1000"), "{stats}");
         handle.request_stop();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn over_cap_connections_are_shed_with_overloaded_reject() {
+        let (handle, addr) = spawn_tcp_with(ServerConfig {
+            max_connections: 2,
+            read_deadline: Duration::from_secs(2),
+            write_deadline: Duration::from_secs(2),
+            ..ServerConfig::default()
+        });
+        // Two idle connections pin both worker slots (their deadline is
+        // comfortably longer than this test).
+        let pin_a = TcpStream::connect(addr).unwrap();
+        let pin_b = TcpStream::connect(addr).unwrap();
+        // Give the acceptor time to spawn both workers.
+        thread::sleep(Duration::from_millis(200));
+        // The third connection is shed: one Overloaded reject, then EOF.
+        let mut extra = TcpStream::connect(addr).unwrap();
+        extra
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        match read_frame(&mut extra) {
+            Ok(Some(Message::Reject(RejectCode::Overloaded))) => {}
+            other => panic!("expected Overloaded reject, got {other:?}"),
+        }
+        assert_eq!(read_frame(&mut extra).unwrap(), None, "then closed");
+        let stats = handle.stats_text();
+        assert!(counter_value(&stats, "dapd_shed_total") >= 1, "{stats}");
+        assert!(
+            counter_value(&stats, "dapd_rejected_total_overloaded") >= 1,
+            "{stats}"
+        );
+        drop(pin_a);
+        drop(pin_b);
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_peer_is_dropped_at_the_read_deadline() {
+        let (handle, addr) = spawn_tcp_with(ServerConfig {
+            read_deadline: Duration::from_millis(100),
+            write_deadline: Duration::from_millis(100),
+            ..ServerConfig::default()
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Half a GetRoute frame, then silence: a slow-loris peer.
+        let frame = crate::wire::encode_frame(&Message::GetRoute {
+            tenant: 0,
+            bytes: 64,
+        });
+        stream.write_all(&frame[..4]).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        // The server must hang up (EOF), not wait forever.
+        let mut buf = [0u8; 16];
+        assert_eq!(stream.read(&mut buf).unwrap(), 0, "dropped at deadline");
+        let stats = handle.stats_text();
+        assert!(
+            counter_value(&stats, "dapd_rejected_total_deadline") >= 1,
+            "{stats}"
+        );
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_bytes_close_only_the_offending_connection() {
+        let (handle, addr) = spawn_tcp();
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage.write_all(&[0xDE; 32]).unwrap();
+        garbage
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        // The server drops the connection with our garbage still
+        // unread, so the close may arrive as an RST (ConnectionReset)
+        // rather than a clean EOF.
+        let mut buf = [0u8; 16];
+        match garbage.read(&mut buf) {
+            Ok(0) => {}
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {}
+            other => panic!("expected close, got {other:?}"),
+        }
+        // The daemon is still alive and serving.
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        client.get_route(0, 64).unwrap();
+        let stats = client.snapshot_stats().unwrap();
+        assert!(
+            counter_value(&stats, "dapd_rejected_total_garbage") >= 1,
+            "{stats}"
+        );
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn frame_budget_exhaustion_sheds_the_connection() {
+        let (handle, addr) = spawn_tcp_with(ServerConfig {
+            max_frames_per_conn: 5,
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        for _ in 0..5 {
+            client.get_route(0, 64).unwrap();
+        }
+        let err = client.get_route(0, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ResourceBusy, "{err}");
+        let stats = handle.stats_text();
+        assert!(
+            counter_value(&stats, "dapd_rejected_total_frame_budget") >= 1,
+            "{stats}"
+        );
+        // A fresh connection gets a fresh budget.
+        let mut fresh = Client::connect_tcp(&addr.to_string()).unwrap();
+        fresh.get_route(0, 64).unwrap();
+        fresh.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn byte_budget_exhaustion_sheds_the_connection() {
+        let (handle, addr) = spawn_tcp_with(ServerConfig {
+            max_bytes_per_conn: 30, // two 11-byte GetRoute frames, not three
+            ..ServerConfig::default()
+        });
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        client.get_route(0, 64).unwrap();
+        client.get_route(0, 64).unwrap();
+        let err = client.get_route(0, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ResourceBusy, "{err}");
+        let stats = handle.stats_text();
+        assert!(
+            counter_value(&stats, "dapd_rejected_total_byte_budget") >= 1,
+            "{stats}"
+        );
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_config_is_rejected() {
+        let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).unwrap();
+        let err = Server::bind_tcp("127.0.0.1:0", engine)
+            .unwrap()
+            .with_config(ServerConfig {
+                read_deadline: Duration::ZERO,
+                ..ServerConfig::default()
+            })
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

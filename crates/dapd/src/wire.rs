@@ -19,6 +19,11 @@
 //! [`Message`] plus a consumed length, or returns a typed [`WireError`].
 //! Truncated input is distinguished from garbage so stream readers know
 //! whether to wait for more bytes or drop the connection.
+//!
+//! `Shutdown` — the one request that takes the daemon down — must carry
+//! the eight-byte [`SHUTDOWN_TOKEN`] payload, so neither random garbage
+//! nor a bit-flipped legitimate frame can ever be parsed as a shutdown
+//! order ([`WireError::BadShutdownToken`] otherwise).
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -37,6 +42,13 @@ const TYPE_ACK: u8 = 130;
 const TYPE_STATS: u8 = 131;
 const TYPE_REJECT: u8 = 255;
 
+/// The payload every `Shutdown` frame must carry. Shutdown is the one
+/// request that takes the whole service down, so it is the one frame a
+/// corrupted stream or a garbage-spewing peer must never be able to
+/// forge: a single flipped byte can turn one request type into another,
+/// but it cannot conjure these eight bytes.
+pub const SHUTDOWN_TOKEN: [u8; 8] = *b"DAPDHALT";
+
 /// Why the daemon refused a request (payload of [`Message::Reject`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -47,6 +59,10 @@ pub enum RejectCode {
     UnknownBackend = 2,
     /// A request arrived while the daemon was shutting down.
     ShuttingDown = 3,
+    /// The daemon is at its connection cap or this connection exhausted
+    /// its frame/byte budget; the connection is closed after this frame.
+    /// Clients should back off and reconnect.
+    Overloaded = 4,
 }
 
 impl RejectCode {
@@ -55,6 +71,7 @@ impl RejectCode {
             1 => Some(RejectCode::UnknownTenant),
             2 => Some(RejectCode::UnknownBackend),
             3 => Some(RejectCode::ShuttingDown),
+            4 => Some(RejectCode::Overloaded),
             _ => None,
         }
     }
@@ -143,6 +160,9 @@ pub enum WireError {
     BadUtf8,
     /// A `Reject` payload carried an unassigned code.
     BadRejectCode(u8),
+    /// A `Shutdown` frame did not carry [`SHUTDOWN_TOKEN`]. Corruption or
+    /// garbage must never be able to stop the daemon.
+    BadShutdownToken,
 }
 
 impl fmt::Display for WireError {
@@ -160,6 +180,7 @@ impl fmt::Display for WireError {
             }
             WireError::BadUtf8 => write!(f, "stats payload is not valid UTF-8"),
             WireError::BadRejectCode(c) => write!(f, "unassigned reject code {c}"),
+            WireError::BadShutdownToken => write!(f, "shutdown frame lacks the magic token"),
         }
     }
 }
@@ -183,7 +204,8 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
             payload.extend_from_slice(&bytes.to_le_bytes());
             payload.extend_from_slice(&latency_ns.to_le_bytes());
         }
-        Message::SnapshotStats | Message::Shutdown | Message::Ack => {}
+        Message::SnapshotStats | Message::Ack => {}
+        Message::Shutdown => payload.extend_from_slice(&SHUTDOWN_TOKEN),
         Message::Route { source, window } => {
             payload.push(*source);
             payload.extend_from_slice(&window.to_le_bytes());
@@ -202,7 +224,8 @@ fn fixed_len(ty: u8) -> Option<usize> {
     match ty {
         TYPE_GET_ROUTE => Some(6),
         TYPE_REPORT_SERVED => Some(9),
-        TYPE_SNAPSHOT_STATS | TYPE_SHUTDOWN | TYPE_ACK => Some(0),
+        TYPE_SNAPSHOT_STATS | TYPE_ACK => Some(0),
+        TYPE_SHUTDOWN => Some(SHUTDOWN_TOKEN.len()),
         TYPE_ROUTE => Some(5),
         TYPE_REJECT => Some(1),
         TYPE_STATS => None, // variable
@@ -268,7 +291,12 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
             latency_ns: le_u32(&p[5..9]),
         },
         TYPE_SNAPSHOT_STATS => Message::SnapshotStats,
-        TYPE_SHUTDOWN => Message::Shutdown,
+        TYPE_SHUTDOWN => {
+            if p != SHUTDOWN_TOKEN {
+                return Err(WireError::BadShutdownToken);
+            }
+            Message::Shutdown
+        }
         TYPE_ROUTE => Message::Route {
             source: p[0],
             window: le_u32(&p[1..5]),
@@ -291,6 +319,13 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
 /// an [`io::ErrorKind::UnexpectedEof`] error, and protocol violations
 /// surface as [`io::ErrorKind::InvalidData`] wrapping the [`WireError`].
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
+    Ok(read_frame_counted(r)?.map(|(msg, _)| msg))
+}
+
+/// Like [`read_frame`], but also reports the frame's total wire size
+/// (header + payload) so callers can enforce per-connection byte budgets
+/// without re-encoding the message.
+pub fn read_frame_counted<R: Read>(r: &mut R) -> io::Result<Option<(Message, usize)>> {
     let mut header = [0u8; 5];
     match r.read(&mut header)? {
         0 => return Ok(None),
@@ -309,7 +344,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
     match decode_frame(&frame) {
         Ok((msg, consumed)) => {
             debug_assert_eq!(consumed, frame.len());
-            Ok(Some(msg))
+            Ok(Some((msg, consumed)))
         }
         Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
     }
@@ -351,6 +386,7 @@ mod tests {
             Message::Reject(RejectCode::UnknownTenant),
             Message::Reject(RejectCode::UnknownBackend),
             Message::Reject(RejectCode::ShuttingDown),
+            Message::Reject(RejectCode::Overloaded),
         ]
     }
 
@@ -443,6 +479,45 @@ mod tests {
     fn unassigned_reject_code_rejected() {
         let frame = vec![1, 0, 0, 0, TYPE_REJECT, 99];
         assert_eq!(decode_frame(&frame), Err(WireError::BadRejectCode(99)));
+    }
+
+    #[test]
+    fn shutdown_without_token_rejected() {
+        // Right length, wrong bytes: a forged or corrupted shutdown.
+        let mut frame = vec![8, 0, 0, 0, TYPE_SHUTDOWN];
+        frame.extend_from_slice(b"xxxxxxxx");
+        assert_eq!(decode_frame(&frame), Err(WireError::BadShutdownToken));
+        // Wrong length fails even earlier, as a length mismatch.
+        let frame = vec![0, 0, 0, 0, TYPE_SHUTDOWN];
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::BadPayloadLen {
+                ty: TYPE_SHUTDOWN,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_shutdown() {
+        // The whole point of the token: flip any one byte of any valid
+        // frame and the result must never decode as Shutdown (except a
+        // frame that already was one).
+        for msg in all_messages() {
+            if msg == Message::Shutdown {
+                continue;
+            }
+            let frame = encode_frame(&msg);
+            for i in 0..frame.len() {
+                for bit in 0..8u8 {
+                    let mut corrupt = frame.clone();
+                    corrupt[i] ^= 1 << bit;
+                    if let Ok((Message::Shutdown, _)) = decode_frame(&corrupt) {
+                        panic!("bit {bit} of byte {i} in {msg:?} forged a shutdown");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
