@@ -138,6 +138,35 @@ rm -f "$dapd_log"
 echo "== dapd chaos soak (seeded fault proxy)"
 cargo test --release --offline -q -p dapd --test chaos
 
+# Sharded-explorer smoke: a serial reference run of the smoke grid, then
+# a 3-worker fleet with one worker killed (SIGKILL-class abort) right
+# after winning its second claim. The fleet must survive the death — the
+# orphaned lease expires after one TTL and a survivor steals it — drain
+# the grid, and produce a merged manifest byte-identical to the serial
+# reference (the merge writes cells in canonical key order, so `cmp` is
+# the whole check).
+echo "== sharded explore smoke (3 workers, one killed mid-claim)"
+explore_dir=$(mktemp -d)
+./target/release/dapctl explore --grid smoke --workers 1 \
+    --instructions 20000 --out "$explore_dir/serial" >/dev/null
+DAP_SHARD_KILL="1:1:2:after-claim" ./target/release/dapctl explore \
+    --grid smoke --workers 3 --instructions 20000 --ttl-ms 1000 \
+    --out "$explore_dir/fleet" >/dev/null
+cmp "$explore_dir/serial/merged.ckpt" "$explore_dir/fleet/merged.ckpt" || {
+    echo "ci: fleet merged manifest differs from the serial reference" >&2
+    exit 1
+}
+rm -rf "$explore_dir"
+
+# Shard kill-chaos harness: a 4-worker fleet with staged faults in every
+# crash window (abort holding a fresh lease, abort between manifest
+# record and lease done, mid-run interrupt) must merge bit-identical to
+# a serial in-process reference, and a poisoned cell must be quarantined
+# after K fleet-wide failures. Release: each worker is a real process
+# running real simulations.
+echo "== shard kill-chaos harness"
+cargo test --release --offline -q -p experiments --test shard_chaos
+
 # telemetry-off must compile the whole observability stack away without
 # changing a figure's output: the same fig01 run from a telemetry-off
 # release build must be byte-identical. The feature build targets

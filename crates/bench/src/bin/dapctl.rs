@@ -41,6 +41,20 @@
 //!     retried up to N times with jittered exponential backoff and the
 //!     run rides through daemon restarts and sheds, reporting how many
 //!     calls were lost. --shutdown stops the daemon afterwards.
+//! dapctl explore [--grid <smoke|std>] [--workers N] [--out DIR]
+//!                [--instructions N] [--ttl-ms MS] [--poison-k K]
+//!                [--max-restarts N]
+//!     Explore a named design-space grid with N crash-tolerant worker
+//!     processes coordinating through a lease log in --out (default
+//!     target/explore). Workers that crash are restarted with backoff
+//!     (up to --max-restarts per slot); leases left by dead workers
+//!     expire after --ttl-ms and are stolen by survivors; a cell that
+//!     fails --poison-k times fleet-wide is quarantined. Afterwards the
+//!     per-worker manifests are merged (duplicate completions must be
+//!     bit-identical), `merged.ckpt` + `fleet.prom` are written, and
+//!     the per-mix Pareto frontier (speedup vs DRAM-cache capacity vs
+//!     energy proxy) is printed. Exit 1 if any cell is missing or
+//!     manifests diverge. Re-running resumes from the same --out.
 //! dapctl bench [--label L] [--out DIR] [--instructions N]
 //!              [--compare BASELINE.json] [--threshold PCT] [--warn-only]
 //!              [--update-baseline LABEL]
@@ -75,6 +89,8 @@ subcommands:
   replay <file>              Drive every core with a recorded trace.
   trace <bench>              Run with per-window DAP tracing; write artifacts.
   trace summarize <file>     Summarize a window-trace artifact leniently.
+  explore                    Explore a design-space grid with a crash-
+                             tolerant multi-process worker fleet.
   bench                      Time the pinned regression suite (incl. dapd).
   serve                      Run the dapd partitioning daemon on a socket.
   loadgen                    Drive a running dapd daemon with clone traffic.
@@ -88,6 +104,10 @@ common flags:
 bench flags:
   --label L   --compare FILE   --threshold PCT   --warn-only
   --update-baseline LABEL
+
+explore flags:
+  --grid <smoke|std>   --workers N   --ttl-ms MS   --poison-k K
+  --max-restarts N
 
 daemon flags (serve/loadgen):
   --socket PATH   --tcp ADDR   --resolve-every N   --requests N   --bench B
@@ -138,6 +158,13 @@ struct Args {
     max_conns: usize,
     deadline_ms: u64,
     retries: u32,
+    grid: String,
+    workers: u32,
+    ttl_ms: u64,
+    poison_k: u32,
+    max_restarts: u32,
+    worker_id: Option<u32>,
+    incarnation: u32,
 }
 
 fn parse_args() -> Args {
@@ -166,6 +193,13 @@ fn parse_args() -> Args {
         max_conns: 64,
         deadline_ms: 5_000,
         retries: 0,
+        grid: "std".to_string(),
+        workers: 4,
+        ttl_ms: 2_000,
+        poison_k: 3,
+        max_restarts: 2,
+        worker_id: None,
+        incarnation: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -235,6 +269,21 @@ fn parse_args() -> Args {
                 args.deadline_ms = value("--deadline-ms").parse().unwrap_or_else(|_| usage())
             }
             "--retries" => args.retries = value("--retries").parse().unwrap_or_else(|_| usage()),
+            "--grid" => args.grid = value("--grid"),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--ttl-ms" => args.ttl_ms = value("--ttl-ms").parse().unwrap_or_else(|_| usage()),
+            "--poison-k" => args.poison_k = value("--poison-k").parse().unwrap_or_else(|_| usage()),
+            "--max-restarts" => {
+                args.max_restarts = value("--max-restarts").parse().unwrap_or_else(|_| usage())
+            }
+            // Internal: `explore` re-invokes itself with these to run as
+            // one worker of the fleet. Not in the help text on purpose.
+            "--worker-id" => {
+                args.worker_id = Some(value("--worker-id").parse().unwrap_or_else(|_| usage()))
+            }
+            "--incarnation" => {
+                args.incarnation = value("--incarnation").parse().unwrap_or_else(|_| usage())
+            }
             "--threads" => {
                 let v = value("--threads");
                 dap_bench::cli::apply_threads("dapctl", Some(&v));
@@ -540,6 +589,7 @@ fn main() {
                 }
             }
             Some("help") => print!("{HELP}"),
+            Some("explore") => explore(&args),
             Some("serve") => serve(&args),
             Some("loadgen") => loadgen(&args),
             Some(other) => {
@@ -549,6 +599,143 @@ fn main() {
             None => usage(),
         }
     });
+}
+
+/// `dapctl explore`: a crash-tolerant multi-process design-space
+/// exploration. With `--worker-id` (internal) this process *is* one
+/// worker of the fleet; otherwise it supervises `--workers` child
+/// processes (spawned as `current_exe() explore --worker-id I ...`),
+/// then merges their manifests and reports the Pareto frontier.
+fn explore(args: &Args) {
+    let instructions = args.instructions.unwrap_or(40_000);
+    let grid = experiments::explore_grid(&args.grid, instructions).unwrap_or_else(|| {
+        eprintln!(
+            "unknown grid {:?} (available: {})",
+            args.grid,
+            experiments::shard::grid_names().join(", ")
+        );
+        std::process::exit(2);
+    });
+    let out_dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("target/explore"));
+    let cancel = experiments::global_cancel_token();
+
+    if let Some(worker_id) = args.worker_id {
+        // Worker mode: drain the grid, then exit. Interruption is
+        // handled by run_interruptible's global token (exit 130).
+        let summary = experiments::run_worker(&experiments::WorkerConfig {
+            out_dir,
+            worker_id,
+            incarnation: args.incarnation,
+            grid,
+            ttl_ms: args.ttl_ms,
+            quarantine_k: args.poison_k,
+            cancel: cancel.clone(),
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: worker {worker_id}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[w{worker_id}.{}] exit: {} completed, {} failed, {} abandoned",
+            args.incarnation, summary.completed, summary.failed, summary.abandoned
+        );
+        return;
+    }
+
+    if args.workers == 0 {
+        eprintln!("--workers must be at least 1");
+        std::process::exit(2);
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate own binary: {e}");
+        std::process::exit(1);
+    });
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    });
+    println!(
+        "explore: grid {} ({} cells) with {} workers into {}",
+        grid.name,
+        grid.cells.len(),
+        args.workers,
+        out_dir.display()
+    );
+    let start = std::time::Instant::now();
+    let supervisor = experiments::SupervisorConfig {
+        workers: args.workers,
+        max_restarts: args.max_restarts,
+        ..experiments::SupervisorConfig::default()
+    };
+    let outcome = experiments::supervise(
+        &supervisor,
+        |worker_id, incarnation| {
+            std::process::Command::new(&exe)
+                .arg("explore")
+                .arg("--out")
+                .arg(&out_dir)
+                .arg("--grid")
+                .arg(&args.grid)
+                .arg("--instructions")
+                .arg(instructions.to_string())
+                .arg("--ttl-ms")
+                .arg(args.ttl_ms.to_string())
+                .arg("--poison-k")
+                .arg(args.poison_k.to_string())
+                .arg("--worker-id")
+                .arg(worker_id.to_string())
+                .arg("--incarnation")
+                .arg(incarnation.to_string())
+                .spawn()
+        },
+        cancel,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: fleet supervision failed: {e}");
+        std::process::exit(1);
+    });
+    if cancel.is_cancelled() {
+        // run_interruptible turns this into exit 130 with the resume hint.
+        return;
+    }
+    let report =
+        experiments::merge_worker_manifests(&out_dir, &grid, args.poison_k, outcome.restarts)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+    let merged = out_dir.join("merged.ckpt");
+    let prom = out_dir.join("fleet.prom");
+    for result in [
+        experiments::write_merged_manifest(&report, &merged),
+        std::fs::write(&prom, report.exposition()),
+    ] {
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "explore: fleet drained in {:.1}s ({} crashes, {} restarts, {} slots abandoned)",
+        start.elapsed().as_secs_f64(),
+        outcome.crashes,
+        outcome.restarts,
+        outcome.abandoned_slots
+    );
+    print!("{}", report.summary());
+    let points = experiments::pareto_points(&report, &grid);
+    print!("{}", experiments::pareto_report(&points));
+    println!();
+    println!("artifacts:");
+    println!("  {}", merged.display());
+    println!("  {}", prom.display());
+    if !report.is_complete() {
+        eprintln!(
+            "error: {} cell(s) unaccounted for — re-run the same command to resume",
+            report.missing.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Default Unix socket path shared by `serve` and `loadgen`.

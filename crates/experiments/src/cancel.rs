@@ -77,9 +77,14 @@ impl CancelToken {
         }
     }
 
-    /// Records one completed cell (called by the executor), tripping the
-    /// token when an armed [`Self::cancel_after`] countdown hits zero.
-    pub(crate) fn note_completed(&self) {
+    /// Records one completed cell, tripping the token when an armed
+    /// [`Self::cancel_after`] countdown hits zero. The
+    /// [`ParallelExecutor`](crate::exec::ParallelExecutor) calls this
+    /// after every cell; callers running cells outside the executor —
+    /// the [`shard`](crate::shard) worker executes its claimed cells
+    /// serially — must call it themselves for `cancel_after` to keep
+    /// its deterministic meaning of "trip after N more completions".
+    pub fn note_completed(&self) {
         let mut current = self.countdown.load(Ordering::SeqCst);
         while current != usize::MAX && current != 0 {
             match self.countdown.compare_exchange(

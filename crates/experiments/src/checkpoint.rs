@@ -22,6 +22,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use dap_flock::FlockGuard;
 use dap_telemetry::json::{obj, parse, Json};
 use mem_sim::{CoreResult, RunResult, SimStats, SystemConfig};
 use workloads::Mix;
@@ -67,21 +68,48 @@ pub fn cell_key(config: &SystemConfig, kind: PolicyKind, mix: &Mix, instructions
     format!("{}/{kind:?}-{hash:016x}", mix.name)
 }
 
-/// The single durable-append primitive every manifest write goes
-/// through: write the line and its newline, flush, then `sync_data` so
-/// the record survives an immediately following crash or power cut —
-/// a checkpoint that only lives in the page cache protects against
-/// process death but not machine death.
-fn append_line_synced(file: &mut File, line: &str) -> std::io::Result<()> {
-    file.write_all(line.as_bytes())?;
-    file.write_all(b"\n")?;
+/// The raw durable-append primitive: one `write_all` of line + newline
+/// (a single buffer, so the kernel sees one write syscall, not a line
+/// that could interleave with another process between its body and its
+/// newline), then flush and `sync_data` so the record survives an
+/// immediately following crash or power cut — a checkpoint that only
+/// lives in the page cache protects against process death but not
+/// machine death.
+///
+/// Takes **no lock**: callers that already hold a [`FlockGuard`] on
+/// `file` (the lease log holds one across its whole read-validate-append
+/// cycle) must use this directly — `flock` locks belong to the open file
+/// description, so a nested guard's drop would release the outer lock.
+pub(crate) fn write_line_synced(mut file: &File, line: &str) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    file.write_all(&buf)?;
     file.flush()?;
     file.sync_data()
 }
 
+/// The shared-file append primitive: takes an exclusive `flock(2)` on
+/// the file around [`write_line_synced`], so concurrent *processes*
+/// appending to the same manifest or lease log cannot interleave torn
+/// lines. Lenient loading stays as the backstop for crashes mid-append
+/// (the lock does not make a half-written line impossible, only an
+/// interleaved one).
+pub(crate) fn append_line_synced(file: &File, line: &str) -> std::io::Result<()> {
+    let _guard = FlockGuard::exclusive(file)?;
+    write_line_synced(file, line)
+}
+
 struct ManifestInner {
     file: Option<File>,
+    path: Option<PathBuf>,
     completed: HashMap<String, WorkloadRun>,
+    /// Earlier records overwritten by a later line with the same key —
+    /// kept (not just counted) so the merge can verify the copies were
+    /// bit-identical. Arises when a restarted worker re-runs a cell it
+    /// had already recorded (crash between the manifest record and the
+    /// lease `done`, then stealing its own expired lease back).
+    superseded: Vec<(String, WorkloadRun)>,
     parse_errors: u64,
 }
 
@@ -106,6 +134,7 @@ impl CheckpointManifest {
     /// an error — it is counted in [`Self::parse_errors`].
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let mut completed = HashMap::new();
+        let mut superseded = Vec::new();
         let mut parse_errors = 0u64;
         let mut torn_tail = false;
         if path.exists() {
@@ -117,24 +146,28 @@ impl CheckpointManifest {
                 }
                 match parse(line).ok().and_then(|v| run_from_json(&v)) {
                     Some((key, run)) => {
-                        completed.insert(key, run);
+                        if let Some(prev) = completed.insert(key.clone(), run) {
+                            superseded.push((key, prev));
+                        }
                     }
                     None => parse_errors += 1,
                 }
             }
         }
-        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         if torn_tail {
             // A crash mid-append left a line without its newline; terminate
             // it (durably, through the same helper every append uses) so
             // the next record starts on a fresh line instead of gluing
             // onto the torn one.
-            append_line_synced(&mut file, "")?;
+            append_line_synced(&file, "")?;
         }
         Ok(Self {
             inner: Mutex::new(ManifestInner {
                 file: Some(file),
+                path: Some(path.to_path_buf()),
                 completed,
+                superseded,
                 parse_errors,
             }),
         })
@@ -154,7 +187,9 @@ impl CheckpointManifest {
         Self {
             inner: Mutex::new(ManifestInner {
                 file: None,
+                path: None,
                 completed: HashMap::new(),
+                superseded: Vec::new(),
                 parse_errors: 0,
             }),
         }
@@ -175,9 +210,37 @@ impl CheckpointManifest {
         lock_unpoisoned(&self.inner).parse_errors
     }
 
+    /// The backing file path (`None` for in-memory manifests).
+    pub fn path(&self) -> Option<PathBuf> {
+        lock_unpoisoned(&self.inner).path.clone()
+    }
+
+    /// Every completed cell, sorted by key (deterministic iteration for
+    /// merge and canonical re-serialization).
+    pub fn entries(&self) -> Vec<(String, WorkloadRun)> {
+        let inner = lock_unpoisoned(&self.inner);
+        let mut out: Vec<_> = inner
+            .completed
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// The completed cell stored under `key`, if any.
     pub fn lookup(&self, key: &str) -> Option<WorkloadRun> {
         lock_unpoisoned(&self.inner).completed.get(key).cloned()
+    }
+
+    /// Records that were overwritten by a later line with the same key
+    /// when the file was loaded. A sharded worker that crashed between
+    /// recording a cell and marking its lease done, then stole its own
+    /// expired lease back after restart, leaves such a pair — the merge
+    /// verifies the copies were bit-identical just like duplicates
+    /// across different workers' manifests.
+    pub fn superseded(&self) -> Vec<(String, WorkloadRun)> {
+        lock_unpoisoned(&self.inner).superseded.clone()
     }
 
     /// Records a finished cell: one appended, fsync'd JSONL line (via
@@ -187,7 +250,7 @@ impl CheckpointManifest {
     pub fn record(&self, key: &str, run: &WorkloadRun) {
         let line = run_to_json(key, run).to_string_compact();
         let mut inner = lock_unpoisoned(&self.inner);
-        if let Some(file) = inner.file.as_mut() {
+        if let Some(file) = inner.file.as_ref() {
             // A failed append degrades the manifest to in-memory for this
             // cell; the grid result is unaffected, but say so — a user
             // relying on resume deserves to know durability was lost.
@@ -289,7 +352,7 @@ fn decisions_from_json(v: &Json) -> Option<dap_core::DecisionStats> {
     })
 }
 
-fn run_to_json(key: &str, run: &WorkloadRun) -> Json {
+pub(crate) fn run_to_json(key: &str, run: &WorkloadRun) -> Json {
     obj([
         ("key", Json::Str(key.to_string())),
         ("weighted_speedup", Json::Num(run.weighted_speedup)),
@@ -319,7 +382,7 @@ fn run_to_json(key: &str, run: &WorkloadRun) -> Json {
     ])
 }
 
-fn run_from_json(v: &Json) -> Option<(String, WorkloadRun)> {
+pub(crate) fn run_from_json(v: &Json) -> Option<(String, WorkloadRun)> {
     let key = v.get("key")?.as_str()?.to_string();
     let weighted_speedup = v.get("weighted_speedup")?.as_f64()?;
     let per_core = v
@@ -450,6 +513,29 @@ mod tests {
         m.record("a", &run);
         assert_eq!(m.len(), 1);
         assert_same(&m.lookup("a").unwrap(), &run);
+    }
+
+    #[test]
+    fn reloading_tracks_superseded_records_for_duplicate_keys() {
+        let dir = std::env::temp_dir().join(format!("dap-ckpt-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dup.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let run = sample_run();
+        {
+            let m = CheckpointManifest::open(&path).unwrap();
+            m.record("cell-a", &run);
+            m.record("cell-b", &run);
+            m.record("cell-a", &run); // restart re-ran its own cell
+        }
+        let m = CheckpointManifest::open(&path).unwrap();
+        assert_eq!(m.len(), 2);
+        let superseded = m.superseded();
+        assert_eq!(superseded.len(), 1);
+        assert_eq!(superseded[0].0, "cell-a");
+        assert_same(&superseded[0].1, &run);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl std::error::Error for CellError {}
 
 /// Distinguishes a cooperative interruption (the run loop's typed
 /// [`RunInterrupted`] payload) from a genuine panic.
-fn classify(payload: &(dyn std::any::Any + Send)) -> CellErrorKind {
+pub(crate) fn classify(payload: &(dyn std::any::Any + Send)) -> CellErrorKind {
     match payload.downcast_ref::<RunInterrupted>() {
         Some(interrupted) => match interrupted.cause {
             StopCause::Cancelled => CellErrorKind::Cancelled,
@@ -148,7 +148,7 @@ fn classify(payload: &(dyn std::any::Any + Send)) -> CellErrorKind {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -775,6 +775,23 @@ pub fn run_variant_grid_recovered_with(
     executor: &ParallelExecutor,
 ) -> RecoveredGrid {
     let total = mixes.len() * variants.len();
+    if let Some(manifest) = checkpoint {
+        let parse_errors = manifest.parse_errors();
+        if parse_errors > 0 {
+            // Skipping corrupt lines is the right recovery, but doing it
+            // silently hides data loss: those cells will re-simulate, and
+            // a manifest that keeps accumulating bad lines points at a
+            // real problem (disk, concurrent writer without the lock).
+            let path = manifest
+                .path()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "<in-memory>".to_string());
+            eprintln!(
+                "warning: checkpoint manifest {path}: skipped {parse_errors} \
+                 corrupt line(s) while loading; the affected cells will be re-simulated"
+            );
+        }
+    }
     let mut slots: Vec<Option<Result<WorkloadRun, CellError>>> = (0..total).map(|_| None).collect();
     let mut resumed = 0;
     let mut cells = Vec::new();

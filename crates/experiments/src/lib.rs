@@ -32,6 +32,7 @@ pub mod fingerprint;
 pub mod metrics;
 pub mod progress;
 pub mod runner;
+pub mod shard;
 pub mod telemetry;
 
 pub use cancel::{global_cancel_token, CancelToken, EXIT_INTERRUPTED};
@@ -45,6 +46,12 @@ pub use fingerprint::ConfigFingerprint;
 pub use metrics::{geomean, FigureResult, Row};
 pub use progress::{cell_finished, grid_started, GridProgress};
 pub use runner::{run_mix, run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
+pub use shard::{
+    explore_grid, merge_worker_manifests, pareto_points, pareto_report, run_worker, supervise,
+    write_merged_manifest, ClaimOutcome, ExploreCell, ExploreGrid, FleetOutcome, LeaseLog,
+    LeaseSnapshot, MergeError, MergeReport, ParetoPoint, SupervisorConfig, WorkerConfig,
+    WorkerSummary,
+};
 pub use telemetry::{
     artifact_dir_from_env, export_variant_traces, run_variant_grid_traced, run_workload_traced,
     TracedRun, VariantTelemetry,

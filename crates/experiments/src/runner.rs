@@ -286,6 +286,26 @@ impl AloneIpcCache {
         self.get(config, bench, instructions)
     }
 
+    /// The cached alone IPC for `bench` on `config`, or `None` — never
+    /// simulates. For publishing freshly computed entries to the shard
+    /// explorer's fleet-shared alone store.
+    pub fn peek(&self, config: &SystemConfig, bench: &'static str) -> Option<f64> {
+        lock_unpoisoned(&self.map)
+            .get(&(ConfigFingerprint::of(config), bench))
+            .copied()
+    }
+
+    /// Seeds the cache with an alone IPC computed elsewhere (another
+    /// worker process, via the shard explorer's shared alone store).
+    /// The first value for a key wins, matching [`Self::ipc`]'s insert
+    /// discipline — and the simulation is deterministic, so a racing
+    /// seed and first-touch computation agree bit for bit anyway.
+    pub fn seed(&self, config: &SystemConfig, bench: &'static str, ipc: f64) {
+        lock_unpoisoned(&self.map)
+            .entry((ConfigFingerprint::of(config), bench))
+            .or_insert(ipc);
+    }
+
     fn get(&self, config: &SystemConfig, bench: &'static str, instructions: u64) -> f64 {
         let key = (ConfigFingerprint::of(config), bench);
         if let Some(&v) = lock_unpoisoned(&self.map).get(&key) {

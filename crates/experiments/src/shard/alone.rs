@@ -1,0 +1,147 @@
+//! Fleet-shared cache of alone-run IPCs.
+//!
+//! Weighted speedup divides each core's IPC by the benchmark's *alone*
+//! IPC on the same configuration — a one-core simulation that is pure
+//! overhead to repeat. Within one process the
+//! [`AloneIpcCache`](crate::runner::AloneIpcCache) deduplicates those
+//! runs; across a worker fleet this store extends the same dedup to the
+//! filesystem: every computed alone IPC is published to `alone.log`
+//! (one JSONL line, appended under `flock`), and every worker seeds its
+//! in-process cache from the file before simulating a cell. The fleet
+//! then does the same total alone-run work as a serial run, instead of
+//! up to N copies of it.
+//!
+//! IPCs are stored as exact `f64` bit patterns (hex), not decimal text:
+//! the merged results must be bit-identical between a fleet run and a
+//! serial reference, and a decimal round-trip could perturb the last
+//! ulp of a weighted speedup. Duplicate keys are benign — simulations
+//! are deterministic, so racing writers publish identical bits.
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+use dap_telemetry::json::{obj, parse, Json};
+use mem_sim::SystemConfig;
+
+use crate::checkpoint::append_line_synced;
+use crate::fingerprint::ConfigFingerprint;
+
+/// The stable identity of one alone run: FNV-1a over the configuration
+/// fingerprint, the benchmark name, and the instruction budget —
+/// `cell_key`'s scheme, minus the policy and mix (an alone run has
+/// neither).
+pub(crate) fn alone_key(config: &SystemConfig, bench: &str, instructions: u64) -> String {
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut eat = |w: u64| {
+        for b in w.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+    for &w in ConfigFingerprint::of(config).words() {
+        eat(w);
+    }
+    for b in bench.bytes() {
+        eat(u64::from(b));
+    }
+    eat(instructions);
+    format!("{bench}-{hash:016x}")
+}
+
+/// Append-only, flock-guarded store of alone-run IPC bit patterns.
+pub(crate) struct AloneStore {
+    path: PathBuf,
+}
+
+impl AloneStore {
+    /// Opens (creating if needed) the store at `path`.
+    pub(crate) fn open(path: &Path) -> std::io::Result<Self> {
+        OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reads every entry. Lenient: a line torn by a dying writer (or a
+    /// racing read of an in-flight append) is skipped — the entry will
+    /// be whole on the next load, and a missing entry only costs one
+    /// redundant alone simulation.
+    pub(crate) fn load(&self) -> std::io::Result<HashMap<String, f64>> {
+        let text = std::fs::read_to_string(&self.path)?;
+        let mut map = HashMap::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(rec) = parse(line) else { continue };
+            let (Some(key), Some(bits)) = (
+                rec.get("key").and_then(Json::as_str),
+                rec.get("ipc_bits").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            let Ok(bits) = u64::from_str_radix(bits, 16) else {
+                continue;
+            };
+            map.insert(key.to_string(), f64::from_bits(bits));
+        }
+        Ok(map)
+    }
+
+    /// Publishes one alone IPC. Duplicate publications of the same key
+    /// are harmless (identical bits); the append is flock-guarded and
+    /// synced like every shared-file write in the shard module.
+    pub(crate) fn record(&self, key: &str, ipc: f64) -> std::io::Result<()> {
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        let rec = obj([
+            ("key", Json::Str(key.into())),
+            ("ipc_bits", Json::Str(format!("{:016x}", ipc.to_bits()))),
+        ]);
+        append_line_synced(&file, &rec.to_string_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dap-alone-{}-{tag}.log", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_exact_bits_and_tolerates_corruption() {
+        let path = temp_path("bits");
+        let _ = std::fs::remove_file(&path);
+        let store = AloneStore::open(&path).unwrap();
+        let awkward = [0.1f64 + 0.2, f64::MIN_POSITIVE, 1.0 / 3.0, 2.5e-17];
+        for (i, &v) in awkward.iter().enumerate() {
+            store.record(&format!("k{i}"), v).unwrap();
+        }
+        // Corrupt interior line + torn tail: both are skipped, the rest
+        // survive.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{garbage\n{\"key\":\"torn\",\"ipc_bits\":\"3ff")
+                .unwrap();
+        }
+        let map = store.load().unwrap();
+        assert_eq!(map.len(), awkward.len());
+        for (i, &v) in awkward.iter().enumerate() {
+            assert_eq!(map[&format!("k{i}")].to_bits(), v.to_bits());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn alone_keys_separate_config_bench_and_budget() {
+        let a = SystemConfig::sectored_dram_cache(2);
+        let b = SystemConfig::alloy_cache(2);
+        assert_ne!(alone_key(&a, "mcf", 1000), alone_key(&b, "mcf", 1000));
+        assert_ne!(alone_key(&a, "mcf", 1000), alone_key(&a, "milc", 1000));
+        assert_ne!(alone_key(&a, "mcf", 1000), alone_key(&a, "mcf", 2000));
+        assert_eq!(alone_key(&a, "mcf", 1000), alone_key(&a, "mcf", 1000));
+    }
+}

@@ -1,0 +1,215 @@
+//! Named design-space exploration grids.
+//!
+//! A grid is a flat list of cells — {architecture, sector size, channel
+//! count, capacity, policy} × workload — each with the stable
+//! [`cell_key`] the lease log and checkpoint manifests coordinate on.
+//! Every worker process builds the grid independently from its name, so
+//! the only things on disk are the two coordination files; there is no
+//! serialized grid to version or corrupt.
+
+use mem_sim::dram::DramConfig;
+use mem_sim::{CacheKind, SystemConfig};
+use workloads::{rate_mix, spec, Mix};
+
+use crate::checkpoint::cell_key;
+use crate::runner::PolicyKind;
+
+/// One cell of an exploration grid.
+#[derive(Clone)]
+pub struct ExploreCell {
+    /// Position in the grid's cell list.
+    pub index: usize,
+    /// Human-readable coordinates, e.g. `"mcf/sectored-1k-2ch/Dap"`.
+    pub label: String,
+    /// The [`cell_key`] identifying this cell in the lease log and
+    /// checkpoint manifests.
+    pub key: String,
+    /// The system to simulate.
+    pub config: SystemConfig,
+    /// The partitioning policy.
+    pub policy: PolicyKind,
+    /// The workload mix.
+    pub mix: Mix,
+    /// DRAM-cache data capacity in bytes (0 when no cache) — one axis
+    /// of the Pareto report.
+    pub capacity_bytes: u64,
+}
+
+/// A named grid plus the per-core instruction budget it runs at.
+#[derive(Clone)]
+pub struct ExploreGrid {
+    /// The grid's name (`smoke`, `std`).
+    pub name: String,
+    /// Per-core instruction budget for every cell.
+    pub instructions: u64,
+    /// The cells, in a deterministic order shared by every worker.
+    pub cells: Vec<ExploreCell>,
+}
+
+impl ExploreGrid {
+    /// Every cell key, in cell order.
+    pub fn keys(&self) -> Vec<String> {
+        self.cells.iter().map(|c| c.key.clone()).collect()
+    }
+
+    /// The cell recorded under `key`, if any.
+    pub fn cell(&self, key: &str) -> Option<&ExploreCell> {
+        self.cells.iter().find(|c| c.key == key)
+    }
+}
+
+/// The available grid names, for CLI help and validation.
+pub fn grid_names() -> &'static [&'static str] {
+    &["smoke", "std"]
+}
+
+fn cache_capacity(config: &SystemConfig) -> u64 {
+    match &config.cache {
+        CacheKind::None => 0,
+        CacheKind::Sectored { capacity_bytes, .. }
+        | CacheKind::Alloy { capacity_bytes, .. }
+        | CacheKind::FlatTier { capacity_bytes, .. }
+        | CacheKind::Edram { capacity_bytes, .. } => *capacity_bytes,
+    }
+}
+
+fn sectored_variant(cores: usize, sector_bytes: u64, channels: u32) -> SystemConfig {
+    let mut dram = DramConfig::hbm_102();
+    dram.channels = channels;
+    SystemConfig::sectored_dram_cache(cores).with_cache(CacheKind::Sectored {
+        capacity_bytes: (4u64 << 30) / mem_sim::CAPACITY_SCALE,
+        sector_bytes,
+        ways: 4,
+        dram,
+        tag_cache: true,
+    })
+}
+
+/// Builds the named grid, or `None` for an unknown name (see
+/// [`grid_names`]).
+///
+/// - `smoke`: 3 two-core rate mixes × 4 {config, policy} variants =
+///   12 cells. Small enough for tests and the CI explore smoke.
+/// - `std`: 4 two-core rate mixes × 7 cache configurations (sectored
+///   with sector ∈ {1 KB, 4 KB} × HBM channels ∈ {2, 4}, Alloy, eDRAM
+///   ∈ {128, 256} MB) × 3 policies = 84 cells — the ≥64-cell
+///   exploration `dapctl explore` defaults to.
+pub fn explore_grid(name: &str, instructions: u64) -> Option<ExploreGrid> {
+    let cores = 2;
+    let mut variants: Vec<(String, SystemConfig, Vec<PolicyKind>)> = Vec::new();
+    let benches: &[&str] = match name {
+        "smoke" => {
+            let sectored = SystemConfig::sectored_dram_cache(cores);
+            variants.push((
+                "sectored-4k".into(),
+                sectored.clone(),
+                vec![PolicyKind::Baseline, PolicyKind::Dap],
+            ));
+            variants.push((
+                "alloy".into(),
+                SystemConfig::alloy_cache(cores),
+                vec![PolicyKind::Dap],
+            ));
+            variants.push((
+                "edram-256".into(),
+                SystemConfig::edram_cache(cores, 256),
+                vec![PolicyKind::Dap],
+            ));
+            &["libquantum", "mcf", "milc"]
+        }
+        "std" => {
+            let policies = vec![
+                PolicyKind::Baseline,
+                PolicyKind::Dap,
+                PolicyKind::DapMeasured,
+            ];
+            for (tag, sector) in [("4k", 4096u64), ("1k", 1024)] {
+                for channels in [4u32, 2] {
+                    variants.push((
+                        format!("sectored-{tag}-{channels}ch"),
+                        sectored_variant(cores, sector, channels),
+                        policies.clone(),
+                    ));
+                }
+            }
+            variants.push((
+                "alloy".into(),
+                SystemConfig::alloy_cache(cores),
+                policies.clone(),
+            ));
+            for mb in [128u64, 256] {
+                variants.push((
+                    format!("edram-{mb}"),
+                    SystemConfig::edram_cache(cores, mb),
+                    policies.clone(),
+                ));
+            }
+            &["libquantum", "mcf", "milc", "omnetpp"]
+        }
+        _ => return None,
+    };
+
+    let mut cells = Vec::new();
+    for bench in benches {
+        let mix = rate_mix(spec(bench).expect("known benchmark"), cores);
+        for (tag, config, policies) in &variants {
+            for &policy in policies {
+                let index = cells.len();
+                cells.push(ExploreCell {
+                    index,
+                    label: format!("{}/{tag}/{policy:?}", mix.name),
+                    key: cell_key(config, policy, &mix, instructions),
+                    config: config.clone(),
+                    policy,
+                    mix: mix.clone(),
+                    capacity_bytes: cache_capacity(config),
+                });
+            }
+        }
+    }
+    Some(ExploreGrid {
+        name: name.to_string(),
+        instructions,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grids_have_distinct_keys_and_expected_sizes() {
+        let smoke = explore_grid("smoke", 10_000).unwrap();
+        assert_eq!(smoke.cells.len(), 12);
+        let std_grid = explore_grid("std", 10_000).unwrap();
+        assert_eq!(std_grid.cells.len(), 84);
+        assert!(std_grid.cells.len() >= 64, "acceptance floor");
+        for grid in [&smoke, &std_grid] {
+            let keys: HashSet<_> = grid.keys().into_iter().collect();
+            assert_eq!(keys.len(), grid.cells.len(), "{}: key collision", grid.name);
+            let labels: HashSet<_> = grid.cells.iter().map(|c| c.label.clone()).collect();
+            assert_eq!(
+                labels.len(),
+                grid.cells.len(),
+                "{}: label collision",
+                grid.name
+            );
+        }
+        assert!(explore_grid("nope", 10_000).is_none());
+    }
+
+    #[test]
+    fn grid_construction_is_deterministic_across_processes() {
+        // Workers rebuild the grid independently; same name + budget
+        // must give identical keys in identical order.
+        let a = explore_grid("smoke", 8_000).unwrap();
+        let b = explore_grid("smoke", 8_000).unwrap();
+        assert_eq!(a.keys(), b.keys());
+        // The budget is part of the key (a cell at another budget is
+        // a different simulation).
+        let c = explore_grid("smoke", 9_000).unwrap();
+        assert_ne!(a.keys(), c.keys());
+    }
+}

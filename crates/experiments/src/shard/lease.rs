@@ -1,0 +1,867 @@
+//! The lease log: append-only, multi-process work claims.
+//!
+//! One JSONL file records every claim, heartbeat renewal, completion,
+//! failure, and release for an exploration grid. Each operation holds an
+//! exclusive `flock(2)` on the log across its whole
+//! read-validate-append cycle, so claim arbitration is serialized
+//! between processes even though every process keeps its own in-memory
+//! replica of the state (caught up incrementally from its last read
+//! offset while the lock is held).
+//!
+//! The record stream is designed so that **replaying it needs no wall
+//! clock**: a claim is only ever appended after validation against the
+//! live state under the lock, so a claim appearing over a still-held
+//! lease *proves* that lease had expired — replay counts it as an
+//! expiry + steal without consulting time. That keeps every reader
+//! (workers, the merge step, tests with a [`ManualClock`]) in exact
+//! agreement about steals and quarantine regardless of when they read.
+//!
+//! Torn tails (a writer killed mid-append) are repaired the way the
+//! checkpoint manifest repairs them: the complete-but-unterminated line
+//! is applied if it parses, counted as a parse error if not, and a
+//! newline is appended under the lock so the next record starts fresh.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dap_flock::FlockGuard;
+use dap_telemetry::json::{obj, parse, Json};
+
+use crate::checkpoint::write_line_synced;
+use crate::exec::lock_unpoisoned;
+
+/// A millisecond time source for lease expiry.
+///
+/// Production uses [`WallClock`]; tests use [`ManualClock`] so expiry
+/// and heartbeat races are exact, not timing-dependent. Only *live*
+/// decisions (can I claim? is this lease expired?) consult the clock —
+/// replaying the log never does.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since some fixed origin (Unix epoch for wall time).
+    fn now_ms(&self) -> u64;
+}
+
+/// [`Clock`] backed by [`std::time::SystemTime`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A hand-advanced [`Clock`] for deterministic lease-expiry tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at `start_ms`.
+    pub fn new(start_ms: u64) -> Self {
+        Self {
+            ms: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Moves time forward by `delta_ms`.
+    pub fn advance(&self, delta_ms: u64) {
+        self.ms.fetch_add(delta_ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+/// Outcome of a claim attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The claim was appended; the caller owns the cell until
+    /// `expires_ms` (renewable). `epoch` must accompany every later
+    /// renew/done/fail/release for this claim.
+    Won {
+        /// This claim's epoch (strictly increasing per cell).
+        epoch: u64,
+        /// When the lease lapses without a renewal.
+        expires_ms: u64,
+    },
+    /// Another worker holds a live lease on the cell.
+    Held {
+        /// When the holder's lease lapses without a renewal.
+        expires_ms: u64,
+    },
+    /// The cell is already completed.
+    Done,
+    /// The cell failed `quarantine_k` times and is quarantined.
+    Quarantined {
+        /// Recorded failure count.
+        fails: u32,
+    },
+}
+
+/// Outcome of a heartbeat renewal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenewOutcome {
+    /// Still the holder; the lease now expires at the returned time.
+    Renewed {
+        /// The pushed-out expiry.
+        expires_ms: u64,
+    },
+    /// The lease was stolen (or completed/failed elsewhere): the caller
+    /// must stop simulating the cell and must not record its result.
+    Lost,
+}
+
+#[derive(Debug, Clone)]
+struct Holder {
+    worker: String,
+    epoch: u64,
+    expires_ms: u64,
+}
+
+/// Replayed per-cell state.
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    holder: Option<Holder>,
+    /// Highest claim epoch seen.
+    epoch: u64,
+    done: bool,
+    fails: u32,
+    last_error: Option<String>,
+}
+
+/// One cell's state in a [`LeaseSnapshot`].
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// A completion was recorded.
+    pub done: bool,
+    /// Recorded failures so far.
+    pub fails: u32,
+    /// `fails` reached the log's quarantine threshold.
+    pub quarantined: bool,
+    /// Expiry of the current holder's lease, if a claim is outstanding.
+    pub holder_expires_ms: Option<u64>,
+    /// Message of the most recent recorded failure.
+    pub last_error: Option<String>,
+}
+
+/// A point-in-time view of the whole lease log.
+#[derive(Debug, Clone)]
+pub struct LeaseSnapshot {
+    /// Per-cell summaries for every key the log has seen.
+    pub cells: HashMap<String, CellSummary>,
+    /// Claims appended over a lease that was never completed, failed,
+    /// or released — i.e. leases that expired under their holder.
+    pub leases_expired: u64,
+    /// Same events, counted as steals by the claiming side.
+    pub steals: u64,
+    /// Malformed log lines skipped during replay.
+    pub parse_errors: u64,
+    /// The clock reading the snapshot was taken at.
+    pub now_ms: u64,
+}
+
+impl LeaseSnapshot {
+    /// Whether `key` is finished with: completed or quarantined.
+    pub fn resolved(&self, key: &str) -> bool {
+        self.cells
+            .get(key)
+            .map(|c| c.done || c.quarantined)
+            .unwrap_or(false)
+    }
+
+    /// Whether a claim for `key` could succeed right now (no live
+    /// holder, not done, not quarantined). Advisory — the actual claim
+    /// revalidates under the lock.
+    pub fn claimable(&self, key: &str) -> bool {
+        match self.cells.get(key) {
+            None => true,
+            Some(c) => {
+                !c.done
+                    && !c.quarantined
+                    && c.holder_expires_ms
+                        .map(|e| e <= self.now_ms)
+                        .unwrap_or(true)
+            }
+        }
+    }
+
+    /// Every quarantined cell with its failure count and last error.
+    pub fn quarantined(&self) -> Vec<(String, u32, Option<String>)> {
+        let mut out: Vec<_> = self
+            .cells
+            .iter()
+            .filter(|(_, c)| c.quarantined)
+            .map(|(k, c)| (k.clone(), c.fails, c.last_error.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+struct LogInner {
+    file: File,
+    /// Byte offset of the first log byte this replica has not replayed.
+    offset: u64,
+    cells: HashMap<String, CellState>,
+    leases_expired: u64,
+    steals: u64,
+    parse_errors: u64,
+}
+
+/// The append-only lease log. See the module docs for the protocol.
+///
+/// Clone-free by design: share it across threads with `Arc` (the
+/// worker's heartbeat thread does). Multiple *processes* each open
+/// their own `LeaseLog` on the same path.
+pub struct LeaseLog {
+    inner: Mutex<LogInner>,
+    path: PathBuf,
+    clock: Arc<dyn Clock>,
+    ttl_ms: u64,
+    quarantine_k: u32,
+}
+
+impl LeaseLog {
+    /// Opens (creating if absent) the lease log at `path` with wall
+    /// time. `ttl_ms` is how long a claim lives without a renewal;
+    /// `quarantine_k` how many recorded failures quarantine a cell.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or replaying the file (malformed *content* is
+    /// never an error — it is counted, see [`LeaseSnapshot::parse_errors`]).
+    pub fn open(path: &Path, ttl_ms: u64, quarantine_k: u32) -> std::io::Result<Self> {
+        Self::open_with_clock(path, ttl_ms, quarantine_k, Arc::new(WallClock))
+    }
+
+    /// [`Self::open`] with an explicit clock (tests use [`ManualClock`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::open`].
+    pub fn open_with_clock(
+        path: &Path,
+        ttl_ms: u64,
+        quarantine_k: u32,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let log = Self {
+            inner: Mutex::new(LogInner {
+                file,
+                offset: 0,
+                cells: HashMap::new(),
+                leases_expired: 0,
+                steals: 0,
+                parse_errors: 0,
+            }),
+            path: path.to_path_buf(),
+            clock,
+            ttl_ms: ttl_ms.max(1),
+            quarantine_k: quarantine_k.max(1),
+        };
+        // Replay eagerly so parse errors surface at open, not first use.
+        log.with_locked_log(|_, _| Ok(()))?;
+        Ok(log)
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The lease TTL granted to claims and renewals.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// Runs `f` with the log flocked and the in-memory replica caught
+    /// up. THE one serialization point: every read and every append of
+    /// this process goes through here.
+    fn with_locked_log<R>(
+        &self,
+        f: impl FnOnce(&mut LogInner, u64) -> std::io::Result<R>,
+    ) -> std::io::Result<R> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        // Lock via a dup'd handle so the guard's borrow doesn't alias
+        // the &mut we pass to `f`; dup shares the open file description,
+        // which is exactly what flock locks.
+        let lock_handle = inner.file.try_clone()?;
+        let _guard = FlockGuard::exclusive(&lock_handle)?;
+        catch_up(&mut inner)?;
+        let now = self.clock.now_ms();
+        f(&mut inner, now)
+    }
+
+    /// Attempts to claim `key` for `worker`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or appending the log.
+    pub fn try_claim(&self, key: &str, worker: &str, pid: u32) -> std::io::Result<ClaimOutcome> {
+        let (ttl, k) = (self.ttl_ms, self.quarantine_k);
+        self.with_locked_log(|inner, now| {
+            if let Some(cell) = inner.cells.get(key) {
+                if cell.done {
+                    return Ok(ClaimOutcome::Done);
+                }
+                if cell.fails >= k {
+                    return Ok(ClaimOutcome::Quarantined { fails: cell.fails });
+                }
+                if let Some(h) = &cell.holder {
+                    if h.expires_ms > now {
+                        return Ok(ClaimOutcome::Held {
+                            expires_ms: h.expires_ms,
+                        });
+                    }
+                }
+            }
+            let epoch = inner.cells.get(key).map(|c| c.epoch).unwrap_or(0) + 1;
+            let expires_ms = now + ttl;
+            let rec = obj([
+                ("op", Json::Str("claim".into())),
+                ("key", Json::Str(key.into())),
+                ("worker", Json::Str(worker.into())),
+                ("pid", Json::Num(f64::from(pid))),
+                ("epoch", Json::Num(epoch as f64)),
+                ("expires_ms", Json::Num(expires_ms as f64)),
+            ]);
+            append_record(inner, &rec)?;
+            Ok(ClaimOutcome::Won { epoch, expires_ms })
+        })
+    }
+
+    /// Heartbeat: pushes the expiry of `worker`'s claim on `key` out by
+    /// one TTL — unless the claim was superseded, in which case the
+    /// caller has lost the cell.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or appending the log.
+    pub fn renew(&self, key: &str, worker: &str, epoch: u64) -> std::io::Result<RenewOutcome> {
+        let ttl = self.ttl_ms;
+        self.with_locked_log(|inner, now| {
+            let holds = inner
+                .cells
+                .get(key)
+                .and_then(|c| c.holder.as_ref())
+                .map(|h| h.worker == worker && h.epoch == epoch)
+                .unwrap_or(false);
+            if !holds {
+                return Ok(RenewOutcome::Lost);
+            }
+            let expires_ms = now + ttl;
+            let rec = obj([
+                ("op", Json::Str("renew".into())),
+                ("key", Json::Str(key.into())),
+                ("worker", Json::Str(worker.into())),
+                ("epoch", Json::Num(epoch as f64)),
+                ("expires_ms", Json::Num(expires_ms as f64)),
+            ]);
+            append_record(inner, &rec)?;
+            Ok(RenewOutcome::Renewed { expires_ms })
+        })
+    }
+
+    /// Records completion of `key`. Appended unconditionally: if the
+    /// lease was stolen and both claimants finish, both completions land
+    /// and the merge step reconciles them bit-identically — dropping a
+    /// finished result would be worse than holding a duplicate.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or appending the log.
+    pub fn complete(&self, key: &str, worker: &str, epoch: u64) -> std::io::Result<()> {
+        self.with_locked_log(|inner, _| {
+            let rec = obj([
+                ("op", Json::Str("done".into())),
+                ("key", Json::Str(key.into())),
+                ("worker", Json::Str(worker.into())),
+                ("epoch", Json::Num(epoch as f64)),
+            ]);
+            append_record(inner, &rec)
+        })
+    }
+
+    /// Records a failure of `key` (a panicking cell). Returns the total
+    /// recorded failures — once it reaches the quarantine threshold the
+    /// cell stops being claimable.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or appending the log.
+    pub fn fail(&self, key: &str, worker: &str, epoch: u64, error: &str) -> std::io::Result<u32> {
+        self.with_locked_log(|inner, _| {
+            let rec = obj([
+                ("op", Json::Str("fail".into())),
+                ("key", Json::Str(key.into())),
+                ("worker", Json::Str(worker.into())),
+                ("epoch", Json::Num(epoch as f64)),
+                ("error", Json::Str(error.into())),
+            ]);
+            append_record(inner, &rec)?;
+            Ok(inner.cells.get(key).map(|c| c.fails).unwrap_or(0))
+        })
+    }
+
+    /// Gracefully releases `worker`'s claim on `key` (cooperative
+    /// cancellation: the cell neither completed nor failed). No-op if
+    /// the claim was already superseded.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or appending the log.
+    pub fn release(&self, key: &str, worker: &str, epoch: u64) -> std::io::Result<()> {
+        self.with_locked_log(|inner, _| {
+            let holds = inner
+                .cells
+                .get(key)
+                .and_then(|c| c.holder.as_ref())
+                .map(|h| h.worker == worker && h.epoch == epoch)
+                .unwrap_or(false);
+            if !holds {
+                return Ok(());
+            }
+            let rec = obj([
+                ("op", Json::Str("release".into())),
+                ("key", Json::Str(key.into())),
+                ("worker", Json::Str(worker.into())),
+                ("epoch", Json::Num(epoch as f64)),
+            ]);
+            append_record(inner, &rec)
+        })
+    }
+
+    /// A caught-up view of every cell plus the fleet counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the log.
+    pub fn snapshot(&self) -> std::io::Result<LeaseSnapshot> {
+        let k = self.quarantine_k;
+        self.with_locked_log(|inner, now| {
+            let cells = inner
+                .cells
+                .iter()
+                .map(|(key, c)| {
+                    (
+                        key.clone(),
+                        CellSummary {
+                            done: c.done,
+                            fails: c.fails,
+                            quarantined: !c.done && c.fails >= k,
+                            holder_expires_ms: c.holder.as_ref().map(|h| h.expires_ms),
+                            last_error: c.last_error.clone(),
+                        },
+                    )
+                })
+                .collect();
+            Ok(LeaseSnapshot {
+                cells,
+                leases_expired: inner.leases_expired,
+                steals: inner.steals,
+                parse_errors: inner.parse_errors,
+                now_ms: now,
+            })
+        })
+    }
+}
+
+/// Appends `rec` (raw write — the caller holds the flock) and applies it
+/// to the in-memory replica, keeping `offset` past the written bytes so
+/// the next catch-up doesn't replay our own record.
+fn append_record(inner: &mut LogInner, rec: &Json) -> std::io::Result<()> {
+    let line = rec.to_string_compact();
+    write_line_synced(&inner.file, &line)?;
+    inner.offset += line.len() as u64 + 1;
+    apply_record(inner, rec);
+    Ok(())
+}
+
+/// Replays log bytes appended since this replica's last read. Must be
+/// called with the flock held. Repairs a torn tail in place: the
+/// unterminated line is applied if it parses (only its newline was
+/// lost), counted as a parse error if not, and terminated either way.
+fn catch_up(inner: &mut LogInner) -> std::io::Result<()> {
+    let end = inner.file.seek(SeekFrom::End(0))?;
+    if end <= inner.offset {
+        return Ok(());
+    }
+    inner.file.seek(SeekFrom::Start(inner.offset))?;
+    let mut buf = Vec::with_capacity((end - inner.offset) as usize);
+    (&inner.file).read_to_end(&mut buf)?;
+    let torn = buf.last().map(|&b| b != b'\n').unwrap_or(false);
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(rec) => {
+                if !apply_record(inner, &rec) {
+                    inner.parse_errors += 1;
+                }
+            }
+            Err(_) => inner.parse_errors += 1,
+        }
+    }
+    inner.offset = end;
+    if torn {
+        // Terminate the torn line under the lock we already hold so the
+        // next append starts on a fresh line. (If the tail parsed above
+        // it was a complete record missing only its newline, and has
+        // been applied; if not, it was counted as a parse error.)
+        write_line_synced(&inner.file, "")?;
+        inner.offset += 1;
+    }
+    Ok(())
+}
+
+/// Applies one parsed record to the replica. Returns `false` for a
+/// structurally-valid JSON line that is not a lease record (counted as a
+/// parse error by the caller).
+///
+/// Replay needs no clock: `claim` records were validated against the
+/// live state at append time, so a claim arriving while a holder is
+/// still registered proves that holder's lease expired — count it as an
+/// expiry and a steal.
+fn apply_record(inner: &mut LogInner, rec: &Json) -> bool {
+    let (Some(op), Some(key), Some(worker)) = (
+        rec.get("op").and_then(Json::as_str),
+        rec.get("key").and_then(Json::as_str),
+        rec.get("worker").and_then(Json::as_str),
+    ) else {
+        return false;
+    };
+    let epoch = rec.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+    match op {
+        "claim" => {
+            let Some(expires_ms) = rec.get("expires_ms").and_then(Json::as_u64) else {
+                return false;
+            };
+            let cell = inner.cells.entry(key.to_string()).or_default();
+            if cell.holder.is_some() {
+                inner.leases_expired += 1;
+                inner.steals += 1;
+            }
+            cell.holder = Some(Holder {
+                worker: worker.to_string(),
+                epoch,
+                expires_ms,
+            });
+            cell.epoch = cell.epoch.max(epoch);
+            true
+        }
+        "renew" => {
+            let Some(expires_ms) = rec.get("expires_ms").and_then(Json::as_u64) else {
+                return false;
+            };
+            if let Some(cell) = inner.cells.get_mut(key) {
+                if let Some(h) = cell.holder.as_mut() {
+                    if h.worker == worker && h.epoch == epoch {
+                        h.expires_ms = expires_ms;
+                    }
+                }
+            }
+            true
+        }
+        "done" => {
+            let cell = inner.cells.entry(key.to_string()).or_default();
+            cell.done = true;
+            cell.holder = None;
+            true
+        }
+        "fail" => {
+            let error = rec.get("error").and_then(Json::as_str).unwrap_or("");
+            let cell = inner.cells.entry(key.to_string()).or_default();
+            cell.fails += 1;
+            cell.last_error = Some(error.to_string());
+            if let Some(h) = &cell.holder {
+                if h.worker == worker && h.epoch == epoch {
+                    cell.holder = None;
+                }
+            }
+            true
+        }
+        "release" => {
+            if let Some(cell) = inner.cells.get_mut(key) {
+                if let Some(h) = &cell.holder {
+                    if h.worker == worker && h.epoch == epoch {
+                        cell.holder = None;
+                    }
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::rng::SplitMix64;
+
+    fn temp_log(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dap-lease-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lease.log");
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    /// Two `LeaseLog` handles on one path stand in for two processes:
+    /// each keeps its own replica and catches up under the flock.
+    fn pair(path: &Path, ttl: u64, k: u32, clock: &Arc<ManualClock>) -> (LeaseLog, LeaseLog) {
+        let a = LeaseLog::open_with_clock(path, ttl, k, clock.clone() as Arc<dyn Clock>).unwrap();
+        let b = LeaseLog::open_with_clock(path, ttl, k, clock.clone() as Arc<dyn Clock>).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn claim_renew_complete_lifecycle() {
+        let path = temp_log("lifecycle");
+        let clock = Arc::new(ManualClock::new(1_000));
+        let (a, b) = pair(&path, 100, 3, &clock);
+
+        let ClaimOutcome::Won { epoch, expires_ms } = a.try_claim("cell", "w0", 1).unwrap() else {
+            panic!("first claim wins");
+        };
+        assert_eq!((epoch, expires_ms), (1, 1_100));
+        // The other process sees the live lease.
+        assert_eq!(
+            b.try_claim("cell", "w1", 2).unwrap(),
+            ClaimOutcome::Held { expires_ms: 1_100 }
+        );
+        // A renewal pushes the expiry out...
+        clock.advance(60);
+        assert_eq!(
+            a.renew("cell", "w0", epoch).unwrap(),
+            RenewOutcome::Renewed { expires_ms: 1_160 }
+        );
+        // ...which the rival observes.
+        clock.advance(50); // 1110: past the original expiry, inside the renewed one
+        assert_eq!(
+            b.try_claim("cell", "w1", 2).unwrap(),
+            ClaimOutcome::Held { expires_ms: 1_160 }
+        );
+        a.complete("cell", "w0", epoch).unwrap();
+        assert_eq!(b.try_claim("cell", "w1", 2).unwrap(), ClaimOutcome::Done);
+        let snap = b.snapshot().unwrap();
+        assert!(snap.resolved("cell"));
+        assert_eq!(snap.steals, 0);
+        assert_eq!(snap.leases_expired, 0);
+        assert_eq!(snap.parse_errors, 0);
+    }
+
+    #[test]
+    fn steal_after_expiry_counts_and_old_holder_loses() {
+        let path = temp_log("steal");
+        let clock = Arc::new(ManualClock::new(0));
+        let (a, b) = pair(&path, 100, 3, &clock);
+
+        let ClaimOutcome::Won { epoch: e0, .. } = a.try_claim("cell", "w0", 1).unwrap() else {
+            panic!("first claim wins");
+        };
+        clock.advance(101); // lease lapses un-renewed (SIGKILLed worker)
+        let ClaimOutcome::Won { epoch: e1, .. } = b.try_claim("cell", "w1", 2).unwrap() else {
+            panic!("expired lease is stealable");
+        };
+        assert_eq!(e1, e0 + 1);
+        // The original holder's heartbeat now loses, and it must not
+        // release the thief's claim either.
+        assert_eq!(a.renew("cell", "w0", e0).unwrap(), RenewOutcome::Lost);
+        a.release("cell", "w0", e0).unwrap();
+        assert!(matches!(
+            a.try_claim("cell", "w2", 3).unwrap(),
+            ClaimOutcome::Held { .. }
+        ));
+        let snap = a.snapshot().unwrap();
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.leases_expired, 1);
+    }
+
+    #[test]
+    fn quarantine_after_k_fails() {
+        let path = temp_log("quarantine");
+        let clock = Arc::new(ManualClock::new(0));
+        let (a, _b) = pair(&path, 100, 2, &clock);
+
+        for attempt in 0..2u32 {
+            let ClaimOutcome::Won { epoch, .. } = a.try_claim("bad", "w0", 1).unwrap() else {
+                panic!("claim {attempt} should win");
+            };
+            let fails = a.fail("bad", "w0", epoch, "boom").unwrap();
+            assert_eq!(fails, attempt + 1);
+        }
+        assert_eq!(
+            a.try_claim("bad", "w0", 1).unwrap(),
+            ClaimOutcome::Quarantined { fails: 2 }
+        );
+        let snap = a.snapshot().unwrap();
+        let q = snap.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, "bad");
+        assert_eq!(q[0].1, 2);
+        assert_eq!(q[0].2.as_deref(), Some("boom"));
+        assert!(snap.resolved("bad"));
+    }
+
+    #[test]
+    fn duplicate_completions_are_tolerated() {
+        // after-record crash story: w0 finishes the simulation and
+        // records its manifest entry but dies before `done`; w1 steals,
+        // re-runs, completes; then a hypothetical late `done` from w0
+        // still lands. Both completions are fine — merge reconciles.
+        let path = temp_log("dup");
+        let clock = Arc::new(ManualClock::new(0));
+        let (a, b) = pair(&path, 100, 3, &clock);
+
+        let ClaimOutcome::Won { epoch: e0, .. } = a.try_claim("cell", "w0", 1).unwrap() else {
+            panic!();
+        };
+        clock.advance(200);
+        let ClaimOutcome::Won { epoch: e1, .. } = b.try_claim("cell", "w1", 2).unwrap() else {
+            panic!();
+        };
+        b.complete("cell", "w1", e1).unwrap();
+        a.complete("cell", "w0", e0).unwrap();
+        let snap = a.snapshot().unwrap();
+        assert!(snap.resolved("cell"));
+        assert_eq!(snap.steals, 1);
+    }
+
+    /// Satellite: the lease-expiry property — across seeded random
+    /// interleavings of heartbeats and clock advances, a steal attempt
+    /// NEVER succeeds while the holder's (possibly renewed) lease is
+    /// live, and ALWAYS succeeds once now >= expiry.
+    #[test]
+    fn property_steal_iff_lease_expired() {
+        let ttl = 1_000u64;
+        for seed in 0..64u64 {
+            let path = temp_log(&format!("prop{seed}"));
+            let clock = Arc::new(ManualClock::new(10_000));
+            let (holder, thief) = pair(&path, ttl, 3, &clock);
+            let mut rng = SplitMix64::new(0xDAB0 + seed);
+
+            let ClaimOutcome::Won {
+                epoch,
+                mut expires_ms,
+            } = holder.try_claim("cell", "holder", 1).unwrap()
+            else {
+                panic!("fresh cell claims");
+            };
+            for _ in 0..20 {
+                match rng.below(3) {
+                    // A live heartbeat: only possible while the lease
+                    // holds; it pushes the expiry out.
+                    0 if clock.now_ms() < expires_ms => {
+                        match holder.renew("cell", "holder", epoch).unwrap() {
+                            RenewOutcome::Renewed { expires_ms: e } => expires_ms = e,
+                            RenewOutcome::Lost => panic!("live renew lost"),
+                        }
+                    }
+                    0 => {}
+                    // Time passes — sometimes past the expiry.
+                    _ => clock.advance(rng.range_u64(1, ttl)),
+                }
+                let expired = clock.now_ms() >= expires_ms;
+                match thief.try_claim("cell", "thief", 2).unwrap() {
+                    ClaimOutcome::Won {
+                        epoch: e,
+                        expires_ms: until,
+                    } => {
+                        assert!(expired, "steal against a live lease (seed {seed})");
+                        // Hand the cell back to the holder's role for the
+                        // next iterations: the thief is now the holder.
+                        // Simplest: stop this run, properties held.
+                        let _ = (e, until);
+                        break;
+                    }
+                    ClaimOutcome::Held { .. } => {
+                        assert!(!expired, "live lease refused a due steal (seed {seed})");
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// Satellite: torn-lease repair — truncate the log at every byte
+    /// offset of its final record; a fresh open must recover without
+    /// error, count at most one parse error, and the log must still
+    /// arbitrate claims correctly afterwards.
+    #[test]
+    fn torn_tail_repairs_at_every_byte_offset_of_the_final_record() {
+        let path = temp_log("torn");
+        let clock = Arc::new(ManualClock::new(0));
+        {
+            let log =
+                LeaseLog::open_with_clock(&path, 100, 3, clock.clone() as Arc<dyn Clock>).unwrap();
+            let ClaimOutcome::Won { epoch, .. } = log.try_claim("a", "w0", 1).unwrap() else {
+                panic!();
+            };
+            log.complete("a", "w0", epoch).unwrap();
+            // Final record: an open claim on "b".
+            assert!(matches!(
+                log.try_claim("b", "w0", 1).unwrap(),
+                ClaimOutcome::Won { .. }
+            ));
+        }
+        let pristine = std::fs::read(&path).unwrap();
+        let last_line_start = pristine[..pristine.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap();
+
+        for cut in last_line_start..=pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let log =
+                LeaseLog::open_with_clock(&path, 100, 3, clock.clone() as Arc<dyn Clock>).unwrap();
+            let snap = log.snapshot().unwrap();
+            assert!(snap.parse_errors <= 1, "cut at byte {cut}");
+            // "a" completed before the tail — always intact.
+            assert!(snap.resolved("a"), "cut at byte {cut}");
+            let whole_line_survived = cut >= pristine.len() - 1;
+            match log.try_claim("b", "w1", 2).unwrap() {
+                // Torn/lost claim: the cell is simply unclaimed again.
+                ClaimOutcome::Won { .. } => {
+                    assert!(!whole_line_survived, "cut at byte {cut}: claim was intact")
+                }
+                // Claim survived (only the newline was lost, or nothing).
+                ClaimOutcome::Held { .. } => {
+                    assert!(whole_line_survived, "cut at byte {cut}: claim was torn")
+                }
+                other => panic!("cut at byte {cut}: unexpected {other:?}"),
+            }
+            // Repair terminated the tail: a further append must land on
+            // its own line and replay cleanly in a fresh replica.
+            log.complete("c", "w1", 1).unwrap();
+            drop(log);
+            let reread =
+                LeaseLog::open_with_clock(&path, 100, 3, clock.clone() as Arc<dyn Clock>).unwrap();
+            let snap = reread.snapshot().unwrap();
+            assert!(snap.resolved("c"), "cut at byte {cut}");
+            assert!(snap.parse_errors <= 1, "cut at byte {cut}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

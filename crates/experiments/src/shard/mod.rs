@@ -1,0 +1,56 @@
+//! Multi-process, crash-tolerant design-space exploration.
+//!
+//! N independent **worker processes** cooperate through the filesystem
+//! alone — no daemon, no sockets. The shared state is two append-only
+//! JSONL files in the exploration's output directory:
+//!
+//! - `lease.log` — the [`LeaseLog`]: who is working on which grid cell.
+//!   A worker *claims* a cell by appending a lease record before
+//!   simulating it, renews the lease from a heartbeat thread while the
+//!   cell runs, and appends `done` / `fail` / `release` when it ends.
+//!   Any worker may **steal** a cell whose lease expired, so a worker
+//!   SIGKILLed mid-cell delays that cell by one lease TTL instead of
+//!   orphaning it forever.
+//! - `worker-<id>.ckpt` — each worker's private [`CheckpointManifest`]
+//!   of finished cells (private so a torn write can never corrupt a
+//!   sibling's results).
+//!
+//! Around the workers:
+//!
+//! - [`supervise`] (the `dapctl explore` supervisor) spawns the fleet,
+//!   restarts crashed workers with bounded, seeded-jitter exponential
+//!   backoff, and never restarts a worker that exited via Ctrl-C.
+//! - A cell that keeps killing its claimants is **quarantined** after
+//!   `quarantine_k` recorded failures instead of crash-looping the
+//!   fleet; the merge reports it distinctly with its last error.
+//! - [`merge_worker_manifests`] folds the worker manifests into one
+//!   verified result set: lenient per-file loading (torn tails are
+//!   skipped and counted), and any cell two workers both finished must
+//!   be **bit-identical** across them — divergence is a hard error,
+//!   because the simulations are deterministic and a mismatch means
+//!   corruption or a version skew, not noise.
+//!
+//! All claim arbitration rides on `flock(2)` (see the `dap-flock`
+//! crate): each lease operation holds an exclusive advisory lock on the
+//! log across its read-validate-append cycle, and the kernel drops the
+//! lock when a holder dies — even by SIGKILL — so there is no stale-lock
+//! recovery path to get wrong.
+//!
+//! [`CheckpointManifest`]: crate::checkpoint::CheckpointManifest
+
+mod alone;
+mod grid;
+mod lease;
+mod merge;
+mod pareto;
+mod supervisor;
+mod worker;
+
+pub use grid::{explore_grid, grid_names, ExploreCell, ExploreGrid};
+pub use lease::{
+    CellSummary, ClaimOutcome, Clock, LeaseLog, LeaseSnapshot, ManualClock, RenewOutcome, WallClock,
+};
+pub use merge::{merge_worker_manifests, write_merged_manifest, MergeError, MergeReport};
+pub use pareto::{pareto_points, pareto_report, ParetoPoint};
+pub use supervisor::{supervise, FleetOutcome, SupervisorConfig};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary, KILL_ENV, POISON_ENV};

@@ -1,0 +1,226 @@
+//! Pareto-frontier report over the merged exploration results.
+//!
+//! Three axes per cell: **weighted speedup** (maximize), **DRAM-cache
+//! data capacity** (minimize — capacity is die area and cost), and an
+//! **energy proxy** (minimize) charging each DRAM-cache data or
+//! metadata CAS 8 units and each main-memory CAS 20 (HBM-on-package
+//! accesses cost roughly 8 pJ/bit against ~20 pJ/bit for off-package
+//! DDR — the same ratio the paper's Section 7 energy discussion uses),
+//! normalized per kilo-instruction so budgets cancel.
+//!
+//! A cell is on the frontier iff no other cell is at least as good on
+//! all three axes and strictly better on one. The report groups by mix
+//! so frontiers compare cache designs for a fixed workload, not apples
+//! to oranges.
+
+use std::collections::BTreeMap;
+
+use crate::runner::WorkloadRun;
+use crate::shard::grid::ExploreGrid;
+use crate::shard::merge::MergeReport;
+
+/// One merged cell projected onto the three report axes.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The cell's human-readable label (`mix/config/policy`).
+    pub label: String,
+    /// The workload-mix component of the label (grouping key).
+    pub mix: String,
+    /// Weighted speedup over alone runs (higher is better).
+    pub weighted_speedup: f64,
+    /// DRAM-cache data capacity in bytes (lower is better).
+    pub capacity_bytes: u64,
+    /// Energy proxy in units per kilo-instruction (lower is better).
+    pub energy_per_kilo_instr: f64,
+    /// Whether the point survives dominance within its mix group.
+    pub on_frontier: bool,
+}
+
+/// Energy-proxy cost weights (units per CAS).
+const CACHE_CAS_COST: u64 = 8;
+const MEMORY_CAS_COST: u64 = 20;
+
+fn energy_per_kilo_instr(run: &WorkloadRun) -> f64 {
+    let stats = &run.result.stats;
+    let units =
+        CACHE_CAS_COST * (stats.ms_cas + stats.metadata_cas) + MEMORY_CAS_COST * stats.mm_cas;
+    let instructions: u64 = run.result.per_core.iter().map(|c| c.instructions).sum();
+    if instructions == 0 {
+        0.0
+    } else {
+        units as f64 / instructions as f64 * 1000.0
+    }
+}
+
+/// `a` dominates `b`: at least as good on every axis, strictly better
+/// on at least one.
+fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    let geq = a.weighted_speedup >= b.weighted_speedup
+        && a.capacity_bytes <= b.capacity_bytes
+        && a.energy_per_kilo_instr <= b.energy_per_kilo_instr;
+    let gt = a.weighted_speedup > b.weighted_speedup
+        || a.capacity_bytes < b.capacity_bytes
+        || a.energy_per_kilo_instr < b.energy_per_kilo_instr;
+    geq && gt
+}
+
+/// Projects the merged runs onto the report axes and marks, per mix
+/// group, which points are Pareto-optimal. Points are returned grouped
+/// by mix, frontier points first within each group, then by descending
+/// speedup. O(n²) dominance per group — grids are tens of cells per
+/// mix, nowhere near where that matters.
+pub fn pareto_points(report: &MergeReport, grid: &ExploreGrid) -> Vec<ParetoPoint> {
+    let mut groups: BTreeMap<String, Vec<ParetoPoint>> = BTreeMap::new();
+    for (key, run) in &report.runs {
+        let Some(cell) = grid.cell(key) else { continue };
+        let mix = cell
+            .label
+            .split('/')
+            .next()
+            .unwrap_or(&cell.label)
+            .to_string();
+        groups.entry(mix.clone()).or_default().push(ParetoPoint {
+            label: cell.label.clone(),
+            mix,
+            weighted_speedup: run.weighted_speedup,
+            capacity_bytes: cell.capacity_bytes,
+            energy_per_kilo_instr: energy_per_kilo_instr(run),
+            on_frontier: false,
+        });
+    }
+    let mut out = Vec::new();
+    for (_, mut points) in groups {
+        for i in 0..points.len() {
+            points[i].on_frontier = !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &points[i]));
+        }
+        points.sort_by(|a, b| {
+            b.on_frontier
+                .cmp(&a.on_frontier)
+                .then(b.weighted_speedup.total_cmp(&a.weighted_speedup))
+                .then(a.label.cmp(&b.label))
+        });
+        out.extend(points);
+    }
+    out
+}
+
+/// Renders the Pareto report as an aligned text table, one section per
+/// mix, frontier points marked `*`.
+pub fn pareto_report(points: &[ParetoPoint]) -> String {
+    let mut out = String::new();
+    let mut current_mix: Option<&str> = None;
+    for p in points {
+        if current_mix != Some(p.mix.as_str()) {
+            current_mix = Some(p.mix.as_str());
+            out.push_str(&format!(
+                "\n{:<40} {:>8} {:>12} {:>12}\n",
+                format!("-- {} --", p.mix),
+                "speedup",
+                "capacity",
+                "energy/ki"
+            ));
+        }
+        let capacity = if p.capacity_bytes == 0 {
+            "none".to_string()
+        } else if p.capacity_bytes >= (1 << 20) {
+            format!("{} MiB", p.capacity_bytes >> 20)
+        } else {
+            format!("{} KiB", p.capacity_bytes >> 10)
+        };
+        out.push_str(&format!(
+            "{}{:<39} {:>8.4} {:>12} {:>12.2}\n",
+            if p.on_frontier { "*" } else { " " },
+            p.label,
+            p.weighted_speedup,
+            capacity,
+            p.energy_per_kilo_instr
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(label: &str, speedup: f64, capacity: u64, energy: f64) -> ParetoPoint {
+        ParetoPoint {
+            label: label.to_string(),
+            mix: "mix".to_string(),
+            weighted_speedup: speedup,
+            capacity_bytes: capacity,
+            energy_per_kilo_instr: energy,
+            on_frontier: false,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_on_at_least_one_axis() {
+        let a = point("a", 2.0, 100, 5.0);
+        let b = point("b", 1.5, 100, 5.0);
+        let c = point("c", 2.0, 100, 5.0);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &c), "equal points do not dominate");
+        // Trade-offs don't dominate: bigger cache, more speedup.
+        let d = point("d", 2.5, 200, 5.0);
+        assert!(!dominates(&d, &a));
+        assert!(!dominates(&a, &d));
+    }
+
+    #[test]
+    fn report_marks_frontier_and_groups_by_mix() {
+        use crate::checkpoint::CheckpointManifest;
+        use crate::shard::grid::explore_grid;
+        use crate::shard::merge::merge_worker_manifests;
+        use mem_sim::{CoreResult, RunResult, SimStats};
+
+        let dir = std::env::temp_dir().join(format!("dap-pareto-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid = explore_grid("smoke", 2_000).unwrap();
+        let manifest = CheckpointManifest::open(&dir.join("worker-0.ckpt")).unwrap();
+        for (i, cell) in grid.cells.iter().enumerate() {
+            let stats = SimStats {
+                ms_cas: 100 + i as u64,
+                mm_cas: 50,
+                ..Default::default()
+            };
+            manifest.record(
+                &cell.key,
+                &crate::runner::WorkloadRun {
+                    result: RunResult {
+                        per_core: vec![CoreResult {
+                            instructions: 2_000,
+                            cycles: 4_000,
+                        }],
+                        stats,
+                        dap_decisions: None,
+                    },
+                    weighted_speedup: 1.0 + 0.01 * i as f64,
+                },
+            );
+        }
+        let report = merge_worker_manifests(&dir, &grid, 3, 0).unwrap();
+        let points = pareto_points(&report, &grid);
+        assert_eq!(points.len(), grid.cells.len());
+        let mixes: std::collections::BTreeSet<_> = points.iter().map(|p| p.mix.clone()).collect();
+        assert_eq!(mixes.len(), 3, "one group per smoke mix");
+        for mix in &mixes {
+            assert!(
+                points.iter().any(|p| &p.mix == mix && p.on_frontier),
+                "every group has a frontier point"
+            );
+        }
+        // Within a group the best-speedup-at-minimal-capacity-and-energy
+        // point must be on the frontier; a point dominated on all axes
+        // must not be.
+        let text = pareto_report(&points);
+        assert!(text.contains("speedup"), "{text}");
+        assert!(text.lines().any(|l| l.starts_with('*')), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

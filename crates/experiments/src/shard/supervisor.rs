@@ -1,0 +1,355 @@
+//! Fleet supervision: spawn N workers, restart the ones that crash.
+//!
+//! The supervisor polls its children and applies one rule per exit:
+//!
+//! - **exit 0** — the worker drained the grid (or found it drained);
+//!   nothing to do.
+//! - **exit 130** ([`EXIT_INTERRUPTED`]) — the worker stopped on
+//!   Ctrl-C. Never restarted: interruption is a user decision, not a
+//!   fault.
+//! - **anything else** (non-zero exit, death by signal) — a crash. The
+//!   worker is restarted with a bumped incarnation, up to
+//!   `max_restarts` times per slot, after an equal-jitter exponential
+//!   backoff (the same `[exp/2, exp]` arithmetic as `dapd`'s client
+//!   retry policy, driven by the same seeded in-tree SplitMix64) so a
+//!   crash loop cannot hot-spin the machine and restarted fleets don't
+//!   stampede.
+//!
+//! The supervisor never kills a healthy worker; on cancellation it
+//! forwards SIGINT once so workers release their leases and exit 130,
+//! then stops restarting. Losing a worker permanently is fine — any
+//! surviving worker steals the dead worker's expired leases and drains
+//! the grid alone.
+//!
+//! [`EXIT_INTERRUPTED`]: crate::cancel::EXIT_INTERRUPTED
+
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+use workloads::rng::SplitMix64;
+
+use crate::cancel::{CancelToken, EXIT_INTERRUPTED};
+
+/// Restart policy for one exploration fleet.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Worker processes to run (slot ids `0..workers`).
+    pub workers: u32,
+    /// Restarts allowed per worker slot before giving up on it.
+    pub max_restarts: u32,
+    /// First restart backoff; doubles per restart of the same slot.
+    pub backoff_base: Duration,
+    /// Ceiling on a single restart backoff.
+    pub backoff_max: Duration,
+    /// Seed for the jitter PRNG (deterministic restart schedules).
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_restarts: 2,
+            backoff_base: Duration::from_millis(200),
+            backoff_max: Duration::from_secs(5),
+            seed: 0xDA95,
+        }
+    }
+}
+
+/// What happened to the fleet, for the merge report and exit code.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Worker restarts performed across all slots.
+    pub restarts: u64,
+    /// Worker crashes observed (including ones that were restarted).
+    pub crashes: u64,
+    /// Slots whose worker exceeded `max_restarts` and was abandoned.
+    pub abandoned_slots: u32,
+    /// At least one worker exited via Ctrl-C ([`EXIT_INTERRUPTED`]).
+    pub interrupted: bool,
+}
+
+struct Slot {
+    child: Option<Child>,
+    incarnation: u32,
+    restarts: u32,
+    respawn_at: Option<Instant>,
+}
+
+/// Equal-jitter exponential backoff, mirroring `dapd::client`: uniform
+/// in `[exp/2, exp]` with `exp = min(base · 2^(n-1), max)`.
+fn backoff_delay(rng: &mut SplitMix64, restart: u32, base: Duration, max: Duration) -> Duration {
+    let exp = base
+        .saturating_mul(1u32 << restart.saturating_sub(1).min(20))
+        .min(max);
+    let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let half = nanos / 2;
+    Duration::from_nanos(half + rng.below((nanos - half).max(1) + 1))
+}
+
+#[cfg(unix)]
+fn forward_sigint(child: &Child) {
+    // No libc dependency: /usr/bin/kill is universal on the Unix hosts
+    // the multi-process explorer supports.
+    let _ = std::process::Command::new("kill")
+        .arg("-INT")
+        .arg(child.id().to_string())
+        .status();
+}
+
+#[cfg(not(unix))]
+fn forward_sigint(_child: &Child) {}
+
+/// Whether the child died from SIGINT itself (signal 2) — a worker that
+/// got Ctrl-C (from the terminal's process group, or our forwarding)
+/// before its own handler could turn it into exit 130.
+#[cfg(unix)]
+fn died_by_sigint(status: &std::process::ExitStatus) -> bool {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal() == Some(2)
+}
+
+#[cfg(not(unix))]
+fn died_by_sigint(_status: &std::process::ExitStatus) -> bool {
+    false
+}
+
+/// Runs a fleet: `spawn(worker_id, incarnation)` starts one worker
+/// process (incarnations are 1-based and bump on every restart).
+/// Returns when every slot's worker has exited for good.
+///
+/// On `cancel` tripping, SIGINT is forwarded to running workers once
+/// and restarts stop; workers then release their leases and exit 130.
+///
+/// # Errors
+///
+/// Only spawn/wait I/O errors. A *worker* failing is not an error —
+/// it is restarted or counted in the [`FleetOutcome`].
+pub fn supervise(
+    cfg: &SupervisorConfig,
+    mut spawn: impl FnMut(u32, u32) -> std::io::Result<Child>,
+    cancel: &CancelToken,
+) -> std::io::Result<FleetOutcome> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut outcome = FleetOutcome::default();
+    let mut slots = Vec::with_capacity(cfg.workers as usize);
+    for worker_id in 0..cfg.workers {
+        slots.push(Slot {
+            child: Some(spawn(worker_id, 1)?),
+            incarnation: 1,
+            restarts: 0,
+            respawn_at: None,
+        });
+    }
+    let mut sigint_sent = false;
+    loop {
+        if cancel.is_cancelled() && !sigint_sent {
+            sigint_sent = true;
+            for slot in &mut slots {
+                slot.respawn_at = None; // cancelled: no more restarts
+                if let Some(child) = &slot.child {
+                    forward_sigint(child);
+                }
+            }
+        }
+        let mut all_settled = true;
+        for (worker_id, slot) in slots.iter_mut().enumerate() {
+            if let Some(child) = slot.child.as_mut() {
+                match child.try_wait()? {
+                    None => {
+                        all_settled = false;
+                        continue;
+                    }
+                    Some(status) => {
+                        slot.child = None;
+                        match status.code() {
+                            Some(0) => {} // drained the grid; settled
+                            Some(EXIT_INTERRUPTED) => outcome.interrupted = true,
+                            _ if died_by_sigint(&status) => outcome.interrupted = true,
+                            _ => {
+                                // Crash: non-zero exit or killed by a
+                                // signal (`code()` is None for signals).
+                                outcome.crashes += 1;
+                                if !sigint_sent && slot.restarts < cfg.max_restarts {
+                                    slot.restarts += 1;
+                                    let delay = backoff_delay(
+                                        &mut rng,
+                                        slot.restarts,
+                                        cfg.backoff_base,
+                                        cfg.backoff_max,
+                                    );
+                                    slot.respawn_at = Some(Instant::now() + delay);
+                                    eprintln!(
+                                        "supervisor: worker {worker_id} died ({status}); \
+                                         restart {}/{} in {delay:?}",
+                                        slot.restarts, cfg.max_restarts
+                                    );
+                                } else if !sigint_sent {
+                                    outcome.abandoned_slots += 1;
+                                    eprintln!(
+                                        "supervisor: worker {worker_id} died ({status}); \
+                                         restart budget exhausted, abandoning the slot \
+                                         (survivors will steal its leases)"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(at) = slot.respawn_at {
+                if Instant::now() >= at {
+                    slot.respawn_at = None;
+                    slot.incarnation += 1;
+                    outcome.restarts += 1;
+                    slot.child = Some(spawn(worker_id as u32, slot.incarnation)?);
+                    all_settled = false;
+                } else {
+                    all_settled = false;
+                }
+            }
+        }
+        if all_settled {
+            return Ok(outcome);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str) -> std::io::Result<Child> {
+        std::process::Command::new("sh")
+            .arg("-c")
+            .arg(script)
+            .spawn()
+    }
+
+    fn fast_cfg(workers: u32, max_restarts: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            workers,
+            max_restarts,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+            seed: 0xDA95,
+        }
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_deterministic() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for restart in 1..=10u32 {
+            let exp = base.saturating_mul(1 << (restart - 1).min(20)).min(max);
+            let d = backoff_delay(&mut a, restart, base, max);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "restart {restart}: {d:?} vs {exp:?}"
+            );
+            assert_eq!(d, backoff_delay(&mut b, restart, base, max));
+        }
+    }
+
+    #[test]
+    fn clean_exits_are_not_restarted() {
+        let mut spawns = 0u32;
+        let outcome = supervise(
+            &fast_cfg(2, 3),
+            |_, _| {
+                spawns += 1;
+                sh("exit 0")
+            },
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(spawns, 2);
+        assert_eq!(outcome, FleetOutcome::default());
+    }
+
+    #[test]
+    fn crashes_restart_with_bumped_incarnation_until_budget() {
+        let mut log = Vec::new();
+        let outcome = supervise(
+            &fast_cfg(1, 2),
+            |id, inc| {
+                log.push((id, inc));
+                sh("exit 3")
+            },
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(log, vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(outcome.restarts, 2);
+        assert_eq!(outcome.crashes, 3);
+        assert_eq!(outcome.abandoned_slots, 1);
+        assert!(!outcome.interrupted);
+    }
+
+    #[test]
+    fn interrupted_workers_are_never_restarted() {
+        let mut spawns = 0u32;
+        let outcome = supervise(
+            &fast_cfg(1, 5),
+            |_, _| {
+                spawns += 1;
+                sh("exit 130")
+            },
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(spawns, 1);
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.restarts, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn death_by_signal_counts_as_a_crash_and_restarts() {
+        let mut spawns = 0u32;
+        let outcome = supervise(
+            &fast_cfg(1, 1),
+            |_, inc| {
+                spawns += 1;
+                if inc == 1 {
+                    // First incarnation SIGKILLs itself; the restart
+                    // exits cleanly.
+                    sh("kill -9 $$")
+                } else {
+                    sh("exit 0")
+                }
+            },
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(spawns, 2);
+        assert_eq!(outcome.crashes, 1);
+        assert_eq!(outcome.restarts, 1);
+        assert_eq!(outcome.abandoned_slots, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn cancellation_forwards_sigint_and_stops_restarting() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut spawns = 0u32;
+        // A worker that sleeps until signalled, then exits 130 (the
+        // trap mirrors the real worker's Ctrl-C path).
+        let outcome = supervise(
+            &fast_cfg(1, 5),
+            |_, _| {
+                spawns += 1;
+                sh("trap 'exit 130' INT; sleep 30 & wait $!")
+            },
+            &cancel,
+        )
+        .unwrap();
+        assert_eq!(spawns, 1, "no restarts after cancellation");
+        assert!(outcome.interrupted);
+    }
+}

@@ -1,0 +1,248 @@
+//! Seeded kill-chaos harness for the sharded explorer.
+//!
+//! The fleet's worker processes are instances of **this test binary**:
+//! the env-gated [`shard_worker_entry`] test is re-invoked via
+//! `current_exe() shard_worker_entry --exact` with the worker's
+//! configuration in environment variables, so the chaos scenarios need
+//! no second binary and run under a bare `cargo test`.
+//!
+//! Scenario one stages every crash fault class at deterministic claim
+//! indices — a SIGKILL-class abort holding a fresh lease, an abort in
+//! the manifest-record→lease-done window (forcing a duplicate
+//! completion), and a mid-run interrupt — and then proves the merged
+//! output is **byte-identical** to a single-process reference run.
+//! Scenario two poisons one cell and proves the fleet quarantines it
+//! after K fleet-wide failures instead of crash-looping.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::Child;
+use std::time::Duration;
+
+use experiments::shard::{KILL_ENV, POISON_ENV};
+use experiments::{
+    explore_grid, merge_worker_manifests, run_worker, supervise, write_merged_manifest,
+    CancelToken, CheckpointManifest, ExploreGrid, LeaseLog, SupervisorConfig, WorkerConfig,
+    EXIT_INTERRUPTED,
+};
+
+/// Gate: when set, [`shard_worker_entry`] is a worker process, not a test.
+const ENTRY_ENV: &str = "DAP_SHARD_CHAOS_ENTRY";
+
+const DIR_ENV: &str = "DAP_SHARD_CHAOS_DIR";
+const ID_ENV: &str = "DAP_SHARD_CHAOS_ID";
+const INC_ENV: &str = "DAP_SHARD_CHAOS_INC";
+const CELLS_ENV: &str = "DAP_SHARD_CHAOS_CELLS";
+const TTL_ENV: &str = "DAP_SHARD_CHAOS_TTL";
+
+const INSTRUCTIONS: u64 = 3_000;
+const QUARANTINE_K: u32 = 2;
+
+fn env_u64(name: &str) -> u64 {
+    std::env::var(name).unwrap().parse().unwrap()
+}
+
+/// The grid every scenario runs: the first `cells` cells of `smoke`,
+/// rebuilt identically by the harness and by every worker process.
+fn chaos_grid(cells: usize) -> ExploreGrid {
+    let mut grid = explore_grid("smoke", INSTRUCTIONS).unwrap();
+    assert!(cells <= grid.cells.len());
+    grid.cells.truncate(cells);
+    grid
+}
+
+/// Worker-process entry point, disguised as a test. Without [`ENTRY_ENV`]
+/// it is a no-op (so plain `cargo test` passes); with it, this process
+/// drains the grid as one fleet worker and exits through the real worker
+/// exit paths — 0 drained, 130 interrupted, SIGABRT for injected kills.
+#[test]
+fn shard_worker_entry() {
+    if std::env::var(ENTRY_ENV).is_err() {
+        return;
+    }
+    let cfg = WorkerConfig {
+        out_dir: PathBuf::from(std::env::var(DIR_ENV).unwrap()),
+        worker_id: env_u64(ID_ENV) as u32,
+        incarnation: env_u64(INC_ENV) as u32,
+        grid: chaos_grid(env_u64(CELLS_ENV) as usize),
+        ttl_ms: env_u64(TTL_ENV),
+        quarantine_k: QUARANTINE_K,
+        cancel: CancelToken::new(),
+    };
+    let summary = run_worker(&cfg).unwrap();
+    if summary.interrupted {
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+}
+
+/// Spawns one fleet worker as a child process of this test binary.
+fn spawn_worker(
+    dir: &std::path::Path,
+    worker_id: u32,
+    incarnation: u32,
+    cells: usize,
+    ttl_ms: u64,
+    kill_plan: &str,
+    poison: Option<&str>,
+) -> std::io::Result<Child> {
+    let exe = std::env::current_exe().unwrap();
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("shard_worker_entry")
+        .arg("--exact")
+        .env(ENTRY_ENV, "1")
+        .env(DIR_ENV, dir)
+        .env(ID_ENV, worker_id.to_string())
+        .env(INC_ENV, incarnation.to_string())
+        .env(CELLS_ENV, cells.to_string())
+        .env(TTL_ENV, ttl_ms.to_string())
+        .env(KILL_ENV, kill_plan)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    match poison {
+        Some(label) => cmd.env(POISON_ENV, label),
+        None => cmd.env_remove(POISON_ENV),
+    };
+    cmd.spawn()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dap-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fast_supervisor(workers: u32) -> SupervisorConfig {
+    SupervisorConfig {
+        workers,
+        max_restarts: 2,
+        backoff_base: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(50),
+        seed: 0xC4A05,
+    }
+}
+
+/// Four workers, three staged faults, and the merged result is still
+/// byte-identical to a serial single-process reference run.
+#[test]
+fn chaos_fleet_merges_bit_identical_to_serial_reference() {
+    let cells = 6;
+    let ttl_ms = 600;
+    let dir = temp_dir("fleet");
+    let grid = chaos_grid(cells);
+
+    // The full schedule rides in one env string; each worker applies
+    // only its own `worker:incarnation` entries.
+    // - w0.1 aborts (SIGKILL-class) right after winning its 1st claim:
+    //   the lease must expire and be stolen.
+    // - w1.1 aborts after recording its 1st result but before the lease
+    //   `done`: the cell is stolen and re-run, forcing a duplicate
+    //   completion the merge must reconcile bit-identically.
+    // - w2.1 is interrupted (Ctrl-C class) at its 1st claim: exits 130,
+    //   is never restarted, and its in-flight lease is released. (The
+    //   1st claim because every worker is guaranteed one — the fleet
+    //   drains small grids too fast to promise anyone a 2nd.)
+    let kill_plan = "0:1:1:after-claim;1:1:1:after-record;2:1:1:interrupt";
+    let outcome = supervise(
+        &fast_supervisor(4),
+        |id, inc| spawn_worker(&dir, id, inc, cells, ttl_ms, kill_plan, None),
+        &CancelToken::new(),
+    )
+    .unwrap();
+    assert_eq!(outcome.crashes, 2, "both staged aborts fired");
+    assert_eq!(outcome.restarts, 2, "both crashed slots restarted");
+    assert_eq!(outcome.abandoned_slots, 0);
+    assert!(outcome.interrupted, "the staged interrupt fired");
+
+    let report = merge_worker_manifests(&dir, &grid, QUARANTINE_K, outcome.restarts).unwrap();
+    assert!(report.is_complete(), "missing cells: {:?}", report.missing);
+    assert_eq!(report.runs.len(), cells);
+    assert!(report.quarantined.is_empty());
+    assert!(
+        report.duplicates >= 1,
+        "the record→done abort must force a duplicate completion"
+    );
+    assert!(report.parse_errors.is_empty());
+    let snap = LeaseLog::open(&dir.join("lease.log"), ttl_ms, QUARANTINE_K)
+        .unwrap()
+        .snapshot()
+        .unwrap();
+    assert!(
+        snap.steals >= 2,
+        "both abandoned leases must be stolen, saw {}",
+        snap.steals
+    );
+
+    // Serial reference: one in-process worker, fresh directory, no
+    // faults. The merged fleet output must be byte-identical to it.
+    let ref_dir = temp_dir("reference");
+    let summary = run_worker(&WorkerConfig {
+        out_dir: ref_dir.clone(),
+        worker_id: 9,
+        incarnation: 1,
+        grid: grid.clone(),
+        ttl_ms: 60_000,
+        quarantine_k: QUARANTINE_K,
+        cancel: CancelToken::new(),
+    })
+    .unwrap();
+    assert_eq!(summary.completed, cells);
+    let ref_report = merge_worker_manifests(&ref_dir, &grid, QUARANTINE_K, 0).unwrap();
+
+    let merged = dir.join("merged.ckpt");
+    let ref_merged = ref_dir.join("merged.ckpt");
+    write_merged_manifest(&report, &merged).unwrap();
+    write_merged_manifest(&ref_report, &ref_merged).unwrap();
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        std::fs::read(&ref_merged).unwrap(),
+        "chaos fleet and serial reference merged manifests differ"
+    );
+
+    // The merged manifest holds each cell exactly once (duplicates were
+    // reconciled away, not emitted).
+    let reloaded = CheckpointManifest::open(&merged).unwrap();
+    assert_eq!(reloaded.len(), cells);
+    assert_eq!(reloaded.parse_errors(), 0);
+    let lines = std::fs::read_to_string(&merged).unwrap();
+    assert_eq!(lines.lines().count(), cells);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// A cell that panics in every worker is quarantined after K fleet-wide
+/// failures; the rest of the grid completes normally.
+#[test]
+fn poisoned_cell_is_quarantined_by_the_fleet() {
+    let cells = 4;
+    let ttl_ms = 600;
+    let dir = temp_dir("poison");
+    let grid = chaos_grid(cells);
+    let poison_label = grid.cells[1].label.clone();
+    let poison_key = grid.cells[1].key.clone();
+
+    let outcome = supervise(
+        &fast_supervisor(2),
+        |id, inc| spawn_worker(&dir, id, inc, cells, ttl_ms, "", Some(&poison_label)),
+        &CancelToken::new(),
+    )
+    .unwrap();
+    assert_eq!(outcome.crashes, 0, "panics are caught, not process deaths");
+    assert!(!outcome.interrupted);
+
+    let report = merge_worker_manifests(&dir, &grid, QUARANTINE_K, 0).unwrap();
+    assert!(report.is_complete());
+    assert_eq!(report.runs.len(), cells - 1);
+    assert!(!report.runs.contains_key(&poison_key));
+    assert_eq!(report.quarantined.len(), 1);
+    let (key, fails, error) = &report.quarantined[0];
+    assert_eq!(key, &poison_key);
+    assert!(*fails >= QUARANTINE_K);
+    assert!(
+        error.as_deref().unwrap_or("").contains("poisoned cell"),
+        "quarantine reports the last failure: {error:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
