@@ -128,6 +128,59 @@ echo "$loadgen_out" | grep -q "dapd_decisions_total 10000" || {
 }
 rm -f "$dapd_log"
 
+# Ops-plane scrape smoke: daemon on ephemeral TCP + HTTP metrics ports,
+# real load, then every ops endpoint is fetched AND validated by
+# `dapctl scrape --check` (exposition format checker / flight-dump
+# parser / JSON parser — exit 4 on malformed output). SIGUSR1 must dump
+# a parseable flight-recorder JSONL, and the shutdown path stays clean.
+echo "== dapd ops-plane smoke (/metrics scrape + SIGUSR1 flight dump)"
+ops_dir=$(mktemp -d)
+ops_log="$ops_dir/serve.log"
+./target/release/dapctl serve --tcp 127.0.0.1:0 \
+    --metrics-addr 127.0.0.1:0 --flight-dump "$ops_dir/flight.jsonl" \
+    > "$ops_log" 2>&1 &
+ops_pid=$!
+dapd_addr=""
+metrics_addr=""
+for _ in $(seq 50); do
+    dapd_addr=$(sed -n 's/^dapd listening on tcp //p' "$ops_log")
+    metrics_addr=$(sed -n 's|^dapd metrics on http://||p' "$ops_log")
+    [ -n "$dapd_addr" ] && [ -n "$metrics_addr" ] && break
+    sleep 0.1
+done
+[ -n "$dapd_addr" ] && [ -n "$metrics_addr" ] || {
+    echo "ci: dapd never printed its tcp/metrics addresses" >&2
+    cat "$ops_log" >&2
+    exit 1
+}
+./target/release/dapctl loadgen --tcp "$dapd_addr" --requests 2000 >/dev/null
+./target/release/dapctl scrape "$metrics_addr" --check > "$ops_dir/metrics.prom"
+grep -q 'dapd_decisions_total 2000' "$ops_dir/metrics.prom" || {
+    echo "ci: scraped /metrics is missing the decision count" >&2
+    cat "$ops_dir/metrics.prom" >&2
+    exit 1
+}
+./target/release/dapctl scrape "$metrics_addr" --path /varz --check >/dev/null
+./target/release/dapctl scrape "$metrics_addr" --path /debug/flight --check >/dev/null
+./target/release/dapctl scrape "$metrics_addr" --path /healthz >/dev/null
+kill -USR1 "$ops_pid"
+for _ in $(seq 50); do
+    [ -s "$ops_dir/flight.jsonl" ] && break
+    sleep 0.1
+done
+grep -q '"schema":"dap-flight"' "$ops_dir/flight.jsonl" || {
+    echo "ci: SIGUSR1 flight dump is missing or untagged" >&2
+    exit 1
+}
+./target/release/dapctl scrape "$ops_dir/flight.jsonl" --check >/dev/null
+./target/release/dapctl loadgen --tcp "$dapd_addr" --requests 1 --shutdown >/dev/null
+wait "$ops_pid" || {
+    echo "ci: dapd (ops smoke) did not shut down cleanly" >&2
+    cat "$ops_log" >&2
+    exit 1
+}
+rm -rf "$ops_dir"
+
 # Chaos soak smoke: the seeded in-process fault proxy (fixed seed, temp
 # Unix sockets) drives corruption/drops/stalls/partial writes at the
 # daemon and asserts it sheds with Reject(Overloaded), converges back to

@@ -20,7 +20,8 @@
 //!     `N records unparseable` warning and exit status 4 — pass
 //!     --lenient-ok to accept partial artifacts with exit 0.
 //! dapctl serve [--socket PATH | --tcp ADDR] [--resolve-every N]
-//!              [--max-conns N] [--deadline-ms MS]
+//!              [--max-conns N] [--deadline-ms MS] [--metrics-addr ADDR]
+//!              [--flight-dump PATH]
 //!     Run the dapd partitioning daemon on a Unix socket (default
 //!     target/dapd.sock) or TCP address, with the stock two-backend
 //!     (HBM + DDR4) two-tenant configuration. Runs until a client sends
@@ -29,7 +30,25 @@
 //!     `Reject(Overloaded)`; a peer that stalls longer than
 //!     --deadline-ms (default 5000) is disconnected. A stale socket
 //!     file left by a crashed daemon is probed and reclaimed; a live
-//!     daemon's socket is never stolen.
+//!     daemon's socket is never stolen. With --metrics-addr (e.g.
+//!     127.0.0.1:0), an ops HTTP endpoint serves GET /metrics
+//!     (Prometheus text), /healthz, /varz (JSON operator snapshot), and
+//!     /debug/flight (flight-recorder JSONL). The flight ring is dumped
+//!     to --flight-dump (default target/dapd-flight.jsonl) on SIGUSR1,
+//!     on panic, and when the reject rate spikes.
+//! dapctl top <addr> [--interval-ms MS] [--iterations N]
+//!     Live operator view of a serving daemon: polls /varz on the ops
+//!     endpoint every --interval-ms (default 1000) and renders tenant ×
+//!     backend fractions, decisions/s, windows/s, shed rate, and p99
+//!     decision latency to stderr (in-place rewrite on a TTY, plain
+//!     lines otherwise / under DAP_QUIET=1). --iterations N exits after
+//!     N polls (CI); default runs until the endpoint goes away.
+//! dapctl scrape <target> [--path P] [--check]
+//!     Fetch an ops endpoint (target host:port, path default /metrics)
+//!     or read a local file, print the body to stdout. With --check,
+//!     validate it: Prometheus expositions go through the in-tree
+//!     format checker, flight dumps (first line schema "dap-flight")
+//!     through the flight parser; invalid input exits 4.
 //! dapctl loadgen [--socket PATH | --tcp ADDR] [--requests N]
 //!                [--bench B] [--throttle-after N] [--throttle-factor F]
 //!                [--retries N] [--shutdown]
@@ -43,7 +62,7 @@
 //!     calls were lost. --shutdown stops the daemon afterwards.
 //! dapctl explore [--grid <smoke|std>] [--workers N] [--out DIR]
 //!                [--instructions N] [--ttl-ms MS] [--poison-k K]
-//!                [--max-restarts N]
+//!                [--max-restarts N] [--metrics-addr ADDR]
 //!     Explore a named design-space grid with N crash-tolerant worker
 //!     processes coordinating through a lease log in --out (default
 //!     target/explore). Workers that crash are restarted with backoff
@@ -55,6 +74,11 @@
 //!     the per-mix Pareto frontier (speedup vs DRAM-cache capacity vs
 //!     energy proxy) is printed. Exit 1 if any cell is missing or
 //!     manifests diverge. Re-running resumes from the same --out.
+//!     While the fleet runs, `fleet.prom` is rewritten atomically about
+//!     once a second from the live lease log (and deleted if the merge
+//!     hard-fails, so a stale file can't masquerade as a result); with
+//!     --metrics-addr the same live exposition is served over HTTP
+//!     (GET /metrics, /healthz) for mid-run scraping.
 //! dapctl bench [--label L] [--out DIR] [--instructions N]
 //!              [--compare BASELINE.json] [--threshold PCT] [--warn-only]
 //!              [--update-baseline LABEL]
@@ -94,6 +118,8 @@ subcommands:
   bench                      Time the pinned regression suite (incl. dapd).
   serve                      Run the dapd partitioning daemon on a socket.
   loadgen                    Drive a running dapd daemon with clone traffic.
+  top <addr>                 Live operator view of a serving daemon's /varz.
+  scrape <target>            Fetch an ops endpoint or file; --check validates.
   help                       Show this message.
 
 common flags:
@@ -107,12 +133,16 @@ bench flags:
 
 explore flags:
   --grid <smoke|std>   --workers N   --ttl-ms MS   --poison-k K
-  --max-restarts N
+  --max-restarts N   --metrics-addr ADDR
 
 daemon flags (serve/loadgen):
   --socket PATH   --tcp ADDR   --resolve-every N   --requests N   --bench B
   --throttle-after N   --throttle-factor F   --shutdown
   --max-conns N   --deadline-ms MS   --retries N
+  --metrics-addr ADDR   --flight-dump PATH
+
+ops flags (top/scrape):
+  --interval-ms MS   --iterations N   --path P   --check
 
 exit codes: 0 ok, 2 usage, 3 bench regression, 4 artifact parse errors,
 5 unknown subcommand, 130 interrupted
@@ -165,6 +195,12 @@ struct Args {
     max_restarts: u32,
     worker_id: Option<u32>,
     incarnation: u32,
+    metrics_addr: Option<String>,
+    flight_dump: Option<String>,
+    interval_ms: u64,
+    iterations: Option<u64>,
+    scrape_path: String,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -200,6 +236,12 @@ fn parse_args() -> Args {
         max_restarts: 2,
         worker_id: None,
         incarnation: 1,
+        metrics_addr: None,
+        flight_dump: None,
+        interval_ms: 1_000,
+        iterations: None,
+        scrape_path: "/metrics".to_string(),
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -276,6 +318,16 @@ fn parse_args() -> Args {
             "--max-restarts" => {
                 args.max_restarts = value("--max-restarts").parse().unwrap_or_else(|_| usage())
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+            "--flight-dump" => args.flight_dump = Some(value("--flight-dump")),
+            "--interval-ms" => {
+                args.interval_ms = value("--interval-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--iterations" => {
+                args.iterations = Some(value("--iterations").parse().unwrap_or_else(|_| usage()))
+            }
+            "--path" => args.scrape_path = value("--path"),
+            "--check" => args.check = true,
             // Internal: `explore` re-invokes itself with these to run as
             // one worker of the fleet. Not in the help text on purpose.
             "--worker-id" => {
@@ -592,6 +644,8 @@ fn main() {
             Some("explore") => explore(&args),
             Some("serve") => serve(&args),
             Some("loadgen") => loadgen(&args),
+            Some("top") => top(&args),
+            Some("scrape") => scrape(&args),
             Some(other) => {
                 eprintln!("dapctl: unknown subcommand `{other}` (try `dapctl help`)");
                 std::process::exit(EXIT_UNKNOWN_SUBCOMMAND);
@@ -667,7 +721,38 @@ fn explore(args: &Args) {
         max_restarts: args.max_restarts,
         ..experiments::SupervisorConfig::default()
     };
-    let outcome = experiments::supervise(
+    let prom = out_dir.join("fleet.prom");
+    let total_cells = grid.cells.len();
+    // The live fleet exposition: the supervision tick rewrites
+    // fleet.prom atomically about once a second from the lease log, and
+    // the optional ops endpoint serves whatever the file last said — so
+    // a scrape mid-run never sees a torn write.
+    let fleet_log =
+        experiments::LeaseLog::open(&out_dir.join("lease.log"), args.ttl_ms, args.poison_k).ok();
+    let _fleet_ops = args.metrics_addr.as_deref().map(|addr| {
+        let prom_path = prom.clone();
+        let router: dap_telemetry::OpsRouter = Arc::new(move |path: &str| match path {
+            "/metrics" => match std::fs::read_to_string(&prom_path) {
+                Ok(text) => dap_telemetry::OpsResponse::ok_text(text),
+                Err(_) => dap_telemetry::OpsResponse::ok_text(String::new()),
+            },
+            "/healthz" => dap_telemetry::OpsResponse::ok_text("ok\n".to_string()),
+            _ => dap_telemetry::OpsResponse::not_found(),
+        });
+        let server = dap_telemetry::OpsServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind metrics endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        let bound = server.local_addr().unwrap();
+        let handle = server.spawn(router).unwrap_or_else(|e| {
+            eprintln!("error: cannot start metrics endpoint: {e}");
+            std::process::exit(1);
+        });
+        println!("explore: fleet metrics on http://{bound}/metrics");
+        handle
+    });
+    let mut last_prom = std::time::Instant::now() - std::time::Duration::from_secs(1);
+    let outcome = experiments::supervise_with_tick(
         &supervisor,
         |worker_id, incarnation| {
             std::process::Command::new(&exe)
@@ -689,6 +774,20 @@ fn explore(args: &Args) {
                 .spawn()
         },
         cancel,
+        |fleet| {
+            if last_prom.elapsed() < std::time::Duration::from_secs(1) {
+                return;
+            }
+            last_prom = std::time::Instant::now();
+            if let Some(log) = &fleet_log {
+                if let Ok(snapshot) = log.snapshot() {
+                    let text = experiments::live_fleet_exposition(&snapshot, total_cells, fleet);
+                    if let Err(e) = write_atomic(&prom, &text) {
+                        eprintln!("warning: cannot rewrite {}: {e}", prom.display());
+                    }
+                }
+            }
+        },
     )
     .unwrap_or_else(|e| {
         eprintln!("error: fleet supervision failed: {e}");
@@ -702,13 +801,16 @@ fn explore(args: &Args) {
         experiments::merge_worker_manifests(&out_dir, &grid, args.poison_k, outcome.restarts)
             .unwrap_or_else(|e| {
                 eprintln!("error: {e}");
+                // A failed merge means the fleet's results are suspect: a
+                // stale live exposition must not outlive it and read as
+                // healthy to a scraper.
+                let _ = std::fs::remove_file(&prom);
                 std::process::exit(1);
             });
     let merged = out_dir.join("merged.ckpt");
-    let prom = out_dir.join("fleet.prom");
     for result in [
         experiments::write_merged_manifest(&report, &merged),
-        std::fs::write(&prom, report.exposition()),
+        write_atomic(&prom, &report.exposition()),
     ] {
         if let Err(e) = result {
             eprintln!("error: {e}");
@@ -741,6 +843,18 @@ fn explore(args: &Args) {
 /// Default Unix socket path shared by `serve` and `loadgen`.
 const DEFAULT_SOCKET: &str = "target/dapd.sock";
 
+/// Default flight-recorder dump path for `serve`.
+const DEFAULT_FLIGHT_DUMP: &str = "target/dapd-flight.jsonl";
+
+/// Writes `text` to `path` atomically (same-directory tmp + rename), so
+/// a concurrent reader sees either the old file or the new one, never a
+/// torn write.
+fn write_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// `dapctl serve`: run the dapd daemon until a client asks it to stop.
 fn serve(args: &Args) {
     let mut config = dapd::EngineConfig::hbm_ddr4_pair();
@@ -749,11 +863,17 @@ fn serve(args: &Args) {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let flight_dump =
+        std::path::PathBuf::from(args.flight_dump.as_deref().unwrap_or(DEFAULT_FLIGHT_DUMP));
+    if let Some(parent) = flight_dump.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
     let deadline = std::time::Duration::from_millis(args.deadline_ms);
     let server_config = dapd::ServerConfig {
         read_deadline: deadline,
         write_deadline: deadline,
         max_connections: args.max_conns,
+        flight_dump_path: Some(flight_dump.clone()),
         ..dapd::ServerConfig::default()
     };
     let handle = if let Some(addr) = &args.tcp {
@@ -788,11 +908,253 @@ fn serve(args: &Args) {
         eprintln!("error: cannot start acceptor: {e}");
         std::process::exit(1);
     });
+    // Crash-safety: the flight ring is dumped on panic (hook) and on
+    // SIGUSR1 (polled below), independent of anyone scraping.
+    let flight = handle.with_engine(|e| Arc::clone(e.flight()));
+    dap_telemetry::flight::install_panic_dump(Arc::clone(&flight), flight_dump.clone(), "dapd");
+    dap_bench::sigint::install_usr1();
+    let _ops = args.metrics_addr.as_deref().map(|addr| {
+        let server = dap_telemetry::OpsServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind metrics endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        let bound = server.local_addr().unwrap();
+        let ops = server
+            .spawn(dapd::ops_router(handle.ops_view()))
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot start metrics endpoint: {e}");
+                std::process::exit(1);
+            });
+        println!("dapd metrics on http://{bound}");
+        ops
+    });
+    // Wait for shutdown cooperatively instead of a blocking join, so
+    // SIGUSR1 flight dumps and Ctrl-C both work while serving.
+    let cancel = experiments::global_cancel_token();
+    while !handle.stopping() {
+        if cancel.is_cancelled() {
+            handle.request_stop();
+            break;
+        }
+        if dap_bench::sigint::take_usr1() {
+            match flight.dump_to(&flight_dump, "dapd") {
+                Ok(()) => eprintln!(
+                    "dapd: SIGUSR1; flight ring dumped to {}",
+                    flight_dump.display()
+                ),
+                Err(e) => eprintln!("dapd: SIGUSR1 flight dump failed: {e}"),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
     if let Err(e) = handle.join() {
         eprintln!("error: daemon exited abnormally: {e}");
         std::process::exit(1);
     }
     println!("dapd: clean shutdown");
+}
+
+/// `dapctl top`: poll a serving daemon's `/varz` and render a live
+/// operator line — fractions vs the Eq. 4 ideal per backend, decision
+/// and window rates, shed rate, p99 decision latency. On a TTY the line
+/// rewrites in place (`\r`, like the grid progress reporter); piped or
+/// under `DAP_QUIET=1` it prints one line per poll.
+fn top(args: &Args) {
+    use std::io::IsTerminal;
+
+    let addr = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let addr = addr.strip_prefix("http://").unwrap_or(addr);
+    let interval = std::time::Duration::from_millis(args.interval_ms.max(50));
+    let timeout = std::time::Duration::from_secs(2);
+    let quiet = std::env::var(experiments::progress::QUIET_ENV).is_ok_and(|v| v.trim() == "1");
+    let tty = std::io::stderr().is_terminal() && !quiet;
+    let mut prev: Option<(std::time::Instant, TopCounters)> = None;
+    let mut consecutive_errors = 0u32;
+    let mut polls = 0u64;
+    loop {
+        match dap_telemetry::http::http_get(addr, "/varz", timeout) {
+            Ok((200, body)) => match dap_telemetry::json::parse(&body) {
+                Ok(varz) => {
+                    consecutive_errors = 0;
+                    let line = render_top_line(&varz, &mut prev);
+                    if tty {
+                        eprint!("\r{line:<110}");
+                    } else {
+                        eprintln!("{line}");
+                    }
+                }
+                Err(e) => {
+                    consecutive_errors += 1;
+                    eprintln!("top: unparseable /varz: {e}");
+                }
+            },
+            Ok((status, _)) => {
+                consecutive_errors += 1;
+                eprintln!("top: /varz answered {status}");
+            }
+            Err(e) => {
+                consecutive_errors += 1;
+                eprintln!("top: {addr}: {e}");
+            }
+        }
+        if consecutive_errors >= 3 {
+            if tty {
+                eprintln!();
+            }
+            eprintln!("top: endpoint gone (3 consecutive failures)");
+            std::process::exit(1);
+        }
+        polls += 1;
+        if args.iterations.is_some_and(|n| polls >= n) {
+            if tty {
+                eprintln!();
+            }
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// The monotone counters `top` differentiates into rates.
+#[derive(Clone, Copy)]
+struct TopCounters {
+    decisions: f64,
+    resolves: f64,
+    shed: f64,
+}
+
+fn counter_of(varz: &dap_telemetry::json::Json, name: &str) -> f64 {
+    varz.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0)
+}
+
+/// One `top` status line from a `/varz` snapshot; rates come from the
+/// delta against the previous poll (dashes on the first).
+fn render_top_line(
+    varz: &dap_telemetry::json::Json,
+    prev: &mut Option<(std::time::Instant, TopCounters)>,
+) -> String {
+    let now = std::time::Instant::now();
+    let counters = TopCounters {
+        decisions: counter_of(varz, "dapd_decisions_total"),
+        resolves: counter_of(varz, "dapd_resolves_total"),
+        shed: counter_of(varz, "dapd_shed_total"),
+    };
+    let rates = prev.replace((now, counters)).map(|(t0, old)| {
+        let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+        (
+            (counters.decisions - old.decisions) / dt,
+            (counters.resolves - old.resolves) / dt,
+            (counters.shed - old.shed) / dt,
+        )
+    });
+    let mut line = match rates {
+        Some((dec, win, shed)) => {
+            format!("dapd | {dec:.0} dec/s | {win:.1} win/s | {shed:.1} shed/s")
+        }
+        None => format!(
+            "dapd | {:.0} decisions | {:.0} windows | {:.0} shed",
+            counters.decisions, counters.resolves, counters.shed
+        ),
+    };
+    if let Some(p99) = varz.get("p99_decision_ns").and_then(|v| v.as_f64()) {
+        line.push_str(&format!(" | p99 {:.1}us", p99 / 1_000.0));
+    }
+    if let Some(backends) = varz.get("backends").and_then(|b| b.as_arr()) {
+        for backend in backends {
+            let name = backend.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            let frac = backend
+                .get("fraction")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let ideal = backend
+                .get("ideal_fraction")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            line.push_str(&format!(" | {name} {frac:.3}/{ideal:.3}"));
+        }
+    }
+    if let Some(tenants) = varz.get("tenants").and_then(|t| t.as_arr()) {
+        for tenant in tenants {
+            let name = tenant.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            let reserved = tenant
+                .get("reserved_remaining_bytes")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            line.push_str(&format!(" | {name} {:.0}M", reserved / 1e6));
+        }
+    }
+    line
+}
+
+/// `dapctl scrape`: fetch one ops endpoint (or read a file), print the
+/// body to stdout, and — with `--check` — validate it with the in-tree
+/// checkers: Prometheus expositions through `check_exposition`, flight
+/// dumps through `parse_flight_dump`, other JSON through the reader.
+fn scrape(args: &Args) {
+    let target = args.positional.get(1).unwrap_or_else(|| usage());
+    let body = if std::path::Path::new(target).is_file() {
+        std::fs::read_to_string(target).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {target}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let stripped = target.strip_prefix("http://").unwrap_or(target);
+        let (addr, path) = match stripped.split_once('/') {
+            Some((a, p)) => (a, format!("/{p}")),
+            None => (stripped, args.scrape_path.clone()),
+        };
+        let (status, body) =
+            dap_telemetry::http::http_get(addr, &path, std::time::Duration::from_secs(5))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: scrape {target}: {e}");
+                    std::process::exit(1);
+                });
+        if status != 200 {
+            eprintln!("error: scrape {target}{path}: HTTP {status}");
+            std::process::exit(1);
+        }
+        body
+    };
+    print!("{body}");
+    if !args.check {
+        return;
+    }
+    let first = body.lines().next().unwrap_or("");
+    let verdict = if first.trim_start().starts_with('{') {
+        let is_flight = dap_telemetry::json::parse(first)
+            .ok()
+            .and_then(|meta| {
+                meta.get("schema")
+                    .and_then(|s| s.as_str().map(String::from))
+            })
+            .is_some_and(|schema| schema == dap_telemetry::flight::FLIGHT_SCHEMA);
+        if is_flight {
+            dap_telemetry::flight::parse_flight_dump(&body).map(|(dropped, events)| {
+                format!("flight dump: {} events, {dropped} dropped", events.len())
+            })
+        } else {
+            dap_telemetry::json::parse(&body).map(|_| "json document".to_string())
+        }
+    } else {
+        dap_telemetry::check_exposition(&body).map(|()| {
+            let families = body.lines().filter(|l| l.starts_with("# TYPE ")).count();
+            format!("exposition: {families} families")
+        })
+    };
+    match verdict {
+        Ok(what) => eprintln!("scrape: OK ({what})"),
+        Err(e) => {
+            eprintln!("scrape: INVALID: {e}");
+            std::process::exit(EXIT_PARSE_ERRORS);
+        }
+    }
 }
 
 /// `dapctl loadgen`: stream clone-shaped requests at a running daemon.

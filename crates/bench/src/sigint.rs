@@ -13,17 +13,32 @@
 //! to drain (or the process is wedged before a window boundary), the
 //! user still has a way out.
 //!
+//! [`install_usr1`]/[`take_usr1`] give `dapctl serve` a SIGUSR1-driven
+//! flight-ring dump on the same machinery: the handler does one atomic
+//! store, and the serving loop drains the flag.
+//!
 //! This is the one module in the repository that needs `unsafe` — the
 //! standard library has no signal API, so the handler is registered
 //! through the C `signal(2)` entry point directly (no new dependencies).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// Set by the SIGUSR1 handler; drained by [`take_usr1`].
+static USR1_PENDING: AtomicBool = AtomicBool::new(false);
+
 #[cfg(unix)]
 #[allow(unsafe_code)]
 mod ffi {
+    use std::sync::atomic::Ordering;
+
     /// C `SIGINT` (POSIX-mandated value 2 on every Unix).
     pub const SIGINT: i32 = 2;
+
+    /// C `SIGUSR1`: 10 on Linux, 30 on the BSD family (incl. macOS).
+    #[cfg(target_os = "linux")]
+    pub const SIGUSR1: i32 = 10;
+    #[cfg(not(target_os = "linux"))]
+    pub const SIGUSR1: i32 = 30;
 
     extern "C" {
         /// C `signal(2)`. The handler is passed (and the previous
@@ -42,6 +57,12 @@ mod ffi {
             std::process::abort();
         }
         token.cancel();
+    }
+
+    /// The SIGUSR1 handler: one atomic store (async-signal-safe); the
+    /// serving loop drains the flag and dumps the flight ring.
+    pub extern "C" fn on_sigusr1(_signum: i32) {
+        super::USR1_PENDING.store(true, Ordering::SeqCst);
     }
 }
 
@@ -67,6 +88,32 @@ pub fn install() {
     }
 }
 
+/// Registers the SIGUSR1 handler (idempotent). `dapctl serve` polls
+/// [`take_usr1`] in its wait loop and dumps the flight ring when it
+/// fires, so an operator can snapshot a live daemon's recent decisions
+/// with `kill -USR1 <pid>` — no scrape endpoint required.
+pub fn install_usr1() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    // SAFETY: same contract as `install` — C registration call, an
+    // `extern "C"` handler doing one atomic store, arguments valid for
+    // the process's lifetime.
+    unsafe {
+        let handler: extern "C" fn(i32) = ffi::on_sigusr1;
+        ffi::signal(ffi::SIGUSR1, handler as usize);
+    }
+}
+
+/// Returns `true` once per SIGUSR1 received since the last call
+/// (consumes the pending flag).
+pub fn take_usr1() -> bool {
+    USR1_PENDING.swap(false, Ordering::SeqCst)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -74,5 +121,14 @@ mod tests {
         super::install();
         super::install();
         assert!(!experiments::global_cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn usr1_flag_is_drain_once() {
+        super::install_usr1();
+        assert!(!super::take_usr1(), "pending before any signal");
+        super::USR1_PENDING.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(super::take_usr1(), "first drain sees the flag");
+        assert!(!super::take_usr1(), "second drain is empty");
     }
 }

@@ -29,8 +29,12 @@
 
 use dap_decide::config::DapConfig;
 use dap_decide::degrade::{degraded_k, EffectiveBandwidth};
-use dap_telemetry::{render_exposition, Counter, Histogram, MetricsRegistry};
+use dap_telemetry::json::{obj, Json};
+use dap_telemetry::{
+    labeled, render_exposition, Counter, FlightKind, FlightRecorder, Histogram, MetricsRegistry,
+};
 use std::fmt;
+use std::sync::Arc;
 
 /// Credit bytes granted per GB/s of effective bandwidth per resolve
 /// window (1 MiB): a deterministic integer scale tying the ledger's byte
@@ -287,6 +291,7 @@ pub struct Engine {
     decisions_in_window: u32,
     window_seq: u32,
     metrics: MetricsRegistry,
+    flight: Arc<FlightRecorder>,
     // Metric handles are pre-resolved: `route` is the daemon's hot path
     // and must not pay a name `format!` + registry lookup per decision.
     m_decisions: Counter,
@@ -297,6 +302,8 @@ pub struct Engine {
     m_tenant_requests: Vec<Counter>,
     m_report_latency: Histogram,
     m_resolves: Counter,
+    m_unmeasured: Counter,
+    m_all_dark: Counter,
 }
 
 impl Engine {
@@ -306,25 +313,89 @@ impl Engine {
         let effective_gbps: Vec<f64> = config.backends.iter().map(|b| b.nominal_gbps).collect();
         let n = config.backends.len();
         let metrics = MetricsRegistry::new();
-        let per_backend_counter = |prefix: &str| -> Vec<Counter> {
+        for (name, help) in [
+            ("dapd_decisions_total", "Route decisions answered."),
+            (
+                "dapd_overdraft_bytes_total",
+                "Demand bytes beyond the window budget (never funded).",
+            ),
+            (
+                "dapd_routed_bytes_total",
+                "Bytes routed to each backend by the Eq. 4 router.",
+            ),
+            (
+                "dapd_served_bytes_total",
+                "Bytes each backend reported actually serving.",
+            ),
+            (
+                "dapd_dark_windows_total",
+                "Windows in which a backend was routed traffic but served zero bytes.",
+            ),
+            ("dapd_tenant_requests_total", "Route requests per tenant."),
+            (
+                "dapd_report_latency_ns",
+                "Reported busy time per served report, nanoseconds.",
+            ),
+            ("dapd_resolves_total", "Window re-solves performed."),
+            (
+                "dapd_unmeasured_windows_total",
+                "Windows that carried no served-bytes measurement at all.",
+            ),
+            (
+                "dapd_all_dark_windows_total",
+                "Windows in which every backend went dark (nominal fallback used).",
+            ),
+            ("dapd_window", "Current resolve-window sequence number."),
+            ("dapd_budget_bytes", "Current window byte budget."),
+            (
+                "dapd_weight_ppm",
+                "Current Eq. 4 fraction per backend, parts per million.",
+            ),
+            (
+                "dapd_effective_mbps",
+                "Measured effective bandwidth per backend, MB/s.",
+            ),
+            (
+                "dapd_k_milli",
+                "Degraded K = B_MS$/B_MM ratio, thousandths (two-backend engines).",
+            ),
+            (
+                "dapd_hw_cache_budget",
+                "Per-window cache access budget the hardware DAP would run with.",
+            ),
+            (
+                "dapd_hw_mm_budget",
+                "Per-window main-memory access budget the hardware DAP would run with.",
+            ),
+        ] {
+            metrics.describe(name, help);
+        }
+        let per_backend_counter = |family: &str| -> Vec<Counter> {
             config
                 .backends
                 .iter()
-                .map(|b| metrics.counter(&format!("{prefix}_{}", b.name)))
+                .map(|b| metrics.counter(&labeled(family, &[("backend", &b.name)])))
                 .collect()
         };
         let m_decisions = metrics.counter("dapd_decisions_total");
-        let m_overdraft = metrics.counter("dapd_overdraft_bytes");
-        let m_routed_bytes = per_backend_counter("dapd_routed_bytes");
-        let m_served_bytes = per_backend_counter("dapd_served_bytes");
-        let m_dark_windows = per_backend_counter("dapd_dark_windows");
+        let m_overdraft = metrics.counter("dapd_overdraft_bytes_total");
+        let m_routed_bytes = per_backend_counter("dapd_routed_bytes_total");
+        let m_served_bytes = per_backend_counter("dapd_served_bytes_total");
+        let m_dark_windows = per_backend_counter("dapd_dark_windows_total");
         let m_tenant_requests = config
             .tenants
             .iter()
-            .map(|t| metrics.counter(&format!("dapd_tenant_requests_{}", t.name)))
+            .map(|t| {
+                metrics.counter(&labeled(
+                    "dapd_tenant_requests_total",
+                    &[("tenant", &t.name)],
+                ))
+            })
             .collect();
         let m_report_latency = metrics.histogram("dapd_report_latency_ns");
         let m_resolves = metrics.counter("dapd_resolves_total");
+        let m_unmeasured = metrics.counter("dapd_unmeasured_windows_total");
+        let m_all_dark = metrics.counter("dapd_all_dark_windows_total");
         let mut engine = Self {
             effective_gbps,
             weights: vec![0.0; n],
@@ -334,6 +405,7 @@ impl Engine {
             decisions_in_window: 0,
             window_seq: 0,
             metrics,
+            flight: FlightRecorder::with_default_capacity(),
             m_decisions,
             m_overdraft,
             m_routed_bytes,
@@ -342,6 +414,8 @@ impl Engine {
             m_tenant_requests,
             m_report_latency,
             m_resolves,
+            m_unmeasured,
+            m_all_dark,
             config,
         };
         engine.recompute_weights();
@@ -456,7 +530,7 @@ impl Engine {
         // is evidence against that one backend specifically.
         let any_served = self.per_backend.iter().any(|w| w.served_bytes > 0);
         if !any_served {
-            self.metrics.counter("dapd_unmeasured_windows").incr();
+            self.m_unmeasured.incr();
         }
         for (i, w) in self.per_backend.iter().enumerate() {
             if !any_served {
@@ -490,6 +564,33 @@ impl Engine {
         self.window_seq = self.window_seq.wrapping_add(1);
         self.m_resolves.incr();
         self.publish_gauges();
+        // Flight-record the re-solve: inputs (measured MB/s of the first
+        // two backends) and outputs (first fraction in ppm, window
+        // budget, K·1000 for two-backend engines; -1 where undefined).
+        // This is the only flight hook on the engine path — one ring
+        // write per `resolve_every` decisions, nothing per route.
+        let mbps = |i: usize| {
+            self.effective_gbps
+                .get(i)
+                .map_or(-1, |&g| (g * 1000.0) as i64)
+        };
+        let k_milli = if let [cache, mm] = self.effective_gbps[..] {
+            (degraded_k(cache, mm).as_f64() * 1000.0) as i64
+        } else {
+            -1
+        };
+        self.flight.record(
+            FlightKind::Resolve,
+            if any_served { "measured" } else { "unmeasured" },
+            [
+                i64::from(self.window_seq),
+                mbps(0),
+                mbps(1),
+                (self.weights[0] * 1e6) as i64,
+                self.ledger.global().min(i64::MAX as u64) as i64,
+                k_milli,
+            ],
+        );
     }
 
     /// Renders the current metrics as Prometheus exposition text.
@@ -499,11 +600,127 @@ impl Engine {
 
     /// Resolves (creating if absent) a named counter in the engine's
     /// metrics registry. The server layer uses this to count shed
-    /// connections and per-reason rejects (`dapd_shed_total`,
-    /// `dapd_rejected_total_*`) in the same exposition the routing
-    /// metrics live in, so one `SnapshotStats` shows the whole picture.
+    /// connections and per-cause rejects (`dapd_shed_total`,
+    /// `dapd_rejected_total{cause="..."}`) in the same exposition the
+    /// routing metrics live in, so one `SnapshotStats` shows the whole
+    /// picture.
     pub fn counter(&self, name: &str) -> Counter {
         self.metrics.counter(name)
+    }
+
+    /// Resolves (creating if absent) a named histogram in the engine's
+    /// metrics registry (the server layer's decision-latency histogram
+    /// lives here for the same single-exposition reason as
+    /// [`counter`](Self::counter)).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.metrics.histogram(name)
+    }
+
+    /// Registers `# HELP` text for a metric family in the engine's
+    /// registry (see [`dap_telemetry::MetricsRegistry::describe`]).
+    pub fn describe(&self, name: &str, help: &str) {
+        self.metrics.describe(name, help);
+    }
+
+    /// The engine's flight recorder: the last N re-solves (recorded
+    /// here) plus whatever the server layer adds (rejects, sheds).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// A JSON operator snapshot for `GET /varz`: per-backend measured
+    /// bandwidth and current Eq. 4 fraction next to the nominal ideal,
+    /// per-tenant ledger balances, window/budget state, every counter,
+    /// and p99 latencies. Not a hot path — it snapshots the registry.
+    pub fn varz_json(&self) -> Json {
+        let snapshot = self.metrics.snapshot();
+        let nominal_total: f64 = self.config.backends.iter().map(|b| b.nominal_gbps).sum();
+        let backends: Vec<Json> = self
+            .config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                obj([
+                    ("name", Json::Str(b.name.clone())),
+                    ("nominal_gbps", Json::Num(b.nominal_gbps)),
+                    ("effective_gbps", Json::Num(self.effective_gbps[i])),
+                    ("fraction", Json::Num(self.weights[i])),
+                    // Eq. 4 over datasheet rates: where the solved
+                    // fraction would sit with nothing degraded.
+                    ("ideal_fraction", Json::Num(b.nominal_gbps / nominal_total)),
+                ])
+            })
+            .collect();
+        let tenants: Vec<Json> = self
+            .config
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let (class, gbps) = match t.class {
+                    TenantClass::Reserved { gbps } => ("reserved", gbps),
+                    TenantClass::BestEffort => ("besteffort", 0.0),
+                };
+                obj([
+                    ("name", Json::Str(t.name.clone())),
+                    ("class", Json::Str(class.to_string())),
+                    ("reserved_gbps", Json::Num(gbps)),
+                    (
+                        "reserved_remaining_bytes",
+                        Json::Num(self.ledger.reserved_remaining()[i] as f64),
+                    ),
+                ])
+            })
+            .collect();
+        let counters = Json::Obj(
+            snapshot
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                .collect(),
+        );
+        let p99 = |name: &str| {
+            snapshot
+                .histograms
+                .get(name)
+                .and_then(|h| h.quantile(0.99))
+                .map_or(Json::Null, |v| Json::Num(v as f64))
+        };
+        obj([
+            ("service", Json::Str("dapd".to_string())),
+            ("window", Json::Num(f64::from(self.window_seq))),
+            (
+                "resolve_every",
+                Json::Num(f64::from(self.config.resolve_every)),
+            ),
+            ("budget_bytes", Json::Num(self.ledger.global() as f64)),
+            ("backends", Json::Arr(backends)),
+            ("tenants", Json::Arr(tenants)),
+            (
+                "ledger",
+                obj([
+                    ("global", Json::Num(self.ledger.global() as f64)),
+                    (
+                        "pool_remaining",
+                        Json::Num(self.ledger.pool_remaining() as f64),
+                    ),
+                    ("drained", Json::Num(self.ledger.drained() as f64)),
+                    ("overdraft", Json::Num(self.ledger.overdraft() as f64)),
+                    ("conserves", Json::Bool(self.ledger.conserves())),
+                ]),
+            ),
+            ("counters", counters),
+            ("p99_report_latency_ns", p99("dapd_report_latency_ns")),
+            ("p99_decision_ns", p99("dapd_decision_ns")),
+            (
+                "flight",
+                obj([
+                    ("total", Json::Num(self.flight.total() as f64)),
+                    ("dropped", Json::Num(self.flight.dropped() as f64)),
+                ]),
+            ),
+        ])
     }
 
     fn recompute_weights(&mut self) {
@@ -516,7 +733,7 @@ impl Engine {
         } else {
             // Every backend dark: fall back to nominal proportions so
             // routing stays defined (the operator's least-bad guess).
-            self.metrics.counter("dapd_all_dark_windows").incr();
+            self.m_all_dark.incr();
             let nom: f64 = self.config.backends.iter().map(|b| b.nominal_gbps).sum();
             for (w, b) in self.weights.iter_mut().zip(&self.config.backends) {
                 *w = b.nominal_gbps / nom;
@@ -562,10 +779,10 @@ impl Engine {
             .set(self.ledger.global().min(i64::MAX as u64) as i64);
         for (i, b) in self.config.backends.iter().enumerate() {
             self.metrics
-                .gauge(&format!("dapd_weight_ppm_{}", b.name))
+                .gauge(&labeled("dapd_weight_ppm", &[("backend", &b.name)]))
                 .set((self.weights[i] * 1e6) as i64);
             self.metrics
-                .gauge(&format!("dapd_effective_mbps_{}", b.name))
+                .gauge(&labeled("dapd_effective_mbps", &[("backend", &b.name)]))
                 .set((self.effective_gbps[i] * 1000.0) as i64);
         }
         // For the paper's two-source shape, also publish the degraded
@@ -725,7 +942,63 @@ mod tests {
         let text = e.stats_text();
         assert!(text.contains("dapd_decisions_total 10"), "{text}");
         assert!(text.contains("# TYPE dapd_decisions_total counter"));
-        assert!(text.contains("dapd_weight_ppm_hbm"));
+        assert!(text.contains("# HELP dapd_decisions_total "), "{text}");
+        assert!(text.contains("dapd_weight_ppm{backend=\"hbm\"}"), "{text}");
+        assert!(
+            text.contains("dapd_routed_bytes_total{backend=\"hbm\"}"),
+            "{text}"
+        );
+        dap_telemetry::check_exposition(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    }
+
+    #[test]
+    fn varz_reports_fractions_ledger_and_counters() {
+        let mut e = engine();
+        routed_split(&mut e, 130, 4096); // two full resolves and change
+        let varz = e.varz_json();
+        assert_eq!(
+            varz.get("service").and_then(Json::as_str),
+            Some("dapd"),
+            "{varz:?}"
+        );
+        let backends = varz.get("backends").and_then(Json::as_arr).unwrap();
+        assert_eq!(backends.len(), 2);
+        let hbm = &backends[0];
+        assert_eq!(hbm.get("name").and_then(Json::as_str), Some("hbm"));
+        let ideal = hbm.get("ideal_fraction").and_then(Json::as_f64).unwrap();
+        assert!((ideal - 102.4 / 140.8).abs() < 1e-9);
+        let ledger = varz.get("ledger").unwrap();
+        assert_eq!(ledger.get("conserves").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            varz.get("counters")
+                .and_then(|c| c.get("dapd_decisions_total"))
+                .and_then(Json::as_u64),
+            Some(if dap_telemetry::enabled() { 130 } else { 0 })
+        );
+        // The snapshot round-trips through the in-tree JSON parser.
+        dap_telemetry::json::parse(&varz.to_string_compact()).unwrap();
+    }
+
+    #[test]
+    fn resolve_flight_records_inputs_and_outputs() {
+        let mut e = engine();
+        if !dap_telemetry::enabled() {
+            e.resolve();
+            assert_eq!(e.flight().total(), 0);
+            return;
+        }
+        e.report_served(0, 38_400, 1000).unwrap();
+        e.report_served(1, 38_400, 1000).unwrap();
+        e.resolve();
+        let events = e.flight().snapshot();
+        let last = events.last().expect("resolve recorded");
+        assert_eq!(last.kind, dap_telemetry::FlightKind::Resolve);
+        assert_eq!(last.cause, "measured");
+        // vals: [window, mbps0, mbps1, weight_ppm0, budget, k_milli]
+        assert_eq!(last.vals[0], i64::from(e.window_seq()));
+        assert_eq!(last.vals[1], 38_400); // 38.4 GB/s in MB/s
+        assert_eq!(last.vals[3], 500_000); // equal split, ppm
+        assert_eq!(last.vals[5], 1000); // K = 1.0 at equal rates
     }
 
     #[test]

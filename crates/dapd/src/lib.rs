@@ -30,7 +30,14 @@
 //! jittered-exponential-backoff retries with idempotency-aware
 //! semantics. Shed and reject events are counted in the same Prometheus
 //! exposition as the routing metrics (`dapd_shed_total`,
-//! `dapd_rejected_total_*`).
+//! `dapd_rejected_total{cause=...}`).
+//!
+//! The live ops plane rides on `dap-telemetry`: [`server::OpsView`] +
+//! [`server::ops_router`] mount `/metrics`, `/healthz`, `/varz`, and
+//! `/debug/flight` on an [`OpsServer`](dap_telemetry::http::OpsServer),
+//! and the engine feeds a crash-safe
+//! [`FlightRecorder`](dap_telemetry::FlightRecorder) that dumps the last
+//! N decisions on panic, `SIGUSR1`, or a reject-rate spike.
 //!
 //! Everything is hermetic: no async runtime, no registry dependencies —
 //! just `std::net`, `std::os::unix::net`, and the workspace crates.
@@ -47,5 +54,5 @@ pub use client::{Client, RetryPolicy};
 pub use engine::{
     BackendSpec, Engine, EngineConfig, RouteDecision, TenantClass, TenantLedger, TenantSpec,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{ops_router, OpsView, Server, ServerConfig, ServerHandle};
 pub use wire::{Message, RejectCode, WireError, MAX_PAYLOAD};

@@ -14,21 +14,35 @@
 //! * **Read/write deadlines** — a peer that stalls mid-frame (or simply
 //!   goes idle) is disconnected after `read_deadline`, so a slow-loris
 //!   client can never pin a worker thread. Counted in
-//!   `dapd_rejected_total_deadline`.
+//!   `dapd_rejected_total{cause="deadline"}`.
 //! * **Connection cap with deterministic load shedding** — beyond
 //!   `max_connections` live workers, new connections are accepted, sent
 //!   one [`Message::Reject`] with [`RejectCode::Overloaded`], and closed.
 //!   Nothing queues unboundedly. Counted in `dapd_shed_total` and
-//!   `dapd_rejected_total_overloaded`.
+//!   `dapd_rejected_total{cause="overloaded"}`.
 //! * **Per-connection frame/byte budgets** — a connection that exceeds
 //!   `max_frames_per_conn` or `max_bytes_per_conn` is told `Overloaded`
-//!   and closed (`dapd_rejected_total_frame_budget` /
-//!   `dapd_rejected_total_byte_budget`), so a garbage-spewing or runaway
+//!   and closed (`dapd_rejected_total{cause="frame_budget"}` /
+//!   `{cause="byte_budget"}`), so a garbage-spewing or runaway
 //!   client costs a bounded amount of work.
 //! * **Garbage isolation** — undecodable bytes close only the offending
-//!   connection (`dapd_rejected_total_garbage`); the wire layer's
-//!   [`crate::wire::SHUTDOWN_TOKEN`] guarantees garbage can never spoof a
-//!   shutdown order.
+//!   connection (`dapd_rejected_total{cause="garbage"}`); the wire
+//!   layer's [`crate::wire::SHUTDOWN_TOKEN`] guarantees garbage can
+//!   never spoof a shutdown order.
+//!
+//! ## Observability
+//!
+//! Every shed and reject is also recorded in the engine's
+//! [`FlightRecorder`] with its cause, and `GetRoute` handling is timed
+//! into the `dapd_decision_ns` histogram (server path only — the
+//! in-process bench drives [`Engine`] directly and stays uninstrumented).
+//! If [`ServerConfig::flight_dump_path`] is set, the accept loop watches
+//! the reject rate once per second and dumps the flight ring when it
+//! spikes past [`ServerConfig::reject_spike_per_sec`], so the window
+//! around an incident is preserved even if nobody was scraping.
+//! [`ServerHandle::ops_view`] exposes the `/metrics`, `/healthz`,
+//! `/varz`, and `/debug/flight` endpoints for an
+//! [`OpsServer`](dap_telemetry::http::OpsServer) via [`ops_router`].
 //!
 //! Finished worker handles are pruned in the accept loop (the live count
 //! is what the connection cap is checked against), so the worker table
@@ -43,7 +57,8 @@
 
 use crate::engine::{Engine, EngineError};
 use crate::wire::{read_frame_counted, write_frame, Message, RejectCode};
-use dap_telemetry::Counter;
+use dap_telemetry::http::OpsResponse;
+use dap_telemetry::{labeled, Counter, FlightKind, FlightRecorder, Histogram};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -51,7 +66,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
@@ -73,6 +88,16 @@ pub struct ServerConfig {
     /// Wire bytes (headers + payloads) one connection may send before
     /// being shed.
     pub max_bytes_per_conn: u64,
+    /// Where to dump the flight ring when the reject rate spikes.
+    /// `None` disables spike dumps (the ring is still reachable via
+    /// `/debug/flight` and `SIGUSR1`).
+    pub flight_dump_path: Option<PathBuf>,
+    /// Reject-rate threshold (rejects observed within one second) that
+    /// triggers a flight dump to [`flight_dump_path`]. Zero disables
+    /// the watcher.
+    ///
+    /// [`flight_dump_path`]: Self::flight_dump_path
+    pub reject_spike_per_sec: u64,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +108,8 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_frames_per_conn: 1 << 24,
             max_bytes_per_conn: 1 << 32,
+            flight_dump_path: None,
+            reject_spike_per_sec: 50,
         }
     }
 }
@@ -110,9 +137,9 @@ impl ServerConfig {
     }
 }
 
-/// Counter handles for the shed/reject bookkeeping, resolved once at
-/// spawn (they live in the engine's registry so `SnapshotStats` shows
-/// them) and cloned into every worker.
+/// Counter/histogram/flight handles for the shed/reject bookkeeping,
+/// resolved once at spawn (they live in the engine's registry so
+/// `SnapshotStats` shows them) and cloned into every worker.
 #[derive(Clone)]
 struct ServerMetrics {
     shed: Counter,
@@ -122,19 +149,55 @@ struct ServerMetrics {
     rejected_frame_budget: Counter,
     rejected_byte_budget: Counter,
     rejected_unknown_id: Counter,
+    decision_ns: Histogram,
+    flight: Arc<FlightRecorder>,
 }
 
 impl ServerMetrics {
     fn new(engine: &Engine) -> Self {
+        engine.describe("dapd_shed_total", "Connections shed at the admission cap.");
+        engine.describe(
+            "dapd_rejected_total",
+            "Requests/connections rejected at a fault boundary, by cause.",
+        );
+        engine.describe(
+            "dapd_decision_ns",
+            "GetRoute handling latency on the server path, nanoseconds.",
+        );
+        let cause = |c: &str| -> Counter {
+            engine.counter(&labeled("dapd_rejected_total", &[("cause", c)]))
+        };
         Self {
             shed: engine.counter("dapd_shed_total"),
-            rejected_overloaded: engine.counter("dapd_rejected_total_overloaded"),
-            rejected_deadline: engine.counter("dapd_rejected_total_deadline"),
-            rejected_garbage: engine.counter("dapd_rejected_total_garbage"),
-            rejected_frame_budget: engine.counter("dapd_rejected_total_frame_budget"),
-            rejected_byte_budget: engine.counter("dapd_rejected_total_byte_budget"),
-            rejected_unknown_id: engine.counter("dapd_rejected_total_unknown_id"),
+            rejected_overloaded: cause("overloaded"),
+            rejected_deadline: cause("deadline"),
+            rejected_garbage: cause("garbage"),
+            rejected_frame_budget: cause("frame_budget"),
+            rejected_byte_budget: cause("byte_budget"),
+            rejected_unknown_id: cause("unknown_id"),
+            decision_ns: engine.histogram("dapd_decision_ns"),
+            flight: Arc::clone(engine.flight()),
         }
+    }
+
+    /// One reject: bump the cause counter and flight-record it.
+    fn reject(&self, counter: &Counter, cause: &'static str, frames: u64, bytes: u64) {
+        counter.incr();
+        self.flight.record(
+            FlightKind::Reject,
+            cause,
+            [frames as i64, bytes as i64, 0, 0, 0, 0],
+        );
+    }
+
+    /// Total rejects across all causes (for the spike watcher).
+    fn rejects_total(&self) -> u64 {
+        self.rejected_overloaded.value()
+            + self.rejected_deadline.value()
+            + self.rejected_garbage.value()
+            + self.rejected_frame_budget.value()
+            + self.rejected_byte_budget.value()
+            + self.rejected_unknown_id.value()
     }
 }
 
@@ -297,9 +360,57 @@ fn accept_unix(l: &UnixListener) -> io::Result<UnixStream> {
 /// peer can hold the acceptor.
 fn shed<S: Conn>(mut stream: S, config: &ServerConfig, metrics: &ServerMetrics) {
     metrics.shed.incr();
-    metrics.rejected_overloaded.incr();
+    metrics.reject(&metrics.rejected_overloaded, "overloaded", 0, 0);
+    metrics
+        .flight
+        .record(FlightKind::Shed, "overloaded", [0; 6]);
     let _ = stream.set_deadlines(config.read_deadline, config.write_deadline);
     let _ = write_frame(&mut stream, &Message::Reject(RejectCode::Overloaded));
+}
+
+/// Once-per-second reject-rate watcher: when the last second's rejects
+/// exceed the configured threshold, the flight ring is dumped so the
+/// decisions *around* the incident survive even if nobody is scraping.
+struct SpikeWatcher {
+    window_start: Instant,
+    base_rejects: u64,
+}
+
+impl SpikeWatcher {
+    fn new(metrics: &ServerMetrics) -> Self {
+        Self {
+            window_start: Instant::now(),
+            base_rejects: metrics.rejects_total(),
+        }
+    }
+
+    fn tick(&mut self, config: &ServerConfig, metrics: &ServerMetrics) {
+        let Some(path) = &config.flight_dump_path else {
+            return;
+        };
+        if config.reject_spike_per_sec == 0 || self.window_start.elapsed() < Duration::from_secs(1)
+        {
+            return;
+        }
+        let now_total = metrics.rejects_total();
+        if now_total - self.base_rejects >= config.reject_spike_per_sec {
+            if let Err(e) = metrics.flight.dump_to(path, "dapd") {
+                eprintln!(
+                    "dapd: reject-spike flight dump to {} failed: {e}",
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "dapd: reject-rate spike ({} in 1s >= {}); flight dumped to {}",
+                    now_total - self.base_rejects,
+                    config.reject_spike_per_sec,
+                    path.display()
+                );
+            }
+        }
+        self.window_start = Instant::now();
+        self.base_rejects = now_total;
+    }
 }
 
 fn accept_loop<L, S>(
@@ -315,7 +426,9 @@ where
     S: Conn,
 {
     let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut spikes = SpikeWatcher::new(&metrics);
     while !stop.load(Ordering::SeqCst) {
+        spikes.tick(&config, &metrics);
         match accept(&listener) {
             Ok(stream) => {
                 // Prune finished workers first: the live count is what
@@ -376,10 +489,12 @@ fn serve_connection<S: io::Read + io::Write>(
                     // The OS read timeout fired: the peer stalled
                     // mid-frame or idled past the deadline.
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
-                        metrics.rejected_deadline.incr()
+                        metrics.reject(&metrics.rejected_deadline, "deadline", frames, bytes)
                     }
                     // Undecodable bytes: drop this connection only.
-                    io::ErrorKind::InvalidData => metrics.rejected_garbage.incr(),
+                    io::ErrorKind::InvalidData => {
+                        metrics.reject(&metrics.rejected_garbage, "garbage", frames, bytes)
+                    }
                     _ => {}
                 }
                 return Err(e);
@@ -388,12 +503,17 @@ fn serve_connection<S: io::Read + io::Write>(
         frames += 1;
         bytes += frame_bytes as u64;
         if frames > config.max_frames_per_conn {
-            metrics.rejected_frame_budget.incr();
+            metrics.reject(
+                &metrics.rejected_frame_budget,
+                "frame_budget",
+                frames,
+                bytes,
+            );
             let _ = write_frame(&mut stream, &Message::Reject(RejectCode::Overloaded));
             return Ok(());
         }
         if bytes > config.max_bytes_per_conn {
-            metrics.rejected_byte_budget.incr();
+            metrics.reject(&metrics.rejected_byte_budget, "byte_budget", frames, bytes);
             let _ = write_frame(&mut stream, &Message::Reject(RejectCode::Overloaded));
             return Ok(());
         }
@@ -404,17 +524,35 @@ fn serve_connection<S: io::Read + io::Write>(
         }
         let reply = match msg {
             Message::GetRoute { tenant, bytes } => {
-                match engine.lock().unwrap().route(tenant, bytes) {
+                // Timed here, not in the engine: the in-process bench
+                // drives `Engine::route` directly and must not pay for
+                // server-path instrumentation.
+                let t0 = Instant::now();
+                let routed = engine.lock().unwrap().route(tenant, bytes);
+                metrics
+                    .decision_ns
+                    .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                match routed {
                     Ok(d) => Message::Route {
                         source: d.backend as u8,
                         window: d.window,
                     },
                     Err(EngineError::UnknownTenant(_)) => {
-                        metrics.rejected_unknown_id.incr();
+                        metrics.reject(
+                            &metrics.rejected_unknown_id,
+                            "unknown_id",
+                            frames,
+                            u64::from(bytes),
+                        );
                         Message::Reject(RejectCode::UnknownTenant)
                     }
                     Err(_) => {
-                        metrics.rejected_unknown_id.incr();
+                        metrics.reject(
+                            &metrics.rejected_unknown_id,
+                            "unknown_id",
+                            frames,
+                            u64::from(bytes),
+                        );
                         Message::Reject(RejectCode::UnknownBackend)
                     }
                 }
@@ -430,7 +568,12 @@ fn serve_connection<S: io::Read + io::Write>(
             {
                 Ok(()) => Message::Ack,
                 Err(_) => {
-                    metrics.rejected_unknown_id.incr();
+                    metrics.reject(
+                        &metrics.rejected_unknown_id,
+                        "unknown_id",
+                        frames,
+                        u64::from(bytes),
+                    );
                     Message::Reject(RejectCode::UnknownBackend)
                 }
             },
@@ -454,10 +597,64 @@ fn serve_connection<S: io::Read + io::Write>(
     }
 }
 
+/// A cheap, clonable view of a running daemon for the ops plane: each
+/// method takes the engine lock briefly and renders. Detached from the
+/// [`ServerHandle`] lifetime so it can move into an
+/// [`OpsServer`](dap_telemetry::http::OpsServer) router closure.
+#[derive(Clone)]
+pub struct OpsView {
+    engine: Arc<Mutex<Engine>>,
+}
+
+impl OpsView {
+    /// The Prometheus exposition (`GET /metrics` body).
+    pub fn metrics_text(&self) -> String {
+        self.engine.lock().unwrap().stats_text()
+    }
+
+    /// The JSON operator snapshot (`GET /varz` body).
+    pub fn varz_text(&self) -> String {
+        self.engine.lock().unwrap().varz_json().to_string_compact()
+    }
+
+    /// The flight-recorder dump (`GET /debug/flight` body). The engine
+    /// lock is held only to clone the ring handle, not to render.
+    pub fn flight_jsonl(&self) -> String {
+        let flight = Arc::clone(self.engine.lock().unwrap().flight());
+        flight.dump_jsonl("dapd")
+    }
+
+    /// Runs `f` against the shared engine (same contract as
+    /// [`ServerHandle::with_engine`]).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.engine.lock().unwrap())
+    }
+}
+
+/// Routes the four ops endpoints — `/metrics`, `/healthz`, `/varz`,
+/// `/debug/flight` — onto `view`, for mounting with
+/// [`OpsServer::spawn`](dap_telemetry::http::OpsServer::spawn).
+pub fn ops_router(view: OpsView) -> dap_telemetry::http::OpsRouter {
+    Arc::new(move |path: &str| match path {
+        "/metrics" => OpsResponse::ok_text(view.metrics_text()),
+        "/healthz" => OpsResponse::ok_text("ok\n".to_string()),
+        "/varz" => OpsResponse::ok_json(view.varz_text()),
+        "/debug/flight" => OpsResponse::ok_text(view.flight_jsonl()),
+        _ => OpsResponse::not_found(),
+    })
+}
+
 impl ServerHandle {
     /// Asks the daemon to stop without a client round-trip.
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// A clonable ops-plane view of the daemon (see [`OpsView`]).
+    pub fn ops_view(&self) -> OpsView {
+        OpsView {
+            engine: Arc::clone(&self.engine),
+        }
     }
 
     /// Whether a shutdown has been requested.
@@ -647,7 +844,7 @@ mod tests {
         let stats = handle.stats_text();
         assert!(counter_value(&stats, "dapd_shed_total") >= 1, "{stats}");
         assert!(
-            counter_value(&stats, "dapd_rejected_total_overloaded") >= 1,
+            counter_value(&stats, "dapd_rejected_total{cause=\"overloaded\"}") >= 1,
             "{stats}"
         );
         drop(pin_a);
@@ -678,7 +875,7 @@ mod tests {
         assert_eq!(stream.read(&mut buf).unwrap(), 0, "dropped at deadline");
         let stats = handle.stats_text();
         assert!(
-            counter_value(&stats, "dapd_rejected_total_deadline") >= 1,
+            counter_value(&stats, "dapd_rejected_total{cause=\"deadline\"}") >= 1,
             "{stats}"
         );
         handle.request_stop();
@@ -707,7 +904,7 @@ mod tests {
         client.get_route(0, 64).unwrap();
         let stats = client.snapshot_stats().unwrap();
         assert!(
-            counter_value(&stats, "dapd_rejected_total_garbage") >= 1,
+            counter_value(&stats, "dapd_rejected_total{cause=\"garbage\"}") >= 1,
             "{stats}"
         );
         client.shutdown().unwrap();
@@ -728,7 +925,7 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::ResourceBusy, "{err}");
         let stats = handle.stats_text();
         assert!(
-            counter_value(&stats, "dapd_rejected_total_frame_budget") >= 1,
+            counter_value(&stats, "dapd_rejected_total{cause=\"frame_budget\"}") >= 1,
             "{stats}"
         );
         // A fresh connection gets a fresh budget.
@@ -751,9 +948,52 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::ResourceBusy, "{err}");
         let stats = handle.stats_text();
         assert!(
-            counter_value(&stats, "dapd_rejected_total_byte_budget") >= 1,
+            counter_value(&stats, "dapd_rejected_total{cause=\"byte_budget\"}") >= 1,
             "{stats}"
         );
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ops_endpoints_serve_metrics_varz_and_flight() {
+        use dap_telemetry::http::{http_get, OpsServer};
+
+        let (handle, addr) = spawn_tcp();
+        let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+        client.get_route(0, 4096).unwrap();
+        client.report_served(0, 4096, 100).unwrap();
+
+        let ops = OpsServer::bind("127.0.0.1:0")
+            .unwrap()
+            .spawn(ops_router(handle.ops_view()))
+            .unwrap();
+        let ops_addr = ops.addr().to_string();
+        let timeout = Duration::from_secs(5);
+
+        let (status, body) = http_get(&ops_addr, "/metrics", timeout).unwrap();
+        assert_eq!(status, 200);
+        dap_telemetry::check_exposition(&body).unwrap();
+        assert!(body.contains("dapd_decisions_total"), "{body}");
+
+        let (status, body) = http_get(&ops_addr, "/healthz", timeout).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(&ops_addr, "/varz", timeout).unwrap();
+        assert_eq!(status, 200);
+        let varz = dap_telemetry::json::parse(&body).unwrap();
+        assert!(varz.get("backends").is_some(), "{body}");
+        assert!(varz.get("ledger").is_some(), "{body}");
+
+        let (status, body) = http_get(&ops_addr, "/debug/flight", timeout).unwrap();
+        assert_eq!(status, 200);
+        dap_telemetry::flight::parse_flight_dump(&body).unwrap();
+
+        let (status, _) = http_get(&ops_addr, "/nope", timeout).unwrap();
+        assert_eq!(status, 404);
+
+        drop(ops);
         handle.request_stop();
         handle.join().unwrap();
     }

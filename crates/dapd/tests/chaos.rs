@@ -20,8 +20,13 @@
 //!   bandwidth estimator permanently;
 //! * the `TenantLedger` conservation invariant holds exactly;
 //! * every fault class actually fired (the harness isn't vacuous), and
-//!   the server counted deadline/garbage closes in its metrics.
+//!   the server counted deadline/garbage closes in its metrics;
+//! * the proxy's flight ring, dumped post-soak, names every injected
+//!   fault class and its drop accounting is *exact* (`dropped` =
+//!   `total - capacity` once the ring wraps), and the daemon's own
+//!   flight ring recorded both `resolve` and `reject` events.
 
+use dap_telemetry::flight::{parse_flight_dump, FlightKind, FlightRecorder};
 use dapd::{Client, Engine, EngineConfig, Message, RejectCode, RetryPolicy, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::Shutdown;
@@ -128,11 +133,17 @@ fn plans(index: u64, seed: u64) -> (Vec<Fault>, Vec<Fault>) {
 /// Forwards bytes `src` → `dst`, applying `faults` at their absolute
 /// offsets. Returns when either side closes or a Drop fault fires;
 /// both sides are shut down on exit so the paired pump unblocks too.
+/// Ring capacity for the proxy's flight recorder: small enough that a
+/// soak wraps it many times over, so the drop-accounting assertion is
+/// exercised for real.
+const PROXY_FLIGHT_CAPACITY: usize = 128;
+
 fn pump(
     mut src: UnixStream,
     mut dst: UnixStream,
     faults: Vec<Fault>,
     counters: Arc<FaultCounters>,
+    flight: Arc<FlightRecorder>,
 ) {
     let mut pos: u64 = 0;
     let mut next = 0usize;
@@ -146,10 +157,12 @@ fn pump(
         let mut written = 0usize;
         while next < faults.len() && faults[next].offset < pos + n as u64 {
             let at = (faults[next].offset - pos) as usize;
+            let fault_vals = [faults[next].offset as i64, 0, 0, 0, 0, 0];
             match faults[next].kind {
                 FaultKind::Corrupt => {
                     chunk[at] ^= 0x20;
                     counters.corruptions.fetch_add(1, Ordering::Relaxed);
+                    flight.record(FlightKind::Fault, "corrupt", fault_vals);
                 }
                 FaultKind::Split => {
                     if dst.write_all(&chunk[written..=at]).is_err() {
@@ -159,6 +172,7 @@ fn pump(
                     thread::sleep(Duration::from_millis(1));
                     written = at + 1;
                     counters.splits.fetch_add(1, Ordering::Relaxed);
+                    flight.record(FlightKind::Fault, "split", fault_vals);
                 }
                 FaultKind::Stall => {
                     if dst.write_all(&chunk[written..at]).is_err() {
@@ -167,11 +181,13 @@ fn pump(
                     let _ = dst.flush();
                     written = at;
                     counters.stalls.fetch_add(1, Ordering::Relaxed);
+                    flight.record(FlightKind::Fault, "stall", fault_vals);
                     thread::sleep(STALL);
                 }
                 FaultKind::Drop => {
                     let _ = dst.write_all(&chunk[written..at]);
                     counters.drops.fetch_add(1, Ordering::Relaxed);
+                    flight.record(FlightKind::Fault, "drop", fault_vals);
                     break 'forward;
                 }
             }
@@ -192,6 +208,7 @@ struct Proxy {
     stop: Arc<AtomicBool>,
     acceptor: thread::JoinHandle<()>,
     counters: Arc<FaultCounters>,
+    flight: Arc<FlightRecorder>,
     path: PathBuf,
 }
 
@@ -201,9 +218,11 @@ impl Proxy {
         listener.set_nonblocking(true).expect("nonblocking");
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(FaultCounters::default());
+        let flight = Arc::new(FlightRecorder::new(PROXY_FLIGHT_CAPACITY));
         let acceptor = {
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
+            let flight = Arc::clone(&flight);
             let upstream = upstream.to_path_buf();
             thread::spawn(move || {
                 let mut index: u64 = 0;
@@ -219,10 +238,10 @@ impl Proxy {
                             index += 1;
                             let (ca, cb) = (client.try_clone().unwrap(), client);
                             let (sa, sb) = (server.try_clone().unwrap(), server);
-                            let up = Arc::clone(&counters);
-                            let down = Arc::clone(&counters);
-                            pumps.push(thread::spawn(move || pump(ca, sa, c2s, up)));
-                            pumps.push(thread::spawn(move || pump(sb, cb, s2c, down)));
+                            let up = (Arc::clone(&counters), Arc::clone(&flight));
+                            let down = (Arc::clone(&counters), Arc::clone(&flight));
+                            pumps.push(thread::spawn(move || pump(ca, sa, c2s, up.0, up.1)));
+                            pumps.push(thread::spawn(move || pump(sb, cb, s2c, down.0, down.1)));
                             pumps.retain(|p| !p.is_finished());
                         }
                         Err(_) => thread::sleep(Duration::from_millis(2)),
@@ -238,15 +257,16 @@ impl Proxy {
             stop,
             acceptor,
             counters,
+            flight,
             path: listen.to_path_buf(),
         }
     }
 
-    fn shutdown(self) -> Arc<FaultCounters> {
+    fn shutdown(self) -> (Arc<FaultCounters>, Arc<FlightRecorder>) {
         self.stop.store(true, Ordering::SeqCst);
         let _ = self.acceptor.join();
         let _ = std::fs::remove_file(&self.path);
-        self.counters
+        (self.counters, self.flight)
     }
 }
 
@@ -356,7 +376,7 @@ fn seeded_chaos_soak_converges_and_conserves() {
     );
     let reconnects = chaos_client.reconnects();
     drop(chaos_client);
-    let counters = proxy.shutdown();
+    let (counters, proxy_flight) = proxy.shutdown();
 
     // The harness must not be vacuous: every fault class fired, many
     // times, and the client lived through them by reconnecting.
@@ -382,6 +402,43 @@ fn seeded_chaos_soak_converges_and_conserves() {
         chaos_acked > 1_000,
         "only {chaos_acked} acked reports under chaos"
     );
+
+    // The proxy's flight ring is the black box for the soak: its dump
+    // must name every injected fault class, and — because the ring is
+    // far smaller than the fault count — its drop accounting must be
+    // exact: dropped = total - capacity once wrapped, and the dump's
+    // meta line must agree with the live recorder.
+    let dump = proxy_flight.dump_jsonl("chaos-proxy");
+    let (dumped_dropped, events) = parse_flight_dump(&dump).expect("valid flight dump");
+    let total = proxy_flight.total();
+    assert!(
+        total > PROXY_FLIGHT_CAPACITY as u64,
+        "soak too small to wrap the {PROXY_FLIGHT_CAPACITY}-slot ring (total {total})"
+    );
+    assert_eq!(events.len(), PROXY_FLIGHT_CAPACITY, "ring not full");
+    assert_eq!(
+        dumped_dropped,
+        total - PROXY_FLIGHT_CAPACITY as u64,
+        "inexact drop accounting"
+    );
+    assert_eq!(dumped_dropped, proxy_flight.dropped(), "meta/live disagree");
+    for class in ["corrupt", "split", "drop", "stall"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cause").and_then(|c| c.as_str()) == Some(class)),
+            "fault class {class:?} missing from flight dump:\n{dump}"
+        );
+    }
+    // Events must be oldest-first by sequence number, with no gaps.
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(|s| s.as_u64()).expect("seq"))
+        .collect();
+    for w in seqs.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "flight dump not contiguous: {seqs:?}");
+    }
+    assert_eq!(seqs[0], dumped_dropped, "oldest surviving seq != dropped");
 
     // Phase 2 — overload burst straight at the daemon: fill the
     // connection cap with idle peers, then verify extras are shed with
@@ -436,22 +493,33 @@ fn seeded_chaos_soak_converges_and_conserves() {
         "shed burst not counted: {stats}"
     );
     assert!(
-        counter_value(&stats, "dapd_rejected_total_overloaded") >= 3,
+        counter_value(&stats, "dapd_rejected_total{cause=\"overloaded\"}") >= 3,
         "overloaded rejects not counted"
     );
     assert!(
-        counter_value(&stats, "dapd_rejected_total_deadline") >= 1,
+        counter_value(&stats, "dapd_rejected_total{cause=\"deadline\"}") >= 1,
         "stalls never tripped the server deadline"
     );
     assert!(
-        counter_value(&stats, "dapd_rejected_total_garbage") >= 1,
+        counter_value(&stats, "dapd_rejected_total{cause=\"garbage\"}") >= 1,
         "corruption never registered as garbage"
     );
 
-    // Exact credit conservation survived every fault.
+    // Exact credit conservation survived every fault, and the daemon's
+    // own flight ring holds both sides of the story: window re-solves
+    // and the rejects the abuse provoked.
     handle.with_engine(|e| {
         assert!(e.ledger().conserves(), "ledger conservation violated");
         assert_eq!(e.ledger().overdraft(), 0, "ledger overdraft");
+        let kinds: Vec<FlightKind> = e.flight().snapshot().iter().map(|ev| ev.kind).collect();
+        assert!(
+            kinds.contains(&FlightKind::Resolve),
+            "no resolve events in daemon flight ring"
+        );
+        assert!(
+            kinds.contains(&FlightKind::Reject) || kinds.contains(&FlightKind::Shed),
+            "no reject/shed events in daemon flight ring: {kinds:?}"
+        );
     });
 
     clean.shutdown().expect("clean shutdown");

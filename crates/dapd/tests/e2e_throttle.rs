@@ -108,7 +108,7 @@ fn throttled_backend_shifts_routing_to_measured_eq4_optimum() {
     let stats = client.snapshot_stats().expect("stats");
     let mbps: i64 = stats
         .lines()
-        .find_map(|l| l.strip_prefix("dapd_effective_mbps_hbm "))
+        .find_map(|l| l.strip_prefix("dapd_effective_mbps{backend=\"hbm\"} "))
         .expect("hbm gauge present")
         .trim()
         .parse()

@@ -1,0 +1,87 @@
+//! Drift check: the README metric reference vs the live registry.
+//!
+//! The README's "Metric reference" tables promise operators a complete
+//! list of everything `GET /metrics` can serve. This test compares the
+//! `dapd` table against a real server's exposition in both directions:
+//! a family the server exports but the table omits fails, and a table
+//! row naming a family the server no longer exports fails. The `# TYPE`
+//! kind must match the table's type column too, so a counter quietly
+//! becoming a gauge is also a doc bug.
+
+use dapd::{Engine, EngineConfig, Server};
+
+const README: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+
+/// Extracts `(family, kind)` pairs from `# TYPE` lines of an exposition.
+fn live_families(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| {
+            let (family, kind) = rest.split_once(' ')?;
+            Some((family.to_string(), kind.to_string()))
+        })
+        .collect()
+}
+
+/// Returns the README slice between the named begin/end markers.
+fn table_section(marker: &str) -> &'static str {
+    let begin = format!("<!-- {marker}:begin -->");
+    let end = format!("<!-- {marker}:end -->");
+    let start = README
+        .find(&begin)
+        .unwrap_or_else(|| panic!("README is missing the {begin} marker"));
+    let stop = README
+        .find(&end)
+        .unwrap_or_else(|| panic!("README is missing the {end} marker"));
+    &README[start..stop]
+}
+
+/// Extracts the backticked family name of each table row whose name
+/// starts with one of `prefixes`.
+fn documented_families<'a>(table: &'a str, prefixes: &[&str]) -> Vec<&'a str> {
+    table
+        .lines()
+        .filter_map(|l| l.strip_prefix("| `"))
+        .filter_map(|rest| rest.split_once('`').map(|(name, _)| name))
+        .filter(|name| prefixes.iter().any(|p| name.starts_with(p)))
+        .collect()
+}
+
+#[test]
+fn readme_dapd_metric_table_matches_the_live_exposition() {
+    let engine = Engine::new(EngineConfig::hbm_ddr4_pair()).expect("stock config");
+    let server = Server::bind_tcp("127.0.0.1:0", engine).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let text = handle.ops_view().metrics_text();
+    handle.request_stop();
+    handle.join().expect("join");
+
+    dap_telemetry::check_exposition(&text).expect("well-formed exposition");
+    let live = live_families(&text);
+    assert!(
+        live.len() >= 20,
+        "expected the full dapd family set, got {}: {live:?}",
+        live.len()
+    );
+
+    let table = table_section("dapd-metric-table");
+    for (family, kind) in &live {
+        let row = format!("| `{family}` | {kind} |");
+        assert!(
+            table.contains(&row),
+            "README dapd metric table is missing `{family}` (type {kind}); \
+             add a `{row} ... |` row to the table in README.md"
+        );
+    }
+
+    let live_names: Vec<&str> = live.iter().map(|(f, _)| f.as_str()).collect();
+    let documented = documented_families(table, &["dapd_"]);
+    assert!(!documented.is_empty(), "dapd table parsed to zero rows");
+    for name in documented {
+        assert!(
+            live_names.contains(&name),
+            "README documents `{name}` but the server no longer exports it; \
+             drop the row or restore the metric"
+        );
+    }
+}

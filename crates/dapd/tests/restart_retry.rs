@@ -5,7 +5,7 @@
 //! `ReportServed` is retried only when the failure proves the server
 //! never saw a complete frame (connect/send failures, typed rejects),
 //! and *never* after the frame was fully written (a lost ack). So with
-//! `served` summed over both daemon incarnations' `dapd_served_bytes_*`
+//! `served` summed over both daemon incarnations' `dapd_served_bytes_total`
 //! counters, every run must satisfy
 //!
 //! ```text
@@ -46,8 +46,8 @@ fn served_bytes_total(stats: &str) -> u64 {
     stats
         .lines()
         .filter_map(|l| {
-            l.strip_prefix("dapd_served_bytes_")
-                .and_then(|rest| rest.split_once(' '))
+            l.strip_prefix("dapd_served_bytes_total{")
+                .and_then(|rest| rest.split_once("} "))
                 .map(|(_, v)| v.trim().parse::<u64>().unwrap())
         })
         .sum()

@@ -47,10 +47,10 @@ pub use metrics::{geomean, FigureResult, Row};
 pub use progress::{cell_finished, grid_started, GridProgress};
 pub use runner::{run_mix, run_workload, AloneIpcCache, PolicyKind, WorkloadRun};
 pub use shard::{
-    explore_grid, merge_worker_manifests, pareto_points, pareto_report, run_worker, supervise,
-    write_merged_manifest, ClaimOutcome, ExploreCell, ExploreGrid, FleetOutcome, LeaseLog,
-    LeaseSnapshot, MergeError, MergeReport, ParetoPoint, SupervisorConfig, WorkerConfig,
-    WorkerSummary,
+    explore_grid, live_fleet_exposition, merge_worker_manifests, pareto_points, pareto_report,
+    run_worker, supervise, supervise_with_tick, write_merged_manifest, ClaimOutcome, ExploreCell,
+    ExploreGrid, FleetOutcome, LeaseLog, LeaseSnapshot, MergeError, MergeReport, ParetoPoint,
+    SupervisorConfig, WorkerConfig, WorkerSummary,
 };
 pub use telemetry::{
     artifact_dir_from_env, export_variant_traces, run_variant_grid_traced, run_workload_traced,

@@ -97,6 +97,7 @@ impl MergeReport {
     /// `dapd`-style Prometheus text exposition of fleet health.
     pub fn exposition(&self) -> String {
         let registry = MetricsRegistry::new();
+        describe_shard_metrics(&registry);
         registry
             .counter("shard_cells_done_total")
             .add(self.runs.len() as u64);
@@ -152,6 +153,117 @@ impl MergeReport {
         }
         out
     }
+}
+
+/// Registers `# HELP` text for every `shard_*` family, so both the
+/// merged `fleet.prom` and the live mid-run rewrite carry headers the
+/// format checker (and a real Prometheus) accept.
+fn describe_shard_metrics(registry: &MetricsRegistry) {
+    for (name, help) in [
+        (
+            "shard_cells_done_total",
+            "Grid cells with a verified result.",
+        ),
+        (
+            "shard_cells_quarantined_total",
+            "Grid cells quarantined after repeated failures.",
+        ),
+        (
+            "shard_cells_missing_total",
+            "Grid cells with neither a result nor a quarantine record.",
+        ),
+        (
+            "shard_cells_in_flight",
+            "Grid cells currently held under a live lease.",
+        ),
+        (
+            "shard_cells_stolen_total",
+            "Cells claimed over an expired lease.",
+        ),
+        (
+            "shard_leases_expired_total",
+            "Leases that expired under their holder.",
+        ),
+        (
+            "shard_duplicate_completions_total",
+            "Cells finished by more than one worker, reconciled bit-identically.",
+        ),
+        (
+            "shard_worker_restarts_total",
+            "Worker processes restarted by the supervisor.",
+        ),
+        (
+            "shard_worker_crashes_total",
+            "Worker crashes observed by the supervisor.",
+        ),
+        (
+            "shard_worker_slots_abandoned",
+            "Worker slots abandoned after exhausting their restart budget.",
+        ),
+        (
+            "shard_manifest_parse_errors_total",
+            "Malformed manifest or lease-log lines skipped.",
+        ),
+    ] {
+        registry.describe(name, help);
+    }
+}
+
+/// Prometheus exposition of a *live* fleet, rendered from a mid-run
+/// [`LeaseSnapshot`] plus the supervisor's [`FleetOutcome`] so far.
+/// `dapctl explore` rewrites `fleet.prom` from this once a second while
+/// workers are still draining the grid (the merged post-run exposition
+/// then overwrites it with verified numbers).
+pub fn live_fleet_exposition(
+    snapshot: &crate::shard::LeaseSnapshot,
+    total_cells: usize,
+    outcome: &crate::shard::FleetOutcome,
+) -> String {
+    let registry = MetricsRegistry::new();
+    describe_shard_metrics(&registry);
+    let done = snapshot.cells.values().filter(|c| c.done).count() as u64;
+    let quarantined = snapshot.cells.values().filter(|c| c.quarantined).count() as u64;
+    let in_flight = snapshot
+        .cells
+        .values()
+        .filter(|c| {
+            !c.done && !c.quarantined && c.holder_expires_ms.is_some_and(|e| e > snapshot.now_ms)
+        })
+        .count() as u64;
+    let resolved = snapshot
+        .cells
+        .values()
+        .filter(|c| c.done || c.quarantined)
+        .count();
+    registry.counter("shard_cells_done_total").add(done);
+    registry
+        .counter("shard_cells_quarantined_total")
+        .add(quarantined);
+    registry
+        .counter("shard_cells_missing_total")
+        .add(total_cells.saturating_sub(resolved) as u64);
+    registry
+        .gauge("shard_cells_in_flight")
+        .set(in_flight as i64);
+    registry
+        .counter("shard_cells_stolen_total")
+        .add(snapshot.steals);
+    registry
+        .counter("shard_leases_expired_total")
+        .add(snapshot.leases_expired);
+    registry
+        .counter("shard_worker_restarts_total")
+        .add(outcome.restarts);
+    registry
+        .counter("shard_worker_crashes_total")
+        .add(outcome.crashes);
+    registry
+        .gauge("shard_worker_slots_abandoned")
+        .set(i64::from(outcome.abandoned_slots));
+    registry
+        .counter("shard_manifest_parse_errors_total")
+        .add(snapshot.parse_errors);
+    render_exposition(&registry.snapshot())
 }
 
 /// Bit-identity for [`WorkloadRun`]s: every `RunResult` field equal and
@@ -368,6 +480,102 @@ mod tests {
         let text = report.summary();
         assert!(text.contains("quarantined"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_exposition_reflects_a_mid_run_lease_snapshot() {
+        let dir = temp_dir("liveprom");
+        let grid = tiny_grid();
+        let keys = grid.keys();
+        let lease = LeaseLog::open(&dir.join("lease.log"), 60_000, 3).unwrap();
+        // One cell done, one held live, one untouched.
+        let ClaimOutcome::Won { epoch, .. } = lease.try_claim(&keys[0], "w0", 1).unwrap() else {
+            panic!();
+        };
+        lease.complete(&keys[0], "w0", epoch).unwrap();
+        let ClaimOutcome::Won { .. } = lease.try_claim(&keys[1], "w1", 2).unwrap() else {
+            panic!();
+        };
+
+        let snapshot = lease.snapshot().unwrap();
+        let outcome = crate::shard::FleetOutcome {
+            restarts: 2,
+            crashes: 3,
+            abandoned_slots: 1,
+            interrupted: false,
+        };
+        let prom = live_fleet_exposition(&snapshot, grid.cells.len(), &outcome);
+        dap_telemetry::check_exposition(&prom).unwrap_or_else(|e| panic!("{e}\n{prom}"));
+        assert!(prom.contains("# HELP shard_cells_done_total"), "{prom}");
+        assert!(prom.contains("shard_cells_done_total 1"), "{prom}");
+        assert!(prom.contains("shard_cells_in_flight 1"), "{prom}");
+        assert!(prom.contains("shard_cells_missing_total 2"), "{prom}");
+        assert!(prom.contains("shard_worker_crashes_total 3"), "{prom}");
+        assert!(prom.contains("shard_worker_restarts_total 2"), "{prom}");
+        assert!(prom.contains("shard_worker_slots_abandoned 1"), "{prom}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Drift check against the README "Metric reference" fleet table:
+    /// every family either exposition can emit must be documented, and
+    /// every documented `shard_*` family must still exist.
+    #[test]
+    fn readme_shard_metric_table_matches_the_expositions() {
+        let dir = temp_dir("promdoc");
+        let grid = tiny_grid();
+        let merged = merge_worker_manifests(&dir, &grid, 3, 0)
+            .unwrap()
+            .exposition();
+        let lease = LeaseLog::open(&dir.join("lease.log"), 60_000, 3).unwrap();
+        let snapshot = lease.snapshot().unwrap();
+        let outcome = crate::shard::FleetOutcome {
+            restarts: 0,
+            crashes: 0,
+            abandoned_slots: 0,
+            interrupted: false,
+        };
+        let live = live_fleet_exposition(&snapshot, grid.cells.len(), &outcome);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        let begin = readme
+            .find("<!-- shard-metric-table:begin -->")
+            .expect("README shard table begin marker");
+        let end = readme
+            .find("<!-- shard-metric-table:end -->")
+            .expect("README shard table end marker");
+        let table = &readme[begin..end];
+
+        let mut families: Vec<(&str, &str)> = Vec::new();
+        for text in [merged.as_str(), live.as_str()] {
+            for (family, kind) in text
+                .lines()
+                .filter_map(|l| l.strip_prefix("# TYPE "))
+                .filter_map(|rest| rest.split_once(' '))
+            {
+                if !families.iter().any(|(f, _)| *f == family) {
+                    families.push((family, kind));
+                }
+            }
+        }
+        assert!(families.len() >= 11, "family union too small: {families:?}");
+        for (family, kind) in &families {
+            let row = format!("| `{family}` | {kind} |");
+            assert!(
+                table.contains(&row),
+                "README fleet metric table is missing `{family}` (type {kind})"
+            );
+        }
+        for name in table
+            .lines()
+            .filter_map(|l| l.strip_prefix("| `"))
+            .filter_map(|rest| rest.split_once('`').map(|(n, _)| n))
+        {
+            assert!(
+                families.iter().any(|(f, _)| *f == name),
+                "README documents `{name}` but no fleet exposition exports it"
+            );
+        }
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub use grid::{explore_grid, grid_names, ExploreCell, ExploreGrid};
 pub use lease::{
     CellSummary, ClaimOutcome, Clock, LeaseLog, LeaseSnapshot, ManualClock, RenewOutcome, WallClock,
 };
-pub use merge::{merge_worker_manifests, write_merged_manifest, MergeError, MergeReport};
+pub use merge::{
+    live_fleet_exposition, merge_worker_manifests, write_merged_manifest, MergeError, MergeReport,
+};
 pub use pareto::{pareto_points, pareto_report, ParetoPoint};
-pub use supervisor::{supervise, FleetOutcome, SupervisorConfig};
+pub use supervisor::{supervise, supervise_with_tick, FleetOutcome, SupervisorConfig};
 pub use worker::{run_worker, WorkerConfig, WorkerSummary, KILL_ENV, POISON_ENV};

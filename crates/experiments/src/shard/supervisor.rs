@@ -128,8 +128,26 @@ fn died_by_sigint(_status: &std::process::ExitStatus) -> bool {
 /// it is restarted or counted in the [`FleetOutcome`].
 pub fn supervise(
     cfg: &SupervisorConfig,
+    spawn: impl FnMut(u32, u32) -> std::io::Result<Child>,
+    cancel: &CancelToken,
+) -> std::io::Result<FleetOutcome> {
+    supervise_with_tick(cfg, spawn, cancel, |_| {})
+}
+
+/// [`supervise`] with a periodic observer: `tick` runs once per poll
+/// iteration (~25 ms cadence) with the fleet health so far, so a caller
+/// can publish live fleet metrics (`dapctl explore` rewrites
+/// `fleet.prom` from it) without a second thread racing the supervisor.
+/// The callback must be fast — it runs on the supervision loop.
+///
+/// # Errors
+///
+/// Same as [`supervise`]: spawn/wait I/O errors only.
+pub fn supervise_with_tick(
+    cfg: &SupervisorConfig,
     mut spawn: impl FnMut(u32, u32) -> std::io::Result<Child>,
     cancel: &CancelToken,
+    mut tick: impl FnMut(&FleetOutcome),
 ) -> std::io::Result<FleetOutcome> {
     let mut rng = SplitMix64::new(cfg.seed);
     let mut outcome = FleetOutcome::default();
@@ -210,6 +228,7 @@ pub fn supervise(
                 }
             }
         }
+        tick(&outcome);
         if all_settled {
             return Ok(outcome);
         }
@@ -305,6 +324,26 @@ mod tests {
         assert_eq!(spawns, 1);
         assert!(outcome.interrupted);
         assert_eq!(outcome.restarts, 0);
+    }
+
+    #[test]
+    fn tick_observes_fleet_health_every_iteration() {
+        let mut ticks = 0u64;
+        let mut saw_crash = false;
+        let outcome = supervise_with_tick(
+            &fast_cfg(1, 1),
+            |_, inc| sh(if inc == 1 { "exit 7" } else { "exit 0" }),
+            &CancelToken::new(),
+            |o| {
+                ticks += 1;
+                saw_crash |= o.crashes > 0;
+            },
+        )
+        .unwrap();
+        assert!(ticks >= 1, "tick never fired");
+        assert!(saw_crash, "tick never observed the crash");
+        assert_eq!(outcome.crashes, 1);
+        assert_eq!(outcome.restarts, 1);
     }
 
     #[cfg(unix)]

@@ -280,6 +280,52 @@ mod tests {
     use super::*;
     use crate::dram::{DramConfig, DramModule};
 
+    /// Drift check against the README "Metric reference" simulator
+    /// table: every family this bundle registers must be documented
+    /// with the right type, and every documented `mem.*`/`mm.*`/
+    /// `prof.*` family must still be registered here.
+    #[test]
+    fn readme_sim_metric_table_matches_the_registry() {
+        if !dap_telemetry::enabled() {
+            return; // telemetry-off registers nothing
+        }
+        let registry = MetricsRegistry::new();
+        let _telemetry = SubsystemTelemetry::new(&registry);
+        let snap = registry.snapshot();
+        let mut families: Vec<(String, &str)> = Vec::new();
+        families.extend(snap.counters.keys().map(|k| (k.clone(), "counter")));
+        families.extend(snap.gauges.keys().map(|k| (k.clone(), "gauge")));
+        families.extend(snap.histograms.keys().map(|k| (k.clone(), "histogram")));
+        assert!(families.len() >= 18, "registry too small: {families:?}");
+
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        let begin = readme
+            .find("<!-- sim-metric-table:begin -->")
+            .expect("README sim table begin marker");
+        let end = readme
+            .find("<!-- sim-metric-table:end -->")
+            .expect("README sim table end marker");
+        let table = &readme[begin..end];
+
+        for (family, kind) in &families {
+            let row = format!("| `{family}` | {kind} |");
+            assert!(
+                table.contains(&row),
+                "README simulator metric table is missing `{family}` (type {kind})"
+            );
+        }
+        for name in table
+            .lines()
+            .filter_map(|l| l.strip_prefix("| `"))
+            .filter_map(|rest| rest.split_once('`').map(|(n, _)| n))
+        {
+            assert!(
+                families.iter().any(|(f, _)| f == name),
+                "README documents `{name}` but SubsystemTelemetry no longer registers it"
+            );
+        }
+    }
+
     #[test]
     fn demand_read_feeds_all_histograms() {
         let registry = MetricsRegistry::new();

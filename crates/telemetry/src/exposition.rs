@@ -1,17 +1,33 @@
 //! Prometheus-text-format exposition of a [`MetricsSnapshot`].
 //!
 //! [`render_exposition`] turns a snapshot into the plain-text format a
-//! Prometheus scrape endpoint serves: one `# TYPE` comment per metric,
-//! counters/gauges as single samples, and histograms as the standard
-//! cumulative `_bucket{le="..."}` series with `_sum` and `_count`. Metric
-//! names are sanitized to the Prometheus charset (`[a-zA-Z0-9_:]`), so
-//! the registry's dotted names (`mem.read_latency`) come out as
-//! `mem_read_latency`.
+//! Prometheus scrape endpoint serves: one `# HELP` (when registered via
+//! [`MetricsRegistry::describe`]) and one `# TYPE` comment per metric
+//! *family*, counters/gauges as single samples, and histograms as the
+//! standard cumulative `_bucket{le="..."}` series with `_sum` and
+//! `_count`. Metric names are sanitized to the Prometheus charset
+//! (`[a-zA-Z0-9_:]`), so the registry's dotted names
+//! (`mem.read_latency`) come out as `mem_read_latency`.
 //!
-//! Output is deterministic: snapshots iterate in name order, and bucket
+//! Labeled series are plain registry entries whose name is the full
+//! canonical key — build them with [`labeled`], which sanitizes the
+//! family, validates label names, and escapes label values. The
+//! renderer groups keys by family (the name up to the first `{`) so a
+//! family's samples share one `# TYPE` header, as the format requires.
+//!
+//! Output is deterministic: families render in name order, and bucket
 //! rows stop at the last non-empty bucket (the `+Inf` row always closes
 //! the series), so exports diff cleanly between runs.
+//!
+//! [`check_exposition`] is the in-tree format checker: it validates the
+//! line grammar, metric-name and label-name charsets, label escaping,
+//! the `_total` suffix convention for counters, `# TYPE`-before-samples
+//! ordering, and cumulative-bucket monotonicity — used as a library
+//! test here and as a CI gate on the live `/metrics` endpoint.
+//!
+//! [`MetricsRegistry::describe`]: crate::metrics::MetricsRegistry::describe
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::metrics::{bucket_upper_bound, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
@@ -34,8 +50,92 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value for the text format: backslash, double quote,
+/// and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn sanitize_label_name(name: &str) -> String {
+    // Label names exclude `:` (reserved for metric names).
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Builds the canonical registry key for a labeled series:
+/// `family{k="v",...}` with the family sanitized, label names reduced to
+/// `[a-zA-Z0-9_]`, and label values escaped. Register the series under
+/// this key and the renderer groups it with its family.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = sanitize_metric_name(family);
+    if labels.is_empty() {
+        return out;
+    }
+    out.push('{');
+    for (i, (name, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            sanitize_label_name(name),
+            escape_label_value(value)
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// The family part of a (possibly labeled) registry key: the name up to
+/// the first `{`.
+pub fn metric_family(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Sanitizes the family part of a key, passing any `{...}` label suffix
+/// through untouched (label syntax is produced by [`labeled`], which
+/// already escaped it).
+fn sanitize_key(key: &str) -> String {
+    match key.find('{') {
+        Some(brace) => {
+            let mut out = sanitize_metric_name(&key[..brace]);
+            out.push_str(&key[brace..]);
+            out
+        }
+        None => sanitize_metric_name(key),
+    }
+}
+
+fn emit_header(out: &mut String, snapshot: &MetricsSnapshot, raw_family: &str, kind: &str) {
+    let family = sanitize_metric_name(metric_family(raw_family));
+    if let Some(help) = snapshot.helps.get(metric_family(raw_family)) {
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        let _ = writeln!(out, "# HELP {family} {help}");
+    }
+    let _ = writeln!(out, "# TYPE {family} {kind}");
+}
+
 fn render_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
-    let _ = writeln!(out, "# TYPE {name} histogram");
     let last_used = hist
         .buckets
         .iter()
@@ -56,23 +156,315 @@ fn render_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
     let _ = writeln!(out, "{name}_count {}", hist.count);
 }
 
+/// Groups keys of one metric section by family, preserving key order
+/// within each family. Grouping (rather than relying on `BTreeMap`
+/// adjacency) keeps a family's samples under one header even when an
+/// unlabeled sibling name sorts between its labeled series.
+fn group_by_family<'a, V>(
+    entries: impl Iterator<Item = (&'a String, V)>,
+) -> BTreeMap<String, Vec<(String, V)>> {
+    let mut families: BTreeMap<String, Vec<(String, V)>> = BTreeMap::new();
+    for (key, value) in entries {
+        let sanitized = sanitize_key(key);
+        families
+            .entry(metric_family(&sanitized).to_string())
+            .or_default()
+            .push((sanitized, value));
+    }
+    families
+}
+
 /// Renders `snapshot` in the Prometheus text exposition format.
 pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let name = sanitize_metric_name(name);
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
+    for (family, samples) in group_by_family(snapshot.counters.iter().map(|(k, v)| (k, *v))) {
+        emit_header(&mut out, snapshot, &family, "counter");
+        for (key, value) in samples {
+            let _ = writeln!(out, "{key} {value}");
+        }
     }
-    for (name, value) in &snapshot.gauges {
-        let name = sanitize_metric_name(name);
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        let _ = writeln!(out, "{name} {value}");
+    for (family, samples) in group_by_family(snapshot.gauges.iter().map(|(k, v)| (k, *v))) {
+        emit_header(&mut out, snapshot, &family, "gauge");
+        for (key, value) in samples {
+            let _ = writeln!(out, "{key} {value}");
+        }
     }
     for (name, hist) in &snapshot.histograms {
-        render_histogram(&mut out, &sanitize_metric_name(name), hist);
+        let name = sanitize_key(name);
+        emit_header(&mut out, snapshot, &name, "histogram");
+        render_histogram(&mut out, &name, hist);
     }
     out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{label="v",...} value`, validating name/label charsets and
+/// escape sequences.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b' ' {
+        i += 1;
+    }
+    let name = &line[..i];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            if i >= bytes.len() {
+                return Err("unterminated label set".to_string());
+            }
+            if bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'=' {
+                i += 1;
+            }
+            let lname = &line[start..i];
+            if !valid_label_name(lname) {
+                return Err(format!("invalid label name {lname:?}"));
+            }
+            if i + 1 >= bytes.len() || bytes[i + 1] != b'"' {
+                return Err(format!("label {lname:?}: expected '=\"'"));
+            }
+            i += 2;
+            let mut value = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err(format!("label {lname:?}: unterminated value")),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => match bytes.get(i + 1) {
+                        Some(b'\\') => {
+                            value.push('\\');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            value.push('"');
+                            i += 2;
+                        }
+                        Some(b'n') => {
+                            value.push('\n');
+                            i += 2;
+                        }
+                        other => {
+                            return Err(format!(
+                                "label {lname:?}: invalid escape \\{}",
+                                other.map(|&b| b as char).unwrap_or(' ')
+                            ))
+                        }
+                    },
+                    Some(_) => {
+                        // Advance one whole UTF-8 character.
+                        let c = line[i..].chars().next().unwrap();
+                        value.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((lname.to_string(), value));
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {}
+                _ => return Err("expected ',' or '}' after label".to_string()),
+            }
+        }
+    }
+    let rest = line[i..].trim_start();
+    if rest.is_empty() {
+        return Err("missing sample value".to_string());
+    }
+    let value: f64 = rest
+        .parse()
+        .map_err(|_| format!("invalid sample value {rest:?}"))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+#[derive(Default)]
+struct BucketState {
+    last: f64,
+    inf: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Validates `text` against the Prometheus text exposition format plus
+/// the repo's conventions. Checks, per line and per family:
+///
+/// - metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*` and label names
+///   `[a-zA-Z_][a-zA-Z0-9_]*`, with only `\\`, `\"`, and `\n` escapes in
+///   label values;
+/// - every sample's family has a preceding `# TYPE` of a known kind, at
+///   most one per family, and `# HELP` (optional) precedes it;
+/// - counter families carry the `_total` suffix and never go negative;
+/// - histogram families expose only `_bucket`/`_sum`/`_count` samples,
+///   every `_bucket` has an `le` label, cumulative bucket values are
+///   monotone non-decreasing, and the `+Inf` bucket equals `_count`.
+///
+/// Returns the first violation as `Err`, with its 1-based line number.
+pub fn check_exposition(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, &str> = BTreeMap::new();
+    let mut helps: BTreeMap<String, ()> = BTreeMap::new();
+    let mut sampled: BTreeMap<String, ()> = BTreeMap::new();
+    let mut buckets: BTreeMap<String, BucketState> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let fail = |msg: String| Err(format!("line {lineno}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !valid_metric_name(name) {
+                return fail(format!("invalid metric name {name:?} in HELP"));
+            }
+            if help.is_empty() {
+                return fail(format!("empty HELP text for {name}"));
+            }
+            if helps.insert(name.to_string(), ()).is_some() {
+                return fail(format!("duplicate HELP for {name}"));
+            }
+            if types.contains_key(name) || sampled.contains_key(name) {
+                return fail(format!("HELP for {name} after its TYPE or samples"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                return fail("TYPE line missing kind".to_string());
+            };
+            if !valid_metric_name(name) {
+                return fail(format!("invalid metric name {name:?} in TYPE"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return fail(format!("unknown metric type {kind:?} for {name}"));
+            }
+            if sampled.contains_key(name) {
+                return fail(format!("TYPE for {name} after its samples"));
+            }
+            if types.insert(name.to_string(), kind_static(kind)).is_some() {
+                return fail(format!("duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = match parse_sample(line) {
+            Ok(sample) => sample,
+            Err(msg) => return fail(msg),
+        };
+        // Resolve the sample to its family: an exact TYPE match, or a
+        // histogram suffix.
+        let (family, kind) = if let Some(kind) = types.get(&sample.name) {
+            (sample.name.clone(), *kind)
+        } else {
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| sample.name.strip_suffix(s))
+                .unwrap_or(&sample.name);
+            match types.get(base) {
+                Some(&"histogram") => (base.to_string(), "histogram"),
+                _ => return fail(format!("sample {} has no preceding # TYPE", sample.name)),
+            }
+        };
+        sampled.insert(family.clone(), ());
+        match kind {
+            "counter" => {
+                if !family.ends_with("_total") {
+                    return fail(format!("counter {family} does not end with _total"));
+                }
+                if sample.value < 0.0 {
+                    return fail(format!("counter {family} has negative value"));
+                }
+            }
+            "gauge" => {}
+            "histogram" => {
+                let state = buckets.entry(family.clone()).or_default();
+                if sample.name.ends_with("_bucket") {
+                    let Some((_, le)) = sample.labels.iter().find(|(k, _)| k == "le") else {
+                        return fail(format!("{}_bucket without an le label", family));
+                    };
+                    if sample.value < state.last {
+                        return fail(format!(
+                            "histogram {family} buckets not cumulative at le={le}"
+                        ));
+                    }
+                    state.last = sample.value;
+                    if le == "+Inf" {
+                        state.inf = Some(sample.value);
+                    } else if le.parse::<f64>().is_err() {
+                        return fail(format!("histogram {family} has non-numeric le={le:?}"));
+                    }
+                } else if sample.name.ends_with("_count") {
+                    state.count = Some(sample.value);
+                } else if !sample.name.ends_with("_sum") {
+                    return fail(format!(
+                        "histogram {family} sample {} is not _bucket/_sum/_count",
+                        sample.name
+                    ));
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    for (family, state) in &buckets {
+        let Some(inf) = state.inf else {
+            return Err(format!("histogram {family} has no +Inf bucket"));
+        };
+        match state.count {
+            Some(count) if count == inf => {}
+            Some(_) => {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket disagrees with _count"
+                ))
+            }
+            None => return Err(format!("histogram {family} has no _count sample")),
+        }
+    }
+    Ok(())
+}
+
+fn kind_static(kind: &str) -> &'static str {
+    match kind {
+        "counter" => "counter",
+        "gauge" => "gauge",
+        _ => "histogram",
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +542,122 @@ mod tests {
         let text = render_exposition(&snapshot);
         assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)), "{text}");
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn labeled_builds_escaped_canonical_keys() {
+        assert_eq!(labeled("hits_total", &[]), "hits_total");
+        assert_eq!(
+            labeled("hits_total", &[("backend", "hbm")]),
+            "hits_total{backend=\"hbm\"}"
+        );
+        assert_eq!(
+            labeled("mem.hits_total", &[("te nant", "a\"b\\c\nd")]),
+            "mem_hits_total{te_nant=\"a\\\"b\\\\c\\nd\"}"
+        );
+        assert_eq!(metric_family("hits_total{backend=\"hbm\"}"), "hits_total");
+        assert_eq!(metric_family("hits_total"), "hits_total");
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = MetricsRegistry::new();
+        registry.describe("served_total", "Requests served per backend.");
+        registry
+            .counter(&labeled("served_total", &[("backend", "hbm")]))
+            .add(3);
+        registry
+            .counter(&labeled("served_total", &[("backend", "ddr4")]))
+            .add(1);
+        // An unlabeled sibling that sorts *between* the family name and
+        // its labeled keys must not split the group.
+        registry.counter("served_totals_total").add(9);
+        let text = render_exposition(&registry.snapshot());
+        assert_eq!(text.matches("# TYPE served_total counter").count(), 1);
+        assert!(text.contains(
+            "# HELP served_total Requests served per backend.\n\
+             # TYPE served_total counter\n\
+             served_total{backend=\"ddr4\"} 1\n\
+             served_total{backend=\"hbm\"} 3\n"
+        ));
+        check_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn renderer_output_passes_the_checker() {
+        if !crate::enabled() {
+            return;
+        }
+        let registry = MetricsRegistry::new();
+        registry.describe("hits_total", "Cache hits.");
+        registry.counter("hits_total").add(2);
+        registry
+            .counter(&labeled("req_total", &[("tenant", "a\"b")]))
+            .incr();
+        registry.gauge("depth").set(-4);
+        let hist = registry.histogram("lat_ns");
+        for v in [0u64, 3, 900, u64::MAX] {
+            hist.record(v);
+        }
+        let text = render_exposition(&registry.snapshot());
+        check_exposition(&text).unwrap();
+        assert!(text.contains("# HELP hits_total Cache hits.\n"));
+    }
+
+    #[test]
+    fn checker_rejects_format_violations() {
+        // Sample with no TYPE.
+        assert!(check_exposition("x_total 1\n").is_err());
+        // Counter without the _total suffix.
+        assert!(check_exposition("# TYPE x counter\nx 1\n").is_err());
+        // Negative counter.
+        assert!(check_exposition("# TYPE x_total counter\nx_total -1\n").is_err());
+        // Invalid metric name.
+        assert!(check_exposition("# TYPE 9x_total counter\n9x_total 1\n").is_err());
+        // Bad escape in a label value.
+        assert!(check_exposition("# TYPE x_total counter\nx_total{a=\"b\\q\"} 1\n").is_err());
+        // Unterminated label set.
+        assert!(check_exposition("# TYPE x_total counter\nx_total{a=\"b\" 1\n").is_err());
+        // Duplicate TYPE.
+        assert!(check_exposition("# TYPE x gauge\n# TYPE x gauge\nx 1\n").is_err());
+        // HELP after samples.
+        assert!(check_exposition("# TYPE x gauge\nx 1\n# HELP x late\n").is_err());
+        // Non-cumulative histogram buckets.
+        assert!(check_exposition(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\n\
+             h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"
+        )
+        .is_err());
+        // Histogram whose +Inf disagrees with _count.
+        assert!(check_exposition(
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 3\n"
+        )
+        .is_err());
+        // Histogram missing +Inf entirely.
+        assert!(
+            check_exposition("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 3\nh_count 2\n")
+                .is_err()
+        );
+        // Missing value.
+        assert!(check_exposition("# TYPE x gauge\nx\n").is_err());
+        // Garbage value.
+        assert!(check_exposition("# TYPE x gauge\nx pancake\n").is_err());
+    }
+
+    #[test]
+    fn checker_accepts_gauges_labels_and_comments() {
+        check_exposition(
+            "# scraped from dapd\n\
+             # HELP depth Queue depth.\n\
+             # TYPE depth gauge\n\
+             depth -3\n\
+             # TYPE served_total counter\n\
+             served_total{backend=\"hbm\",tenant=\"a\\\"b\"} 12\n\
+             served_total{backend=\"ddr4\"} 3\n",
+        )
+        .unwrap();
     }
 }

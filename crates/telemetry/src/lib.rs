@@ -19,7 +19,15 @@
 //!   snapshots (with percentile columns), and profiler rollups.
 //! * [`percentile`] — p50/p90/p99/p999 estimation from histogram bucket
 //!   counts (upper-bound semantics, `None` for empty histograms).
-//! * [`exposition`] — Prometheus text-format rendering of a snapshot.
+//! * [`exposition`] — Prometheus text-format rendering of a snapshot
+//!   (`# HELP`/`# TYPE` headers, labeled series via [`labeled`]) plus
+//!   the in-tree format checker [`check_exposition`].
+//! * [`flight`] — a crash-safe [`FlightRecorder`](flight::FlightRecorder)
+//!   ring of decision-relevant events, dumped as JSONL on panic,
+//!   `SIGUSR1`, reject-rate spikes, or `GET /debug/flight`.
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 ops responder
+//!   ([`OpsServer`](http::OpsServer)) and one-shot client for the
+//!   `/metrics`, `/healthz`, `/varz`, and `/debug/flight` endpoints.
 //! * [`json`] — the minimal in-tree JSON reader/writer the exporters use.
 //!
 //! ## The `telemetry-off` feature
@@ -42,6 +50,8 @@
 
 pub mod export;
 pub mod exposition;
+pub mod flight;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod percentile;
@@ -51,7 +61,9 @@ pub mod window;
 pub use export::{
     ArtifactError, RecoveredCsvTrace, RecoveredWindowTrace, TraceMeta, SCHEMA_NAME, SCHEMA_VERSION,
 };
-pub use exposition::render_exposition;
+pub use exposition::{check_exposition, labeled, metric_family, render_exposition};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+pub use http::{OpsResponse, OpsRouter, OpsServer, OpsServerConfig};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use percentile::Percentiles;
 pub use summary::{summarize, summarize_metrics, summarize_profile_windows, summarize_recovered};

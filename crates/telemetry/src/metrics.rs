@@ -283,6 +283,7 @@ struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    helps: BTreeMap<String, String>,
 }
 
 /// Locks the registry, recovering from poisoning: the maps hold only
@@ -343,6 +344,15 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Registers a `# HELP` line for the metric *family* `name` (the
+    /// metric name without any `{label="..."}` suffix). The exposition
+    /// renderer emits the help text once, before the family's `# TYPE`
+    /// line; families without a registered help render without one.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = lock_registry(&self.inner);
+        inner.helps.insert(name.to_string(), help.to_string());
+    }
+
     /// Captures a point-in-time, deterministically ordered snapshot of
     /// every metric in the registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -372,6 +382,7 @@ impl MetricsRegistry {
                     )
                 })
                 .collect(),
+            helps: inner.helps.clone(),
         }
     }
 }
@@ -409,6 +420,9 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// `# HELP` text by metric family name (see
+    /// [`MetricsRegistry::describe`]).
+    pub helps: BTreeMap<String, String>,
 }
 
 impl MetricsSnapshot {
@@ -435,6 +449,11 @@ impl MetricsSnapshot {
             for (a, b) in slot.buckets.iter_mut().zip(hist.buckets.iter()) {
                 *a += b;
             }
+        }
+        for (name, help) in &other.helps {
+            self.helps
+                .entry(name.clone())
+                .or_insert_with(|| help.clone());
         }
     }
 }
